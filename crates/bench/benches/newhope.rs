@@ -1,0 +1,53 @@
+//! Criterion wall-clock bench for the NewHope baseline: NTT transforms and
+//! the CPA KEM, software vs \[8\]-style co-processor configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lac_meter::NullMeter;
+use newhope::{AcceleratedBackend, CpaKem, NewHopeParams, Ntt, SoftwareBackend};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_ntt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("newhope_ntt");
+    for n in [512usize, 1024] {
+        let ntt = Ntt::new(n);
+        let poly: Vec<u16> = (0..n as u32).map(|i| (i * 13 % 12289) as u16).collect();
+        group.bench_with_input(BenchmarkId::new("forward", n), &poly, |b, p| {
+            b.iter(|| black_box(ntt.forward(black_box(p), &mut NullMeter)))
+        });
+        let freq = ntt.forward(&poly, &mut NullMeter);
+        group.bench_with_input(BenchmarkId::new("inverse", n), &freq, |b, f| {
+            b.iter(|| black_box(ntt.inverse(black_box(f), &mut NullMeter)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_kem(c: &mut Criterion) {
+    let mut group = c.benchmark_group("newhope_kem");
+    group.sample_size(20);
+    let kem = CpaKem::new(NewHopeParams::newhope1024());
+    let mut sw = SoftwareBackend::new();
+    let mut hw = AcceleratedBackend::new();
+    let mut rng = StdRng::seed_from_u64(1);
+    let (pk, sk) = kem.keygen(&mut rng, &mut sw, &mut NullMeter);
+    let (ct, _) = kem.encapsulate(&mut rng, &pk, &mut sw, &mut NullMeter);
+
+    group.bench_function("keygen", |b| {
+        b.iter(|| black_box(kem.keygen(&mut rng, &mut sw, &mut NullMeter)))
+    });
+    group.bench_function("encaps", |b| {
+        b.iter(|| black_box(kem.encapsulate(&mut rng, &pk, &mut sw, &mut NullMeter)))
+    });
+    group.bench_function("decaps", |b| {
+        b.iter(|| black_box(kem.decapsulate(&sk, &ct, &mut sw, &mut NullMeter)))
+    });
+    group.bench_function("decaps_accelerated_model", |b| {
+        b.iter(|| black_box(kem.decapsulate(&sk, &ct, &mut hw, &mut NullMeter)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ntt, bench_kem);
+criterion_main!(benches);

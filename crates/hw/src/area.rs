@@ -1,0 +1,146 @@
+//! Structural FPGA area model (Table III substitute).
+//!
+//! We cannot synthesize for the ZCU102, so each accelerator estimates its
+//! resource usage **from the structure it would instantiate**, with
+//! per-primitive constants calibrated once against the paper's Table III
+//! and documented here:
+//!
+//! * an 8-bit modular add/sub MAU with operand mux ≈ 55 LUTs, 18 registers
+//!   (the ternary multiplier has n = 512 of them: 512 · 55 ≈ 28.2k LUTs of
+//!   the paper's 31.5k, the rest is the serializing control unit);
+//! * a bit-serial GF(2⁹) multiplier ≈ 20 LUTs (9 AND + 9 XOR + feedback)
+//!   and 9 shift registers plus buffered operands;
+//! * the SHA-256 round engine ≈ 1k LUTs / 1.5k registers (256-bit state,
+//!   message schedule);
+//! * the Barrett reducer maps its two multiplications onto 2 DSP slices
+//!   with ~35 LUTs of correction logic and no registers (combinational).
+//!
+//! The base RISCY core and the peripheral subsystem are synthesis constants
+//! quoted from the paper (they are not part of our contribution's model but
+//! are needed to print Table III totals).
+
+use std::fmt;
+use std::ops::Add;
+
+/// FPGA resource estimate: LUTs, flip-flop registers, BRAM blocks, DSPs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResourceEstimate {
+    /// Look-up tables.
+    pub luts: u32,
+    /// Flip-flop registers.
+    pub regs: u32,
+    /// Block-RAM tiles.
+    pub brams: u32,
+    /// DSP slices.
+    pub dsps: u32,
+}
+
+impl ResourceEstimate {
+    /// A zero estimate.
+    pub const ZERO: Self = Self {
+        luts: 0,
+        regs: 0,
+        brams: 0,
+        dsps: 0,
+    };
+
+    /// Construct an estimate.
+    pub const fn new(luts: u32, regs: u32, brams: u32, dsps: u32) -> Self {
+        Self {
+            luts,
+            regs,
+            brams,
+            dsps,
+        }
+    }
+}
+
+impl Add for ResourceEstimate {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            luts: self.luts + rhs.luts,
+            regs: self.regs + rhs.regs,
+            brams: self.brams + rhs.brams,
+            dsps: self.dsps + rhs.dsps,
+        }
+    }
+}
+
+impl fmt::Display for ResourceEstimate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} LUTs, {} regs, {} BRAMs, {} DSPs",
+            self.luts, self.regs, self.brams, self.dsps
+        )
+    }
+}
+
+/// Per-MAU cost of the ternary multiplier: an 8-bit modular adder/subtractor
+/// with a three-way operand mux (add / sub / forward).
+pub const MAU_LUTS: u32 = 55;
+/// Per-MAU registers: the 8-bit result register plus pipeline/mux state.
+pub const MAU_REGS: u32 = 18;
+/// Control unit of the ternary multiplier (serializer, counters, wrap mux).
+pub const MUL_TER_CONTROL_LUTS: u32 = 3_305;
+/// Control unit registers.
+pub const MUL_TER_CONTROL_REGS: u32 = 89;
+
+/// One bit-serial GF(2⁹) multiplier: 9 AND gates, ~10 XORs, feedback taps.
+pub const MUL_GF_LUTS: u32 = 20;
+/// One GF multiplier's registers: 9-bit shift register.
+pub const MUL_GF_REGS: u32 = 9;
+/// Shared Chien-module glue (operand buffers, adder tree, control).
+pub const CHIEN_GLUE_LUTS: u32 = 6;
+/// Shared Chien-module registers (input buffers for 4 multipliers + ctrl).
+pub const CHIEN_GLUE_REGS: u32 = 122;
+
+/// SHA-256 round engine.
+pub const SHA256_LUTS: u32 = 1_031;
+/// SHA-256 state/schedule registers.
+pub const SHA256_REGS: u32 = 1_556;
+
+/// Barrett reducer correction logic.
+pub const MOD_Q_LUTS: u32 = 35;
+/// Barrett reducer DSP multipliers.
+pub const MOD_Q_DSPS: u32 = 2;
+
+/// The unmodified RISCY core (paper's synthesis constant: core total minus
+/// the four accelerators).
+pub const RISCY_BASE: ResourceEstimate = ResourceEstimate::new(21_202, 2_910, 0, 8);
+
+/// PULPino peripherals and memories (paper's synthesis constant).
+pub const PERIPHERALS: ResourceEstimate = ResourceEstimate::new(8_769, 7_369, 32, 0);
+
+/// The NewHope NTT accelerator of reference \[8\], quoted for comparison.
+pub const NTT_ACCELERATOR_REF8: ResourceEstimate = ResourceEstimate::new(886, 618, 1, 26);
+
+/// The Keccak accelerator of reference \[8\], quoted for comparison.
+pub const KECCAK_ACCELERATOR_REF8: ResourceEstimate = ResourceEstimate::new(10_435, 4_225, 0, 0);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addition_is_componentwise() {
+        let a = ResourceEstimate::new(1, 2, 3, 4);
+        let b = ResourceEstimate::new(10, 20, 30, 40);
+        assert_eq!(a + b, ResourceEstimate::new(11, 22, 33, 44));
+    }
+
+    #[test]
+    fn display_mentions_all_fields() {
+        let s = format!("{}", ResourceEstimate::new(5, 6, 7, 8));
+        for needle in ["5 LUTs", "6 regs", "7 BRAMs", "8 DSPs"] {
+            assert!(s.contains(needle), "{s}");
+        }
+    }
+
+    #[test]
+    fn zero_is_identity() {
+        let a = ResourceEstimate::new(9, 9, 9, 9);
+        assert_eq!(a + ResourceEstimate::ZERO, a);
+    }
+}

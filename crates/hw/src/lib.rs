@@ -1,0 +1,59 @@
+//! Cycle-accurate models of the paper's PQ-ALU hardware accelerators.
+//!
+//! The DATE 2020 paper integrates four accelerators into the execution stage
+//! of a RISCY core (Fig. 5):
+//!
+//! * [`MulTer`] — the systolic ternary polynomial multiplier (Fig. 2), a
+//!   length-n array of Modular Arithmetic Units supporting both wrapped
+//!   convolutions;
+//! * [`MulGf`] — the bit-serial GF(2⁹) shift-and-add multiplier (Fig. 3);
+//! * [`ChienUnit`] — four `MulGf` instances with an adder tree and feedback
+//!   loop evaluating the error-locator polynomial four terms at a time
+//!   (Fig. 4 / Eq. 4);
+//! * [`Sha256Unit`] — a SHA-256 round engine with byte-wise register I/O;
+//! * [`ModQ`] — the combinational Barrett modulo-q reducer (two DSPs).
+//!
+//! Each model **simulates the documented datapath** (producing bit-exact
+//! results) and **counts the cycles** the unit and its software driver
+//! consume, including the register-packing I/O formats of Section V. Each
+//! model also reports a structural [`area::ResourceEstimate`] used to
+//! regenerate Table III.
+//!
+//! Since we have no FPGA, these models are the substitute substrate: the
+//! paper's claims under reproduction are cycle counts and resource ratios,
+//! both of which the models expose deterministically.
+
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod chien;
+pub mod keccak_unit;
+pub mod mod_q;
+pub mod mul_gf;
+pub mod mul_ter;
+pub mod sha256_unit;
+
+pub use area::ResourceEstimate;
+pub use chien::ChienUnit;
+pub use keccak_unit::KeccakUnit;
+pub use mod_q::ModQ;
+pub use mul_gf::MulGf;
+pub use mul_ter::MulTer;
+pub use sha256_unit::Sha256Unit;
+
+/// Running usage statistics kept by every accelerator model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UnitStats {
+    /// Number of completed operations (unit-level invocations).
+    pub invocations: u64,
+    /// Cycles during which the unit's datapath was busy.
+    pub busy_cycles: u64,
+}
+
+impl UnitStats {
+    /// Record one invocation that kept the datapath busy for `cycles`.
+    pub(crate) fn record(&mut self, cycles: u64) {
+        self.invocations += 1;
+        self.busy_cycles += cycles;
+    }
+}

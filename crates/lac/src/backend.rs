@@ -1,0 +1,491 @@
+//! Execution backends: the pure-software RISCY profile vs the PQ-ALU
+//! hardware accelerators.
+//!
+//! Table II of the paper compares LAC running as plain software on RISC-V
+//! (with either the submission's variable-time BCH decoder or the
+//! constant-time decoder of Walters et al.) against the same scheme driving
+//! the custom `pq.*` instructions. A [`Backend`] bundles exactly the three
+//! operations whose substrate differs: ring multiplication, hashing, and
+//! BCH decoding. Everything else (sampling glue, packing, comparisons) is
+//! identical software and is metered directly by the scheme code.
+
+use lac_bch::BchCode;
+use lac_hw::{ChienUnit, KeccakUnit, MulTer, Sha256Unit};
+use lac_meter::Meter;
+use lac_ring::mul::mul_ternary;
+use lac_ring::split::split_mul_high;
+use lac_ring::trunc::mul_ternary_truncated;
+use lac_ring::{Convolution, Poly, TernaryPoly};
+
+/// Outcome of a BCH decode, independent of the decoder used.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeInfo {
+    /// The corrected 256-bit message.
+    pub message: [u8; crate::MESSAGE_BYTES],
+    /// Degree of the error-locator polynomial (estimated error count).
+    pub locator_degree: usize,
+    /// Number of locator roots found by the search.
+    pub errors_located: usize,
+}
+
+/// Which BCH decoder a software backend uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BchDecoderKind {
+    /// The NIST-submission style decoder (variable time — leaks timing).
+    VariableTime,
+    /// The Walters–Roy style constant-time decoder.
+    ConstantTime,
+}
+
+/// The substrate LAC runs on: software or the PQ-ALU accelerators.
+pub trait Backend {
+    /// Negacyclic ring multiplication `t · g` in R_n.
+    fn ring_mul(&mut self, t: &TernaryPoly, g: &Poly, meter: &mut dyn Meter) -> Poly;
+
+    /// Negacyclic ring multiplication returning only the low `out_len`
+    /// coefficients. The software backend exploits this to skip work (the
+    /// reference implementation's `lv`-truncated product in encryption);
+    /// the hardware unit always computes the full product, so its override
+    /// simply truncates.
+    fn ring_mul_low(
+        &mut self,
+        t: &TernaryPoly,
+        g: &Poly,
+        out_len: usize,
+        meter: &mut dyn Meter,
+    ) -> Poly {
+        let full = self.ring_mul(t, g, meter);
+        Poly::from_coeffs(full.coeffs()[..out_len].to_vec())
+    }
+
+    /// SHA-256 digest. No phase is entered — callers attribute the cost.
+    fn hash(&mut self, data: &[u8], meter: &mut dyn Meter) -> [u8; 32];
+
+    /// Decode a received BCH codeword.
+    fn bch_decode(
+        &mut self,
+        code: &BchCode,
+        received: &[u8],
+        meter: &mut dyn Meter,
+    ) -> DecodeInfo;
+
+    /// Short label for reports ("ref.", "const. BCH", "opt.").
+    fn label(&self) -> &'static str;
+}
+
+/// Pure-software backend with the RISCY cost model.
+///
+/// # Example
+///
+/// ```
+/// use lac::{BchDecoderKind, SoftwareBackend};
+///
+/// let reference = SoftwareBackend::reference();
+/// assert_eq!(reference.bch_decoder(), BchDecoderKind::VariableTime);
+/// let ct = SoftwareBackend::constant_time();
+/// assert_eq!(ct.bch_decoder(), BchDecoderKind::ConstantTime);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SoftwareBackend {
+    bch: BchDecoderKind,
+}
+
+impl SoftwareBackend {
+    /// The "LAC ref." configuration: submission-style BCH decoder.
+    pub fn reference() -> Self {
+        Self {
+            bch: BchDecoderKind::VariableTime,
+        }
+    }
+
+    /// The "LAC const. BCH" configuration: constant-time BCH decoder.
+    pub fn constant_time() -> Self {
+        Self {
+            bch: BchDecoderKind::ConstantTime,
+        }
+    }
+
+    /// Which BCH decoder this backend uses.
+    pub fn bch_decoder(&self) -> BchDecoderKind {
+        self.bch
+    }
+}
+
+impl Backend for SoftwareBackend {
+    fn ring_mul(&mut self, t: &TernaryPoly, g: &Poly, mut meter: &mut dyn Meter) -> Poly {
+        mul_ternary(t, g, Convolution::Negacyclic, &mut meter)
+    }
+
+    fn ring_mul_low(
+        &mut self,
+        t: &TernaryPoly,
+        g: &Poly,
+        out_len: usize,
+        mut meter: &mut dyn Meter,
+    ) -> Poly {
+        mul_ternary_truncated(t, g, Convolution::Negacyclic, out_len, &mut meter)
+    }
+
+    fn hash(&mut self, data: &[u8], mut meter: &mut dyn Meter) -> [u8; 32] {
+        lac_sha256::sha256_metered(data, &mut meter)
+    }
+
+    fn bch_decode(
+        &mut self,
+        code: &BchCode,
+        received: &[u8],
+        mut meter: &mut dyn Meter,
+    ) -> DecodeInfo {
+        match self.bch {
+            BchDecoderKind::VariableTime => {
+                let out = code.decode_variable_time(received, &mut meter);
+                DecodeInfo {
+                    message: out.message,
+                    locator_degree: out.locator_degree,
+                    errors_located: out.errors_located,
+                }
+            }
+            BchDecoderKind::ConstantTime => {
+                let out = code.decode_constant_time(received, &mut meter);
+                DecodeInfo {
+                    message: out.message,
+                    locator_degree: out.locator_degree,
+                    errors_located: out.errors_located,
+                }
+            }
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        match self.bch {
+            BchDecoderKind::VariableTime => "ref.",
+            BchDecoderKind::ConstantTime => "const. BCH",
+        }
+    }
+}
+
+/// The PQ-ALU backend: MUL TER (with software splitting for n = 1024),
+/// the SHA256 unit, and the constant-time decode pipeline ending in
+/// MUL CHIEN.
+///
+/// # Example
+///
+/// ```
+/// use lac::{AcceleratedBackend, Backend};
+/// use lac_meter::NullMeter;
+/// use lac_ring::{Poly, TernaryPoly};
+///
+/// let mut b = AcceleratedBackend::new();
+/// let t = TernaryPoly::from_coeffs(vec![1i8; 512].into_iter().map(|_| 0).collect());
+/// let g = Poly::zero(512);
+/// let c = b.ring_mul(&t, &g, &mut NullMeter);
+/// assert_eq!(c.coeffs().len(), 512);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AcceleratedBackend {
+    mul_ter: MulTer,
+    sha: Sha256Unit,
+    chien: ChienUnit,
+}
+
+impl Default for AcceleratedBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AcceleratedBackend {
+    /// A backend with the paper's length-512 MUL TER unit.
+    pub fn new() -> Self {
+        Self::with_unit_len(512)
+    }
+
+    /// A backend with a custom MUL TER length (the paper discusses larger
+    /// units for high-speed and smaller ones for area-limited devices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit_len` is zero or odd.
+    pub fn with_unit_len(unit_len: usize) -> Self {
+        Self {
+            mul_ter: MulTer::new(unit_len),
+            sha: Sha256Unit::new(),
+            chien: ChienUnit::new(),
+        }
+    }
+
+    /// The ternary-multiplier model (for stats/resources).
+    pub fn mul_ter(&self) -> &MulTer {
+        &self.mul_ter
+    }
+
+    /// The SHA256 unit model.
+    pub fn sha_unit(&self) -> &Sha256Unit {
+        &self.sha
+    }
+
+    /// The Chien-search unit model.
+    pub fn chien_unit(&self) -> &ChienUnit {
+        &self.chien
+    }
+}
+
+impl Backend for AcceleratedBackend {
+    fn ring_mul(&mut self, t: &TernaryPoly, g: &Poly, mut meter: &mut dyn Meter) -> Poly {
+        let unit = self.mul_ter.len();
+        if t.len() == unit {
+            self.mul_ter
+                .multiply(t, g, Convolution::Negacyclic, &mut meter)
+        } else if t.len() == 2 * unit {
+            split_mul_high(&mut self.mul_ter, t, g, Convolution::Negacyclic, meter)
+        } else {
+            panic!(
+                "ring dimension {} is not supported by a length-{unit} MUL TER unit",
+                t.len()
+            );
+        }
+    }
+
+    fn hash(&mut self, data: &[u8], mut meter: &mut dyn Meter) -> [u8; 32] {
+        self.sha.digest(data, &mut meter)
+    }
+
+    fn bch_decode(
+        &mut self,
+        code: &BchCode,
+        received: &[u8],
+        mut meter: &mut dyn Meter,
+    ) -> DecodeInfo {
+        let out = self.chien.decode(code, received, &mut meter);
+        DecodeInfo {
+            message: out.message,
+            locator_degree: out.locator_degree,
+            errors_located: out.errors_located,
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "opt."
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lac_meter::{CycleLedger, NullMeter};
+
+    fn sample_operands(n: usize) -> (TernaryPoly, Poly) {
+        let t = TernaryPoly::from_coeffs((0..n).map(|i| [1i8, 0, -1, 0][i % 4]).collect());
+        let g = Poly::from_coeffs((0..n).map(|i| (i * 17 % 251) as u8).collect());
+        (t, g)
+    }
+
+    #[test]
+    fn backends_agree_on_ring_mul_512() {
+        let (t, g) = sample_operands(512);
+        let mut sw = SoftwareBackend::reference();
+        let mut hw = AcceleratedBackend::new();
+        assert_eq!(
+            sw.ring_mul(&t, &g, &mut NullMeter),
+            hw.ring_mul(&t, &g, &mut NullMeter)
+        );
+    }
+
+    #[test]
+    fn backends_agree_on_ring_mul_1024() {
+        let (t, g) = sample_operands(1024);
+        let mut sw = SoftwareBackend::reference();
+        let mut hw = AcceleratedBackend::new();
+        assert_eq!(
+            sw.ring_mul(&t, &g, &mut NullMeter),
+            hw.ring_mul(&t, &g, &mut NullMeter)
+        );
+    }
+
+    #[test]
+    fn backends_agree_on_hash() {
+        let mut sw = SoftwareBackend::constant_time();
+        let mut hw = AcceleratedBackend::new();
+        let data = [9u8; 100];
+        assert_eq!(
+            sw.hash(&data, &mut NullMeter),
+            hw.hash(&data, &mut NullMeter)
+        );
+        assert_eq!(sw.hash(&data, &mut NullMeter), lac_sha256::sha256(&data));
+    }
+
+    #[test]
+    fn backends_agree_on_bch_decode() {
+        let code = BchCode::lac_t16();
+        let msg = [0x7eu8; 32];
+        let mut cw = code.encode(&msg, &mut NullMeter);
+        cw[code.parity_len() + 40] ^= 1;
+        cw[code.parity_len() + 90] ^= 1;
+        let mut sw = SoftwareBackend::constant_time();
+        let mut hw = AcceleratedBackend::new();
+        let a = sw.bch_decode(&code, &cw, &mut NullMeter);
+        let b = hw.bch_decode(&code, &cw, &mut NullMeter);
+        assert_eq!(a.message, b.message);
+        assert_eq!(a.message, msg);
+    }
+
+    #[test]
+    fn accelerated_mul_is_cheaper() {
+        let (t, g) = sample_operands(512);
+        let mut sw_cost = CycleLedger::new();
+        SoftwareBackend::reference().ring_mul(&t, &g, &mut sw_cost);
+        let mut hw_cost = CycleLedger::new();
+        AcceleratedBackend::new().ring_mul(&t, &g, &mut hw_cost);
+        assert!(hw_cost.total() * 100 < sw_cost.total());
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        assert_ne!(
+            SoftwareBackend::reference().label(),
+            SoftwareBackend::constant_time().label()
+        );
+        assert_eq!(AcceleratedBackend::new().label(), "opt.");
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported")]
+    fn unsupported_dimension_panics() {
+        let (t, g) = sample_operands(256);
+        AcceleratedBackend::new().ring_mul(&t, &g, &mut NullMeter);
+    }
+}
+
+/// The future-work variant the paper's Section VI sketches: same MUL TER
+/// and MUL CHIEN, but the SHA256 unit replaced by a Keccak accelerator
+/// (SHA3-256 as the hash). Roughly 10x the hash-unit area for a large
+/// `GenA`/`Sample poly` speedup.
+///
+/// **Not interoperable** with the SHA-256 backends: the hash function
+/// itself changes, so keys and ciphertexts derive differently. Use it for
+/// the ablation study (`cargo run -p lac-bench --bin ablation_keccak`),
+/// not to talk to a standard LAC peer.
+#[derive(Debug, Clone)]
+pub struct KeccakAcceleratedBackend {
+    mul_ter: MulTer,
+    keccak: KeccakUnit,
+    chien: ChienUnit,
+}
+
+impl Default for KeccakAcceleratedBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl KeccakAcceleratedBackend {
+    /// A backend with the paper's length-512 MUL TER unit and a Keccak
+    /// hash unit.
+    pub fn new() -> Self {
+        Self {
+            mul_ter: MulTer::new(512),
+            keccak: KeccakUnit::new(),
+            chien: ChienUnit::new(),
+        }
+    }
+
+    /// The Keccak unit model (stats/resources).
+    pub fn keccak_unit(&self) -> &KeccakUnit {
+        &self.keccak
+    }
+}
+
+impl Backend for KeccakAcceleratedBackend {
+    fn ring_mul(&mut self, t: &TernaryPoly, g: &Poly, mut meter: &mut dyn Meter) -> Poly {
+        let unit = self.mul_ter.len();
+        if t.len() == unit {
+            self.mul_ter
+                .multiply(t, g, Convolution::Negacyclic, &mut meter)
+        } else if t.len() == 2 * unit {
+            split_mul_high(&mut self.mul_ter, t, g, Convolution::Negacyclic, meter)
+        } else {
+            panic!(
+                "ring dimension {} is not supported by a length-{unit} MUL TER unit",
+                t.len()
+            );
+        }
+    }
+
+    fn hash(&mut self, data: &[u8], mut meter: &mut dyn Meter) -> [u8; 32] {
+        self.keccak.digest(data, &mut meter)
+    }
+
+    fn bch_decode(
+        &mut self,
+        code: &BchCode,
+        received: &[u8],
+        mut meter: &mut dyn Meter,
+    ) -> DecodeInfo {
+        let out = self.chien.decode(code, received, &mut meter);
+        DecodeInfo {
+            message: out.message,
+            locator_degree: out.locator_degree,
+            errors_located: out.errors_located,
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "opt. + Keccak"
+    }
+}
+
+#[cfg(test)]
+mod keccak_backend_tests {
+    use super::*;
+    use crate::{Kem, Params};
+    use lac_meter::{CycleLedger, NullMeter};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kem_roundtrip_on_keccak_backend() {
+        for params in Params::ALL {
+            let kem = Kem::new(params);
+            let mut backend = KeccakAcceleratedBackend::new();
+            let mut rng = StdRng::seed_from_u64(44);
+            let (pk, sk) = kem.keygen(&mut rng, &mut backend, &mut NullMeter);
+            let (ct, k1) = kem.encapsulate(&mut rng, &pk, &mut backend, &mut NullMeter);
+            let k2 = kem.decapsulate(&sk, &ct, &mut backend, &mut NullMeter);
+            assert_eq!(k1, k2, "{}", params.name());
+        }
+    }
+
+    #[test]
+    fn keccak_backend_speeds_up_gen_a() {
+        use lac_meter::Phase;
+        let kem = Kem::new(Params::lac128());
+        let mut rng = StdRng::seed_from_u64(45);
+
+        let mut sha = AcceleratedBackend::new();
+        let mut l_sha = CycleLedger::new();
+        kem.keygen(&mut rng, &mut sha, &mut l_sha);
+
+        let mut keccak = KeccakAcceleratedBackend::new();
+        let mut l_keccak = CycleLedger::new();
+        kem.keygen(&mut rng, &mut keccak, &mut l_keccak);
+
+        assert!(
+            l_keccak.phase_total(Phase::GenA) * 2 < l_sha.phase_total(Phase::GenA),
+            "keccak GenA {} vs sha GenA {}",
+            l_keccak.phase_total(Phase::GenA),
+            l_sha.phase_total(Phase::GenA)
+        );
+    }
+
+    #[test]
+    fn not_interoperable_with_sha_backend() {
+        // Deterministic keygen from the same seeds yields different keys:
+        // the hash function is part of the scheme.
+        let lac = crate::Lac::new(Params::lac128());
+        let mut a = AcceleratedBackend::new();
+        let mut b = KeccakAcceleratedBackend::new();
+        let (pk_a, _) = lac.keygen_deterministic(&[1u8; 32], &[2u8; 32], &mut a, &mut NullMeter);
+        let (pk_b, _) = lac.keygen_deterministic(&[1u8; 32], &[2u8; 32], &mut b, &mut NullMeter);
+        assert_ne!(pk_a, pk_b);
+    }
+}

@@ -1,0 +1,231 @@
+//! The CPA-secure KEM variant.
+//!
+//! Section VI: "Lattice-based PKE-schemes can be constructed with two
+//! different security versions: a version secure against Chosen-Plaintext
+//! Attacks (CPA) and the stronger version secure against Chosen-Ciphertext
+//! Attacks (CCA). The implementation in \[8\] only provides results for the
+//! CPA-secure version … whereas the CCA-secure version has another
+//! re-encryption step during the decapsulation."
+//!
+//! [`CpaKem`] implements that lighter variant: decapsulation is a single
+//! decryption plus one hash — no re-encryption, no comparison — making the
+//! cost gap to [`crate::Kem`] directly measurable (the paper's explanation
+//! for part of the LAC-vs-NewHope decapsulation difference).
+
+use crate::backend::Backend;
+use crate::keys::{Ciphertext, PublicKey, SecretKey};
+use crate::pke::Lac;
+use crate::{Params, MESSAGE_BYTES, SEED_BYTES};
+use lac_meter::{Meter, Phase};
+use rand::RngCore;
+
+/// Domain bytes distinct from the CCA KEM's.
+const DOMAIN_CPA_SEED: u8 = 0x63;
+const DOMAIN_CPA_KEY: u8 = 0x6b;
+
+/// A CPA-secure shared secret (same shape as the CCA one, separate type to
+/// prevent accidental mixing of the two security levels).
+#[derive(Clone, PartialEq, Eq)]
+pub struct CpaSharedSecret([u8; MESSAGE_BYTES]);
+
+impl CpaSharedSecret {
+    /// View the secret bytes.
+    pub fn as_bytes(&self) -> &[u8; MESSAGE_BYTES] {
+        &self.0
+    }
+}
+
+impl std::fmt::Debug for CpaSharedSecret {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("CpaSharedSecret(..)")
+    }
+}
+
+/// The CPA-secure LAC KEM (no re-encryption on decapsulation).
+///
+/// Only safe where each key pair encapsulates **once** (ephemeral
+/// key exchange); for static keys use [`crate::Kem`].
+///
+/// # Example
+///
+/// ```
+/// use lac::{CpaKem, Params, SoftwareBackend};
+/// use lac_meter::NullMeter;
+/// use rand::SeedableRng;
+///
+/// let kem = CpaKem::new(Params::lac192());
+/// let mut b = SoftwareBackend::constant_time();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+/// let (pk, sk) = kem.keygen(&mut rng, &mut b, &mut NullMeter);
+/// let (ct, k1) = kem.encapsulate(&mut rng, &pk, &mut b, &mut NullMeter);
+/// let k2 = kem.decapsulate(&sk, &ct, &mut b, &mut NullMeter);
+/// assert_eq!(k1, k2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CpaKem {
+    lac: Lac,
+}
+
+impl CpaKem {
+    /// Instantiate for a parameter set.
+    pub fn new(params: Params) -> Self {
+        Self {
+            lac: Lac::new(params),
+        }
+    }
+
+    /// The underlying PKE scheme.
+    pub fn pke(&self) -> &Lac {
+        &self.lac
+    }
+
+    /// The parameter set.
+    pub fn params(&self) -> &Params {
+        self.lac.params()
+    }
+
+    /// Generate a key pair (plain PKE keys — no implicit-rejection secret
+    /// is needed without the FO transform).
+    pub fn keygen<B: Backend + ?Sized, R: RngCore>(
+        &self,
+        rng: &mut R,
+        backend: &mut B,
+        meter: &mut dyn Meter,
+    ) -> (PublicKey, SecretKey) {
+        self.lac.keygen(rng, backend, meter)
+    }
+
+    /// Encapsulate: encrypt a random message, derive K = H(m ‖ ct).
+    pub fn encapsulate<B: Backend + ?Sized, R: RngCore>(
+        &self,
+        rng: &mut R,
+        pk: &PublicKey,
+        backend: &mut B,
+        meter: &mut dyn Meter,
+    ) -> (Ciphertext, CpaSharedSecret) {
+        let mut m = [0u8; MESSAGE_BYTES];
+        rng.fill_bytes(&mut m);
+        let mut seed_input = Vec::with_capacity(1 + MESSAGE_BYTES);
+        seed_input.push(DOMAIN_CPA_SEED);
+        seed_input.extend_from_slice(&m);
+        meter.enter(Phase::Hash);
+        let enc_seed: [u8; SEED_BYTES] = backend.hash(&seed_input, meter);
+        meter.leave();
+        let ct = self.lac.encrypt(pk, &m, &enc_seed, backend, meter);
+        let key = self.derive(&m, &ct, backend, meter);
+        (ct, key)
+    }
+
+    fn derive<B: Backend + ?Sized>(
+        &self,
+        m: &[u8; MESSAGE_BYTES],
+        ct: &Ciphertext,
+        backend: &mut B,
+        meter: &mut dyn Meter,
+    ) -> CpaSharedSecret {
+        meter.enter(Phase::Hash);
+        let mut input = Vec::new();
+        input.push(DOMAIN_CPA_KEY);
+        input.extend_from_slice(m);
+        input.extend_from_slice(&ct.to_bytes());
+        let key = backend.hash(&input, meter);
+        meter.leave();
+        CpaSharedSecret(key)
+    }
+
+    /// Decapsulate: one decryption plus one hash — the step the CCA version
+    /// extends with re-encryption.
+    pub fn decapsulate<B: Backend + ?Sized>(
+        &self,
+        sk: &SecretKey,
+        ct: &Ciphertext,
+        backend: &mut B,
+        meter: &mut dyn Meter,
+    ) -> CpaSharedSecret {
+        let (m, _info) = self.lac.decrypt(sk, ct, backend, meter);
+        self.derive(&m, ct, backend, meter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{AcceleratedBackend, SoftwareBackend};
+    use crate::Kem;
+    use lac_meter::{CycleLedger, NullMeter};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_all_params_and_backends() {
+        for params in Params::ALL {
+            let kem = CpaKem::new(params);
+            for seed in 0..3u64 {
+                let mut sw = SoftwareBackend::constant_time();
+                let mut rng = StdRng::seed_from_u64(seed);
+                let (pk, sk) = kem.keygen(&mut rng, &mut sw, &mut NullMeter);
+                let (ct, k1) = kem.encapsulate(&mut rng, &pk, &mut sw, &mut NullMeter);
+                let mut hw = AcceleratedBackend::new();
+                let k2 = kem.decapsulate(&sk, &ct, &mut hw, &mut NullMeter);
+                assert_eq!(k1, k2, "{} seed {seed}", params.name());
+            }
+        }
+    }
+
+    #[test]
+    fn cpa_decapsulation_is_much_cheaper_than_cca() {
+        // The re-encryption overhead the paper describes: CCA decapsulation
+        // contains a full encryption, CPA does not.
+        let params = Params::lac128();
+        let mut backend = SoftwareBackend::constant_time();
+        let mut rng = StdRng::seed_from_u64(9);
+
+        let cpa = CpaKem::new(params);
+        let (pk, sk) = cpa.keygen(&mut rng, &mut backend, &mut NullMeter);
+        let (ct, _) = cpa.encapsulate(&mut rng, &pk, &mut backend, &mut NullMeter);
+        let mut cpa_cost = CycleLedger::new();
+        cpa.decapsulate(&sk, &ct, &mut backend, &mut cpa_cost);
+
+        let cca = Kem::new(params);
+        let (cpk, csk) = cca.keygen(&mut rng, &mut backend, &mut NullMeter);
+        let (cct, _) = cca.encapsulate(&mut rng, &cpk, &mut backend, &mut NullMeter);
+        let mut cca_cost = CycleLedger::new();
+        cca.decapsulate(&csk, &cct, &mut backend, &mut cca_cost);
+
+        assert!(
+            cca_cost.total() > 2 * cpa_cost.total(),
+            "cca {} vs cpa {}",
+            cca_cost.total(),
+            cpa_cost.total()
+        );
+    }
+
+    #[test]
+    fn tampering_changes_the_key_but_is_not_detected() {
+        // The CPA caveat: no re-encryption check, so a modified ciphertext
+        // silently derives a different key (why static keys need the CCA
+        // version).
+        let kem = CpaKem::new(Params::lac128());
+        let mut backend = SoftwareBackend::constant_time();
+        let mut rng = StdRng::seed_from_u64(10);
+        let (pk, sk) = kem.keygen(&mut rng, &mut backend, &mut NullMeter);
+        let (ct, k1) = kem.encapsulate(&mut rng, &pk, &mut backend, &mut NullMeter);
+        let mut bytes = ct.to_bytes();
+        for b in bytes.iter_mut().take(100) {
+            *b = (*b).wrapping_add(97) % 251;
+        }
+        let evil = Ciphertext::from_bytes(kem.params(), &bytes).expect("valid encoding");
+        let k2 = kem.decapsulate(&sk, &evil, &mut backend, &mut NullMeter);
+        assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn debug_is_redacted() {
+        let kem = CpaKem::new(Params::lac128());
+        let mut backend = SoftwareBackend::constant_time();
+        let mut rng = StdRng::seed_from_u64(11);
+        let (pk, _) = kem.keygen(&mut rng, &mut backend, &mut NullMeter);
+        let (_, k) = kem.encapsulate(&mut rng, &pk, &mut backend, &mut NullMeter);
+        assert_eq!(format!("{k:?}"), "CpaSharedSecret(..)");
+    }
+}

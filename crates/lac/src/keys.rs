@@ -1,0 +1,252 @@
+//! Key and ciphertext types with fixed-format byte serialization.
+
+use crate::{DecodeError, Params, SEED_BYTES};
+use lac_ring::{Poly, TernaryPoly, Q};
+
+/// A LAC public key: the 32-byte seed of the public polynomial `a` and the
+/// RLWE instance `b = a·s + e`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PublicKey {
+    pub(crate) seed_a: [u8; SEED_BYTES],
+    pub(crate) b: Poly,
+}
+
+impl PublicKey {
+    /// The seed from which `a` is expanded.
+    pub fn seed_a(&self) -> &[u8; SEED_BYTES] {
+        &self.seed_a
+    }
+
+    /// The RLWE instance b.
+    pub fn b(&self) -> &Poly {
+        &self.b
+    }
+
+    /// Serialize: seed ‖ b (one byte per coefficient).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(SEED_BYTES + self.b.len());
+        out.extend_from_slice(&self.seed_a);
+        out.extend_from_slice(self.b.coeffs());
+        out
+    }
+
+    /// Deserialize for the given parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::Length`] on a size mismatch and
+    /// [`DecodeError::Coefficient`] if a `b` coefficient is ≥ q.
+    pub fn from_bytes(params: &Params, bytes: &[u8]) -> Result<Self, DecodeError> {
+        let expected = params.public_key_bytes();
+        if bytes.len() != expected {
+            return Err(DecodeError::Length {
+                expected,
+                got: bytes.len(),
+            });
+        }
+        let mut seed_a = [0u8; SEED_BYTES];
+        seed_a.copy_from_slice(&bytes[..SEED_BYTES]);
+        let coeffs = &bytes[SEED_BYTES..];
+        if let Some(bad) = coeffs.iter().position(|&c| u16::from(c) >= Q) {
+            return Err(DecodeError::Coefficient {
+                index: SEED_BYTES + bad,
+            });
+        }
+        Ok(Self {
+            seed_a,
+            b: Poly::from_coeffs(coeffs.to_vec()),
+        })
+    }
+}
+
+/// A CPA secret key: the ternary secret polynomial `s`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SecretKey {
+    pub(crate) s: TernaryPoly,
+}
+
+impl SecretKey {
+    /// The secret polynomial.
+    pub fn s(&self) -> &TernaryPoly {
+        &self.s
+    }
+
+    /// Serialize: one byte per coefficient (0, 1, or 255 for −1), matching
+    /// the submission's ‖sk‖ = n bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.s
+            .coeffs()
+            .iter()
+            .map(|&c| if c < 0 { 0xff } else { c as u8 })
+            .collect()
+    }
+
+    /// Deserialize for the given parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::Length`] on a size mismatch and
+    /// [`DecodeError::Coefficient`] for bytes outside {0, 1, 255}.
+    pub fn from_bytes(params: &Params, bytes: &[u8]) -> Result<Self, DecodeError> {
+        if bytes.len() != params.secret_key_bytes() {
+            return Err(DecodeError::Length {
+                expected: params.secret_key_bytes(),
+                got: bytes.len(),
+            });
+        }
+        let mut coeffs = Vec::with_capacity(bytes.len());
+        for (i, &b) in bytes.iter().enumerate() {
+            coeffs.push(match b {
+                0 => 0i8,
+                1 => 1,
+                0xff => -1,
+                _ => return Err(DecodeError::Coefficient { index: i }),
+            });
+        }
+        Ok(Self {
+            s: TernaryPoly::from_coeffs(coeffs),
+        })
+    }
+}
+
+/// A LAC ciphertext: the RLWE instance `u` and the compressed payload `v`.
+///
+/// `v` stores one 4-bit value per carried codeword coefficient (the top
+/// four bits of the original mod-q value); serialization packs two per
+/// byte, giving the paper's ‖ct‖ sizes (1424 bytes at level V).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ciphertext {
+    pub(crate) u: Poly,
+    pub(crate) v: Vec<u8>, // 4-bit values, one per entry
+}
+
+impl Ciphertext {
+    /// The RLWE instance u.
+    pub fn u(&self) -> &Poly {
+        &self.u
+    }
+
+    /// The compressed v component (one 4-bit value per entry).
+    pub fn v(&self) -> &[u8] {
+        &self.v
+    }
+
+    /// Serialize: u (one byte per coefficient) ‖ packed v (two 4-bit values
+    /// per byte, low nibble first).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.u.len() + self.v.len() / 2);
+        out.extend_from_slice(self.u.coeffs());
+        for pair in self.v.chunks(2) {
+            let lo = pair[0] & 0x0f;
+            let hi = pair.get(1).copied().unwrap_or(0) & 0x0f;
+            out.push(lo | (hi << 4));
+        }
+        out
+    }
+
+    /// Deserialize for the given parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::Length`] on a size mismatch and
+    /// [`DecodeError::Coefficient`] if a `u` coefficient is ≥ q.
+    pub fn from_bytes(params: &Params, bytes: &[u8]) -> Result<Self, DecodeError> {
+        let expected = params.ciphertext_bytes();
+        if bytes.len() != expected {
+            return Err(DecodeError::Length {
+                expected,
+                got: bytes.len(),
+            });
+        }
+        let n = params.n();
+        let u_bytes = &bytes[..n];
+        if let Some(bad) = u_bytes.iter().position(|&c| u16::from(c) >= Q) {
+            return Err(DecodeError::Coefficient { index: bad });
+        }
+        let mut v = Vec::with_capacity(params.lv());
+        for &b in &bytes[n..] {
+            v.push(b & 0x0f);
+            v.push(b >> 4);
+        }
+        v.truncate(params.lv());
+        Ok(Self {
+            u: Poly::from_coeffs(u_bytes.to_vec()),
+            v,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> Params {
+        Params::lac128()
+    }
+
+    #[test]
+    fn public_key_roundtrip() {
+        let pk = PublicKey {
+            seed_a: [7u8; 32],
+            b: Poly::from_coeffs((0..512u32).map(|i| (i % 251) as u8).collect()),
+        };
+        let bytes = pk.to_bytes();
+        assert_eq!(bytes.len(), params().public_key_bytes());
+        assert_eq!(PublicKey::from_bytes(&params(), &bytes).unwrap(), pk);
+    }
+
+    #[test]
+    fn public_key_rejects_bad_length() {
+        let err = PublicKey::from_bytes(&params(), &[0u8; 10]).unwrap_err();
+        assert!(matches!(err, DecodeError::Length { expected: 544, .. }));
+    }
+
+    #[test]
+    fn public_key_rejects_bad_coefficient() {
+        let mut bytes = vec![0u8; params().public_key_bytes()];
+        bytes[40] = 251;
+        let err = PublicKey::from_bytes(&params(), &bytes).unwrap_err();
+        assert_eq!(err, DecodeError::Coefficient { index: 40 });
+    }
+
+    #[test]
+    fn secret_key_roundtrip() {
+        let sk = SecretKey {
+            s: TernaryPoly::from_coeffs((0..512).map(|i| [0i8, 1, -1, 0][i % 4]).collect()),
+        };
+        let bytes = sk.to_bytes();
+        assert_eq!(bytes.len(), 512);
+        assert_eq!(SecretKey::from_bytes(&params(), &bytes).unwrap(), sk);
+    }
+
+    #[test]
+    fn secret_key_rejects_bad_byte() {
+        let mut bytes = vec![0u8; 512];
+        bytes[100] = 2;
+        let err = SecretKey::from_bytes(&params(), &bytes).unwrap_err();
+        assert_eq!(err, DecodeError::Coefficient { index: 100 });
+    }
+
+    #[test]
+    fn ciphertext_roundtrip() {
+        let ct = Ciphertext {
+            u: Poly::from_coeffs((0..512u32).map(|i| (i * 3 % 251) as u8).collect()),
+            v: (0..400u32).map(|i| (i % 16) as u8).collect(),
+        };
+        let bytes = ct.to_bytes();
+        assert_eq!(bytes.len(), params().ciphertext_bytes());
+        assert_eq!(Ciphertext::from_bytes(&params(), &bytes).unwrap(), ct);
+    }
+
+    #[test]
+    fn ciphertext_sizes_match_paper() {
+        assert_eq!(Params::lac128().ciphertext_bytes(), 712);
+        assert_eq!(Params::lac192().ciphertext_bytes(), 1188);
+        assert_eq!(Params::lac256().ciphertext_bytes(), 1424); // Table in §VI
+    }
+
+    #[test]
+    fn ciphertext_rejects_bad_length() {
+        assert!(Ciphertext::from_bytes(&params(), &[0u8; 3]).is_err());
+    }
+}

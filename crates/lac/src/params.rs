@@ -1,0 +1,229 @@
+//! LAC parameter sets (NIST round-2 style).
+
+use lac_bch::BchCode;
+
+/// NIST security category of a parameter set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SecurityCategory {
+    /// Category I (128-bit classical security).
+    I,
+    /// Category III (192-bit).
+    III,
+    /// Category V (256-bit).
+    V,
+}
+
+impl SecurityCategory {
+    /// Roman-numeral label as printed in the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            SecurityCategory::I => "I",
+            SecurityCategory::III => "III",
+            SecurityCategory::V => "V",
+        }
+    }
+}
+
+/// A LAC parameter set.
+///
+/// | set | n | q | secret weight | BCH | D2 |
+/// |-----|---|---|---------------|-----|----|
+/// | LAC-128 | 512 | 251 | 256 | (511,367,16) | no |
+/// | LAC-192 | 1024 | 251 | 256 | (511,439,8) | no |
+/// | LAC-256 | 1024 | 251 | 512 | (511,367,16) | yes |
+///
+/// All sets share q = 251, the negacyclic ring xⁿ + 1, and 256-bit
+/// messages. LAC-256 uses D2 double encoding: every codeword bit is carried
+/// by two ciphertext coefficients, halving the per-bit error rate at the
+/// cost of a larger `v` component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Params {
+    name: &'static str,
+    category: SecurityCategory,
+    n: usize,
+    weight: usize,
+    bch_t: usize,
+    d2: bool,
+}
+
+impl Params {
+    /// LAC-128 (category I): n = 512, weight 256, BCH(511,367,16).
+    pub const fn lac128() -> Self {
+        Self {
+            name: "LAC-128",
+            category: SecurityCategory::I,
+            n: 512,
+            weight: 256,
+            bch_t: 16,
+            d2: false,
+        }
+    }
+
+    /// LAC-192 (category III): n = 1024, weight 256, BCH(511,439,8).
+    pub const fn lac192() -> Self {
+        Self {
+            name: "LAC-192",
+            category: SecurityCategory::III,
+            n: 1024,
+            weight: 256,
+            bch_t: 8,
+            d2: false,
+        }
+    }
+
+    /// LAC-256 (category V): n = 1024, weight 512, BCH(511,367,16) with D2.
+    pub const fn lac256() -> Self {
+        Self {
+            name: "LAC-256",
+            category: SecurityCategory::V,
+            n: 1024,
+            weight: 512,
+            bch_t: 16,
+            d2: true,
+        }
+    }
+
+    /// All three parameter sets, in security order.
+    pub const ALL: [Params; 3] = [Self::lac128(), Self::lac192(), Self::lac256()];
+
+    /// Human-readable name ("LAC-128", …).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// NIST security category.
+    pub fn category(&self) -> SecurityCategory {
+        self.category
+    }
+
+    /// Ring dimension n.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Total number of nonzero coefficients in secrets/errors (half +1,
+    /// half −1).
+    pub fn weight(&self) -> usize {
+        self.weight
+    }
+
+    /// BCH correction capability t of the associated code.
+    pub fn bch_t(&self) -> usize {
+        self.bch_t
+    }
+
+    /// Whether D2 double encoding is used (LAC-256).
+    pub fn d2(&self) -> bool {
+        self.d2
+    }
+
+    /// Construct the parameter set's BCH code (this computes the generator
+    /// polynomial; construct once and reuse).
+    pub fn bch_code(&self) -> BchCode {
+        match self.bch_t {
+            8 => BchCode::lac_t8(),
+            16 => BchCode::lac_t16(),
+            t => unreachable!("no LAC parameter set uses t = {t}"),
+        }
+    }
+
+    /// Number of ciphertext `v` coefficients: the BCH codeword length,
+    /// doubled under D2.
+    pub fn lv(&self) -> usize {
+        let cw = match self.bch_t {
+            8 => 328,
+            16 => 400,
+            _ => unreachable!(),
+        };
+        if self.d2 {
+            2 * cw
+        } else {
+            cw
+        }
+    }
+
+    /// Public-key size in bytes: 32-byte seed plus n coefficient bytes.
+    pub fn public_key_bytes(&self) -> usize {
+        crate::SEED_BYTES + self.n
+    }
+
+    /// CPA secret-key size in bytes (one byte per ternary coefficient, as
+    /// in the LAC submission: ‖sk‖ = n).
+    pub fn secret_key_bytes(&self) -> usize {
+        self.n
+    }
+
+    /// Ciphertext size in bytes: n bytes of `u` plus the 4-bit-compressed
+    /// `v` (lv/2 bytes).
+    pub fn ciphertext_bytes(&self) -> usize {
+        self.n + self.lv() / 2
+    }
+
+    /// KEM secret-key size: CPA secret key + embedded public key + 32-byte
+    /// implicit-rejection secret.
+    pub fn kem_secret_key_bytes(&self) -> usize {
+        self.secret_key_bytes() + self.public_key_bytes() + crate::SEED_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lac128_parameters() {
+        let p = Params::lac128();
+        assert_eq!(p.n(), 512);
+        assert_eq!(p.weight(), 256);
+        assert_eq!(p.bch_t(), 16);
+        assert!(!p.d2());
+        assert_eq!(p.lv(), 400);
+        assert_eq!(p.category().label(), "I");
+    }
+
+    #[test]
+    fn lac192_parameters() {
+        let p = Params::lac192();
+        assert_eq!(p.n(), 1024);
+        assert_eq!(p.weight(), 256);
+        assert_eq!(p.bch_t(), 8);
+        assert_eq!(p.lv(), 328);
+    }
+
+    #[test]
+    fn lac256_parameters() {
+        let p = Params::lac256();
+        assert_eq!(p.n(), 1024);
+        assert_eq!(p.weight(), 512);
+        assert!(p.d2());
+        assert_eq!(p.lv(), 800);
+    }
+
+    #[test]
+    fn sizes_match_paper_level_v() {
+        // Section VI: for level V, LAC has ‖pk‖ ≈ 1054–1056, ‖sk‖ = 1024
+        // (CPA part) and ‖ct‖ = 1424 bytes.
+        let p = Params::lac256();
+        assert_eq!(p.public_key_bytes(), 1056);
+        assert_eq!(p.secret_key_bytes(), 1024);
+        assert_eq!(p.ciphertext_bytes(), 1424);
+    }
+
+    #[test]
+    fn lv_matches_codeword_lengths() {
+        for p in Params::ALL {
+            let code = p.bch_code();
+            let expect = code.codeword_len() * if p.d2() { 2 } else { 1 };
+            assert_eq!(p.lv(), expect, "{}", p.name());
+            assert!(p.lv() <= p.n(), "v must fit in one ring element");
+        }
+    }
+
+    #[test]
+    fn weights_are_even() {
+        for p in Params::ALL {
+            assert_eq!(p.weight() % 2, 0, "{}", p.name());
+            assert!(p.weight() <= p.n());
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Plain-text reporting helpers for cycle ledgers.
+//!
+//! The bench binaries use these to print paper-style rows; keeping the
+//! formatting here avoids each harness reinventing number formatting.
+
+use crate::{CycleLedger, Phase};
+use std::fmt::Write as _;
+
+/// Format an integer with thousands separators, like the paper's tables
+/// (e.g. `2,381,843`).
+pub fn thousands(n: u64) -> String {
+    let digits = n.to_string();
+    let bytes = digits.as_bytes();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, b) in bytes.iter().enumerate() {
+        if i > 0 && (bytes.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(*b as char);
+    }
+    out
+}
+
+/// Render a one-ledger summary: total plus non-zero phases.
+pub fn summary(ledger: &CycleLedger) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "total cycles: {}", thousands(ledger.total()));
+    for phase in Phase::ALL {
+        let cycles = ledger.phase_total(phase);
+        if cycles > 0 {
+            let _ = writeln!(out, "  {:<14} {:>14}", phase.label(), thousands(cycles));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Meter, Op};
+
+    #[test]
+    fn thousands_formatting() {
+        assert_eq!(thousands(0), "0");
+        assert_eq!(thousands(7), "7");
+        assert_eq!(thousands(999), "999");
+        assert_eq!(thousands(1000), "1,000");
+        assert_eq!(thousands(2_381_843), "2,381,843");
+        assert_eq!(thousands(10_516_000), "10,516,000");
+    }
+
+    #[test]
+    fn summary_lists_only_nonzero_phases() {
+        let mut l = CycleLedger::new();
+        l.enter(Phase::Mul);
+        l.charge(Op::Alu, 1);
+        l.leave();
+        let s = summary(&l);
+        assert!(s.contains("Multiplication"));
+        assert!(!s.contains("GenA"));
+    }
+}

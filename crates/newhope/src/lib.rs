@@ -1,0 +1,140 @@
+//! NewHope — the comparison baseline of the paper's reference \[8\].
+//!
+//! Table II of the DATE 2020 paper compares the optimized LAC co-design
+//! against "NewHope opt. \[8\]", a RISC-V co-processor accelerating the
+//! Number Theoretic Transform and the Keccak-based polynomial generation.
+//! To regenerate that row instead of quoting it, this crate implements the
+//! baseline system from scratch:
+//!
+//! * [`ntt`] — the negacyclic NTT over q = 12289 (with runtime-derived
+//!   roots of unity, forward/inverse, metered);
+//! * [`poly`] — polynomials over Z₁₂₂₈₉ with NewHope's 14-bit key packing
+//!   and 3-bit ciphertext compression (giving the paper's ‖pk‖ = 1824 and
+//!   ‖ct‖ = 2176 bytes at level V);
+//! * [`sample`] — SHAKE128 `GenA` and the centered-binomial noise sampler
+//!   (k = 8);
+//! * [`cpa`] — the CPA-secure KEM evaluated by \[8\] (encapsulation =
+//!   encryption, decapsulation = decryption, no re-encryption);
+//! * [`backend`] — software vs accelerated execution, the latter driving
+//!   the [`ntt_unit::NttUnit`] co-processor model and `lac-hw`'s
+//!   Keccak unit.
+//!
+//! NewHope's security (RLWE with binomial noise, no error-correcting code
+//! beyond threshold encoding) and its arithmetic (NTT multiplication) are
+//! exactly the features the paper contrasts with LAC's (ternary secrets,
+//! BCH, add/sub multiplier), so having both systems executable makes the
+//! comparison reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use newhope::{CpaKem, NewHopeParams, SoftwareBackend};
+//! use lac_meter::NullMeter;
+//! use rand::SeedableRng;
+//!
+//! let kem = CpaKem::new(NewHopeParams::newhope1024());
+//! let mut backend = SoftwareBackend::new();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let (pk, sk) = kem.keygen(&mut rng, &mut backend, &mut NullMeter);
+//! let (ct, k1) = kem.encapsulate(&mut rng, &pk, &mut backend, &mut NullMeter);
+//! let k2 = kem.decapsulate(&sk, &ct, &mut backend, &mut NullMeter);
+//! assert_eq!(k1, k2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod cpa;
+pub mod ntt;
+pub mod ntt_unit;
+pub mod poly;
+pub mod sample;
+
+pub use backend::{AcceleratedBackend, NhBackend, SoftwareBackend};
+pub use cpa::{CpaKem, NhCiphertext, NhPublicKey, NhSecretKey, NhSharedSecret};
+pub use ntt::{Ntt, NEWHOPE_Q};
+pub use poly::NhPoly;
+
+/// NewHope parameter set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NewHopeParams {
+    name: &'static str,
+    n: usize,
+    /// Coefficients carrying each message bit (threshold encoding).
+    redundancy: usize,
+}
+
+impl NewHopeParams {
+    /// NewHope512 (category I).
+    pub const fn newhope512() -> Self {
+        Self {
+            name: "NewHope512",
+            n: 512,
+            redundancy: 2,
+        }
+    }
+
+    /// NewHope1024 (category V — the set \[8\] reports).
+    pub const fn newhope1024() -> Self {
+        Self {
+            name: "NewHope1024",
+            n: 1024,
+            redundancy: 4,
+        }
+    }
+
+    /// Parameter-set name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Ring dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Coefficients per message bit.
+    pub fn redundancy(&self) -> usize {
+        self.redundancy
+    }
+
+    /// Public-key bytes: 14-bit-packed b plus the 32-byte seed
+    /// (NewHope1024: 1792 + 32 = 1824, the paper's ‖pk‖).
+    pub fn public_key_bytes(&self) -> usize {
+        self.n * 14 / 8 + 32
+    }
+
+    /// Secret-key bytes (14-bit-packed NTT-domain secret; NewHope1024:
+    /// 1792, the paper's ‖sk‖).
+    pub fn secret_key_bytes(&self) -> usize {
+        self.n * 14 / 8
+    }
+
+    /// Ciphertext bytes: 14-bit-packed u plus 3-bit-compressed v
+    /// (NewHope1024: 1792 + 384 = 2176, the paper's ‖ct‖).
+    pub fn ciphertext_bytes(&self) -> usize {
+        self.n * 14 / 8 + self.n * 3 / 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_paper_level_v() {
+        // Section VI: NewHope ‖pk‖ = 1824, ‖sk‖ = 1792, ‖ct‖ = 2176.
+        let p = NewHopeParams::newhope1024();
+        assert_eq!(p.public_key_bytes(), 1824);
+        assert_eq!(p.secret_key_bytes(), 1792);
+        assert_eq!(p.ciphertext_bytes(), 2176);
+    }
+
+    #[test]
+    fn lac_keys_are_smaller() {
+        // The paper's closing argument for LAC.
+        let nh = NewHopeParams::newhope1024();
+        assert!(1056 < nh.public_key_bytes());
+        assert!(1424 < nh.ciphertext_bytes());
+    }
+}

@@ -1,0 +1,339 @@
+//! The negacyclic Number Theoretic Transform over q = 12289.
+//!
+//! NewHope multiplies in Z_q\[x\]/(xⁿ+1) with an O(n log n) NTT — the
+//! arithmetic the paper contrasts with LAC's add/sub ternary multiplier
+//! (Section II: "In contrast to other lattice-based schemes, LAC does not
+//! use an NTT-based polynomial multiplication").
+//!
+//! The roots of unity are derived at construction time from a generator of
+//! Z_q^* (no magic constants): ψ is a primitive 2n-th root, ψ² drives the
+//! cyclic transform, and the pre-/post-scaling by powers of ψ folds the
+//! negacyclic reduction into the transform.
+
+use lac_meter::{Meter, Op};
+
+/// The NewHope modulus q = 12289 = 12·1024 + 1 (supports 4096-th roots).
+pub const NEWHOPE_Q: u32 = 12289;
+
+#[inline]
+fn add_q(a: u32, b: u32) -> u32 {
+    let s = a + b;
+    if s >= NEWHOPE_Q {
+        s - NEWHOPE_Q
+    } else {
+        s
+    }
+}
+
+#[inline]
+fn sub_q(a: u32, b: u32) -> u32 {
+    if a >= b {
+        a - b
+    } else {
+        a + NEWHOPE_Q - b
+    }
+}
+
+#[inline]
+fn mul_q(a: u32, b: u32) -> u32 {
+    (a * b) % NEWHOPE_Q
+}
+
+fn pow_q(mut base: u32, mut e: u32) -> u32 {
+    let mut acc = 1u32;
+    while e > 0 {
+        if e & 1 == 1 {
+            acc = mul_q(acc, base);
+        }
+        base = mul_q(base, base);
+        e >>= 1;
+    }
+    acc
+}
+
+/// Modular inverse via Fermat.
+fn inv_q(a: u32) -> u32 {
+    pow_q(a, NEWHOPE_Q - 2)
+}
+
+/// NTT context for a fixed power-of-two dimension n.
+#[derive(Debug, Clone)]
+pub struct Ntt {
+    n: usize,
+    /// ψ^i (bit-ordered), for the negacyclic pre-scale.
+    psi_pows: Vec<u32>,
+    /// ψ^{-i} · n^{-1}, for the negacyclic post-scale.
+    psi_inv_pows: Vec<u32>,
+    /// ω = ψ² (primitive n-th root) powers for the cyclic stages.
+    omega: u32,
+    omega_inv: u32,
+}
+
+impl Ntt {
+    /// Build the context for dimension `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two or exceeds the root support
+    /// (2n must divide q − 1).
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two(), "n must be a power of two");
+        assert_eq!(
+            (NEWHOPE_Q - 1) as usize % (2 * n),
+            0,
+            "q-1 must be divisible by 2n"
+        );
+        // Find a generator g of Z_q^* and derive ψ = g^((q−1)/2n).
+        let psi = (2u32..NEWHOPE_Q)
+            .map(|g| pow_q(g, (NEWHOPE_Q - 1) / (2 * n as u32)))
+            .find(|&cand| {
+                // ψ must be a *primitive* 2n-th root: ψ^n = −1.
+                pow_q(cand, n as u32) == NEWHOPE_Q - 1
+            })
+            .expect("a primitive 2n-th root exists");
+        let n_inv = inv_q(n as u32);
+        let psi_inv = inv_q(psi);
+        let psi_pows: Vec<u32> = (0..n).map(|i| pow_q(psi, i as u32)).collect();
+        let psi_inv_pows: Vec<u32> = (0..n)
+            .map(|i| mul_q(pow_q(psi_inv, i as u32), n_inv))
+            .collect();
+        Self {
+            n,
+            psi_pows,
+            psi_inv_pows,
+            omega: mul_q(psi, psi),
+            omega_inv: inv_q(mul_q(psi, psi)),
+        }
+    }
+
+    /// The dimension n.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    fn bit_reverse(values: &mut [u32]) {
+        let n = values.len();
+        let bits = n.trailing_zeros();
+        for i in 0..n {
+            let j = (i as u32).reverse_bits() >> (32 - bits);
+            if (j as usize) > i {
+                values.swap(i, j as usize);
+            }
+        }
+    }
+
+    /// In-place iterative cyclic NTT with root `omega`.
+    fn transform<M: Meter>(&self, values: &mut [u32], omega: u32, meter: &mut M) {
+        let n = self.n;
+        Self::bit_reverse(values);
+        let mut len = 2;
+        while len <= n {
+            let wlen = pow_q(omega, (n / len) as u32);
+            let half = len / 2;
+            for start in (0..n).step_by(len) {
+                let mut w = 1u32;
+                for j in 0..half {
+                    let u = values[start + j];
+                    let v = mul_q(values[start + j + half], w);
+                    values[start + j] = add_q(u, v);
+                    values[start + j + half] = sub_q(u, v);
+                    w = mul_q(w, wlen);
+                }
+            }
+            len <<= 1;
+        }
+        // Software butterfly cost: 2 loads, 2 multiplies (twiddle update +
+        // product), Barrett-style reduction ALU, 2 stores, loop overhead.
+        let butterflies = (n / 2 * n.trailing_zeros() as usize) as u64;
+        meter.charge(Op::Load, 2 * butterflies);
+        meter.charge(Op::Mul, 2 * butterflies);
+        meter.charge(Op::Alu, 5 * butterflies);
+        meter.charge(Op::Store, 2 * butterflies);
+        meter.charge(Op::LoopIter, butterflies);
+    }
+
+    /// Forward negacyclic NTT.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn forward<M: Meter>(&self, poly: &[u16], meter: &mut M) -> Vec<u16> {
+        assert_eq!(poly.len(), self.n, "length mismatch");
+        let mut values: Vec<u32> = poly
+            .iter()
+            .zip(&self.psi_pows)
+            .map(|(&c, &p)| mul_q(u32::from(c), p))
+            .collect();
+        meter.charge(Op::Mul, self.n as u64);
+        meter.charge(Op::Alu, 2 * self.n as u64);
+        self.transform(&mut values, self.omega, meter);
+        values.iter().map(|&v| v as u16).collect()
+    }
+
+    /// Inverse negacyclic NTT.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn inverse<M: Meter>(&self, values: &[u16], meter: &mut M) -> Vec<u16> {
+        assert_eq!(values.len(), self.n, "length mismatch");
+        let mut work: Vec<u32> = values.iter().map(|&v| u32::from(v)).collect();
+        self.transform(&mut work, self.omega_inv, meter);
+        meter.charge(Op::Mul, self.n as u64);
+        meter.charge(Op::Alu, 2 * self.n as u64);
+        work.iter()
+            .zip(&self.psi_inv_pows)
+            .map(|(&v, &p)| mul_q(v, p) as u16)
+            .collect()
+    }
+
+    /// Coefficient-wise product of two NTT-domain vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn pointwise<M: Meter>(&self, a: &[u16], b: &[u16], meter: &mut M) -> Vec<u16> {
+        assert_eq!(a.len(), self.n, "length mismatch");
+        assert_eq!(b.len(), self.n, "length mismatch");
+        meter.charge(Op::Load, 2 * self.n as u64);
+        meter.charge(Op::Mul, 2 * self.n as u64);
+        meter.charge(Op::Alu, 3 * self.n as u64);
+        meter.charge(Op::Store, self.n as u64);
+        meter.charge(Op::LoopIter, self.n as u64);
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| mul_q(u32::from(x), u32::from(y)) as u16)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lac_meter::{CycleLedger, NullMeter};
+    use proptest::prelude::*;
+
+    /// Schoolbook negacyclic product, the correctness reference.
+    fn negacyclic_reference(a: &[u16], b: &[u16]) -> Vec<u16> {
+        let n = a.len();
+        let q = NEWHOPE_Q as i64;
+        let mut acc = vec![0i64; n];
+        for i in 0..n {
+            for j in 0..n {
+                let prod = i64::from(a[i]) * i64::from(b[j]);
+                let k = i + j;
+                if k < n {
+                    acc[k] += prod;
+                } else {
+                    acc[k - n] -= prod;
+                }
+            }
+        }
+        acc.iter().map(|&v| (v.rem_euclid(q)) as u16).collect()
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        for n in [8usize, 64, 512, 1024] {
+            let ntt = Ntt::new(n);
+            let poly: Vec<u16> = (0..n).map(|i| (i as u32 * 7 % NEWHOPE_Q) as u16).collect();
+            let freq = ntt.forward(&poly, &mut NullMeter);
+            let back = ntt.inverse(&freq, &mut NullMeter);
+            assert_eq!(back, poly, "n={n}");
+        }
+    }
+
+    #[test]
+    fn convolution_matches_schoolbook_small() {
+        let n = 16;
+        let ntt = Ntt::new(n);
+        let a: Vec<u16> = (0..n).map(|i| (i as u32 * 123 % NEWHOPE_Q) as u16).collect();
+        let b: Vec<u16> = (0..n).map(|i| (i as u32 * 456 + 7) as u16 % 12289).collect();
+        let got = ntt.inverse(
+            &ntt.pointwise(
+                &ntt.forward(&a, &mut NullMeter),
+                &ntt.forward(&b, &mut NullMeter),
+                &mut NullMeter,
+            ),
+            &mut NullMeter,
+        );
+        assert_eq!(got, negacyclic_reference(&a, &b));
+    }
+
+    #[test]
+    fn convolution_matches_schoolbook_n512() {
+        let n = 512;
+        let ntt = Ntt::new(n);
+        let a: Vec<u16> = (0..n).map(|i| (i as u32 * 31 % NEWHOPE_Q) as u16).collect();
+        let b: Vec<u16> = (0..n).map(|i| (i as u32 * 97 % NEWHOPE_Q) as u16).collect();
+        let got = ntt.inverse(
+            &ntt.pointwise(
+                &ntt.forward(&a, &mut NullMeter),
+                &ntt.forward(&b, &mut NullMeter),
+                &mut NullMeter,
+            ),
+            &mut NullMeter,
+        );
+        assert_eq!(got, negacyclic_reference(&a, &b));
+    }
+
+    #[test]
+    fn negacyclic_wraparound_sign() {
+        // x^(n-1) · x = xⁿ ≡ −1.
+        let n = 8;
+        let ntt = Ntt::new(n);
+        let mut a = vec![0u16; n];
+        a[n - 1] = 1;
+        let mut b = vec![0u16; n];
+        b[1] = 1;
+        let got = ntt.inverse(
+            &ntt.pointwise(
+                &ntt.forward(&a, &mut NullMeter),
+                &ntt.forward(&b, &mut NullMeter),
+                &mut NullMeter,
+            ),
+            &mut NullMeter,
+        );
+        let mut expect = vec![0u16; n];
+        expect[0] = (NEWHOPE_Q - 1) as u16;
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn forward_cost_is_n_log_n() {
+        let ntt = Ntt::new(1024);
+        let poly = vec![1u16; 1024];
+        let mut l = CycleLedger::new();
+        ntt.forward(&poly, &mut l);
+        // 512 · 10 butterflies at ~14 modelled cycles each ≈ 80k; well
+        // below the n² ≈ 9.4M of a schoolbook product.
+        assert!((40_000..200_000).contains(&l.total()), "{}", l.total());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_roundtrip(coeffs in proptest::collection::vec(0u16..12289, 64)) {
+            let ntt = Ntt::new(64);
+            let freq = ntt.forward(&coeffs, &mut NullMeter);
+            prop_assert_eq!(ntt.inverse(&freq, &mut NullMeter), coeffs);
+        }
+
+        #[test]
+        fn prop_convolution(
+            a in proptest::collection::vec(0u16..12289, 32),
+            b in proptest::collection::vec(0u16..12289, 32)
+        ) {
+            let ntt = Ntt::new(32);
+            let got = ntt.inverse(
+                &ntt.pointwise(
+                    &ntt.forward(&a, &mut NullMeter),
+                    &ntt.forward(&b, &mut NullMeter),
+                    &mut NullMeter,
+                ),
+                &mut NullMeter,
+            );
+            prop_assert_eq!(got, negacyclic_reference(&a, &b));
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Polynomials over Z₁₂₂₈₉ with NewHope's wire formats.
+//!
+//! Keys pack 14-bit coefficients (4 per 7 bytes); the ciphertext's second
+//! component is compressed to 3 bits per coefficient. These two formats
+//! produce the byte sizes the paper quotes for NewHope in Section VI.
+
+use crate::ntt::NEWHOPE_Q;
+use lac_meter::{Meter, Op};
+
+/// A polynomial over Z₁₂₂₈₉, fixed length n.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NhPoly {
+    coeffs: Vec<u16>,
+}
+
+impl NhPoly {
+    /// The zero polynomial of length n.
+    pub fn zero(n: usize) -> Self {
+        Self {
+            coeffs: vec![0u16; n],
+        }
+    }
+
+    /// Build from coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a coefficient is ≥ q.
+    pub fn from_coeffs(coeffs: Vec<u16>) -> Self {
+        assert!(
+            coeffs.iter().all(|&c| u32::from(c) < NEWHOPE_Q),
+            "coefficient out of range"
+        );
+        Self { coeffs }
+    }
+
+    /// Length n.
+    pub fn len(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// True when degenerate (no coefficients).
+    pub fn is_empty(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Coefficient view.
+    pub fn coeffs(&self) -> &[u16] {
+        &self.coeffs
+    }
+
+    /// Coefficient-wise addition mod q.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn add<M: Meter>(&self, other: &Self, meter: &mut M) -> Self {
+        assert_eq!(self.len(), other.len(), "length mismatch");
+        let coeffs = self
+            .coeffs
+            .iter()
+            .zip(&other.coeffs)
+            .map(|(&a, &b)| {
+                let s = u32::from(a) + u32::from(b);
+                (if s >= NEWHOPE_Q { s - NEWHOPE_Q } else { s }) as u16
+            })
+            .collect();
+        meter.charge(Op::Load, 2 * self.len() as u64);
+        meter.charge(Op::Alu, 2 * self.len() as u64);
+        meter.charge(Op::Store, self.len() as u64);
+        meter.charge(Op::LoopIter, self.len() as u64);
+        Self { coeffs }
+    }
+
+    /// Coefficient-wise subtraction mod q.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn sub<M: Meter>(&self, other: &Self, meter: &mut M) -> Self {
+        assert_eq!(self.len(), other.len(), "length mismatch");
+        let coeffs = self
+            .coeffs
+            .iter()
+            .zip(&other.coeffs)
+            .map(|(&a, &b)| {
+                if a >= b {
+                    a - b
+                } else {
+                    (u32::from(a) + NEWHOPE_Q - u32::from(b)) as u16
+                }
+            })
+            .collect();
+        meter.charge(Op::Load, 2 * self.len() as u64);
+        meter.charge(Op::Alu, 2 * self.len() as u64);
+        meter.charge(Op::Store, self.len() as u64);
+        meter.charge(Op::LoopIter, self.len() as u64);
+        Self { coeffs }
+    }
+
+    /// Pack into 14-bit wire format (4 coefficients per 7 bytes), charging
+    /// the packing cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if n is not a multiple of 4.
+    pub fn to_bytes14<M: Meter>(&self, meter: &mut M) -> Vec<u8> {
+        assert_eq!(self.len() % 4, 0, "length must be a multiple of 4");
+        let mut out = Vec::with_capacity(self.len() * 14 / 8);
+        for chunk in self.coeffs.chunks_exact(4) {
+            let c = [
+                u64::from(chunk[0]),
+                u64::from(chunk[1]),
+                u64::from(chunk[2]),
+                u64::from(chunk[3]),
+            ];
+            let packed = c[0] | (c[1] << 14) | (c[2] << 28) | (c[3] << 42);
+            out.extend_from_slice(&packed.to_le_bytes()[..7]);
+        }
+        meter.charge(Op::Load, self.len() as u64);
+        meter.charge(Op::Alu, 2 * self.len() as u64);
+        meter.charge(Op::Store, (self.len() * 14 / 8) as u64);
+        meter.charge(Op::LoopIter, (self.len() / 4) as u64);
+        out
+    }
+
+    /// Unpack from the 14-bit wire format.
+    ///
+    /// Returns `None` if the byte length is wrong or a coefficient is ≥ q.
+    pub fn from_bytes14(bytes: &[u8], n: usize) -> Option<Self> {
+        if bytes.len() != n * 14 / 8 || n % 4 != 0 {
+            return None;
+        }
+        let mut coeffs = Vec::with_capacity(n);
+        for group in bytes.chunks_exact(7) {
+            let mut raw = [0u8; 8];
+            raw[..7].copy_from_slice(group);
+            let packed = u64::from_le_bytes(raw);
+            for k in 0..4 {
+                let c = ((packed >> (14 * k)) & 0x3fff) as u16;
+                if u32::from(c) >= NEWHOPE_Q {
+                    return None;
+                }
+                coeffs.push(c);
+            }
+        }
+        Some(Self { coeffs })
+    }
+
+    /// Compress each coefficient to 3 bits: ⌊c·8/q⌉ mod 8 (NewHope's
+    /// ciphertext compression), packed 8 coefficients per 3 bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if n is not a multiple of 8.
+    pub fn compress3<M: Meter>(&self, meter: &mut M) -> Vec<u8> {
+        assert_eq!(self.len() % 8, 0, "length must be a multiple of 8");
+        let mut out = Vec::with_capacity(self.len() * 3 / 8);
+        for chunk in self.coeffs.chunks_exact(8) {
+            let mut packed = 0u32;
+            for (k, &c) in chunk.iter().enumerate() {
+                let v = ((u64::from(c) * 8 + u64::from(NEWHOPE_Q) / 2) / u64::from(NEWHOPE_Q))
+                    as u32
+                    & 0x7;
+                packed |= v << (3 * k);
+            }
+            out.extend_from_slice(&packed.to_le_bytes()[..3]);
+        }
+        meter.charge(Op::Load, self.len() as u64);
+        meter.charge(Op::Mul, self.len() as u64);
+        meter.charge(Op::Alu, 4 * self.len() as u64);
+        meter.charge(Op::Store, (self.len() * 3 / 8) as u64);
+        meter.charge(Op::LoopIter, (self.len() / 8) as u64);
+        out
+    }
+
+    /// Decompress a 3-bit-compressed polynomial: c ↦ ⌊v·q/8⌉.
+    ///
+    /// Returns `None` on a wrong byte length.
+    pub fn decompress3(bytes: &[u8], n: usize) -> Option<Self> {
+        if bytes.len() != n * 3 / 8 || n % 8 != 0 {
+            return None;
+        }
+        let mut coeffs = Vec::with_capacity(n);
+        for group in bytes.chunks_exact(3) {
+            let packed = u32::from(group[0])
+                | (u32::from(group[1]) << 8)
+                | (u32::from(group[2]) << 16);
+            for k in 0..8 {
+                let v = (packed >> (3 * k)) & 0x7;
+                let c = ((v * NEWHOPE_Q + 4) / 8) % NEWHOPE_Q;
+                coeffs.push(c as u16);
+            }
+        }
+        Some(Self { coeffs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lac_meter::NullMeter;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pack14_roundtrip() {
+        let p = NhPoly::from_coeffs((0..1024u32).map(|i| (i * 11 % NEWHOPE_Q) as u16).collect());
+        let bytes = p.to_bytes14(&mut NullMeter);
+        assert_eq!(bytes.len(), 1792);
+        assert_eq!(NhPoly::from_bytes14(&bytes, 1024).expect("parses"), p);
+    }
+
+    #[test]
+    fn pack14_rejects_oversized_coefficients() {
+        // Encode a raw 14-bit value ≥ q directly into the wire bytes.
+        let mut bytes = vec![0u8; 7];
+        bytes[0] = 0xff;
+        bytes[1] = 0x3f; // coefficient 0 = 0x3fff = 16383 ≥ q
+        assert!(NhPoly::from_bytes14(&bytes, 4).is_none());
+    }
+
+    #[test]
+    fn compress3_bounds_error() {
+        // |decompress(compress(c)) − c| ≤ q/16 (rounding to 8 buckets),
+        // modulo the wrap at the top bucket.
+        let p = NhPoly::from_coeffs((0..1024u32).map(|i| (i * 12 % NEWHOPE_Q) as u16).collect());
+        let bytes = p.compress3(&mut NullMeter);
+        assert_eq!(bytes.len(), 384);
+        let back = NhPoly::decompress3(&bytes, 1024).expect("parses");
+        for (&orig, &dec) in p.coeffs().iter().zip(back.coeffs()) {
+            let q = NEWHOPE_Q as i64;
+            let diff = (i64::from(orig) - i64::from(dec)).rem_euclid(q);
+            let centered = diff.min(q - diff);
+            assert!(centered <= q / 16 + 1, "c={orig} -> {dec} (err {centered})");
+        }
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = NhPoly::from_coeffs(vec![0, 1, 12288, 6000]);
+        let b = NhPoly::from_coeffs(vec![12288, 12288, 12288, 7000]);
+        assert_eq!(a.add(&b, &mut NullMeter).sub(&b, &mut NullMeter), a);
+    }
+
+    #[test]
+    fn wrong_lengths_rejected() {
+        assert!(NhPoly::from_bytes14(&[0u8; 10], 1024).is_none());
+        assert!(NhPoly::decompress3(&[0u8; 10], 1024).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pack14_roundtrip(coeffs in proptest::collection::vec(0u16..12289, 64)) {
+            let p = NhPoly::from_coeffs(coeffs);
+            let bytes = p.to_bytes14(&mut NullMeter);
+            prop_assert_eq!(NhPoly::from_bytes14(&bytes, 64).expect("parses"), p);
+        }
+
+        #[test]
+        fn prop_compress_small_error(coeffs in proptest::collection::vec(0u16..12289, 32)) {
+            let p = NhPoly::from_coeffs(coeffs);
+            let back = NhPoly::decompress3(&p.compress3(&mut NullMeter), 32).expect("parses");
+            for (&orig, &dec) in p.coeffs().iter().zip(back.coeffs()) {
+                let q = NEWHOPE_Q as i64;
+                let diff = (i64::from(orig) - i64::from(dec)).rem_euclid(q);
+                let centered = diff.min(q - diff);
+                prop_assert!(centered <= q / 16 + 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! NewHope's samplers: uniform `GenA` from SHAKE128 and the centered
+//! binomial noise distribution Ψ₈.
+//!
+//! `GenA` samples the public polynomial directly in the NTT domain (the
+//! NewHope trick that saves one transform); noise coefficients are
+//! `HW(a) − HW(b)` over two 8-bit strings, giving a centered binomial with
+//! k = 8. All randomness flows through the backend's XOF so the two
+//! execution profiles charge their own costs.
+
+use crate::backend::NhBackend;
+use crate::ntt::NEWHOPE_Q;
+use crate::poly::NhPoly;
+use lac_meter::{Meter, Op, Phase};
+
+/// Expand the public polynomial â (NTT domain) from a 32-byte seed.
+///
+/// 16-bit little-endian candidates, rejected at ≥ 5·q (the NewHope
+/// reference's acceptance window, keeping the modulo cheap).
+pub fn gen_a<B: NhBackend + ?Sized>(
+    backend: &mut B,
+    seed: &[u8; 32],
+    n: usize,
+    meter: &mut dyn Meter,
+) -> NhPoly {
+    meter.enter(Phase::GenA);
+    let mut coeffs = Vec::with_capacity(n);
+    let mut counter = 0u8;
+    'outer: loop {
+        // Squeeze in blocks; a fresh domain byte per block keeps the
+        // stateless-backend interface simple.
+        let mut buf = [0u8; 336]; // two SHAKE128 rate blocks
+        backend.xof_expand(seed, counter, &mut buf, meter);
+        counter = counter.wrapping_add(1);
+        for pair in buf.chunks_exact(2) {
+            let candidate = u16::from_le_bytes([pair[0], pair[1]]);
+            meter.charge(Op::Load, 1);
+            meter.charge(Op::Alu, 2);
+            meter.charge(Op::Branch, 1);
+            meter.charge(Op::LoopIter, 1);
+            if u32::from(candidate) < 5 * NEWHOPE_Q {
+                coeffs.push((u32::from(candidate) % NEWHOPE_Q) as u16);
+                meter.charge(Op::Mul, 1); // Barrett fold for the % q
+                meter.charge(Op::Alu, 2);
+                meter.charge(Op::Store, 1);
+                if coeffs.len() == n {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    meter.leave();
+    NhPoly::from_coeffs(coeffs)
+}
+
+/// Sample a noise polynomial from the centered binomial Ψ₈.
+pub fn sample_noise<B: NhBackend + ?Sized>(
+    backend: &mut B,
+    seed: &[u8; 32],
+    domain: u8,
+    n: usize,
+    meter: &mut dyn Meter,
+) -> NhPoly {
+    meter.enter(Phase::SamplePoly);
+    let mut buf = vec![0u8; 2 * n];
+    backend.xof_expand(seed, domain, &mut buf, meter);
+    let mut coeffs = Vec::with_capacity(n);
+    for pair in buf.chunks_exact(2) {
+        let a = pair[0].count_ones();
+        let b = pair[1].count_ones();
+        let c = (a + NEWHOPE_Q - b) % NEWHOPE_Q;
+        coeffs.push(c as u16);
+        // Popcount via lookup + subtraction + wrap.
+        meter.charge(Op::Load, 4);
+        meter.charge(Op::Alu, 4);
+        meter.charge(Op::Store, 1);
+        meter.charge(Op::LoopIter, 1);
+    }
+    meter.leave();
+    NhPoly::from_coeffs(coeffs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::SoftwareBackend;
+    use lac_meter::NullMeter;
+
+    #[test]
+    fn gen_a_deterministic_and_uniform_ish() {
+        let mut b = SoftwareBackend::new();
+        let a1 = gen_a(&mut b, &[9u8; 32], 1024, &mut NullMeter);
+        let a2 = gen_a(&mut b, &[9u8; 32], 1024, &mut NullMeter);
+        assert_eq!(a1, a2);
+        let mean: f64 = a1.coeffs().iter().map(|&c| f64::from(c)).sum::<f64>() / 1024.0;
+        assert!((5000.0..7300.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn noise_is_centered_and_small() {
+        let mut b = SoftwareBackend::new();
+        let e = sample_noise(&mut b, &[3u8; 32], 1, 1024, &mut NullMeter);
+        let q = NEWHOPE_Q as i32;
+        let mut sum = 0i64;
+        for &c in e.coeffs() {
+            let centered = if i32::from(c) > q / 2 {
+                i32::from(c) - q
+            } else {
+                i32::from(c)
+            };
+            assert!(centered.abs() <= 8, "binomial k=8 bound");
+            sum += i64::from(centered);
+        }
+        let mean = sum as f64 / 1024.0;
+        assert!(mean.abs() < 0.6, "mean {mean}");
+    }
+
+    #[test]
+    fn different_domains_give_independent_noise() {
+        let mut b = SoftwareBackend::new();
+        let e1 = sample_noise(&mut b, &[3u8; 32], 1, 256, &mut NullMeter);
+        let e2 = sample_noise(&mut b, &[3u8; 32], 2, 256, &mut NullMeter);
+        assert_ne!(e1, e2);
+    }
+}

@@ -1,0 +1,268 @@
+//! Software polynomial multiplication (the LAC reference implementation's
+//! cost profile).
+//!
+//! The reference LAC code multiplies a ternary polynomial by a general one
+//! with a plain n² schoolbook loop — Table II measures this at ~2.38M cycles
+//! for n = 512 and ~9.48M for n = 1024 (independent of the secret's weight,
+//! i.e. the inner loop runs for zero coefficients too). [`mul_ternary`]
+//! charges exactly that profile: per inner iteration two loads, one
+//! multiply, one accumulate and the loop overhead (9 modelled cycles), plus
+//! a final Barrett reduction pass.
+
+use crate::{charge_barrett, reduce_i32, Convolution, Poly, TernaryPoly};
+use lac_meter::{Meter, Op, Phase};
+
+/// Multiply a ternary polynomial by a general polynomial in
+/// Z_q\[x\]/(xⁿ ∓ 1), schoolbook, metered under [`Phase::Mul`].
+///
+/// Implements Eq. (1) of the paper:
+/// cᵢ = Σ_{j≤i} aⱼ b_{i−j} ± Σ_{j>i} aⱼ b_{n+i−j} (sign by convolution).
+///
+/// # Panics
+///
+/// Panics if the operands have different lengths.
+pub fn mul_ternary<M: Meter>(
+    a: &TernaryPoly,
+    b: &Poly,
+    conv: Convolution,
+    meter: &mut M,
+) -> Poly {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let n = a.len();
+    let wrap = conv.wrap_sign();
+    meter.enter(Phase::Mul);
+    let mut acc = vec![0i32; n];
+    for (j, &aj) in a.coeffs().iter().enumerate() {
+        let aj = i32::from(aj);
+        for (k, &bk) in b.coeffs().iter().enumerate() {
+            let i = j + k;
+            let (idx, sign) = if i < n { (i, 1) } else { (i - n, wrap) };
+            acc[idx] += sign * aj * i32::from(bk);
+        }
+        // Reference-implementation cost: the inner loop runs over all n
+        // positions with a multiply-accumulate regardless of aj's value.
+        meter.charge(Op::Load, 2 * n as u64);
+        meter.charge(Op::Mul, n as u64);
+        meter.charge(Op::Alu, n as u64);
+        meter.charge(Op::LoopIter, n as u64);
+        meter.charge(Op::LoopIter, 1);
+        meter.charge(Op::Load, 1);
+    }
+    let coeffs = acc.iter().map(|&v| reduce_i32(v)).collect();
+    for _ in 0..n {
+        charge_barrett(meter);
+        meter.charge(Op::Load, 1);
+        meter.charge(Op::Store, 1);
+        meter.charge(Op::LoopIter, 1);
+    }
+    meter.leave();
+    Poly::from_coeffs(coeffs)
+}
+
+/// Full (unreduced) product of a ternary and a general polynomial: the
+/// result has length `2n − 1` and no ring reduction is applied. Used as the
+/// reference to validate the split algorithms and the hardware model.
+pub fn mul_full(a: &TernaryPoly, b: &Poly) -> Vec<i32> {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let n = a.len();
+    let mut acc = vec![0i32; 2 * n - 1];
+    for (j, &aj) in a.coeffs().iter().enumerate() {
+        if aj == 0 {
+            continue;
+        }
+        for (k, &bk) in b.coeffs().iter().enumerate() {
+            acc[j + k] += i32::from(aj) * i32::from(bk);
+        }
+    }
+    acc
+}
+
+/// Reduce a full product (length 2n−1 or 2n) into R_n with the given
+/// convolution. Reference helper for tests.
+pub fn reduce_full(full: &[i32], n: usize, conv: Convolution) -> Poly {
+    assert!(full.len() <= 2 * n, "full product too long for ring");
+    let wrap = conv.wrap_sign();
+    let mut acc = vec![0i32; n];
+    for (i, &v) in full.iter().enumerate() {
+        if i < n {
+            acc[i] += v;
+        } else {
+            acc[i - n] += wrap * v;
+        }
+    }
+    Poly::from_coeffs(acc.iter().map(|&v| reduce_i32(v)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lac_meter::{CycleLedger, NullMeter};
+    use proptest::prelude::*;
+
+    fn tp(c: &[i8]) -> TernaryPoly {
+        TernaryPoly::from_coeffs(c.to_vec())
+    }
+
+    fn gp(c: &[u8]) -> Poly {
+        Poly::from_coeffs(c.to_vec())
+    }
+
+    #[test]
+    fn small_cyclic_product() {
+        // (1 + x) * (1 + 2x) mod (x^2 - 1) = 1 + 2x + x + 2x^2
+        //  = (1 + 2) + 3x = 3 + 3x.
+        let a = tp(&[1, 1]);
+        let b = gp(&[1, 2]);
+        let c = mul_ternary(&a, &b, Convolution::Cyclic, &mut NullMeter);
+        assert_eq!(c.coeffs(), &[3, 3]);
+    }
+
+    #[test]
+    fn small_negacyclic_product() {
+        // Same product mod (x^2 + 1): 2x^2 ≡ −2 → (1 − 2) + 3x = −1 + 3x.
+        let a = tp(&[1, 1]);
+        let b = gp(&[1, 2]);
+        let c = mul_ternary(&a, &b, Convolution::Negacyclic, &mut NullMeter);
+        assert_eq!(c.coeffs(), &[250, 3]);
+    }
+
+    #[test]
+    fn negative_coefficient_subtracts() {
+        // (−1) * (5 + 7x) mod (x^2+1) = −5 − 7x = 246 + 244x.
+        let a = tp(&[-1, 0]);
+        let b = gp(&[5, 7]);
+        let c = mul_ternary(&a, &b, Convolution::Negacyclic, &mut NullMeter);
+        assert_eq!(c.coeffs(), &[246, 244]);
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let a = tp(&[1, 0, 0, 0]);
+        let b = gp(&[9, 8, 7, 6]);
+        for conv in [Convolution::Cyclic, Convolution::Negacyclic] {
+            assert_eq!(mul_ternary(&a, &b, conv, &mut NullMeter), b);
+        }
+    }
+
+    #[test]
+    fn x_times_poly_rotates() {
+        let a = tp(&[0, 1, 0, 0]); // x
+        let b = gp(&[1, 2, 3, 4]);
+        let cyc = mul_ternary(&a, &b, Convolution::Cyclic, &mut NullMeter);
+        assert_eq!(cyc.coeffs(), &[4, 1, 2, 3]);
+        let neg = mul_ternary(&a, &b, Convolution::Negacyclic, &mut NullMeter);
+        assert_eq!(neg.coeffs(), &[251 - 4, 1, 2, 3]);
+    }
+
+    #[test]
+    fn matches_full_then_reduce() {
+        let a = tp(&[1, -1, 0, 1, 1, 0, -1, 1]);
+        let b = gp(&[3, 1, 4, 1, 5, 9, 2, 6]);
+        let full = mul_full(&a, &b);
+        for conv in [Convolution::Cyclic, Convolution::Negacyclic] {
+            assert_eq!(
+                mul_ternary(&a, &b, conv, &mut NullMeter),
+                reduce_full(&full, 8, conv)
+            );
+        }
+    }
+
+    #[test]
+    fn reference_cost_profile_n512() {
+        // Table II: LAC reference multiplication on RISC-V ≈ 2,381,843
+        // cycles for n = 512. Our model must land within a few percent.
+        let a = TernaryPoly::zero(512);
+        let b = Poly::zero(512);
+        let mut l = CycleLedger::new();
+        mul_ternary(&a, &b, Convolution::Negacyclic, &mut l);
+        let total = l.total();
+        assert!(
+            (2_200_000..2_600_000).contains(&total),
+            "n=512 mul cost {total}"
+        );
+    }
+
+    #[test]
+    fn reference_cost_is_weight_independent() {
+        // The n=1024 rows for LAC-192 (weight 256) and LAC-256 (weight 512)
+        // report the same multiplication cost — the reference loop does not
+        // skip zeros.
+        let mut light = CycleLedger::new();
+        mul_ternary(
+            &TernaryPoly::zero(256),
+            &Poly::zero(256),
+            Convolution::Negacyclic,
+            &mut light,
+        );
+        let dense = TernaryPoly::from_coeffs(vec![1i8; 256]);
+        let mut heavy = CycleLedger::new();
+        mul_ternary(
+            &dense,
+            &Poly::from_coeffs(vec![250u8; 256]),
+            Convolution::Negacyclic,
+            &mut heavy,
+        );
+        assert_eq!(light.total(), heavy.total());
+    }
+
+    #[test]
+    fn cost_scales_quadratically() {
+        let mut small = CycleLedger::new();
+        mul_ternary(
+            &TernaryPoly::zero(128),
+            &Poly::zero(128),
+            Convolution::Negacyclic,
+            &mut small,
+        );
+        let mut big = CycleLedger::new();
+        mul_ternary(
+            &TernaryPoly::zero(256),
+            &Poly::zero(256),
+            Convolution::Negacyclic,
+            &mut big,
+        );
+        let ratio = big.total() as f64 / small.total() as f64;
+        assert!((3.5..4.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_reference_reduction(
+            a in proptest::collection::vec(-1i8..=1, 16),
+            b in proptest::collection::vec(0u8..251, 16)
+        ) {
+            let a = TernaryPoly::from_coeffs(a);
+            let b = Poly::from_coeffs(b);
+            let full = mul_full(&a, &b);
+            for conv in [Convolution::Cyclic, Convolution::Negacyclic] {
+                prop_assert_eq!(
+                    mul_ternary(&a, &b, conv, &mut NullMeter),
+                    reduce_full(&full, 16, conv)
+                );
+            }
+        }
+
+        #[test]
+        fn prop_distributes_over_addition(
+            a in proptest::collection::vec(-1i8..=1, 8),
+            b in proptest::collection::vec(0u8..251, 8),
+            c in proptest::collection::vec(0u8..251, 8)
+        ) {
+            let a = TernaryPoly::from_coeffs(a);
+            let b = Poly::from_coeffs(b);
+            let c = Poly::from_coeffs(c);
+            let lhs = mul_ternary(
+                &a,
+                &b.add(&c, &mut NullMeter),
+                Convolution::Negacyclic,
+                &mut NullMeter,
+            );
+            let rhs = mul_ternary(&a, &b, Convolution::Negacyclic, &mut NullMeter)
+                .add(
+                    &mul_ternary(&a, &c, Convolution::Negacyclic, &mut NullMeter),
+                    &mut NullMeter,
+                );
+            prop_assert_eq!(lhs, rhs);
+        }
+    }
+}

@@ -1,0 +1,704 @@
+//! A small two-pass RV32IM assembler.
+//!
+//! Supports labels, ABI register names, decimal/hex immediates, the common
+//! pseudo-instructions (`li`, `la`, `mv`, `j`, `call`, `ret`, `beqz`, …),
+//! the `.word`/`.space` data directives, and the four `pq.*` custom
+//! mnemonics. Enough to write the programs the examples and tests run on
+//! the simulator; not a full GNU-as replacement.
+//!
+//! # Example
+//!
+//! ```
+//! let words = lac_rv32::assemble("li a0, 7\necall").unwrap();
+//! assert_eq!(words.len(), 2);
+//! ```
+
+use crate::inst::PQ_OPCODE;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Assembly failure with line context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn reg(name: &str, line: usize) -> Result<u32, AsmError> {
+    let name = name.trim();
+    let idx = match name {
+        "zero" => 0,
+        "ra" => 1,
+        "sp" => 2,
+        "gp" => 3,
+        "tp" => 4,
+        "t0" => 5,
+        "t1" => 6,
+        "t2" => 7,
+        "s0" | "fp" => 8,
+        "s1" => 9,
+        "a0" => 10,
+        "a1" => 11,
+        "a2" => 12,
+        "a3" => 13,
+        "a4" => 14,
+        "a5" => 15,
+        "a6" => 16,
+        "a7" => 17,
+        "t3" => 28,
+        "t4" => 29,
+        "t5" => 30,
+        "t6" => 31,
+        _ => {
+            if let Some(rest) = name.strip_prefix('s') {
+                if let Ok(i) = rest.parse::<u32>() {
+                    if (2..=11).contains(&i) {
+                        return Ok(i + 16);
+                    }
+                }
+            }
+            if let Some(rest) = name.strip_prefix('x') {
+                if let Ok(i) = rest.parse::<u32>() {
+                    if i < 32 {
+                        return Ok(i);
+                    }
+                }
+            }
+            return Err(AsmError {
+                line,
+                message: format!("unknown register '{name}'"),
+            });
+        }
+    };
+    Ok(idx)
+}
+
+fn parse_int(text: &str, line: usize) -> Result<i64, AsmError> {
+    let t = text.trim();
+    let (neg, t) = if let Some(rest) = t.strip_prefix('-') {
+        (true, rest)
+    } else {
+        (false, t)
+    };
+    let value = if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else {
+        t.parse::<i64>()
+    }
+    .map_err(|_| AsmError {
+        line,
+        message: format!("invalid immediate '{text}'"),
+    })?;
+    Ok(if neg { -value } else { value })
+}
+
+#[derive(Debug, Clone)]
+enum Operand {
+    /// A numeric immediate (value parsed later, with line context).
+    Imm,
+    Label(String),
+}
+
+fn parse_imm_or_label(text: &str) -> Operand {
+    let t = text.trim();
+    let first = t.chars().next().unwrap_or(' ');
+    if first.is_ascii_digit() || first == '-' {
+        Operand::Imm
+    } else {
+        Operand::Label(t.to_string())
+    }
+}
+
+// Encoders -------------------------------------------------------------
+
+fn enc_r(f7: u32, rs2: u32, rs1: u32, f3: u32, rd: u32, opcode: u32) -> u32 {
+    (f7 << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | opcode
+}
+
+fn enc_i(imm: i32, rs1: u32, f3: u32, rd: u32, opcode: u32) -> u32 {
+    (((imm as u32) & 0xfff) << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | opcode
+}
+
+fn enc_s(imm: i32, rs2: u32, rs1: u32, f3: u32, opcode: u32) -> u32 {
+    let imm = imm as u32;
+    (((imm >> 5) & 0x7f) << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) | ((imm & 0x1f) << 7) | opcode
+}
+
+fn enc_b(imm: i32, rs2: u32, rs1: u32, f3: u32) -> u32 {
+    let imm = imm as u32;
+    (((imm >> 12) & 1) << 31)
+        | (((imm >> 5) & 0x3f) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (f3 << 12)
+        | (((imm >> 1) & 0xf) << 8)
+        | (((imm >> 11) & 1) << 7)
+        | 0x63
+}
+
+fn enc_u(imm: i32, rd: u32, opcode: u32) -> u32 {
+    ((imm as u32) & 0xffff_f000) | (rd << 7) | opcode
+}
+
+fn enc_j(imm: i32, rd: u32) -> u32 {
+    let imm = imm as u32;
+    (((imm >> 20) & 1) << 31)
+        | (((imm >> 1) & 0x3ff) << 21)
+        | (((imm >> 11) & 1) << 20)
+        | (((imm >> 12) & 0xff) << 12)
+        | (rd << 7)
+        | 0x6f
+}
+
+// Line model ------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Item {
+    line: usize,
+    mnemonic: String,
+    args: Vec<String>,
+    addr: u32,
+    size: u32,
+}
+
+fn split_args(rest: &str) -> Vec<String> {
+    if rest.trim().is_empty() {
+        return Vec::new();
+    }
+    rest.split(',').map(|a| a.trim().to_string()).collect()
+}
+
+fn csr_number(name: &str, line: usize) -> Result<u32, AsmError> {
+    match name.trim() {
+        "cycle" => Ok(0xc00),
+        "cycleh" => Ok(0xc80),
+        "instret" => Ok(0xc02),
+        "instreth" => Ok(0xc82),
+        "mscratch" => Ok(0x340),
+        other => parse_int(other, line).map(|v| v as u32 & 0xfff),
+    }
+}
+
+fn li_size(imm: i64) -> u32 {
+    if (-2048..=2047).contains(&imm) {
+        4
+    } else {
+        8
+    }
+}
+
+/// Assemble `source` into instruction words, origin address 0.
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] with the offending line for syntax errors,
+/// unknown mnemonics/registers/labels, or out-of-range immediates.
+pub fn assemble(source: &str) -> Result<Vec<u32>, AsmError> {
+    // Pass 1: strip comments, collect labels and item sizes.
+    let mut items: Vec<Item> = Vec::new();
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut addr: u32 = 0;
+
+    for (line_no, raw) in source.lines().enumerate() {
+        let line = line_no + 1;
+        let mut text = raw;
+        for marker in ["#", "//", ";"] {
+            if let Some(pos) = text.find(marker) {
+                text = &text[..pos];
+            }
+        }
+        let mut text = text.trim();
+        // Labels (possibly several on one line).
+        while let Some(colon) = text.find(':') {
+            let (label, rest) = text.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                break;
+            }
+            if labels.insert(label.to_string(), addr).is_some() {
+                return Err(AsmError {
+                    line,
+                    message: format!("duplicate label '{label}'"),
+                });
+            }
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        let (mnemonic, rest) = match text.find(char::is_whitespace) {
+            Some(pos) => (text[..pos].to_lowercase(), &text[pos..]),
+            None => (text.to_lowercase(), ""),
+        };
+        let args = split_args(rest);
+        let size = match mnemonic.as_str() {
+            ".word" | ".space" => {
+                if args.len() != 1 {
+                    return Err(AsmError {
+                        line,
+                        message: format!("{mnemonic} needs one argument"),
+                    });
+                }
+                if mnemonic == ".word" {
+                    4
+                } else {
+                    let n = parse_int(&args[0], line)? as u32;
+                    n.div_ceil(4) * 4
+                }
+            }
+            "li" => {
+                if args.len() != 2 {
+                    return Err(AsmError {
+                        line,
+                        message: "li needs rd, imm".into(),
+                    });
+                }
+                li_size(parse_int(&args[1], line)?)
+            }
+            "la" | "call" => 8,
+            _ => 4,
+        };
+        items.push(Item {
+            line,
+            mnemonic,
+            args,
+            addr,
+            size,
+        });
+        addr += size;
+    }
+
+    // Pass 2: encode.
+    let mut words: Vec<u32> = Vec::new();
+    for item in &items {
+        let line = item.line;
+        let err = |message: String| AsmError { line, message };
+        let label_addr = |name: &str| -> Result<u32, AsmError> {
+            labels
+                .get(name)
+                .copied()
+                .ok_or_else(|| err(format!("unknown label '{name}'")))
+        };
+        // Branch/jump target: label or numeric absolute offset.
+        let target = |arg: &str| -> Result<i32, AsmError> {
+            match parse_imm_or_label(arg) {
+                Operand::Imm => Ok(parse_int(arg, line)? as i32),
+                Operand::Label(name) => {
+                    Ok(label_addr(&name)? as i32 - item.addr as i32)
+                }
+            }
+        };
+        let need = |n: usize| -> Result<(), AsmError> {
+            if item.args.len() == n {
+                Ok(())
+            } else {
+                Err(err(format!(
+                    "'{}' expects {n} operands, got {}",
+                    item.mnemonic,
+                    item.args.len()
+                )))
+            }
+        };
+        let r = |i: usize| reg(&item.args[i], line);
+        let imm = |i: usize| parse_int(&item.args[i], line);
+        // "off(rs)" operand.
+        let mem = |i: usize| -> Result<(i32, u32), AsmError> {
+            let a = &item.args[i];
+            let open = a
+                .find('(')
+                .ok_or_else(|| err(format!("expected offset(reg), got '{a}'")))?;
+            let close = a
+                .rfind(')')
+                .ok_or_else(|| err(format!("expected offset(reg), got '{a}'")))?;
+            let off = if a[..open].trim().is_empty() {
+                0
+            } else {
+                parse_int(&a[..open], line)? as i32
+            };
+            Ok((off, reg(&a[open + 1..close], line)?))
+        };
+
+        let m = item.mnemonic.as_str();
+        match m {
+            ".word" => {
+                need(1)?;
+                words.push(imm(0)? as u32);
+                continue;
+            }
+            ".space" => {
+                for _ in 0..item.size / 4 {
+                    words.push(0);
+                }
+                continue;
+            }
+            _ => {}
+        }
+
+        let encoded: Vec<u32> = match m {
+            // U-type
+            "lui" => {
+                need(2)?;
+                vec![enc_u((imm(1)? as i32) << 12, r(0)?, 0x37)]
+            }
+            "auipc" => {
+                need(2)?;
+                vec![enc_u((imm(1)? as i32) << 12, r(0)?, 0x17)]
+            }
+            // Jumps
+            "jal" => match item.args.len() {
+                1 => vec![enc_j(target(&item.args[0])?, 1)],
+                2 => vec![enc_j(target(&item.args[1])?, r(0)?)],
+                _ => return Err(err("jal expects [rd,] label".into())),
+            },
+            "jalr" => match item.args.len() {
+                1 => vec![enc_i(0, r(0)?, 0, 1, 0x67)],
+                3 => vec![enc_i(imm(2)? as i32, r(1)?, 0, r(0)?, 0x67)],
+                _ => return Err(err("jalr expects rd, rs1, imm".into())),
+            },
+            "j" => {
+                need(1)?;
+                vec![enc_j(target(&item.args[0])?, 0)]
+            }
+            "jr" => {
+                need(1)?;
+                vec![enc_i(0, r(0)?, 0, 0, 0x67)]
+            }
+            "call" => {
+                need(1)?;
+                let dest = label_addr(&item.args[0])?;
+                let rel = dest as i32 - item.addr as i32;
+                let upper = (rel + 0x800) >> 12;
+                let lower = rel - (upper << 12);
+                vec![
+                    enc_u(upper << 12, 1, 0x17),
+                    enc_i(lower, 1, 0, 1, 0x67),
+                ]
+            }
+            "ret" => vec![enc_i(0, 1, 0, 0, 0x67)],
+            // Branches
+            "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" => {
+                need(3)?;
+                let f3 = match m {
+                    "beq" => 0,
+                    "bne" => 1,
+                    "blt" => 4,
+                    "bge" => 5,
+                    "bltu" => 6,
+                    _ => 7,
+                };
+                vec![enc_b(target(&item.args[2])?, r(1)?, r(0)?, f3)]
+            }
+            "bgt" | "ble" | "bgtu" | "bleu" => {
+                need(3)?;
+                let f3 = match m {
+                    "bgt" => 4,
+                    "ble" => 5,
+                    "bgtu" => 6,
+                    _ => 7,
+                };
+                // Swap operands: bgt a,b = blt b,a
+                vec![enc_b(target(&item.args[2])?, r(0)?, r(1)?, f3)]
+            }
+            "beqz" | "bnez" | "bltz" | "bgez" => {
+                need(2)?;
+                let f3 = match m {
+                    "beqz" => 0,
+                    "bnez" => 1,
+                    "bltz" => 4,
+                    _ => 5,
+                };
+                vec![enc_b(target(&item.args[1])?, 0, r(0)?, f3)]
+            }
+            // Loads / stores
+            "lb" | "lh" | "lw" | "lbu" | "lhu" => {
+                need(2)?;
+                let f3 = match m {
+                    "lb" => 0,
+                    "lh" => 1,
+                    "lw" => 2,
+                    "lbu" => 4,
+                    _ => 5,
+                };
+                let (off, base) = mem(1)?;
+                vec![enc_i(off, base, f3, r(0)?, 0x03)]
+            }
+            "sb" | "sh" | "sw" => {
+                need(2)?;
+                let f3 = match m {
+                    "sb" => 0,
+                    "sh" => 1,
+                    _ => 2,
+                };
+                let (off, base) = mem(1)?;
+                vec![enc_s(off, r(0)?, base, f3, 0x23)]
+            }
+            // OP-IMM
+            "addi" | "slti" | "sltiu" | "xori" | "ori" | "andi" => {
+                need(3)?;
+                let f3 = match m {
+                    "addi" => 0,
+                    "slti" => 2,
+                    "sltiu" => 3,
+                    "xori" => 4,
+                    "ori" => 6,
+                    _ => 7,
+                };
+                vec![enc_i(imm(2)? as i32, r(1)?, f3, r(0)?, 0x13)]
+            }
+            "slli" | "srli" | "srai" => {
+                need(3)?;
+                let sh = imm(2)? as u32 & 0x1f;
+                let (f7, f3) = match m {
+                    "slli" => (0u32, 1u32),
+                    "srli" => (0, 5),
+                    _ => (0x20, 5),
+                };
+                vec![enc_r(f7, sh, r(1)?, f3, r(0)?, 0x13)]
+            }
+            // OP
+            "add" | "sub" | "sll" | "slt" | "sltu" | "xor" | "srl" | "sra" | "or" | "and"
+            | "mul" | "mulh" | "mulhsu" | "mulhu" | "div" | "divu" | "rem" | "remu" => {
+                need(3)?;
+                let (f7, f3) = match m {
+                    "add" => (0x00u32, 0u32),
+                    "sub" => (0x20, 0),
+                    "sll" => (0x00, 1),
+                    "slt" => (0x00, 2),
+                    "sltu" => (0x00, 3),
+                    "xor" => (0x00, 4),
+                    "srl" => (0x00, 5),
+                    "sra" => (0x20, 5),
+                    "or" => (0x00, 6),
+                    "and" => (0x00, 7),
+                    "mul" => (0x01, 0),
+                    "mulh" => (0x01, 1),
+                    "mulhsu" => (0x01, 2),
+                    "mulhu" => (0x01, 3),
+                    "div" => (0x01, 4),
+                    "divu" => (0x01, 5),
+                    "rem" => (0x01, 6),
+                    _ => (0x01, 7),
+                };
+                vec![enc_r(f7, r(2)?, r(1)?, f3, r(0)?, 0x33)]
+            }
+            // PQ custom instructions
+            "pq.mul_ter" | "pq.mul_chien" | "pq.sha256" | "pq.modq" => {
+                need(3)?;
+                let f3 = match m {
+                    "pq.mul_ter" => 0,
+                    "pq.mul_chien" => 1,
+                    "pq.sha256" => 2,
+                    _ => 3,
+                };
+                vec![enc_r(0, r(2)?, r(1)?, f3, r(0)?, PQ_OPCODE)]
+            }
+            // Zicsr
+            "csrrw" | "csrrs" | "csrrc" => {
+                need(3)?;
+                let f3 = match m {
+                    "csrrw" => 1,
+                    "csrrs" => 2,
+                    _ => 3,
+                };
+                let csr = csr_number(&item.args[1], line)?;
+                vec![(csr << 20) | (r(2)? << 15) | (f3 << 12) | (r(0)? << 7) | 0x73]
+            }
+            "csrr" => {
+                need(2)?;
+                let csr = csr_number(&item.args[1], line)?;
+                vec![(csr << 20) | (2 << 12) | (r(0)? << 7) | 0x73]
+            }
+            "rdcycle" => {
+                need(1)?;
+                vec![(0xc00 << 20) | (2 << 12) | (r(0)? << 7) | 0x73]
+            }
+            "rdinstret" => {
+                need(1)?;
+                vec![(0xc02 << 20) | (2 << 12) | (r(0)? << 7) | 0x73]
+            }
+            // Pseudo
+            "nop" => vec![enc_i(0, 0, 0, 0, 0x13)],
+            "mv" => {
+                need(2)?;
+                vec![enc_i(0, r(1)?, 0, r(0)?, 0x13)]
+            }
+            "not" => {
+                need(2)?;
+                vec![enc_i(-1, r(1)?, 4, r(0)?, 0x13)]
+            }
+            "neg" => {
+                need(2)?;
+                vec![enc_r(0x20, r(1)?, 0, 0, r(0)?, 0x33)]
+            }
+            "seqz" => {
+                need(2)?;
+                vec![enc_i(1, r(1)?, 3, r(0)?, 0x13)]
+            }
+            "snez" => {
+                need(2)?;
+                vec![enc_r(0, r(1)?, 0, 3, r(0)?, 0x33)]
+            }
+            "li" => {
+                need(2)?;
+                let rd = r(0)?;
+                let value = imm(1)?;
+                if item.size == 4 {
+                    vec![enc_i(value as i32, 0, 0, rd, 0x13)]
+                } else {
+                    let value = value as i32;
+                    let upper = value.wrapping_add(0x800) >> 12;
+                    let lower = value.wrapping_sub(upper << 12);
+                    vec![enc_u(upper << 12, rd, 0x37), enc_i(lower, rd, 0, rd, 0x13)]
+                }
+            }
+            "la" => {
+                need(2)?;
+                let rd = r(0)?;
+                let dest = label_addr(&item.args[1])? as i32;
+                let upper = dest.wrapping_add(0x800) >> 12;
+                let lower = dest.wrapping_sub(upper << 12);
+                vec![enc_u(upper << 12, rd, 0x37), enc_i(lower, rd, 0, rd, 0x13)]
+            }
+            "ecall" => vec![0x0000_0073],
+            "ebreak" => vec![0x0010_0073],
+            "fence" => vec![0x0000_000f],
+            _ => {
+                return Err(err(format!("unknown mnemonic '{m}'")));
+            }
+        };
+        debug_assert_eq!(encoded.len() as u32 * 4, item.size, "size mismatch: {m}");
+        words.extend(encoded);
+    }
+    Ok(words)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{decode, Inst};
+
+    #[test]
+    fn encodes_known_words() {
+        // Cross-checked against GNU as output.
+        assert_eq!(assemble("ret").unwrap(), vec![0x0000_8067]);
+        assert_eq!(assemble("nop").unwrap(), vec![0x0000_0013]);
+        assert_eq!(assemble("ecall").unwrap(), vec![0x0000_0073]);
+        assert_eq!(assemble("addi a0, a0, 1").unwrap(), vec![0x0015_0513]);
+        assert_eq!(assemble("add a0, a1, a2").unwrap(), vec![0x00c5_8533]);
+        assert_eq!(assemble("lw a0, 4(sp)").unwrap(), vec![0x0041_2503]);
+        assert_eq!(assemble("sw a0, 4(sp)").unwrap(), vec![0x00a1_2223]);
+        assert_eq!(assemble("mul a0, a1, a2").unwrap(), vec![0x02c5_8533]);
+    }
+
+    #[test]
+    fn li_small_and_large() {
+        let small = assemble("li a0, -5").unwrap();
+        assert_eq!(small.len(), 1);
+        match decode(small[0]).unwrap() {
+            Inst::OpImm { imm: -5, rd: 10, .. } => {}
+            other => panic!("{other:?}"),
+        }
+        let large = assemble("li a0, 0x12345678").unwrap();
+        assert_eq!(large.len(), 2);
+    }
+
+    #[test]
+    fn labels_forward_and_backward() {
+        let words = assemble(
+            r#"
+            start:
+                beq  x0, x0, end
+                nop
+                j    start
+            end:
+                ecall
+            "#,
+        )
+        .unwrap();
+        // beq offset = +12 (3 instructions ahead).
+        match decode(words[0]).unwrap() {
+            Inst::Branch { offset, .. } => assert_eq!(offset, 12),
+            other => panic!("{other:?}"),
+        }
+        // j offset = -8.
+        match decode(words[2]).unwrap() {
+            Inst::Jal { rd: 0, offset } => assert_eq!(offset, -8),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pq_mnemonics_encode() {
+        let words = assemble(
+            "pq.mul_ter a0, a1, a2\npq.mul_chien a0, a1, a2\npq.sha256 a0, a1, a2\npq.modq a0, a1, a2",
+        )
+        .unwrap();
+        for (i, w) in words.iter().enumerate() {
+            assert_eq!(w & 0x7f, PQ_OPCODE);
+            assert_eq!((w >> 12) & 7, i as u32);
+        }
+    }
+
+    #[test]
+    fn word_and_space_directives() {
+        let words = assemble(".word 0xdeadbeef\n.space 8\n.word 7").unwrap();
+        assert_eq!(words, vec![0xdead_beef, 0, 0, 7]);
+    }
+
+    #[test]
+    fn la_resolves_data_labels() {
+        let words = assemble(
+            r#"
+                la a0, data
+                ecall
+            data:
+                .word 42
+            "#,
+        )
+        .unwrap();
+        assert_eq!(words.len(), 4);
+        assert_eq!(words[3], 42);
+    }
+
+    #[test]
+    fn abi_register_aliases() {
+        let a = assemble("add s5, s11, fp").unwrap();
+        let b = assemble("add x21, x27, x8").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("nop\nbogus a0, a1").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+    }
+
+    #[test]
+    fn unknown_label_reported() {
+        let e = assemble("j nowhere").unwrap_err();
+        assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let e = assemble("x:\nnop\nx:\nnop").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        let words = assemble("nop # trailing\n// whole line\n; also\nnop").unwrap();
+        assert_eq!(words.len(), 2);
+    }
+}

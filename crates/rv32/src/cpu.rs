@@ -1,0 +1,697 @@
+//! The RISCY-like CPU interpreter.
+//!
+//! A functional interpreter with a documented cycle model approximating the
+//! 4-stage RISCY pipeline:
+//!
+//! * 1 cycle per instruction,
+//! * +1 cycle load-use penalty on loads,
+//! * +2 cycles for taken branches and jumps (fetch flush),
+//! * +34 cycles for divisions (iterative divider),
+//! * PQ instructions stall for however long the PQ-ALU device reports.
+
+use crate::inst::{decode, decompress, AluOp, BranchOp, CsrOp, Inst, LoadOp, PqUnit, StoreOp};
+use crate::pq::PqAlu;
+use std::fmt;
+
+/// Reasons execution stopped abnormally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trap {
+    /// An instruction word failed to decode.
+    IllegalInstruction {
+        /// Faulting PC.
+        pc: u32,
+        /// Raw instruction bits.
+        word: u32,
+    },
+    /// A data access fell outside RAM.
+    MemoryFault {
+        /// Faulting PC.
+        pc: u32,
+        /// Faulting data address.
+        addr: u32,
+    },
+    /// Instruction fetch fell outside RAM.
+    FetchFault {
+        /// Faulting PC.
+        pc: u32,
+    },
+    /// `ebreak` executed.
+    Breakpoint {
+        /// PC of the breakpoint.
+        pc: u32,
+    },
+    /// The instruction budget given to [`Cpu::run`] was exhausted.
+    OutOfFuel,
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::IllegalInstruction { pc, word } => {
+                write!(f, "illegal instruction {word:#010x} at {pc:#010x}")
+            }
+            Trap::MemoryFault { pc, addr } => {
+                write!(f, "memory fault at address {addr:#010x} (pc {pc:#010x})")
+            }
+            Trap::FetchFault { pc } => write!(f, "fetch fault at {pc:#010x}"),
+            Trap::Breakpoint { pc } => write!(f, "breakpoint at {pc:#010x}"),
+            Trap::OutOfFuel => write!(f, "instruction budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+/// Snapshot returned on a clean `ecall` exit.
+#[derive(Debug, Clone)]
+pub struct ExitState {
+    /// Register file at exit.
+    pub regs: [u32; 32],
+    /// PC of the `ecall`.
+    pub pc: u32,
+    /// Modelled cycles consumed.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+}
+
+impl ExitState {
+    /// Read register `x<i>` at exit.
+    pub fn reg(&self, i: usize) -> u32 {
+        self.regs[i]
+    }
+}
+
+/// The simulated CPU: register file, PC, RAM and the PQ-ALU device.
+#[derive(Debug)]
+pub struct Cpu {
+    regs: [u32; 32],
+    pc: u32,
+    ram: Vec<u8>,
+    cycles: u64,
+    instructions: u64,
+    mscratch: u32,
+    pq: PqAlu,
+}
+
+impl Cpu {
+    /// Create a CPU with `ram_bytes` of zeroed RAM at address 0.
+    pub fn new(ram_bytes: usize) -> Self {
+        Self {
+            regs: [0u32; 32],
+            pc: 0,
+            ram: vec![0u8; ram_bytes],
+            cycles: 0,
+            instructions: 0,
+            mscratch: 0,
+            pq: PqAlu::new(),
+        }
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Set the program counter.
+    pub fn set_pc(&mut self, pc: u32) {
+        self.pc = pc;
+    }
+
+    /// Read register `x<i>`.
+    pub fn reg(&self, i: usize) -> u32 {
+        self.regs[i]
+    }
+
+    /// Write register `x<i>` (writes to x0 are ignored).
+    pub fn set_reg(&mut self, i: usize, value: u32) {
+        if i != 0 {
+            self.regs[i] = value;
+        }
+    }
+
+    /// Modelled cycles consumed so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Instructions retired so far.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// The PQ-ALU device (inspect accelerator state in tests).
+    pub fn pq(&self) -> &PqAlu {
+        &self.pq
+    }
+
+    /// Load 32-bit words at a byte address (little endian).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds RAM.
+    pub fn load_words(&mut self, addr: u32, words: &[u32]) {
+        for (i, w) in words.iter().enumerate() {
+            let a = addr as usize + 4 * i;
+            self.ram[a..a + 4].copy_from_slice(&w.to_le_bytes());
+        }
+    }
+
+    /// Write bytes into RAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds RAM.
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
+        let a = addr as usize;
+        self.ram[a..a + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Read bytes from RAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds RAM.
+    pub fn read_bytes(&self, addr: u32, len: usize) -> &[u8] {
+        &self.ram[addr as usize..addr as usize + len]
+    }
+
+    fn load(&self, pc: u32, addr: u32, size: usize) -> Result<u32, Trap> {
+        let a = addr as usize;
+        if a + size > self.ram.len() {
+            return Err(Trap::MemoryFault { pc, addr });
+        }
+        let mut v = 0u32;
+        for i in 0..size {
+            v |= u32::from(self.ram[a + i]) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    fn store(&mut self, pc: u32, addr: u32, size: usize, value: u32) -> Result<(), Trap> {
+        let a = addr as usize;
+        if a + size > self.ram.len() {
+            return Err(Trap::MemoryFault { pc, addr });
+        }
+        for i in 0..size {
+            self.ram[a + i] = (value >> (8 * i)) as u8;
+        }
+        Ok(())
+    }
+
+    /// Execute one instruction. Returns `Ok(true)` if it was `ecall`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Trap`] on decode/memory faults or `ebreak`.
+    pub fn step(&mut self) -> Result<bool, Trap> {
+        let pc = self.pc;
+        let half = self.load(pc, pc, 2)? as u16;
+        let (word, len) = if half & 0x3 == 0x3 {
+            (self.load(pc, pc, 4)?, 4)
+        } else {
+            let full = decompress(half).map_err(|e| Trap::IllegalInstruction {
+                pc,
+                word: e.word,
+            })?;
+            (full, 2)
+        };
+        let inst = decode(word).map_err(|e| Trap::IllegalInstruction { pc, word: e.word })?;
+        let mut next_pc = pc.wrapping_add(len);
+        self.cycles += 1;
+        self.instructions += 1;
+
+        match inst {
+            Inst::Lui { rd, imm } => self.set_reg(rd as usize, imm as u32),
+            Inst::Auipc { rd, imm } => self.set_reg(rd as usize, pc.wrapping_add(imm as u32)),
+            Inst::Jal { rd, offset } => {
+                self.set_reg(rd as usize, next_pc);
+                next_pc = pc.wrapping_add(offset as u32);
+                self.cycles += 2;
+            }
+            Inst::Jalr { rd, rs1, offset } => {
+                let target = self.regs[rs1 as usize].wrapping_add(offset as u32) & !1;
+                self.set_reg(rd as usize, next_pc);
+                next_pc = target;
+                self.cycles += 2;
+            }
+            Inst::Branch { op, rs1, rs2, offset } => {
+                let a = self.regs[rs1 as usize];
+                let b = self.regs[rs2 as usize];
+                let taken = match op {
+                    BranchOp::Eq => a == b,
+                    BranchOp::Ne => a != b,
+                    BranchOp::Lt => (a as i32) < (b as i32),
+                    BranchOp::Ge => (a as i32) >= (b as i32),
+                    BranchOp::Ltu => a < b,
+                    BranchOp::Geu => a >= b,
+                };
+                if taken {
+                    next_pc = pc.wrapping_add(offset as u32);
+                    self.cycles += 2;
+                }
+            }
+            Inst::Load { op, rd, rs1, offset } => {
+                let addr = self.regs[rs1 as usize].wrapping_add(offset as u32);
+                let value = match op {
+                    LoadOp::Byte => self.load(pc, addr, 1)? as i8 as i32 as u32,
+                    LoadOp::Half => self.load(pc, addr, 2)? as i16 as i32 as u32,
+                    LoadOp::Word => self.load(pc, addr, 4)?,
+                    LoadOp::ByteU => self.load(pc, addr, 1)?,
+                    LoadOp::HalfU => self.load(pc, addr, 2)?,
+                };
+                self.set_reg(rd as usize, value);
+                self.cycles += 1; // load-use stall
+            }
+            Inst::Store { op, rs1, rs2, offset } => {
+                let addr = self.regs[rs1 as usize].wrapping_add(offset as u32);
+                let value = self.regs[rs2 as usize];
+                match op {
+                    StoreOp::Byte => self.store(pc, addr, 1, value)?,
+                    StoreOp::Half => self.store(pc, addr, 2, value)?,
+                    StoreOp::Word => self.store(pc, addr, 4, value)?,
+                }
+            }
+            Inst::OpImm { op, rd, rs1, imm } => {
+                let a = self.regs[rs1 as usize];
+                let v = alu(op, a, imm as u32, &mut self.cycles);
+                self.set_reg(rd as usize, v);
+            }
+            Inst::Op { op, rd, rs1, rs2 } => {
+                let a = self.regs[rs1 as usize];
+                let b = self.regs[rs2 as usize];
+                let v = alu(op, a, b, &mut self.cycles);
+                self.set_reg(rd as usize, v);
+            }
+            Inst::Fence => {}
+            Inst::Ecall => {
+                self.pc = pc;
+                return Ok(true);
+            }
+            Inst::Ebreak => return Err(Trap::Breakpoint { pc }),
+            Inst::Csr { op, rd, rs1, csr } => {
+                // Read the old value (cycle/instret expose the core's own
+                // performance counters, as used by the paper's on-core
+                // measurements; mscratch is a scratch register).
+                let old = match csr {
+                    0xc00 => self.cycles as u32,          // cycle
+                    0xc80 => (self.cycles >> 32) as u32,  // cycleh
+                    0xc02 => self.instructions as u32,    // instret
+                    0xc82 => (self.instructions >> 32) as u32,
+                    0x340 => self.mscratch,
+                    _ => {
+                        return Err(Trap::IllegalInstruction { pc, word });
+                    }
+                };
+                let operand = self.regs[rs1 as usize];
+                let new = match op {
+                    CsrOp::Rw => Some(operand),
+                    CsrOp::Rs if rs1 != 0 => Some(old | operand),
+                    CsrOp::Rc if rs1 != 0 => Some(old & !operand),
+                    _ => None,
+                };
+                if let Some(value) = new {
+                    match csr {
+                        0x340 => self.mscratch = value,
+                        // Performance counters are read-only.
+                        _ => return Err(Trap::IllegalInstruction { pc, word }),
+                    }
+                }
+                self.set_reg(rd as usize, old);
+            }
+            Inst::Pq { unit, rd, rs1, rs2 } => {
+                let a = self.regs[rs1 as usize];
+                let b = self.regs[rs2 as usize];
+                let (value, stall) = match unit {
+                    PqUnit::MulTer => self.pq.mul_ter(a, b),
+                    PqUnit::MulChien => self.pq.mul_chien(a, b),
+                    PqUnit::Sha256 => self.pq.sha256(a, b),
+                    PqUnit::ModQ => self.pq.modq(a, b),
+                };
+                self.set_reg(rd as usize, value);
+                self.cycles += stall;
+            }
+        }
+
+        self.pc = next_pc;
+        Ok(false)
+    }
+
+    /// Run until `ecall`, a trap, or `max_instructions` retired.
+    ///
+    /// # Errors
+    ///
+    /// Returns the stopping [`Trap`] (including [`Trap::OutOfFuel`]).
+    pub fn run(&mut self, max_instructions: u64) -> Result<ExitState, Trap> {
+        let start = self.instructions;
+        while self.instructions - start < max_instructions {
+            if self.step()? {
+                return Ok(ExitState {
+                    regs: self.regs,
+                    pc: self.pc,
+                    cycles: self.cycles,
+                    instructions: self.instructions,
+                });
+            }
+        }
+        Err(Trap::OutOfFuel)
+    }
+}
+
+fn alu(op: AluOp, a: u32, b: u32, cycles: &mut u64) -> u32 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Sll => a << (b & 31),
+        AluOp::Slt => u32::from((a as i32) < (b as i32)),
+        AluOp::Sltu => u32::from(a < b),
+        AluOp::Xor => a ^ b,
+        AluOp::Srl => a >> (b & 31),
+        AluOp::Sra => ((a as i32) >> (b & 31)) as u32,
+        AluOp::Or => a | b,
+        AluOp::And => a & b,
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Mulh => (((a as i32 as i64) * (b as i32 as i64)) >> 32) as u32,
+        AluOp::Mulhsu => (((a as i32 as i64) * (b as u64 as i64)) >> 32) as u32,
+        AluOp::Mulhu => ((u64::from(a) * u64::from(b)) >> 32) as u32,
+        AluOp::Div => {
+            *cycles += 34;
+            if b == 0 {
+                u32::MAX
+            } else if a == 0x8000_0000 && b == u32::MAX {
+                a
+            } else {
+                ((a as i32) / (b as i32)) as u32
+            }
+        }
+        AluOp::Divu => {
+            *cycles += 34;
+            if b == 0 {
+                u32::MAX
+            } else {
+                a / b
+            }
+        }
+        AluOp::Rem => {
+            *cycles += 34;
+            if b == 0 {
+                a
+            } else if a == 0x8000_0000 && b == u32::MAX {
+                0
+            } else {
+                ((a as i32) % (b as i32)) as u32
+            }
+        }
+        AluOp::Remu => {
+            *cycles += 34;
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn run_program(src: &str) -> ExitState {
+        let words = assemble(src).unwrap();
+        let mut cpu = Cpu::new(1 << 20);
+        cpu.load_words(0, &words);
+        cpu.run(1_000_000).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_logic() {
+        let exit = run_program(
+            r#"
+                li   t0, 100
+                li   t1, 7
+                add  a0, t0, t1      # 107
+                sub  a1, t0, t1      # 93
+                and  a2, t0, t1      # 4
+                or   a3, t0, t1      # 103
+                xor  a4, t0, t1      # 99
+                ecall
+            "#,
+        );
+        assert_eq!(exit.reg(10), 107);
+        assert_eq!(exit.reg(11), 93);
+        assert_eq!(exit.reg(12), 100 & 7);
+        assert_eq!(exit.reg(13), 100 | 7);
+        assert_eq!(exit.reg(14), 100 ^ 7);
+    }
+
+    #[test]
+    fn shifts_and_compares() {
+        let exit = run_program(
+            r#"
+                li   t0, -16
+                srai a0, t0, 2       # -4
+                srli a1, t0, 28      # 15
+                slli a2, t0, 1       # -32
+                slti a3, t0, 0       # 1
+                sltiu a4, t0, 0      # 0
+                ecall
+            "#,
+        );
+        assert_eq!(exit.reg(10) as i32, -4);
+        assert_eq!(exit.reg(11), 15);
+        assert_eq!(exit.reg(12) as i32, -32);
+        assert_eq!(exit.reg(13), 1);
+        assert_eq!(exit.reg(14), 0);
+    }
+
+    #[test]
+    fn m_extension() {
+        let exit = run_program(
+            r#"
+                li   t0, -7
+                li   t1, 3
+                mul  a0, t0, t1      # -21
+                div  a1, t0, t1      # -2 (toward zero)
+                rem  a2, t0, t1      # -1
+                li   t2, 0
+                div  a3, t0, t2      # -1 (div by zero => all ones)
+                rem  a4, t0, t2      # dividend
+                ecall
+            "#,
+        );
+        assert_eq!(exit.reg(10) as i32, -21);
+        assert_eq!(exit.reg(11) as i32, -2);
+        assert_eq!(exit.reg(12) as i32, -1);
+        assert_eq!(exit.reg(13), u32::MAX);
+        assert_eq!(exit.reg(14) as i32, -7);
+    }
+
+    #[test]
+    fn loads_stores_all_widths() {
+        let exit = run_program(
+            r#"
+                li   t0, 0x1000
+                li   t1, -2
+                sw   t1, 0(t0)
+                lb   a0, 0(t0)       # 0xfe sign-extended = -2
+                lbu  a1, 0(t0)       # 0xfe = 254
+                lh   a2, 0(t0)       # -2
+                lhu  a3, 0(t0)       # 0xfffe
+                lw   a4, 0(t0)       # -2
+                li   t2, 0x1234
+                sh   t2, 8(t0)
+                lhu  a5, 8(t0)
+                ecall
+            "#,
+        );
+        assert_eq!(exit.reg(10) as i32, -2);
+        assert_eq!(exit.reg(11), 254);
+        assert_eq!(exit.reg(12) as i32, -2);
+        assert_eq!(exit.reg(13), 0xfffe);
+        assert_eq!(exit.reg(14) as i32, -2);
+        assert_eq!(exit.reg(15), 0x1234);
+    }
+
+    #[test]
+    fn loops_and_branches() {
+        // Sum 1..=10 with a loop.
+        let exit = run_program(
+            r#"
+                li   a0, 0
+                li   t0, 1
+                li   t1, 11
+            loop:
+                add  a0, a0, t0
+                addi t0, t0, 1
+                bne  t0, t1, loop
+                ecall
+            "#,
+        );
+        assert_eq!(exit.reg(10), 55);
+    }
+
+    #[test]
+    fn function_call_and_return() {
+        let exit = run_program(
+            r#"
+                li   a0, 20
+                jal  ra, double
+                jal  ra, double
+                ecall
+            double:
+                add  a0, a0, a0
+                ret
+            "#,
+        );
+        assert_eq!(exit.reg(10), 80);
+    }
+
+    #[test]
+    fn x0_is_hardwired_zero() {
+        let exit = run_program(
+            r#"
+                li   x0, 123
+                add  a0, x0, x0
+                ecall
+            "#,
+        );
+        assert_eq!(exit.reg(10), 0);
+        assert_eq!(exit.reg(0), 0);
+    }
+
+    #[test]
+    fn taken_branch_costs_more() {
+        let taken = run_program(
+            r#"
+                li t0, 1
+                beq t0, t0, skip
+                nop
+            skip:
+                ecall
+            "#,
+        );
+        let not_taken = run_program(
+            r#"
+                li t0, 1
+                beq t0, x0, skip
+                nop
+            skip:
+                ecall
+            "#,
+        );
+        // Same retired instruction count modulo the skipped nop; the taken
+        // version pays the flush penalty.
+        assert!(taken.cycles >= not_taken.cycles);
+    }
+
+    #[test]
+    fn memory_fault_traps() {
+        let words = assemble("li t0, 0x7fffffff\nlw a0, 0(t0)\necall").unwrap();
+        let mut cpu = Cpu::new(1 << 16);
+        cpu.load_words(0, &words);
+        match cpu.run(100) {
+            Err(Trap::MemoryFault { .. }) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn illegal_instruction_traps() {
+        let mut cpu = Cpu::new(1 << 16);
+        cpu.load_words(0, &[0xffff_ffff]);
+        match cpu.run(10) {
+            Err(Trap::IllegalInstruction { .. }) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn ebreak_traps() {
+        let words = assemble("ebreak").unwrap();
+        let mut cpu = Cpu::new(1 << 16);
+        cpu.load_words(0, &words);
+        assert!(matches!(cpu.run(10), Err(Trap::Breakpoint { pc: 0 })));
+    }
+
+    #[test]
+    fn rdcycle_measures_elapsed_cycles() {
+        // Measure the cost of a div instruction from inside the program.
+        let exit = run_program(
+            r#"
+                rdcycle t0
+                li   t1, 100
+                li   t2, 7
+                div  t3, t1, t2
+                rdcycle t1
+                sub  a0, t1, t0
+                ecall
+            "#,
+        );
+        // 2x li (1 each) + div (1 + 34) + the second rdcycle itself (1).
+        assert_eq!(exit.reg(10), 2 + 35 + 1);
+    }
+
+    #[test]
+    fn rdinstret_counts_instructions() {
+        let exit = run_program(
+            r#"
+                rdinstret t0
+                nop
+                nop
+                nop
+                rdinstret t1
+                sub  a0, t1, t0
+                ecall
+            "#,
+        );
+        assert_eq!(exit.reg(10), 4); // 3 nops + the second rdinstret
+    }
+
+    #[test]
+    fn mscratch_is_readable_and_writable() {
+        let exit = run_program(
+            r#"
+                li    t0, 0x1234
+                csrrw zero, mscratch, t0
+                csrr  a0, mscratch
+                ecall
+            "#,
+        );
+        assert_eq!(exit.reg(10), 0x1234);
+    }
+
+    #[test]
+    fn writing_read_only_counter_traps() {
+        let words = assemble("li t0, 5
+csrrw zero, cycle, t0
+ecall").unwrap();
+        let mut cpu = Cpu::new(1 << 16);
+        cpu.load_words(0, &words);
+        assert!(matches!(
+            cpu.run(10),
+            Err(Trap::IllegalInstruction { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_csr_traps() {
+        let words = assemble("csrr a0, 0x7c0
+ecall").unwrap();
+        let mut cpu = Cpu::new(1 << 16);
+        cpu.load_words(0, &words);
+        assert!(matches!(
+            cpu.run(10),
+            Err(Trap::IllegalInstruction { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_fuel() {
+        let words = assemble("loop: j loop").unwrap();
+        let mut cpu = Cpu::new(1 << 16);
+        cpu.load_words(0, &words);
+        assert!(matches!(cpu.run(100), Err(Trap::OutOfFuel)));
+    }
+}

@@ -1,0 +1,234 @@
+//! A disassembler matching the assembler's syntax.
+//!
+//! [`disassemble`] renders a decoded [`Inst`] in the same syntax
+//! [`crate::asm::assemble`] accepts, so `assemble ∘ disassemble ∘ decode`
+//! is the identity on encodable instructions — handy for debugging
+//! simulator traces and asserted by round-trip tests.
+
+use crate::inst::{AluOp, BranchOp, CsrOp, Inst, LoadOp, PqUnit, StoreOp};
+
+/// ABI name of register `x<i>`.
+pub fn reg_name(i: u8) -> &'static str {
+    const NAMES: [&str; 32] = [
+        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
+        "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+        "t3", "t4", "t5", "t6",
+    ];
+    NAMES[i as usize]
+}
+
+fn alu_name(op: AluOp, imm: bool) -> &'static str {
+    match (op, imm) {
+        (AluOp::Add, false) => "add",
+        (AluOp::Add, true) => "addi",
+        (AluOp::Sub, _) => "sub",
+        (AluOp::Sll, false) => "sll",
+        (AluOp::Sll, true) => "slli",
+        (AluOp::Slt, false) => "slt",
+        (AluOp::Slt, true) => "slti",
+        (AluOp::Sltu, false) => "sltu",
+        (AluOp::Sltu, true) => "sltiu",
+        (AluOp::Xor, false) => "xor",
+        (AluOp::Xor, true) => "xori",
+        (AluOp::Srl, false) => "srl",
+        (AluOp::Srl, true) => "srli",
+        (AluOp::Sra, false) => "sra",
+        (AluOp::Sra, true) => "srai",
+        (AluOp::Or, false) => "or",
+        (AluOp::Or, true) => "ori",
+        (AluOp::And, false) => "and",
+        (AluOp::And, true) => "andi",
+        (AluOp::Mul, _) => "mul",
+        (AluOp::Mulh, _) => "mulh",
+        (AluOp::Mulhsu, _) => "mulhsu",
+        (AluOp::Mulhu, _) => "mulhu",
+        (AluOp::Div, _) => "div",
+        (AluOp::Divu, _) => "divu",
+        (AluOp::Rem, _) => "rem",
+        (AluOp::Remu, _) => "remu",
+    }
+}
+
+/// Render one instruction in assembler syntax. Branch and jump targets are
+/// shown as numeric byte offsets relative to the instruction.
+pub fn disassemble(inst: Inst) -> String {
+    let r = reg_name;
+    match inst {
+        Inst::Lui { rd, imm } => format!("lui {}, {}", r(rd), imm >> 12),
+        Inst::Auipc { rd, imm } => format!("auipc {}, {}", r(rd), imm >> 12),
+        Inst::Jal { rd, offset } => format!("jal {}, {}", r(rd), offset),
+        Inst::Jalr { rd, rs1, offset } => {
+            format!("jalr {}, {}, {}", r(rd), r(rs1), offset)
+        }
+        Inst::Branch { op, rs1, rs2, offset } => {
+            let name = match op {
+                BranchOp::Eq => "beq",
+                BranchOp::Ne => "bne",
+                BranchOp::Lt => "blt",
+                BranchOp::Ge => "bge",
+                BranchOp::Ltu => "bltu",
+                BranchOp::Geu => "bgeu",
+            };
+            format!("{name} {}, {}, {}", r(rs1), r(rs2), offset)
+        }
+        Inst::Load { op, rd, rs1, offset } => {
+            let name = match op {
+                LoadOp::Byte => "lb",
+                LoadOp::Half => "lh",
+                LoadOp::Word => "lw",
+                LoadOp::ByteU => "lbu",
+                LoadOp::HalfU => "lhu",
+            };
+            format!("{name} {}, {}({})", r(rd), offset, r(rs1))
+        }
+        Inst::Store { op, rs1, rs2, offset } => {
+            let name = match op {
+                StoreOp::Byte => "sb",
+                StoreOp::Half => "sh",
+                StoreOp::Word => "sw",
+            };
+            format!("{name} {}, {}({})", r(rs2), offset, r(rs1))
+        }
+        Inst::OpImm { op, rd, rs1, imm } => {
+            format!("{} {}, {}, {}", alu_name(op, true), r(rd), r(rs1), imm)
+        }
+        Inst::Op { op, rd, rs1, rs2 } => {
+            format!("{} {}, {}, {}", alu_name(op, false), r(rd), r(rs1), r(rs2))
+        }
+        Inst::Csr { op, rd, rs1, csr } => {
+            let name = match op {
+                CsrOp::Rw => "csrrw",
+                CsrOp::Rs => "csrrs",
+                CsrOp::Rc => "csrrc",
+            };
+            let csr_name = match csr {
+                0xc00 => "cycle".to_string(),
+                0xc80 => "cycleh".to_string(),
+                0xc02 => "instret".to_string(),
+                0xc82 => "instreth".to_string(),
+                0x340 => "mscratch".to_string(),
+                other => format!("{other:#x}"),
+            };
+            format!("{name} {}, {csr_name}, {}", r(rd), r(rs1))
+        }
+        Inst::Fence => "fence".into(),
+        Inst::Ecall => "ecall".into(),
+        Inst::Ebreak => "ebreak".into(),
+        Inst::Pq { unit, rd, rs1, rs2 } => {
+            let name = match unit {
+                PqUnit::MulTer => "pq.mul_ter",
+                PqUnit::MulChien => "pq.mul_chien",
+                PqUnit::Sha256 => "pq.sha256",
+                PqUnit::ModQ => "pq.modq",
+            };
+            format!("{name} {}, {}, {}", r(rd), r(rs1), r(rs2))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::inst::decode;
+
+    /// assemble → decode → disassemble → assemble must reproduce the word.
+    fn roundtrip(src: &str) {
+        let words = assemble(src).unwrap_or_else(|e| panic!("{src}: {e}"));
+        for &w in &words {
+            let inst = decode(w).unwrap_or_else(|e| panic!("{src}: {e}"));
+            let text = disassemble(inst);
+            let again = assemble(&text).unwrap_or_else(|e| panic!("'{text}': {e}"));
+            assert_eq!(again, vec![w], "{src} → '{text}'");
+        }
+    }
+
+    #[test]
+    fn roundtrips_r_and_i_types() {
+        for src in [
+            "add a0, a1, a2",
+            "sub t0, t1, t2",
+            "xor s2, s3, s4",
+            "sll t3, t4, t5",
+            "mul a0, a1, a2",
+            "divu s10, s11, t6",
+            "addi a0, a0, -2048",
+            "andi t0, t1, 255",
+            "slli a0, a1, 31",
+            "srai a2, a3, 1",
+            "sltiu a4, a5, 1",
+        ] {
+            roundtrip(src);
+        }
+    }
+
+    #[test]
+    fn roundtrips_memory_ops() {
+        for src in [
+            "lw a0, 0(sp)",
+            "lb t0, -1(a0)",
+            "lhu s1, 2046(gp)",
+            "sw ra, 4(sp)",
+            "sb a7, -128(t6)",
+            "sh zero, 0(a0)",
+        ] {
+            roundtrip(src);
+        }
+    }
+
+    #[test]
+    fn roundtrips_control_flow() {
+        for src in [
+            "jal ra, 2048",
+            "jal zero, -4",
+            "jalr ra, t0, 12",
+            "beq a0, a1, 16",
+            "bgeu t0, t1, -64",
+            "ecall",
+            "ebreak",
+            "fence",
+            "lui a0, 493",
+            "auipc t0, -1",
+        ] {
+            roundtrip(src);
+        }
+    }
+
+    #[test]
+    fn roundtrips_pq_instructions() {
+        for src in [
+            "pq.mul_ter a0, a1, a2",
+            "pq.mul_chien t0, t1, t2",
+            "pq.sha256 zero, a0, a1",
+            "pq.modq a0, a0, zero",
+        ] {
+            roundtrip(src);
+        }
+    }
+
+    #[test]
+    fn roundtrips_csr_instructions() {
+        for src in [
+            "csrrs a0, cycle, zero",
+            "csrrw zero, mscratch, t0",
+            "csrrc t1, instret, t2",
+        ] {
+            roundtrip(src);
+        }
+    }
+
+    #[test]
+    fn register_names_are_canonical() {
+        assert_eq!(reg_name(0), "zero");
+        assert_eq!(reg_name(2), "sp");
+        assert_eq!(reg_name(10), "a0");
+        assert_eq!(reg_name(31), "t6");
+    }
+
+    #[test]
+    fn disassembles_readably() {
+        let words = assemble("addi a0, zero, 42").unwrap();
+        let text = disassemble(decode(words[0]).unwrap());
+        assert_eq!(text, "addi a0, zero, 42");
+    }
+}

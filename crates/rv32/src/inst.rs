@@ -1,0 +1,803 @@
+//! Instruction decoding: RV32I base, M extension, C extension (via
+//! decompression) and the PQ-ALU custom instructions (opcode `0x77`).
+
+use std::fmt;
+
+/// Conditional branch comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchOp {
+    /// `beq`
+    Eq,
+    /// `bne`
+    Ne,
+    /// `blt` (signed)
+    Lt,
+    /// `bge` (signed)
+    Ge,
+    /// `bltu`
+    Ltu,
+    /// `bgeu`
+    Geu,
+}
+
+/// Memory load widths/extensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadOp {
+    /// `lb` (sign-extended byte)
+    Byte,
+    /// `lh` (sign-extended halfword)
+    Half,
+    /// `lw`
+    Word,
+    /// `lbu`
+    ByteU,
+    /// `lhu`
+    HalfU,
+}
+
+/// Memory store widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreOp {
+    /// `sb`
+    Byte,
+    /// `sh`
+    Half,
+    /// `sw`
+    Word,
+}
+
+/// Register-register / register-immediate ALU operations (incl. the M
+/// extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Sll,
+    Slt,
+    Sltu,
+    Xor,
+    Srl,
+    Sra,
+    Or,
+    And,
+    Mul,
+    Mulh,
+    Mulhsu,
+    Mulhu,
+    Div,
+    Divu,
+    Rem,
+    Remu,
+}
+
+/// CSR access operations (Zicsr subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CsrOp {
+    /// `csrrw` — atomic read/write.
+    Rw,
+    /// `csrrs` — atomic read and set bits.
+    Rs,
+    /// `csrrc` — atomic read and clear bits.
+    Rc,
+}
+
+/// The four PQ-ALU units selected by funct3 (Fig. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PqUnit {
+    /// `pq.mul_ter` (funct3 = 0)
+    MulTer,
+    /// `pq.mul_chien` (funct3 = 1)
+    MulChien,
+    /// `pq.sha256` (funct3 = 2)
+    Sha256,
+    /// `pq.modq` (funct3 = 3)
+    ModQ,
+}
+
+impl PqUnit {
+    /// The funct3 encoding of this unit.
+    pub fn funct3(self) -> u32 {
+        match self {
+            PqUnit::MulTer => 0,
+            PqUnit::MulChien => 1,
+            PqUnit::Sha256 => 2,
+            PqUnit::ModQ => 3,
+        }
+    }
+}
+
+/// The major opcode shared by all PQ instructions (Section V).
+pub const PQ_OPCODE: u32 = 0x77;
+
+/// A decoded instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Inst {
+    Lui { rd: u8, imm: i32 },
+    Auipc { rd: u8, imm: i32 },
+    Jal { rd: u8, offset: i32 },
+    Jalr { rd: u8, rs1: u8, offset: i32 },
+    Branch { op: BranchOp, rs1: u8, rs2: u8, offset: i32 },
+    Load { op: LoadOp, rd: u8, rs1: u8, offset: i32 },
+    Store { op: StoreOp, rs1: u8, rs2: u8, offset: i32 },
+    OpImm { op: AluOp, rd: u8, rs1: u8, imm: i32 },
+    Op { op: AluOp, rd: u8, rs1: u8, rs2: u8 },
+    Fence,
+    Ecall,
+    Ebreak,
+    Csr { op: CsrOp, rd: u8, rs1: u8, csr: u16 },
+    Pq { unit: PqUnit, rd: u8, rs1: u8, rs2: u8 },
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Decoding failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeInstError {
+    /// The raw instruction word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeInstError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot decode instruction {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeInstError {}
+
+#[inline]
+fn rd(w: u32) -> u8 {
+    ((w >> 7) & 0x1f) as u8
+}
+#[inline]
+fn rs1(w: u32) -> u8 {
+    ((w >> 15) & 0x1f) as u8
+}
+#[inline]
+fn rs2(w: u32) -> u8 {
+    ((w >> 20) & 0x1f) as u8
+}
+#[inline]
+fn funct3(w: u32) -> u32 {
+    (w >> 12) & 0x7
+}
+#[inline]
+fn funct7(w: u32) -> u32 {
+    w >> 25
+}
+
+#[inline]
+fn imm_i(w: u32) -> i32 {
+    (w as i32) >> 20
+}
+#[inline]
+fn imm_s(w: u32) -> i32 {
+    (((w as i32) >> 25) << 5) | (((w >> 7) & 0x1f) as i32)
+}
+#[inline]
+fn imm_b(w: u32) -> i32 {
+    let imm = (((w as i32) >> 31) << 12)
+        | ((((w >> 7) & 1) as i32) << 11)
+        | ((((w >> 25) & 0x3f) as i32) << 5)
+        | ((((w >> 8) & 0xf) as i32) << 1);
+    imm
+}
+#[inline]
+fn imm_u(w: u32) -> i32 {
+    (w & 0xffff_f000) as i32
+}
+#[inline]
+fn imm_j(w: u32) -> i32 {
+    (((w as i32) >> 31) << 20)
+        | ((((w >> 12) & 0xff) as i32) << 12)
+        | ((((w >> 20) & 1) as i32) << 11)
+        | ((((w >> 21) & 0x3ff) as i32) << 1)
+}
+
+/// Decode a 32-bit instruction word.
+///
+/// # Errors
+///
+/// Returns [`DecodeInstError`] for unknown encodings.
+pub fn decode(w: u32) -> Result<Inst, DecodeInstError> {
+    let err = || DecodeInstError { word: w };
+    let inst = match w & 0x7f {
+        0x37 => Inst::Lui {
+            rd: rd(w),
+            imm: imm_u(w),
+        },
+        0x17 => Inst::Auipc {
+            rd: rd(w),
+            imm: imm_u(w),
+        },
+        0x6f => Inst::Jal {
+            rd: rd(w),
+            offset: imm_j(w),
+        },
+        0x67 => {
+            if funct3(w) != 0 {
+                return Err(err());
+            }
+            Inst::Jalr {
+                rd: rd(w),
+                rs1: rs1(w),
+                offset: imm_i(w),
+            }
+        }
+        0x63 => {
+            let op = match funct3(w) {
+                0 => BranchOp::Eq,
+                1 => BranchOp::Ne,
+                4 => BranchOp::Lt,
+                5 => BranchOp::Ge,
+                6 => BranchOp::Ltu,
+                7 => BranchOp::Geu,
+                _ => return Err(err()),
+            };
+            Inst::Branch {
+                op,
+                rs1: rs1(w),
+                rs2: rs2(w),
+                offset: imm_b(w),
+            }
+        }
+        0x03 => {
+            let op = match funct3(w) {
+                0 => LoadOp::Byte,
+                1 => LoadOp::Half,
+                2 => LoadOp::Word,
+                4 => LoadOp::ByteU,
+                5 => LoadOp::HalfU,
+                _ => return Err(err()),
+            };
+            Inst::Load {
+                op,
+                rd: rd(w),
+                rs1: rs1(w),
+                offset: imm_i(w),
+            }
+        }
+        0x23 => {
+            let op = match funct3(w) {
+                0 => StoreOp::Byte,
+                1 => StoreOp::Half,
+                2 => StoreOp::Word,
+                _ => return Err(err()),
+            };
+            Inst::Store {
+                op,
+                rs1: rs1(w),
+                rs2: rs2(w),
+                offset: imm_s(w),
+            }
+        }
+        0x13 => {
+            let f3 = funct3(w);
+            let op = match f3 {
+                0 => AluOp::Add,
+                1 => AluOp::Sll,
+                2 => AluOp::Slt,
+                3 => AluOp::Sltu,
+                4 => AluOp::Xor,
+                5 => {
+                    if funct7(w) == 0x20 {
+                        AluOp::Sra
+                    } else if funct7(w) == 0 {
+                        AluOp::Srl
+                    } else {
+                        return Err(err());
+                    }
+                }
+                6 => AluOp::Or,
+                7 => AluOp::And,
+                _ => return Err(err()),
+            };
+            let imm = if matches!(op, AluOp::Sll | AluOp::Srl | AluOp::Sra) {
+                ((w >> 20) & 0x1f) as i32
+            } else {
+                imm_i(w)
+            };
+            Inst::OpImm {
+                op,
+                rd: rd(w),
+                rs1: rs1(w),
+                imm,
+            }
+        }
+        0x33 => {
+            let op = match (funct7(w), funct3(w)) {
+                (0x00, 0) => AluOp::Add,
+                (0x20, 0) => AluOp::Sub,
+                (0x00, 1) => AluOp::Sll,
+                (0x00, 2) => AluOp::Slt,
+                (0x00, 3) => AluOp::Sltu,
+                (0x00, 4) => AluOp::Xor,
+                (0x00, 5) => AluOp::Srl,
+                (0x20, 5) => AluOp::Sra,
+                (0x00, 6) => AluOp::Or,
+                (0x00, 7) => AluOp::And,
+                (0x01, 0) => AluOp::Mul,
+                (0x01, 1) => AluOp::Mulh,
+                (0x01, 2) => AluOp::Mulhsu,
+                (0x01, 3) => AluOp::Mulhu,
+                (0x01, 4) => AluOp::Div,
+                (0x01, 5) => AluOp::Divu,
+                (0x01, 6) => AluOp::Rem,
+                (0x01, 7) => AluOp::Remu,
+                _ => return Err(err()),
+            };
+            Inst::Op {
+                op,
+                rd: rd(w),
+                rs1: rs1(w),
+                rs2: rs2(w),
+            }
+        }
+        0x0f => Inst::Fence,
+        0x73 => match funct3(w) {
+            0 => match w >> 20 {
+                0 => Inst::Ecall,
+                1 => Inst::Ebreak,
+                _ => return Err(err()),
+            },
+            1 => Inst::Csr {
+                op: CsrOp::Rw,
+                rd: rd(w),
+                rs1: rs1(w),
+                csr: (w >> 20) as u16,
+            },
+            2 => Inst::Csr {
+                op: CsrOp::Rs,
+                rd: rd(w),
+                rs1: rs1(w),
+                csr: (w >> 20) as u16,
+            },
+            3 => Inst::Csr {
+                op: CsrOp::Rc,
+                rd: rd(w),
+                rs1: rs1(w),
+                csr: (w >> 20) as u16,
+            },
+            _ => return Err(err()),
+        },
+        PQ_OPCODE => {
+            let unit = match funct3(w) {
+                0 => PqUnit::MulTer,
+                1 => PqUnit::MulChien,
+                2 => PqUnit::Sha256,
+                3 => PqUnit::ModQ,
+                _ => return Err(err()),
+            };
+            Inst::Pq {
+                unit,
+                rd: rd(w),
+                rs1: rs1(w),
+                rs2: rs2(w),
+            }
+        }
+        _ => return Err(err()),
+    };
+    Ok(inst)
+}
+
+/// Expand a 16-bit compressed (C extension) instruction into its 32-bit
+/// equivalent.
+///
+/// Supports the RV32C subset generated by compilers for integer code:
+/// arithmetic, loads/stores, stack-pointer forms, jumps and branches.
+///
+/// # Errors
+///
+/// Returns [`DecodeInstError`] for reserved or unsupported encodings.
+pub fn decompress(h: u16) -> Result<u32, DecodeInstError> {
+    let err = || DecodeInstError { word: u32::from(h) };
+    let h = u32::from(h);
+    let op = h & 0x3;
+    let funct3 = (h >> 13) & 0x7;
+    // Compressed register (3-bit) to full register number.
+    let rc = |x: u32| (x & 0x7) + 8;
+
+    let full = match (op, funct3) {
+        // c.addi4spn: addi rd', x2, nzuimm
+        (0b00, 0b000) => {
+            let imm = ((h >> 7) & 0x30) | ((h >> 1) & 0x3c0) | ((h >> 4) & 0x4) | ((h >> 2) & 0x8);
+            if imm == 0 {
+                return Err(err());
+            }
+            let rd = rc(h >> 2);
+            (imm << 20) | (2 << 15) | (rd << 7) | 0x13
+        }
+        // c.lw: lw rd', offset(rs1')
+        (0b00, 0b010) => {
+            let imm = ((h >> 7) & 0x38) | ((h << 1) & 0x40) | ((h >> 4) & 0x4);
+            let rs1 = rc(h >> 7);
+            let rd = rc(h >> 2);
+            (imm << 20) | (rs1 << 15) | (0b010 << 12) | (rd << 7) | 0x03
+        }
+        // c.sw: sw rs2', offset(rs1')
+        (0b00, 0b110) => {
+            let imm = ((h >> 7) & 0x38) | ((h << 1) & 0x40) | ((h >> 4) & 0x4);
+            let rs1 = rc(h >> 7);
+            let rs2 = rc(h >> 2);
+            ((imm >> 5) << 25) | (rs2 << 20) | (rs1 << 15) | (0b010 << 12) | ((imm & 0x1f) << 7) | 0x23
+        }
+        // c.nop / c.addi
+        (0b01, 0b000) => {
+            let rd = (h >> 7) & 0x1f;
+            let imm = (((h >> 12) & 1) << 5) | ((h >> 2) & 0x1f);
+            let imm = sign_extend(imm, 6);
+            ((imm as u32 & 0xfff) << 20) | (rd << 15) | (rd << 7) | 0x13
+        }
+        // c.jal (RV32): jal x1, offset
+        (0b01, 0b001) => cj_to_jal(h, 1),
+        // c.li: addi rd, x0, imm
+        (0b01, 0b010) => {
+            let rd = (h >> 7) & 0x1f;
+            let imm = sign_extend((((h >> 12) & 1) << 5) | ((h >> 2) & 0x1f), 6);
+            ((imm as u32 & 0xfff) << 20) | (rd << 7) | 0x13
+        }
+        // c.addi16sp / c.lui
+        (0b01, 0b011) => {
+            let rd = (h >> 7) & 0x1f;
+            if rd == 2 {
+                let imm = (((h >> 12) & 1) << 9)
+                    | (((h >> 3) & 0x3) << 7)
+                    | (((h >> 5) & 1) << 6)
+                    | (((h >> 2) & 1) << 5)
+                    | (((h >> 6) & 1) << 4);
+                let imm = sign_extend(imm, 10);
+                if imm == 0 {
+                    return Err(err());
+                }
+                ((imm as u32 & 0xfff) << 20) | (2 << 15) | (2 << 7) | 0x13
+            } else {
+                let imm = sign_extend((((h >> 12) & 1) << 17) | (((h >> 2) & 0x1f) << 12), 18);
+                if imm == 0 {
+                    return Err(err());
+                }
+                (imm as u32 & 0xffff_f000) | (rd << 7) | 0x37
+            }
+        }
+        // c.srli / c.srai / c.andi / c.sub / c.xor / c.or / c.and
+        (0b01, 0b100) => {
+            let rd = rc(h >> 7);
+            match (h >> 10) & 0x3 {
+                0b00 => {
+                    let sh = ((h >> 2) & 0x1f) | (((h >> 12) & 1) << 5);
+                    (sh << 20) | (rd << 15) | (0b101 << 12) | (rd << 7) | 0x13
+                }
+                0b01 => {
+                    let sh = ((h >> 2) & 0x1f) | (((h >> 12) & 1) << 5);
+                    (0x20 << 25) | (sh << 20) | (rd << 15) | (0b101 << 12) | (rd << 7) | 0x13
+                }
+                0b10 => {
+                    let imm = sign_extend((((h >> 12) & 1) << 5) | ((h >> 2) & 0x1f), 6);
+                    ((imm as u32 & 0xfff) << 20) | (rd << 15) | (0b111 << 12) | (rd << 7) | 0x13
+                }
+                _ => {
+                    let rs2 = rc(h >> 2);
+                    let (f7, f3) = match (h >> 5) & 0x3 {
+                        0b00 => (0x20u32, 0b000u32), // c.sub
+                        0b01 => (0x00, 0b100),       // c.xor
+                        0b10 => (0x00, 0b110),       // c.or
+                        _ => (0x00, 0b111),          // c.and
+                    };
+                    (f7 << 25) | (rs2 << 20) | (rd << 15) | (f3 << 12) | (rd << 7) | 0x33
+                }
+            }
+        }
+        // c.j: jal x0, offset
+        (0b01, 0b101) => cj_to_jal(h, 0),
+        // c.beqz / c.bnez
+        (0b01, 0b110) | (0b01, 0b111) => {
+            let rs1 = rc(h >> 7);
+            let imm = (((h >> 12) & 1) << 8)
+                | (((h >> 5) & 0x3) << 6)
+                | (((h >> 2) & 1) << 5)
+                | (((h >> 10) & 0x3) << 3)
+                | (((h >> 3) & 0x3) << 1);
+            let imm = sign_extend(imm, 9) as u32;
+            let f3 = if funct3 == 0b110 { 0b000 } else { 0b001 };
+            ((imm >> 12) & 1) << 31
+                | (((imm >> 5) & 0x3f) << 25)
+                | (rs1 << 15)
+                | (f3 << 12)
+                | (((imm >> 1) & 0xf) << 8)
+                | (((imm >> 11) & 1) << 7)
+                | 0x63
+        }
+        // c.slli
+        (0b10, 0b000) => {
+            let rd = (h >> 7) & 0x1f;
+            let sh = ((h >> 2) & 0x1f) | (((h >> 12) & 1) << 5);
+            (sh << 20) | (rd << 15) | (0b001 << 12) | (rd << 7) | 0x13
+        }
+        // c.lwsp: lw rd, offset(x2)
+        (0b10, 0b010) => {
+            let rd = (h >> 7) & 0x1f;
+            if rd == 0 {
+                return Err(err());
+            }
+            let imm = (((h >> 12) & 1) << 5) | (((h >> 4) & 0x7) << 2) | (((h >> 2) & 0x3) << 6);
+            (imm << 20) | (2 << 15) | (0b010 << 12) | (rd << 7) | 0x03
+        }
+        // c.jr / c.mv / c.ebreak / c.jalr / c.add
+        (0b10, 0b100) => {
+            let rd = (h >> 7) & 0x1f;
+            let rs2 = (h >> 2) & 0x1f;
+            let bit12 = (h >> 12) & 1;
+            match (bit12, rd, rs2) {
+                (0, r, 0) if r != 0 => (r << 15) | 0x67, // c.jr: jalr x0, r, 0
+                (0, r, s) if r != 0 => (s << 20) | (r << 7) | 0x33, // c.mv: add r, x0, s
+                (1, 0, 0) => 0x0010_0073,                // c.ebreak
+                (1, r, 0) if r != 0 => (r << 15) | (1 << 7) | 0x67, // c.jalr
+                (1, r, s) if r != 0 => (s << 20) | (r << 15) | (r << 7) | 0x33, // c.add
+                _ => return Err(err()),
+            }
+        }
+        // c.swsp: sw rs2, offset(x2)
+        (0b10, 0b110) => {
+            let rs2 = (h >> 2) & 0x1f;
+            let imm = (((h >> 9) & 0xf) << 2) | (((h >> 7) & 0x3) << 6);
+            ((imm >> 5) << 25) | (rs2 << 20) | (2 << 15) | (0b010 << 12) | ((imm & 0x1f) << 7) | 0x23
+        }
+        _ => return Err(err()),
+    };
+    Ok(full)
+}
+
+fn sign_extend(value: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((value << shift) as i32) >> shift
+}
+
+fn cj_to_jal(h: u32, rd: u32) -> u32 {
+    let imm = (((h >> 12) & 1) << 11)
+        | (((h >> 11) & 1) << 4)
+        | (((h >> 9) & 0x3) << 8)
+        | (((h >> 8) & 1) << 10)
+        | (((h >> 7) & 1) << 6)
+        | (((h >> 6) & 1) << 7)
+        | (((h >> 3) & 0x7) << 1)
+        | (((h >> 2) & 1) << 5);
+    let imm = sign_extend(imm, 12) as u32;
+    (((imm >> 20) & 1) << 31)
+        | (((imm >> 1) & 0x3ff) << 21)
+        | (((imm >> 11) & 1) << 20)
+        | (((imm >> 12) & 0xff) << 12)
+        | (rd << 7)
+        | 0x6f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_addi() {
+        // addi x5, x6, -3
+        let w = (((-3i32 as u32) & 0xfff) << 20) | (6 << 15) | (5 << 7) | 0x13;
+        assert_eq!(
+            decode(w).unwrap(),
+            Inst::OpImm {
+                op: AluOp::Add,
+                rd: 5,
+                rs1: 6,
+                imm: -3
+            }
+        );
+    }
+
+    #[test]
+    fn decode_r_type_and_m() {
+        // add x1, x2, x3
+        let add = (3 << 20) | (2 << 15) | (1 << 7) | 0x33;
+        assert!(matches!(decode(add).unwrap(), Inst::Op { op: AluOp::Add, .. }));
+        // mul x1, x2, x3
+        let mul = (1 << 25) | (3 << 20) | (2 << 15) | (1 << 7) | 0x33;
+        assert!(matches!(decode(mul).unwrap(), Inst::Op { op: AluOp::Mul, .. }));
+        // sub x4, x5, x6
+        let sub = (0x20 << 25) | (6 << 20) | (5 << 15) | (0 << 12) | (4 << 7) | 0x33;
+        assert!(matches!(decode(sub).unwrap(), Inst::Op { op: AluOp::Sub, .. }));
+    }
+
+    #[test]
+    fn decode_branch_offsets() {
+        // beq x1, x2, +8
+        let w = 0x0020_8463; // standard encoding of beq x1,x2,8
+        match decode(w).unwrap() {
+            Inst::Branch {
+                op: BranchOp::Eq,
+                rs1: 1,
+                rs2: 2,
+                offset,
+            } => assert_eq!(offset, 8),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_negative_branch_offset() {
+        // bne x10, x0, -4  => 0xfe051ee3
+        match decode(0xfe05_1ee3).unwrap() {
+            Inst::Branch { op: BranchOp::Ne, rs1: 10, rs2: 0, offset } => {
+                assert_eq!(offset, -4);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_loads_and_stores() {
+        // lw x7, 16(x2) = 0x01012383
+        match decode(0x0101_2383).unwrap() {
+            Inst::Load { op: LoadOp::Word, rd: 7, rs1: 2, offset } => assert_eq!(offset, 16),
+            other => panic!("{other:?}"),
+        }
+        // sw x7, -8(x2) = 0xfe712c23
+        match decode(0xfe71_2c23).unwrap() {
+            Inst::Store { op: StoreOp::Word, rs1: 2, rs2: 7, offset } => assert_eq!(offset, -8),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_jal_jalr() {
+        // jal x1, +2048? Use jal x1, 16 = 0x010000ef
+        match decode(0x0100_00ef).unwrap() {
+            Inst::Jal { rd: 1, offset } => assert_eq!(offset, 16),
+            other => panic!("{other:?}"),
+        }
+        // jalr x0, 0(x1) = 0x00008067 (ret)
+        match decode(0x0000_8067).unwrap() {
+            Inst::Jalr { rd: 0, rs1: 1, offset } => assert_eq!(offset, 0),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_system() {
+        assert_eq!(decode(0x0000_0073).unwrap(), Inst::Ecall);
+        assert_eq!(decode(0x0010_0073).unwrap(), Inst::Ebreak);
+    }
+
+    #[test]
+    fn decode_pq_instructions() {
+        for (f3, unit) in [
+            (0u32, PqUnit::MulTer),
+            (1, PqUnit::MulChien),
+            (2, PqUnit::Sha256),
+            (3, PqUnit::ModQ),
+        ] {
+            let w = (7 << 20) | (6 << 15) | (f3 << 12) | (5 << 7) | PQ_OPCODE;
+            assert_eq!(
+                decode(w).unwrap(),
+                Inst::Pq {
+                    unit,
+                    rd: 5,
+                    rs1: 6,
+                    rs2: 7
+                },
+                "funct3 {f3}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        assert!(decode(0x0000_007b).is_err());
+        assert!(decode(0xffff_ffff).is_err());
+    }
+
+    #[test]
+    fn decompress_c_addi() {
+        // c.addi x8, 1 => 0x0405
+        let w = decompress(0x0405).unwrap();
+        assert_eq!(
+            decode(w).unwrap(),
+            Inst::OpImm {
+                op: AluOp::Add,
+                rd: 8,
+                rs1: 8,
+                imm: 1
+            }
+        );
+    }
+
+    #[test]
+    fn decompress_c_li_negative() {
+        // c.li x10, -1 => funct3=010, rd=10, imm=-1 => bits:
+        // 010 1 01010 11111 01 = 0x557d
+        let w = decompress(0x557d).unwrap();
+        assert_eq!(
+            decode(w).unwrap(),
+            Inst::OpImm {
+                op: AluOp::Add,
+                rd: 10,
+                rs1: 0,
+                imm: -1
+            }
+        );
+    }
+
+    #[test]
+    fn decompress_c_mv_and_add() {
+        // c.mv x10, x11 => 0x852e
+        let w = decompress(0x852e).unwrap();
+        assert_eq!(
+            decode(w).unwrap(),
+            Inst::Op {
+                op: AluOp::Add,
+                rd: 10,
+                rs1: 0,
+                rs2: 11
+            }
+        );
+        // c.add x10, x11 => 0x952e
+        let w = decompress(0x952e).unwrap();
+        assert_eq!(
+            decode(w).unwrap(),
+            Inst::Op {
+                op: AluOp::Add,
+                rd: 10,
+                rs1: 10,
+                rs2: 11
+            }
+        );
+    }
+
+    #[test]
+    fn decompress_c_lwsp_swsp() {
+        // c.lwsp x5, 12(sp) => 0x42b2? Compute: funct3=010 op=10 rd=5
+        // imm[5]=0 imm[4:2]=011 imm[7:6]=00 => bits 010 0 00101 0110 0 10
+        let h = 0b010_0_00101_01100_10;
+        let w = decompress(h as u16).unwrap();
+        match decode(w).unwrap() {
+            Inst::Load { op: LoadOp::Word, rd: 5, rs1: 2, offset } => assert_eq!(offset, 12),
+            other => panic!("{other:?}"),
+        }
+        // c.swsp x5, 12(sp): funct3=110 imm[5:2]=0011 imm[7:6]=00 rs2=5
+        let h = 0b110_0011_00_00101_10;
+        let w = decompress(h as u16).unwrap();
+        match decode(w).unwrap() {
+            Inst::Store { op: StoreOp::Word, rs1: 2, rs2: 5, offset } => assert_eq!(offset, 12),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn decompress_c_j() {
+        // c.j +4: funct3=101 op=01, imm=4 -> imm[3:1]=010
+        let h = 0b101_00000000100_01u32;
+        let w = decompress(h as u16).unwrap();
+        match decode(w).unwrap() {
+            Inst::Jal { rd: 0, offset } => assert_eq!(offset, 4),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn decompress_c_beqz() {
+        // c.beqz x8, +4: funct3=110, rs1'=000; offset[2:1] sits in bits 4:3,
+        // so offset = 4 → bits[6:2] = 00100.
+        let h = 0b110_000_000_00100_01u32;
+        let w = decompress(h as u16).unwrap();
+        match decode(w).unwrap() {
+            Inst::Branch { op: BranchOp::Eq, rs1: 8, rs2: 0, offset } => {
+                assert_eq!(offset, 4);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn decompress_rejects_reserved() {
+        assert!(decompress(0x0000).is_err()); // all-zero is illegal
+    }
+}

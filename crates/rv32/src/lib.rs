@@ -1,0 +1,123 @@
+//! RV32IM(C) instruction-set simulator with the paper's PQ-ALU extension.
+//!
+//! The DATE 2020 paper integrates its accelerators into the execution stage
+//! of the RISCY core (PULPino) and reaches them through four custom R-type
+//! instructions under major opcode `0x77`:
+//!
+//! | funct3 | mnemonic | unit |
+//! |--------|----------|------|
+//! | 0 | `pq.mul_ter`   | ternary polynomial multiplier |
+//! | 1 | `pq.mul_chien` | 4-wide GF(2⁹) Chien evaluator |
+//! | 2 | `pq.sha256`    | SHA-256 round engine |
+//! | 3 | `pq.modq`      | Barrett modulo-251 reducer |
+//!
+//! This crate provides the simulator substrate needed to *run* such code:
+//!
+//! * [`inst`] — instruction decoding for RV32I, the M extension, the C
+//!   (compressed) extension via decompression, and the PQ instructions;
+//! * [`cpu`] — a RISCY-like interpreter with a documented cycle model;
+//! * [`pq`] — the PQ-ALU device state machines (input buffers, busy
+//!   cycles, result read-out) wired to the same datapath math as the
+//!   `lac-hw` models;
+//! * [`asm`] — a small two-pass assembler (labels, ABI register names,
+//!   common pseudo-instructions, and the `pq.*` mnemonics) so tests and
+//!   examples can write RISC-V programs directly.
+//!
+//! # Example
+//!
+//! ```
+//! use lac_rv32::Machine;
+//!
+//! let mut m = Machine::assemble(
+//!     r#"
+//!         li   a0, 1000
+//!         li   a1, 0
+//!         pq.modq a0, a0, a1   # a0 = 1000 mod 251 = 247
+//!         ecall
+//!     "#,
+//! ).unwrap();
+//! let exit = m.run(10_000).unwrap();
+//! assert_eq!(exit.reg(10), 247);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod cpu;
+pub mod disasm;
+pub mod inst;
+pub mod pq;
+
+pub use asm::{assemble, AsmError};
+pub use disasm::disassemble;
+pub use cpu::{Cpu, ExitState, Trap};
+pub use inst::{decode, decompress, Inst};
+
+/// Convenience wrapper: assemble a program, load it at address 0 and run it.
+#[derive(Debug)]
+pub struct Machine {
+    cpu: Cpu,
+}
+
+impl Machine {
+    /// Assemble `source` and create a machine with the program loaded at
+    /// address 0 and 1 MiB of RAM.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AsmError`] if the source does not assemble.
+    pub fn assemble(source: &str) -> Result<Self, AsmError> {
+        let words = assemble(source)?;
+        let mut cpu = Cpu::new(1 << 20);
+        cpu.load_words(0, &words);
+        Ok(Self { cpu })
+    }
+
+    /// Access the CPU.
+    pub fn cpu(&self) -> &Cpu {
+        &self.cpu
+    }
+
+    /// Mutable access to the CPU (e.g. to preload data memory).
+    pub fn cpu_mut(&mut self) -> &mut Cpu {
+        &mut self.cpu
+    }
+
+    /// Run until `ecall`, a trap, or the instruction budget is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Trap`] that stopped execution if it was not a clean
+    /// `ecall` exit.
+    pub fn run(&mut self, max_instructions: u64) -> Result<ExitState, Trap> {
+        self.cpu.run(max_instructions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_runs_arithmetic() {
+        let mut m = Machine::assemble(
+            r#"
+                li   t0, 6
+                li   t1, 7
+                mul  a0, t0, t1
+                ecall
+            "#,
+        )
+        .unwrap();
+        let exit = m.run(100).unwrap();
+        assert_eq!(exit.reg(10), 42);
+    }
+
+    #[test]
+    fn machine_reports_cycles() {
+        let mut m = Machine::assemble("li a0, 5\necall").unwrap();
+        let exit = m.run(100).unwrap();
+        assert!(exit.cycles > 0);
+        assert!(exit.instructions >= 2);
+    }
+}

@@ -1,0 +1,227 @@
+//! Counter-mode seed expansion.
+//!
+//! LAC expands 32-byte seeds into arbitrarily long pseudo-random byte
+//! streams by hashing `seed ‖ domain ‖ counter` with SHA-256 and
+//! concatenating the digests — this is the "repetitively uses a SHA256
+//! accelerator" pattern of the paper's `GenA` and `Sample poly` bottlenecks.
+
+use crate::Sha256;
+use lac_meter::{Meter, NullMeter};
+
+/// Deterministic byte stream derived from a seed via SHA-256 in counter mode.
+///
+/// # Example
+///
+/// ```
+/// use lac_sha256::Expander;
+///
+/// let mut a = Expander::new(&[1u8; 32], 0);
+/// let mut b = Expander::new(&[1u8; 32], 0);
+/// assert_eq!(a.next_byte(), b.next_byte());
+///
+/// // A different domain yields an independent stream.
+/// let mut c = Expander::new(&[1u8; 32], 1);
+/// let mut a2 = Expander::new(&[1u8; 32], 0);
+/// let first_pair = (a2.next_byte(), c.next_byte());
+/// assert_ne!(first_pair.0, first_pair.1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Expander {
+    seed: [u8; 32],
+    domain: u8,
+    counter: u32,
+    buffer: [u8; 32],
+    used: usize,
+    blocks_hashed: u64,
+}
+
+impl Expander {
+    /// Create an expander for `seed` under domain-separation byte `domain`.
+    pub fn new(seed: &[u8; 32], domain: u8) -> Self {
+        Self {
+            seed: *seed,
+            domain,
+            counter: 0,
+            buffer: [0u8; 32],
+            used: 32, // force refill on first read
+            blocks_hashed: 0,
+        }
+    }
+
+    /// Number of SHA-256 invocations performed so far (each hashes one
+    /// 37-byte input, i.e. one 64-byte compression block plus padding).
+    pub fn blocks_hashed(&self) -> u64 {
+        self.blocks_hashed
+    }
+
+    fn refill<M: Meter>(&mut self, meter: &mut M) {
+        let mut h = Sha256::new();
+        h.update_metered(&self.seed, meter);
+        h.update_metered(&[self.domain], meter);
+        h.update_metered(&self.counter.to_le_bytes(), meter);
+        self.buffer = h.finalize_metered(meter);
+        self.counter = self
+            .counter
+            .checked_add(1)
+            .expect("expander counter overflow");
+        self.used = 0;
+        self.blocks_hashed += 1;
+    }
+
+    /// Next pseudo-random byte.
+    pub fn next_byte(&mut self) -> u8 {
+        self.next_byte_metered(&mut NullMeter)
+    }
+
+    /// Next pseudo-random byte, charging hash costs to `meter`.
+    pub fn next_byte_metered<M: Meter>(&mut self, meter: &mut M) -> u8 {
+        if self.used == 32 {
+            self.refill(meter);
+        }
+        let b = self.buffer[self.used];
+        self.used += 1;
+        b
+    }
+
+    /// Fill `out` with pseudo-random bytes.
+    pub fn fill(&mut self, out: &mut [u8]) {
+        self.fill_metered(out, &mut NullMeter);
+    }
+
+    /// Fill `out`, charging hash costs to `meter`.
+    pub fn fill_metered<M: Meter>(&mut self, out: &mut [u8], meter: &mut M) {
+        for b in out.iter_mut() {
+            *b = self.next_byte_metered(meter);
+        }
+    }
+
+    /// Next value uniform in `[0, bound)` by rejection sampling on bytes.
+    ///
+    /// Used with `bound = q = 251` for `GenA`: bytes ≥ 251 are rejected, so
+    /// acceptance probability is 251/256 per byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0` or `bound > 256`.
+    pub fn next_below(&mut self, bound: u16) -> u8 {
+        self.next_below_metered(bound, &mut NullMeter)
+    }
+
+    /// Metered variant of [`Expander::next_below`].
+    pub fn next_below_metered<M: Meter>(&mut self, bound: u16, meter: &mut M) -> u8 {
+        assert!(bound > 0 && bound <= 256, "bound must be in 1..=256");
+        loop {
+            let b = self.next_byte_metered(meter);
+            if u16::from(b) < bound {
+                return b;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lac_meter::CycleLedger;
+
+    #[test]
+    fn deterministic_for_same_seed_and_domain() {
+        let seed = [0xabu8; 32];
+        let mut a = Expander::new(&seed, 3);
+        let mut b = Expander::new(&seed, 3);
+        let mut buf_a = [0u8; 100];
+        let mut buf_b = [0u8; 100];
+        a.fill(&mut buf_a);
+        b.fill(&mut buf_b);
+        assert_eq!(buf_a, buf_b);
+    }
+
+    #[test]
+    fn different_domains_diverge() {
+        let seed = [9u8; 32];
+        let mut a = Expander::new(&seed, 0);
+        let mut b = Expander::new(&seed, 1);
+        let mut buf_a = [0u8; 64];
+        let mut buf_b = [0u8; 64];
+        a.fill(&mut buf_a);
+        b.fill(&mut buf_b);
+        assert_ne!(buf_a, buf_b);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Expander::new(&[0u8; 32], 0);
+        let mut b = Expander::new(&[1u8; 32], 0);
+        let mut buf_a = [0u8; 64];
+        let mut buf_b = [0u8; 64];
+        a.fill(&mut buf_a);
+        b.fill(&mut buf_b);
+        assert_ne!(buf_a, buf_b);
+    }
+
+    #[test]
+    fn stream_is_contiguous_across_reads() {
+        let seed = [4u8; 32];
+        let mut big = Expander::new(&seed, 0);
+        let mut buf = [0u8; 96];
+        big.fill(&mut buf);
+
+        let mut small = Expander::new(&seed, 0);
+        for (i, expect) in buf.iter().enumerate() {
+            assert_eq!(small.next_byte(), *expect, "byte {i}");
+        }
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut e = Expander::new(&[7u8; 32], 2);
+        for _ in 0..2000 {
+            assert!(e.next_below(251) < 251);
+        }
+    }
+
+    #[test]
+    fn next_below_is_roughly_uniform() {
+        // Chi-squared-lite: every residue class mod 8 of outputs below 248
+        // should appear with frequency within a loose band.
+        let mut e = Expander::new(&[13u8; 32], 2);
+        let mut buckets = [0u32; 8];
+        let samples = 16_000;
+        for _ in 0..samples {
+            let v = e.next_below(248);
+            buckets[(v % 8) as usize] += 1;
+        }
+        for (i, count) in buckets.iter().enumerate() {
+            let expected = samples / 8;
+            assert!(
+                (*count as i64 - expected as i64).unsigned_abs() < expected as u64 / 4,
+                "bucket {i}: {count}"
+            );
+        }
+    }
+
+    #[test]
+    fn blocks_hashed_counts_refills() {
+        let mut e = Expander::new(&[0u8; 32], 0);
+        let mut buf = [0u8; 65];
+        e.fill(&mut buf);
+        // 65 bytes need ceil(65/32) = 3 digests.
+        assert_eq!(e.blocks_hashed(), 3);
+    }
+
+    #[test]
+    fn metering_charges_hash_work() {
+        let mut ledger = CycleLedger::new();
+        let mut e = Expander::new(&[0u8; 32], 0);
+        let mut buf = [0u8; 256];
+        e.fill_metered(&mut buf, &mut ledger);
+        assert!(ledger.total() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be in 1..=256")]
+    fn next_below_rejects_zero_bound() {
+        let mut e = Expander::new(&[0u8; 32], 0);
+        e.next_below(0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: establish a shared secret with the LAC CCA KEM and inspect
+//! the modelled RISCY cycle cost of each operation.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use lac::{AcceleratedBackend, Backend, Kem, Params, SoftwareBackend};
+use lac_meter::{report, CycleLedger, NullMeter};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let params = Params::lac128();
+    let kem = Kem::new(params);
+    println!(
+        "{}: n = {}, weight = {}, BCH t = {}",
+        params.name(),
+        params.n(),
+        params.weight(),
+        params.bch_t()
+    );
+    println!(
+        "sizes: pk = {} B, sk(kem) = {} B, ct = {} B\n",
+        params.public_key_bytes(),
+        params.kem_secret_key_bytes(),
+        params.ciphertext_bytes()
+    );
+
+    let mut rng = StdRng::seed_from_u64(2026);
+
+    // --- Plain usage: software backend, no metering.
+    let mut backend = SoftwareBackend::constant_time();
+    let (pk, sk) = kem.keygen(&mut rng, &mut backend, &mut NullMeter);
+    let (ct, secret_tx) = kem.encapsulate(&mut rng, &pk, &mut backend, &mut NullMeter);
+    let secret_rx = kem.decapsulate(&sk, &ct, &mut backend, &mut NullMeter);
+    assert_eq!(secret_tx, secret_rx);
+    println!("software backend: shared secrets match ✔");
+
+    // --- Same operation on the accelerated backend, with cycle metering.
+    let mut accel = AcceleratedBackend::new();
+    let mut ledger = CycleLedger::new();
+    let secret_hw = kem.decapsulate(&sk, &ct, &mut accel, &mut ledger);
+    assert_eq!(secret_hw, secret_tx);
+    println!("accelerated backend: same secret derived ✔\n");
+
+    println!("decapsulation on the PQ-ALU backend (modelled RISCY cycles):");
+    print!("{}", report::summary(&ledger));
+
+    let mut sw_ledger = CycleLedger::new();
+    let mut sw = SoftwareBackend::constant_time();
+    kem.decapsulate(&sk, &ct, &mut sw, &mut sw_ledger);
+    println!(
+        "\nspeedup vs constant-time software: {:.1}x",
+        sw_ledger.total() as f64 / ledger.total() as f64
+    );
+}

@@ -1,0 +1,315 @@
+//! `lac-suite` — a file-based command-line tool over the LAC KEM.
+//!
+//! ```text
+//! lac-suite info    --params lac256
+//! lac-suite keygen  --params lac128 --pk pk.bin --sk sk.bin
+//! lac-suite encaps  --params lac128 --pk pk.bin --ct ct.bin --key k1.bin [--cycles]
+//! lac-suite decaps  --params lac128 --sk sk.bin --ct ct.bin --key k2.bin [--cycles]
+//! ```
+//!
+//! `--backend` selects `ref` (software, submission BCH), `ct` (software,
+//! constant-time BCH — default) or `hw` (the PQ-ALU models); `--cycles`
+//! prints the modelled RISCY cycle ledger of the operation.
+
+use lac::{
+    AcceleratedBackend, Backend, Ciphertext, Kem, KemPublicKey, KemSecretKey, Params,
+    SoftwareBackend,
+};
+use lac_meter::{report, CycleLedger, Meter, NullMeter};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::collections::HashMap;
+use std::fs;
+
+fn parse_params(name: &str) -> Result<Params, String> {
+    match name {
+        "lac128" => Ok(Params::lac128()),
+        "lac192" => Ok(Params::lac192()),
+        "lac256" => Ok(Params::lac256()),
+        other => Err(format!(
+            "unknown parameter set '{other}' (expected lac128|lac192|lac256)"
+        )),
+    }
+}
+
+fn make_backend(name: &str) -> Result<Box<dyn Backend>, String> {
+    match name {
+        "ref" => Ok(Box::new(SoftwareBackend::reference())),
+        "ct" => Ok(Box::new(SoftwareBackend::constant_time())),
+        "hw" => Ok(Box::new(AcceleratedBackend::new())),
+        other => Err(format!("unknown backend '{other}' (expected ref|ct|hw)")),
+    }
+}
+
+struct Options {
+    flags: HashMap<String, String>,
+    cycles: bool,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut flags = HashMap::new();
+        let mut cycles = false;
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            if arg == "--cycles" {
+                cycles = true;
+            } else if let Some(name) = arg.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("--{name} needs a value"))?;
+                flags.insert(name.to_string(), value.clone());
+            } else {
+                return Err(format!("unexpected argument '{arg}'"));
+            }
+        }
+        Ok(Self { flags, cycles })
+    }
+
+    fn get(&self, name: &str) -> Result<&str, String> {
+        self.flags
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required --{name}"))
+    }
+
+    fn get_or(&self, name: &str, default: &'static str) -> String {
+        self.flags
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+}
+
+fn read_file(path: &str) -> Result<Vec<u8>, String> {
+    fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn write_file(path: &str, data: &[u8]) -> Result<(), String> {
+    fs::write(path, data).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+/// Run one CLI invocation; returns the text to print.
+fn run(command: &str, opts: &Options) -> Result<String, String> {
+    let params = parse_params(&opts.get_or("params", "lac128"))?;
+    let kem = Kem::new(params);
+    let mut backend = make_backend(&opts.get_or("backend", "ct"))?;
+    let mut ledger = CycleLedger::new();
+    let meter: &mut dyn Meter = if opts.cycles {
+        &mut ledger
+    } else {
+        &mut NullMeter
+    };
+    let mut out = String::new();
+
+    match command {
+        "info" => {
+            out.push_str(&format!(
+                "{}: n = {}, weight = {}, BCH t = {}, D2 = {}\n",
+                params.name(),
+                params.n(),
+                params.weight(),
+                params.bch_t(),
+                params.d2()
+            ));
+            out.push_str(&format!(
+                "sizes: pk = {} B, kem sk = {} B, ct = {} B, shared secret = 32 B\n",
+                params.public_key_bytes(),
+                params.kem_secret_key_bytes(),
+                params.ciphertext_bytes()
+            ));
+        }
+        "keygen" => {
+            let mut rng = make_rng(opts)?;
+            let (pk, sk) = kem.keygen(&mut rng, backend.as_mut(), meter);
+            write_file(opts.get("pk")?, &pk.to_bytes())?;
+            write_file(opts.get("sk")?, &sk.to_bytes())?;
+            out.push_str(&format!(
+                "wrote {} ({} B) and {} ({} B)\n",
+                opts.get("pk")?,
+                params.public_key_bytes(),
+                opts.get("sk")?,
+                params.kem_secret_key_bytes()
+            ));
+        }
+        "encaps" => {
+            let mut rng = make_rng(opts)?;
+            let pk_bytes = read_file(opts.get("pk")?)?;
+            let pk = KemPublicKey::from_bytes(&params, &pk_bytes)
+                .map_err(|e| format!("bad public key: {e}"))?;
+            let (ct, key) = kem.encapsulate(&mut rng, &pk, backend.as_mut(), meter);
+            write_file(opts.get("ct")?, &ct.to_bytes())?;
+            write_file(opts.get("key")?, key.as_bytes())?;
+            out.push_str(&format!(
+                "wrote {} ({} B) and {} (32 B)\n",
+                opts.get("ct")?,
+                params.ciphertext_bytes(),
+                opts.get("key")?
+            ));
+        }
+        "decaps" => {
+            let sk_bytes = read_file(opts.get("sk")?)?;
+            let sk = KemSecretKey::from_bytes(&params, &sk_bytes)
+                .map_err(|e| format!("bad secret key: {e}"))?;
+            let ct_bytes = read_file(opts.get("ct")?)?;
+            let ct = Ciphertext::from_bytes(&params, &ct_bytes)
+                .map_err(|e| format!("bad ciphertext: {e}"))?;
+            let key = kem.decapsulate(&sk, &ct, backend.as_mut(), meter);
+            write_file(opts.get("key")?, key.as_bytes())?;
+            out.push_str(&format!("wrote {} (32 B)\n", opts.get("key")?));
+        }
+        other => {
+            return Err(format!(
+                "unknown command '{other}' (expected info|keygen|encaps|decaps)"
+            ));
+        }
+    }
+
+    if opts.cycles {
+        out.push_str("\nmodelled RISCY cycles:\n");
+        out.push_str(&report::summary(&ledger));
+    }
+    Ok(out)
+}
+
+/// RNG: OS entropy by default; `--seed <u64>` for reproducible tests.
+fn make_rng(opts: &Options) -> Result<StdRng, String> {
+    if let Ok(seed) = opts.get("seed") {
+        let value: u64 = seed
+            .parse()
+            .map_err(|_| format!("bad --seed '{seed}'"))?;
+        Ok(StdRng::seed_from_u64(value))
+    } else {
+        let mut seed = [0u8; 32];
+        // StdRng::from_entropy pulls from the OS.
+        StdRng::from_entropy().fill_bytes(&mut seed);
+        Ok(StdRng::from_seed(seed))
+    }
+}
+
+const USAGE: &str = "usage: lac-suite <info|keygen|encaps|decaps> \
+[--params lac128|lac192|lac256] [--backend ref|ct|hw] [--seed N] [--cycles] \
+[--pk FILE] [--sk FILE] [--ct FILE] [--key FILE]";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+    let result = Options::parse(rest).and_then(|opts| run(command, &opts));
+    match result {
+        Ok(text) => print!("{text}"),
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("{USAGE}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp(name: &str) -> String {
+        let mut p = PathBuf::from(std::env::temp_dir());
+        p.push(format!("lac_suite_cli_{}_{name}", std::process::id()));
+        p.to_string_lossy().into_owned()
+    }
+
+    fn opts(pairs: &[(&str, &str)], cycles: bool) -> Options {
+        let mut flags = HashMap::new();
+        for (k, v) in pairs {
+            flags.insert(k.to_string(), v.to_string());
+        }
+        Options { flags, cycles }
+    }
+
+    #[test]
+    fn info_prints_sizes() {
+        let out = run("info", &opts(&[("params", "lac256")], false)).expect("runs");
+        assert!(out.contains("1424"));
+        assert!(out.contains("LAC-256"));
+    }
+
+    #[test]
+    fn full_protocol_through_files() {
+        let (pk, sk, ct, k1, k2) = (
+            temp("pk"),
+            temp("sk"),
+            temp("ct"),
+            temp("k1"),
+            temp("k2"),
+        );
+        run(
+            "keygen",
+            &opts(
+                &[("params", "lac128"), ("seed", "7"), ("pk", &pk), ("sk", &sk)],
+                false,
+            ),
+        )
+        .expect("keygen");
+        run(
+            "encaps",
+            &opts(
+                &[
+                    ("params", "lac128"),
+                    ("seed", "8"),
+                    ("pk", &pk),
+                    ("ct", &ct),
+                    ("key", &k1),
+                ],
+                false,
+            ),
+        )
+        .expect("encaps");
+        let out = run(
+            "decaps",
+            &opts(
+                &[
+                    ("params", "lac128"),
+                    ("backend", "hw"),
+                    ("sk", &sk),
+                    ("ct", &ct),
+                    ("key", &k2),
+                ],
+                true,
+            ),
+        )
+        .expect("decaps");
+        assert!(out.contains("modelled RISCY cycles"));
+        assert_eq!(
+            fs::read(&k1).expect("k1"),
+            fs::read(&k2).expect("k2"),
+            "shared secrets must match across backends"
+        );
+        for f in [pk, sk, ct, k1, k2] {
+            let _ = fs::remove_file(f);
+        }
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        assert!(run("info", &opts(&[("params", "lac999")], false)).is_err());
+        assert!(run("frobnicate", &opts(&[], false)).is_err());
+        assert!(run("keygen", &opts(&[("pk", "/nonexistent/x")], false)).is_err());
+        assert!(run(
+            "decaps",
+            &opts(&[("sk", "/definitely/missing"), ("ct", "x"), ("key", "y")], false)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn bad_backend_rejected() {
+        let err = run("info", &opts(&[("backend", "fpga")], false));
+        // info doesn't build a backend... ensure parse order still catches it
+        // via an operation that does:
+        let _ = err;
+        let e = run("keygen", &opts(&[("backend", "fpga"), ("pk", "a"), ("sk", "b")], false))
+            .unwrap_err();
+        assert!(e.contains("fpga"));
+    }
+}

@@ -1,0 +1,263 @@
+//! Integration checks on the paper-facing claims of the cycle model: the
+//! orderings and factors that Tables I and II assert must hold in the
+//! reproduction (exact constants live in EXPERIMENTS.md; here we pin the
+//! *shape* so refactoring cannot silently destroy it).
+
+use lac::{AcceleratedBackend, Backend, Kem, Params, SoftwareBackend};
+use lac_bch::BchCode;
+use lac_meter::{CycleLedger, NullMeter, Phase};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn decaps_cycles(params: Params, backend: &mut dyn Backend) -> CycleLedger {
+    let kem = Kem::new(params);
+    let mut rng = StdRng::seed_from_u64(9);
+    let (pk, sk) = kem.keygen(&mut rng, backend, &mut NullMeter);
+    let (ct, _) = kem.encapsulate(&mut rng, &pk, backend, &mut NullMeter);
+    let mut ledger = CycleLedger::new();
+    kem.decapsulate(&sk, &ct, backend, &mut ledger);
+    ledger
+}
+
+#[test]
+fn headline_decapsulation_speedups() {
+    // Paper: 7.66x / 14.42x / 13.36x (const-BCH software → optimized).
+    // Our driver model is leaner, so factors come out larger; the shape
+    // constraints are: every factor > 5x, and LAC-128 (n = 512) gains the
+    // least.
+    let mut factors = Vec::new();
+    for params in Params::ALL {
+        let sw = decaps_cycles(params, &mut SoftwareBackend::constant_time());
+        let hw = decaps_cycles(params, &mut AcceleratedBackend::new());
+        let f = sw.total() as f64 / hw.total() as f64;
+        assert!(f > 5.0, "{}: speedup {f}", params.name());
+        assert!(f < 60.0, "{}: speedup {f} implausibly large", params.name());
+        factors.push(f);
+    }
+    assert!(
+        factors[0] < factors[1] && factors[0] < factors[2],
+        "LAC-128 must gain least: {factors:?}"
+    );
+}
+
+#[test]
+fn reference_decaps_magnitudes_match_paper() {
+    // Paper Table II reference rows: 7.54M / 22.98M / 27.88M cycles.
+    let paper = [7_544_632u64, 22_984_529, 27_879_782];
+    for (params, expect) in Params::ALL.into_iter().zip(paper) {
+        let got = decaps_cycles(params, &mut SoftwareBackend::reference()).total();
+        let ratio = got as f64 / expect as f64;
+        assert!(
+            (0.75..1.35).contains(&ratio),
+            "{}: {} vs paper {} ({ratio:.2}x)",
+            params.name(),
+            got,
+            expect
+        );
+    }
+}
+
+#[test]
+fn constant_bch_costs_more_than_reference() {
+    for params in Params::ALL {
+        let reference = decaps_cycles(params, &mut SoftwareBackend::reference());
+        let constant = decaps_cycles(params, &mut SoftwareBackend::constant_time());
+        assert!(
+            constant.total() > reference.total(),
+            "{}: constant-time BCH must cost extra",
+            params.name()
+        );
+        // ... and the extra cost is exactly in the BCH phases.
+        let delta_bch: i64 = [
+            Phase::BchSyndrome,
+            Phase::BchErrorLocator,
+            Phase::BchChien,
+            Phase::BchGlue,
+        ]
+        .iter()
+        .map(|&p| constant.phase_total(p) as i64 - reference.phase_total(p) as i64)
+        .sum();
+        let delta_total = constant.total() as i64 - reference.total() as i64;
+        assert_eq!(delta_bch, delta_total, "{}", params.name());
+    }
+}
+
+#[test]
+fn multiplication_dominates_software_but_not_optimized() {
+    // Table II: the n² products are the software bottleneck; after MUL TER
+    // they are a rounding error.
+    for params in Params::ALL {
+        let sw = decaps_cycles(params, &mut SoftwareBackend::constant_time());
+        assert!(
+            sw.phase_total(Phase::Mul) > sw.total() / 2,
+            "{}: software Mul share too small",
+            params.name()
+        );
+        let hw = decaps_cycles(params, &mut AcceleratedBackend::new());
+        // After MUL TER, all multiplications together cost a small
+        // fraction of one software product.
+        assert!(
+            hw.phase_total(Phase::Mul) * 10 < sw.phase_total(Phase::Mul),
+            "{}: optimized Mul not at least 10x below software",
+            params.name()
+        );
+    }
+}
+
+#[test]
+fn optimized_bch_decode_improvement_factor() {
+    // Paper: total BCH decode improves 3.21x (t=16 codes) and 4.22x (t=8)
+    // over the constant-time software decoder.
+    for (code, lo, hi) in [
+        (BchCode::lac_t16(), 2.0, 5.0),
+        (BchCode::lac_t8(), 2.0, 6.5),
+    ] {
+        let msg = [7u8; 32];
+        let cw = code.encode(&msg, &mut NullMeter);
+        let mut sw = CycleLedger::new();
+        code.decode_constant_time(&cw, &mut sw);
+        let mut hw = CycleLedger::new();
+        lac_hw::ChienUnit::new().decode(&code, &cw, &mut hw);
+        let f = sw.total() as f64 / hw.total() as f64;
+        assert!(
+            (lo..hi).contains(&f),
+            "t={}: improvement {f:.2}x outside [{lo}, {hi}]",
+            code.t()
+        );
+    }
+}
+
+#[test]
+fn optimized_mul_factors_match_paper_order_of_magnitude() {
+    // Paper: 2,381,843 → 6,390 (n=512, ~373x) and 9,482,261 → 151,354
+    // (n=1024, ~63x).
+    use lac_ring::{Poly, TernaryPoly};
+    for (n, lo, hi) in [(512usize, 250.0, 500.0), (1024, 40.0, 90.0)] {
+        let t = TernaryPoly::zero(n);
+        let g = Poly::zero(n);
+        let mut sw_cost = CycleLedger::new();
+        SoftwareBackend::reference().ring_mul(&t, &g, &mut sw_cost);
+        let mut hw_cost = CycleLedger::new();
+        AcceleratedBackend::new().ring_mul(&t, &g, &mut hw_cost);
+        let f = sw_cost.total() as f64 / hw_cost.total() as f64;
+        assert!((lo..hi).contains(&f), "n={n}: factor {f:.1}");
+    }
+}
+
+#[test]
+fn accelerated_decaps_protected_phases_are_ciphertext_independent() {
+    // The paper's protections cover the BCH decode (constant-time decoder +
+    // MUL CHIEN), the multiplier, the comparison and the hashes: those
+    // phases must cost identically for different ciphertexts. The
+    // *rejection-based fixed-weight sampler* in the re-encryption remains
+    // message-dependent (a residual leak the paper inherits from the LAC
+    // reference code and does not claim to fix), so the sampling phase is
+    // exempt.
+    let kem = Kem::new(Params::lac128());
+    let mut backend = AcceleratedBackend::new();
+    let mut rng = StdRng::seed_from_u64(31);
+    let (pk, sk) = kem.keygen(&mut rng, &mut backend, &mut NullMeter);
+    let (ct1, _) = kem.encapsulate(&mut rng, &pk, &mut backend, &mut NullMeter);
+    let (ct2, _) = kem.encapsulate(&mut rng, &pk, &mut backend, &mut NullMeter);
+
+    let mut l1 = CycleLedger::new();
+    kem.decapsulate(&sk, &ct1, &mut backend, &mut l1);
+    let mut l2 = CycleLedger::new();
+    kem.decapsulate(&sk, &ct2, &mut backend, &mut l2);
+    for phase in [
+        Phase::Mul,
+        Phase::BchSyndrome,
+        Phase::BchErrorLocator,
+        Phase::BchChien,
+        Phase::BchGlue,
+        Phase::BchEncode,
+        Phase::GenA,
+        Phase::Compare,
+        Phase::Serialize,
+    ] {
+        assert_eq!(
+            l1.phase_total(phase),
+            l2.phase_total(phase),
+            "phase {phase} leaked"
+        );
+    }
+    // The residual difference is attributable to sampling (and the hashes
+    // it feeds) only.
+    let diff = l1.total().abs_diff(l2.total());
+    let sample_diff = l1
+        .phase_total(Phase::SamplePoly)
+        .abs_diff(l2.phase_total(Phase::SamplePoly));
+    let hash_diff = l1
+        .phase_total(Phase::Hash)
+        .abs_diff(l2.phase_total(Phase::Hash));
+    assert!(
+        diff <= sample_diff + hash_diff,
+        "unexplained timing difference: total {diff}, sample {sample_diff}, hash {hash_diff}"
+    );
+}
+
+#[test]
+fn reference_decoder_leaks_through_full_decapsulation() {
+    // End-to-end visibility of the Section VI-A flaw: with the reference
+    // (variable-time) decoder, decapsulating ciphertexts whose decryption
+    // noise differs can take different time. We cannot easily control the
+    // noise from outside, so assert on the decoder directly at the decap
+    // boundary: the BchErrorLocator phase is data-dependent.
+    let code = BchCode::lac_t16();
+    let msg = [1u8; 32];
+    let clean = code.encode(&msg, &mut NullMeter);
+    let mut dirty = clean.clone();
+    for i in 0..16 {
+        dirty[3 + i * 20] ^= 1;
+    }
+    let mut a = CycleLedger::new();
+    code.decode_variable_time(&clean, &mut a);
+    let mut b = CycleLedger::new();
+    code.decode_variable_time(&dirty, &mut b);
+    assert_ne!(
+        a.phase_total(Phase::BchErrorLocator),
+        b.phase_total(Phase::BchErrorLocator)
+    );
+}
+
+#[test]
+fn constant_time_sampler_closes_the_last_leak() {
+    // With the sorting-network sampler (the round-2 countermeasure), the
+    // *entire* decapsulation cost becomes ciphertext-independent — not just
+    // the protected phases: the sampler draws a fixed number of PRG bytes
+    // and performs a fixed compare-exchange schedule.
+    let kem = Kem::with_sampler(Params::lac128(), lac::SamplerKind::ConstantTime);
+    let mut backend = AcceleratedBackend::new();
+    let mut rng = StdRng::seed_from_u64(41);
+    let (pk, sk) = kem.keygen(&mut rng, &mut backend, &mut NullMeter);
+    let mut totals = Vec::new();
+    for _ in 0..3 {
+        let (ct, _) = kem.encapsulate(&mut rng, &pk, &mut backend, &mut NullMeter);
+        let mut ledger = CycleLedger::new();
+        let _ = kem.decapsulate(&sk, &ct, &mut backend, &mut ledger);
+        totals.push(ledger.total());
+    }
+    assert!(
+        totals.windows(2).all(|w| w[0] == w[1]),
+        "fully-CT decapsulation leaked: {totals:?}"
+    );
+}
+
+#[test]
+fn ct_sampler_roundtrips_and_costs_more() {
+    let reference = Kem::new(Params::lac128());
+    let hardened = Kem::with_sampler(Params::lac128(), lac::SamplerKind::ConstantTime);
+    let mut backend = SoftwareBackend::constant_time();
+    let mut rng = StdRng::seed_from_u64(42);
+
+    let (pk, sk) = hardened.keygen(&mut rng, &mut backend, &mut NullMeter);
+    let (ct, k1) = hardened.encapsulate(&mut rng, &pk, &mut backend, &mut NullMeter);
+    assert_eq!(hardened.decapsulate(&sk, &ct, &mut backend, &mut NullMeter), k1);
+
+    let mut plain = CycleLedger::new();
+    let (pk2, _) = reference.keygen(&mut rng, &mut backend, &mut plain);
+    let mut hard = CycleLedger::new();
+    let (pk3, _) = hardened.keygen(&mut rng, &mut backend, &mut hard);
+    assert!(hard.phase_total(Phase::SamplePoly) > 2 * plain.phase_total(Phase::SamplePoly));
+    let _ = (pk2, pk3);
+}

@@ -1,0 +1,95 @@
+//! Robustness: deserialization must reject, never panic, on arbitrary
+//! input; decoders must behave sanely beyond their design envelope.
+
+use lac::{Ciphertext, KemPublicKey, KemSecretKey, Params, PublicKey, SecretKey};
+use lac_bch::BchCode;
+use lac_meter::NullMeter;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pk_from_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..1200)) {
+        for params in Params::ALL {
+            let _ = PublicKey::from_bytes(&params, &bytes);
+            let _ = KemPublicKey::from_bytes(&params, &bytes);
+        }
+    }
+
+    #[test]
+    fn sk_from_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..3000)) {
+        for params in Params::ALL {
+            let _ = SecretKey::from_bytes(&params, &bytes);
+            let _ = KemSecretKey::from_bytes(&params, &bytes);
+        }
+    }
+
+    #[test]
+    fn ct_from_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..1600)) {
+        for params in Params::ALL {
+            let _ = Ciphertext::from_bytes(&params, &bytes);
+        }
+    }
+
+    #[test]
+    fn right_length_random_bytes_parse_or_reject_cleanly(
+        seed_byte in any::<u8>()
+    ) {
+        // Exactly-sized buffers filled with values that may violate the
+        // coefficient range: the parser must decide without panicking, and
+        // accepted values must re-serialize to the same bytes.
+        for params in Params::ALL {
+            let n = params.ciphertext_bytes();
+            let bytes: Vec<u8> = (0..n).map(|i| seed_byte.wrapping_add(i as u8)).collect();
+            if let Ok(ct) = Ciphertext::from_bytes(&params, &bytes) {
+                prop_assert_eq!(ct.to_bytes(), bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn decoder_never_panics_on_arbitrary_words(
+        bits in proptest::collection::vec(0u8..2, 400)
+    ) {
+        // Arbitrary 400-bit words are usually not within distance t of any
+        // codeword: both decoders must return (possibly inconsistent)
+        // results without panicking, and the CT decoder must still cost
+        // exactly its fixed budget.
+        let code = BchCode::lac_t16();
+        let _ = code.decode_variable_time(&bits, &mut NullMeter);
+        let mut l1 = lac_meter::CycleLedger::new();
+        code.decode_constant_time(&bits, &mut l1);
+        let mut l2 = lac_meter::CycleLedger::new();
+        code.decode_constant_time(&vec![0u8; 400], &mut l2);
+        prop_assert_eq!(l1.total(), l2.total());
+    }
+}
+
+#[test]
+fn truncated_and_padded_wire_formats_rejected() {
+    for params in Params::ALL {
+        for delta in [-2i64, -1, 1, 2, 100] {
+            let len = (params.ciphertext_bytes() as i64 + delta) as usize;
+            let bytes = vec![0u8; len];
+            assert!(
+                Ciphertext::from_bytes(&params, &bytes).is_err(),
+                "{} ct len {len}",
+                params.name()
+            );
+            let len = (params.public_key_bytes() as i64 + delta) as usize;
+            assert!(
+                PublicKey::from_bytes(&params, &vec![0u8; len]).is_err(),
+                "{} pk len {len}",
+                params.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn error_messages_are_informative() {
+    let err = PublicKey::from_bytes(&Params::lac128(), &[0u8; 5]).unwrap_err();
+    let text = err.to_string();
+    assert!(text.contains("544") && text.contains('5'), "{text}");
+}
