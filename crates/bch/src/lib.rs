@@ -409,4 +409,24 @@ mod tests {
         // t = 60 pushes k below 256.
         BchCode::new(Field::gf512(), 60);
     }
+
+    #[test]
+    fn prop_roundtrip_under_random_errors() {
+        use lac_rand::{prop, Rng};
+        prop::check("bch_roundtrip_under_random_errors", 24, |rng| {
+            for code in [BchCode::lac_t8(), BchCode::lac_t16()] {
+                let mut msg = [0u8; 32];
+                rng.fill_bytes(&mut msg);
+                let mut cw = code.encode(&msg, &mut NullMeter);
+                for p in prop::distinct_positions(rng, code.codeword_len(), code.t()) {
+                    cw[p] ^= 1;
+                }
+                let vt = code.decode_variable_time(&cw, &mut NullMeter);
+                let ct = code.decode_constant_time(&cw, &mut NullMeter);
+                prop::ensure_eq(vt.message, msg)?;
+                prop::ensure_eq(ct.message, msg)?;
+            }
+            Ok(())
+        });
+    }
 }

@@ -1,13 +1,14 @@
-//! Criterion wall-clock bench for Table I's subject: BCH decoding with the
+//! Wall-clock bench for Table I's subject: BCH decoding with the
 //! variable-time vs constant-time decoder at 0 and t errors.
+//! Run with `cargo bench -p lac-bench --features wallclock`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lac_bch::BchCode;
+use lac_bench::wallclock::Group;
 use lac_meter::NullMeter;
 use std::hint::black_box;
 
-fn bench_decoders(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bch_decode_t16");
+fn main() {
+    let mut group = Group::new("bch_decode_t16");
     let code = BchCode::lac_t16();
     let msg = [0x42u8; 32];
     let clean = code.encode(&msg, &mut NullMeter);
@@ -16,30 +17,21 @@ fn bench_decoders(c: &mut Criterion) {
         for i in 0..errors {
             cw[7 + i * 23] ^= 1;
         }
-        group.bench_with_input(
-            BenchmarkId::new("submission", errors),
-            &cw,
-            |b, cw| b.iter(|| black_box(code.decode_variable_time(black_box(cw), &mut NullMeter))),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("walters_ct", errors),
-            &cw,
-            |b, cw| b.iter(|| black_box(code.decode_constant_time(black_box(cw), &mut NullMeter))),
-        );
+        group.bench(&format!("submission/{errors}"), || {
+            black_box(code.decode_variable_time(black_box(&cw), &mut NullMeter))
+        });
+        group.bench(&format!("walters_ct/{errors}"), || {
+            black_box(code.decode_constant_time(black_box(&cw), &mut NullMeter))
+        });
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("bch_t8");
+    let mut group = Group::new("bch_t8");
     let code = BchCode::lac_t8();
     let cw = code.encode(&msg, &mut NullMeter);
-    group.bench_function("encode", |b| {
-        b.iter(|| black_box(code.encode(black_box(&msg), &mut NullMeter)))
+    group.bench("encode", || {
+        black_box(code.encode(black_box(&msg), &mut NullMeter))
     });
-    group.bench_function("decode_ct", |b| {
-        b.iter(|| black_box(code.decode_constant_time(black_box(&cw), &mut NullMeter)))
+    group.bench("decode_ct", || {
+        black_box(code.decode_constant_time(black_box(&cw), &mut NullMeter))
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_decoders);
-criterion_main!(benches);

@@ -1,54 +1,45 @@
-//! Criterion wall-clock bench for the hash substrates: software SHA-256 vs
-//! software Keccak (SHA3-256/SHAKE128), and the two accelerator models'
-//! functional simulations.
+//! Wall-clock bench for the hash substrates: software SHA-256 vs software
+//! Keccak (SHA3-256/SHAKE128), and the two accelerator models' functional
+//! simulations.
+//! Run with `cargo bench -p lac-bench --features wallclock`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lac_bench::wallclock::Group;
 use lac_hw::{KeccakUnit, Sha256Unit};
 use lac_meter::NullMeter;
 use std::hint::black_box;
 
-fn bench_hashes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hash");
+fn main() {
+    let mut group = Group::new("hash");
     for size in [64usize, 1024, 16 * 1024] {
         let data = vec![0xa5u8; size];
-        group.throughput(Throughput::Bytes(size as u64));
-        group.bench_with_input(BenchmarkId::new("sha256_sw", size), &data, |b, d| {
-            b.iter(|| black_box(lac_sha256::sha256(black_box(d))))
+        group.bench_throughput(&format!("sha256_sw/{size}"), size, || {
+            black_box(lac_sha256::sha256(black_box(&data)))
         });
-        group.bench_with_input(BenchmarkId::new("sha3_256_sw", size), &data, |b, d| {
-            b.iter(|| black_box(lac_keccak::sha3_256(black_box(d))))
+        group.bench_throughput(&format!("sha3_256_sw/{size}"), size, || {
+            black_box(lac_keccak::sha3_256(black_box(&data)))
         });
-        group.bench_with_input(BenchmarkId::new("sha256_unit_model", size), &data, |b, d| {
-            let mut unit = Sha256Unit::new();
-            b.iter(|| black_box(unit.digest(black_box(d), &mut NullMeter)))
+        let mut unit = Sha256Unit::new();
+        group.bench_throughput(&format!("sha256_unit_model/{size}"), size, || {
+            black_box(unit.digest(black_box(&data), &mut NullMeter))
         });
-        group.bench_with_input(BenchmarkId::new("keccak_unit_model", size), &data, |b, d| {
-            let mut unit = KeccakUnit::new();
-            b.iter(|| black_box(unit.digest(black_box(d), &mut NullMeter)))
+        let mut unit = KeccakUnit::new();
+        group.bench_throughput(&format!("keccak_unit_model/{size}"), size, || {
+            black_box(unit.digest(black_box(&data), &mut NullMeter))
         });
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("xof");
-    group.bench_function("shake128_squeeze_1k", |b| {
-        b.iter(|| {
-            let mut xof = lac_keccak::Shake128::new();
-            xof.absorb(black_box(b"seed"));
-            let mut out = [0u8; 1024];
-            xof.squeeze(&mut out);
-            black_box(out)
-        })
+    let mut group = Group::new("xof");
+    group.bench("shake128_squeeze_1k", || {
+        let mut xof = lac_keccak::Shake128::new();
+        xof.absorb(black_box(b"seed"));
+        let mut out = [0u8; 1024];
+        xof.squeeze(&mut out);
+        black_box(out)
     });
-    group.bench_function("sha256_expander_1k", |b| {
-        b.iter(|| {
-            let mut e = lac_sha256::Expander::new(black_box(&[7u8; 32]), 0);
-            let mut out = [0u8; 1024];
-            e.fill(&mut out);
-            black_box(out)
-        })
+    group.bench("sha256_expander_1k", || {
+        let mut e = lac_sha256::Expander::new(black_box(&[7u8; 32]), 0);
+        let mut out = [0u8; 1024];
+        e.fill(&mut out);
+        black_box(out)
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_hashes);
-criterion_main!(benches);

@@ -1,59 +1,36 @@
-//! Criterion wall-clock bench for the full KEM (Table II's subject): key
-//! generation, encapsulation and decapsulation for every parameter set on
-//! the software and accelerated backends.
+//! Wall-clock bench for the full KEM (Table II's subject): key generation,
+//! encapsulation and decapsulation for every parameter set on the software
+//! and accelerated backends.
+//! Run with `cargo bench -p lac-bench --features wallclock`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lac::{AcceleratedBackend, Backend, Kem, Params, SoftwareBackend};
+use lac_bench::wallclock::Group;
 use lac_meter::NullMeter;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lac_rand::Sha256CtrRng;
 use std::hint::black_box;
 
-fn bench_backend(c: &mut Criterion, name: &str, make: fn() -> Box<dyn Backend>) {
-    let mut group = c.benchmark_group(format!("kem_{name}"));
-    group.sample_size(10);
+fn bench_backend(name: &str, make: fn() -> Box<dyn Backend>) {
+    let mut group = Group::new(&format!("kem_{name}"));
     for params in Params::ALL {
         let kem = Kem::new(params);
         let mut backend = make();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Sha256CtrRng::seed_from_u64(1);
         let (pk, sk) = kem.keygen(&mut rng, backend.as_mut(), &mut NullMeter);
         let (ct, _) = kem.encapsulate(&mut rng, &pk, backend.as_mut(), &mut NullMeter);
 
-        group.bench_with_input(
-            BenchmarkId::new("keygen", params.name()),
-            &params,
-            |b, _| {
-                b.iter(|| {
-                    black_box(kem.keygen(&mut rng, backend.as_mut(), &mut NullMeter))
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("encaps", params.name()),
-            &params,
-            |b, _| {
-                b.iter(|| {
-                    black_box(kem.encapsulate(&mut rng, &pk, backend.as_mut(), &mut NullMeter))
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("decaps", params.name()),
-            &params,
-            |b, _| {
-                b.iter(|| {
-                    black_box(kem.decapsulate(&sk, &ct, backend.as_mut(), &mut NullMeter))
-                })
-            },
-        );
+        group.bench(&format!("keygen/{}", params.name()), || {
+            black_box(kem.keygen(&mut rng, backend.as_mut(), &mut NullMeter))
+        });
+        group.bench(&format!("encaps/{}", params.name()), || {
+            black_box(kem.encapsulate(&mut rng, &pk, backend.as_mut(), &mut NullMeter))
+        });
+        group.bench(&format!("decaps/{}", params.name()), || {
+            black_box(kem.decapsulate(&sk, &ct, backend.as_mut(), &mut NullMeter))
+        });
     }
-    group.finish();
 }
 
-fn bench_kem(c: &mut Criterion) {
-    bench_backend(c, "software_ct", || Box::new(SoftwareBackend::constant_time()));
-    bench_backend(c, "accelerated", || Box::new(AcceleratedBackend::new()));
+fn main() {
+    bench_backend("software_ct", || Box::new(SoftwareBackend::constant_time()));
+    bench_backend("accelerated", || Box::new(AcceleratedBackend::new()));
 }
-
-criterion_group!(benches, bench_kem);
-criterion_main!(benches);

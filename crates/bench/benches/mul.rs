@@ -1,7 +1,8 @@
-//! Criterion wall-clock bench for the multiplication subsystem (Table II's
+//! Wall-clock bench for the multiplication subsystem (Table II's
 //! "Multiplication" column and the E6 split-multiplication experiment).
+//! Run with `cargo bench -p lac-bench --features wallclock`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lac_bench::wallclock::Group;
 use lac_hw::MulTer;
 use lac_meter::NullMeter;
 use lac_ring::mul::mul_ternary;
@@ -15,52 +16,42 @@ fn operands(n: usize) -> (TernaryPoly, Poly) {
     (t, g)
 }
 
-fn bench_mul(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ring_mul");
+fn main() {
+    let mut group = Group::new("ring_mul");
     for n in [512usize, 1024] {
         let (t, g) = operands(n);
-        group.bench_with_input(BenchmarkId::new("schoolbook", n), &n, |b, _| {
-            b.iter(|| {
-                black_box(mul_ternary(
-                    black_box(&t),
-                    black_box(&g),
-                    Convolution::Negacyclic,
-                    &mut NullMeter,
-                ))
-            })
+        group.bench(&format!("schoolbook/{n}"), || {
+            black_box(mul_ternary(
+                black_box(&t),
+                black_box(&g),
+                Convolution::Negacyclic,
+                &mut NullMeter,
+            ))
         });
     }
 
     // The hardware model's functional simulation (n = 512 direct).
     let (t, g) = operands(512);
-    group.bench_function("mul_ter_model_512", |b| {
-        let mut unit = MulTer::new(512);
-        b.iter(|| {
-            black_box(unit.multiply(
-                black_box(&t),
-                black_box(&g),
-                Convolution::Negacyclic,
-                &mut NullMeter,
-            ))
-        })
+    let mut unit = MulTer::new(512);
+    group.bench("mul_ter_model_512", || {
+        black_box(unit.multiply(
+            black_box(&t),
+            black_box(&g),
+            Convolution::Negacyclic,
+            &mut NullMeter,
+        ))
     });
 
     // Algorithm 1+2: n = 1024 on the length-512 unit.
     let (t, g) = operands(1024);
-    group.bench_function("split_mul_1024_on_512", |b| {
-        let mut unit = MulTer::new(512);
-        b.iter(|| {
-            black_box(split_mul_high(
-                &mut unit,
-                black_box(&t),
-                black_box(&g),
-                Convolution::Negacyclic,
-                &mut NullMeter,
-            ))
-        })
+    let mut unit = MulTer::new(512);
+    group.bench("split_mul_1024_on_512", || {
+        black_box(split_mul_high(
+            &mut unit,
+            black_box(&t),
+            black_box(&g),
+            Convolution::Negacyclic,
+            &mut NullMeter,
+        ))
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_mul);
-criterion_main!(benches);

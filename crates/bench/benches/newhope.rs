@@ -1,53 +1,45 @@
-//! Criterion wall-clock bench for the NewHope baseline: NTT transforms and
-//! the CPA KEM, software vs \[8\]-style co-processor configuration.
+//! Wall-clock bench for the NewHope baseline: NTT transforms and the CPA
+//! KEM, software vs \[8\]-style co-processor configuration.
+//! Run with `cargo bench -p lac-bench --features wallclock`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lac_bench::wallclock::Group;
 use lac_meter::NullMeter;
+use lac_rand::Sha256CtrRng;
 use newhope::{AcceleratedBackend, CpaKem, NewHopeParams, Ntt, SoftwareBackend};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::hint::black_box;
 
-fn bench_ntt(c: &mut Criterion) {
-    let mut group = c.benchmark_group("newhope_ntt");
+fn main() {
+    let mut group = Group::new("newhope_ntt");
     for n in [512usize, 1024] {
         let ntt = Ntt::new(n);
         let poly: Vec<u16> = (0..n as u32).map(|i| (i * 13 % 12289) as u16).collect();
-        group.bench_with_input(BenchmarkId::new("forward", n), &poly, |b, p| {
-            b.iter(|| black_box(ntt.forward(black_box(p), &mut NullMeter)))
+        group.bench(&format!("forward/{n}"), || {
+            black_box(ntt.forward(black_box(&poly), &mut NullMeter))
         });
         let freq = ntt.forward(&poly, &mut NullMeter);
-        group.bench_with_input(BenchmarkId::new("inverse", n), &freq, |b, f| {
-            b.iter(|| black_box(ntt.inverse(black_box(f), &mut NullMeter)))
+        group.bench(&format!("inverse/{n}"), || {
+            black_box(ntt.inverse(black_box(&freq), &mut NullMeter))
         });
     }
-    group.finish();
-}
 
-fn bench_kem(c: &mut Criterion) {
-    let mut group = c.benchmark_group("newhope_kem");
-    group.sample_size(20);
+    let mut group = Group::new("newhope_kem");
     let kem = CpaKem::new(NewHopeParams::newhope1024());
     let mut sw = SoftwareBackend::new();
     let mut hw = AcceleratedBackend::new();
-    let mut rng = StdRng::seed_from_u64(1);
+    let mut rng = Sha256CtrRng::seed_from_u64(1);
     let (pk, sk) = kem.keygen(&mut rng, &mut sw, &mut NullMeter);
     let (ct, _) = kem.encapsulate(&mut rng, &pk, &mut sw, &mut NullMeter);
 
-    group.bench_function("keygen", |b| {
-        b.iter(|| black_box(kem.keygen(&mut rng, &mut sw, &mut NullMeter)))
+    group.bench("keygen", || {
+        black_box(kem.keygen(&mut rng, &mut sw, &mut NullMeter))
     });
-    group.bench_function("encaps", |b| {
-        b.iter(|| black_box(kem.encapsulate(&mut rng, &pk, &mut sw, &mut NullMeter)))
+    group.bench("encaps", || {
+        black_box(kem.encapsulate(&mut rng, &pk, &mut sw, &mut NullMeter))
     });
-    group.bench_function("decaps", |b| {
-        b.iter(|| black_box(kem.decapsulate(&sk, &ct, &mut sw, &mut NullMeter)))
+    group.bench("decaps", || {
+        black_box(kem.decapsulate(&sk, &ct, &mut sw, &mut NullMeter))
     });
-    group.bench_function("decaps_accelerated_model", |b| {
-        b.iter(|| black_box(kem.decapsulate(&sk, &ct, &mut hw, &mut NullMeter)))
+    group.bench("decaps_accelerated_model", || {
+        black_box(kem.decapsulate(&sk, &ct, &mut hw, &mut NullMeter))
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_ntt, bench_kem);
-criterion_main!(benches);

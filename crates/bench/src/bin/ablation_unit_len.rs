@@ -16,8 +16,7 @@ use lac_hw::MulTer;
 use lac_meter::{CycleLedger, NullMeter};
 use lac_ring::split::split_mul_high;
 use lac_ring::{Convolution, Poly, TernaryPoly};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lac_rand::Sha256CtrRng;
 
 /// Cycles for a length-`n` product on a length-`unit` MUL TER.
 fn mul_cycles(unit: usize, n: usize) -> Option<u64> {
@@ -55,7 +54,7 @@ fn main() {
     for unit in [512usize, 1024] {
         let kem = Kem::new(Params::lac256());
         let mut backend = AcceleratedBackend::with_unit_len(unit);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Sha256CtrRng::seed_from_u64(1);
         let (pk, sk) = kem.keygen(&mut rng, &mut backend, &mut NullMeter);
         let (ct, _) = kem.encapsulate(&mut rng, &pk, &mut backend, &mut NullMeter);
         let mut ledger = CycleLedger::new();

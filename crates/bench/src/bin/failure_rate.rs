@@ -13,8 +13,8 @@
 
 use lac::{Lac, Params, SoftwareBackend};
 use lac_meter::NullMeter;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lac_rand::Sha256CtrRng;
+use lac_rand::Rng;
 
 /// ln(n choose k) via the log-gamma-free cumulative product (exact enough
 /// for tail estimates here).
@@ -52,7 +52,7 @@ fn main() {
         let lac = Lac::new(params);
         let code = lac.bch();
         let mut backend = SoftwareBackend::constant_time();
-        let mut rng = StdRng::seed_from_u64(0x5eed);
+        let mut rng = Sha256CtrRng::seed_from_u64(0x5eed);
 
         let trials = 60usize;
         let mut total_errors = 0u64;
@@ -62,9 +62,9 @@ fn main() {
         for _ in 0..trials {
             let (pk, sk) = lac.keygen(&mut rng, &mut backend, &mut NullMeter);
             let mut msg = [0u8; 32];
-            rng.fill(&mut msg);
+            rng.fill_bytes(&mut msg);
             let mut enc_seed = [0u8; 32];
-            rng.fill(&mut enc_seed);
+            rng.fill_bytes(&mut enc_seed);
             let ct = lac.encrypt(&pk, &msg, &enc_seed, &mut backend, &mut NullMeter);
             let (out, info) = lac.decrypt(&sk, &ct, &mut backend, &mut NullMeter);
             assert_eq!(out, msg, "BCH failed within its envelope");

@@ -4,9 +4,10 @@
 //! 0 and 16 injected errors.
 //!
 //! Run: `cargo run --release -p lac-bench --bin table1`
+//! (`--json` emits the same data as machine-readable JSON)
 
 use lac_bch::BchCode;
-use lac_bench::{ratio, thousands, PAPER_TABLE1};
+use lac_bench::{json, ratio, thousands, PAPER_TABLE1};
 use lac_meter::{CycleLedger, NullMeter, Phase};
 
 struct Measured {
@@ -39,8 +40,52 @@ fn measure(code: &BchCode, constant_time: bool, errors: usize) -> Measured {
     }
 }
 
+fn emit_json(code: &BchCode) {
+    let mut rows = Vec::new();
+    for (label, fails, paper) in PAPER_TABLE1 {
+        let m = measure(code, label.starts_with("Walters"), fails);
+        let col = |name: &str, measured: u64, paper: u64| {
+            format!("\"{name}\": {{\"measured\": {measured}, \"paper\": {paper}}}")
+        };
+        rows.push(format!(
+            "    {{{}, \"fails\": {fails}, {}, {}, {}, {}}}",
+            json::str_field("scheme", label),
+            col("syndrome", m.syndrome, paper[0]),
+            col("error_locator", m.err_loc, paper[1]),
+            col("chien", m.chien, paper[2]),
+            col("decode", m.decode, paper[3]),
+        ));
+    }
+    let vt0 = measure(code, false, 0);
+    let vt16 = measure(code, false, 16);
+    let ct0 = measure(code, true, 0);
+    let ct16 = measure(code, true, 16);
+    println!("{{");
+    println!("  \"table\": \"I\",");
+    println!("  \"rows\": [\n{}\n  ],", rows.join(",\n"));
+    println!("  \"checks\": {{");
+    println!(
+        "    \"submission_decode_0_errors\": {}, \"submission_decode_16_errors\": {},",
+        vt0.decode, vt16.decode
+    );
+    println!(
+        "    \"constant_time_input_independent\": {},",
+        ct0.decode == ct16.decode
+    );
+    println!(
+        "    \"constant_time_overhead\": {:.4}",
+        ct0.decode as f64 / vt0.decode as f64
+    );
+    println!("  }}");
+    println!("}}");
+}
+
 fn main() {
     let code = BchCode::lac_t16();
+    if json::requested() {
+        emit_json(&code);
+        return;
+    }
     println!("Table I — cycle count BCH(511, 367, 16) on RISC-V");
     println!("(paper values in parentheses, ratio = measured / paper)\n");
     println!(

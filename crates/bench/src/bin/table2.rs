@@ -9,9 +9,10 @@
 //! configuration and printed next to \[8\]'s published numbers.
 //!
 //! Run: `cargo run --release -p lac-bench --bin table2`
+//! (`--json` emits the same data as machine-readable JSON)
 
 use lac::{AcceleratedBackend, Backend, Params, SoftwareBackend};
-use lac_bench::{measure_kem, ratio, thousands, KemRow, PAPER_TABLE2};
+use lac_bench::{json, measure_kem, ratio, thousands, KemRow, PAPER_TABLE2};
 
 fn print_row(row: &KemRow, paper: Option<&[u64; 7]>) {
     println!(
@@ -42,7 +43,77 @@ fn print_row(row: &KemRow, paper: Option<&[u64; 7]>) {
     }
 }
 
+fn measure_rows() -> Vec<KemRow> {
+    let configs: [(&str, fn() -> Box<dyn Backend>); 3] = [
+        ("ref.", || Box::new(SoftwareBackend::reference())),
+        ("const. BCH", || Box::new(SoftwareBackend::constant_time())),
+        ("opt.", || Box::new(AcceleratedBackend::new())),
+    ];
+    let mut rows = Vec::new();
+    for (suffix, make) in configs {
+        for params in Params::ALL {
+            let mut backend = make();
+            let label = format!("{} {}", params.name(), suffix);
+            rows.push(measure_kem(params, backend.as_mut(), &label));
+        }
+    }
+    rows
+}
+
+fn emit_json(rows: &[KemRow]) {
+    let mut out = Vec::new();
+    for row in rows {
+        let paper = PAPER_TABLE2
+            .iter()
+            .find(|(l, _)| *l == row.label)
+            .map(|(_, v)| v);
+        let mut fields = vec![
+            json::str_field("scheme", &row.label),
+            json::str_field("category", row.category),
+            format!("\"keygen\": {}", row.keygen),
+            format!("\"encaps\": {}", row.encaps),
+            format!("\"decaps\": {}", row.decaps),
+            format!("\"gen_a\": {}", row.gen_a),
+            format!("\"sample\": {}", row.sample),
+            format!("\"mul\": {}", row.mul),
+            format!("\"bch_dec\": {}", row.bch_dec),
+        ];
+        if let Some(p) = paper {
+            fields.push(format!(
+                "\"paper\": {{\"keygen\": {}, \"encaps\": {}, \"decaps\": {}, \"gen_a\": {}, \"sample\": {}, \"mul\": {}, \"bch_dec\": {}}}",
+                p[0], p[1], p[2], p[3], p[4], p[5], p[6]
+            ));
+        }
+        out.push(format!("    {{{}}}", fields.join(", ")));
+    }
+    let mut speedups = Vec::new();
+    for params in Params::ALL {
+        let base = rows
+            .iter()
+            .find(|r| r.label == format!("{} const. BCH", params.name()))
+            .expect("baseline row");
+        let opt = rows
+            .iter()
+            .find(|r| r.label == format!("{} opt.", params.name()))
+            .expect("optimized row");
+        speedups.push(format!(
+            "    {{{}, \"decaps_speedup\": {:.4}}}",
+            json::str_field("scheme", params.name()),
+            base.decaps as f64 / opt.decaps as f64
+        ));
+    }
+    println!("{{");
+    println!("  \"table\": \"II\",");
+    println!("  \"rows\": [\n{}\n  ],", out.join(",\n"));
+    println!("  \"speedups\": [\n{}\n  ]", speedups.join(",\n"));
+    println!("}}");
+}
+
 fn main() {
+    if json::requested() {
+        emit_json(&measure_rows());
+        return;
+    }
     println!("Table II — cycle count for the key encapsulation and performance bottlenecks");
     println!("(CCA security; all rows measured on the RISCY cost model; ratios vs paper)\n");
     println!(
@@ -96,11 +167,10 @@ fn main() {
     // [8]-style co-processor configuration, next to [8]'s published row.
     {
         use newhope::{AcceleratedBackend as NhAccel, CpaKem, NewHopeParams};
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+        use lac_rand::Sha256CtrRng;
         let kem = CpaKem::new(NewHopeParams::newhope1024());
         let mut backend = NhAccel::new();
-        let mut rng = StdRng::seed_from_u64(0xBEEF);
+        let mut rng = Sha256CtrRng::seed_from_u64(0xBEEF);
         let (pk, sk) = kem.keygen(&mut rng, &mut backend, &mut lac_meter::NullMeter);
         let (ct, _) = kem.encapsulate(&mut rng, &pk, &mut backend, &mut lac_meter::NullMeter);
         let mut kg = lac_meter::CycleLedger::new();

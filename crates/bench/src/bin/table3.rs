@@ -7,7 +7,9 @@
 //! structural estimate and printed next to the paper's synthesis result.
 //!
 //! Run: `cargo run --release -p lac-bench --bin table3`
+//! (`--json` emits the same data as machine-readable JSON)
 
+use lac_bench::json;
 use lac_hw::area::{
     ResourceEstimate, KECCAK_ACCELERATOR_REF8, NTT_ACCELERATOR_REF8, PERIPHERALS, RISCY_BASE,
 };
@@ -24,7 +26,57 @@ fn row(label: &str, r: ResourceEstimate, paper: Option<(u32, u32, u32, u32)>) {
     println!();
 }
 
+fn json_row(label: &str, r: ResourceEstimate, paper: Option<(u32, u32, u32, u32)>) -> String {
+    let mut fields = vec![
+        json::str_field("unit", label),
+        format!(
+            "\"luts\": {}, \"regs\": {}, \"brams\": {}, \"dsps\": {}",
+            r.luts, r.regs, r.brams, r.dsps
+        ),
+    ];
+    if let Some((l, rg, b, d)) = paper {
+        fields.push(format!(
+            "\"paper\": {{\"luts\": {l}, \"regs\": {rg}, \"brams\": {b}, \"dsps\": {d}}}"
+        ));
+    }
+    format!("    {{{}}}", fields.join(", "))
+}
+
+fn emit_json() {
+    let mul_ter = MulTer::new(512);
+    let chien = ChienUnit::new();
+    let sha = Sha256Unit::new();
+    let modq = ModQ::new();
+    let accel_total = mul_ter.resources() + chien.resources() + sha.resources() + modq.resources();
+    let rows = [
+        json_row("peripherals_memory", PERIPHERALS, Some((8_769, 7_369, 32, 0))),
+        json_row(
+            "riscv_core_total",
+            accel_total + RISCY_BASE,
+            Some((53_819, 13_928, 0, 10)),
+        ),
+        json_row("ternary_multiplier", mul_ter.resources(), Some((31_465, 9_305, 0, 0))),
+        json_row("gf_multipliers", chien.resources(), Some((86, 158, 0, 0))),
+        json_row("sha256", sha.resources(), Some((1_031, 1_556, 0, 0))),
+        json_row("modulo_barrett", modq.resources(), Some((35, 0, 0, 2))),
+        json_row("ntt_accelerator_ref8", NTT_ACCELERATOR_REF8, None),
+        json_row("keccak_accelerator_ref8", KECCAK_ACCELERATOR_REF8, None),
+    ];
+    println!("{{");
+    println!("  \"table\": \"III\",");
+    println!("  \"rows\": [\n{}\n  ],", rows.join(",\n"));
+    println!(
+        "  \"pq_alu_total\": {{\"luts\": {}, \"regs\": {}, \"dsps\": {}}}",
+        accel_total.luts, accel_total.regs, accel_total.dsps
+    );
+    println!("}}");
+}
+
 fn main() {
+    if json::requested() {
+        emit_json();
+        return;
+    }
     println!("Table III — resource utilization (structural model vs paper synthesis)\n");
     println!(
         "{:<28} {:>8} {:>10} {:>7} {:>6}",

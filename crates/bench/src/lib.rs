@@ -19,10 +19,43 @@
 
 use lac::{Backend, Kem, Params};
 use lac_meter::{CycleLedger, NullMeter, Phase};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lac_rand::Sha256CtrRng;
 
 pub use lac_meter::report::thousands;
+
+#[cfg(feature = "wallclock")]
+pub mod wallclock;
+
+/// Minimal hand-rolled JSON emission for the table binaries' `--json` mode
+/// (the workspace has no serde; the values are flat numbers and ASCII
+/// labels, so a string escaper and a builder discipline suffice).
+pub mod json {
+    /// Escape a string for inclusion inside a JSON string literal.
+    pub fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    /// `"key": "value"` fragment with an escaped string value.
+    pub fn str_field(key: &str, value: &str) -> String {
+        format!("\"{}\": \"{}\"", escape(key), escape(value))
+    }
+
+    /// Whether `--json` was passed on the command line.
+    pub fn requested() -> bool {
+        std::env::args().any(|a| a == "--json")
+    }
+}
 
 /// Sum of the BCH decode sub-phases (the paper's "BCH Dec." column).
 pub fn bch_decode_total(ledger: &CycleLedger) -> u64 {
@@ -70,12 +103,12 @@ pub struct KemRow {
 /// this backend.
 pub fn measure_kem(params: Params, backend: &mut dyn Backend, label: &str) -> KemRow {
     let kem = Kem::new(params);
-    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let mut rng = Sha256CtrRng::seed_from_u64(0xBEEF);
     let (pk, sk) = kem.keygen(&mut rng, backend, &mut NullMeter);
     let (ct, _) = kem.encapsulate(&mut rng, &pk, backend, &mut NullMeter);
 
     let mut keygen = CycleLedger::new();
-    let mut rng2 = StdRng::seed_from_u64(0xF00D);
+    let mut rng2 = Sha256CtrRng::seed_from_u64(0xF00D);
     kem.keygen(&mut rng2, backend, &mut keygen);
 
     let mut encaps = CycleLedger::new();

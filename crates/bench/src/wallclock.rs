@@ -1,0 +1,102 @@
+//! A minimal in-tree wall-clock benchmarking harness (the workspace's
+//! `criterion` replacement), available only with the non-default
+//! `wallclock` feature:
+//!
+//! ```text
+//! cargo bench -p lac-bench --features wallclock
+//! ```
+//!
+//! The modelled cycle counts (Tables I–III) are the workspace's primary
+//! measurements and never depend on this module; wall-clock numbers are a
+//! sanity cross-check on the host, so the harness favours zero dependencies
+//! and readable output over criterion's statistical machinery: per bench it
+//! calibrates a batch size, takes a fixed number of timed samples, and
+//! reports the median/min/mean nanoseconds per iteration.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock duration of one timed sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(10);
+
+/// Timed samples taken per benchmark.
+const SAMPLES: usize = 30;
+
+/// Warm-up budget used to calibrate the batch size.
+const WARMUP: Duration = Duration::from_millis(20);
+
+/// A named group of benchmarks, printed as `group/label: ...` lines.
+pub struct Group {
+    name: String,
+}
+
+impl Group {
+    /// Start a new benchmark group.
+    pub fn new(name: &str) -> Self {
+        println!("\n== {name} ==");
+        Self {
+            name: name.to_string(),
+        }
+    }
+
+    /// Measure `f`, printing nanoseconds per iteration.
+    pub fn bench<T>(&mut self, label: &str, f: impl FnMut() -> T) {
+        self.run(label, None, f);
+    }
+
+    /// Measure `f`, printing ns/iter plus throughput for `bytes` of input.
+    pub fn bench_throughput<T>(&mut self, label: &str, bytes: usize, f: impl FnMut() -> T) {
+        self.run(label, Some(bytes), f);
+    }
+
+    fn run<T>(&mut self, label: &str, bytes: Option<usize>, mut f: impl FnMut() -> T) {
+        // Calibration: run for WARMUP to estimate the per-iteration cost,
+        // then size batches so one sample lasts roughly SAMPLE_TARGET.
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < WARMUP {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = start.elapsed().as_nanos().max(1) / u128::from(warm_iters);
+        let batch = (SAMPLE_TARGET.as_nanos() / per_iter.max(1)).clamp(1, 1 << 24) as u64;
+
+        let mut samples_ns: Vec<u128> = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            samples_ns.push(t.elapsed().as_nanos() / u128::from(batch));
+        }
+        samples_ns.sort_unstable();
+        let median = samples_ns[samples_ns.len() / 2];
+        let min = samples_ns[0];
+        let mean = samples_ns.iter().sum::<u128>() / samples_ns.len() as u128;
+
+        let mut line = format!(
+            "{}/{label}: median {median} ns/iter (min {min}, mean {mean}, {SAMPLES} samples x {batch} iters)",
+            self.name
+        );
+        if let Some(bytes) = bytes {
+            let mb_s = bytes as f64 / median as f64 * 1_000.0;
+            line.push_str(&format!(" — {mb_s:.1} MB/s"));
+        }
+        println!("{line}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut g = Group::new("selftest");
+        let mut acc = 0u64;
+        g.bench("wrapping_add", || {
+            acc = acc.wrapping_add(0x9e3779b97f4a7c15);
+            acc
+        });
+        g.bench_throughput("memset_1k", 1024, || vec![0xa5u8; 1024]);
+    }
+}

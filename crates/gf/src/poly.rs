@@ -334,7 +334,7 @@ pub fn minimal_polynomial(gf: &Field, i: u32) -> BinPoly {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use lac_rand::{prop, Rng};
 
     fn gf() -> Field {
         Field::gf512()
@@ -507,53 +507,55 @@ mod tests {
         assert_eq!(minimal_polynomial(&f, 0), BinPoly::from_bits(&[1, 1]));
     }
 
-    proptest! {
-        #[test]
-        fn prop_binpoly_div_rem_invariant(
-            a_bits in proptest::collection::vec(0u8..2, 1..128),
-            d_bits in proptest::collection::vec(0u8..2, 1..32)
-        ) {
-            let a = BinPoly::from_bits(&a_bits);
-            let mut d = BinPoly::from_bits(&d_bits);
+    #[test]
+    fn prop_binpoly_div_rem_invariant() {
+        prop::check("binpoly_div_rem_invariant", 128, |rng| {
+            let a_len = rng.gen_range_usize(1..128);
+            let d_len = rng.gen_range_usize(1..32);
+            let a = BinPoly::from_bits(&prop::vec_u8(rng, a_len, 2));
+            let mut d = BinPoly::from_bits(&prop::vec_u8(rng, d_len, 2));
             if d.is_zero() {
                 d = BinPoly::monomial(0);
             }
             let (q, r) = a.div_rem(&d);
-            prop_assert_eq!(q.mul(&d).add(&r), a);
+            prop::ensure_eq(q.mul(&d).add(&r), a)?;
             if let (Some(rd), Some(dd)) = (r.degree(), d.degree()) {
-                prop_assert!(rd < dd);
+                prop::ensure(rd < dd, "remainder degree not below divisor")?;
             }
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn prop_gfpoly_mul_commutative(
-            a in proptest::collection::vec(0u16..512, 0..12),
-            b in proptest::collection::vec(0u16..512, 0..12)
-        ) {
+    #[test]
+    fn prop_gfpoly_mul_commutative() {
+        prop::check("gfpoly_mul_commutative", 128, |rng| {
+            let a_len = rng.gen_below_usize(12);
+            let b_len = rng.gen_below_usize(12);
             let f = Field::gf512();
-            let pa = GfPoly::from_coeffs(&a);
-            let pb = GfPoly::from_coeffs(&b);
-            prop_assert_eq!(pa.mul(&pb, &f), pb.mul(&pa, &f));
-        }
+            let pa = GfPoly::from_coeffs(&prop::vec_u16(rng, a_len, 512));
+            let pb = GfPoly::from_coeffs(&prop::vec_u16(rng, b_len, 512));
+            prop::ensure_eq(pa.mul(&pb, &f), pb.mul(&pa, &f))
+        });
+    }
 
-        #[test]
-        fn prop_gfpoly_eval_is_ring_hom(
-            a in proptest::collection::vec(0u16..512, 0..10),
-            b in proptest::collection::vec(0u16..512, 0..10),
-            x in 0u16..512
-        ) {
+    #[test]
+    fn prop_gfpoly_eval_is_ring_hom() {
+        prop::check("gfpoly_eval_is_ring_hom", 128, |rng| {
+            let a_len = rng.gen_below_usize(10);
+            let b_len = rng.gen_below_usize(10);
             let f = Field::gf512();
-            let pa = GfPoly::from_coeffs(&a);
-            let pb = GfPoly::from_coeffs(&b);
+            let pa = GfPoly::from_coeffs(&prop::vec_u16(rng, a_len, 512));
+            let pb = GfPoly::from_coeffs(&prop::vec_u16(rng, b_len, 512));
+            let x = prop::vec_u16(rng, 1, 512)[0];
             // eval(a*b) = eval(a)*eval(b), eval(a+b) = eval(a)+eval(b)
-            prop_assert_eq!(
+            prop::ensure_eq(
                 pa.mul(&pb, &f).eval(&f, x),
-                f.mul(pa.eval(&f, x), pb.eval(&f, x))
-            );
-            prop_assert_eq!(
+                f.mul(pa.eval(&f, x), pb.eval(&f, x)),
+            )?;
+            prop::ensure_eq(
                 pa.add(&pb).eval(&f, x),
-                pa.eval(&f, x) ^ pb.eval(&f, x)
-            );
-        }
+                pa.eval(&f, x) ^ pb.eval(&f, x),
+            )
+        });
     }
 }

@@ -61,7 +61,7 @@ impl ModQ {
 mod tests {
     use super::*;
     use lac_meter::{CycleLedger, NullMeter};
-    use proptest::prelude::*;
+    use lac_rand::{prop, Rng};
 
     #[test]
     fn reduces_correctly() {
@@ -97,13 +97,11 @@ mod tests {
         assert_eq!((r.luts, r.regs, r.brams, r.dsps), (35, 0, 0, 2));
     }
 
-    proptest! {
-        #[test]
-        fn prop_matches_modulo(x in any::<u32>()) {
-            prop_assert_eq!(
-                u32::from(ModQ::new().reduce(x, &mut NullMeter)),
-                x % 251
-            );
-        }
+    #[test]
+    fn prop_matches_modulo() {
+        prop::check("mod_q_matches_modulo", 256, |rng| {
+            let x = rng.next_u32();
+            prop::ensure_eq(u32::from(ModQ::new().reduce(x, &mut NullMeter)), x % 251)
+        });
     }
 }

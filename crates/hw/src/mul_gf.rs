@@ -86,7 +86,7 @@ mod tests {
     use super::*;
     use lac_gf::Field;
     use lac_meter::{CycleLedger, NullMeter};
-    use proptest::prelude::*;
+    use lac_rand::prop;
 
     #[test]
     fn matches_field_multiplication_exhaustive_sample() {
@@ -146,14 +146,13 @@ mod tests {
         MulGf::new().multiply(512, 1, &mut NullMeter);
     }
 
-    proptest! {
-        #[test]
-        fn prop_matches_field(a in 0u16..512, b in 0u16..512) {
+    #[test]
+    fn prop_matches_field() {
+        prop::check("mul_gf_matches_field", 256, |rng| {
+            let pair = prop::vec_u16(rng, 2, 512);
+            let (a, b) = (pair[0], pair[1]);
             let gf = Field::gf512();
-            prop_assert_eq!(
-                MulGf::new().multiply(a, b, &mut NullMeter),
-                gf.mul(a, b)
-            );
-        }
+            prop::ensure_eq(MulGf::new().multiply(a, b, &mut NullMeter), gf.mul(a, b))
+        });
     }
 }

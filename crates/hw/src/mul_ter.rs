@@ -249,7 +249,7 @@ mod tests {
     use lac_meter::{CycleLedger, NullMeter};
     use lac_ring::mul::mul_ternary;
     use lac_ring::split::split_mul_high;
-    use proptest::prelude::*;
+    use lac_rand::prop;
 
     #[test]
     fn matches_software_multiplication_small() {
@@ -410,38 +410,35 @@ mod tests {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
-        #[test]
-        fn prop_matches_software(
-            a in proptest::collection::vec(-1i8..=1, 16),
-            b in proptest::collection::vec(0u8..251, 16)
-        ) {
+    #[test]
+    fn prop_matches_software() {
+        prop::check("mul_ter_matches_software", 48, |rng| {
             let mut unit = MulTer::new(16);
-            let a = TernaryPoly::from_coeffs(a);
-            let b = Poly::from_coeffs(b);
+            let a = TernaryPoly::from_coeffs(prop::vec_i8(rng, 16, -1, 1));
+            let b = Poly::from_coeffs(prop::vec_u8(rng, 16, 251));
             for conv in [Convolution::Cyclic, Convolution::Negacyclic] {
-                prop_assert_eq!(
+                prop::ensure_eq(
                     unit.multiply(&a, &b, conv, &mut NullMeter),
-                    mul_ternary(&a, &b, conv, &mut NullMeter)
-                );
+                    mul_ternary(&a, &b, conv, &mut NullMeter),
+                )?;
             }
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn prop_rtl_matches_algebraic(
-            a in proptest::collection::vec(-1i8..=1, 16),
-            b in proptest::collection::vec(0u8..251, 16)
-        ) {
+    #[test]
+    fn prop_rtl_matches_algebraic() {
+        prop::check("mul_ter_rtl_matches_algebraic", 48, |rng| {
             let mut unit = MulTer::new(16);
-            let a = TernaryPoly::from_coeffs(a);
-            let b = Poly::from_coeffs(b);
+            let a = TernaryPoly::from_coeffs(prop::vec_i8(rng, 16, -1, 1));
+            let b = Poly::from_coeffs(prop::vec_u8(rng, 16, 251));
             for conv in [Convolution::Cyclic, Convolution::Negacyclic] {
-                prop_assert_eq!(
+                prop::ensure_eq(
                     unit.multiply_rtl(&a, &b, conv),
-                    unit.multiply(&a, &b, conv, &mut NullMeter)
-                );
+                    unit.multiply(&a, &b, conv, &mut NullMeter),
+                )?;
             }
-        }
+            Ok(())
+        });
     }
 }

@@ -439,15 +439,14 @@ mod keccak_backend_tests {
     use super::*;
     use crate::{Kem, Params};
     use lac_meter::{CycleLedger, NullMeter};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use lac_rand::Sha256CtrRng;
 
     #[test]
     fn kem_roundtrip_on_keccak_backend() {
         for params in Params::ALL {
             let kem = Kem::new(params);
             let mut backend = KeccakAcceleratedBackend::new();
-            let mut rng = StdRng::seed_from_u64(44);
+            let mut rng = Sha256CtrRng::seed_from_u64(44);
             let (pk, sk) = kem.keygen(&mut rng, &mut backend, &mut NullMeter);
             let (ct, k1) = kem.encapsulate(&mut rng, &pk, &mut backend, &mut NullMeter);
             let k2 = kem.decapsulate(&sk, &ct, &mut backend, &mut NullMeter);
@@ -459,7 +458,7 @@ mod keccak_backend_tests {
     fn keccak_backend_speeds_up_gen_a() {
         use lac_meter::Phase;
         let kem = Kem::new(Params::lac128());
-        let mut rng = StdRng::seed_from_u64(45);
+        let mut rng = Sha256CtrRng::seed_from_u64(45);
 
         let mut sha = AcceleratedBackend::new();
         let mut l_sha = CycleLedger::new();

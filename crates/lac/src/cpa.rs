@@ -17,7 +17,7 @@ use crate::keys::{Ciphertext, PublicKey, SecretKey};
 use crate::pke::Lac;
 use crate::{Params, MESSAGE_BYTES, SEED_BYTES};
 use lac_meter::{Meter, Phase};
-use rand::RngCore;
+use lac_rand::Rng;
 
 /// Domain bytes distinct from the CCA KEM's.
 const DOMAIN_CPA_SEED: u8 = 0x63;
@@ -51,11 +51,11 @@ impl std::fmt::Debug for CpaSharedSecret {
 /// ```
 /// use lac::{CpaKem, Params, SoftwareBackend};
 /// use lac_meter::NullMeter;
-/// use rand::SeedableRng;
+/// use lac_rand::Sha256CtrRng;
 ///
 /// let kem = CpaKem::new(Params::lac192());
 /// let mut b = SoftwareBackend::constant_time();
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+/// let mut rng = Sha256CtrRng::seed_from_u64(4);
 /// let (pk, sk) = kem.keygen(&mut rng, &mut b, &mut NullMeter);
 /// let (ct, k1) = kem.encapsulate(&mut rng, &pk, &mut b, &mut NullMeter);
 /// let k2 = kem.decapsulate(&sk, &ct, &mut b, &mut NullMeter);
@@ -86,7 +86,7 @@ impl CpaKem {
 
     /// Generate a key pair (plain PKE keys — no implicit-rejection secret
     /// is needed without the FO transform).
-    pub fn keygen<B: Backend + ?Sized, R: RngCore>(
+    pub fn keygen<B: Backend + ?Sized, R: Rng>(
         &self,
         rng: &mut R,
         backend: &mut B,
@@ -96,7 +96,7 @@ impl CpaKem {
     }
 
     /// Encapsulate: encrypt a random message, derive K = H(m ‖ ct).
-    pub fn encapsulate<B: Backend + ?Sized, R: RngCore>(
+    pub fn encapsulate<B: Backend + ?Sized, R: Rng>(
         &self,
         rng: &mut R,
         pk: &PublicKey,
@@ -153,8 +153,7 @@ mod tests {
     use crate::backend::{AcceleratedBackend, SoftwareBackend};
     use crate::Kem;
     use lac_meter::{CycleLedger, NullMeter};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use lac_rand::Sha256CtrRng;
 
     #[test]
     fn roundtrip_all_params_and_backends() {
@@ -162,7 +161,7 @@ mod tests {
             let kem = CpaKem::new(params);
             for seed in 0..3u64 {
                 let mut sw = SoftwareBackend::constant_time();
-                let mut rng = StdRng::seed_from_u64(seed);
+                let mut rng = Sha256CtrRng::seed_from_u64(seed);
                 let (pk, sk) = kem.keygen(&mut rng, &mut sw, &mut NullMeter);
                 let (ct, k1) = kem.encapsulate(&mut rng, &pk, &mut sw, &mut NullMeter);
                 let mut hw = AcceleratedBackend::new();
@@ -178,7 +177,7 @@ mod tests {
         // contains a full encryption, CPA does not.
         let params = Params::lac128();
         let mut backend = SoftwareBackend::constant_time();
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Sha256CtrRng::seed_from_u64(9);
 
         let cpa = CpaKem::new(params);
         let (pk, sk) = cpa.keygen(&mut rng, &mut backend, &mut NullMeter);
@@ -207,7 +206,7 @@ mod tests {
         // version).
         let kem = CpaKem::new(Params::lac128());
         let mut backend = SoftwareBackend::constant_time();
-        let mut rng = StdRng::seed_from_u64(10);
+        let mut rng = Sha256CtrRng::seed_from_u64(10);
         let (pk, sk) = kem.keygen(&mut rng, &mut backend, &mut NullMeter);
         let (ct, k1) = kem.encapsulate(&mut rng, &pk, &mut backend, &mut NullMeter);
         let mut bytes = ct.to_bytes();
@@ -223,7 +222,7 @@ mod tests {
     fn debug_is_redacted() {
         let kem = CpaKem::new(Params::lac128());
         let mut backend = SoftwareBackend::constant_time();
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Sha256CtrRng::seed_from_u64(11);
         let (pk, _) = kem.keygen(&mut rng, &mut backend, &mut NullMeter);
         let (_, k) = kem.encapsulate(&mut rng, &pk, &mut backend, &mut NullMeter);
         assert_eq!(format!("{k:?}"), "CpaSharedSecret(..)");

@@ -11,7 +11,7 @@ use crate::keys::{Ciphertext, PublicKey, SecretKey};
 use crate::pke::Lac;
 use crate::{DecodeError, Params, MESSAGE_BYTES, SEED_BYTES};
 use lac_meter::{Meter, Op, Phase};
-use rand::RngCore;
+use lac_rand::Rng;
 
 /// Domain-separation prefixes for the FO hashes.
 const DOMAIN_PK_HASH: u8 = 0x50;
@@ -122,11 +122,11 @@ impl std::fmt::Debug for SharedSecret {
 /// ```
 /// use lac::{Kem, Params, SoftwareBackend};
 /// use lac_meter::NullMeter;
-/// use rand::SeedableRng;
+/// use lac_rand::Sha256CtrRng;
 ///
 /// let kem = Kem::new(Params::lac192());
 /// let mut b = SoftwareBackend::constant_time();
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let mut rng = Sha256CtrRng::seed_from_u64(3);
 /// let (pk, sk) = kem.keygen(&mut rng, &mut b, &mut NullMeter);
 /// let (ct, k1) = kem.encapsulate(&mut rng, &pk, &mut b, &mut NullMeter);
 /// let k2 = kem.decapsulate(&sk, &ct, &mut b, &mut NullMeter);
@@ -164,7 +164,7 @@ impl Kem {
     }
 
     /// Generate a key pair.
-    pub fn keygen<B: Backend + ?Sized, R: RngCore>(
+    pub fn keygen<B: Backend + ?Sized, R: Rng>(
         &self,
         rng: &mut R,
         backend: &mut B,
@@ -199,7 +199,7 @@ impl Kem {
 
     /// Encapsulate: derive a fresh shared secret and the ciphertext
     /// transporting it.
-    pub fn encapsulate<B: Backend + ?Sized, R: RngCore>(
+    pub fn encapsulate<B: Backend + ?Sized, R: Rng>(
         &self,
         rng: &mut R,
         pk: &KemPublicKey,
@@ -281,12 +281,11 @@ mod tests {
     use super::*;
     use crate::backend::{AcceleratedBackend, SoftwareBackend};
     use lac_meter::{CycleLedger, NullMeter};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use lac_rand::Sha256CtrRng;
 
     fn kem_roundtrip(params: Params, backend: &mut dyn Backend, seed: u64) {
         let kem = Kem::new(params);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Sha256CtrRng::seed_from_u64(seed);
         let (pk, sk) = kem.keygen(&mut rng, backend, &mut NullMeter);
         let (ct, k1) = kem.encapsulate(&mut rng, &pk, backend, &mut NullMeter);
         let k2 = kem.decapsulate(&sk, &ct, backend, &mut NullMeter);
@@ -323,7 +322,7 @@ mod tests {
         let kem = Kem::new(Params::lac128());
         let mut sw = SoftwareBackend::constant_time();
         let mut hw = AcceleratedBackend::new();
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Sha256CtrRng::seed_from_u64(5);
         let (pk, sk) = kem.keygen(&mut rng, &mut sw, &mut NullMeter);
         let m = [0x13u8; 32];
         let (ct_sw, k_sw) = kem.encapsulate_message(&m, &pk, &mut sw, &mut NullMeter);
@@ -340,7 +339,7 @@ mod tests {
     fn tampered_ciphertext_rejects_implicitly() {
         let kem = Kem::new(Params::lac128());
         let mut b = SoftwareBackend::constant_time();
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = Sha256CtrRng::seed_from_u64(6);
         let (pk, sk) = kem.keygen(&mut rng, &mut b, &mut NullMeter);
         let (ct, k1) = kem.encapsulate(&mut rng, &pk, &mut b, &mut NullMeter);
 
@@ -359,7 +358,7 @@ mod tests {
     fn implicit_rejection_is_deterministic() {
         let kem = Kem::new(Params::lac128());
         let mut b = SoftwareBackend::constant_time();
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Sha256CtrRng::seed_from_u64(7);
         let (pk, sk) = kem.keygen(&mut rng, &mut b, &mut NullMeter);
         let (ct, _) = kem.encapsulate(&mut rng, &pk, &mut b, &mut NullMeter);
         let mut bytes = ct.to_bytes();
@@ -374,7 +373,7 @@ mod tests {
     fn secret_keys_serialize_roundtrip() {
         let kem = Kem::new(Params::lac192());
         let mut b = SoftwareBackend::constant_time();
-        let mut rng = StdRng::seed_from_u64(8);
+        let mut rng = Sha256CtrRng::seed_from_u64(8);
         let (pk, sk) = kem.keygen(&mut rng, &mut b, &mut NullMeter);
         let pk2 = KemPublicKey::from_bytes(kem.params(), &pk.to_bytes()).unwrap();
         assert_eq!(pk, pk2);
@@ -387,7 +386,7 @@ mod tests {
     fn shared_secret_debug_is_redacted() {
         let kem = Kem::new(Params::lac128());
         let mut b = SoftwareBackend::constant_time();
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Sha256CtrRng::seed_from_u64(9);
         let (pk, _) = kem.keygen(&mut rng, &mut b, &mut NullMeter);
         let (_, k) = kem.encapsulate(&mut rng, &pk, &mut b, &mut NullMeter);
         assert_eq!(format!("{k:?}"), "SharedSecret(..)");
@@ -400,7 +399,7 @@ mod tests {
         // re-encrypt).
         let kem = Kem::new(Params::lac128());
         let mut b = SoftwareBackend::constant_time();
-        let mut rng = StdRng::seed_from_u64(10);
+        let mut rng = Sha256CtrRng::seed_from_u64(10);
         let (pk, sk) = kem.keygen(&mut rng, &mut b, &mut NullMeter);
         let (ct, _) = kem.encapsulate(&mut rng, &pk, &mut b, &mut NullMeter);
 

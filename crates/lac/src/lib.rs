@@ -29,11 +29,11 @@
 //! ```
 //! use lac::{Kem, Params, SoftwareBackend};
 //! use lac_meter::NullMeter;
-//! use rand::SeedableRng;
+//! use lac_rand::Sha256CtrRng;
 //!
 //! let kem = Kem::new(Params::lac128());
 //! let mut backend = SoftwareBackend::constant_time();
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut rng = Sha256CtrRng::seed_from_u64(7);
 //! let mut meter = NullMeter;
 //!
 //! let (pk, sk) = kem.keygen(&mut rng, &mut backend, &mut meter);

@@ -7,7 +7,7 @@ use crate::{Params, MESSAGE_BYTES, SEED_BYTES};
 use lac_bch::BchCode;
 use lac_meter::{Meter, Op, Phase};
 use lac_ring::Q;
-use rand::RngCore;
+use lac_rand::Rng;
 
 /// Center value encoding a 1-bit: ⌊q/2⌋ = 125.
 const HALF_Q: u16 = (Q - 1) / 2;
@@ -22,11 +22,11 @@ const HALF_Q: u16 = (Q - 1) / 2;
 /// ```
 /// use lac::{Lac, Params, SoftwareBackend};
 /// use lac_meter::NullMeter;
-/// use rand::SeedableRng;
+/// use lac_rand::Sha256CtrRng;
 ///
 /// let lac = Lac::new(Params::lac128());
 /// let mut backend = SoftwareBackend::reference();
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = Sha256CtrRng::seed_from_u64(1);
 /// let (pk, sk) = lac.keygen(&mut rng, &mut backend, &mut NullMeter);
 /// let msg = [0x42u8; 32];
 /// let ct = lac.encrypt(&pk, &msg, &[9u8; 32], &mut backend, &mut NullMeter);
@@ -100,7 +100,7 @@ impl Lac {
     }
 
     /// Randomized key generation.
-    pub fn keygen<B: Backend + ?Sized, R: RngCore>(
+    pub fn keygen<B: Backend + ?Sized, R: Rng>(
         &self,
         rng: &mut R,
         backend: &mut B,
@@ -236,12 +236,11 @@ mod tests {
     use super::*;
     use crate::backend::{AcceleratedBackend, SoftwareBackend};
     use lac_meter::{CycleLedger, NullMeter};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use lac_rand::Sha256CtrRng;
 
     fn roundtrip(params: Params, backend: &mut dyn Backend, seed: u64) {
         let lac = Lac::new(params);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Sha256CtrRng::seed_from_u64(seed);
         let (pk, sk) = lac.keygen(&mut rng, backend, &mut NullMeter);
         let mut msg = [0u8; 32];
         rng.fill_bytes(&mut msg);
@@ -317,7 +316,7 @@ mod tests {
     fn different_messages_give_different_ciphertexts() {
         let lac = Lac::new(Params::lac128());
         let mut b = SoftwareBackend::reference();
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Sha256CtrRng::seed_from_u64(11);
         let (pk, _) = lac.keygen(&mut rng, &mut b, &mut NullMeter);
         let ct1 = lac.encrypt(&pk, &[0u8; 32], &[5u8; 32], &mut b, &mut NullMeter);
         let ct2 = lac.encrypt(&pk, &[1u8; 32], &[5u8; 32], &mut b, &mut NullMeter);
@@ -328,7 +327,7 @@ mod tests {
     fn encryption_is_deterministic_in_seed() {
         let lac = Lac::new(Params::lac128());
         let mut b = SoftwareBackend::reference();
-        let mut rng = StdRng::seed_from_u64(12);
+        let mut rng = Sha256CtrRng::seed_from_u64(12);
         let (pk, _) = lac.keygen(&mut rng, &mut b, &mut NullMeter);
         let msg = [0x55u8; 32];
         let ct1 = lac.encrypt(&pk, &msg, &[6u8; 32], &mut b, &mut NullMeter);
@@ -350,7 +349,7 @@ mod tests {
     fn wrong_secret_fails_to_decrypt() {
         let lac = Lac::new(Params::lac128());
         let mut b = SoftwareBackend::constant_time();
-        let mut rng = StdRng::seed_from_u64(13);
+        let mut rng = Sha256CtrRng::seed_from_u64(13);
         let (pk, _) = lac.keygen(&mut rng, &mut b, &mut NullMeter);
         let (_, sk_other) = lac.keygen(&mut rng, &mut b, &mut NullMeter);
         let msg = [0x99u8; 32];

@@ -6,7 +6,7 @@ use crate::poly::NhPoly;
 use crate::sample::{gen_a, sample_noise};
 use crate::NewHopeParams;
 use lac_meter::{Meter, Op, Phase};
-use rand::RngCore;
+use lac_rand::Rng;
 
 const DOMAIN_COINS: u8 = 0xd0;
 const DOMAIN_KEY: u8 = 0xd1;
@@ -135,7 +135,7 @@ impl CpaKem {
     }
 
     /// Generate a key pair.
-    pub fn keygen<B: NhBackend + ?Sized, R: RngCore>(
+    pub fn keygen<B: NhBackend + ?Sized, R: Rng>(
         &self,
         rng: &mut R,
         backend: &mut B,
@@ -162,7 +162,7 @@ impl CpaKem {
     }
 
     /// Encapsulate against `pk`.
-    pub fn encapsulate<B: NhBackend + ?Sized, R: RngCore>(
+    pub fn encapsulate<B: NhBackend + ?Sized, R: Rng>(
         &self,
         rng: &mut R,
         pk: &NhPublicKey,
@@ -256,8 +256,7 @@ mod tests {
     use super::*;
     use crate::backend::{AcceleratedBackend, SoftwareBackend};
     use lac_meter::{CycleLedger, NullMeter};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use lac_rand::Sha256CtrRng;
 
     #[test]
     fn roundtrip_both_sets_and_backends() {
@@ -265,7 +264,7 @@ mod tests {
             let kem = CpaKem::new(params);
             for seed in 0..3u64 {
                 let mut sw = SoftwareBackend::new();
-                let mut rng = StdRng::seed_from_u64(seed);
+                let mut rng = Sha256CtrRng::seed_from_u64(seed);
                 let (pk, sk) = kem.keygen(&mut rng, &mut sw, &mut NullMeter);
                 let (ct, k1) = kem.encapsulate(&mut rng, &pk, &mut sw, &mut NullMeter);
                 let mut hw = AcceleratedBackend::new();
@@ -279,7 +278,7 @@ mod tests {
     fn wire_sizes_match_paper() {
         let kem = CpaKem::new(NewHopeParams::newhope1024());
         let mut backend = SoftwareBackend::new();
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Sha256CtrRng::seed_from_u64(5);
         let (pk, _sk) = kem.keygen(&mut rng, &mut backend, &mut NullMeter);
         assert_eq!(pk.to_bytes().len(), 1824);
         let (ct, _) = kem.encapsulate(&mut rng, &pk, &mut backend, &mut NullMeter);
@@ -292,7 +291,7 @@ mod tests {
         // vs the full encryption pipeline).
         let kem = CpaKem::new(NewHopeParams::newhope1024());
         let mut backend = AcceleratedBackend::new();
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = Sha256CtrRng::seed_from_u64(6);
         let (pk, sk) = kem.keygen(&mut rng, &mut backend, &mut NullMeter);
         let (ct, _) = kem.encapsulate(&mut rng, &pk, &mut backend, &mut NullMeter);
         let mut enc = CycleLedger::new();
@@ -308,7 +307,7 @@ mod tests {
         // fail at these noise levels.
         let kem = CpaKem::new(NewHopeParams::newhope1024());
         let mut backend = SoftwareBackend::new();
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Sha256CtrRng::seed_from_u64(7);
         for _ in 0..10 {
             let (pk, sk) = kem.keygen(&mut rng, &mut backend, &mut NullMeter);
             let (ct, k1) = kem.encapsulate(&mut rng, &pk, &mut backend, &mut NullMeter);

@@ -30,11 +30,11 @@
 //! ```
 //! use newhope::{CpaKem, NewHopeParams, SoftwareBackend};
 //! use lac_meter::NullMeter;
-//! use rand::SeedableRng;
+//! use lac_rand::Sha256CtrRng;
 //!
 //! let kem = CpaKem::new(NewHopeParams::newhope1024());
 //! let mut backend = SoftwareBackend::new();
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut rng = Sha256CtrRng::seed_from_u64(1);
 //! let (pk, sk) = kem.keygen(&mut rng, &mut backend, &mut NullMeter);
 //! let (ct, k1) = kem.encapsulate(&mut rng, &pk, &mut backend, &mut NullMeter);
 //! let k2 = kem.decapsulate(&sk, &ct, &mut backend, &mut NullMeter);

@@ -211,7 +211,7 @@ impl Ntt {
 mod tests {
     use super::*;
     use lac_meter::{CycleLedger, NullMeter};
-    use proptest::prelude::*;
+    use lac_rand::prop;
 
     /// Schoolbook negacyclic product, the correctness reference.
     fn negacyclic_reference(a: &[u16], b: &[u16]) -> Vec<u16> {
@@ -310,20 +310,21 @@ mod tests {
         assert!((40_000..200_000).contains(&l.total()), "{}", l.total());
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
-        #[test]
-        fn prop_roundtrip(coeffs in proptest::collection::vec(0u16..12289, 64)) {
+    #[test]
+    fn prop_roundtrip() {
+        prop::check("ntt_roundtrip", 32, |rng| {
+            let coeffs = prop::vec_u16(rng, 64, 12289);
             let ntt = Ntt::new(64);
             let freq = ntt.forward(&coeffs, &mut NullMeter);
-            prop_assert_eq!(ntt.inverse(&freq, &mut NullMeter), coeffs);
-        }
+            prop::ensure_eq(ntt.inverse(&freq, &mut NullMeter), coeffs)
+        });
+    }
 
-        #[test]
-        fn prop_convolution(
-            a in proptest::collection::vec(0u16..12289, 32),
-            b in proptest::collection::vec(0u16..12289, 32)
-        ) {
+    #[test]
+    fn prop_convolution() {
+        prop::check("ntt_convolution", 32, |rng| {
+            let a = prop::vec_u16(rng, 32, 12289);
+            let b = prop::vec_u16(rng, 32, 12289);
             let ntt = Ntt::new(32);
             let got = ntt.inverse(
                 &ntt.pointwise(
@@ -333,7 +334,7 @@ mod tests {
                 ),
                 &mut NullMeter,
             );
-            prop_assert_eq!(got, negacyclic_reference(&a, &b));
-        }
+            prop::ensure_eq(got, negacyclic_reference(&a, &b))
+        });
     }
 }

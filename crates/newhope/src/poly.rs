@@ -200,7 +200,7 @@ impl NhPoly {
 mod tests {
     use super::*;
     use lac_meter::NullMeter;
-    use proptest::prelude::*;
+    use lac_rand::prop;
 
     #[test]
     fn pack14_roundtrip() {
@@ -248,24 +248,27 @@ mod tests {
         assert!(NhPoly::decompress3(&[0u8; 10], 1024).is_none());
     }
 
-    proptest! {
-        #[test]
-        fn prop_pack14_roundtrip(coeffs in proptest::collection::vec(0u16..12289, 64)) {
-            let p = NhPoly::from_coeffs(coeffs);
+    #[test]
+    fn prop_pack14_roundtrip() {
+        prop::check("nh_pack14_roundtrip", 128, |rng| {
+            let p = NhPoly::from_coeffs(prop::vec_u16(rng, 64, 12289));
             let bytes = p.to_bytes14(&mut NullMeter);
-            prop_assert_eq!(NhPoly::from_bytes14(&bytes, 64).expect("parses"), p);
-        }
+            prop::ensure_eq(NhPoly::from_bytes14(&bytes, 64).expect("parses"), p)
+        });
+    }
 
-        #[test]
-        fn prop_compress_small_error(coeffs in proptest::collection::vec(0u16..12289, 32)) {
-            let p = NhPoly::from_coeffs(coeffs);
+    #[test]
+    fn prop_compress_small_error() {
+        prop::check("nh_compress_small_error", 128, |rng| {
+            let p = NhPoly::from_coeffs(prop::vec_u16(rng, 32, 12289));
             let back = NhPoly::decompress3(&p.compress3(&mut NullMeter), 32).expect("parses");
             for (&orig, &dec) in p.coeffs().iter().zip(back.coeffs()) {
                 let q = NEWHOPE_Q as i64;
                 let diff = (i64::from(orig) - i64::from(dec)).rem_euclid(q);
                 let centered = diff.min(q - diff);
-                prop_assert!(centered <= q / 16 + 1);
+                prop::ensure(centered <= q / 16 + 1, "decompression error too large")?;
             }
-        }
+            Ok(())
+        });
     }
 }

@@ -1,0 +1,238 @@
+//! The two deterministic random-bit generators and OS seeding.
+
+use crate::Rng;
+use lac_keccak::Shake128;
+use lac_sha256::{Expander, Sha256};
+
+/// Domain-separation byte for the SHA-256-CTR DRBG output stream, distinct
+/// from the domains LAC itself uses for `GenA`/sampling so an RNG seeded
+/// with a public seed can never collide with scheme-internal expansions.
+const DOMAIN_DRBG: u8 = 0xD6;
+
+/// Prefix mixed into `u64` convenience seeds before expansion.
+const SEED_FROM_U64_TAG: &[u8] = b"lac-rand:seed_from_u64:v1";
+
+/// Prefix absorbed by the SHAKE128 DRBG ahead of the seed.
+const SHAKE_SEED_TAG: &[u8] = b"lac-rand:shake128:v1";
+
+/// Derive a 32-byte seed from a `u64` by hashing a tagged encoding.
+fn expand_u64_seed(value: u64) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(SEED_FROM_U64_TAG);
+    h.update(&value.to_le_bytes());
+    h.finalize()
+}
+
+/// Best-effort 32 bytes of OS entropy.
+///
+/// Reads `/dev/urandom`. On platforms (or sandboxes) where that fails, it
+/// falls back to hashing the current wall-clock time and process id — a
+/// **deterministic, low-entropy fallback** suitable only for simulations
+/// and benchmarks, never for production key material. The fallback is
+/// deliberate: this workspace is a cycle-model reproduction and must run
+/// in hermetic environments with no entropy device.
+pub fn os_entropy_seed() -> [u8; 32] {
+    if let Ok(mut f) = std::fs::File::open("/dev/urandom") {
+        use std::io::Read;
+        let mut seed = [0u8; 32];
+        if f.read_exact(&mut seed).is_ok() {
+            return seed;
+        }
+    }
+    // Documented deterministic fallback: time ‖ pid through SHA-256.
+    let mut h = Sha256::new();
+    h.update(b"lac-rand:fallback-entropy:v1");
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    h.update(&nanos.to_le_bytes());
+    h.update(&std::process::id().to_le_bytes());
+    h.finalize()
+}
+
+/// SHA-256 counter-mode DRBG — the workspace's default RNG.
+///
+/// Output block `i` is `SHA-256(seed ‖ 0xD6 ‖ LE32(i))`, i.e. exactly the
+/// counter-mode expansion LAC uses for `GenA` and sampling (and which the
+/// paper's SHA256 unit accelerates), under an RNG-private domain byte.
+/// This replaces the external `StdRng` everywhere in the workspace: same
+/// seed, same stream, on every platform and in every future PR.
+///
+/// # Example
+///
+/// ```
+/// use lac_rand::{Rng, Sha256CtrRng};
+///
+/// let mut a = Sha256CtrRng::from_seed([9u8; 32]);
+/// let mut b = Sha256CtrRng::from_seed([9u8; 32]);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sha256CtrRng {
+    expander: Expander,
+}
+
+impl Sha256CtrRng {
+    /// DRBG from a full 32-byte seed.
+    pub fn from_seed(seed: [u8; 32]) -> Self {
+        Self {
+            expander: Expander::new(&seed, DOMAIN_DRBG),
+        }
+    }
+
+    /// DRBG from a `u64` convenience seed (tagged and hashed to 32 bytes).
+    pub fn seed_from_u64(value: u64) -> Self {
+        Self::from_seed(expand_u64_seed(value))
+    }
+
+    /// DRBG seeded from best-effort OS entropy (see [`os_entropy_seed`]).
+    pub fn from_os_entropy() -> Self {
+        Self::from_seed(os_entropy_seed())
+    }
+
+    /// Number of SHA-256 compressions performed so far (cost visibility,
+    /// mirroring `Expander::blocks_hashed`).
+    pub fn blocks_hashed(&self) -> u64 {
+        self.expander.blocks_hashed()
+    }
+}
+
+impl Rng for Sha256CtrRng {
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.expander.fill(dest);
+    }
+}
+
+/// SHAKE128-sponge DRBG — the Keccak flavour of [`Sha256CtrRng`].
+///
+/// Absorbs a tagged seed into a SHAKE128 sponge and squeezes the output
+/// stream incrementally. This is the RNG matching the paper's future-work
+/// direction (replacing the SHA256 unit with a Keccak unit); the
+/// `newhope` baseline and the `ablation_keccak` harness use it so their
+/// randomness flows through the same primitive family they model.
+///
+/// # Example
+///
+/// ```
+/// use lac_rand::{Rng, Shake128Rng};
+///
+/// let mut a = Shake128Rng::seed_from_u64(1);
+/// let mut b = Shake128Rng::seed_from_u64(1);
+/// assert_eq!(a.next_u32(), b.next_u32());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Shake128Rng {
+    xof: Shake128,
+}
+
+impl Shake128Rng {
+    /// DRBG from a full 32-byte seed.
+    pub fn from_seed(seed: [u8; 32]) -> Self {
+        let mut xof = Shake128::new();
+        xof.absorb(SHAKE_SEED_TAG);
+        xof.absorb(&seed);
+        Self { xof }
+    }
+
+    /// DRBG from a `u64` convenience seed (tagged and hashed to 32 bytes).
+    pub fn seed_from_u64(value: u64) -> Self {
+        Self::from_seed(expand_u64_seed(value))
+    }
+
+    /// DRBG seeded from best-effort OS entropy (see [`os_entropy_seed`]).
+    pub fn from_os_entropy() -> Self {
+        Self::from_seed(os_entropy_seed())
+    }
+}
+
+impl Rng for Shake128Rng {
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.xof.squeeze(dest);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream<R: Rng>(rng: &mut R, len: usize) -> Vec<u8> {
+        let mut out = vec![0u8; len];
+        rng.fill_bytes(&mut out);
+        out
+    }
+
+    #[test]
+    fn sha256_ctr_is_deterministic_and_seed_sensitive() {
+        let a = stream(&mut Sha256CtrRng::from_seed([1u8; 32]), 128);
+        let b = stream(&mut Sha256CtrRng::from_seed([1u8; 32]), 128);
+        let c = stream(&mut Sha256CtrRng::from_seed([2u8; 32]), 128);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn shake128_is_deterministic_and_seed_sensitive() {
+        let a = stream(&mut Shake128Rng::from_seed([1u8; 32]), 128);
+        let b = stream(&mut Shake128Rng::from_seed([1u8; 32]), 128);
+        let c = stream(&mut Shake128Rng::from_seed([2u8; 32]), 128);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn the_two_drbgs_produce_distinct_streams() {
+        let sha = stream(&mut Sha256CtrRng::seed_from_u64(7), 64);
+        let shake = stream(&mut Shake128Rng::seed_from_u64(7), 64);
+        assert_ne!(sha, shake);
+    }
+
+    #[test]
+    fn stream_is_contiguous_across_read_sizes() {
+        let big = stream(&mut Sha256CtrRng::seed_from_u64(3), 100);
+        let mut rng = Sha256CtrRng::seed_from_u64(3);
+        let mut pieced = Vec::new();
+        for chunk_len in [1usize, 2, 3, 31, 32, 31] {
+            pieced.extend_from_slice(&stream(&mut rng, chunk_len));
+        }
+        assert_eq!(pieced, big);
+
+        let big = stream(&mut Shake128Rng::seed_from_u64(3), 100);
+        let mut rng = Shake128Rng::seed_from_u64(3);
+        let mut pieced = Vec::new();
+        for chunk_len in [1usize, 2, 3, 31, 32, 31] {
+            pieced.extend_from_slice(&stream(&mut rng, chunk_len));
+        }
+        assert_eq!(pieced, big);
+    }
+
+    #[test]
+    fn seed_from_u64_differs_from_raw_seed() {
+        // The u64 path is tagged, so seed_from_u64(0) must not equal
+        // from_seed(zeros).
+        let tagged = stream(&mut Sha256CtrRng::seed_from_u64(0), 32);
+        let zeros = stream(&mut Sha256CtrRng::from_seed([0u8; 32]), 32);
+        assert_ne!(tagged, zeros);
+    }
+
+    #[test]
+    fn known_answer_first_block_sha256_ctr() {
+        // Pinned so refactors can never silently change the stream that
+        // every fixed-seed test in the workspace derives from:
+        // SHA-256([0u8;32] ‖ 0xD6 ‖ LE32(0)).
+        let first = stream(&mut Sha256CtrRng::from_seed([0u8; 32]), 32);
+        let mut h = Sha256::new();
+        h.update(&[0u8; 32]);
+        h.update(&[0xD6]);
+        h.update(&0u32.to_le_bytes());
+        assert_eq!(first.as_slice(), &h.finalize());
+    }
+
+    #[test]
+    fn os_entropy_returns_without_panicking() {
+        // Can't assert randomness, but the call must succeed everywhere —
+        // including hermetic sandboxes (deterministic fallback).
+        let a = os_entropy_seed();
+        let _rng = Sha256CtrRng::from_seed(a);
+    }
+}

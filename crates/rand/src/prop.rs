@@ -1,0 +1,263 @@
+//! A small seeded randomized-property harness (the workspace's `proptest`
+//! replacement).
+//!
+//! [`check`] runs a property closure for `cases` iterations, each with its
+//! own deterministically derived [`Sha256CtrRng`]. A failing case — a
+//! returned `Err` or a panic inside the closure — aborts the run with a
+//! message naming the failing case index, which can be replayed alone by
+//! setting `LAC_PROP_SEED=<index>`. `LAC_PROP_CASES=<n>` overrides the
+//! case count globally (e.g. to soak-test in CI).
+//!
+//! Unlike `proptest` there is no shrinking: cases are cheap and fully
+//! reproducible, so replaying the failing index under a debugger has
+//! proven sufficient for this codebase's fixed-size algebraic properties.
+//!
+//! # Example
+//!
+//! ```
+//! use lac_rand::prop;
+//!
+//! prop::check("addition_commutes", 32, |rng| {
+//!     let a = prop::vec_u8(rng, 8, 251);
+//!     let b = prop::vec_u8(rng, 8, 251);
+//!     let left: Vec<u16> = a.iter().zip(&b).map(|(&x, &y)| u16::from(x) + u16::from(y)).collect();
+//!     let right: Vec<u16> = b.iter().zip(&a).map(|(&x, &y)| u16::from(x) + u16::from(y)).collect();
+//!     prop::ensure_eq(left, right)
+//! });
+//! ```
+
+use crate::{Rng, Sha256CtrRng};
+use lac_sha256::Sha256;
+
+/// Derive the per-case RNG for (`name`, `case`).
+fn case_rng(name: &str, case: u64) -> Sha256CtrRng {
+    let mut h = Sha256::new();
+    h.update(b"lac-rand:prop-case:v1");
+    h.update(name.as_bytes());
+    h.update(&case.to_le_bytes());
+    Sha256CtrRng::from_seed(h.finalize())
+}
+
+/// Run `property` for `cases` deterministic random cases.
+///
+/// Each case gets a fresh RNG derived from `name` and the case index, so
+/// renaming a test re-randomizes it but re-running never does. On failure
+/// (an `Err` return or a panic) the harness panics with the case index and
+/// replay instructions.
+///
+/// Environment overrides:
+/// * `LAC_PROP_SEED=<index>` — run only that case (replay a failure);
+/// * `LAC_PROP_CASES=<n>` — run `n` cases instead of `cases`.
+///
+/// # Panics
+///
+/// Panics if any case fails; that is the test-failure path.
+pub fn check<F>(name: &str, cases: u32, mut property: F)
+where
+    F: FnMut(&mut Sha256CtrRng) -> Result<(), String>,
+{
+    if let Some(index) = env_u64("LAC_PROP_SEED") {
+        run_case(name, index, &mut property);
+        return;
+    }
+    let cases = env_u64("LAC_PROP_CASES").unwrap_or(u64::from(cases));
+    for case in 0..cases {
+        run_case(name, case, &mut property);
+    }
+}
+
+fn env_u64(var: &str) -> Option<u64> {
+    std::env::var(var).ok()?.parse().ok()
+}
+
+fn run_case<F>(name: &str, case: u64, property: &mut F)
+where
+    F: FnMut(&mut Sha256CtrRng) -> Result<(), String>,
+{
+    let mut rng = case_rng(name, case);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| property(&mut rng)));
+    let failure = match outcome {
+        Ok(Ok(())) => return,
+        Ok(Err(message)) => message,
+        Err(payload) => payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_else(|| "panicked with a non-string payload".to_string()),
+    };
+    panic!(
+        "property '{name}' failed at case {case}: {failure}\n\
+         replay just this case with: LAC_PROP_SEED={case} cargo test {name}"
+    );
+}
+
+/// Fail the property with a formatted message unless `condition` holds.
+pub fn ensure(condition: bool, message: impl Into<String>) -> Result<(), String> {
+    if condition {
+        Ok(())
+    } else {
+        Err(message.into())
+    }
+}
+
+/// Fail the property unless `left == right`, reporting both values.
+pub fn ensure_eq<T: PartialEq + core::fmt::Debug>(left: T, right: T) -> Result<(), String> {
+    if left == right {
+        Ok(())
+    } else {
+        Err(format!("left != right\n  left: {left:?}\n right: {right:?}"))
+    }
+}
+
+/// `len` uniformly random bytes.
+pub fn bytes(rng: &mut impl Rng, len: usize) -> Vec<u8> {
+    let mut out = vec![0u8; len];
+    rng.fill_bytes(&mut out);
+    out
+}
+
+/// `len` values uniform in `[0, bound)` as `u8` (`bound` ≤ 256).
+///
+/// # Panics
+///
+/// Panics if `bound == 0` or `bound > 256`.
+pub fn vec_u8(rng: &mut impl Rng, len: usize, bound: u16) -> Vec<u8> {
+    assert!(bound > 0 && bound <= 256, "vec_u8: bound must be in 1..=256");
+    (0..len)
+        .map(|_| rng.gen_below_u32(u32::from(bound)) as u8)
+        .collect()
+}
+
+/// `len` values uniform in `[0, bound)` as `u16`.
+///
+/// # Panics
+///
+/// Panics if `bound == 0`.
+pub fn vec_u16(rng: &mut impl Rng, len: usize, bound: u16) -> Vec<u16> {
+    (0..len)
+        .map(|_| rng.gen_below_u32(u32::from(bound)) as u16)
+        .collect()
+}
+
+/// `len` values uniform in the inclusive range `[lo, hi]` as `i8`.
+///
+/// # Panics
+///
+/// Panics if `lo > hi`.
+pub fn vec_i8(rng: &mut impl Rng, len: usize, lo: i8, hi: i8) -> Vec<i8> {
+    (0..len)
+        .map(|_| rng.gen_range_i64(i64::from(lo), i64::from(hi)) as i8)
+        .collect()
+}
+
+/// Up to `max_count` **distinct** positions uniform in `[0, bound)`,
+/// sorted ascending (the `btree_set` pattern of error-position sampling).
+///
+/// The count itself is uniform in `[0, max_count]`; fewer positions are
+/// returned only if `bound < count` would make distinctness impossible.
+///
+/// # Panics
+///
+/// Panics if `bound == 0`.
+pub fn distinct_positions(
+    rng: &mut impl Rng,
+    bound: usize,
+    max_count: usize,
+) -> Vec<usize> {
+    let want = rng.gen_below_usize(max_count + 1).min(bound);
+    let mut set = std::collections::BTreeSet::new();
+    while set.len() < want {
+        set.insert(rng.gen_below_usize(bound));
+    }
+    set.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0u32;
+        check("always_passes", 17, |_rng| {
+            count += 1;
+            Ok(())
+        });
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_name() {
+        let mut first: Vec<u64> = Vec::new();
+        check("determinism_probe", 5, |rng| {
+            first.push(rng.next_u64());
+            Ok(())
+        });
+        let mut second: Vec<u64> = Vec::new();
+        check("determinism_probe", 5, |rng| {
+            second.push(rng.next_u64());
+            Ok(())
+        });
+        assert_eq!(first, second);
+        // Different name, different stream.
+        let mut other: Vec<u64> = Vec::new();
+        check("determinism_probe_2", 5, |rng| {
+            other.push(rng.next_u64());
+            Ok(())
+        });
+        assert_ne!(first, other);
+    }
+
+    #[test]
+    fn failure_reports_case_index() {
+        let result = std::panic::catch_unwind(|| {
+            check("fails_at_two", 10, |rng| {
+                let _ = rng.next_u32();
+                ensure(false, "intentional")
+            })
+        });
+        let message = match result {
+            Err(payload) => payload.downcast_ref::<String>().cloned().unwrap(),
+            Ok(()) => panic!("property must fail"),
+        };
+        assert!(message.contains("failed at case 0"), "{message}");
+        assert!(message.contains("LAC_PROP_SEED=0"), "{message}");
+    }
+
+    #[test]
+    fn panicking_property_is_reported_with_its_message() {
+        let result = std::panic::catch_unwind(|| {
+            check("panics_inside", 3, |_rng| {
+                assert_eq!(1, 2, "inner assertion");
+                Ok(())
+            })
+        });
+        let message = match result {
+            Err(payload) => payload.downcast_ref::<String>().cloned().unwrap(),
+            Ok(()) => panic!("property must fail"),
+        };
+        assert!(message.contains("inner assertion"), "{message}");
+    }
+
+    #[test]
+    fn generators_respect_their_bounds() {
+        let mut rng = Sha256CtrRng::seed_from_u64(0);
+        assert_eq!(bytes(&mut rng, 10).len(), 10);
+        assert!(vec_u8(&mut rng, 100, 251).iter().all(|&v| v < 251));
+        assert!(vec_u16(&mut rng, 100, 12289).iter().all(|&v| v < 12289));
+        assert!(vec_i8(&mut rng, 100, -1, 1).iter().all(|&v| (-1..=1).contains(&v)));
+        let pos = distinct_positions(&mut rng, 400, 16);
+        assert!(pos.len() <= 16);
+        assert!(pos.windows(2).all(|w| w[0] < w[1]), "sorted and distinct");
+        assert!(pos.iter().all(|&p| p < 400));
+    }
+
+    #[test]
+    fn distinct_positions_can_saturate_small_bounds() {
+        let mut rng = Sha256CtrRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let pos = distinct_positions(&mut rng, 3, 10);
+            assert!(pos.len() <= 3);
+        }
+    }
+}

@@ -177,7 +177,7 @@ mod tests {
     use crate::mul::mul_ternary;
     use crate::TernaryPoly;
     use lac_meter::CycleLedger;
-    use proptest::prelude::*;
+    use lac_rand::{prop, Rng};
 
     fn poly(n: usize, f: impl Fn(usize) -> u8) -> Poly {
         Poly::from_coeffs((0..n).map(f).collect())
@@ -279,22 +279,19 @@ mod tests {
         mul_general_karatsuba(&a, &b, Convolution::Cyclic, 4, &mut NullMeter);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(48))]
-        #[test]
-        fn prop_karatsuba_matches_schoolbook(
-            a in proptest::collection::vec(0u8..251, 32),
-            b in proptest::collection::vec(0u8..251, 32),
-            threshold in 1usize..=32
-        ) {
-            let a = Poly::from_coeffs(a);
-            let b = Poly::from_coeffs(b);
+    #[test]
+    fn prop_karatsuba_matches_schoolbook() {
+        prop::check("karatsuba_matches_schoolbook", 48, |rng| {
+            let a = Poly::from_coeffs(prop::vec_u8(rng, 32, 251));
+            let b = Poly::from_coeffs(prop::vec_u8(rng, 32, 251));
+            let threshold = rng.gen_range_usize(1..33);
             for conv in [Convolution::Cyclic, Convolution::Negacyclic] {
-                prop_assert_eq!(
+                prop::ensure_eq(
                     mul_general_karatsuba(&a, &b, conv, threshold, &mut NullMeter),
-                    mul_general_schoolbook(&a, &b, conv, &mut NullMeter)
-                );
+                    mul_general_schoolbook(&a, &b, conv, &mut NullMeter),
+                )?;
             }
-        }
+            Ok(())
+        });
     }
 }

@@ -332,7 +332,7 @@ impl fmt::Display for TernaryPoly {
 mod tests {
     use super::*;
     use lac_meter::NullMeter;
-    use proptest::prelude::*;
+    use lac_rand::{prop, Rng};
 
     #[test]
     fn barrett_matches_modulo_exhaustive_16bit() {
@@ -413,38 +413,37 @@ mod tests {
         assert!(!format!("{t}").is_empty());
     }
 
-    proptest! {
-        #[test]
-        fn prop_barrett_matches_modulo(x in any::<u32>()) {
-            prop_assert_eq!(u32::from(barrett_reduce(x)), x % 251);
-        }
+    #[test]
+    fn prop_barrett_matches_modulo() {
+        prop::check("barrett_matches_modulo", 256, |rng| {
+            let x = rng.next_u32();
+            prop::ensure_eq(u32::from(barrett_reduce(x)), x % 251)
+        });
+    }
 
-        #[test]
-        fn prop_reduce_i32(x in -1_000_000i32..1_000_000) {
-            prop_assert_eq!(i32::from(reduce_i32(x)), x.rem_euclid(251));
-        }
+    #[test]
+    fn prop_reduce_i32() {
+        prop::check("reduce_i32", 256, |rng| {
+            let x = rng.gen_range_i64(-1_000_000, 999_999) as i32;
+            prop::ensure_eq(i32::from(reduce_i32(x)), x.rem_euclid(251))
+        });
+    }
 
-        #[test]
-        fn prop_add_commutes(
-            a in proptest::collection::vec(0u8..251, 8),
-            b in proptest::collection::vec(0u8..251, 8)
-        ) {
-            let pa = Poly::from_coeffs(a);
-            let pb = Poly::from_coeffs(b);
-            prop_assert_eq!(
-                pa.add(&pb, &mut NullMeter),
-                pb.add(&pa, &mut NullMeter)
-            );
-        }
+    #[test]
+    fn prop_add_commutes() {
+        prop::check("add_commutes", 256, |rng| {
+            let pa = Poly::from_coeffs(prop::vec_u8(rng, 8, 251));
+            let pb = Poly::from_coeffs(prop::vec_u8(rng, 8, 251));
+            prop::ensure_eq(pa.add(&pb, &mut NullMeter), pb.add(&pa, &mut NullMeter))
+        });
+    }
 
-        #[test]
-        fn prop_sub_is_inverse_of_add(
-            a in proptest::collection::vec(0u8..251, 8),
-            b in proptest::collection::vec(0u8..251, 8)
-        ) {
-            let pa = Poly::from_coeffs(a);
-            let pb = Poly::from_coeffs(b);
-            prop_assert_eq!(pa.add(&pb, &mut NullMeter).sub(&pb, &mut NullMeter), pa);
-        }
+    #[test]
+    fn prop_sub_is_inverse_of_add() {
+        prop::check("sub_is_inverse_of_add", 256, |rng| {
+            let pa = Poly::from_coeffs(prop::vec_u8(rng, 8, 251));
+            let pb = Poly::from_coeffs(prop::vec_u8(rng, 8, 251));
+            prop::ensure_eq(pa.add(&pb, &mut NullMeter).sub(&pb, &mut NullMeter), pa)
+        });
     }
 }

@@ -97,7 +97,7 @@ pub fn reduce_full(full: &[i32], n: usize, conv: Convolution) -> Poly {
 mod tests {
     use super::*;
     use lac_meter::{CycleLedger, NullMeter};
-    use proptest::prelude::*;
+    use lac_rand::prop;
 
     fn tp(c: &[i8]) -> TernaryPoly {
         TernaryPoly::from_coeffs(c.to_vec())
@@ -225,32 +225,28 @@ mod tests {
         assert!((3.5..4.5).contains(&ratio), "ratio {ratio}");
     }
 
-    proptest! {
-        #[test]
-        fn prop_matches_reference_reduction(
-            a in proptest::collection::vec(-1i8..=1, 16),
-            b in proptest::collection::vec(0u8..251, 16)
-        ) {
-            let a = TernaryPoly::from_coeffs(a);
-            let b = Poly::from_coeffs(b);
+    #[test]
+    fn prop_matches_reference_reduction() {
+        prop::check("mul_matches_reference_reduction", 64, |rng| {
+            let a = TernaryPoly::from_coeffs(prop::vec_i8(rng, 16, -1, 1));
+            let b = Poly::from_coeffs(prop::vec_u8(rng, 16, 251));
             let full = mul_full(&a, &b);
             for conv in [Convolution::Cyclic, Convolution::Negacyclic] {
-                prop_assert_eq!(
+                prop::ensure_eq(
                     mul_ternary(&a, &b, conv, &mut NullMeter),
-                    reduce_full(&full, 16, conv)
-                );
+                    reduce_full(&full, 16, conv),
+                )?;
             }
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn prop_distributes_over_addition(
-            a in proptest::collection::vec(-1i8..=1, 8),
-            b in proptest::collection::vec(0u8..251, 8),
-            c in proptest::collection::vec(0u8..251, 8)
-        ) {
-            let a = TernaryPoly::from_coeffs(a);
-            let b = Poly::from_coeffs(b);
-            let c = Poly::from_coeffs(c);
+    #[test]
+    fn prop_distributes_over_addition() {
+        prop::check("mul_distributes_over_addition", 64, |rng| {
+            let a = TernaryPoly::from_coeffs(prop::vec_i8(rng, 8, -1, 1));
+            let b = Poly::from_coeffs(prop::vec_u8(rng, 8, 251));
+            let c = Poly::from_coeffs(prop::vec_u8(rng, 8, 251));
             let lhs = mul_ternary(
                 &a,
                 &b.add(&c, &mut NullMeter),
@@ -262,7 +258,7 @@ mod tests {
                     &mul_ternary(&a, &c, Convolution::Negacyclic, &mut NullMeter),
                     &mut NullMeter,
                 );
-            prop_assert_eq!(lhs, rhs);
-        }
+            prop::ensure_eq(lhs, rhs)
+        });
     }
 }

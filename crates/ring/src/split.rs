@@ -252,7 +252,7 @@ pub fn split_mul_high(
 mod tests {
     use super::*;
     use lac_meter::{CycleLedger, NullMeter};
-    use proptest::prelude::*;
+    use lac_rand::prop;
 
     #[test]
     fn split_low_matches_full_product() {
@@ -341,37 +341,34 @@ mod tests {
         split_mul_high(&mut unit, &a, &b, Convolution::Negacyclic, &mut NullMeter);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-        #[test]
-        fn prop_split_high_equals_direct(
-            a in proptest::collection::vec(-1i8..=1, 32),
-            b in proptest::collection::vec(0u8..251, 32)
-        ) {
+    #[test]
+    fn prop_split_high_equals_direct() {
+        prop::check("split_high_equals_direct", 64, |rng| {
             let mut unit = SchoolbookUnit::new(16);
-            let a = TernaryPoly::from_coeffs(a);
-            let b = Poly::from_coeffs(b);
+            let a = TernaryPoly::from_coeffs(prop::vec_i8(rng, 32, -1, 1));
+            let b = Poly::from_coeffs(prop::vec_u8(rng, 32, 251));
             for conv in [Convolution::Cyclic, Convolution::Negacyclic] {
                 let direct = mul_ternary(&a, &b, conv, &mut NullMeter);
                 let split = split_mul_high(&mut unit, &a, &b, conv, &mut NullMeter);
-                prop_assert_eq!(&split, &direct);
+                prop::ensure_eq(&split, &direct)?;
             }
-        }
+            Ok(())
+        });
+    }
 
-        #[test]
-        fn prop_split_low_is_full_product(
-            a in proptest::collection::vec(-1i8..=1, 16),
-            b in proptest::collection::vec(0u8..251, 16)
-        ) {
+    #[test]
+    fn prop_split_low_is_full_product() {
+        prop::check("split_low_is_full_product", 64, |rng| {
             let mut unit = SchoolbookUnit::new(16);
-            let a = TernaryPoly::from_coeffs(a);
-            let b = Poly::from_coeffs(b);
+            let a = TernaryPoly::from_coeffs(prop::vec_i8(rng, 16, -1, 1));
+            let b = Poly::from_coeffs(prop::vec_u8(rng, 16, 251));
             let got = split_mul_low(&mut unit, &a, &b, &mut NullMeter);
             let full = crate::mul::mul_full(&a, &b);
             for (i, coeff) in got.coeffs().iter().enumerate() {
                 let expect = full.get(i).copied().unwrap_or(0).rem_euclid(251);
-                prop_assert_eq!(i32::from(*coeff), expect);
+                prop::ensure_eq(i32::from(*coeff), expect)?;
             }
-        }
+            Ok(())
+        });
     }
 }

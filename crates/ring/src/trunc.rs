@@ -65,7 +65,7 @@ mod tests {
     use super::*;
     use crate::mul::mul_ternary;
     use lac_meter::{CycleLedger, NullMeter};
-    use proptest::prelude::*;
+    use lac_rand::{prop, Rng};
 
     #[test]
     fn matches_full_multiplication_prefix() {
@@ -100,21 +100,17 @@ mod tests {
         mul_ternary_truncated(&a, &b, Convolution::Cyclic, 9, &mut NullMeter);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-        #[test]
-        fn prop_prefix_of_full_product(
-            a in proptest::collection::vec(-1i8..=1, 16),
-            b in proptest::collection::vec(0u8..251, 16),
-            out_len in 0usize..=16
-        ) {
-            let a = TernaryPoly::from_coeffs(a);
-            let b = Poly::from_coeffs(b);
+    #[test]
+    fn prop_prefix_of_full_product() {
+        prop::check("trunc_prefix_of_full_product", 64, |rng| {
+            let a = TernaryPoly::from_coeffs(prop::vec_i8(rng, 16, -1, 1));
+            let b = Poly::from_coeffs(prop::vec_u8(rng, 16, 251));
+            let out_len = rng.gen_below_usize(17);
             let full = mul_ternary(&a, &b, Convolution::Negacyclic, &mut NullMeter);
             let trunc = mul_ternary_truncated(
                 &a, &b, Convolution::Negacyclic, out_len, &mut NullMeter,
             );
-            prop_assert_eq!(trunc.coeffs(), &full.coeffs()[..out_len]);
-        }
+            prop::ensure_eq(trunc.coeffs(), &full.coeffs()[..out_len])
+        });
     }
 }

@@ -348,4 +348,34 @@ mod tests {
         // Sanity: portable C SHA-256 on RV32 costs a few thousand cycles/block.
         assert!(per_block > 2_000 && per_block < 6_000, "{per_block}");
     }
+
+    #[test]
+    fn prop_incremental_matches_one_shot() {
+        use lac_rand::{prop, Rng};
+        prop::check("sha256_incremental_matches_one_shot", 64, |rng| {
+            let len = rng.gen_below_usize(300);
+            let data = prop::bytes(rng, len);
+            let mut h = Sha256::new();
+            let mut offset = 0;
+            while offset < data.len() {
+                let chunk = rng.gen_range_usize(1..65).min(data.len() - offset);
+                h.update(&data[offset..offset + chunk]);
+                offset += chunk;
+            }
+            prop::ensure_eq(h.finalize(), sha256(&data))
+        });
+    }
+
+    #[test]
+    fn prop_distinct_inputs_distinct_digests() {
+        use lac_rand::{prop, Rng};
+        prop::check("sha256_distinct_inputs_distinct_digests", 64, |rng| {
+            let len = rng.gen_range_usize(1..128);
+            let mut a = prop::bytes(rng, len);
+            let b = a.clone();
+            let flip = rng.gen_below_usize(len);
+            a[flip] ^= 1 << rng.gen_below_u32(8);
+            prop::ensure(sha256(&a) != sha256(&b), "collision on 1-bit flip")
+        });
+    }
 }

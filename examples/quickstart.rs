@@ -3,10 +3,9 @@
 //!
 //! Run: `cargo run --release --example quickstart`
 
-use lac::{AcceleratedBackend, Backend, Kem, Params, SoftwareBackend};
+use lac::{AcceleratedBackend, Kem, Params, SoftwareBackend};
 use lac_meter::{report, CycleLedger, NullMeter};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lac_rand::Sha256CtrRng;
 
 fn main() {
     let params = Params::lac128();
@@ -25,7 +24,7 @@ fn main() {
         params.ciphertext_bytes()
     );
 
-    let mut rng = StdRng::seed_from_u64(2026);
+    let mut rng = Sha256CtrRng::seed_from_u64(2026);
 
     // --- Plain usage: software backend, no metering.
     let mut backend = SoftwareBackend::constant_time();

@@ -5,11 +5,10 @@
 //! Run: `cargo run --release --example scheme_comparison`
 
 use lac_meter::{report::thousands, CycleLedger, NullMeter};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lac_rand::Sha256CtrRng;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(2026);
+    let mut rng = Sha256CtrRng::seed_from_u64(2026);
 
     // --- LAC-256, CCA, PQ-ALU backend.
     let lac_kem = lac::Kem::new(lac::Params::lac256());

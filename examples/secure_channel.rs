@@ -12,8 +12,7 @@
 use lac::{AcceleratedBackend, Kem, Params, SharedSecret, SoftwareBackend};
 use lac_meter::{CycleLedger, NullMeter};
 use lac_sha256::{Expander, Sha256};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lac_rand::Sha256CtrRng;
 
 /// Derive a keystream from the shared secret and XOR it over `data`
 /// (encrypt == decrypt).
@@ -34,7 +33,7 @@ fn tag(secret: &SharedSecret, ct: &[u8]) -> [u8; 32] {
 
 fn main() {
     let kem = Kem::new(Params::lac256());
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = Sha256CtrRng::seed_from_u64(7);
 
     // Bob (software) generates a key pair and publishes pk.
     let mut bob = SoftwareBackend::constant_time();

@@ -1,0 +1,29 @@
+#!/bin/sh
+# Tier-1 verification — the CI entry point for this workspace.
+#
+# The workspace is hermetic by design (zero external dependencies; see
+# DESIGN.md), so everything here runs with --offline: a clean checkout on a
+# machine with no network and no crates.io cache must pass.
+#
+# Usage: scripts/verify.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release --offline =="
+cargo build --release --offline
+
+echo
+echo "== cargo test -q --offline =="
+cargo test -q --offline
+
+echo
+echo "== smoke: table1/table2/table3 (text + --json) =="
+for bin in table1 table2 table3; do
+    cargo run -q --release --offline -p lac-bench --bin "$bin" > /dev/null
+    cargo run -q --release --offline -p lac-bench --bin "$bin" -- --json > /dev/null
+    echo "  $bin OK"
+done
+
+echo
+echo "verify: all checks passed"

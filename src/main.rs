@@ -16,8 +16,7 @@ use lac::{
     SoftwareBackend,
 };
 use lac_meter::{report, CycleLedger, Meter, NullMeter};
-use rand::rngs::StdRng;
-use rand::{RngCore, SeedableRng};
+use lac_rand::{Rng, Sha256CtrRng, Shake128Rng};
 use std::collections::HashMap;
 use std::fs;
 
@@ -172,23 +171,34 @@ fn run(command: &str, opts: &Options) -> Result<String, String> {
     Ok(out)
 }
 
-/// RNG: OS entropy by default; `--seed <u64>` for reproducible tests.
-fn make_rng(opts: &Options) -> Result<StdRng, String> {
-    if let Ok(seed) = opts.get("seed") {
+/// RNG: OS entropy by default; `--seed <u64>` for reproducible tests;
+/// `--rng sha256|shake128` selects the DRBG (SHA-256-CTR is the default,
+/// matching LAC's own expansion primitive).
+fn make_rng(opts: &Options) -> Result<Box<dyn Rng>, String> {
+    let seed = if let Ok(seed) = opts.get("seed") {
         let value: u64 = seed
             .parse()
             .map_err(|_| format!("bad --seed '{seed}'"))?;
-        Ok(StdRng::seed_from_u64(value))
+        Some(value)
     } else {
-        let mut seed = [0u8; 32];
-        // StdRng::from_entropy pulls from the OS.
-        StdRng::from_entropy().fill_bytes(&mut seed);
-        Ok(StdRng::from_seed(seed))
+        None
+    };
+    match opts.get_or("rng", "sha256").as_str() {
+        "sha256" => Ok(match seed {
+            Some(v) => Box::new(Sha256CtrRng::seed_from_u64(v)),
+            None => Box::new(Sha256CtrRng::from_os_entropy()),
+        }),
+        "shake128" => Ok(match seed {
+            Some(v) => Box::new(Shake128Rng::seed_from_u64(v)),
+            None => Box::new(Shake128Rng::from_os_entropy()),
+        }),
+        other => Err(format!("unknown rng '{other}' (expected sha256|shake128)")),
     }
 }
 
 const USAGE: &str = "usage: lac-suite <info|keygen|encaps|decaps> \
-[--params lac128|lac192|lac256] [--backend ref|ct|hw] [--seed N] [--cycles] \
+[--params lac128|lac192|lac256] [--backend ref|ct|hw] [--seed N] \
+[--rng sha256|shake128] [--cycles] \
 [--pk FILE] [--sk FILE] [--ct FILE] [--key FILE]";
 
 fn main() {

@@ -6,9 +6,7 @@
 use lac_bch::BchCode;
 use lac_hw::ChienUnit;
 use lac_meter::NullMeter;
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lac_rand::{prop, Rng, Sha256CtrRng};
 
 fn all_decoders_agree(code: &BchCode, cw: &[u8], expect: &[u8; 32]) {
     let vt = code.decode_variable_time(cw, &mut NullMeter);
@@ -21,18 +19,18 @@ fn all_decoders_agree(code: &BchCode, cw: &[u8], expect: &[u8; 32]) {
 
 #[test]
 fn random_error_patterns_up_to_t() {
-    let mut rng = StdRng::seed_from_u64(0xC0DE);
+    let mut rng = Sha256CtrRng::seed_from_u64(0xC0DE);
     for code in [BchCode::lac_t8(), BchCode::lac_t16()] {
         for trial in 0..30 {
             let mut msg = [0u8; 32];
-            rng.fill(&mut msg);
+            rng.fill_bytes(&mut msg);
             let clean = code.encode(&msg, &mut NullMeter);
-            let errors = rng.gen_range(0..=code.t());
+            let errors = rng.gen_range_usize(0..code.t() + 1);
             let mut cw = clean.clone();
             // Choose distinct positions.
             let mut positions = Vec::new();
             while positions.len() < errors {
-                let p = rng.gen_range(0..code.codeword_len());
+                let p = rng.gen_range_usize(0..code.codeword_len());
                 if !positions.contains(&p) {
                     positions.push(p);
                     cw[p] ^= 1;
@@ -91,14 +89,12 @@ fn decoder_reports_overload_distinctly() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn prop_t16_corrects_any_pattern(
-        msg in proptest::array::uniform32(any::<u8>()),
-        positions in proptest::collection::btree_set(0usize..400, 0..=16)
-    ) {
+#[test]
+fn prop_t16_corrects_any_pattern() {
+    prop::check("bch_t16_corrects_any_pattern", 24, |rng| {
+        let mut msg = [0u8; 32];
+        rng.fill_bytes(&mut msg);
+        let positions = prop::distinct_positions(rng, 400, 16);
         let code = BchCode::lac_t16();
         let clean = code.encode(&msg, &mut NullMeter);
         let mut cw = clean.clone();
@@ -106,15 +102,17 @@ proptest! {
             cw[p] ^= 1;
         }
         let out = code.decode_constant_time(&cw, &mut NullMeter);
-        prop_assert_eq!(out.message, msg);
-        prop_assert_eq!(out.locator_degree, positions.len());
-    }
+        prop::ensure_eq(out.message, msg)?;
+        prop::ensure_eq(out.locator_degree, positions.len())
+    });
+}
 
-    #[test]
-    fn prop_hw_decoder_matches_sw(
-        msg in proptest::array::uniform32(any::<u8>()),
-        positions in proptest::collection::btree_set(0usize..328, 0..=8)
-    ) {
+#[test]
+fn prop_hw_decoder_matches_sw() {
+    prop::check("bch_hw_decoder_matches_sw", 24, |rng| {
+        let mut msg = [0u8; 32];
+        rng.fill_bytes(&mut msg);
+        let positions = prop::distinct_positions(rng, 328, 8);
         let code = BchCode::lac_t8();
         let mut cw = code.encode(&msg, &mut NullMeter);
         for &p in &positions {
@@ -122,7 +120,7 @@ proptest! {
         }
         let sw = code.decode_constant_time(&cw, &mut NullMeter);
         let hw = ChienUnit::new().decode(&code, &cw, &mut NullMeter);
-        prop_assert_eq!(sw.message, hw.message);
-        prop_assert_eq!(sw.locator_degree, hw.locator_degree);
-    }
+        prop::ensure_eq(sw.message, hw.message)?;
+        prop::ensure_eq(sw.locator_degree, hw.locator_degree)
+    });
 }

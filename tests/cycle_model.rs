@@ -6,12 +6,11 @@
 use lac::{AcceleratedBackend, Backend, Kem, Params, SoftwareBackend};
 use lac_bch::BchCode;
 use lac_meter::{CycleLedger, NullMeter, Phase};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use lac_rand::Sha256CtrRng;
 
 fn decaps_cycles(params: Params, backend: &mut dyn Backend) -> CycleLedger {
     let kem = Kem::new(params);
-    let mut rng = StdRng::seed_from_u64(9);
+    let mut rng = Sha256CtrRng::seed_from_u64(9);
     let (pk, sk) = kem.keygen(&mut rng, backend, &mut NullMeter);
     let (ct, _) = kem.encapsulate(&mut rng, &pk, backend, &mut NullMeter);
     let mut ledger = CycleLedger::new();
@@ -155,7 +154,7 @@ fn accelerated_decaps_protected_phases_are_ciphertext_independent() {
     // exempt.
     let kem = Kem::new(Params::lac128());
     let mut backend = AcceleratedBackend::new();
-    let mut rng = StdRng::seed_from_u64(31);
+    let mut rng = Sha256CtrRng::seed_from_u64(31);
     let (pk, sk) = kem.keygen(&mut rng, &mut backend, &mut NullMeter);
     let (ct1, _) = kem.encapsulate(&mut rng, &pk, &mut backend, &mut NullMeter);
     let (ct2, _) = kem.encapsulate(&mut rng, &pk, &mut backend, &mut NullMeter);
@@ -228,7 +227,7 @@ fn constant_time_sampler_closes_the_last_leak() {
     // and performs a fixed compare-exchange schedule.
     let kem = Kem::with_sampler(Params::lac128(), lac::SamplerKind::ConstantTime);
     let mut backend = AcceleratedBackend::new();
-    let mut rng = StdRng::seed_from_u64(41);
+    let mut rng = Sha256CtrRng::seed_from_u64(41);
     let (pk, sk) = kem.keygen(&mut rng, &mut backend, &mut NullMeter);
     let mut totals = Vec::new();
     for _ in 0..3 {
@@ -248,7 +247,7 @@ fn ct_sampler_roundtrips_and_costs_more() {
     let reference = Kem::new(Params::lac128());
     let hardened = Kem::with_sampler(Params::lac128(), lac::SamplerKind::ConstantTime);
     let mut backend = SoftwareBackend::constant_time();
-    let mut rng = StdRng::seed_from_u64(42);
+    let mut rng = Sha256CtrRng::seed_from_u64(42);
 
     let (pk, sk) = hardened.keygen(&mut rng, &mut backend, &mut NullMeter);
     let (ct, k1) = hardened.encapsulate(&mut rng, &pk, &mut backend, &mut NullMeter);

@@ -6,8 +6,8 @@ use lac::{
     SoftwareBackend,
 };
 use lac_meter::NullMeter;
-use rand::rngs::StdRng;
-use rand::{RngCore, SeedableRng};
+use lac_rand::Sha256CtrRng;
+use lac_rand::Rng;
 
 fn backends() -> Vec<Box<dyn Backend>> {
     vec![
@@ -22,7 +22,7 @@ fn roundtrip_matrix_params_x_backends() {
     for params in Params::ALL {
         let kem = Kem::new(params);
         for mut backend in backends() {
-            let mut rng = StdRng::seed_from_u64(11);
+            let mut rng = Sha256CtrRng::seed_from_u64(11);
             let (pk, sk) = kem.keygen(&mut rng, backend.as_mut(), &mut NullMeter);
             let (ct, k1) = kem.encapsulate(&mut rng, &pk, backend.as_mut(), &mut NullMeter);
             let k2 = kem.decapsulate(&sk, &ct, backend.as_mut(), &mut NullMeter);
@@ -38,7 +38,7 @@ fn many_random_roundtrips_lac128() {
     // to be negligible thanks to the BCH code).
     let kem = Kem::new(Params::lac128());
     let mut backend = SoftwareBackend::constant_time();
-    let mut rng = StdRng::seed_from_u64(0xABCD);
+    let mut rng = Sha256CtrRng::seed_from_u64(0xABCD);
     for round in 0..25 {
         let (pk, sk) = kem.keygen(&mut rng, &mut backend, &mut NullMeter);
         let (ct, k1) = kem.encapsulate(&mut rng, &pk, &mut backend, &mut NullMeter);
@@ -53,7 +53,7 @@ fn encaps_on_hw_decaps_on_sw_and_vice_versa() {
         let kem = Kem::new(params);
         let mut sw = SoftwareBackend::constant_time();
         let mut hw = AcceleratedBackend::new();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Sha256CtrRng::seed_from_u64(3);
         let (pk, sk) = kem.keygen(&mut rng, &mut sw, &mut NullMeter);
 
         let (ct, k1) = kem.encapsulate(&mut rng, &pk, &mut hw, &mut NullMeter);
@@ -70,7 +70,7 @@ fn full_wire_format_roundtrip() {
     for params in Params::ALL {
         let kem = Kem::new(params);
         let mut backend = SoftwareBackend::constant_time();
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Sha256CtrRng::seed_from_u64(5);
         let (pk, sk) = kem.keygen(&mut rng, &mut backend, &mut NullMeter);
 
         let pk2 = KemPublicKey::from_bytes(kem.params(), &pk.to_bytes()).expect("pk parses");
@@ -102,7 +102,7 @@ fn wire_sizes_match_paper_level_v() {
 fn corrupted_ciphertexts_never_yield_the_real_key() {
     let kem = Kem::new(Params::lac192());
     let mut backend = SoftwareBackend::constant_time();
-    let mut rng = StdRng::seed_from_u64(17);
+    let mut rng = Sha256CtrRng::seed_from_u64(17);
     let (pk, sk) = kem.keygen(&mut rng, &mut backend, &mut NullMeter);
     let (ct, k1) = kem.encapsulate(&mut rng, &pk, &mut backend, &mut NullMeter);
 
@@ -123,7 +123,7 @@ fn corrupted_ciphertexts_never_yield_the_real_key() {
 fn distinct_sessions_get_distinct_secrets() {
     let kem = Kem::new(Params::lac128());
     let mut backend = SoftwareBackend::constant_time();
-    let mut rng = StdRng::seed_from_u64(23);
+    let mut rng = Sha256CtrRng::seed_from_u64(23);
     let (pk, _) = kem.keygen(&mut rng, &mut backend, &mut NullMeter);
     let (ct1, k1) = kem.encapsulate(&mut rng, &pk, &mut backend, &mut NullMeter);
     let (ct2, k2) = kem.encapsulate(&mut rng, &pk, &mut backend, &mut NullMeter);

@@ -19,8 +19,8 @@
 use lac::{Lac, Params, SoftwareBackend};
 use lac_meter::NullMeter;
 use lac_rv32::Machine;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use lac_rand::Sha256CtrRng;
+use lac_rand::Rng;
 
 /// Pack the MUL TER operand stream (5 coefficient pairs per write) the way
 /// the driver in Section V does.
@@ -52,10 +52,10 @@ fn lac128_decryption_on_the_extended_core() {
     let params = Params::lac128();
     let lac = Lac::new(params);
     let mut backend = SoftwareBackend::constant_time();
-    let mut rng = StdRng::seed_from_u64(0xD0_C0DE);
+    let mut rng = Sha256CtrRng::seed_from_u64(0xD0_C0DE);
     let (pk, sk) = lac.keygen(&mut rng, &mut backend, &mut NullMeter);
     let mut msg = [0u8; 32];
-    rng.fill(&mut msg);
+    rng.fill_bytes(&mut msg);
     let ct = lac.encrypt(&pk, &msg, &[0x42u8; 32], &mut backend, &mut NullMeter);
 
     let lv = params.lv(); // 400 carried coefficients
@@ -146,7 +146,7 @@ fn recovered_bits_match_native_word_for_word() {
     let params = Params::lac128();
     let lac = Lac::new(params);
     let mut backend = SoftwareBackend::constant_time();
-    let mut rng = StdRng::seed_from_u64(77);
+    let mut rng = Sha256CtrRng::seed_from_u64(77);
     let (pk, sk) = lac.keygen(&mut rng, &mut backend, &mut NullMeter);
     let ct = lac.encrypt(&pk, &[0x5au8; 32], &[1u8; 32], &mut backend, &mut NullMeter);
     let lv = params.lv();

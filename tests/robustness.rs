@@ -4,66 +4,80 @@
 use lac::{Ciphertext, KemPublicKey, KemSecretKey, Params, PublicKey, SecretKey};
 use lac_bch::BchCode;
 use lac_meter::NullMeter;
-use proptest::prelude::*;
+use lac_rand::{prop, Rng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn pk_from_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..1200)) {
+#[test]
+fn pk_from_bytes_never_panics() {
+    prop::check("pk_from_bytes_never_panics", 64, |rng| {
+        let len = rng.gen_below_usize(1200);
+        let bytes = prop::bytes(rng, len);
         for params in Params::ALL {
             let _ = PublicKey::from_bytes(&params, &bytes);
             let _ = KemPublicKey::from_bytes(&params, &bytes);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn sk_from_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..3000)) {
+#[test]
+fn sk_from_bytes_never_panics() {
+    prop::check("sk_from_bytes_never_panics", 64, |rng| {
+        let len = rng.gen_below_usize(3000);
+        let bytes = prop::bytes(rng, len);
         for params in Params::ALL {
             let _ = SecretKey::from_bytes(&params, &bytes);
             let _ = KemSecretKey::from_bytes(&params, &bytes);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn ct_from_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..1600)) {
+#[test]
+fn ct_from_bytes_never_panics() {
+    prop::check("ct_from_bytes_never_panics", 64, |rng| {
+        let len = rng.gen_below_usize(1600);
+        let bytes = prop::bytes(rng, len);
         for params in Params::ALL {
             let _ = Ciphertext::from_bytes(&params, &bytes);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn right_length_random_bytes_parse_or_reject_cleanly(
-        seed_byte in any::<u8>()
-    ) {
-        // Exactly-sized buffers filled with values that may violate the
-        // coefficient range: the parser must decide without panicking, and
-        // accepted values must re-serialize to the same bytes.
+#[test]
+fn right_length_random_bytes_parse_or_reject_cleanly() {
+    // Exactly-sized buffers filled with values that may violate the
+    // coefficient range: the parser must decide without panicking, and
+    // accepted values must re-serialize to the same bytes.
+    prop::check("right_length_random_bytes", 64, |rng| {
+        let seed_byte = rng.next_byte();
         for params in Params::ALL {
             let n = params.ciphertext_bytes();
             let bytes: Vec<u8> = (0..n).map(|i| seed_byte.wrapping_add(i as u8)).collect();
             if let Ok(ct) = Ciphertext::from_bytes(&params, &bytes) {
-                prop_assert_eq!(ct.to_bytes(), bytes);
+                prop::ensure_eq(ct.to_bytes(), bytes)?;
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn decoder_never_panics_on_arbitrary_words(
-        bits in proptest::collection::vec(0u8..2, 400)
-    ) {
-        // Arbitrary 400-bit words are usually not within distance t of any
-        // codeword: both decoders must return (possibly inconsistent)
-        // results without panicking, and the CT decoder must still cost
-        // exactly its fixed budget.
+#[test]
+fn decoder_never_panics_on_arbitrary_words() {
+    // Arbitrary 400-bit words are usually not within distance t of any
+    // codeword: both decoders must return (possibly inconsistent)
+    // results without panicking, and the CT decoder must still cost
+    // exactly its fixed budget.
+    prop::check("decoder_never_panics_on_arbitrary_words", 64, |rng| {
+        let bits = prop::vec_u8(rng, 400, 2);
         let code = BchCode::lac_t16();
         let _ = code.decode_variable_time(&bits, &mut NullMeter);
         let mut l1 = lac_meter::CycleLedger::new();
         code.decode_constant_time(&bits, &mut l1);
         let mut l2 = lac_meter::CycleLedger::new();
         code.decode_constant_time(&vec![0u8; 400], &mut l2);
-        prop_assert_eq!(l1.total(), l2.total());
-    }
+        prop::ensure_eq(l1.total(), l2.total())
+    });
 }
 
 #[test]
