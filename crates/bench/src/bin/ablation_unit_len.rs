@@ -14,9 +14,9 @@ use lac::{AcceleratedBackend, Kem, Params};
 use lac_bench::thousands;
 use lac_hw::MulTer;
 use lac_meter::{CycleLedger, NullMeter};
+use lac_rand::Sha256CtrRng;
 use lac_ring::split::split_mul_high;
 use lac_ring::{Convolution, Poly, TernaryPoly};
-use lac_rand::Sha256CtrRng;
 
 /// Cycles for a length-`n` product on a length-`unit` MUL TER.
 fn mul_cycles(unit: usize, n: usize) -> Option<u64> {

@@ -13,8 +13,8 @@
 
 use lac::{Lac, Params, SoftwareBackend};
 use lac_meter::NullMeter;
-use lac_rand::Sha256CtrRng;
 use lac_rand::Rng;
+use lac_rand::Sha256CtrRng;
 
 /// ln(n choose k) via the log-gamma-free cumulative product (exact enough
 /// for tail estimates here).
@@ -34,8 +34,7 @@ fn binomial_tail(n: u64, p: f64, t: u64) -> f64 {
     }
     let mut total = 0.0f64;
     for k in (t + 1)..=n.min(t + 60) {
-        let ln_term =
-            ln_choose(n, k) + (k as f64) * p.ln() + ((n - k) as f64) * (1.0 - p).ln();
+        let ln_term = ln_choose(n, k) + (k as f64) * p.ln() + ((n - k) as f64) * (1.0 - p).ln();
         total += ln_term.exp();
     }
     total

@@ -123,7 +123,13 @@ fn main() {
 
     // Quoted external rows (ARM Cortex-M4 reference implementation [4]).
     for (name, cat, kg, enc, dec) in [
-        ("LAC-128 ref. [4]", "I", 2_266_368u64, 3_979_851u64, 6_303_717u64),
+        (
+            "LAC-128 ref. [4]",
+            "I",
+            2_266_368u64,
+            3_979_851u64,
+            6_303_717u64,
+        ),
         ("LAC-192 ref. [4]", "III", 7_532_180, 9_986_506, 17_452_435),
         ("LAC-256 ref. [4]", "V", 7_665_769, 13_533_851, 21_125_257),
     ] {
@@ -166,8 +172,8 @@ fn main() {
     // NewHope CPA row: measured from our baseline implementation with the
     // [8]-style co-processor configuration, next to [8]'s published row.
     {
-        use newhope::{AcceleratedBackend as NhAccel, CpaKem, NewHopeParams};
         use lac_rand::Sha256CtrRng;
+        use newhope::{AcceleratedBackend as NhAccel, CpaKem, NewHopeParams};
         let kem = CpaKem::new(NewHopeParams::newhope1024());
         let mut backend = NhAccel::new();
         let mut rng = Sha256CtrRng::seed_from_u64(0xBEEF);
@@ -181,7 +187,8 @@ fn main() {
         kem.decapsulate(&sk, &ct, &mut backend, &mut dec);
         println!(
             "{:<20} {:>4} {:>12} {:>12} {:>12} {:>10} {:>10}  (CPA baseline, measured)",
-            "NewHope opt.", "V",
+            "NewHope opt.",
+            "V",
             thousands(kg.total()),
             thousands(enc.total()),
             thousands(dec.total()),
@@ -190,7 +197,8 @@ fn main() {
         );
         println!(
             "{:<20} {:>4} {:>12} {:>12} {:>12} {:>10} {:>10}  (as published in [8])",
-            "NewHope opt. [8]", "V",
+            "NewHope opt. [8]",
+            "V",
             thousands(357_052),
             thousands(589_285),
             thousands(167_647),

@@ -49,13 +49,21 @@ fn emit_json() {
     let modq = ModQ::new();
     let accel_total = mul_ter.resources() + chien.resources() + sha.resources() + modq.resources();
     let rows = [
-        json_row("peripherals_memory", PERIPHERALS, Some((8_769, 7_369, 32, 0))),
+        json_row(
+            "peripherals_memory",
+            PERIPHERALS,
+            Some((8_769, 7_369, 32, 0)),
+        ),
         json_row(
             "riscv_core_total",
             accel_total + RISCY_BASE,
             Some((53_819, 13_928, 0, 10)),
         ),
-        json_row("ternary_multiplier", mul_ter.resources(), Some((31_465, 9_305, 0, 0))),
+        json_row(
+            "ternary_multiplier",
+            mul_ter.resources(),
+            Some((31_465, 9_305, 0, 0)),
+        ),
         json_row("gf_multipliers", chien.resources(), Some((86, 158, 0, 0))),
         json_row("sha256", sha.resources(), Some((1_031, 1_556, 0, 0))),
         json_row("modulo_barrett", modq.resources(), Some((35, 0, 0, 2))),
@@ -91,8 +99,16 @@ fn main() {
     let accel_total = mul_ter.resources() + chien.resources() + sha.resources() + modq.resources();
     let core_total = accel_total + RISCY_BASE;
 
-    row("Peripherals/Memory", PERIPHERALS, Some((8_769, 7_369, 32, 0)));
-    row("RISC-V core total", core_total, Some((53_819, 13_928, 0, 10)));
+    row(
+        "Peripherals/Memory",
+        PERIPHERALS,
+        Some((8_769, 7_369, 32, 0)),
+    );
+    row(
+        "RISC-V core total",
+        core_total,
+        Some((53_819, 13_928, 0, 10)),
+    );
     row(
         " - Ternary Multiplier",
         mul_ter.resources(),
@@ -104,11 +120,7 @@ fn main() {
         Some((86, 158, 0, 0)),
     );
     row(" - SHA256", sha.resources(), Some((1_031, 1_556, 0, 0)));
-    row(
-        " - Modulo (Barrett)",
-        modq.resources(),
-        Some((35, 0, 0, 2)),
-    );
+    row(" - Modulo (Barrett)", modq.resources(), Some((35, 0, 0, 2)));
     println!();
     row("NTT accelerator [8]", NTT_ACCELERATOR_REF8, None);
     row("Keccak accelerator [8]", KECCAK_ACCELERATOR_REF8, None);
@@ -116,12 +128,9 @@ fn main() {
     println!("\nDerived comparisons (Section VI):");
     println!(
         "  accelerator overhead vs [8]: +{} LUTs, +{} registers, -{} DSPs, -{} BRAM",
-        accel_total.luts as i64
-            - (NTT_ACCELERATOR_REF8.luts + KECCAK_ACCELERATOR_REF8.luts) as i64,
-        accel_total.regs as i64
-            - (NTT_ACCELERATOR_REF8.regs + KECCAK_ACCELERATOR_REF8.regs) as i64,
-        (NTT_ACCELERATOR_REF8.dsps + KECCAK_ACCELERATOR_REF8.dsps) as i64
-            - accel_total.dsps as i64,
+        accel_total.luts as i64 - (NTT_ACCELERATOR_REF8.luts + KECCAK_ACCELERATOR_REF8.luts) as i64,
+        accel_total.regs as i64 - (NTT_ACCELERATOR_REF8.regs + KECCAK_ACCELERATOR_REF8.regs) as i64,
+        (NTT_ACCELERATOR_REF8.dsps + KECCAK_ACCELERATOR_REF8.dsps) as i64 - accel_total.dsps as i64,
         NTT_ACCELERATOR_REF8.brams + KECCAK_ACCELERATOR_REF8.brams
     );
     println!(

@@ -140,27 +140,39 @@ pub fn measure_kem(params: Params, backend: &mut dyn Backend, label: &str) -> Ke
 pub const PAPER_TABLE2: [(&str, [u64; 7]); 9] = [
     (
         "LAC-128 ref.",
-        [2_980_721, 4_969_233, 7_544_632, 159_097, 190_173, 2_381_843, 161_514],
+        [
+            2_980_721, 4_969_233, 7_544_632, 159_097, 190_173, 2_381_843, 161_514,
+        ],
     ),
     (
         "LAC-192 ref.",
-        [10_162_116, 13_388_940, 22_984_529, 287_609, 165_092, 9_482_261, 78_584],
+        [
+            10_162_116, 13_388_940, 22_984_529, 287_609, 165_092, 9_482_261, 78_584,
+        ],
     ),
     (
         "LAC-256 ref.",
-        [10_516_000, 18_165_942, 27_879_782, 287_736, 344_541, 9_482_263, 171_622],
+        [
+            10_516_000, 18_165_942, 27_879_782, 287_736, 344_541, 9_482_263, 171_622,
+        ],
     ),
     (
         "LAC-128 const. BCH",
-        [2_981_055, 4_969_238, 7_897_403, 159_192, 190_256, 2_381_843, 514_280],
+        [
+            2_981_055, 4_969_238, 7_897_403, 159_192, 190_256, 2_381_843, 514_280,
+        ],
     ),
     (
         "LAC-192 const. BCH",
-        [10_162_502, 13_388_952, 23_126_138, 287_736, 165_185, 9_482_261, 220_181],
+        [
+            10_162_502, 13_388_952, 23_126_138, 287_736, 165_185, 9_482_261, 220_181,
+        ],
     ),
     (
         "LAC-256 const. BCH",
-        [10_515_588, 18_165_040, 28_220_945, 287_609, 344_436, 9_482_263, 513_687],
+        [
+            10_515_588, 18_165_040, 28_220_945, 287_609, 344_436, 9_482_263, 513_687,
+        ],
     ),
     (
         "LAC-128 opt.",
@@ -168,11 +180,15 @@ pub const PAPER_TABLE2: [(&str, [u64; 7]); 9] = [
     ),
     (
         "LAC-192 opt.",
-        [816_635, 1_086_148, 1_324_014, 282_264, 156_320, 151_354, 52_142],
+        [
+            816_635, 1_086_148, 1_324_014, 282_264, 156_320, 151_354, 52_142,
+        ],
     ),
     (
         "LAC-256 opt.",
-        [1_086_252, 1_388_366, 1_759_756, 282_264, 291_007, 151_355, 160_296],
+        [
+            1_086_252, 1_388_366, 1_759_756, 282_264, 291_007, 151_355, 160_296,
+        ],
     ),
 ];
 

@@ -552,10 +552,7 @@ mod tests {
                 pa.mul(&pb, &f).eval(&f, x),
                 f.mul(pa.eval(&f, x), pb.eval(&f, x)),
             )?;
-            prop::ensure_eq(
-                pa.add(&pb).eval(&f, x),
-                pa.eval(&f, x) ^ pb.eval(&f, x),
-            )
+            prop::ensure_eq(pa.add(&pb).eval(&f, x), pa.eval(&f, x) ^ pb.eval(&f, x))
         });
     }
 }

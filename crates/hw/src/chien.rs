@@ -122,11 +122,7 @@ impl ChienUnit {
             lambda.len() <= t + 1,
             "locator degree exceeds the code's correction capability"
         );
-        assert_eq!(
-            t % width,
-            0,
-            "t must be a multiple of the multiplier count"
-        );
+        assert_eq!(t % width, 0, "t must be a multiple of the multiplier count");
         let gf = code.field();
         let n = code.n();
         let len = code.codeword_len();
@@ -206,7 +202,12 @@ impl ChienUnit {
     /// # Panics
     ///
     /// Panics if `received.len() != code.codeword_len()`.
-    pub fn decode<M: Meter>(&mut self, code: &BchCode, received: &[u8], meter: &mut M) -> CtDecoded {
+    pub fn decode<M: Meter>(
+        &mut self,
+        code: &BchCode,
+        received: &[u8],
+        meter: &mut M,
+    ) -> CtDecoded {
         assert_eq!(
             received.len(),
             code.codeword_len(),
@@ -316,8 +317,9 @@ mod tests {
         let clean = code.encode(&msg, &mut NullMeter);
         for errors in [0usize, 3, 16] {
             let mut cw = clean.clone();
-            let positions: Vec<usize> =
-                (0..errors).map(|i| code.parity_len() + 5 + i * 14).collect();
+            let positions: Vec<usize> = (0..errors)
+                .map(|i| code.parity_len() + 5 + i * 14)
+                .collect();
             flip(&mut cw, &positions);
             let hw = unit.decode(&code, &cw, &mut NullMeter);
             let sw = code.decode_constant_time(&cw, &mut NullMeter);

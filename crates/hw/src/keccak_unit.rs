@@ -105,7 +105,10 @@ mod tests {
     fn digest_matches_software() {
         let mut unit = KeccakUnit::new();
         for data in [&b""[..], b"abc", &[7u8; 300]] {
-            assert_eq!(unit.digest(data, &mut NullMeter), lac_keccak::sha3_256(data));
+            assert_eq!(
+                unit.digest(data, &mut NullMeter),
+                lac_keccak::sha3_256(data)
+            );
         }
     }
 

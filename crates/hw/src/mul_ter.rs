@@ -247,9 +247,9 @@ impl TernaryMulUnit for MulTer {
 mod tests {
     use super::*;
     use lac_meter::{CycleLedger, NullMeter};
+    use lac_rand::prop;
     use lac_ring::mul::mul_ternary;
     use lac_ring::split::split_mul_high;
-    use lac_rand::prop;
 
     #[test]
     fn matches_software_multiplication_small() {
@@ -266,7 +266,9 @@ mod tests {
     #[test]
     fn matches_software_multiplication_n512() {
         let mut unit = MulTer::new(512);
-        let coeffs: Vec<i8> = (0..512).map(|i| [1i8, 0, -1, 0, 0, 1, -1, 0][i % 8]).collect();
+        let coeffs: Vec<i8> = (0..512)
+            .map(|i| [1i8, 0, -1, 0, 0, 1, -1, 0][i % 8])
+            .collect();
         let a = TernaryPoly::from_coeffs(coeffs);
         let b = Poly::from_coeffs((0..512u32).map(|i| (i * 7 % 251) as u8).collect());
         let hw = unit.multiply(&a, &b, Convolution::Negacyclic, &mut NullMeter);
@@ -384,7 +386,9 @@ mod tests {
     #[test]
     fn rtl_simulation_matches_algebraic_model_n512() {
         let mut unit = MulTer::new(512);
-        let coeffs: Vec<i8> = (0..512).map(|i| [1i8, -1, 0, 0, 1, 0, -1, 1][i % 8]).collect();
+        let coeffs: Vec<i8> = (0..512)
+            .map(|i| [1i8, -1, 0, 0, 1, 0, -1, 1][i % 8])
+            .collect();
         let a = TernaryPoly::from_coeffs(coeffs);
         let b = Poly::from_coeffs((0..512u32).map(|i| (i * 29 % 251) as u8).collect());
         for conv in [Convolution::Cyclic, Convolution::Negacyclic] {

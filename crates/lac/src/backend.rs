@@ -38,7 +38,13 @@ pub enum BchDecoderKind {
 }
 
 /// The substrate LAC runs on: software or the PQ-ALU accelerators.
-pub trait Backend {
+///
+/// `Send` is a supertrait so a `Box<dyn Backend>` can move into a worker
+/// thread: the serving layer (`lac-serve`) gives every worker its own
+/// backend instance. All in-tree backends are plain owned data (lookup
+/// tables and counters — no `Rc`, no interior mutability), so the bound
+/// costs nothing; see the `thread_safety` test module for the audit.
+pub trait Backend: Send {
     /// Negacyclic ring multiplication `t · g` in R_n.
     fn ring_mul(&mut self, t: &TernaryPoly, g: &Poly, meter: &mut dyn Meter) -> Poly;
 
@@ -62,12 +68,7 @@ pub trait Backend {
     fn hash(&mut self, data: &[u8], meter: &mut dyn Meter) -> [u8; 32];
 
     /// Decode a received BCH codeword.
-    fn bch_decode(
-        &mut self,
-        code: &BchCode,
-        received: &[u8],
-        meter: &mut dyn Meter,
-    ) -> DecodeInfo;
+    fn bch_decode(&mut self, code: &BchCode, received: &[u8], meter: &mut dyn Meter) -> DecodeInfo;
 
     /// Short label for reports ("ref.", "const. BCH", "opt.").
     fn label(&self) -> &'static str;
@@ -353,6 +354,42 @@ mod tests {
     fn unsupported_dimension_panics() {
         let (t, g) = sample_operands(256);
         AcceleratedBackend::new().ring_mul(&t, &g, &mut NullMeter);
+    }
+}
+
+#[cfg(test)]
+mod thread_safety {
+    //! Send/Sync audit: every backend and every key/ciphertext type must be
+    //! freely movable across threads (workers own their backend; requests
+    //! carry parsed keys). These are compile-time checks — if a field ever
+    //! gains `Rc`/`RefCell`/raw pointers, this module stops compiling.
+    use super::*;
+    use crate::{Ciphertext, Kem, KemPublicKey, KemSecretKey, Params, SharedSecret};
+
+    fn assert_send<T: Send>() {}
+    fn assert_sync<T: Sync>() {}
+
+    #[test]
+    fn backends_and_types_are_send_and_sync() {
+        assert_send::<SoftwareBackend>();
+        assert_sync::<SoftwareBackend>();
+        assert_send::<AcceleratedBackend>();
+        assert_sync::<AcceleratedBackend>();
+        assert_send::<KeccakAcceleratedBackend>();
+        assert_sync::<KeccakAcceleratedBackend>();
+        // Trait objects inherit Send from the supertrait bound.
+        assert_send::<Box<dyn Backend>>();
+        assert_send::<KemPublicKey>();
+        assert_sync::<KemPublicKey>();
+        assert_send::<KemSecretKey>();
+        assert_sync::<KemSecretKey>();
+        assert_send::<Ciphertext>();
+        assert_sync::<Ciphertext>();
+        assert_send::<SharedSecret>();
+        assert_send::<Kem>();
+        assert_sync::<Kem>();
+        assert_send::<Params>();
+        assert_sync::<Params>();
     }
 }
 

@@ -173,10 +173,7 @@ impl Kem {
         let (pk, sk) = self.lac.keygen(rng, backend, meter);
         let mut z = [0u8; SEED_BYTES];
         rng.fill_bytes(&mut z);
-        (
-            KemPublicKey { pk: pk.clone() },
-            KemSecretKey { sk, pk, z },
-        )
+        (KemPublicKey { pk: pk.clone() }, KemSecretKey { sk, pk, z })
     }
 
     fn hash_with_domain<B: Backend + ?Sized>(
@@ -270,8 +267,7 @@ impl Kem {
         meter.charge(Op::Alu, 4 * 32);
         meter.leave();
 
-        let key =
-            self.hash_with_domain(backend, DOMAIN_SHARED_KEY, &[&selected, &ct_bytes], meter);
+        let key = self.hash_with_domain(backend, DOMAIN_SHARED_KEY, &[&selected, &ct_bytes], meter);
         SharedSecret(key)
     }
 }
@@ -329,10 +325,7 @@ mod tests {
         let (ct_hw, k_hw) = kem.encapsulate_message(&m, &pk, &mut hw, &mut NullMeter);
         assert_eq!(ct_sw, ct_hw);
         assert_eq!(k_sw, k_hw);
-        assert_eq!(
-            kem.decapsulate(&sk, &ct_sw, &mut hw, &mut NullMeter),
-            k_sw
-        );
+        assert_eq!(kem.decapsulate(&sk, &ct_sw, &mut hw, &mut NullMeter), k_sw);
     }
 
     #[test]
@@ -407,8 +400,6 @@ mod tests {
         kem.encapsulate(&mut rng, &pk, &mut b, &mut enc);
         let mut dec = CycleLedger::new();
         kem.decapsulate(&sk, &ct, &mut b, &mut dec);
-        assert!(
-            dec.phase_total(lac_meter::Phase::Mul) > enc.phase_total(lac_meter::Phase::Mul)
-        );
+        assert!(dec.phase_total(lac_meter::Phase::Mul) > enc.phase_total(lac_meter::Phase::Mul));
     }
 }

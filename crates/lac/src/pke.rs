@@ -6,8 +6,8 @@ use crate::sample::{gen_a, sample_ternary_with, SamplerKind};
 use crate::{Params, MESSAGE_BYTES, SEED_BYTES};
 use lac_bch::BchCode;
 use lac_meter::{Meter, Op, Phase};
-use lac_ring::Q;
 use lac_rand::Rng;
+use lac_ring::Q;
 
 /// Center value encoding a 1-bit: ⌊q/2⌋ = 125.
 const HALF_Q: u16 = (Q - 1) / 2;
@@ -90,13 +90,7 @@ impl Lac {
         let b = backend
             .ring_mul(&s, &a, meter)
             .add(&e.to_poly(), &mut &mut *meter);
-        (
-            PublicKey {
-                seed_a: *seed_a,
-                b,
-            },
-            SecretKey { s },
-        )
+        (PublicKey { seed_a: *seed_a, b }, SecretKey { s })
     }
 
     /// Randomized key generation.
@@ -201,11 +195,8 @@ impl Lac {
             // decide by comparing summed distances to the 0- and 1-encodings.
             for i in 0..cw_len {
                 let (w0, w1) = (w[i], w[i + cw_len]);
-                let dist_to_zero =
-                    |x: u16| -> i32 { i32::from(x.min(Q - x)) };
-                let dist_to_one = |x: u16| -> i32 {
-                    (i32::from(x) - i32::from(HALF_Q)).abs()
-                };
+                let dist_to_zero = |x: u16| -> i32 { i32::from(x.min(Q - x)) };
+                let dist_to_one = |x: u16| -> i32 { (i32::from(x) - i32::from(HALF_Q)).abs() };
                 let d0 = dist_to_zero(w0) + dist_to_zero(w1);
                 let d1 = dist_to_one(w0) + dist_to_one(w1);
                 bits[i] = u8::from(d1 < d0);
@@ -265,14 +256,22 @@ mod tests {
     #[test]
     fn roundtrip_lac192_software() {
         for seed in 0..8 {
-            roundtrip(Params::lac192(), &mut SoftwareBackend::constant_time(), seed);
+            roundtrip(
+                Params::lac192(),
+                &mut SoftwareBackend::constant_time(),
+                seed,
+            );
         }
     }
 
     #[test]
     fn roundtrip_lac256_software() {
         for seed in 0..8 {
-            roundtrip(Params::lac256(), &mut SoftwareBackend::constant_time(), seed);
+            roundtrip(
+                Params::lac256(),
+                &mut SoftwareBackend::constant_time(),
+                seed,
+            );
         }
     }
 

@@ -223,11 +223,7 @@ pub(crate) fn sample_ternary_ct<B: Backend + ?Sized>(
                     let ascending = i & k == 0;
                     let (a, b) = (elements[i], elements[l]);
                     // Branch-free conditional swap.
-                    let swap_mask = if (a > b) == ascending {
-                        u32::MAX
-                    } else {
-                        0
-                    };
+                    let swap_mask = if (a > b) == ascending { u32::MAX } else { 0 };
                     elements[i] = (a & !swap_mask) | (b & swap_mask);
                     elements[l] = (b & !swap_mask) | (a & swap_mask);
                     // Fixed charge per compare-exchange: two loads, the
@@ -289,8 +285,7 @@ mod tests {
     fn gen_a_roughly_uniform() {
         let mut b = SoftwareBackend::reference();
         let a = gen_a(&mut b, &[9u8; 32], 1024, &mut NullMeter);
-        let mean: f64 =
-            a.coeffs().iter().map(|&c| f64::from(c)).sum::<f64>() / a.len() as f64;
+        let mean: f64 = a.coeffs().iter().map(|&c| f64::from(c)).sum::<f64>() / a.len() as f64;
         assert!((100.0..150.0).contains(&mean), "mean {mean}");
     }
 

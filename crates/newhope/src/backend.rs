@@ -142,6 +142,10 @@ mod tests {
         assert!(hw_cost.total() < sw_cost.total());
         // ... but stays in the tens of thousands: loose coupling pays bus
         // transfers (the paper's [8] reports 24,609 cycles per NTT).
-        assert!((15_000..35_000).contains(&hw_cost.total()), "{}", hw_cost.total());
+        assert!(
+            (15_000..35_000).contains(&hw_cost.total()),
+            "{}",
+            hw_cost.total()
+        );
     }
 }

@@ -154,7 +154,9 @@ impl CpaKem {
         meter.enter(Phase::Mul);
         let s_hat = NhPoly::from_coeffs(backend.ntt_forward(&self.ntt, s.coeffs(), meter));
         let e_hat = NhPoly::from_coeffs(backend.ntt_forward(&self.ntt, e.coeffs(), meter));
-        let mut as_hat = self.ntt.pointwise(a_hat.coeffs(), s_hat.coeffs(), &mut &mut *meter);
+        let mut as_hat = self
+            .ntt
+            .pointwise(a_hat.coeffs(), s_hat.coeffs(), &mut &mut *meter);
         meter.leave();
         let b_hat = NhPoly::from_coeffs(std::mem::take(&mut as_hat)).add(&e_hat, &mut &mut *meter);
 
@@ -186,8 +188,12 @@ impl CpaKem {
         meter.enter(Phase::Mul);
         let t_hat = NhPoly::from_coeffs(backend.ntt_forward(&self.ntt, s_prime.coeffs(), meter));
         let e1_hat = NhPoly::from_coeffs(backend.ntt_forward(&self.ntt, e_prime.coeffs(), meter));
-        let at = self.ntt.pointwise(a_hat.coeffs(), t_hat.coeffs(), &mut &mut *meter);
-        let bt = self.ntt.pointwise(pk.b_hat.coeffs(), t_hat.coeffs(), &mut &mut *meter);
+        let at = self
+            .ntt
+            .pointwise(a_hat.coeffs(), t_hat.coeffs(), &mut &mut *meter);
+        let bt = self
+            .ntt
+            .pointwise(pk.b_hat.coeffs(), t_hat.coeffs(), &mut &mut *meter);
         let bt_time = NhPoly::from_coeffs(backend.ntt_inverse(&self.ntt, &bt, meter));
         meter.leave();
 
@@ -201,7 +207,10 @@ impl CpaKem {
         let v_compressed = v.compress3(&mut &mut *meter);
         meter.leave();
 
-        let ct = NhCiphertext { u_hat, v_compressed };
+        let ct = NhCiphertext {
+            u_hat,
+            v_compressed,
+        };
         let key = self.derive_key(&m, &ct, backend, meter);
         (ct, key)
     }
@@ -217,7 +226,9 @@ impl CpaKem {
     ) -> NhSharedSecret {
         let n = self.params.n();
         meter.enter(Phase::Mul);
-        let us = self.ntt.pointwise(ct.u_hat.coeffs(), sk.s_hat.coeffs(), &mut &mut *meter);
+        let us = self
+            .ntt
+            .pointwise(ct.u_hat.coeffs(), sk.s_hat.coeffs(), &mut &mut *meter);
         let us_time = NhPoly::from_coeffs(backend.ntt_inverse(&self.ntt, &us, meter));
         meter.leave();
 
@@ -298,7 +309,12 @@ mod tests {
         kem.encapsulate(&mut rng, &pk, &mut backend, &mut enc);
         let mut dec = CycleLedger::new();
         kem.decapsulate(&sk, &ct, &mut backend, &mut dec);
-        assert!(dec.total() * 2 < enc.total(), "dec {} enc {}", dec.total(), enc.total());
+        assert!(
+            dec.total() * 2 < enc.total(),
+            "dec {} enc {}",
+            dec.total(),
+            enc.total()
+        );
     }
 
     #[test]

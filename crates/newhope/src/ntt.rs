@@ -247,8 +247,12 @@ mod tests {
     fn convolution_matches_schoolbook_small() {
         let n = 16;
         let ntt = Ntt::new(n);
-        let a: Vec<u16> = (0..n).map(|i| (i as u32 * 123 % NEWHOPE_Q) as u16).collect();
-        let b: Vec<u16> = (0..n).map(|i| (i as u32 * 456 + 7) as u16 % 12289).collect();
+        let a: Vec<u16> = (0..n)
+            .map(|i| (i as u32 * 123 % NEWHOPE_Q) as u16)
+            .collect();
+        let b: Vec<u16> = (0..n)
+            .map(|i| (i as u32 * 456 + 7) as u16 % 12289)
+            .collect();
         let got = ntt.inverse(
             &ntt.pointwise(
                 &ntt.forward(&a, &mut NullMeter),

@@ -104,10 +104,7 @@ mod tests {
         let mut unit = NttUnit::new();
         let via_unit = unit.forward(&ntt, &poly, &mut NullMeter);
         assert_eq!(via_unit, ntt.forward(&poly, &mut NullMeter));
-        assert_eq!(
-            unit.inverse(&ntt, &via_unit, &mut NullMeter),
-            poly
-        );
+        assert_eq!(unit.inverse(&ntt, &via_unit, &mut NullMeter), poly);
         assert_eq!(unit.invocations(), 2);
     }
 

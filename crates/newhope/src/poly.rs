@@ -183,9 +183,8 @@ impl NhPoly {
         }
         let mut coeffs = Vec::with_capacity(n);
         for group in bytes.chunks_exact(3) {
-            let packed = u32::from(group[0])
-                | (u32::from(group[1]) << 8)
-                | (u32::from(group[2]) << 16);
+            let packed =
+                u32::from(group[0]) | (u32::from(group[1]) << 8) | (u32::from(group[2]) << 16);
             for k in 0..8 {
                 let v = (packed >> (3 * k)) & 0x7;
                 let c = ((v * NEWHOPE_Q + 4) / 8) % NEWHOPE_Q;

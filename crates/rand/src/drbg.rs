@@ -15,6 +15,9 @@ const SEED_FROM_U64_TAG: &[u8] = b"lac-rand:seed_from_u64:v1";
 /// Prefix absorbed by the SHAKE128 DRBG ahead of the seed.
 const SHAKE_SEED_TAG: &[u8] = b"lac-rand:shake128:v1";
 
+/// Prefix mixed into child seeds derived by [`Sha256CtrRng::fork`].
+const FORK_TAG: &[u8] = b"lac-rand:fork:v1";
+
 /// Derive a 32-byte seed from a `u64` by hashing a tagged encoding.
 fn expand_u64_seed(value: u64) -> [u8; 32] {
     let mut h = Sha256::new();
@@ -70,6 +73,7 @@ pub fn os_entropy_seed() -> [u8; 32] {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Sha256CtrRng {
+    seed: [u8; 32],
     expander: Expander,
 }
 
@@ -77,6 +81,7 @@ impl Sha256CtrRng {
     /// DRBG from a full 32-byte seed.
     pub fn from_seed(seed: [u8; 32]) -> Self {
         Self {
+            seed,
             expander: Expander::new(&seed, DOMAIN_DRBG),
         }
     }
@@ -95,6 +100,37 @@ impl Sha256CtrRng {
     /// mirroring `Expander::blocks_hashed`).
     pub fn blocks_hashed(&self) -> u64 {
         self.expander.blocks_hashed()
+    }
+
+    /// Derive an independent child DRBG for lane `index`.
+    ///
+    /// The child seed is `SHA-256(tag ‖ root_seed ‖ LE64(index))`, so forking
+    /// is cheap (one compression), depends only on the *root seed* and the
+    /// index — never on how much of the parent stream has been consumed —
+    /// and distinct indices yield computationally independent streams.
+    ///
+    /// This is the mechanism `lac-serve` uses to give every job its own
+    /// deterministic randomness: results are byte-identical no matter how
+    /// many worker threads the jobs are spread across.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use lac_rand::{Rng, Sha256CtrRng};
+    ///
+    /// let root = Sha256CtrRng::seed_from_u64(7);
+    /// let mut a = root.fork(0);
+    /// let mut b = root.fork(1);
+    /// assert_ne!(a.next_u64(), b.next_u64());
+    /// // Forking again — even after consuming output — replays the lane.
+    /// assert_eq!(root.fork(0).next_u64(), Sha256CtrRng::seed_from_u64(7).fork(0).next_u64());
+    /// ```
+    pub fn fork(&self, index: u64) -> Self {
+        let mut h = Sha256::new();
+        h.update(FORK_TAG);
+        h.update(&self.seed);
+        h.update(&index.to_le_bytes());
+        Self::from_seed(h.finalize())
     }
 }
 
@@ -226,6 +262,31 @@ mod tests {
         h.update(&[0xD6]);
         h.update(&0u32.to_le_bytes());
         assert_eq!(first.as_slice(), &h.finalize());
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_lane_independent() {
+        let root = Sha256CtrRng::seed_from_u64(11);
+        // Deterministic per (root seed, index) and insensitive to how much
+        // of the parent stream was consumed before forking.
+        let mut consumed = Sha256CtrRng::seed_from_u64(11);
+        let _ = stream(&mut consumed, 1000);
+        assert_eq!(
+            stream(&mut root.fork(3), 64),
+            stream(&mut consumed.fork(3), 64)
+        );
+        // Distinct lanes, and distinct from the parent stream itself.
+        assert_ne!(stream(&mut root.fork(0), 64), stream(&mut root.fork(1), 64));
+        assert_ne!(
+            stream(&mut root.fork(0), 64),
+            stream(&mut Sha256CtrRng::seed_from_u64(11), 64)
+        );
+        // Different roots give different lanes.
+        let other = Sha256CtrRng::seed_from_u64(12);
+        assert_ne!(
+            stream(&mut root.fork(0), 64),
+            stream(&mut other.fork(0), 64)
+        );
     }
 
     #[test]

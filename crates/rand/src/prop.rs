@@ -105,7 +105,9 @@ pub fn ensure_eq<T: PartialEq + core::fmt::Debug>(left: T, right: T) -> Result<(
     if left == right {
         Ok(())
     } else {
-        Err(format!("left != right\n  left: {left:?}\n right: {right:?}"))
+        Err(format!(
+            "left != right\n  left: {left:?}\n right: {right:?}"
+        ))
     }
 }
 
@@ -122,7 +124,10 @@ pub fn bytes(rng: &mut impl Rng, len: usize) -> Vec<u8> {
 ///
 /// Panics if `bound == 0` or `bound > 256`.
 pub fn vec_u8(rng: &mut impl Rng, len: usize, bound: u16) -> Vec<u8> {
-    assert!(bound > 0 && bound <= 256, "vec_u8: bound must be in 1..=256");
+    assert!(
+        bound > 0 && bound <= 256,
+        "vec_u8: bound must be in 1..=256"
+    );
     (0..len)
         .map(|_| rng.gen_below_u32(u32::from(bound)) as u8)
         .collect()
@@ -159,11 +164,7 @@ pub fn vec_i8(rng: &mut impl Rng, len: usize, lo: i8, hi: i8) -> Vec<i8> {
 /// # Panics
 ///
 /// Panics if `bound == 0`.
-pub fn distinct_positions(
-    rng: &mut impl Rng,
-    bound: usize,
-    max_count: usize,
-) -> Vec<usize> {
+pub fn distinct_positions(rng: &mut impl Rng, bound: usize, max_count: usize) -> Vec<usize> {
     let want = rng.gen_below_usize(max_count + 1).min(bound);
     let mut set = std::collections::BTreeSet::new();
     while set.len() < want {
@@ -245,7 +246,9 @@ mod tests {
         assert_eq!(bytes(&mut rng, 10).len(), 10);
         assert!(vec_u8(&mut rng, 100, 251).iter().all(|&v| v < 251));
         assert!(vec_u16(&mut rng, 100, 12289).iter().all(|&v| v < 12289));
-        assert!(vec_i8(&mut rng, 100, -1, 1).iter().all(|&v| (-1..=1).contains(&v)));
+        assert!(vec_i8(&mut rng, 100, -1, 1)
+            .iter()
+            .all(|&v| (-1..=1).contains(&v)));
         let pos = distinct_positions(&mut rng, 400, 16);
         assert!(pos.len() <= 16);
         assert!(pos.windows(2).all(|w| w[0] < w[1]), "sorted and distinct");

@@ -75,9 +75,7 @@ fn karatsuba_full<M: Meter>(a: &[i32], b: &[i32], threshold: usize, meter: &mut 
         out[i + n] += v;
     }
     for i in 0..p_mid.len() {
-        let mid = p_mid[i]
-            - p_lo.get(i).copied().unwrap_or(0)
-            - p_hi.get(i).copied().unwrap_or(0);
+        let mid = p_mid[i] - p_lo.get(i).copied().unwrap_or(0) - p_hi.get(i).copied().unwrap_or(0);
         out[i + half] += mid;
     }
     let combine_ops = (2 * n) as u64;

@@ -21,12 +21,7 @@ use lac_meter::{Meter, Op, Phase};
 /// # Panics
 ///
 /// Panics if the operands have different lengths.
-pub fn mul_ternary<M: Meter>(
-    a: &TernaryPoly,
-    b: &Poly,
-    conv: Convolution,
-    meter: &mut M,
-) -> Poly {
+pub fn mul_ternary<M: Meter>(a: &TernaryPoly, b: &Poly, conv: Convolution, meter: &mut M) -> Poly {
     assert_eq!(a.len(), b.len(), "length mismatch");
     let n = a.len();
     let wrap = conv.wrap_sign();
@@ -253,11 +248,10 @@ mod tests {
                 Convolution::Negacyclic,
                 &mut NullMeter,
             );
-            let rhs = mul_ternary(&a, &b, Convolution::Negacyclic, &mut NullMeter)
-                .add(
-                    &mul_ternary(&a, &c, Convolution::Negacyclic, &mut NullMeter),
-                    &mut NullMeter,
-                );
+            let rhs = mul_ternary(&a, &b, Convolution::Negacyclic, &mut NullMeter).add(
+                &mul_ternary(&a, &c, Convolution::Negacyclic, &mut NullMeter),
+                &mut NullMeter,
+            );
             prop::ensure_eq(lhs, rhs)
         });
     }

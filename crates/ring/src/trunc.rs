@@ -75,7 +75,11 @@ mod tests {
             let full = mul_ternary(&a, &b, conv, &mut NullMeter);
             for out_len in [0usize, 1, 17, 64] {
                 let trunc = mul_ternary_truncated(&a, &b, conv, out_len, &mut NullMeter);
-                assert_eq!(trunc.coeffs(), &full.coeffs()[..out_len], "{conv:?} {out_len}");
+                assert_eq!(
+                    trunc.coeffs(),
+                    &full.coeffs()[..out_len],
+                    "{conv:?} {out_len}"
+                );
             }
         }
     }
@@ -107,9 +111,8 @@ mod tests {
             let b = Poly::from_coeffs(prop::vec_u8(rng, 16, 251));
             let out_len = rng.gen_below_usize(17);
             let full = mul_ternary(&a, &b, Convolution::Negacyclic, &mut NullMeter);
-            let trunc = mul_ternary_truncated(
-                &a, &b, Convolution::Negacyclic, out_len, &mut NullMeter,
-            );
+            let trunc =
+                mul_ternary_truncated(&a, &b, Convolution::Negacyclic, out_len, &mut NullMeter);
             prop::ensure_eq(trunc.coeffs(), &full.coeffs()[..out_len])
         });
     }

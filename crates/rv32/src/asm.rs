@@ -131,7 +131,12 @@ fn enc_i(imm: i32, rs1: u32, f3: u32, rd: u32, opcode: u32) -> u32 {
 
 fn enc_s(imm: i32, rs2: u32, rs1: u32, f3: u32, opcode: u32) -> u32 {
     let imm = imm as u32;
-    (((imm >> 5) & 0x7f) << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) | ((imm & 0x1f) << 7) | opcode
+    (((imm >> 5) & 0x7f) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (f3 << 12)
+        | ((imm & 0x1f) << 7)
+        | opcode
 }
 
 fn enc_b(imm: i32, rs2: u32, rs1: u32, f3: u32) -> u32 {
@@ -293,9 +298,7 @@ pub fn assemble(source: &str) -> Result<Vec<u32>, AsmError> {
         let target = |arg: &str| -> Result<i32, AsmError> {
             match parse_imm_or_label(arg) {
                 Operand::Imm => Ok(parse_int(arg, line)? as i32),
-                Operand::Label(name) => {
-                    Ok(label_addr(&name)? as i32 - item.addr as i32)
-                }
+                Operand::Label(name) => Ok(label_addr(&name)? as i32 - item.addr as i32),
             }
         };
         let need = |n: usize| -> Result<(), AsmError> {
@@ -379,10 +382,7 @@ pub fn assemble(source: &str) -> Result<Vec<u32>, AsmError> {
                 let rel = dest as i32 - item.addr as i32;
                 let upper = (rel + 0x800) >> 12;
                 let lower = rel - (upper << 12);
-                vec![
-                    enc_u(upper << 12, 1, 0x17),
-                    enc_i(lower, 1, 0, 1, 0x67),
-                ]
+                vec![enc_u(upper << 12, 1, 0x17), enc_i(lower, 1, 0, 1, 0x67)]
             }
             "ret" => vec![enc_i(0, 1, 0, 0, 0x67)],
             // Branches
@@ -605,7 +605,9 @@ mod tests {
         let small = assemble("li a0, -5").unwrap();
         assert_eq!(small.len(), 1);
         match decode(small[0]).unwrap() {
-            Inst::OpImm { imm: -5, rd: 10, .. } => {}
+            Inst::OpImm {
+                imm: -5, rd: 10, ..
+            } => {}
             other => panic!("{other:?}"),
         }
         let large = assemble("li a0, 0x12345678").unwrap();

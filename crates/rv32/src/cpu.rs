@@ -210,10 +210,8 @@ impl Cpu {
         let (word, len) = if half & 0x3 == 0x3 {
             (self.load(pc, pc, 4)?, 4)
         } else {
-            let full = decompress(half).map_err(|e| Trap::IllegalInstruction {
-                pc,
-                word: e.word,
-            })?;
+            let full =
+                decompress(half).map_err(|e| Trap::IllegalInstruction { pc, word: e.word })?;
             (full, 2)
         };
         let inst = decode(word).map_err(|e| Trap::IllegalInstruction { pc, word: e.word })?;
@@ -235,7 +233,12 @@ impl Cpu {
                 next_pc = target;
                 self.cycles += 2;
             }
-            Inst::Branch { op, rs1, rs2, offset } => {
+            Inst::Branch {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 let a = self.regs[rs1 as usize];
                 let b = self.regs[rs2 as usize];
                 let taken = match op {
@@ -251,7 +254,12 @@ impl Cpu {
                     self.cycles += 2;
                 }
             }
-            Inst::Load { op, rd, rs1, offset } => {
+            Inst::Load {
+                op,
+                rd,
+                rs1,
+                offset,
+            } => {
                 let addr = self.regs[rs1 as usize].wrapping_add(offset as u32);
                 let value = match op {
                     LoadOp::Byte => self.load(pc, addr, 1)? as i8 as i32 as u32,
@@ -263,7 +271,12 @@ impl Cpu {
                 self.set_reg(rd as usize, value);
                 self.cycles += 1; // load-use stall
             }
-            Inst::Store { op, rs1, rs2, offset } => {
+            Inst::Store {
+                op,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 let addr = self.regs[rs1 as usize].wrapping_add(offset as u32);
                 let value = self.regs[rs2 as usize];
                 match op {
@@ -294,9 +307,9 @@ impl Cpu {
                 // performance counters, as used by the paper's on-core
                 // measurements; mscratch is a scratch register).
                 let old = match csr {
-                    0xc00 => self.cycles as u32,          // cycle
-                    0xc80 => (self.cycles >> 32) as u32,  // cycleh
-                    0xc02 => self.instructions as u32,    // instret
+                    0xc00 => self.cycles as u32,         // cycle
+                    0xc80 => (self.cycles >> 32) as u32, // cycleh
+                    0xc02 => self.instructions as u32,   // instret
                     0xc82 => (self.instructions >> 32) as u32,
                     0x340 => self.mscratch,
                     _ => {
@@ -664,27 +677,27 @@ mod tests {
 
     #[test]
     fn writing_read_only_counter_traps() {
-        let words = assemble("li t0, 5
+        let words = assemble(
+            "li t0, 5
 csrrw zero, cycle, t0
-ecall").unwrap();
+ecall",
+        )
+        .unwrap();
         let mut cpu = Cpu::new(1 << 16);
         cpu.load_words(0, &words);
-        assert!(matches!(
-            cpu.run(10),
-            Err(Trap::IllegalInstruction { .. })
-        ));
+        assert!(matches!(cpu.run(10), Err(Trap::IllegalInstruction { .. })));
     }
 
     #[test]
     fn unknown_csr_traps() {
-        let words = assemble("csrr a0, 0x7c0
-ecall").unwrap();
+        let words = assemble(
+            "csrr a0, 0x7c0
+ecall",
+        )
+        .unwrap();
         let mut cpu = Cpu::new(1 << 16);
         cpu.load_words(0, &words);
-        assert!(matches!(
-            cpu.run(10),
-            Err(Trap::IllegalInstruction { .. })
-        ));
+        assert!(matches!(cpu.run(10), Err(Trap::IllegalInstruction { .. })));
     }
 
     #[test]

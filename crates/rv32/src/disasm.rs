@@ -10,9 +10,9 @@ use crate::inst::{AluOp, BranchOp, CsrOp, Inst, LoadOp, PqUnit, StoreOp};
 /// ABI name of register `x<i>`.
 pub fn reg_name(i: u8) -> &'static str {
     const NAMES: [&str; 32] = [
-        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
-        "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
-        "t3", "t4", "t5", "t6",
+        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+        "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+        "t5", "t6",
     ];
     NAMES[i as usize]
 }
@@ -60,7 +60,12 @@ pub fn disassemble(inst: Inst) -> String {
         Inst::Jalr { rd, rs1, offset } => {
             format!("jalr {}, {}, {}", r(rd), r(rs1), offset)
         }
-        Inst::Branch { op, rs1, rs2, offset } => {
+        Inst::Branch {
+            op,
+            rs1,
+            rs2,
+            offset,
+        } => {
             let name = match op {
                 BranchOp::Eq => "beq",
                 BranchOp::Ne => "bne",
@@ -71,7 +76,12 @@ pub fn disassemble(inst: Inst) -> String {
             };
             format!("{name} {}, {}, {}", r(rs1), r(rs2), offset)
         }
-        Inst::Load { op, rd, rs1, offset } => {
+        Inst::Load {
+            op,
+            rd,
+            rs1,
+            offset,
+        } => {
             let name = match op {
                 LoadOp::Byte => "lb",
                 LoadOp::Half => "lh",
@@ -81,7 +91,12 @@ pub fn disassemble(inst: Inst) -> String {
             };
             format!("{name} {}, {}({})", r(rd), offset, r(rs1))
         }
-        Inst::Store { op, rs1, rs2, offset } => {
+        Inst::Store {
+            op,
+            rs1,
+            rs2,
+            offset,
+        } => {
             let name = match op {
                 StoreOp::Byte => "sb",
                 StoreOp::Half => "sh",

@@ -114,20 +114,68 @@ pub const PQ_OPCODE: u32 = 0x77;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum Inst {
-    Lui { rd: u8, imm: i32 },
-    Auipc { rd: u8, imm: i32 },
-    Jal { rd: u8, offset: i32 },
-    Jalr { rd: u8, rs1: u8, offset: i32 },
-    Branch { op: BranchOp, rs1: u8, rs2: u8, offset: i32 },
-    Load { op: LoadOp, rd: u8, rs1: u8, offset: i32 },
-    Store { op: StoreOp, rs1: u8, rs2: u8, offset: i32 },
-    OpImm { op: AluOp, rd: u8, rs1: u8, imm: i32 },
-    Op { op: AluOp, rd: u8, rs1: u8, rs2: u8 },
+    Lui {
+        rd: u8,
+        imm: i32,
+    },
+    Auipc {
+        rd: u8,
+        imm: i32,
+    },
+    Jal {
+        rd: u8,
+        offset: i32,
+    },
+    Jalr {
+        rd: u8,
+        rs1: u8,
+        offset: i32,
+    },
+    Branch {
+        op: BranchOp,
+        rs1: u8,
+        rs2: u8,
+        offset: i32,
+    },
+    Load {
+        op: LoadOp,
+        rd: u8,
+        rs1: u8,
+        offset: i32,
+    },
+    Store {
+        op: StoreOp,
+        rs1: u8,
+        rs2: u8,
+        offset: i32,
+    },
+    OpImm {
+        op: AluOp,
+        rd: u8,
+        rs1: u8,
+        imm: i32,
+    },
+    Op {
+        op: AluOp,
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+    },
     Fence,
     Ecall,
     Ebreak,
-    Csr { op: CsrOp, rd: u8, rs1: u8, csr: u16 },
-    Pq { unit: PqUnit, rd: u8, rs1: u8, rs2: u8 },
+    Csr {
+        op: CsrOp,
+        rd: u8,
+        rs1: u8,
+        csr: u16,
+    },
+    Pq {
+        unit: PqUnit,
+        rd: u8,
+        rs1: u8,
+        rs2: u8,
+    },
 }
 
 impl fmt::Display for Inst {
@@ -425,7 +473,12 @@ pub fn decompress(h: u16) -> Result<u32, DecodeInstError> {
             let imm = ((h >> 7) & 0x38) | ((h << 1) & 0x40) | ((h >> 4) & 0x4);
             let rs1 = rc(h >> 7);
             let rs2 = rc(h >> 2);
-            ((imm >> 5) << 25) | (rs2 << 20) | (rs1 << 15) | (0b010 << 12) | ((imm & 0x1f) << 7) | 0x23
+            ((imm >> 5) << 25)
+                | (rs2 << 20)
+                | (rs1 << 15)
+                | (0b010 << 12)
+                | ((imm & 0x1f) << 7)
+                | 0x23
         }
         // c.nop / c.addi
         (0b01, 0b000) => {
@@ -545,7 +598,12 @@ pub fn decompress(h: u16) -> Result<u32, DecodeInstError> {
         (0b10, 0b110) => {
             let rs2 = (h >> 2) & 0x1f;
             let imm = (((h >> 9) & 0xf) << 2) | (((h >> 7) & 0x3) << 6);
-            ((imm >> 5) << 25) | (rs2 << 20) | (2 << 15) | (0b010 << 12) | ((imm & 0x1f) << 7) | 0x23
+            ((imm >> 5) << 25)
+                | (rs2 << 20)
+                | (2 << 15)
+                | (0b010 << 12)
+                | ((imm & 0x1f) << 7)
+                | 0x23
         }
         _ => return Err(err()),
     };
@@ -598,13 +656,22 @@ mod tests {
     fn decode_r_type_and_m() {
         // add x1, x2, x3
         let add = (3 << 20) | (2 << 15) | (1 << 7) | 0x33;
-        assert!(matches!(decode(add).unwrap(), Inst::Op { op: AluOp::Add, .. }));
+        assert!(matches!(
+            decode(add).unwrap(),
+            Inst::Op { op: AluOp::Add, .. }
+        ));
         // mul x1, x2, x3
         let mul = (1 << 25) | (3 << 20) | (2 << 15) | (1 << 7) | 0x33;
-        assert!(matches!(decode(mul).unwrap(), Inst::Op { op: AluOp::Mul, .. }));
+        assert!(matches!(
+            decode(mul).unwrap(),
+            Inst::Op { op: AluOp::Mul, .. }
+        ));
         // sub x4, x5, x6
         let sub = (0x20 << 25) | (6 << 20) | (5 << 15) | (0 << 12) | (4 << 7) | 0x33;
-        assert!(matches!(decode(sub).unwrap(), Inst::Op { op: AluOp::Sub, .. }));
+        assert!(matches!(
+            decode(sub).unwrap(),
+            Inst::Op { op: AluOp::Sub, .. }
+        ));
     }
 
     #[test]
@@ -626,7 +693,12 @@ mod tests {
     fn decode_negative_branch_offset() {
         // bne x10, x0, -4  => 0xfe051ee3
         match decode(0xfe05_1ee3).unwrap() {
-            Inst::Branch { op: BranchOp::Ne, rs1: 10, rs2: 0, offset } => {
+            Inst::Branch {
+                op: BranchOp::Ne,
+                rs1: 10,
+                rs2: 0,
+                offset,
+            } => {
                 assert_eq!(offset, -4);
             }
             other => panic!("{other:?}"),
@@ -637,12 +709,22 @@ mod tests {
     fn decode_loads_and_stores() {
         // lw x7, 16(x2) = 0x01012383
         match decode(0x0101_2383).unwrap() {
-            Inst::Load { op: LoadOp::Word, rd: 7, rs1: 2, offset } => assert_eq!(offset, 16),
+            Inst::Load {
+                op: LoadOp::Word,
+                rd: 7,
+                rs1: 2,
+                offset,
+            } => assert_eq!(offset, 16),
             other => panic!("{other:?}"),
         }
         // sw x7, -8(x2) = 0xfe712c23
         match decode(0xfe71_2c23).unwrap() {
-            Inst::Store { op: StoreOp::Word, rs1: 2, rs2: 7, offset } => assert_eq!(offset, -8),
+            Inst::Store {
+                op: StoreOp::Word,
+                rs1: 2,
+                rs2: 7,
+                offset,
+            } => assert_eq!(offset, -8),
             other => panic!("{other:?}"),
         }
     }
@@ -656,7 +738,11 @@ mod tests {
         }
         // jalr x0, 0(x1) = 0x00008067 (ret)
         match decode(0x0000_8067).unwrap() {
-            Inst::Jalr { rd: 0, rs1: 1, offset } => assert_eq!(offset, 0),
+            Inst::Jalr {
+                rd: 0,
+                rs1: 1,
+                offset,
+            } => assert_eq!(offset, 0),
             other => panic!("{other:?}"),
         }
     }
@@ -759,14 +845,24 @@ mod tests {
         let h = 0b010_0_00101_01100_10;
         let w = decompress(h as u16).unwrap();
         match decode(w).unwrap() {
-            Inst::Load { op: LoadOp::Word, rd: 5, rs1: 2, offset } => assert_eq!(offset, 12),
+            Inst::Load {
+                op: LoadOp::Word,
+                rd: 5,
+                rs1: 2,
+                offset,
+            } => assert_eq!(offset, 12),
             other => panic!("{other:?}"),
         }
         // c.swsp x5, 12(sp): funct3=110 imm[5:2]=0011 imm[7:6]=00 rs2=5
         let h = 0b110_0011_00_00101_10;
         let w = decompress(h as u16).unwrap();
         match decode(w).unwrap() {
-            Inst::Store { op: StoreOp::Word, rs1: 2, rs2: 5, offset } => assert_eq!(offset, 12),
+            Inst::Store {
+                op: StoreOp::Word,
+                rs1: 2,
+                rs2: 5,
+                offset,
+            } => assert_eq!(offset, 12),
             other => panic!("{other:?}"),
         }
     }
@@ -789,7 +885,12 @@ mod tests {
         let h = 0b110_000_000_00100_01u32;
         let w = decompress(h as u16).unwrap();
         match decode(w).unwrap() {
-            Inst::Branch { op: BranchOp::Eq, rs1: 8, rs2: 0, offset } => {
+            Inst::Branch {
+                op: BranchOp::Eq,
+                rs1: 8,
+                rs2: 0,
+                offset,
+            } => {
                 assert_eq!(offset, 4);
             }
             other => panic!("{other:?}"),

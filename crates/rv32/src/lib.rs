@@ -49,8 +49,8 @@ pub mod inst;
 pub mod pq;
 
 pub use asm::{assemble, AsmError};
-pub use disasm::disassemble;
 pub use cpu::{Cpu, ExitState, Trap};
+pub use disasm::disassemble;
 pub use inst::{decode, decompress, Inst};
 
 /// Convenience wrapper: assemble a program, load it at address 0 and run it.

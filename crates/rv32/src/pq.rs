@@ -123,8 +123,7 @@ impl PqAlu {
                 for (i, &g) in generals.iter().enumerate() {
                     if self.ter_b.len() < MUL_TER_LEN {
                         self.ter_b.push(g % 251);
-                        self.ter_a
-                            .push(crumb_to_ternary(rs2 >> (8 + 2 * i as u32)));
+                        self.ter_a.push(crumb_to_ternary(rs2 >> (8 + 2 * i as u32)));
                     }
                 }
                 (0, 0)
@@ -152,11 +151,7 @@ impl PqAlu {
             ctrl::READ => {
                 let mut out = [0u8; 4];
                 for slot in out.iter_mut() {
-                    *slot = self
-                        .ter_out
-                        .get(self.ter_read_ptr)
-                        .copied()
-                        .unwrap_or(0);
+                    *slot = self.ter_out.get(self.ter_read_ptr).copied().unwrap_or(0);
                     self.ter_read_ptr += 1;
                 }
                 (u32::from_le_bytes(out), 0)
@@ -191,8 +186,11 @@ impl PqAlu {
             ctrl::START => {
                 let mut acc = 0u16;
                 for i in 0..4 {
-                    let stepped =
-                        self.chien_muls[i].multiply(self.chien_vals[i], self.chien_consts[i], &mut NullMeter);
+                    let stepped = self.chien_muls[i].multiply(
+                        self.chien_vals[i],
+                        self.chien_consts[i],
+                        &mut NullMeter,
+                    );
                     self.chien_vals[i] = stepped;
                     acc ^= stepped;
                 }
@@ -322,9 +320,7 @@ mod tests {
 
         let (out1, stall) = pq.mul_chien(0, ctrl::START << 28);
         assert_eq!(stall, 9);
-        let expect1 = (0..4).fold(0u16, |acc, k| {
-            acc ^ gf.mul(lambda[k], gf.exp(k as u32 + 1))
-        });
+        let expect1 = (0..4).fold(0u16, |acc, k| acc ^ gf.mul(lambda[k], gf.exp(k as u32 + 1)));
         assert_eq!(out1 as u16, expect1);
 
         let (out2, _) = pq.mul_chien(0, ctrl::START << 28);

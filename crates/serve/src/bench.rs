@@ -1,0 +1,526 @@
+//! `bench-serve`: a closed-loop load generator for the serving layer.
+//!
+//! Spawns an in-process server on an ephemeral port (or targets an
+//! external `--addr`), drives it with `clients` closed-loop connections
+//! issuing `requests` total operations, and reports:
+//!
+//! * **wall-clock throughput** — requests per second of host time (on a
+//!   single-core host this does *not* scale with workers; it is reported
+//!   for completeness);
+//! * **modelled throughput** — requests per modelled megacycle of
+//!   *makespan*, where each worker is one modelled RISCY core and the
+//!   makespan is the busiest core's cycle total. This is the number the
+//!   worker-scaling acceptance check uses: it is deterministic and
+//!   host-independent, like every other cycle figure in this repo;
+//! * a client-observed **latency histogram** (p50/p99/max);
+//! * a **response digest** — SHA-256 over every response payload in a
+//!   scheduling-independent order. With a fixed `--seed`, the digest is
+//!   byte-identical for any worker count (the determinism guarantee).
+//!
+//! The digest construction: client `c` hashes its own responses in its
+//! own request order; the run digest hashes the per-client digests in
+//! client order. Request `r` is always issued by client `r % clients`
+//! with DRBG lane `r + 1`, so the partition — and hence the digest — is
+//! independent of timing.
+
+use crate::client::Client;
+use crate::metrics::{Histogram, HistogramSnapshot};
+use crate::pool::ServeConfig;
+use crate::server::Server;
+use crate::{BackendKind, Op};
+use lac::{Kem, Params};
+use lac_meter::NullMeter;
+use lac_rand::Sha256CtrRng;
+use lac_sha256::Sha256;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Worker threads for the in-process server (ignored with `addr`).
+    pub workers: usize,
+    /// Closed-loop client connections.
+    pub clients: usize,
+    /// Total requests across all clients.
+    pub requests: usize,
+    /// Operation to drive.
+    pub op: Op,
+    /// Parameter set.
+    pub params: Params,
+    /// Execution backend.
+    pub backend: BackendKind,
+    /// Root seed (`u64` convenience form, like the CLI's `--seed`).
+    pub seed: u64,
+    /// Queue capacity for the in-process server.
+    pub queue_capacity: usize,
+    /// Target an already-running server instead of spawning one.
+    pub addr: Option<String>,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            clients: 4,
+            requests: 64,
+            op: Op::Encaps,
+            params: Params::lac128(),
+            backend: BackendKind::Ct,
+            seed: 1,
+            queue_capacity: 64,
+            addr: None,
+        }
+    }
+}
+
+/// Results of one load-generator run.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Echo of the run's shape.
+    pub workers: usize,
+    /// Client connection count.
+    pub clients: usize,
+    /// Requests completed (success or error reply).
+    pub requests: usize,
+    /// Requests that came back as protocol-level errors.
+    pub errors: u64,
+    /// Operation driven.
+    pub op: Op,
+    /// Parameter set driven.
+    pub params: Params,
+    /// Backend driven.
+    pub backend: BackendKind,
+    /// Wall-clock duration of the request phase, in microseconds.
+    pub wall_micros: u64,
+    /// Wall-clock requests per second.
+    pub wall_req_per_sec: f64,
+    /// Busiest modelled core's cycle total (0 when targeting `addr` and
+    /// the remote stats could not be parsed).
+    pub makespan_cycles: u64,
+    /// Requests per modelled megacycle of makespan.
+    pub req_per_mcycle: f64,
+    /// Client-observed request latency.
+    pub latency: HistogramSnapshot,
+    /// Hex SHA-256 over all response payloads (scheduling-independent).
+    pub digest: String,
+    /// The server's own final/polled metrics snapshot as JSON.
+    pub server_stats_json: String,
+}
+
+/// Derive the 32-byte pool seed from the CLI-style `u64` seed.
+///
+/// `lac-suite serve --seed N` and `bench-serve --seed N` both go through
+/// this, so a generator pointed at an external server reproduces the
+/// in-process digests.
+pub fn pool_seed(seed: u64) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(b"lac-serve:bench-root-seed:v1");
+    h.update(&seed.to_le_bytes());
+    h.finalize()
+}
+
+/// Deterministic key/ciphertext fixtures for encaps/decaps runs, built
+/// locally so they never pollute the server's metrics.
+fn fixtures(cfg: &BenchConfig) -> (Vec<u8>, Vec<u8>, Vec<u8>) {
+    let kem = Kem::new(cfg.params);
+    let mut backend = cfg.backend.build();
+    let mut rng = Sha256CtrRng::from_seed(pool_seed(cfg.seed)).fork(u64::MAX);
+    let (pk, sk) = kem.keygen(&mut rng, backend.as_mut(), &mut NullMeter);
+    let (ct, _) = kem.encapsulate(&mut rng, &pk, backend.as_mut(), &mut NullMeter);
+    (pk.to_bytes(), sk.to_bytes(), ct.to_bytes())
+}
+
+/// Pull `"key": <u64>` out of a flat JSON string (no serde in-tree; the
+/// stats JSON is machine-generated, so a textual scan is reliable).
+fn extract_u64(json: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\": ");
+    let start = json.find(&needle)? + needle.len();
+    let rest = &json[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Run the load generator (see module docs).
+///
+/// # Errors
+///
+/// Connection failures, fixture/transport errors, or a worker-thread
+/// failure. Per-request protocol errors are *counted*, not fatal.
+pub fn run(cfg: &BenchConfig) -> Result<BenchReport, String> {
+    let (pk, sk, ct) = fixtures(cfg);
+
+    // Spawn the in-process server unless targeting an external one.
+    let (addr, server_thread) = match &cfg.addr {
+        Some(addr) => (addr.clone(), None),
+        None => {
+            let server = Server::bind(
+                "127.0.0.1:0",
+                ServeConfig {
+                    workers: cfg.workers,
+                    queue_capacity: cfg.queue_capacity,
+                    seed: pool_seed(cfg.seed),
+                },
+            )
+            .map_err(|e| format!("bind: {e}"))?;
+            let addr = server
+                .local_addr()
+                .map_err(|e| format!("local_addr: {e}"))?
+                .to_string();
+            (addr, Some(std::thread::spawn(move || server.run())))
+        }
+    };
+
+    let latency = Arc::new(Histogram::new());
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for client_index in 0..cfg.clients.max(1) {
+        let addr = addr.clone();
+        let cfg = cfg.clone();
+        let (pk, sk, ct) = (pk.clone(), sk.clone(), ct.clone());
+        let latency = Arc::clone(&latency);
+        handles.push(std::thread::spawn(
+            move || -> Result<([u8; 32], u64), String> {
+                let mut client = Client::connect(&addr).map_err(|e| format!("connect: {e}"))?;
+                let mut digest = Sha256::new();
+                let mut errors = 0u64;
+                let clients = cfg.clients.max(1);
+                let mut r = client_index;
+                while r < cfg.requests {
+                    // Lane r+1: lane 0 is reserved for ad-hoc CLI traffic and
+                    // u64::MAX for the fixtures.
+                    let seq = r as u64 + 1;
+                    let t0 = Instant::now();
+                    let outcome: Result<Vec<u8>, String> = match cfg.op {
+                        Op::Keygen => client
+                            .keygen(&cfg.params, cfg.backend, seq)
+                            .map(|(pk, sk)| [pk, sk].concat()),
+                        Op::Encaps => client
+                            .encaps(&cfg.params, cfg.backend, seq, &pk)
+                            .map(|(ct, shared)| [ct.as_slice(), &shared].concat()),
+                        Op::Decaps => client
+                            .decaps(&cfg.params, cfg.backend, seq, &sk, &ct)
+                            .map(|shared| shared.to_vec()),
+                    };
+                    latency.record(t0.elapsed());
+                    match outcome {
+                        Ok(payload) => digest.update(&payload),
+                        Err(message) => {
+                            errors += 1;
+                            digest.update(message.as_bytes());
+                        }
+                    }
+                    r += clients;
+                }
+                Ok((digest.finalize(), errors))
+            },
+        ));
+    }
+
+    let mut run_digest = Sha256::new();
+    run_digest.update(b"lac-serve:bench-digest:v1");
+    let mut errors = 0u64;
+    for handle in handles {
+        let (client_digest, client_errors) = handle
+            .join()
+            .map_err(|_| "client thread panicked".to_string())??;
+        run_digest.update(&client_digest);
+        errors += client_errors;
+    }
+    let wall_micros = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+
+    // Fetch stats, then shut the in-process server down.
+    let mut control = Client::connect(&addr).map_err(|e| format!("control connect: {e}"))?;
+    let server_stats_json = control.stats().unwrap_or_default();
+    let (workers, makespan_cycles) = if let Some(thread) = server_thread {
+        control.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+        let final_snapshot = thread
+            .join()
+            .map_err(|_| "server thread panicked".to_string())?;
+        (cfg.workers, final_snapshot.makespan_cycles())
+    } else {
+        // An external server's shape comes from its own stats, not cfg.
+        (
+            extract_u64(&server_stats_json, "workers").unwrap_or(0) as usize,
+            extract_u64(&server_stats_json, "makespan_cycles").unwrap_or(0),
+        )
+    };
+
+    let digest_hex: String = run_digest
+        .finalize()
+        .iter()
+        .map(|b| format!("{b:02x}"))
+        .collect();
+    let wall_secs = wall_micros as f64 / 1e6;
+    Ok(BenchReport {
+        workers,
+        clients: cfg.clients.max(1),
+        requests: cfg.requests,
+        errors,
+        op: cfg.op,
+        params: cfg.params,
+        backend: cfg.backend,
+        wall_micros,
+        wall_req_per_sec: if wall_secs > 0.0 {
+            cfg.requests as f64 / wall_secs
+        } else {
+            0.0
+        },
+        makespan_cycles,
+        req_per_mcycle: if makespan_cycles > 0 {
+            cfg.requests as f64 * 1e6 / makespan_cycles as f64
+        } else {
+            0.0
+        },
+        latency: latency.snapshot(),
+        digest: digest_hex,
+        server_stats_json,
+    })
+}
+
+/// One sweep over several worker counts with everything else fixed.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// One report per worker count, in the order given.
+    pub runs: Vec<BenchReport>,
+    /// Modelled-throughput ratio `last.req_per_mcycle / first.req_per_mcycle`.
+    pub scaling: f64,
+    /// Whether every run produced the same response digest.
+    pub deterministic: bool,
+}
+
+/// Run [`run`] once per worker count (in-process servers only).
+///
+/// # Errors
+///
+/// Propagates the first failing run; rejects an empty `worker_counts` or
+/// an external `addr` (worker count is a server-side property).
+pub fn run_sweep(cfg: &BenchConfig, worker_counts: &[usize]) -> Result<SweepReport, String> {
+    if worker_counts.is_empty() {
+        return Err("sweep needs at least one worker count".into());
+    }
+    if cfg.addr.is_some() {
+        return Err("--sweep spawns its own servers; it cannot target --addr".into());
+    }
+    let mut runs = Vec::new();
+    for &workers in worker_counts {
+        let mut cfg = cfg.clone();
+        cfg.workers = workers;
+        runs.push(run(&cfg)?);
+    }
+    let first = runs.first().expect("non-empty");
+    let last = runs.last().expect("non-empty");
+    let scaling = if first.req_per_mcycle > 0.0 {
+        last.req_per_mcycle / first.req_per_mcycle
+    } else {
+        0.0
+    };
+    let deterministic = runs.iter().all(|r| r.digest == first.digest);
+    Ok(SweepReport {
+        runs,
+        scaling,
+        deterministic,
+    })
+}
+
+impl BenchReport {
+    /// Flat JSON object for `--json` output.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"op\": \"{}\", \"params\": \"{}\", \"backend\": \"{}\", \
+             \"workers\": {}, \"clients\": {}, \"requests\": {}, \"errors\": {}, \
+             \"wall_us\": {}, \"wall_req_per_sec\": {:.2}, \
+             \"makespan_cycles\": {}, \"req_per_mcycle\": {:.4}, \
+             \"latency\": {}, \"digest\": \"{}\", \"server\": {}}}",
+            self.op.label(),
+            self.params.name(),
+            self.backend.name(),
+            self.workers,
+            self.clients,
+            self.requests,
+            self.errors,
+            self.wall_micros,
+            self.wall_req_per_sec,
+            self.makespan_cycles,
+            self.req_per_mcycle,
+            self.latency.to_json(),
+            self.digest,
+            if self.server_stats_json.is_empty() {
+                "null"
+            } else {
+                &self.server_stats_json
+            },
+        )
+    }
+
+    /// Human-readable summary.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "bench-serve: {} × {} on {} / {} — {} workers, {} clients\n",
+            self.requests,
+            self.op.label(),
+            self.params.name(),
+            self.backend.name(),
+            self.workers,
+            self.clients
+        ));
+        out.push_str(&format!(
+            "  wall: {:.1} ms total, {:.1} req/s\n",
+            self.wall_micros as f64 / 1e3,
+            self.wall_req_per_sec
+        ));
+        out.push_str(&format!(
+            "  modelled ({}-core RISCY): makespan {} cycles, {:.3} req/Mcycle\n",
+            self.workers, self.makespan_cycles, self.req_per_mcycle
+        ));
+        out.push_str(&format!(
+            "  latency: p50 <= {} us, p99 <= {} us, max {} us, errors {}\n",
+            self.latency.quantile_micros(0.50),
+            self.latency.quantile_micros(0.99),
+            self.latency.max_micros,
+            self.errors
+        ));
+        out.push_str(&format!("  response digest: {}\n", self.digest));
+        out
+    }
+}
+
+impl SweepReport {
+    /// JSON document for `--json` sweep output.
+    pub fn to_json(&self) -> String {
+        let runs: Vec<String> = self
+            .runs
+            .iter()
+            .map(|r| format!("    {}", r.to_json()))
+            .collect();
+        format!(
+            "{{\n  \"bench\": \"serve-sweep\",\n  \"runs\": [\n{}\n  ],\n  \
+             \"scaling\": {:.4},\n  \"deterministic\": {}\n}}",
+            runs.join(",\n"),
+            self.scaling,
+            self.deterministic
+        )
+    }
+
+    /// Human-readable sweep table.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let first = &self.runs[0];
+        out.push_str(&format!(
+            "bench-serve sweep: {} × {} on {} / {}, {} clients\n\n",
+            first.requests,
+            first.op.label(),
+            first.params.name(),
+            first.backend.name(),
+            first.clients
+        ));
+        out.push_str(&format!(
+            "{:>8} {:>18} {:>16} {:>14} {:>12}\n",
+            "workers", "makespan cycles", "req/Mcycle", "wall req/s", "p99 us"
+        ));
+        for run in &self.runs {
+            out.push_str(&format!(
+                "{:>8} {:>18} {:>16.3} {:>14.1} {:>12}\n",
+                run.workers,
+                run.makespan_cycles,
+                run.req_per_mcycle,
+                run.wall_req_per_sec,
+                run.latency.quantile_micros(0.99)
+            ));
+        }
+        out.push_str(&format!(
+            "\nmodelled scaling {} -> {} workers: {:.2}x\ndigests identical across worker counts: {}\n",
+            self.runs.first().map(|r| r.workers).unwrap_or(0),
+            self.runs.last().map(|r| r.workers).unwrap_or(0),
+            self.scaling,
+            self.deterministic
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> BenchConfig {
+        BenchConfig {
+            workers: 2,
+            clients: 2,
+            requests: 6,
+            op: Op::Encaps,
+            params: Params::lac128(),
+            backend: BackendKind::Hw,
+            seed: 42,
+            queue_capacity: 8,
+            addr: None,
+        }
+    }
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let report = run(&tiny_cfg()).expect("bench runs");
+        assert_eq!(report.requests, 6);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.latency.count, 6);
+        assert!(report.makespan_cycles > 0);
+        assert!(report.req_per_mcycle > 0.0);
+        assert_eq!(report.digest.len(), 64);
+        let json = report.to_json();
+        assert!(json.contains("\"op\": \"encaps\""), "{json}");
+        assert!(json.contains("\"makespan_cycles\""), "{json}");
+        assert!(report.to_text().contains("response digest"));
+    }
+
+    #[test]
+    fn digest_is_worker_count_independent_and_seed_sensitive() {
+        let one = run(&BenchConfig {
+            workers: 1,
+            ..tiny_cfg()
+        })
+        .expect("1 worker");
+        let three = run(&BenchConfig {
+            workers: 3,
+            ..tiny_cfg()
+        })
+        .expect("3 workers");
+        assert_eq!(one.digest, three.digest);
+
+        let other_seed = run(&BenchConfig {
+            seed: 43,
+            ..tiny_cfg()
+        })
+        .expect("other seed");
+        assert_ne!(one.digest, other_seed.digest);
+    }
+
+    #[test]
+    fn sweep_reports_scaling_and_determinism() {
+        let sweep = run_sweep(&tiny_cfg(), &[1, 2]).expect("sweep");
+        assert_eq!(sweep.runs.len(), 2);
+        assert!(sweep.deterministic);
+        assert!(sweep.scaling > 1.0, "scaling {}", sweep.scaling);
+        assert!(sweep.to_json().contains("\"deterministic\": true"));
+        assert!(sweep.to_text().contains("modelled scaling"));
+        assert!(run_sweep(&tiny_cfg(), &[]).is_err());
+        assert!(run_sweep(
+            &BenchConfig {
+                addr: Some("127.0.0.1:1".into()),
+                ..tiny_cfg()
+            },
+            &[1]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn extract_u64_scans_flat_json() {
+        let json = "{\"a\": 12, \"makespan_cycles\": 3456, \"b\": {}}";
+        assert_eq!(extract_u64(json, "makespan_cycles"), Some(3456));
+        assert_eq!(extract_u64(json, "a"), Some(12));
+        assert_eq!(extract_u64(json, "missing"), None);
+    }
+}

@@ -1,0 +1,194 @@
+//! A blocking client for the wire protocol.
+//!
+//! One [`Client`] wraps one TCP connection and issues closed-loop
+//! request/response pairs. The typed helpers (`keygen`/`encaps`/
+//! `decaps`) split the fixed-size response payloads using the parameter
+//! set, so callers get keys and secrets, not byte blobs to slice.
+
+use crate::wire::{self, Opcode, RequestFrame, ResponseFrame};
+use crate::{params_code, BackendKind};
+use lac::Params;
+use std::io::BufReader;
+use std::net::TcpStream;
+
+/// A connected protocol client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to `addr` (`"host:port"`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn connect(addr: &str) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Send one raw frame and read its response.
+    ///
+    /// # Errors
+    ///
+    /// Transport-level failures (the connection is unusable afterwards).
+    /// Protocol-level failures arrive as an `Error`-status response, not
+    /// an `Err`.
+    pub fn request(&mut self, frame: &RequestFrame) -> Result<ResponseFrame, String> {
+        wire::write_request(&mut self.writer, frame).map_err(|e| format!("send: {e}"))?;
+        wire::read_response(&mut self.reader).map_err(|e| format!("recv: {e}"))
+    }
+
+    /// Send a frame and flatten both failure levels into `Err`.
+    fn request_ok(&mut self, frame: &RequestFrame) -> Result<Vec<u8>, String> {
+        let response = self.request(frame)?;
+        match response.error_message() {
+            Some(message) => Err(message),
+            None => Ok(response.payload),
+        }
+    }
+
+    /// Generate a key pair on the server; returns `(pk, sk)` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, server-side errors, or a malformed response
+    /// payload size.
+    pub fn keygen(
+        &mut self,
+        params: &Params,
+        backend: BackendKind,
+        seq: u64,
+    ) -> Result<(Vec<u8>, Vec<u8>), String> {
+        let payload = self.request_ok(&RequestFrame {
+            opcode: Opcode::Keygen,
+            params_code: params_code(params),
+            backend_code: backend.code(),
+            seq,
+            payload: Vec::new(),
+        })?;
+        let pk_len = params.public_key_bytes();
+        let sk_len = params.kem_secret_key_bytes();
+        if payload.len() != pk_len + sk_len {
+            return Err(format!(
+                "keygen response must be pk ({pk_len} B) ‖ sk ({sk_len} B), got {} B",
+                payload.len()
+            ));
+        }
+        let sk = payload[pk_len..].to_vec();
+        let mut pk = payload;
+        pk.truncate(pk_len);
+        Ok((pk, sk))
+    }
+
+    /// Encapsulate against `pk`; returns `(ciphertext, shared_secret)`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, server-side errors, or a malformed response.
+    pub fn encaps(
+        &mut self,
+        params: &Params,
+        backend: BackendKind,
+        seq: u64,
+        pk: &[u8],
+    ) -> Result<(Vec<u8>, [u8; 32]), String> {
+        let payload = self.request_ok(&RequestFrame {
+            opcode: Opcode::Encaps,
+            params_code: params_code(params),
+            backend_code: backend.code(),
+            seq,
+            payload: pk.to_vec(),
+        })?;
+        let ct_len = params.ciphertext_bytes();
+        if payload.len() != ct_len + 32 {
+            return Err(format!(
+                "encaps response must be ct ({ct_len} B) ‖ key (32 B), got {} B",
+                payload.len()
+            ));
+        }
+        let mut shared = [0u8; 32];
+        shared.copy_from_slice(&payload[ct_len..]);
+        let mut ct = payload;
+        ct.truncate(ct_len);
+        Ok((ct, shared))
+    }
+
+    /// Decapsulate `ct` with `sk`; returns the shared secret.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, server-side errors, or a malformed response.
+    pub fn decaps(
+        &mut self,
+        params: &Params,
+        backend: BackendKind,
+        seq: u64,
+        sk: &[u8],
+        ct: &[u8],
+    ) -> Result<[u8; 32], String> {
+        let mut payload = Vec::with_capacity(sk.len() + ct.len());
+        payload.extend_from_slice(sk);
+        payload.extend_from_slice(ct);
+        let payload = self.request_ok(&RequestFrame {
+            opcode: Opcode::Decaps,
+            params_code: params_code(params),
+            backend_code: backend.code(),
+            seq,
+            payload,
+        })?;
+        if payload.len() != 32 {
+            return Err(format!(
+                "decaps response must be 32 B, got {} B",
+                payload.len()
+            ));
+        }
+        let mut shared = [0u8; 32];
+        shared.copy_from_slice(&payload);
+        Ok(shared)
+    }
+
+    /// Fetch the server's metrics snapshot as JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a server-side error.
+    pub fn stats(&mut self) -> Result<String, String> {
+        let payload = self.request_ok(&RequestFrame::control(Opcode::Stats))?;
+        String::from_utf8(payload).map_err(|e| format!("stats payload not UTF-8: {e}"))
+    }
+
+    /// Liveness check.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an unexpected ack.
+    pub fn ping(&mut self) -> Result<(), String> {
+        let payload = self.request_ok(&RequestFrame::control(Opcode::Ping))?;
+        if payload == b"pong" {
+            Ok(())
+        } else {
+            Err("unexpected ping ack".into())
+        }
+    }
+
+    /// Ask the server to shut down gracefully.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an unexpected ack.
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        let payload = self.request_ok(&RequestFrame::control(Opcode::Shutdown))?;
+        if payload == b"bye" {
+            Ok(())
+        } else {
+            Err("unexpected shutdown ack".into())
+        }
+    }
+}

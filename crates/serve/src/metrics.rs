@@ -1,0 +1,421 @@
+//! Live serving metrics: atomic counters and fixed-bucket latency
+//! histograms.
+//!
+//! Workers record into [`Metrics`] with relaxed atomics (no locks on the
+//! hot path); a [`MetricsSnapshot`] is taken on demand — for the `STATS`
+//! protocol request, on server shutdown, and by the load generator — and
+//! renders as text or JSON. Latencies use power-of-two microsecond
+//! buckets, so p50/p99 are bucket upper bounds, not exact order
+//! statistics; that is the usual trade for a lock-free histogram.
+
+use crate::Op;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of latency buckets: bucket `i` counts samples with
+/// `micros <= 2^i`, and the last bucket is a catch-all.
+pub const LATENCY_BUCKETS: usize = 30;
+
+/// Upper bound (µs) of bucket `i`.
+fn bucket_upper_micros(i: usize) -> u64 {
+    1u64 << i
+}
+
+/// Index of the bucket a sample of `micros` falls into.
+fn bucket_index(micros: u64) -> usize {
+    for i in 0..LATENCY_BUCKETS - 1 {
+        if micros <= bucket_upper_micros(i) {
+            return i;
+        }
+    }
+    LATENCY_BUCKETS - 1
+}
+
+/// A lock-free fixed-bucket latency histogram.
+pub struct Histogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+            max_micros: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one latency sample.
+    pub fn record(&self, latency: Duration) {
+        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.buckets[bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the histogram.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum_micros: self.sum_micros.load(Ordering::Relaxed),
+            max_micros: self.max_micros.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts (`buckets[i]` counts samples ≤ 2^i µs).
+    pub buckets: Vec<u64>,
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples in microseconds.
+    pub sum_micros: u64,
+    /// Largest sample observed, in microseconds.
+    pub max_micros: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> Self {
+        Self {
+            buckets: vec![0; LATENCY_BUCKETS],
+            count: 0,
+            sum_micros: 0,
+            max_micros: 0,
+        }
+    }
+
+    /// Merge another snapshot into this one.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_micros += other.sum_micros;
+        self.max_micros = self.max_micros.max(other.max_micros);
+    }
+
+    /// Upper-bound estimate (µs) of the `p`-quantile (`0.0 < p <= 1.0`).
+    /// Returns 0 for an empty histogram.
+    pub fn quantile_micros(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_micros(i).min(self.max_micros.max(1));
+            }
+        }
+        self.max_micros
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_micros(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_micros as f64 / self.count as f64
+        }
+    }
+
+    /// Render the non-empty buckets as `"<=Nus: count"` lines.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c > 0 {
+                out.push_str(&format!("    <= {:>10} us: {c}\n", bucket_upper_micros(i)));
+            }
+        }
+        out
+    }
+
+    /// JSON object with count/mean/p50/p99/max plus the raw buckets.
+    pub fn to_json(&self) -> String {
+        let buckets: Vec<String> = self.buckets.iter().map(u64::to_string).collect();
+        format!(
+            "{{\"count\": {}, \"mean_us\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {}, \"buckets_pow2_us\": [{}]}}",
+            self.count,
+            self.mean_micros(),
+            self.quantile_micros(0.50),
+            self.quantile_micros(0.99),
+            self.max_micros,
+            buckets.join(", ")
+        )
+    }
+}
+
+/// Shared live counters for a [`crate::pool::ServePool`].
+pub struct Metrics {
+    requests: [AtomicU64; 3],
+    errors: AtomicU64,
+    /// Service latency: enqueue → reply ready (includes queue wait).
+    latency: Histogram,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// Fresh all-zero metrics.
+    pub fn new() -> Self {
+        Self {
+            requests: std::array::from_fn(|_| AtomicU64::new(0)),
+            errors: AtomicU64::new(0),
+            latency: Histogram::new(),
+        }
+    }
+
+    /// Record one completed job.
+    pub fn record(&self, op: Op, latency: Duration, is_error: bool) {
+        self.requests[op.index()].fetch_add(1, Ordering::Relaxed);
+        if is_error {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.latency.record(latency);
+    }
+
+    /// Count of completed requests for `op`.
+    pub fn requests(&self, op: Op) -> u64 {
+        self.requests[op.index()].load(Ordering::Relaxed)
+    }
+
+    /// Count of jobs that replied with an error.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot the latency histogram.
+    pub fn latency_snapshot(&self) -> HistogramSnapshot {
+        self.latency.snapshot()
+    }
+}
+
+/// A point-in-time view of everything a pool knows about itself.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Worker-thread count.
+    pub workers: usize,
+    /// Queue capacity (backpressure bound).
+    pub queue_capacity: usize,
+    /// Deepest the queue has ever been.
+    pub queue_high_water: usize,
+    /// Completed requests per op, indexed by [`Op::index`].
+    pub requests: [u64; 3],
+    /// Jobs that replied with an error.
+    pub errors: u64,
+    /// Service latency (enqueue → reply ready).
+    pub latency: HistogramSnapshot,
+    /// Modelled RISCY cycles executed by each worker.
+    pub worker_cycles: Vec<u64>,
+}
+
+impl MetricsSnapshot {
+    /// Total completed requests.
+    pub fn total_requests(&self) -> u64 {
+        self.requests.iter().sum()
+    }
+
+    /// Sum of modelled cycles across workers.
+    pub fn total_cycles(&self) -> u64 {
+        self.worker_cycles.iter().sum()
+    }
+
+    /// The modelled makespan: the busiest worker's cycle total. On a
+    /// modelled multi-core machine (one RISCY core per worker) the batch
+    /// finishes when the busiest core does, so throughput in modelled time
+    /// is `total_requests / makespan`.
+    pub fn makespan_cycles(&self) -> u64 {
+        self.worker_cycles.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Requests per modelled megacycle of makespan (0 when idle).
+    pub fn requests_per_mcycle(&self) -> f64 {
+        let makespan = self.makespan_cycles();
+        if makespan == 0 {
+            0.0
+        } else {
+            self.total_requests() as f64 * 1e6 / makespan as f64
+        }
+    }
+
+    /// Human-readable multi-line report.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "workers: {}  queue: capacity {} / high-water {}\n",
+            self.workers, self.queue_capacity, self.queue_high_water
+        ));
+        for op in Op::ALL {
+            out.push_str(&format!(
+                "  {:<7} {}\n",
+                op.label(),
+                self.requests[op.index()]
+            ));
+        }
+        out.push_str(&format!("  errors  {}\n", self.errors));
+        out.push_str(&format!(
+            "latency: mean {:.0} us, p50 <= {} us, p99 <= {} us, max {} us\n",
+            self.latency.mean_micros(),
+            self.latency.quantile_micros(0.50),
+            self.latency.quantile_micros(0.99),
+            self.latency.max_micros
+        ));
+        out.push_str(&format!(
+            "modelled cycles: makespan {} (busiest worker), total {}, {:.2} req/Mcycle\n",
+            self.makespan_cycles(),
+            self.total_cycles(),
+            self.requests_per_mcycle()
+        ));
+        out
+    }
+
+    /// JSON object (the `STATS` reply payload and `--json` building block).
+    pub fn to_json(&self) -> String {
+        let cycles: Vec<String> = self.worker_cycles.iter().map(u64::to_string).collect();
+        format!(
+            "{{\"workers\": {}, \"queue_capacity\": {}, \"queue_high_water\": {}, \
+             \"requests\": {{\"keygen\": {}, \"encaps\": {}, \"decaps\": {}}}, \
+             \"errors\": {}, \"latency\": {}, \
+             \"worker_cycles\": [{}], \"makespan_cycles\": {}, \"total_cycles\": {}, \
+             \"requests_per_mcycle\": {:.4}}}",
+            self.workers,
+            self.queue_capacity,
+            self.queue_high_water,
+            self.requests[0],
+            self.requests[1],
+            self.requests[2],
+            self.errors,
+            self.latency.to_json(),
+            cycles.join(", "),
+            self.makespan_cycles(),
+            self.total_cycles(),
+            self.requests_per_mcycle(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotonic_and_bounded() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), LATENCY_BUCKETS - 1);
+        let mut last = 0;
+        for micros in [0u64, 1, 2, 5, 100, 10_000, 1 << 40] {
+            let b = bucket_index(micros);
+            assert!(b >= last);
+            last = b;
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_track_samples() {
+        let h = Histogram::new();
+        // 99 fast samples and one slow one.
+        for _ in 0..99 {
+            h.record(Duration::from_micros(100));
+        }
+        h.record(Duration::from_millis(100));
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert!(s.quantile_micros(0.5) <= 128);
+        assert!(s.quantile_micros(0.99) <= 128);
+        assert!(s.quantile_micros(1.0) >= 100_000 / 2);
+        assert_eq!(s.max_micros, 100_000);
+        assert!((s.mean_micros() - (99.0 * 100.0 + 100_000.0) / 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_harmless() {
+        let s = HistogramSnapshot::empty();
+        assert_eq!(s.quantile_micros(0.5), 0);
+        assert_eq!(s.mean_micros(), 0.0);
+        assert_eq!(s.to_text(), "");
+        assert!(s.to_json().contains("\"count\": 0"));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let a = Histogram::new();
+        a.record(Duration::from_micros(10));
+        let b = Histogram::new();
+        b.record(Duration::from_micros(1000));
+        b.record(Duration::from_micros(2000));
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count, 3);
+        assert_eq!(m.max_micros, 2000);
+        assert_eq!(m.sum_micros, 3010);
+    }
+
+    #[test]
+    fn metrics_record_and_snapshot() {
+        let m = Metrics::new();
+        m.record(Op::Keygen, Duration::from_micros(5), false);
+        m.record(Op::Encaps, Duration::from_micros(6), false);
+        m.record(Op::Encaps, Duration::from_micros(7), true);
+        assert_eq!(m.requests(Op::Keygen), 1);
+        assert_eq!(m.requests(Op::Encaps), 2);
+        assert_eq!(m.requests(Op::Decaps), 0);
+        assert_eq!(m.errors(), 1);
+        assert_eq!(m.latency_snapshot().count, 3);
+    }
+
+    #[test]
+    fn snapshot_json_and_text_render() {
+        let snap = MetricsSnapshot {
+            workers: 4,
+            queue_capacity: 64,
+            queue_high_water: 17,
+            requests: [1, 2, 3],
+            errors: 0,
+            latency: HistogramSnapshot::empty(),
+            worker_cycles: vec![100, 400, 250, 0],
+        };
+        assert_eq!(snap.total_requests(), 6);
+        assert_eq!(snap.makespan_cycles(), 400);
+        assert_eq!(snap.total_cycles(), 750);
+        assert!((snap.requests_per_mcycle() - 6.0 * 1e6 / 400.0).abs() < 1e-9);
+        let json = snap.to_json();
+        for needle in [
+            "\"workers\": 4",
+            "\"queue_high_water\": 17",
+            "\"encaps\": 2",
+            "\"makespan_cycles\": 400",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        assert!(snap.to_text().contains("high-water 17"));
+    }
+}

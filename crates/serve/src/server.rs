@@ -1,0 +1,271 @@
+//! The TCP front-end: accept loop, per-connection framing threads, and
+//! graceful shutdown.
+//!
+//! Each connection gets its own thread that reads request frames in a
+//! loop, submits KEM jobs to the shared [`ServePool`], and writes back
+//! response frames. Control frames are handled inline: `STATS` returns a
+//! [`MetricsSnapshot`] as JSON, `PING` returns an ack, and `SHUTDOWN`
+//! acknowledges, then stops the accept loop and drains the pool.
+//!
+//! Closed-loop clients get natural backpressure end-to-end: a full job
+//! queue blocks the connection thread in `submit`, which stops it reading
+//! from its socket, which fills the peer's TCP window.
+
+use crate::metrics::MetricsSnapshot;
+use crate::pool::{Reply, ServeConfig, ServePool};
+use crate::wire::{self, frame_to_job, Opcode, RequestFrame, ResponseFrame};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A bound-but-not-yet-running KEM server.
+pub struct Server {
+    listener: TcpListener,
+    pool: Arc<ServePool>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and spawn
+    /// the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from the bind.
+    pub fn bind(addr: &str, config: ServeConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Self {
+            listener,
+            pool: Arc::new(ServePool::new(config)),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The address actually bound (resolves ephemeral ports).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `local_addr` socket errors.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serve until a `SHUTDOWN` frame arrives, then drain the pool and
+    /// return the final metrics snapshot.
+    ///
+    /// Connection threads are detached; in-flight requests on other
+    /// connections after shutdown resolve to error replies (the pool
+    /// rejects new jobs once closed) rather than hanging.
+    pub fn run(self) -> MetricsSnapshot {
+        let addr = self.listener.local_addr().ok();
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            // Request/response framing means Nagle + delayed ACK would add
+            // ~40 ms to every closed-loop round trip.
+            stream.set_nodelay(true).ok();
+            let pool = Arc::clone(&self.pool);
+            let shutdown = Arc::clone(&self.shutdown);
+            let wake_addr = addr;
+            std::thread::spawn(move || {
+                handle_connection(stream, &pool, &shutdown, wake_addr);
+            });
+        }
+        let snapshot = self.pool.snapshot();
+        self.pool.shutdown();
+        snapshot
+    }
+}
+
+/// Serve one connection until EOF, protocol error, or shutdown.
+fn handle_connection(
+    stream: TcpStream,
+    pool: &ServePool,
+    shutdown: &AtomicBool,
+    wake_addr: Option<SocketAddr>,
+) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut writer = write_half;
+    loop {
+        let frame = match wire::read_request(&mut reader) {
+            Ok(Some(frame)) => frame,
+            // Clean EOF or any read/framing error: drop the connection.
+            // (A framing error leaves the stream unsynchronized, so there
+            // is no safe way to reply and continue.)
+            Ok(None) | Err(_) => return,
+        };
+        let response = dispatch(&frame, pool, shutdown);
+        // dispatch always acknowledges a shutdown frame with Ok.
+        let stop = frame.opcode == Opcode::Shutdown;
+        if wire::write_response(&mut writer, &response).is_err() {
+            return;
+        }
+        if stop {
+            // Unblock the accept loop so `run` can observe the flag.
+            if let Some(addr) = wake_addr {
+                let _ = TcpStream::connect(addr);
+            }
+            return;
+        }
+    }
+}
+
+/// Execute one request frame against the pool.
+fn dispatch(frame: &RequestFrame, pool: &ServePool, shutdown: &AtomicBool) -> ResponseFrame {
+    match frame.opcode {
+        Opcode::Ping => ResponseFrame::ok(b"pong".to_vec()),
+        Opcode::Stats => ResponseFrame::ok(pool.snapshot().to_json().into_bytes()),
+        Opcode::Shutdown => {
+            shutdown.store(true, Ordering::SeqCst);
+            ResponseFrame::ok(b"bye".to_vec())
+        }
+        Opcode::Keygen | Opcode::Encaps | Opcode::Decaps => match frame_to_job(frame) {
+            Ok(job) => reply_to_response(pool.submit(job).wait()),
+            Err(message) => ResponseFrame::error(message),
+        },
+    }
+}
+
+/// Map a pool reply onto the wire.
+fn reply_to_response(reply: Reply) -> ResponseFrame {
+    match reply {
+        Reply::Keygen { mut pk, sk } => {
+            pk.extend_from_slice(&sk);
+            ResponseFrame::ok(pk)
+        }
+        Reply::Encaps { mut ct, shared } => {
+            ct.extend_from_slice(&shared);
+            ResponseFrame::ok(ct)
+        }
+        Reply::Decaps { shared } => ResponseFrame::ok(shared.to_vec()),
+        Reply::Error(message) => ResponseFrame::error(message),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::{params_code, BackendKind};
+    use lac::Params;
+
+    fn spawn_server(workers: usize) -> (SocketAddr, std::thread::JoinHandle<MetricsSnapshot>) {
+        let server = Server::bind(
+            "127.0.0.1:0",
+            ServeConfig {
+                workers,
+                queue_capacity: 8,
+                seed: [3u8; 32],
+            },
+        )
+        .expect("bind");
+        let addr = server.local_addr().expect("addr");
+        (addr, std::thread::spawn(move || server.run()))
+    }
+
+    #[test]
+    fn full_protocol_over_tcp() {
+        let (addr, handle) = spawn_server(2);
+        let mut client = Client::connect(&addr.to_string()).expect("connect");
+        let params = Params::lac128();
+
+        assert!(client.ping().is_ok());
+
+        let (pk, sk) = client.keygen(&params, BackendKind::Ct, 1).expect("keygen");
+        assert_eq!(pk.len(), params.public_key_bytes());
+        assert_eq!(sk.len(), params.kem_secret_key_bytes());
+
+        let (ct, shared) = client
+            .encaps(&params, BackendKind::Ct, 2, &pk)
+            .expect("encaps");
+        assert_eq!(ct.len(), params.ciphertext_bytes());
+
+        let shared2 = client
+            .decaps(&params, BackendKind::Ct, 3, &sk, &ct)
+            .expect("decaps");
+        assert_eq!(shared, shared2);
+
+        // Cross-backend: hw decapsulates what ct produced.
+        let shared3 = client
+            .decaps(&params, BackendKind::Hw, 4, &sk, &ct)
+            .expect("hw decaps");
+        assert_eq!(shared, shared3);
+
+        let stats = client.stats().expect("stats");
+        assert!(stats.contains("\"decaps\": 2"), "{stats}");
+        assert!(stats.contains("\"errors\": 0"), "{stats}");
+
+        client.shutdown().expect("shutdown");
+        let final_snapshot = handle.join().expect("server thread");
+        assert_eq!(final_snapshot.requests[0], 1);
+        assert_eq!(final_snapshot.errors, 0);
+    }
+
+    #[test]
+    fn malformed_requests_get_error_responses_not_disconnects() {
+        let (addr, handle) = spawn_server(1);
+        let mut client = Client::connect(&addr.to_string()).expect("connect");
+        let params = Params::lac128();
+
+        // Garbage public key → error reply, connection stays usable.
+        let err = client
+            .encaps(&params, BackendKind::Ct, 1, &[1, 2, 3])
+            .unwrap_err();
+        assert!(err.contains("bad public key"), "{err}");
+
+        // Unknown backend code at the frame level.
+        let frame = RequestFrame {
+            opcode: Opcode::Keygen,
+            params_code: params_code(&params),
+            backend_code: 99,
+            seq: 0,
+            payload: Vec::new(),
+        };
+        let resp = client.request(&frame).expect("transport ok");
+        assert!(resp
+            .error_message()
+            .expect("is error")
+            .contains("backend code"));
+
+        // Still alive.
+        assert!(client.ping().is_ok());
+        client.shutdown().expect("shutdown");
+        let snap = handle.join().expect("server");
+        // The garbage-pk job reached the pool and was counted as an error.
+        assert_eq!(snap.errors, 1);
+    }
+
+    #[test]
+    fn concurrent_connections_are_served() {
+        let (addr, handle) = spawn_server(2);
+        let clients: Vec<_> = (0..3u64)
+            .map(|c| {
+                let addr = addr.to_string();
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(&addr).expect("connect");
+                    let params = Params::lac128();
+                    let (pk, _) = client
+                        .keygen(&params, BackendKind::Ct, 100 + c)
+                        .expect("keygen");
+                    client
+                        .encaps(&params, BackendKind::Ct, 200 + c, &pk)
+                        .expect("encaps")
+                })
+            })
+            .collect();
+        let results: Vec<_> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+        // Distinct seqs (and distinct keys) → distinct shared secrets.
+        assert_ne!(results[0].1, results[1].1);
+        let mut ctl = Client::connect(&addr.to_string()).expect("connect");
+        ctl.shutdown().expect("shutdown");
+        let snap = handle.join().expect("server");
+        assert_eq!(snap.requests[0], 3);
+        assert_eq!(snap.requests[1], 3);
+    }
+}

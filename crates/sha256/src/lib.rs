@@ -65,7 +65,7 @@ fn charge_block<M: Meter>(meter: &mut M) {
     meter.charge(Op::LoopIter, 64);
     meter.charge(Op::Load, 64 * 2); // K[t], W[t]
     meter.charge(Op::Alu, 64 * 22); // Sigma0/Sigma1/Ch/Maj + working-variable updates
-    // Feed-forward of the 8 state words.
+                                    // Feed-forward of the 8 state words.
     meter.charge(Op::Load, 8);
     meter.charge(Op::Alu, 8);
     meter.charge(Op::Store, 8);

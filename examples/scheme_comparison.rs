@@ -35,16 +35,17 @@ fn main() {
     nh_kem.decapsulate(&nh_sk, &nh_ct, &mut nh_backend, &mut nh_dec);
 
     println!("LAC-256 (CCA, PQ-ALU) vs NewHope1024 (CPA, [8]-style co-processors)\n");
-    println!(
-        "{:<24} {:>14} {:>14}",
-        "", "LAC-256 opt.", "NewHope opt."
-    );
+    println!("{:<24} {:>14} {:>14}", "", "LAC-256 opt.", "NewHope opt.");
     for (label, lac_v, nh_v) in [
         ("key generation", lac_kg.total(), nh_kg.total()),
         ("encapsulation", lac_enc.total(), nh_enc.total()),
         ("decapsulation", lac_dec.total(), nh_dec.total()),
     ] {
-        println!("{label:<24} {:>14} {:>14}", thousands(lac_v), thousands(nh_v));
+        println!(
+            "{label:<24} {:>14} {:>14}",
+            thousands(lac_v),
+            thousands(nh_v)
+        );
     }
     let lac_total = lac_kg.total() + lac_enc.total() + lac_dec.total();
     let nh_total = nh_kg.total() + nh_enc.total() + nh_dec.total();
@@ -62,16 +63,25 @@ fn main() {
     println!("  — the overhead buys CCA security (re-encryption), the BCH code, and");
     println!("    constant-time error correction (Section VI).\n");
 
-    println!(
-        "{:<24} {:>14} {:>14}",
-        "", "LAC-256", "NewHope1024"
-    );
+    println!("{:<24} {:>14} {:>14}", "", "LAC-256", "NewHope1024");
     let lp = lac_kem.params();
     let np = nh_kem.params();
     for (label, lac_v, nh_v) in [
-        ("public key (bytes)", lp.public_key_bytes(), np.public_key_bytes()),
-        ("secret key (bytes)", lp.secret_key_bytes(), np.secret_key_bytes()),
-        ("ciphertext (bytes)", lp.ciphertext_bytes(), np.ciphertext_bytes()),
+        (
+            "public key (bytes)",
+            lp.public_key_bytes(),
+            np.public_key_bytes(),
+        ),
+        (
+            "secret key (bytes)",
+            lp.secret_key_bytes(),
+            np.secret_key_bytes(),
+        ),
+        (
+            "ciphertext (bytes)",
+            lp.ciphertext_bytes(),
+            np.ciphertext_bytes(),
+        ),
     ] {
         println!("{label:<24} {lac_v:>14} {nh_v:>14}");
     }
@@ -83,9 +93,21 @@ fn main() {
         + lac_backend.sha_unit().resources()
         + lac_hw::ModQ::new().resources();
     let nh_area = nh_backend.ntt_unit().resources() + nh_backend.keccak_unit().resources();
-    println!("{:<24} {:>14} {:>14}", "accelerator LUTs", lac_area.luts, nh_area.luts);
-    println!("{:<24} {:>14} {:>14}", "accelerator registers", lac_area.regs, nh_area.regs);
-    println!("{:<24} {:>14} {:>14}", "accelerator DSPs", lac_area.dsps, nh_area.dsps);
-    println!("{:<24} {:>14} {:>14}", "accelerator BRAMs", lac_area.brams, nh_area.brams);
+    println!(
+        "{:<24} {:>14} {:>14}",
+        "accelerator LUTs", lac_area.luts, nh_area.luts
+    );
+    println!(
+        "{:<24} {:>14} {:>14}",
+        "accelerator registers", lac_area.regs, nh_area.regs
+    );
+    println!(
+        "{:<24} {:>14} {:>14}",
+        "accelerator DSPs", lac_area.dsps, nh_area.dsps
+    );
+    println!(
+        "{:<24} {:>14} {:>14}",
+        "accelerator BRAMs", lac_area.brams, nh_area.brams
+    );
     println!("  — LAC trades LUTs for DSPs/BRAM (Table III's discussion).");
 }

@@ -11,8 +11,8 @@
 
 use lac::{AcceleratedBackend, Kem, Params, SharedSecret, SoftwareBackend};
 use lac_meter::{CycleLedger, NullMeter};
-use lac_sha256::{Expander, Sha256};
 use lac_rand::Sha256CtrRng;
+use lac_sha256::{Expander, Sha256};
 
 /// Derive a keystream from the shared secret and XOR it over `data`
 /// (encrypt == decrypt).

@@ -69,7 +69,10 @@ fn main() {
     );
     println!("\nMUL TER compute phase (n = 512):");
     println!("  reset + start (stalls until done) : {mul_start:>4} cycles");
-    assert!(mul_start > 514, "the 512+2-cycle compute stall must dominate");
+    assert!(
+        mul_start > 514,
+        "the 512+2-cycle compute stall must dominate"
+    );
 
     println!("\n(Methodology note: this mirrors Section VI — the cycle numbers in the");
     println!("paper's tables are performance-counter readings taken on the RISCY core.)");

@@ -50,8 +50,11 @@ fn main() {
     let ct_min = *ct_totals.iter().min().expect("nonempty");
     let ct_max = *ct_totals.iter().max().expect("nonempty");
 
-    println!("\nsubmission decoder: spread = {} cycles ({:.1}% of total) — LEAKS the error count",
-        vt_max - vt_min, 100.0 * (vt_max - vt_min) as f64 / vt_min as f64);
+    println!(
+        "\nsubmission decoder: spread = {} cycles ({:.1}% of total) — LEAKS the error count",
+        vt_max - vt_min,
+        100.0 * (vt_max - vt_min) as f64 / vt_min as f64
+    );
     println!(
         "walters decoder:    spread = {} cycles — constant time",
         ct_max - ct_min

@@ -1,0 +1,89 @@
+#!/bin/sh
+# Bench regression gate: re-run the table benches and compare every
+# numeric field against the checked-in baselines/ JSON.
+#
+#   scripts/bench_compare.sh            # 2% tolerance on cycle tables
+#   LAC_BENCH_TOLERANCE=5 scripts/...   # loosen for noisy environments
+#
+# The cycle model is deterministic, so drift only appears when code
+# changes the model; the tolerance exists so that small intentional
+# recalibrations do not force a baseline refresh, while real regressions
+# (>N%) fail loudly. Table III is synthesis constants and must match
+# exactly. Refresh baselines on purposeful changes with:
+#
+#   for t in table1 table2 table3; do \
+#     ./target/release/$t --json > baselines/$t.json; done
+#
+# Requires: ./target/release/{table1,table2,table3} (cargo build --release).
+set -eu
+cd "$(dirname "$0")/.."
+
+TOL="${LAC_BENCH_TOLERANCE:-2}"
+STATUS=0
+
+# Flatten machine-generated JSON to "key value" lines, one per numeric
+# field, in document order. Booleans and strings are skipped (they are
+# compared implicitly: a changed key sequence is a structure mismatch).
+flatten() {
+    tr ',{}[]' '\n' <"$1" | sed -n 's/^[[:space:]]*"\([a-z_0-9]*\)": \(-\{0,1\}[0-9][0-9.]*\)$/\1 \2/p'
+}
+
+compare() {
+    bin="$1"
+    tol="$2"
+    table_ok=1
+    baseline="baselines/$bin.json"
+    if [ ! -f "$baseline" ]; then
+        echo "bench-compare: missing $baseline" >&2
+        STATUS=1
+        return 0
+    fi
+    current=$(mktemp)
+    base_flat=$(mktemp)
+    cur_flat=$(mktemp)
+    "./target/release/$bin" --json >"$current"
+    flatten "$baseline" >"$base_flat"
+    flatten "$current" >"$cur_flat"
+    if [ "$(wc -l <"$base_flat")" != "$(wc -l <"$cur_flat")" ]; then
+        echo "bench-compare: $bin field count changed ($(wc -l <"$base_flat") -> $(wc -l <"$cur_flat")); refresh $baseline" >&2
+        STATUS=1
+        table_ok=0
+    else
+        if ! paste "$base_flat" "$cur_flat" | awk -v tol="$tol" -v bin="$bin" '
+            {
+                bk = $1; bv = $2; ck = $3; cv = $4
+                if (bk != ck) {
+                    printf "bench-compare: %s structure changed at field %d: %s -> %s\n", bin, NR, bk, ck
+                    fail = 1
+                    exit 1
+                }
+                if (bv == 0) { drift = (cv == 0) ? 0 : 100 }
+                else { drift = (cv - bv) / bv * 100 }
+                if (drift < 0) drift = -drift
+                if (drift > tol) {
+                    printf "bench-compare: %s regression in \"%s\": %s -> %s (%.2f%% > %s%%)\n", bin, bk, bv, cv, drift, tol
+                    fail = 1
+                }
+            }
+            END { exit fail }
+        ' >&2; then
+            STATUS=1
+            table_ok=0
+        fi
+    fi
+    rm -f "$current" "$base_flat" "$cur_flat"
+    if [ "$table_ok" = 1 ]; then
+        echo "bench-compare: $bin OK (tolerance ${tol}%)"
+    fi
+    return 0
+}
+
+compare table1 "$TOL"
+compare table2 "$TOL"
+compare table3 0
+
+if [ "$STATUS" != 0 ]; then
+    echo "bench-compare: FAILED" >&2
+    exit 1
+fi
+echo "bench-compare: all tables within tolerance"

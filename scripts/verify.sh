@@ -10,6 +10,10 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo
 echo "== cargo build --release --offline =="
 cargo build --release --offline
 
@@ -24,6 +28,62 @@ for bin in table1 table2 table3; do
     cargo run -q --release --offline -p lac-bench --bin "$bin" -- --json > /dev/null
     echo "  $bin OK"
 done
+
+echo
+echo "== bench regression gate (baselines/) =="
+scripts/bench_compare.sh
+
+echo
+echo "== smoke: serve / bench-serve / serve-ctl =="
+SERVE_LOG=$(mktemp)
+./target/release/lac-suite serve --addr 127.0.0.1:0 --workers 2 --seed 1 > "$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+# The server prints "lac-serve listening on HOST:PORT (...)" before blocking.
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR=$(sed -n 's/^lac-serve listening on \([0-9.:]*\) .*/\1/p' "$SERVE_LOG")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "serve smoke: server never reported its address" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    cat "$SERVE_LOG" >&2
+    exit 1
+fi
+./target/release/lac-suite serve-ctl ping --addr "$ADDR" > /dev/null
+./target/release/lac-suite bench-serve --addr "$ADDR" --clients 2 --requests 8 \
+    --op encaps --seed 1 --json > /dev/null
+./target/release/lac-suite serve-ctl stats --addr "$ADDR" | grep -q '"encaps": 8'
+./target/release/lac-suite serve-ctl shutdown --addr "$ADDR" > /dev/null
+if ! wait "$SERVE_PID"; then
+    echo "serve smoke: server exited non-zero" >&2
+    cat "$SERVE_LOG" >&2
+    exit 1
+fi
+grep -q "server shut down" "$SERVE_LOG"
+rm -f "$SERVE_LOG"
+echo "  serve smoke OK ($ADDR)"
+
+echo
+echo "== acceptance: worker scaling and determinism (bench-serve --sweep) =="
+SWEEP=$(./target/release/lac-suite bench-serve --sweep 1,4 --clients 2 --requests 16 \
+    --op encaps --params lac128 --backend hw --seed 1 --json)
+echo "$SWEEP" | grep -q '"deterministic": true' || {
+    echo "serve acceptance: digests differ across worker counts" >&2
+    echo "$SWEEP" >&2
+    exit 1
+}
+echo "$SWEEP" | awk '
+    /"scaling":/ {
+        gsub(/[",]/, "")
+        for (i = 1; i <= NF; i++) if ($i == "scaling:") v = $(i + 1)
+    }
+    END {
+        if (v + 0 < 2.0) { print "serve acceptance: modelled scaling " v " < 2.0x" ; exit 1 }
+        print "  scaling 1 -> 4 workers: " v "x, deterministic: yes"
+    }
+'
 
 echo
 echo "verify: all checks passed"

@@ -1,4 +1,6 @@
-//! `lac-suite` — a file-based command-line tool over the LAC KEM.
+//! `lac-suite` — a command-line tool over the LAC KEM.
+//!
+//! File-based one-shot operations:
 //!
 //! ```text
 //! lac-suite info    --params lac256
@@ -7,18 +9,30 @@
 //! lac-suite decaps  --params lac128 --sk sk.bin --ct ct.bin --key k2.bin [--cycles]
 //! ```
 //!
+//! Serving (see `crates/serve` and the README "Serving" section):
+//!
+//! ```text
+//! lac-suite serve       --addr 127.0.0.1:0 --workers 4 --seed 1
+//! lac-suite bench-serve --workers 4 --clients 4 --requests 64 [--json]
+//! lac-suite serve-ctl   stats    --addr 127.0.0.1:PORT
+//! lac-suite serve-ctl   shutdown --addr 127.0.0.1:PORT
+//! ```
+//!
 //! `--backend` selects `ref` (software, submission BCH), `ct` (software,
-//! constant-time BCH — default) or `hw` (the PQ-ALU models); `--cycles`
-//! prints the modelled RISCY cycle ledger of the operation.
+//! constant-time BCH — default), `hw` (the PQ-ALU models) or `hw-keccak`
+//! (the §VI Keccak-hash variant); `--cycles` prints the modelled RISCY
+//! cycle ledger of the operation.
 
-use lac::{
-    AcceleratedBackend, Backend, Ciphertext, Kem, KemPublicKey, KemSecretKey, Params,
-    SoftwareBackend,
-};
+use lac::{Backend, Ciphertext, Kem, KemPublicKey, KemSecretKey, Params};
 use lac_meter::{report, CycleLedger, Meter, NullMeter};
 use lac_rand::{Rng, Sha256CtrRng, Shake128Rng};
+use lac_serve::bench::{self, BenchConfig};
+use lac_serve::client::Client;
+use lac_serve::pool::ServeConfig;
+use lac_serve::server::Server;
 use std::collections::HashMap;
 use std::fs;
+use std::io::Write;
 
 fn parse_params(name: &str) -> Result<Params, String> {
     match name {
@@ -32,37 +46,40 @@ fn parse_params(name: &str) -> Result<Params, String> {
 }
 
 fn make_backend(name: &str) -> Result<Box<dyn Backend>, String> {
-    match name {
-        "ref" => Ok(Box::new(SoftwareBackend::reference())),
-        "ct" => Ok(Box::new(SoftwareBackend::constant_time())),
-        "hw" => Ok(Box::new(AcceleratedBackend::new())),
-        other => Err(format!("unknown backend '{other}' (expected ref|ct|hw)")),
-    }
+    // The serving layer owns the backend axis; the one-shot commands
+    // share it so `hw-keccak` works everywhere.
+    Ok(lac_serve::BackendKind::parse(name)?.build())
 }
 
 struct Options {
     flags: HashMap<String, String>,
     cycles: bool,
+    json: bool,
 }
 
 impl Options {
     fn parse(args: &[String]) -> Result<Self, String> {
         let mut flags = HashMap::new();
         let mut cycles = false;
+        let mut json = false;
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             if arg == "--cycles" {
                 cycles = true;
+            } else if arg == "--json" {
+                json = true;
             } else if let Some(name) = arg.strip_prefix("--") {
-                let value = it
-                    .next()
-                    .ok_or_else(|| format!("--{name} needs a value"))?;
+                let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
                 flags.insert(name.to_string(), value.clone());
             } else {
                 return Err(format!("unexpected argument '{arg}'"));
             }
         }
-        Ok(Self { flags, cycles })
+        Ok(Self {
+            flags,
+            cycles,
+            json,
+        })
     }
 
     fn get(&self, name: &str) -> Result<&str, String> {
@@ -88,8 +105,132 @@ fn write_file(path: &str, data: &[u8]) -> Result<(), String> {
     fs::write(path, data).map_err(|e| format!("cannot write {path}: {e}"))
 }
 
+/// Parse an optional numeric flag with a default.
+fn parse_usize(opts: &Options, name: &str, default: usize) -> Result<usize, String> {
+    match opts.flags.get(name) {
+        Some(value) => value.parse().map_err(|_| format!("bad --{name} '{value}'")),
+        None => Ok(default),
+    }
+}
+
+/// `lac-suite serve`: bind, print the bound address (scripts parse it),
+/// then block until a SHUTDOWN frame arrives.
+fn cmd_serve(opts: &Options) -> Result<String, String> {
+    let addr = opts.get_or("addr", "127.0.0.1:0");
+    let workers = parse_usize(opts, "workers", 4)?;
+    let queue_capacity = parse_usize(opts, "queue", 64)?;
+    let seed = match opts.flags.get("seed") {
+        Some(value) => {
+            let value: u64 = value.parse().map_err(|_| format!("bad --seed '{value}'"))?;
+            bench::pool_seed(value)
+        }
+        None => {
+            let mut seed = [0u8; 32];
+            Sha256CtrRng::from_os_entropy().fill_bytes(&mut seed);
+            seed
+        }
+    };
+    let server = Server::bind(
+        &addr,
+        ServeConfig {
+            workers,
+            queue_capacity,
+            seed,
+        },
+    )
+    .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let local = server
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?;
+    println!("lac-serve listening on {local} ({workers} workers, queue {queue_capacity})");
+    std::io::stdout().flush().ok();
+    let snapshot = server.run();
+    Ok(format!("server shut down\n{}", snapshot.to_text()))
+}
+
+/// `lac-suite bench-serve`: closed-loop load generator (optionally a
+/// worker-count sweep) against an in-process or external server.
+fn cmd_bench_serve(opts: &Options) -> Result<String, String> {
+    let cfg = BenchConfig {
+        workers: parse_usize(opts, "workers", 4)?,
+        clients: parse_usize(opts, "clients", 4)?,
+        requests: parse_usize(opts, "requests", 32)?,
+        op: lac_serve::Op::parse(&opts.get_or("op", "encaps"))?,
+        params: lac_serve::params_parse(&opts.get_or("params", "lac128"))?,
+        backend: lac_serve::BackendKind::parse(&opts.get_or("backend", "ct"))?,
+        seed: {
+            let value = opts.get_or("seed", "1");
+            value.parse().map_err(|_| format!("bad --seed '{value}'"))?
+        },
+        queue_capacity: parse_usize(opts, "queue", 64)?,
+        addr: opts.flags.get("addr").cloned(),
+    };
+    if let Some(sweep) = opts.flags.get("sweep") {
+        let counts: Vec<usize> = sweep
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .map_err(|_| format!("bad --sweep entry '{s}'"))
+            })
+            .collect::<Result<_, _>>()?;
+        let report = bench::run_sweep(&cfg, &counts)?;
+        Ok(if opts.json {
+            format!("{}\n", report.to_json())
+        } else {
+            report.to_text()
+        })
+    } else {
+        let report = bench::run(&cfg)?;
+        Ok(if opts.json {
+            format!("{}\n", report.to_json())
+        } else {
+            report.to_text()
+        })
+    }
+}
+
+/// `lac-suite serve-ctl <stats|ping|shutdown> --addr HOST:PORT`.
+fn cmd_serve_ctl(action: &str, opts: &Options) -> Result<String, String> {
+    if action.is_empty() {
+        return Err("serve-ctl needs an action (expected stats|ping|shutdown)".into());
+    }
+    if !matches!(action, "stats" | "ping" | "shutdown") {
+        return Err(format!(
+            "unknown serve-ctl action '{action}' (expected stats|ping|shutdown)"
+        ));
+    }
+    let addr = opts.get("addr")?;
+    let mut client = Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    match action {
+        "stats" => Ok(format!("{}\n", client.stats()?)),
+        "ping" => {
+            client.ping()?;
+            Ok("pong\n".to_string())
+        }
+        "shutdown" => {
+            client.shutdown()?;
+            Ok(format!("server at {addr} acknowledged shutdown\n"))
+        }
+        other => Err(format!(
+            "unknown serve-ctl action '{other}' (expected stats|ping|shutdown)"
+        )),
+    }
+}
+
 /// Run one CLI invocation; returns the text to print.
 fn run(command: &str, opts: &Options) -> Result<String, String> {
+    // Serving commands manage their own backends/params per request.
+    match command {
+        "serve" => return cmd_serve(opts),
+        "bench-serve" => return cmd_bench_serve(opts),
+        _ => {
+            if let Some(action) = command.strip_prefix("serve-ctl") {
+                return cmd_serve_ctl(action.trim_start(), opts);
+            }
+        }
+    }
+
     let params = parse_params(&opts.get_or("params", "lac128"))?;
     let kem = Kem::new(params);
     let mut backend = make_backend(&opts.get_or("backend", "ct"))?;
@@ -159,7 +300,8 @@ fn run(command: &str, opts: &Options) -> Result<String, String> {
         }
         other => {
             return Err(format!(
-                "unknown command '{other}' (expected info|keygen|encaps|decaps)"
+                "unknown command '{other}' \
+                 (expected info|keygen|encaps|decaps|serve|bench-serve|serve-ctl)"
             ));
         }
     }
@@ -176,9 +318,7 @@ fn run(command: &str, opts: &Options) -> Result<String, String> {
 /// matching LAC's own expansion primitive).
 fn make_rng(opts: &Options) -> Result<Box<dyn Rng>, String> {
     let seed = if let Ok(seed) = opts.get("seed") {
-        let value: u64 = seed
-            .parse()
-            .map_err(|_| format!("bad --seed '{seed}'"))?;
+        let value: u64 = seed.parse().map_err(|_| format!("bad --seed '{seed}'"))?;
         Some(value)
     } else {
         None
@@ -196,10 +336,19 @@ fn make_rng(opts: &Options) -> Result<Box<dyn Rng>, String> {
     }
 }
 
-const USAGE: &str = "usage: lac-suite <info|keygen|encaps|decaps> \
-[--params lac128|lac192|lac256] [--backend ref|ct|hw] [--seed N] \
-[--rng sha256|shake128] [--cycles] \
-[--pk FILE] [--sk FILE] [--ct FILE] [--key FILE]";
+const USAGE: &str = "usage: lac-suite <command> [flags]
+
+  info|keygen|encaps|decaps      one-shot file-based KEM operations
+      [--params lac128|lac192|lac256] [--backend ref|ct|hw|hw-keccak]
+      [--seed N] [--rng sha256|shake128] [--cycles]
+      [--pk FILE] [--sk FILE] [--ct FILE] [--key FILE]
+  serve                          run the TCP KEM server until shutdown
+      [--addr HOST:PORT] [--workers N] [--queue N] [--seed N]
+  bench-serve                    closed-loop load generator
+      [--workers N] [--clients N] [--requests N]
+      [--op keygen|encaps|decaps] [--params P] [--backend B] [--seed N]
+      [--queue N] [--sweep N,N,...] [--addr HOST:PORT] [--json]
+  serve-ctl <stats|ping|shutdown> --addr HOST:PORT";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -207,7 +356,17 @@ fn main() {
         eprintln!("{USAGE}");
         std::process::exit(2);
     };
-    let result = Options::parse(rest).and_then(|opts| run(command, &opts));
+    // `serve-ctl` takes its action as a positional word; fold it into the
+    // command so the flag parser sees only `--flag value` pairs.
+    let mut command = command.clone();
+    let mut rest = rest.to_vec();
+    if command == "serve-ctl" {
+        if let Some(action) = rest.first().filter(|a| !a.starts_with("--")).cloned() {
+            rest.remove(0);
+            command = format!("serve-ctl {action}");
+        }
+    }
+    let result = Options::parse(&rest).and_then(|opts| run(&command, &opts));
     match result {
         Ok(text) => print!("{text}"),
         Err(message) => {
@@ -234,7 +393,11 @@ mod tests {
         for (k, v) in pairs {
             flags.insert(k.to_string(), v.to_string());
         }
-        Options { flags, cycles }
+        Options {
+            flags,
+            cycles,
+            json: false,
+        }
     }
 
     #[test]
@@ -246,17 +409,16 @@ mod tests {
 
     #[test]
     fn full_protocol_through_files() {
-        let (pk, sk, ct, k1, k2) = (
-            temp("pk"),
-            temp("sk"),
-            temp("ct"),
-            temp("k1"),
-            temp("k2"),
-        );
+        let (pk, sk, ct, k1, k2) = (temp("pk"), temp("sk"), temp("ct"), temp("k1"), temp("k2"));
         run(
             "keygen",
             &opts(
-                &[("params", "lac128"), ("seed", "7"), ("pk", &pk), ("sk", &sk)],
+                &[
+                    ("params", "lac128"),
+                    ("seed", "7"),
+                    ("pk", &pk),
+                    ("sk", &sk),
+                ],
                 false,
             ),
         )
@@ -307,9 +469,101 @@ mod tests {
         assert!(run("keygen", &opts(&[("pk", "/nonexistent/x")], false)).is_err());
         assert!(run(
             "decaps",
-            &opts(&[("sk", "/definitely/missing"), ("ct", "x"), ("key", "y")], false)
+            &opts(
+                &[("sk", "/definitely/missing"), ("ct", "x"), ("key", "y")],
+                false
+            )
         )
         .is_err());
+    }
+
+    #[test]
+    fn hw_keccak_backend_round_trips_through_files() {
+        let (pk, sk, ct, k1, k2) = (
+            temp("kpk"),
+            temp("ksk"),
+            temp("kct"),
+            temp("kk1"),
+            temp("kk2"),
+        );
+        fn flags<'a>(extra: &[(&'a str, &'a str)]) -> Vec<(&'a str, &'a str)> {
+            let mut all = vec![("params", "lac128"), ("backend", "hw-keccak")];
+            all.extend_from_slice(extra);
+            all
+        }
+        run(
+            "keygen",
+            &opts(&flags(&[("seed", "7"), ("pk", &pk), ("sk", &sk)]), false),
+        )
+        .expect("keygen");
+        run(
+            "encaps",
+            &opts(
+                &flags(&[("seed", "8"), ("pk", &pk), ("ct", &ct), ("key", &k1)]),
+                false,
+            ),
+        )
+        .expect("encaps");
+        run(
+            "decaps",
+            &opts(&flags(&[("sk", &sk), ("ct", &ct), ("key", &k2)]), false),
+        )
+        .expect("decaps");
+        assert_eq!(fs::read(&k1).expect("k1"), fs::read(&k2).expect("k2"));
+        for f in [pk, sk, ct, k1, k2] {
+            let _ = fs::remove_file(f);
+        }
+    }
+
+    #[test]
+    fn bench_serve_runs_and_emits_json() {
+        let mut options = opts(
+            &[
+                ("workers", "2"),
+                ("clients", "2"),
+                ("requests", "4"),
+                ("op", "decaps"),
+                ("backend", "hw"),
+                ("seed", "5"),
+            ],
+            false,
+        );
+        options.json = true;
+        let out = run("bench-serve", &options).expect("bench-serve");
+        assert!(out.contains("\"op\": \"decaps\""), "{out}");
+        assert!(out.contains("\"makespan_cycles\""), "{out}");
+        assert!(out.contains("\"digest\""), "{out}");
+    }
+
+    #[test]
+    fn bench_serve_sweep_reports_determinism() {
+        let out = run(
+            "bench-serve",
+            &opts(
+                &[
+                    ("clients", "2"),
+                    ("requests", "4"),
+                    ("seed", "5"),
+                    ("sweep", "1,2"),
+                ],
+                false,
+            ),
+        )
+        .expect("sweep");
+        assert!(
+            out.contains("digests identical across worker counts: true"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn serve_ctl_needs_action_and_addr() {
+        let err = run("serve-ctl", &opts(&[], false)).unwrap_err();
+        assert!(err.contains("needs an action"), "{err}");
+        let err = run("serve-ctl stats", &opts(&[], false)).unwrap_err();
+        assert!(err.contains("--addr"), "{err}");
+        let err = run("serve-ctl reboot", &opts(&[("addr", "127.0.0.1:1")], false)).unwrap_err();
+        assert!(err.contains("reboot"), "{err}");
     }
 
     #[test]
@@ -318,8 +572,11 @@ mod tests {
         // info doesn't build a backend... ensure parse order still catches it
         // via an operation that does:
         let _ = err;
-        let e = run("keygen", &opts(&[("backend", "fpga"), ("pk", "a"), ("sk", "b")], false))
-            .unwrap_err();
+        let e = run(
+            "keygen",
+            &opts(&[("backend", "fpga"), ("pk", "a"), ("sk", "b")], false),
+        )
+        .unwrap_err();
         assert!(e.contains("fpga"));
     }
 }

@@ -251,7 +251,10 @@ fn ct_sampler_roundtrips_and_costs_more() {
 
     let (pk, sk) = hardened.keygen(&mut rng, &mut backend, &mut NullMeter);
     let (ct, k1) = hardened.encapsulate(&mut rng, &pk, &mut backend, &mut NullMeter);
-    assert_eq!(hardened.decapsulate(&sk, &ct, &mut backend, &mut NullMeter), k1);
+    assert_eq!(
+        hardened.decapsulate(&sk, &ct, &mut backend, &mut NullMeter),
+        k1
+    );
 
     let mut plain = CycleLedger::new();
     let (pk2, _) = reference.keygen(&mut rng, &mut backend, &mut plain);

@@ -6,8 +6,8 @@ use lac::{
     SoftwareBackend,
 };
 use lac_meter::NullMeter;
-use lac_rand::Sha256CtrRng;
 use lac_rand::Rng;
+use lac_rand::Sha256CtrRng;
 
 fn backends() -> Vec<Box<dyn Backend>> {
     vec![
@@ -82,7 +82,10 @@ fn full_wire_format_roundtrip() {
         let ct_bytes = ct.to_bytes();
         assert_eq!(ct_bytes.len(), params.ciphertext_bytes());
         let ct2 = Ciphertext::from_bytes(kem.params(), &ct_bytes).expect("ct parses");
-        assert_eq!(kem.decapsulate(&sk2, &ct2, &mut backend, &mut NullMeter), k1);
+        assert_eq!(
+            kem.decapsulate(&sk2, &ct2, &mut backend, &mut NullMeter),
+            k1
+        );
     }
 }
 
@@ -115,7 +118,10 @@ fn corrupted_ciphertexts_never_yield_the_real_key() {
         }
         let evil = Ciphertext::from_bytes(kem.params(), &bytes).expect("valid encoding");
         let k = kem.decapsulate(&sk, &evil, &mut backend, &mut NullMeter);
-        assert_ne!(k, k1, "trial {trial}: corrupted ct must not derive the session key");
+        assert_ne!(
+            k, k1,
+            "trial {trial}: corrupted ct must not derive the session key"
+        );
     }
 }
 

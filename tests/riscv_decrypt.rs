@@ -18,9 +18,9 @@
 
 use lac::{Lac, Params, SoftwareBackend};
 use lac_meter::NullMeter;
-use lac_rv32::Machine;
-use lac_rand::Sha256CtrRng;
 use lac_rand::Rng;
+use lac_rand::Sha256CtrRng;
+use lac_rv32::Machine;
 
 /// Pack the MUL TER operand stream (5 coefficient pairs per write) the way
 /// the driver in Section V does.
@@ -132,7 +132,11 @@ fn lac128_decryption_on_the_extended_core() {
     // per-coefficient loop must be visible, and exactly one multiplication
     // must have been started.
     assert!(exit.cycles > 512 + 400 * 10);
-    assert_eq!(machine.cpu().pq().issue_counts[3], 400, "one pq.modq per coefficient");
+    assert_eq!(
+        machine.cpu().pq().issue_counts[3],
+        400,
+        "one pq.modq per coefficient"
+    );
 
     // Cross-check against the pure-Rust decryption.
     let (native_msg, _) = lac.decrypt(&sk, &ct, &mut backend, &mut NullMeter);

@@ -109,7 +109,11 @@ fn pq_mul_ter_full_polynomial_through_memory() {
     // instruction), starts the unit in negacyclic mode, and writes the
     // 512-byte result back to RAM.
     let n = 512usize;
-    let a = TernaryPoly::from_coeffs((0..n).map(|i| [1i8, 0, -1, 0, 1, 0, 0, -1][i % 8]).collect());
+    let a = TernaryPoly::from_coeffs(
+        (0..n)
+            .map(|i| [1i8, 0, -1, 0, 1, 0, 0, -1][i % 8])
+            .collect(),
+    );
     let b = Poly::from_coeffs((0..n).map(|i| (i * 31 % 251) as u8).collect());
 
     // Pre-pack the operand stream: per write, one word for rs1 (4 general
@@ -117,9 +121,7 @@ fn pq_mul_ter_full_polynomial_through_memory() {
     let mut stream: Vec<u32> = Vec::new();
     for chunk in 0..n.div_ceil(5) {
         let base = chunk * 5;
-        let gen = |i: usize| -> u32 {
-            u32::from(b.coeffs().get(base + i).copied().unwrap_or(0))
-        };
+        let gen = |i: usize| -> u32 { u32::from(b.coeffs().get(base + i).copied().unwrap_or(0)) };
         let ter = |i: usize| -> u32 {
             match a.coeffs().get(base + i).copied().unwrap_or(0) {
                 1 => 0b01,
