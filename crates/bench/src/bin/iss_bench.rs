@@ -1,0 +1,77 @@
+//! ISS throughput smoke: run the LAC decryption recover-loop workload on
+//! both `lac-rv32` execution engines and report wall-clock throughput.
+//!
+//! This is the binary behind `scripts/verify.sh`'s ISS gate: it exits
+//! non-zero if the two engines' architectural digests diverge, and prints
+//! the fast/slow speedup so the caller can assert the ≥2× floor. The
+//! `"mips_fast"` figure is also compared against the recorded floor in
+//! `baselines/iss.json` by `scripts/bench_compare.sh`.
+//!
+//! Run: `cargo run --release -p lac-bench --bin iss_bench [--json] [--iters N]`
+
+use lac_bench::{iss, json, thousands};
+use std::process::ExitCode;
+
+fn iters_arg() -> u32 {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--iters" {
+            if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                return v;
+            }
+        }
+        if let Some(v) = arg.strip_prefix("--iters=").and_then(|v| v.parse().ok()) {
+            return v;
+        }
+    }
+    2_000
+}
+
+fn main() -> ExitCode {
+    let iters = iters_arg();
+    let report = iss::compare(iters);
+
+    if json::requested() {
+        let path = |r: &iss::IssRun| {
+            format!(
+                "{{\"instructions\": {}, \"cycles\": {}, \"wall_us\": {}, \"mips\": {:.2}, \"digest\": \"{}\"}}",
+                r.instructions, r.cycles, r.wall_micros, r.mips, r.digest
+            )
+        };
+        println!("{{");
+        println!("  \"bench\": \"iss\",");
+        println!("  \"iters\": {iters},");
+        println!("  \"slow\": {},", path(&report.slow));
+        println!("  \"fast\": {},", path(&report.fast));
+        println!("  \"speedup\": {:.2},", report.speedup);
+        println!("  \"mips_fast\": {:.2},", report.fast.mips);
+        println!("  \"digests_match\": {}", report.digests_match);
+        println!("}}");
+    } else {
+        println!("ISS throughput — LAC decrypt recover loop, {iters} iterations");
+        println!(
+            "  slow (decode every step): {:>12} instr in {:>9} us = {:>8.2} MIPS",
+            thousands(report.slow.instructions),
+            report.slow.wall_micros,
+            report.slow.mips
+        );
+        println!(
+            "  fast (predecoded):        {:>12} instr in {:>9} us = {:>8.2} MIPS",
+            thousands(report.fast.instructions),
+            report.fast.wall_micros,
+            report.fast.mips
+        );
+        println!("  speedup: {:.2}x", report.speedup);
+        println!(
+            "  digests match: {} ({})",
+            report.digests_match,
+            &report.fast.digest[..16]
+        );
+    }
+
+    if !report.digests_match {
+        eprintln!("error: fast and slow paths produced different architectural digests");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

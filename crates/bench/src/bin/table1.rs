@@ -4,137 +4,11 @@
 //! 0 and 16 injected errors.
 //!
 //! Run: `cargo run --release -p lac-bench --bin table1`
-//! (`--json` emits the same data as machine-readable JSON)
+//! (`--json` emits the same data as machine-readable JSON; `--threads N`
+//! caps the shard worker count, default all cores / `LAC_BENCH_THREADS`)
 
-use lac_bch::BchCode;
-use lac_bench::{json, ratio, thousands, PAPER_TABLE1};
-use lac_meter::{CycleLedger, NullMeter, Phase};
-
-struct Measured {
-    syndrome: u64,
-    err_loc: u64,
-    chien: u64,
-    decode: u64,
-}
-
-fn measure(code: &BchCode, constant_time: bool, errors: usize) -> Measured {
-    let msg = [0x42u8; 32];
-    let mut cw = code.encode(&msg, &mut NullMeter);
-    // Spread the injected errors across the codeword, as the paper's
-    // worst-case measurement does (16 is the maximum for t = 16).
-    for i in 0..errors {
-        cw[7 + i * (code.codeword_len() - 16) / errors.max(1)] ^= 1;
-    }
-    let mut ledger = CycleLedger::new();
-    let out_msg = if constant_time {
-        code.decode_constant_time(&cw, &mut ledger).message
-    } else {
-        code.decode_variable_time(&cw, &mut ledger).message
-    };
-    assert_eq!(out_msg, msg, "decoder failed during measurement");
-    Measured {
-        syndrome: ledger.phase_total(Phase::BchSyndrome),
-        err_loc: ledger.phase_total(Phase::BchErrorLocator),
-        chien: ledger.phase_total(Phase::BchChien),
-        decode: ledger.total(),
-    }
-}
-
-fn emit_json(code: &BchCode) {
-    let mut rows = Vec::new();
-    for (label, fails, paper) in PAPER_TABLE1 {
-        let m = measure(code, label.starts_with("Walters"), fails);
-        let col = |name: &str, measured: u64, paper: u64| {
-            format!("\"{name}\": {{\"measured\": {measured}, \"paper\": {paper}}}")
-        };
-        rows.push(format!(
-            "    {{{}, \"fails\": {fails}, {}, {}, {}, {}}}",
-            json::str_field("scheme", label),
-            col("syndrome", m.syndrome, paper[0]),
-            col("error_locator", m.err_loc, paper[1]),
-            col("chien", m.chien, paper[2]),
-            col("decode", m.decode, paper[3]),
-        ));
-    }
-    let vt0 = measure(code, false, 0);
-    let vt16 = measure(code, false, 16);
-    let ct0 = measure(code, true, 0);
-    let ct16 = measure(code, true, 16);
-    println!("{{");
-    println!("  \"table\": \"I\",");
-    println!("  \"rows\": [\n{}\n  ],", rows.join(",\n"));
-    println!("  \"checks\": {{");
-    println!(
-        "    \"submission_decode_0_errors\": {}, \"submission_decode_16_errors\": {},",
-        vt0.decode, vt16.decode
-    );
-    println!(
-        "    \"constant_time_input_independent\": {},",
-        ct0.decode == ct16.decode
-    );
-    println!(
-        "    \"constant_time_overhead\": {:.4}",
-        ct0.decode as f64 / vt0.decode as f64
-    );
-    println!("  }}");
-    println!("}}");
-}
+use lac_bench::{json, table1, threads_arg};
 
 fn main() {
-    let code = BchCode::lac_t16();
-    if json::requested() {
-        emit_json(&code);
-        return;
-    }
-    println!("Table I — cycle count BCH(511, 367, 16) on RISC-V");
-    println!("(paper values in parentheses, ratio = measured / paper)\n");
-    println!(
-        "{:<16} {:>5} {:>22} {:>22} {:>22} {:>22}",
-        "Scheme", "Fails", "Syndr.", "Error Loc.", "Chien", "Decode"
-    );
-
-    for (label, fails, paper) in PAPER_TABLE1 {
-        let ct = label.starts_with("Walters");
-        let m = measure(&code, ct, fails);
-        let cell = |measured: u64, paper: u64| {
-            format!(
-                "{} ({}, {})",
-                thousands(measured),
-                thousands(paper),
-                ratio(measured, paper)
-            )
-        };
-        println!(
-            "{:<16} {:>5} {:>22} {:>22} {:>22} {:>22}",
-            label,
-            fails,
-            cell(m.syndrome, paper[0]),
-            cell(m.err_loc, paper[1]),
-            cell(m.chien, paper[2]),
-            cell(m.decode, paper[3]),
-        );
-    }
-
-    // The qualitative claims behind the table.
-    let vt0 = measure(&code, false, 0);
-    let vt16 = measure(&code, false, 16);
-    let ct0 = measure(&code, true, 0);
-    let ct16 = measure(&code, true, 16);
-    println!("\nChecks:");
-    println!(
-        "  submission decoder leaks: decode(0 errors) = {} vs decode(16) = {}  [paper: 171,522 vs 179,798]",
-        thousands(vt0.decode),
-        thousands(vt16.decode)
-    );
-    println!(
-        "  constant-time decoder input-independent: {} == {} -> {}",
-        thousands(ct0.decode),
-        thousands(ct16.decode),
-        ct0.decode == ct16.decode
-    );
-    println!(
-        "  constant-time overhead: {:.2}x  [paper: {:.2}x]",
-        ct0.decode as f64 / vt0.decode as f64,
-        514_169.0 / 171_522.0
-    );
+    table1::run(json::requested(), threads_arg());
 }

@@ -9,225 +9,11 @@
 //! configuration and printed next to \[8\]'s published numbers.
 //!
 //! Run: `cargo run --release -p lac-bench --bin table2`
-//! (`--json` emits the same data as machine-readable JSON)
+//! (`--json` emits the same data as machine-readable JSON; `--threads N`
+//! caps the shard worker count, default all cores / `LAC_BENCH_THREADS`)
 
-use lac::{AcceleratedBackend, Backend, Params, SoftwareBackend};
-use lac_bench::{json, measure_kem, ratio, thousands, KemRow, PAPER_TABLE2};
-
-fn print_row(row: &KemRow, paper: Option<&[u64; 7]>) {
-    println!(
-        "{:<20} {:>4} {:>12} {:>12} {:>12} {:>10} {:>10} {:>10} {:>9}",
-        row.label,
-        row.category,
-        thousands(row.keygen),
-        thousands(row.encaps),
-        thousands(row.decaps),
-        thousands(row.gen_a),
-        thousands(row.sample),
-        thousands(row.mul),
-        thousands(row.bch_dec),
-    );
-    if let Some(p) = paper {
-        println!(
-            "{:<20} {:>4} {:>12} {:>12} {:>12} {:>10} {:>10} {:>10} {:>9}",
-            "  (paper / ratio)",
-            "",
-            format!("{}", ratio(row.keygen, p[0])),
-            ratio(row.encaps, p[1]),
-            ratio(row.decaps, p[2]),
-            ratio(row.gen_a, p[3]),
-            ratio(row.sample, p[4]),
-            ratio(row.mul, p[5]),
-            ratio(row.bch_dec, p[6]),
-        );
-    }
-}
-
-fn measure_rows() -> Vec<KemRow> {
-    let configs: [(&str, fn() -> Box<dyn Backend>); 3] = [
-        ("ref.", || Box::new(SoftwareBackend::reference())),
-        ("const. BCH", || Box::new(SoftwareBackend::constant_time())),
-        ("opt.", || Box::new(AcceleratedBackend::new())),
-    ];
-    let mut rows = Vec::new();
-    for (suffix, make) in configs {
-        for params in Params::ALL {
-            let mut backend = make();
-            let label = format!("{} {}", params.name(), suffix);
-            rows.push(measure_kem(params, backend.as_mut(), &label));
-        }
-    }
-    rows
-}
-
-fn emit_json(rows: &[KemRow]) {
-    let mut out = Vec::new();
-    for row in rows {
-        let paper = PAPER_TABLE2
-            .iter()
-            .find(|(l, _)| *l == row.label)
-            .map(|(_, v)| v);
-        let mut fields = vec![
-            json::str_field("scheme", &row.label),
-            json::str_field("category", row.category),
-            format!("\"keygen\": {}", row.keygen),
-            format!("\"encaps\": {}", row.encaps),
-            format!("\"decaps\": {}", row.decaps),
-            format!("\"gen_a\": {}", row.gen_a),
-            format!("\"sample\": {}", row.sample),
-            format!("\"mul\": {}", row.mul),
-            format!("\"bch_dec\": {}", row.bch_dec),
-        ];
-        if let Some(p) = paper {
-            fields.push(format!(
-                "\"paper\": {{\"keygen\": {}, \"encaps\": {}, \"decaps\": {}, \"gen_a\": {}, \"sample\": {}, \"mul\": {}, \"bch_dec\": {}}}",
-                p[0], p[1], p[2], p[3], p[4], p[5], p[6]
-            ));
-        }
-        out.push(format!("    {{{}}}", fields.join(", ")));
-    }
-    let mut speedups = Vec::new();
-    for params in Params::ALL {
-        let base = rows
-            .iter()
-            .find(|r| r.label == format!("{} const. BCH", params.name()))
-            .expect("baseline row");
-        let opt = rows
-            .iter()
-            .find(|r| r.label == format!("{} opt.", params.name()))
-            .expect("optimized row");
-        speedups.push(format!(
-            "    {{{}, \"decaps_speedup\": {:.4}}}",
-            json::str_field("scheme", params.name()),
-            base.decaps as f64 / opt.decaps as f64
-        ));
-    }
-    println!("{{");
-    println!("  \"table\": \"II\",");
-    println!("  \"rows\": [\n{}\n  ],", out.join(",\n"));
-    println!("  \"speedups\": [\n{}\n  ]", speedups.join(",\n"));
-    println!("}}");
-}
+use lac_bench::{json, table2, threads_arg};
 
 fn main() {
-    if json::requested() {
-        emit_json(&measure_rows());
-        return;
-    }
-    println!("Table II — cycle count for the key encapsulation and performance bottlenecks");
-    println!("(CCA security; all rows measured on the RISCY cost model; ratios vs paper)\n");
-    println!(
-        "{:<20} {:>4} {:>12} {:>12} {:>12} {:>10} {:>10} {:>10} {:>9}",
-        "Scheme", "Cat", "Key-Gen", "Encaps", "Decaps", "GenA", "Sample", "Mult", "BCH Dec"
-    );
-
-    // Quoted external rows (ARM Cortex-M4 reference implementation [4]).
-    for (name, cat, kg, enc, dec) in [
-        (
-            "LAC-128 ref. [4]",
-            "I",
-            2_266_368u64,
-            3_979_851u64,
-            6_303_717u64,
-        ),
-        ("LAC-192 ref. [4]", "III", 7_532_180, 9_986_506, 17_452_435),
-        ("LAC-256 ref. [4]", "V", 7_665_769, 13_533_851, 21_125_257),
-    ] {
-        println!(
-            "{:<20} {:>4} {:>12} {:>12} {:>12} {:>10} {:>10} {:>10} {:>9}",
-            name,
-            cat,
-            thousands(kg),
-            thousands(enc),
-            thousands(dec),
-            "-",
-            "-",
-            "-",
-            "-"
-        );
-    }
-    println!("  (rows above quoted from pqm4 — ARM Cortex-M4, not modelled)\n");
-
-    let mut rows: Vec<KemRow> = Vec::new();
-    let configs: [(&str, fn() -> Box<dyn Backend>); 3] = [
-        ("ref.", || Box::new(SoftwareBackend::reference())),
-        ("const. BCH", || Box::new(SoftwareBackend::constant_time())),
-        ("opt.", || Box::new(AcceleratedBackend::new())),
-    ];
-    for (suffix, make) in configs {
-        for params in Params::ALL {
-            let mut backend = make();
-            let label = format!("{} {}", params.name(), suffix);
-            let paper = PAPER_TABLE2
-                .iter()
-                .find(|(l, _)| *l == label)
-                .map(|(_, v)| v);
-            let row = measure_kem(params, backend.as_mut(), &label);
-            print_row(&row, paper);
-            rows.push(row);
-        }
-        println!();
-    }
-
-    // NewHope CPA row: measured from our baseline implementation with the
-    // [8]-style co-processor configuration, next to [8]'s published row.
-    {
-        use lac_rand::Sha256CtrRng;
-        use newhope::{AcceleratedBackend as NhAccel, CpaKem, NewHopeParams};
-        let kem = CpaKem::new(NewHopeParams::newhope1024());
-        let mut backend = NhAccel::new();
-        let mut rng = Sha256CtrRng::seed_from_u64(0xBEEF);
-        let (pk, sk) = kem.keygen(&mut rng, &mut backend, &mut lac_meter::NullMeter);
-        let (ct, _) = kem.encapsulate(&mut rng, &pk, &mut backend, &mut lac_meter::NullMeter);
-        let mut kg = lac_meter::CycleLedger::new();
-        kem.keygen(&mut rng, &mut backend, &mut kg);
-        let mut enc = lac_meter::CycleLedger::new();
-        kem.encapsulate(&mut rng, &pk, &mut backend, &mut enc);
-        let mut dec = lac_meter::CycleLedger::new();
-        kem.decapsulate(&sk, &ct, &mut backend, &mut dec);
-        println!(
-            "{:<20} {:>4} {:>12} {:>12} {:>12} {:>10} {:>10}  (CPA baseline, measured)",
-            "NewHope opt.",
-            "V",
-            thousands(kg.total()),
-            thousands(enc.total()),
-            thousands(dec.total()),
-            thousands(kg.phase_total(lac_meter::Phase::GenA)),
-            thousands(kg.phase_total(lac_meter::Phase::SamplePoly)),
-        );
-        println!(
-            "{:<20} {:>4} {:>12} {:>12} {:>12} {:>10} {:>10}  (as published in [8])",
-            "NewHope opt. [8]",
-            "V",
-            thousands(357_052),
-            thousands(589_285),
-            thousands(167_647),
-            thousands(42_050),
-            thousands(75_682),
-        );
-    }
-
-    // Headline speedups: decapsulation, constant-time baseline vs optimized.
-    println!("\nHeadline decapsulation speedups (const. BCH -> opt.):");
-    for params in Params::ALL {
-        let base = rows
-            .iter()
-            .find(|r| r.label == format!("{} const. BCH", params.name()))
-            .expect("baseline row");
-        let opt = rows
-            .iter()
-            .find(|r| r.label == format!("{} opt.", params.name()))
-            .expect("optimized row");
-        let paper_factor = match params.name() {
-            "LAC-128" => 7.66,
-            "LAC-192" => 14.42,
-            _ => 13.36,
-        };
-        println!(
-            "  {:>8}: {:.2}x   [paper: {:.2}x]",
-            params.name(),
-            base.decaps as f64 / opt.decaps as f64,
-            paper_factor
-        );
-    }
+    table2::run(json::requested(), threads_arg());
 }

@@ -23,6 +23,10 @@ use lac_rand::Sha256CtrRng;
 
 pub use lac_meter::report::thousands;
 
+pub mod iss;
+pub mod shard;
+pub mod table1;
+pub mod table2;
 #[cfg(feature = "wallclock")]
 pub mod wallclock;
 
@@ -55,6 +59,21 @@ pub mod json {
     pub fn requested() -> bool {
         std::env::args().any(|a| a == "--json")
     }
+}
+
+/// Parse `--threads N` / `--threads=N` from the command line (the table
+/// binaries' worker-count override; see [`shard::thread_count`]).
+pub fn threads_arg() -> Option<usize> {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            return args.next().and_then(|v| v.parse().ok());
+        }
+        if let Some(v) = arg.strip_prefix("--threads=") {
+            return v.parse().ok();
+        }
+    }
+    None
 }
 
 /// Sum of the BCH decode sub-phases (the paper's "BCH Dec." column).

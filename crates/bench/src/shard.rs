@@ -1,0 +1,108 @@
+//! Sharded benchmark sweeps over `std::thread` workers.
+//!
+//! The table sweeps are embarrassingly parallel — every cell (one
+//! parameter-set/backend combination) is an independent, deterministic
+//! measurement — so this module fans a fixed job list out across a worker
+//! pool and merges the results back **by job index**. The output is
+//! therefore byte-identical regardless of thread count or scheduling
+//! order; `scripts/verify.sh` asserts exactly that by diffing sharded
+//! `--json` output against a `--threads 1` run.
+//!
+//! Thread-count resolution, most specific wins:
+//!
+//! 1. an explicit `--threads N` flag,
+//! 2. the `LAC_BENCH_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`] (all cores).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Resolve the worker count (see module docs for precedence).
+pub fn thread_count(explicit: Option<usize>) -> usize {
+    let from_env = || {
+        std::env::var("LAC_BENCH_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+    };
+    explicit
+        .or_else(from_env)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+        .max(1)
+}
+
+/// Run `jobs` invocations of `f` (called with the job index) on up to
+/// `threads` workers and return the results in job-index order.
+///
+/// Workers pull indices from a shared atomic counter, so the schedule is
+/// dynamic, but the merge is positional: result `i` is always `f(i)`.
+/// With `threads <= 1` (or a single job) everything runs inline on the
+/// caller's thread — that is the oracle the sharded runs are compared to.
+///
+/// # Panics
+///
+/// Propagates a panic from any job (via [`std::thread::scope`]).
+pub fn run_indexed<T, F>(jobs: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || jobs <= 1 {
+        return (0..jobs).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let cells: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(jobs) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                let result = f(i);
+                *cells[i].lock().expect("result cell poisoned") = Some(result);
+            });
+        }
+    });
+    cells
+        .into_iter()
+        .enumerate()
+        .map(|(i, cell)| {
+            cell.into_inner()
+                .expect("result cell poisoned")
+                .unwrap_or_else(|| panic!("job {i} produced no result"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_order_is_by_index_regardless_of_threads() {
+        let single = run_indexed(7, 1, |i| i * i);
+        for threads in [2, 3, 8] {
+            assert_eq!(run_indexed(7, threads, |i| i * i), single);
+        }
+    }
+
+    #[test]
+    fn zero_jobs_is_empty() {
+        assert_eq!(run_indexed(0, 4, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn explicit_thread_count_wins() {
+        assert_eq!(thread_count(Some(3)), 3);
+        assert_eq!(thread_count(Some(0)), 1, "clamped to at least one");
+    }
+
+    #[test]
+    fn default_thread_count_is_positive() {
+        assert!(thread_count(None) >= 1);
+    }
+}

@@ -8,9 +8,22 @@
 //! * +2 cycles for taken branches and jumps (fetch flush),
 //! * +34 cycles for divisions (iterative divider),
 //! * PQ instructions stall for however long the PQ-ALU device reports.
+//!
+//! Two execution engines share one `execute` core, so they are
+//! architecturally indistinguishable (same registers, memory, traps,
+//! modelled cycles and retired-instruction counts):
+//!
+//! * the **predecoded fast path** (default; see [`crate::predecode`])
+//!   decodes each 16-bit code slot once into a direct-mapped cache and
+//!   dispatches from it — stores into cached code invalidate the affected
+//!   lines, so self-modifying code still works;
+//! * the **decode-every-step slow path** ([`Cpu::step`], enabled with
+//!   [`Cpu::set_predecode`]`(false)`) re-decodes on every instruction and
+//!   serves as the differential oracle for the fast path.
 
 use crate::inst::{decode, decompress, AluOp, BranchOp, CsrOp, Inst, LoadOp, PqUnit, StoreOp};
 use crate::pq::PqAlu;
+use crate::predecode::{PredecodeCache, Slot};
 use std::fmt;
 
 /// Reasons execution stopped abnormally.
@@ -63,7 +76,7 @@ impl fmt::Display for Trap {
 impl std::error::Error for Trap {}
 
 /// Snapshot returned on a clean `ecall` exit.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExitState {
     /// Register file at exit.
     pub regs: [u32; 32],
@@ -82,6 +95,17 @@ impl ExitState {
     }
 }
 
+/// In-flight copies of the performance counters for the instruction being
+/// retired. The batched fast loop keeps these (plus the PC and fuel) in
+/// locals across iterations instead of round-tripping through the `Cpu`
+/// fields, and syncs them back at loop exits; [`Cpu::step`] loads and
+/// stores them around every instruction. CSR reads inside `execute` must
+/// observe these live values, never the possibly-stale fields.
+struct Flight {
+    cycles: u64,
+    instructions: u64,
+}
+
 /// The simulated CPU: register file, PC, RAM and the PQ-ALU device.
 #[derive(Debug)]
 pub struct Cpu {
@@ -92,6 +116,8 @@ pub struct Cpu {
     instructions: u64,
     mscratch: u32,
     pq: PqAlu,
+    cache: PredecodeCache,
+    predecode: bool,
 }
 
 impl Cpu {
@@ -105,7 +131,26 @@ impl Cpu {
             instructions: 0,
             mscratch: 0,
             pq: PqAlu::new(),
+            cache: PredecodeCache::new(ram_bytes),
+            predecode: true,
         }
+    }
+
+    /// Enable or disable the predecoded fast path (enabled by default).
+    /// With it disabled, [`Cpu::run`] decodes every instruction from RAM —
+    /// the differential oracle the fast path is tested against.
+    pub fn set_predecode(&mut self, enabled: bool) {
+        self.predecode = enabled;
+    }
+
+    /// Whether the predecoded fast path is enabled.
+    pub fn predecode_enabled(&self) -> bool {
+        self.predecode
+    }
+
+    /// Predecode-cache lifetime counters: `(lines_filled, lines_invalidated)`.
+    pub fn predecode_stats(&self) -> (u64, u64) {
+        self.cache.stats()
     }
 
     /// Current program counter.
@@ -127,6 +172,22 @@ impl Cpu {
     pub fn set_reg(&mut self, i: usize, value: u32) {
         if i != 0 {
             self.regs[i] = value;
+        }
+    }
+
+    /// Hot-path register read: the decoder guarantees indices are 5-bit,
+    /// but a predecoded index is a `u8` loaded from the slot table, so
+    /// mask to elide the bounds check the optimizer cannot prove away.
+    #[inline(always)]
+    fn rreg(&self, i: u8) -> u32 {
+        self.regs[usize::from(i) & 31]
+    }
+
+    /// Hot-path register write (x0 stays hardwired to zero).
+    #[inline(always)]
+    fn wreg(&mut self, i: u8, value: u32) {
+        if i != 0 {
+            self.regs[usize::from(i) & 31] = value;
         }
     }
 
@@ -155,6 +216,7 @@ impl Cpu {
             let a = addr as usize + 4 * i;
             self.ram[a..a + 4].copy_from_slice(&w.to_le_bytes());
         }
+        self.cache.invalidate(addr, 4 * words.len());
     }
 
     /// Write bytes into RAM.
@@ -165,6 +227,7 @@ impl Cpu {
     pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
         let a = addr as usize;
         self.ram[a..a + bytes.len()].copy_from_slice(bytes);
+        self.cache.invalidate(addr, bytes.len());
     }
 
     /// Read bytes from RAM.
@@ -196,10 +259,14 @@ impl Cpu {
         for i in 0..size {
             self.ram[a + i] = (value >> (8 * i)) as u8;
         }
+        // Keep the predecode cache coherent: the store may have rewritten
+        // code (self-modifying programs are legal on the slow path too).
+        self.cache.invalidate(addr, size);
         Ok(())
     }
 
-    /// Execute one instruction. Returns `Ok(true)` if it was `ecall`.
+    /// Execute one instruction on the decode-every-step slow path.
+    /// Returns `Ok(true)` if it was `ecall`.
     ///
     /// # Errors
     ///
@@ -215,23 +282,101 @@ impl Cpu {
             (full, 2)
         };
         let inst = decode(word).map_err(|e| Trap::IllegalInstruction { pc, word: e.word })?;
+        let mut flight = Flight {
+            cycles: self.cycles + 1,
+            instructions: self.instructions + 1,
+        };
+        let outcome = self.execute(pc, word, inst, len, &mut flight);
+        self.cycles = flight.cycles;
+        self.instructions = flight.instructions;
+        match outcome? {
+            Some(next_pc) => {
+                self.pc = next_pc;
+                Ok(false)
+            }
+            None => {
+                self.pc = pc;
+                Ok(true)
+            }
+        }
+    }
+
+    /// Execute one instruction through the predecode cache. Architecturally
+    /// identical to [`Cpu::step`]; only the fetch/decode machinery differs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`Trap`]s as [`Cpu::step`] would at this PC.
+    #[inline]
+    pub fn step_predecoded(&mut self) -> Result<bool, Trap> {
+        let pc = self.pc;
+        if pc & 1 != 0 {
+            // Odd PCs cannot be keyed to a halfword slot; take the slow
+            // path for this instruction (it will fault or decode garbage
+            // exactly as the oracle does).
+            return self.step();
+        }
+        let slot = match self.cache.lookup(&self.ram, pc) {
+            Some(slot) => slot,
+            // Beyond RAM entirely: the slow path's 2-byte fetch faults.
+            None => return Err(Trap::MemoryFault { pc, addr: pc }),
+        };
+        match slot {
+            Slot::Inst { inst, word, len } => {
+                let mut flight = Flight {
+                    cycles: self.cycles + 1,
+                    instructions: self.instructions + 1,
+                };
+                let outcome = self.execute(pc, word, inst, u32::from(len), &mut flight);
+                self.cycles = flight.cycles;
+                self.instructions = flight.instructions;
+                match outcome? {
+                    Some(next_pc) => {
+                        self.pc = next_pc;
+                        Ok(false)
+                    }
+                    None => {
+                        self.pc = pc;
+                        Ok(true)
+                    }
+                }
+            }
+            Slot::Trap(trap) => Err(trap),
+            Slot::Empty => unreachable!("lookup never returns Empty"),
+        }
+    }
+
+    /// The shared execution core: retire `inst` fetched at `pc`.
+    /// `word` is the raw (decompressed) encoding, used only for trap values.
+    ///
+    /// Returns `Ok(Some(next_pc))`, or `Ok(None)` for a clean `ecall` exit.
+    /// The in-flight counters (already incremented for this instruction)
+    /// live in `flight` so the batched fast loop can keep them in registers
+    /// across iterations; CSR reads observe them, not the stale fields.
+    #[inline]
+    fn execute(
+        &mut self,
+        pc: u32,
+        word: u32,
+        inst: Inst,
+        len: u32,
+        flight: &mut Flight,
+    ) -> Result<Option<u32>, Trap> {
         let mut next_pc = pc.wrapping_add(len);
-        self.cycles += 1;
-        self.instructions += 1;
 
         match inst {
-            Inst::Lui { rd, imm } => self.set_reg(rd as usize, imm as u32),
-            Inst::Auipc { rd, imm } => self.set_reg(rd as usize, pc.wrapping_add(imm as u32)),
+            Inst::Lui { rd, imm } => self.wreg(rd, imm as u32),
+            Inst::Auipc { rd, imm } => self.wreg(rd, pc.wrapping_add(imm as u32)),
             Inst::Jal { rd, offset } => {
-                self.set_reg(rd as usize, next_pc);
+                self.wreg(rd, next_pc);
                 next_pc = pc.wrapping_add(offset as u32);
-                self.cycles += 2;
+                flight.cycles += 2;
             }
             Inst::Jalr { rd, rs1, offset } => {
-                let target = self.regs[rs1 as usize].wrapping_add(offset as u32) & !1;
-                self.set_reg(rd as usize, next_pc);
+                let target = self.rreg(rs1).wrapping_add(offset as u32) & !1;
+                self.wreg(rd, next_pc);
                 next_pc = target;
-                self.cycles += 2;
+                flight.cycles += 2;
             }
             Inst::Branch {
                 op,
@@ -239,8 +384,8 @@ impl Cpu {
                 rs2,
                 offset,
             } => {
-                let a = self.regs[rs1 as usize];
-                let b = self.regs[rs2 as usize];
+                let a = self.rreg(rs1);
+                let b = self.rreg(rs2);
                 let taken = match op {
                     BranchOp::Eq => a == b,
                     BranchOp::Ne => a != b,
@@ -251,7 +396,7 @@ impl Cpu {
                 };
                 if taken {
                     next_pc = pc.wrapping_add(offset as u32);
-                    self.cycles += 2;
+                    flight.cycles += 2;
                 }
             }
             Inst::Load {
@@ -260,7 +405,7 @@ impl Cpu {
                 rs1,
                 offset,
             } => {
-                let addr = self.regs[rs1 as usize].wrapping_add(offset as u32);
+                let addr = self.rreg(rs1).wrapping_add(offset as u32);
                 let value = match op {
                     LoadOp::Byte => self.load(pc, addr, 1)? as i8 as i32 as u32,
                     LoadOp::Half => self.load(pc, addr, 2)? as i16 as i32 as u32,
@@ -268,8 +413,8 @@ impl Cpu {
                     LoadOp::ByteU => self.load(pc, addr, 1)?,
                     LoadOp::HalfU => self.load(pc, addr, 2)?,
                 };
-                self.set_reg(rd as usize, value);
-                self.cycles += 1; // load-use stall
+                self.wreg(rd, value);
+                flight.cycles += 1; // load-use stall
             }
             Inst::Store {
                 op,
@@ -277,8 +422,8 @@ impl Cpu {
                 rs2,
                 offset,
             } => {
-                let addr = self.regs[rs1 as usize].wrapping_add(offset as u32);
-                let value = self.regs[rs2 as usize];
+                let addr = self.rreg(rs1).wrapping_add(offset as u32);
+                let value = self.rreg(rs2);
                 match op {
                     StoreOp::Byte => self.store(pc, addr, 1, value)?,
                     StoreOp::Half => self.store(pc, addr, 2, value)?,
@@ -286,20 +431,19 @@ impl Cpu {
                 }
             }
             Inst::OpImm { op, rd, rs1, imm } => {
-                let a = self.regs[rs1 as usize];
-                let v = alu(op, a, imm as u32, &mut self.cycles);
-                self.set_reg(rd as usize, v);
+                let a = self.rreg(rs1);
+                let v = alu(op, a, imm as u32, &mut flight.cycles);
+                self.wreg(rd, v);
             }
             Inst::Op { op, rd, rs1, rs2 } => {
-                let a = self.regs[rs1 as usize];
-                let b = self.regs[rs2 as usize];
-                let v = alu(op, a, b, &mut self.cycles);
-                self.set_reg(rd as usize, v);
+                let a = self.rreg(rs1);
+                let b = self.rreg(rs2);
+                let v = alu(op, a, b, &mut flight.cycles);
+                self.wreg(rd, v);
             }
             Inst::Fence => {}
             Inst::Ecall => {
-                self.pc = pc;
-                return Ok(true);
+                return Ok(None);
             }
             Inst::Ebreak => return Err(Trap::Breakpoint { pc }),
             Inst::Csr { op, rd, rs1, csr } => {
@@ -307,16 +451,16 @@ impl Cpu {
                 // performance counters, as used by the paper's on-core
                 // measurements; mscratch is a scratch register).
                 let old = match csr {
-                    0xc00 => self.cycles as u32,         // cycle
-                    0xc80 => (self.cycles >> 32) as u32, // cycleh
-                    0xc02 => self.instructions as u32,   // instret
-                    0xc82 => (self.instructions >> 32) as u32,
+                    0xc00 => flight.cycles as u32,         // cycle
+                    0xc80 => (flight.cycles >> 32) as u32, // cycleh
+                    0xc02 => flight.instructions as u32,   // instret
+                    0xc82 => (flight.instructions >> 32) as u32,
                     0x340 => self.mscratch,
                     _ => {
                         return Err(Trap::IllegalInstruction { pc, word });
                     }
                 };
-                let operand = self.regs[rs1 as usize];
+                let operand = self.rreg(rs1);
                 let new = match op {
                     CsrOp::Rw => Some(operand),
                     CsrOp::Rs if rs1 != 0 => Some(old | operand),
@@ -330,47 +474,138 @@ impl Cpu {
                         _ => return Err(Trap::IllegalInstruction { pc, word }),
                     }
                 }
-                self.set_reg(rd as usize, old);
+                self.wreg(rd, old);
             }
             Inst::Pq { unit, rd, rs1, rs2 } => {
-                let a = self.regs[rs1 as usize];
-                let b = self.regs[rs2 as usize];
+                let a = self.rreg(rs1);
+                let b = self.rreg(rs2);
                 let (value, stall) = match unit {
                     PqUnit::MulTer => self.pq.mul_ter(a, b),
                     PqUnit::MulChien => self.pq.mul_chien(a, b),
                     PqUnit::Sha256 => self.pq.sha256(a, b),
                     PqUnit::ModQ => self.pq.modq(a, b),
                 };
-                self.set_reg(rd as usize, value);
-                self.cycles += stall;
+                self.wreg(rd, value);
+                flight.cycles += stall;
             }
         }
 
-        self.pc = next_pc;
-        Ok(false)
+        Ok(Some(next_pc))
     }
 
     /// Run until `ecall`, a trap, or `max_instructions` retired.
+    ///
+    /// Uses the predecoded fast path unless [`Cpu::set_predecode`]`(false)`
+    /// selected the decode-every-step oracle; both report identical
+    /// [`ExitState`]s and [`Trap`]s, including the fuel accounting of
+    /// [`Trap::OutOfFuel`] (the instruction budget is checked before every
+    /// retired instruction on both paths).
     ///
     /// # Errors
     ///
     /// Returns the stopping [`Trap`] (including [`Trap::OutOfFuel`]).
     pub fn run(&mut self, max_instructions: u64) -> Result<ExitState, Trap> {
+        if self.predecode {
+            self.run_predecoded(max_instructions)
+        } else {
+            self.run_slow(max_instructions)
+        }
+    }
+
+    /// The decode-every-step loop behind [`Cpu::run`] (the oracle).
+    fn run_slow(&mut self, max_instructions: u64) -> Result<ExitState, Trap> {
         let start = self.instructions;
         while self.instructions - start < max_instructions {
             if self.step()? {
-                return Ok(ExitState {
-                    regs: self.regs,
-                    pc: self.pc,
-                    cycles: self.cycles,
-                    instructions: self.instructions,
-                });
+                return Ok(self.exit_state());
             }
         }
         Err(Trap::OutOfFuel)
     }
+
+    /// The batched fast loop behind [`Cpu::run`]: dispatch from the
+    /// predecode cache with the PC, fuel and in-flight counters held in
+    /// locals, syncing them back to the architectural fields only at loop
+    /// exits (ecall, trap, fuel exhaustion, odd-PC fallback). The per-
+    /// instruction accounting order matches [`Cpu::step`] exactly: fuel is
+    /// checked first, counters increment only after a successful decode,
+    /// and a trapping instruction leaves the PC at the faulting address.
+    fn run_predecoded(&mut self, max_instructions: u64) -> Result<ExitState, Trap> {
+        if self.pc & 1 != 0 {
+            // An odd PC cannot be keyed to a halfword slot, and an even
+            // successor can only arise through a jump the oracle handles
+            // identically — so run the whole budget on the oracle. (Jump
+            // and branch targets are even by encoding and `jalr` clears
+            // bit 0, hence inside the loop below the PC stays even.)
+            return self.run_slow(max_instructions);
+        }
+        let mut fuel = max_instructions;
+        let mut pc = self.pc;
+        let mut flight = Flight {
+            cycles: self.cycles,
+            instructions: self.instructions,
+        };
+        macro_rules! sync {
+            () => {
+                self.pc = pc;
+                self.cycles = flight.cycles;
+                self.instructions = flight.instructions;
+            };
+        }
+        loop {
+            if fuel == 0 {
+                sync!();
+                return Err(Trap::OutOfFuel);
+            }
+            fuel -= 1;
+            let mut slot = self.cache.slot_at(pc);
+            if let Slot::Empty = slot {
+                slot = match self.cache.fill(&self.ram, pc) {
+                    Some(slot) => slot,
+                    // Beyond RAM entirely: the slow path's 2-byte fetch
+                    // faults.
+                    None => {
+                        sync!();
+                        return Err(Trap::MemoryFault { pc, addr: pc });
+                    }
+                };
+            }
+            match slot {
+                Slot::Inst { inst, word, len } => {
+                    flight.cycles += 1;
+                    flight.instructions += 1;
+                    match self.execute(pc, word, inst, u32::from(len), &mut flight) {
+                        Ok(Some(next_pc)) => pc = next_pc,
+                        Ok(None) => {
+                            sync!();
+                            return Ok(self.exit_state());
+                        }
+                        Err(trap) => {
+                            sync!();
+                            return Err(trap);
+                        }
+                    }
+                }
+                Slot::Trap(trap) => {
+                    sync!();
+                    return Err(trap);
+                }
+                Slot::Empty => unreachable!("lookup never returns Empty"),
+            }
+        }
+    }
+
+    fn exit_state(&self) -> ExitState {
+        ExitState {
+            regs: self.regs,
+            pc: self.pc,
+            cycles: self.cycles,
+            instructions: self.instructions,
+        }
+    }
 }
 
+#[inline(always)]
 fn alu(op: AluOp, a: u32, b: u32, cycles: &mut u64) -> u32 {
     match op {
         AluOp::Add => a.wrapping_add(b),

@@ -15,7 +15,12 @@
 //!
 //! * [`inst`] — instruction decoding for RV32I, the M extension, the C
 //!   (compressed) extension via decompression, and the PQ instructions;
-//! * [`cpu`] — a RISCY-like interpreter with a documented cycle model;
+//! * [`cpu`] — a RISCY-like interpreter with a documented cycle model and
+//!   two engines: a predecoded fast dispatch path (default) and the
+//!   decode-every-step oracle it is differentially tested against;
+//! * [`predecode`] — the direct-mapped decode-once instruction cache
+//!   behind the fast path, with store invalidation for self-modifying
+//!   code;
 //! * [`pq`] — the PQ-ALU device state machines (input buffers, busy
 //!   cycles, result read-out) wired to the same datapath math as the
 //!   `lac-hw` models;
@@ -47,6 +52,7 @@ pub mod cpu;
 pub mod disasm;
 pub mod inst;
 pub mod pq;
+pub mod predecode;
 
 pub use asm::{assemble, AsmError};
 pub use cpu::{Cpu, ExitState, Trap};

@@ -1,0 +1,322 @@
+//! The predecode cache behind the interpreter's fast dispatch path.
+//!
+//! The slow path ([`crate::cpu::Cpu::step`]) re-fetches, re-decompresses
+//! and re-decodes the raw instruction word on every retired instruction,
+//! so tight simulated loops spend most of their host time in `decode`.
+//! The fast path instead translates code *once*: on the first fetch into a
+//! 256-byte line, every 16-bit slot of that line is decoded into a cached
+//! [`Slot`] (the [`Inst`], the raw 32-bit word, and the instruction
+//! length). Subsequent fetches are a two-index table lookup.
+//!
+//! Design points, chosen so the fast path is observably identical to the
+//! slow path (same architectural state, same modelled cycles, same traps):
+//!
+//! * **Direct-mapped by PC, tag-free.** The cache has one line slot per
+//!   256-byte RAM line, so there are no conflicts and no tags to check on
+//!   the hot path.
+//! * **Every halfword offset gets its own slot.** RISC-V code can start an
+//!   instruction at any even address, and 16- and 32-bit encodings
+//!   overlap; decoding each 2-byte offset independently sidesteps all
+//!   alignment questions. A 32-bit instruction whose bytes straddle a line
+//!   boundary is cached in the line containing its *first* byte.
+//! * **Decode errors are cached, not raised.** Predecoding a line may run
+//!   the decoder over data or padding that never executes. Such slots
+//!   store the exact [`Trap`] the slow path would raise — the trap fires
+//!   only if the PC actually reaches the slot.
+//! * **Stores invalidate.** A store to byte `a` can rewrite any
+//!   instruction starting in `[a - 3, a + size)` (a 32-bit instruction
+//!   reaches up to 3 bytes back across a line boundary), so the lines
+//!   covering that range are dropped and will be re-decoded on the next
+//!   fetch. Self-modifying code therefore behaves exactly as on the slow
+//!   path. Host-side writes ([`crate::cpu::Cpu::write_bytes`] /
+//!   [`crate::cpu::Cpu::load_words`]) invalidate the same way.
+
+use crate::cpu::Trap;
+use crate::inst::{decode, decompress, Inst};
+
+/// Bytes of code covered by one predecode line.
+pub const LINE_BYTES: u32 = 256;
+const LINE_SHIFT: u32 = LINE_BYTES.trailing_zeros();
+/// 16-bit slots per line.
+pub const SLOTS_PER_LINE: usize = (LINE_BYTES / 2) as usize;
+
+/// One predecoded 16-bit slot.
+#[derive(Debug, Clone, Copy)]
+pub enum Slot {
+    /// The slot decodes to an instruction: the decoded form, the raw
+    /// (decompressed) 32-bit word, and the fetch length in bytes (2 or 4).
+    Inst {
+        /// Decoded instruction.
+        inst: Inst,
+        /// Raw 32-bit word (after decompression for 16-bit encodings) —
+        /// needed to reproduce the slow path's trap values exactly.
+        word: u32,
+        /// Encoded length in bytes: 2 (compressed) or 4.
+        len: u8,
+    },
+    /// Fetching or decoding at this PC traps; raised only when executed.
+    Trap(Trap),
+    /// The covering line has not been decoded (or was invalidated): the
+    /// sentinel the hot path keys its refill decision on, so a lookup is
+    /// one slot load instead of a bitmap probe plus a slot load.
+    Empty,
+}
+
+/// The direct-mapped predecode table (see module docs).
+///
+/// Storage is a single flat `Vec<Slot>` — one 16-byte slot per halfword of
+/// RAM — so the hot-path lookup is a single indexed slot load with no
+/// pointer chasing; undecoded lines hold [`Slot::Empty`] sentinels. The
+/// memory cost is 8× the simulated RAM, paid once per `Cpu`. The `filled`
+/// bitmap mirrors line validity for bookkeeping (invalidation scans,
+/// stats) but is never consulted on the hot path.
+#[derive(Debug)]
+pub struct PredecodeCache {
+    /// One slot per halfword of covered RAM (line-granular validity).
+    slots: Vec<Slot>,
+    /// One bit per line: set iff the line's slots are decoded and current.
+    filled: Vec<u64>,
+    /// Number of lines covered.
+    line_count: usize,
+    /// Conservative inclusive bounds of the filled-line range (`lo > hi`
+    /// when nothing is filled). Lets [`PredecodeCache::invalidate`] — on
+    /// the hot path of every simulated store — skip the scan for data
+    /// stores that cannot touch predecoded code. Invalidation does not
+    /// shrink the bounds, so they may over-approximate; that only costs a
+    /// redundant scan, never a stale slot.
+    filled_lo: usize,
+    filled_hi: usize,
+    fills: u64,
+    invalidations: u64,
+}
+
+impl PredecodeCache {
+    /// A cache covering `ram_bytes` of RAM (one line slot per 256 bytes).
+    pub fn new(ram_bytes: usize) -> Self {
+        let line_count = ram_bytes.div_ceil(LINE_BYTES as usize);
+        Self {
+            slots: vec![Slot::Empty; line_count * SLOTS_PER_LINE],
+            filled: vec![0u64; line_count.div_ceil(64)],
+            line_count,
+            filled_lo: usize::MAX,
+            filled_hi: 0,
+            fills: 0,
+            invalidations: 0,
+        }
+    }
+
+    /// Read-only hot-path probe: the slot for `pc` (which must be even).
+    /// Returns [`Slot::Empty`] both for undecoded lines and for PCs beyond
+    /// RAM coverage — the caller resolves the distinction via
+    /// [`PredecodeCache::fill`]. Deliberately takes no RAM reference so
+    /// the dispatch loop touches nothing but the slot table on a hit.
+    #[inline]
+    pub fn slot_at(&self, pc: u32) -> Slot {
+        debug_assert_eq!(pc & 1, 0, "predecode slots are halfword-aligned");
+        match self.slots.get((pc >> 1) as usize) {
+            Some(&slot) => slot,
+            None => Slot::Empty,
+        }
+    }
+
+    /// Look up the slot for `pc` (which must be even), predecoding the
+    /// containing line on a miss. Returns `None` when `pc` is beyond the
+    /// cache's RAM coverage (the caller raises the fetch fault). Never
+    /// returns [`Slot::Empty`].
+    #[inline]
+    pub fn lookup(&mut self, ram: &[u8], pc: u32) -> Option<Slot> {
+        match self.slot_at(pc) {
+            Slot::Empty => self.fill(ram, pc),
+            slot => Some(slot),
+        }
+    }
+
+    /// Decode the line covering `pc` into the table (or report
+    /// out-of-coverage as `None`). Kept out of line so hit paths stay tiny.
+    #[cold]
+    pub fn fill(&mut self, ram: &[u8], pc: u32) -> Option<Slot> {
+        let line_index = (pc >> LINE_SHIFT) as usize;
+        if line_index >= self.line_count {
+            return None;
+        }
+        let base = line_index * SLOTS_PER_LINE;
+        let pc_base = (line_index as u32) << LINE_SHIFT;
+        for i in 0..SLOTS_PER_LINE {
+            self.slots[base + i] = predecode_slot(ram, pc_base + 2 * i as u32);
+        }
+        self.filled[line_index >> 6] |= 1 << (line_index & 63);
+        self.fills += 1;
+        self.filled_lo = self.filled_lo.min(line_index);
+        self.filled_hi = self.filled_hi.max(line_index);
+        Some(self.slots[(pc >> 1) as usize])
+    }
+
+    /// Drop every line that could cache an instruction overlapping the
+    /// byte range `[addr, addr + size)`. A 32-bit instruction starting up
+    /// to 3 bytes before `addr` also overlaps, and it is cached in the
+    /// line of its first byte, so the window extends 3 bytes back.
+    /// Invalidation rewrites the line's slots to [`Slot::Empty`].
+    #[inline]
+    pub fn invalidate(&mut self, addr: u32, size: usize) {
+        let first = (addr.saturating_sub(3) >> LINE_SHIFT) as usize;
+        let last = ((addr as u64 + size.max(1) as u64 - 1) >> LINE_SHIFT) as usize;
+        // Data stores rarely overlap predecoded code; skip the scan when
+        // the store window misses the filled range entirely.
+        if first > self.filled_hi || last < self.filled_lo {
+            return;
+        }
+        let first = first.max(self.filled_lo);
+        let end = self.line_count.min(last + 1).min(self.filled_hi + 1);
+        for line in first..end {
+            if (self.filled[line >> 6] >> (line & 63)) & 1 == 1 {
+                self.filled[line >> 6] &= !(1 << (line & 63));
+                self.slots[line * SLOTS_PER_LINE..(line + 1) * SLOTS_PER_LINE].fill(Slot::Empty);
+                self.invalidations += 1;
+            }
+        }
+    }
+
+    /// Drop everything (used when the host rewrites large RAM regions).
+    pub fn invalidate_all(&mut self) {
+        for line in 0..self.line_count {
+            if (self.filled[line >> 6] >> (line & 63)) & 1 == 1 {
+                self.filled[line >> 6] &= !(1 << (line & 63));
+                self.slots[line * SLOTS_PER_LINE..(line + 1) * SLOTS_PER_LINE].fill(Slot::Empty);
+                self.invalidations += 1;
+            }
+        }
+        self.filled_lo = usize::MAX;
+        self.filled_hi = 0;
+    }
+
+    /// Number of lines currently predecoded.
+    pub fn lines_filled(&self) -> usize {
+        self.filled.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Lifetime (fills, invalidated-line) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.fills, self.invalidations)
+    }
+}
+
+/// Decode the single slot at `pc`. Mirrors [`crate::cpu::Cpu::step`]'s
+/// fetch sequence exactly, including the trap values it would produce.
+fn predecode_slot(ram: &[u8], pc: u32) -> Slot {
+    let a = pc as usize;
+    if a + 2 > ram.len() {
+        return Slot::Trap(Trap::MemoryFault { pc, addr: pc });
+    }
+    let half = u16::from_le_bytes([ram[a], ram[a + 1]]);
+    let (word, len) = if half & 0x3 == 0x3 {
+        if a + 4 > ram.len() {
+            return Slot::Trap(Trap::MemoryFault { pc, addr: pc });
+        }
+        (
+            u32::from_le_bytes([ram[a], ram[a + 1], ram[a + 2], ram[a + 3]]),
+            4u8,
+        )
+    } else {
+        match decompress(half) {
+            Ok(word) => (word, 2u8),
+            Err(e) => {
+                return Slot::Trap(Trap::IllegalInstruction { pc, word: e.word });
+            }
+        }
+    };
+    match decode(word) {
+        Ok(inst) => Slot::Inst { inst, word, len },
+        Err(e) => Slot::Trap(Trap::IllegalInstruction { pc, word: e.word }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ram_with(words: &[u32]) -> Vec<u8> {
+        let mut ram = vec![0u8; 1 << 12];
+        for (i, w) in words.iter().enumerate() {
+            ram[4 * i..4 * i + 4].copy_from_slice(&w.to_le_bytes());
+        }
+        ram
+    }
+
+    #[test]
+    fn lookup_fills_once_and_caches() {
+        // addi x1, x0, 5 encodes as 0x00500093.
+        let ram = ram_with(&[0x0050_0093]);
+        let mut cache = PredecodeCache::new(ram.len());
+        assert!(matches!(
+            cache.lookup(&ram, 0),
+            Some(Slot::Inst { len: 4, .. })
+        ));
+        assert!(matches!(cache.lookup(&ram, 0), Some(Slot::Inst { .. })));
+        assert_eq!(cache.stats().0, 1, "second lookup hits the cached line");
+    }
+
+    #[test]
+    fn decode_errors_are_cached_not_raised() {
+        let ram = ram_with(&[0xffff_ffff]);
+        let mut cache = PredecodeCache::new(ram.len());
+        match cache.lookup(&ram, 0) {
+            Some(Slot::Trap(Trap::IllegalInstruction { pc: 0, word })) => {
+                assert_eq!(word, 0xffff_ffff);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_pc_is_none() {
+        let ram = ram_with(&[]);
+        let mut cache = PredecodeCache::new(ram.len());
+        assert!(cache.lookup(&ram, 1 << 20).is_none());
+    }
+
+    #[test]
+    fn invalidation_reaches_back_across_line_boundaries() {
+        let ram = ram_with(&[0x0050_0093; 256]);
+        let mut cache = PredecodeCache::new(ram.len());
+        // Fill lines 0 and 1.
+        cache.lookup(&ram, 0);
+        cache.lookup(&ram, LINE_BYTES);
+        assert_eq!(cache.lines_filled(), 2);
+        // A store 2 bytes into line 1 can rewrite the tail of a 32-bit
+        // instruction cached in line 0: both lines must drop.
+        cache.invalidate(LINE_BYTES + 2, 1);
+        assert_eq!(cache.lines_filled(), 0);
+        assert_eq!(cache.stats().1, 2);
+    }
+
+    #[test]
+    fn invalidation_is_scoped() {
+        let ram = ram_with(&[0x0050_0093; 512]);
+        let mut cache = PredecodeCache::new(ram.len());
+        cache.lookup(&ram, 0);
+        cache.lookup(&ram, 4 * LINE_BYTES);
+        cache.invalidate(0, 4);
+        assert_eq!(cache.lines_filled(), 1, "distant line survives");
+        cache.invalidate_all();
+        assert_eq!(cache.lines_filled(), 0);
+    }
+
+    #[test]
+    fn end_of_ram_slots_trap_like_the_slow_path() {
+        let ram = ram_with(&[0x0050_0093]);
+        let mut cache = PredecodeCache::new(ram.len());
+        let last = ram.len() as u32 - 2;
+        // A 32-bit encoding whose tail would run off RAM: zeros decode as
+        // a (non-compressed-looking) halfword, so craft one explicitly.
+        let mut ram2 = ram.clone();
+        let a = last as usize;
+        ram2[a] = 0x03; // low bits 11 → 32-bit encoding, but only 2 bytes left
+        ram2[a + 1] = 0x00;
+        match cache.lookup(&ram2, last) {
+            Some(Slot::Trap(Trap::MemoryFault { pc, addr })) => {
+                assert_eq!((pc, addr), (last, last));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -27,7 +27,8 @@ use crate::client::Client;
 use crate::metrics::{Histogram, HistogramSnapshot};
 use crate::pool::ServeConfig;
 use crate::server::Server;
-use crate::{BackendKind, Op};
+use crate::wire::{Opcode, RequestFrame};
+use crate::{params_code, BackendKind, Op};
 use lac::{Kem, Params};
 use lac_meter::NullMeter;
 use lac_rand::Sha256CtrRng;
@@ -50,6 +51,10 @@ pub struct BenchConfig {
     pub params: Params,
     /// Execution backend.
     pub backend: BackendKind,
+    /// Requests per wire frame: 1 sends classic per-request frames; N>1
+    /// packs each client's requests into `BATCH` frames of up to N items
+    /// (same work, same digest, fewer round trips).
+    pub batch: usize,
     /// Root seed (`u64` convenience form, like the CLI's `--seed`).
     pub seed: u64,
     /// Queue capacity for the in-process server.
@@ -67,6 +72,7 @@ impl Default for BenchConfig {
             op: Op::Encaps,
             params: Params::lac128(),
             backend: BackendKind::Ct,
+            batch: 1,
             seed: 1,
             queue_capacity: 64,
             addr: None,
@@ -91,6 +97,8 @@ pub struct BenchReport {
     pub params: Params,
     /// Backend driven.
     pub backend: BackendKind,
+    /// Requests per wire frame (1 = classic framing, N>1 = `BATCH`).
+    pub batch: usize,
     /// Wall-clock duration of the request phase, in microseconds.
     pub wall_micros: u64,
     /// Wall-clock requests per second.
@@ -187,32 +195,79 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchReport, String> {
                 let mut digest = Sha256::new();
                 let mut errors = 0u64;
                 let clients = cfg.clients.max(1);
-                let mut r = client_index;
-                while r < cfg.requests {
-                    // Lane r+1: lane 0 is reserved for ad-hoc CLI traffic and
-                    // u64::MAX for the fixtures.
-                    let seq = r as u64 + 1;
-                    let t0 = Instant::now();
-                    let outcome: Result<Vec<u8>, String> = match cfg.op {
-                        Op::Keygen => client
-                            .keygen(&cfg.params, cfg.backend, seq)
-                            .map(|(pk, sk)| [pk, sk].concat()),
-                        Op::Encaps => client
-                            .encaps(&cfg.params, cfg.backend, seq, &pk)
-                            .map(|(ct, shared)| [ct.as_slice(), &shared].concat()),
-                        Op::Decaps => client
-                            .decaps(&cfg.params, cfg.backend, seq, &sk, &ct)
-                            .map(|shared| shared.to_vec()),
+                let batch = cfg.batch.max(1);
+                if batch == 1 {
+                    let mut r = client_index;
+                    while r < cfg.requests {
+                        // Lane r+1: lane 0 is reserved for ad-hoc CLI traffic
+                        // and u64::MAX for the fixtures.
+                        let seq = r as u64 + 1;
+                        let t0 = Instant::now();
+                        let outcome: Result<Vec<u8>, String> = match cfg.op {
+                            Op::Keygen => client
+                                .keygen(&cfg.params, cfg.backend, seq)
+                                .map(|(pk, sk)| [pk, sk].concat()),
+                            Op::Encaps => client
+                                .encaps(&cfg.params, cfg.backend, seq, &pk)
+                                .map(|(ct, shared)| [ct.as_slice(), &shared].concat()),
+                            Op::Decaps => client
+                                .decaps(&cfg.params, cfg.backend, seq, &sk, &ct)
+                                .map(|shared| shared.to_vec()),
+                        };
+                        latency.record(t0.elapsed());
+                        match outcome {
+                            Ok(payload) => digest.update(&payload),
+                            Err(message) => {
+                                errors += 1;
+                                digest.update(message.as_bytes());
+                            }
+                        }
+                        r += clients;
+                    }
+                } else {
+                    // Same request partition (r % clients) and DRBG lanes
+                    // (r + 1) as the per-request path, packed into BATCH
+                    // frames — so the run digest is batch-size independent.
+                    let make_frame = |seq: u64| {
+                        let payload = match cfg.op {
+                            Op::Keygen => Vec::new(),
+                            Op::Encaps => pk.clone(),
+                            Op::Decaps => [sk.as_slice(), &ct].concat(),
+                        };
+                        RequestFrame {
+                            opcode: match cfg.op {
+                                Op::Keygen => Opcode::Keygen,
+                                Op::Encaps => Opcode::Encaps,
+                                Op::Decaps => Opcode::Decaps,
+                            },
+                            params_code: params_code(&cfg.params),
+                            backend_code: cfg.backend.code(),
+                            seq,
+                            payload,
+                        }
                     };
-                    latency.record(t0.elapsed());
-                    match outcome {
-                        Ok(payload) => digest.update(&payload),
-                        Err(message) => {
-                            errors += 1;
-                            digest.update(message.as_bytes());
+                    let seqs: Vec<u64> = (client_index..cfg.requests)
+                        .step_by(clients)
+                        .map(|r| r as u64 + 1)
+                        .collect();
+                    for chunk in seqs.chunks(batch) {
+                        let frames: Vec<RequestFrame> =
+                            chunk.iter().copied().map(make_frame).collect();
+                        let t0 = Instant::now();
+                        let responses = client.batch(&frames)?;
+                        // One latency sample per round trip: with batching
+                        // the histogram measures frames, not requests.
+                        latency.record(t0.elapsed());
+                        for response in responses {
+                            match response.error_message() {
+                                None => digest.update(&response.payload),
+                                Some(message) => {
+                                    errors += 1;
+                                    digest.update(message.as_bytes());
+                                }
+                            }
                         }
                     }
-                    r += clients;
                 }
                 Ok((digest.finalize(), errors))
             },
@@ -262,6 +317,7 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchReport, String> {
         op: cfg.op,
         params: cfg.params,
         backend: cfg.backend,
+        batch: cfg.batch.max(1),
         wall_micros,
         wall_req_per_sec: if wall_secs > 0.0 {
             cfg.requests as f64 / wall_secs
@@ -330,7 +386,8 @@ impl BenchReport {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"op\": \"{}\", \"params\": \"{}\", \"backend\": \"{}\", \
-             \"workers\": {}, \"clients\": {}, \"requests\": {}, \"errors\": {}, \
+             \"workers\": {}, \"clients\": {}, \"requests\": {}, \"batch\": {}, \
+             \"errors\": {}, \
              \"wall_us\": {}, \"wall_req_per_sec\": {:.2}, \
              \"makespan_cycles\": {}, \"req_per_mcycle\": {:.4}, \
              \"latency\": {}, \"digest\": \"{}\", \"server\": {}}}",
@@ -340,6 +397,7 @@ impl BenchReport {
             self.workers,
             self.clients,
             self.requests,
+            self.batch,
             self.errors,
             self.wall_micros,
             self.wall_req_per_sec,
@@ -359,13 +417,18 @@ impl BenchReport {
     pub fn to_text(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "bench-serve: {} × {} on {} / {} — {} workers, {} clients\n",
+            "bench-serve: {} × {} on {} / {} — {} workers, {} clients{}\n",
             self.requests,
             self.op.label(),
             self.params.name(),
             self.backend.name(),
             self.workers,
-            self.clients
+            self.clients,
+            if self.batch > 1 {
+                format!(", batch {}", self.batch)
+            } else {
+                String::new()
+            }
         ));
         out.push_str(&format!(
             "  wall: {:.1} ms total, {:.1} req/s\n",
@@ -454,6 +517,7 @@ mod tests {
             op: Op::Encaps,
             params: Params::lac128(),
             backend: BackendKind::Hw,
+            batch: 1,
             seed: 42,
             queue_capacity: 8,
             addr: None,
@@ -495,6 +559,23 @@ mod tests {
         })
         .expect("other seed");
         assert_ne!(one.digest, other_seed.digest);
+    }
+
+    #[test]
+    fn digest_is_batch_size_independent() {
+        let classic = run(&tiny_cfg()).expect("per-request framing");
+        let batched = run(&BenchConfig {
+            batch: 3,
+            ..tiny_cfg()
+        })
+        .expect("batched framing");
+        assert_eq!(classic.digest, batched.digest);
+        assert_eq!(batched.errors, 0);
+        assert_eq!(batched.requests, classic.requests);
+        // 6 requests over 2 clients at batch 3 = one frame per client.
+        assert_eq!(batched.latency.count, 2);
+        assert!(batched.to_json().contains("\"batch\": 3"));
+        assert!(batched.to_text().contains("batch 3"));
     }
 
     #[test]

@@ -154,6 +154,33 @@ impl Client {
         Ok(shared)
     }
 
+    /// Execute a batch of KEM request frames in one round trip; returns
+    /// one response per item, **in item order**. Per-item failures come
+    /// back as `Error`-status entries, not an `Err`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, a server-side envelope error, or a response
+    /// whose item count does not match the request.
+    pub fn batch(&mut self, items: &[RequestFrame]) -> Result<Vec<ResponseFrame>, String> {
+        let payload = self.request_ok(&RequestFrame {
+            opcode: Opcode::Batch,
+            params_code: 0,
+            backend_code: 0,
+            seq: 0,
+            payload: wire::encode_batch(items),
+        })?;
+        let responses = wire::decode_batch_response(&payload)?;
+        if responses.len() != items.len() {
+            return Err(format!(
+                "batch response has {} items for a {}-item request",
+                responses.len(),
+                items.len()
+            ));
+        }
+        Ok(responses)
+    }
+
     /// Fetch the server's metrics snapshot as JSON text.
     ///
     /// # Errors

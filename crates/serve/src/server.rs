@@ -129,7 +129,37 @@ fn dispatch(frame: &RequestFrame, pool: &ServePool, shutdown: &AtomicBool) -> Re
             Ok(job) => reply_to_response(pool.submit(job).wait()),
             Err(message) => ResponseFrame::error(message),
         },
+        Opcode::Batch => dispatch_batch(frame, pool),
     }
+}
+
+/// Execute a `BATCH` frame: parse every item, fan the well-formed ones
+/// out across the pool in one `submit_batch`, and zip the replies back
+/// into item order. Malformed items become per-item error entries; only
+/// an unparseable envelope fails the whole frame.
+fn dispatch_batch(frame: &RequestFrame, pool: &ServePool) -> ResponseFrame {
+    let items = match wire::decode_batch(&frame.payload) {
+        Ok(items) => items,
+        Err(message) => return ResponseFrame::error(message),
+    };
+    let mut responses: Vec<ResponseFrame> = Vec::with_capacity(items.len());
+    let mut jobs = Vec::with_capacity(items.len());
+    let mut job_slots = Vec::with_capacity(items.len());
+    for (index, item) in items.iter().enumerate() {
+        match frame_to_job(item) {
+            Ok(job) => {
+                jobs.push(job);
+                job_slots.push(index);
+                // Placeholder, overwritten once the pool replies.
+                responses.push(ResponseFrame::error("batch item not executed"));
+            }
+            Err(message) => responses.push(ResponseFrame::error(message)),
+        }
+    }
+    for (slot, reply) in job_slots.into_iter().zip(pool.submit_batch(jobs)) {
+        responses[slot] = reply_to_response(reply);
+    }
+    ResponseFrame::ok(wire::encode_batch_response(&responses))
 }
 
 /// Map a pool reply onto the wire.
@@ -239,6 +269,85 @@ mod tests {
         let snap = handle.join().expect("server");
         // The garbage-pk job reached the pool and was counted as an error.
         assert_eq!(snap.errors, 1);
+    }
+
+    #[test]
+    fn batch_frames_run_across_the_pool_in_item_order() {
+        let (addr, handle) = spawn_server(2);
+        let mut client = Client::connect(&addr.to_string()).expect("connect");
+        let params = Params::lac128();
+
+        // Keygen via batch, then encaps+decaps+garbage in a second batch.
+        let keygen = client
+            .batch(&[RequestFrame {
+                opcode: Opcode::Keygen,
+                params_code: params_code(&params),
+                backend_code: BackendKind::Ct.code(),
+                seq: 1,
+                payload: Vec::new(),
+            }])
+            .expect("keygen batch");
+        assert_eq!(keygen.len(), 1);
+        let keys = &keygen[0].payload;
+        let pk = keys[..params.public_key_bytes()].to_vec();
+        let sk = keys[params.public_key_bytes()..].to_vec();
+
+        // Encapsulate twice with distinct lanes; decapsulation of either
+        // must come back in the matching slot.
+        let make_encaps = |seq| RequestFrame {
+            opcode: Opcode::Encaps,
+            params_code: params_code(&params),
+            backend_code: BackendKind::Ct.code(),
+            seq,
+            payload: pk.clone(),
+        };
+        let bad = RequestFrame {
+            opcode: Opcode::Encaps,
+            params_code: 99,
+            backend_code: BackendKind::Ct.code(),
+            seq: 4,
+            payload: pk.clone(),
+        };
+        let batch = client
+            .batch(&[make_encaps(2), bad, make_encaps(3)])
+            .expect("mixed batch");
+        assert_eq!(batch.len(), 3);
+        assert!(batch[1]
+            .error_message()
+            .expect("bad params code fails")
+            .contains("parameter-set"));
+        let ct_len = params.ciphertext_bytes();
+        for (index, seq) in [(0usize, 2u64), (2, 3)] {
+            assert!(batch[index].error_message().is_none());
+            let (ct, shared) = batch[index].payload.split_at(ct_len);
+            let shared2 = client
+                .decaps(&params, BackendKind::Ct, seq + 100, &sk, ct)
+                .expect("decaps");
+            assert_eq!(shared, shared2);
+        }
+        // Distinct lanes produce distinct ciphertexts.
+        assert_ne!(batch[0].payload, batch[2].payload);
+
+        // An unparseable envelope is an outer error, connection survives.
+        let garbage = RequestFrame {
+            opcode: Opcode::Batch,
+            params_code: 0,
+            backend_code: 0,
+            seq: 0,
+            payload: vec![1, 2],
+        };
+        let resp = client.request(&garbage).expect("transport ok");
+        assert!(resp
+            .error_message()
+            .expect("envelope error")
+            .contains("count"));
+        assert!(client.ping().is_ok());
+
+        client.shutdown().expect("shutdown");
+        let snap = handle.join().expect("server");
+        // 1 keygen + 2 encaps jobs reached the pool; the bad item did not.
+        assert_eq!(snap.requests[0], 1);
+        assert_eq!(snap.requests[1], 2);
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! request  (18-byte header):
 //!   0..2   magic "LS"
 //!   2      protocol version (1)
-//!   3      opcode   (1 keygen, 2 encaps, 3 decaps, 4 stats, 5 shutdown, 6 ping)
+//!   3      opcode   (1 keygen, 2 encaps, 3 decaps, 4 stats, 5 shutdown,
+//!                    6 ping, 7 batch)
 //!   4      params   (1 lac128, 2 lac192, 3 lac256; 0 for stats/shutdown/ping)
 //!   5      backend  (1 ref, 2 ct, 3 hw, 4 hw-keccak; 0 likewise)
 //!   6..14  seq (u64) — the job's DRBG lane (see lac_rand::Sha256CtrRng::fork)
@@ -29,6 +30,28 @@
 //! ct ‖ 32-byte shared secret; decaps — shared secret; stats — the
 //! metrics snapshot as JSON text; shutdown/ping — short ASCII acks; error
 //! status — a UTF-8 message.
+//!
+//! **Batch framing.** A `BATCH` request amortizes round trips: its outer
+//! header carries zeros for params/backend/seq, and its payload packs the
+//! constituent KEM requests (only keygen/encaps/decaps may nest):
+//!
+//! ```text
+//! batch request payload:              batch response payload:
+//!   0..4   item count (u32)             0..4   item count (u32)
+//!   then per item:                      then per item:
+//!     0      opcode                       0      status (0 ok, 1 error)
+//!     1      params code                  1..5   payload length (u32)
+//!     2      backend code                 5..    payload
+//!     3..11  seq (u64)
+//!     11..15 payload length (u32)
+//!     15..   payload
+//! ```
+//!
+//! Items execute across the whole worker pool (see
+//! `ServePool::submit_batch`) and responses come back **in item order**,
+//! one status per item — a malformed item yields an error entry without
+//! failing its siblings. The outer response is `Error` only when the
+//! batch envelope itself cannot be parsed.
 
 use crate::pool::{Job, JobKind};
 use crate::{params_from_code, BackendKind};
@@ -59,6 +82,8 @@ pub enum Opcode {
     Shutdown,
     /// Liveness check.
     Ping,
+    /// Execute a packed batch of KEM requests across the worker pool.
+    Batch,
 }
 
 impl Opcode {
@@ -71,6 +96,7 @@ impl Opcode {
             Opcode::Stats => 4,
             Opcode::Shutdown => 5,
             Opcode::Ping => 6,
+            Opcode::Batch => 7,
         }
     }
 
@@ -83,6 +109,7 @@ impl Opcode {
             4 => Some(Opcode::Stats),
             5 => Some(Opcode::Shutdown),
             6 => Some(Opcode::Ping),
+            7 => Some(Opcode::Batch),
             _ => None,
         }
     }
@@ -284,6 +311,161 @@ pub fn read_response<R: Read>(r: &mut R) -> io::Result<ResponseFrame> {
     Ok(ResponseFrame { status, payload })
 }
 
+/// Per-item header size inside a batch request payload.
+const BATCH_ITEM_HEADER: usize = 15;
+
+/// Whether an opcode may appear inside a batch (only KEM work nests;
+/// control frames would make item ordering ambiguous).
+pub fn batchable(opcode: Opcode) -> bool {
+    matches!(opcode, Opcode::Keygen | Opcode::Encaps | Opcode::Decaps)
+}
+
+/// Pack KEM request frames into a `BATCH` payload (see the module docs
+/// for the layout).
+///
+/// # Panics
+///
+/// Panics if an item is not [`batchable`] — the caller builds these
+/// frames, so a control opcode here is a programming error, not input.
+pub fn encode_batch(items: &[RequestFrame]) -> Vec<u8> {
+    let body: usize = items
+        .iter()
+        .map(|i| BATCH_ITEM_HEADER + i.payload.len())
+        .sum();
+    let mut out = Vec::with_capacity(4 + body);
+    out.extend_from_slice(&(items.len() as u32).to_le_bytes());
+    for item in items {
+        assert!(batchable(item.opcode), "only KEM opcodes nest in a batch");
+        out.push(item.opcode.code());
+        out.push(item.params_code);
+        out.push(item.backend_code);
+        out.extend_from_slice(&item.seq.to_le_bytes());
+        out.extend_from_slice(&(item.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&item.payload);
+    }
+    out
+}
+
+/// Unpack a `BATCH` request payload into its item frames.
+///
+/// # Errors
+///
+/// A truncated envelope, an item count inconsistent with the payload
+/// size, a non-KEM item opcode, or an oversized item payload.
+pub fn decode_batch(payload: &[u8]) -> Result<Vec<RequestFrame>, String> {
+    let count_bytes: [u8; 4] = payload
+        .get(..4)
+        .and_then(|b| b.try_into().ok())
+        .ok_or("batch payload shorter than its count field")?;
+    let count = u32::from_le_bytes(count_bytes) as usize;
+    // Each item needs at least its header, so an absurd count is caught
+    // before any allocation.
+    if count.saturating_mul(BATCH_ITEM_HEADER) > payload.len() {
+        return Err(format!(
+            "batch count {count} impossible for a {}-byte payload",
+            payload.len()
+        ));
+    }
+    let mut items = Vec::with_capacity(count);
+    let mut at = 4usize;
+    for index in 0..count {
+        let header = payload
+            .get(at..at + BATCH_ITEM_HEADER)
+            .ok_or_else(|| format!("batch item {index} header truncated"))?;
+        let opcode = Opcode::from_code(header[0])
+            .filter(|&op| batchable(op))
+            .ok_or_else(|| format!("batch item {index} has non-KEM opcode {}", header[0]))?;
+        let seq = u64::from_le_bytes(header[3..11].try_into().expect("8 bytes"));
+        let len = u32::from_le_bytes(header[11..15].try_into().expect("4 bytes"));
+        let len = check_payload_len(len).map_err(|e| format!("batch item {index}: {e}"))?;
+        at += BATCH_ITEM_HEADER;
+        let body = payload
+            .get(at..at + len)
+            .ok_or_else(|| format!("batch item {index} payload truncated"))?;
+        at += len;
+        items.push(RequestFrame {
+            opcode,
+            params_code: header[1],
+            backend_code: header[2],
+            seq,
+            payload: body.to_vec(),
+        });
+    }
+    if at != payload.len() {
+        return Err(format!(
+            "batch payload has {} trailing bytes after {count} items",
+            payload.len() - at
+        ));
+    }
+    Ok(items)
+}
+
+/// Pack per-item responses into a `BATCH` response payload.
+pub fn encode_batch_response(items: &[ResponseFrame]) -> Vec<u8> {
+    let body: usize = items.iter().map(|i| 5 + i.payload.len()).sum();
+    let mut out = Vec::with_capacity(4 + body);
+    out.extend_from_slice(&(items.len() as u32).to_le_bytes());
+    for item in items {
+        out.push(match item.status {
+            Status::Ok => 0,
+            Status::Error => 1,
+        });
+        out.extend_from_slice(&(item.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&item.payload);
+    }
+    out
+}
+
+/// Unpack a `BATCH` response payload into per-item responses.
+///
+/// # Errors
+///
+/// A truncated envelope, a bad status byte, or an inconsistent count.
+pub fn decode_batch_response(payload: &[u8]) -> Result<Vec<ResponseFrame>, String> {
+    let count_bytes: [u8; 4] = payload
+        .get(..4)
+        .and_then(|b| b.try_into().ok())
+        .ok_or("batch response shorter than its count field")?;
+    let count = u32::from_le_bytes(count_bytes) as usize;
+    if count.saturating_mul(5) > payload.len() {
+        return Err(format!(
+            "batch response count {count} impossible for a {}-byte payload",
+            payload.len()
+        ));
+    }
+    let mut items = Vec::with_capacity(count);
+    let mut at = 4usize;
+    for index in 0..count {
+        let header = payload
+            .get(at..at + 5)
+            .ok_or_else(|| format!("batch response item {index} header truncated"))?;
+        let status = match header[0] {
+            0 => Status::Ok,
+            1 => Status::Error,
+            other => return Err(format!("batch response item {index} status byte {other}")),
+        };
+        let len = u32::from_le_bytes(header[1..5].try_into().expect("4 bytes"));
+        let len =
+            check_payload_len(len).map_err(|e| format!("batch response item {index}: {e}"))?;
+        at += 5;
+        let body = payload
+            .get(at..at + len)
+            .ok_or_else(|| format!("batch response item {index} payload truncated"))?;
+        at += len;
+        items.push(ResponseFrame {
+            status,
+            payload: body.to_vec(),
+        });
+    }
+    if at != payload.len() {
+        return Err(format!(
+            "batch response has {} trailing bytes after {count} items",
+            payload.len() - at
+        ));
+    }
+    Ok(items)
+}
+
 /// Turn an operation request frame into a pool [`Job`].
 ///
 /// # Errors
@@ -438,6 +620,85 @@ mod tests {
         buf.extend_from_slice(&(100u32 << 20).to_le_bytes());
         let err = read_request(&mut Cursor::new(buf)).unwrap_err();
         assert!(err.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn batch_payloads_roundtrip() {
+        let params = Params::lac128();
+        let items = vec![
+            RequestFrame {
+                opcode: Opcode::Keygen,
+                params_code: params_code(&params),
+                backend_code: BackendKind::Ct.code(),
+                seq: 10,
+                payload: Vec::new(),
+            },
+            RequestFrame {
+                opcode: Opcode::Encaps,
+                params_code: params_code(&Params::lac256()),
+                backend_code: BackendKind::Hw.code(),
+                seq: 11,
+                payload: vec![9u8; 1056],
+            },
+        ];
+        let back = decode_batch(&encode_batch(&items)).unwrap();
+        assert_eq!(back, items);
+        assert_eq!(decode_batch(&encode_batch(&[])).unwrap(), Vec::new());
+
+        let responses = vec![
+            ResponseFrame::ok(vec![1, 2, 3]),
+            ResponseFrame::error("bad item"),
+            ResponseFrame::ok(Vec::new()),
+        ];
+        let back = decode_batch_response(&encode_batch_response(&responses)).unwrap();
+        assert_eq!(back, responses);
+    }
+
+    #[test]
+    fn malformed_batch_payloads_rejected() {
+        // Truncated count field.
+        assert!(decode_batch(&[1, 0]).is_err());
+        assert!(decode_batch_response(&[1]).is_err());
+
+        // Count impossible for the payload size (no allocation attempted).
+        let mut huge = (u32::MAX).to_le_bytes().to_vec();
+        huge.extend_from_slice(&[0u8; 16]);
+        assert!(decode_batch(&huge).unwrap_err().contains("impossible"));
+
+        // Control opcodes may not nest.
+        let mut bad = 1u32.to_le_bytes().to_vec();
+        bad.push(Opcode::Shutdown.code());
+        bad.extend_from_slice(&[0u8; BATCH_ITEM_HEADER - 1]);
+        assert!(decode_batch(&bad).unwrap_err().contains("non-KEM"));
+
+        // Trailing garbage after the declared items.
+        let mut trailing = encode_batch(&[RequestFrame {
+            opcode: Opcode::Keygen,
+            params_code: 1,
+            backend_code: 2,
+            seq: 0,
+            payload: Vec::new(),
+        }]);
+        trailing.push(0xFF);
+        assert!(decode_batch(&trailing).unwrap_err().contains("trailing"));
+
+        // Truncated item payload.
+        let mut short = encode_batch(&[RequestFrame {
+            opcode: Opcode::Encaps,
+            params_code: 1,
+            backend_code: 2,
+            seq: 0,
+            payload: vec![7u8; 20],
+        }]);
+        short.truncate(short.len() - 5);
+        assert!(decode_batch(&short).unwrap_err().contains("truncated"));
+
+        // Bad response status byte.
+        let mut resp = encode_batch_response(&[ResponseFrame::ok(vec![])]);
+        resp[4] = 9;
+        assert!(decode_batch_response(&resp)
+            .unwrap_err()
+            .contains("status byte"));
     }
 
     #[test]

@@ -24,8 +24,12 @@ STATUS=0
 # Flatten machine-generated JSON to "key value" lines, one per numeric
 # field, in document order. Booleans and strings are skipped (they are
 # compared implicitly: a changed key sequence is a structure mismatch).
+# iss_* fields are host wall-clock throughput, not modelled cycles, so
+# they are excluded here and gated separately against baselines/iss.json.
 flatten() {
-    tr ',{}[]' '\n' <"$1" | sed -n 's/^[[:space:]]*"\([a-z_0-9]*\)": \(-\{0,1\}[0-9][0-9.]*\)$/\1 \2/p'
+    tr ',{}[]' '\n' <"$1" \
+        | sed -n 's/^[[:space:]]*"\([a-z_0-9]*\)": \(-\{0,1\}[0-9][0-9.]*\)$/\1 \2/p' \
+        | sed '/^iss_/d'
 }
 
 compare() {
@@ -81,6 +85,29 @@ compare() {
 compare table1 "$TOL"
 compare table2 "$TOL"
 compare table3 0
+
+# ISS throughput floor: the predecoded interpreter's wall-clock MIPS must
+# stay above the recorded floor. This is a host-dependent figure (unlike
+# the cycle tables), so the floor is set well below the reference host's
+# steady-state and only catches gross regressions — e.g. the fast path
+# silently falling back to decode-every-step.
+if [ -f baselines/iss.json ]; then
+    ISS_FLOOR=$(sed -n 's/.*"mips_floor": \([0-9.]*\).*/\1/p' baselines/iss.json)
+    ISS_MIPS=$(./target/release/iss_bench --json --iters 500 \
+        | sed -n 's/.*"mips_fast": \([0-9.]*\).*/\1/p')
+    if [ -z "$ISS_FLOOR" ] || [ -z "$ISS_MIPS" ]; then
+        echo "bench-compare: could not read ISS floor or measurement" >&2
+        STATUS=1
+    elif awk -v m="$ISS_MIPS" -v f="$ISS_FLOOR" 'BEGIN { exit !(m + 0 >= f + 0) }'; then
+        echo "bench-compare: iss OK ($ISS_MIPS MIPS >= floor $ISS_FLOOR)"
+    else
+        echo "bench-compare: iss regression: $ISS_MIPS MIPS < floor $ISS_FLOOR" >&2
+        STATUS=1
+    fi
+else
+    echo "bench-compare: missing baselines/iss.json" >&2
+    STATUS=1
+fi
 
 if [ "$STATUS" != 0 ]; then
     echo "bench-compare: FAILED" >&2

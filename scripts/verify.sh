@@ -30,6 +30,48 @@ for bin in table1 table2 table3; do
 done
 
 echo
+echo "== smoke: sharded table sweeps are thread-count invariant =="
+# The modelled-cycle output must be byte-identical for any worker count;
+# only the volatile iss_* wall-clock fields may differ between runs.
+for bin in table1 table2; do
+    ONE=$(./target/release/"$bin" --json --threads 1 | grep -v '"iss_')
+    MANY=$(./target/release/"$bin" --json --threads 4 | grep -v '"iss_')
+    if [ "$ONE" != "$MANY" ]; then
+        echo "sharding smoke: $bin --json differs between --threads 1 and 4" >&2
+        exit 1
+    fi
+    echo "  $bin sharding deterministic (1 vs 4 threads)"
+done
+# The same sweeps are reachable through the umbrella CLI.
+./target/release/lac-suite table1 --threads 2 > /dev/null
+./target/release/lac-suite table2 --json > /dev/null
+echo "  lac-suite table1/table2 OK"
+
+echo
+echo "== acceptance: ISS predecode speedup and digest parity =="
+# iss_bench exits non-zero if the fast and slow engines' architectural
+# digests diverge; the speedup floor is wall-clock, so allow one retry
+# before declaring a regression.
+iss_gate() {
+    ISS_JSON=$(./target/release/iss_bench --json --iters 1000) || {
+        echo "iss smoke: engine digests diverged" >&2
+        echo "$ISS_JSON" >&2
+        return 1
+    }
+    echo "$ISS_JSON" | awk '
+        /"speedup":/ {
+            gsub(/[",]/, "")
+            for (i = 1; i <= NF; i++) if ($i == "speedup:") v = $(i + 1)
+        }
+        END {
+            if (v + 0 < 2.0) { print "iss smoke: predecode speedup " v " < 2.0x"; exit 1 }
+            print "  predecoded fast path: " v "x over decode-every-step, digests match"
+        }
+    '
+}
+iss_gate || { echo "  (wall-clock noise suspected; retrying once)"; iss_gate; }
+
+echo
 echo "== bench regression gate (baselines/) =="
 scripts/bench_compare.sh
 
@@ -52,9 +94,18 @@ if [ -z "$ADDR" ]; then
     exit 1
 fi
 ./target/release/lac-suite serve-ctl ping --addr "$ADDR" > /dev/null
-./target/release/lac-suite bench-serve --addr "$ADDR" --clients 2 --requests 8 \
-    --op encaps --seed 1 --json > /dev/null
-./target/release/lac-suite serve-ctl stats --addr "$ADDR" | grep -q '"encaps": 8'
+CLASSIC=$(./target/release/lac-suite bench-serve --addr "$ADDR" --clients 2 --requests 8 \
+    --op encaps --seed 1 --json)
+# The same load over BATCH frames must produce the same response digest.
+BATCHED=$(./target/release/lac-suite bench-serve --addr "$ADDR" --clients 2 --requests 8 \
+    --op encaps --seed 1 --batch 4 --json)
+CLASSIC_DIGEST=$(printf '%s' "$CLASSIC" | sed -n 's/.*"digest": "\([0-9a-f]*\)".*/\1/p')
+BATCHED_DIGEST=$(printf '%s' "$BATCHED" | sed -n 's/.*"digest": "\([0-9a-f]*\)".*/\1/p')
+if [ -z "$CLASSIC_DIGEST" ] || [ "$CLASSIC_DIGEST" != "$BATCHED_DIGEST" ]; then
+    echo "serve smoke: batched digest '$BATCHED_DIGEST' != classic '$CLASSIC_DIGEST'" >&2
+    exit 1
+fi
+./target/release/lac-suite serve-ctl stats --addr "$ADDR" | grep -q '"encaps": 16'
 ./target/release/lac-suite serve-ctl shutdown --addr "$ADDR" > /dev/null
 if ! wait "$SERVE_PID"; then
     echo "serve smoke: server exited non-zero" >&2

@@ -18,6 +18,13 @@
 //! lac-suite serve-ctl   shutdown --addr 127.0.0.1:PORT
 //! ```
 //!
+//! Paper-table regeneration (sharded across cores; see `crates/bench`):
+//!
+//! ```text
+//! lac-suite table1 [--threads N] [--json]
+//! lac-suite table2 [--threads N] [--json]
+//! ```
+//!
 //! `--backend` selects `ref` (software, submission BCH), `ct` (software,
 //! constant-time BCH — default), `hw` (the PQ-ALU models) or `hw-keccak`
 //! (the §VI Keccak-hash variant); `--cycles` prints the modelled RISCY
@@ -158,6 +165,7 @@ fn cmd_bench_serve(opts: &Options) -> Result<String, String> {
         op: lac_serve::Op::parse(&opts.get_or("op", "encaps"))?,
         params: lac_serve::params_parse(&opts.get_or("params", "lac128"))?,
         backend: lac_serve::BackendKind::parse(&opts.get_or("backend", "ct"))?,
+        batch: parse_usize(opts, "batch", 1)?,
         seed: {
             let value = opts.get_or("seed", "1");
             value.parse().map_err(|_| format!("bad --seed '{value}'"))?
@@ -218,12 +226,33 @@ fn cmd_serve_ctl(action: &str, opts: &Options) -> Result<String, String> {
     }
 }
 
+/// `lac-suite table1|table2`: regenerate a paper table in-process. The
+/// harness prints directly (same code path as the `lac-bench` binaries);
+/// `--threads N` caps the shard worker count (default: all cores, or
+/// `LAC_BENCH_THREADS`).
+fn cmd_table(which: &str, opts: &Options) -> Result<String, String> {
+    let threads = match opts.flags.get("threads") {
+        Some(value) => Some(
+            value
+                .parse()
+                .map_err(|_| format!("bad --threads '{value}'"))?,
+        ),
+        None => None,
+    };
+    match which {
+        "table1" => lac_bench::table1::run(opts.json, threads),
+        _ => lac_bench::table2::run(opts.json, threads),
+    }
+    Ok(String::new())
+}
+
 /// Run one CLI invocation; returns the text to print.
 fn run(command: &str, opts: &Options) -> Result<String, String> {
     // Serving commands manage their own backends/params per request.
     match command {
         "serve" => return cmd_serve(opts),
         "bench-serve" => return cmd_bench_serve(opts),
+        "table1" | "table2" => return cmd_table(command, opts),
         _ => {
             if let Some(action) = command.strip_prefix("serve-ctl") {
                 return cmd_serve_ctl(action.trim_start(), opts);
@@ -301,7 +330,7 @@ fn run(command: &str, opts: &Options) -> Result<String, String> {
         other => {
             return Err(format!(
                 "unknown command '{other}' \
-                 (expected info|keygen|encaps|decaps|serve|bench-serve|serve-ctl)"
+                 (expected info|keygen|encaps|decaps|serve|bench-serve|serve-ctl|table1|table2)"
             ));
         }
     }
@@ -347,8 +376,10 @@ const USAGE: &str = "usage: lac-suite <command> [flags]
   bench-serve                    closed-loop load generator
       [--workers N] [--clients N] [--requests N]
       [--op keygen|encaps|decaps] [--params P] [--backend B] [--seed N]
-      [--queue N] [--sweep N,N,...] [--addr HOST:PORT] [--json]
-  serve-ctl <stats|ping|shutdown> --addr HOST:PORT";
+      [--batch N] [--queue N] [--sweep N,N,...] [--addr HOST:PORT] [--json]
+  serve-ctl <stats|ping|shutdown> --addr HOST:PORT
+  table1|table2                  regenerate a paper table (sharded sweep)
+      [--threads N] [--json]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -1,0 +1,360 @@
+//! Differential tests for the predecoded fast path: the decode-every-step
+//! engine is the oracle, and every observable — the full `ExitState`
+//! (register file, PC, modelled cycles, retired instructions), the trap
+//! value, and data memory — must be bit-identical between the two engines
+//! on randomized programs.
+//!
+//! Three program families, per the predecode design's risk profile:
+//! straight-line ALU blocks (dispatch correctness), branchy control flow
+//! (taken-branch cycle modelling and cross-line fetch), and
+//! self-modifying code (store-driven cache invalidation, including the
+//! 3-byte back-window for a store landing mid-instruction).
+
+use lac_rand::prop::{self, ensure, ensure_eq};
+use lac_rand::Rng;
+use lac_rv32::{Cpu, Machine, Trap};
+
+/// Run the same program on both engines and demand identical outcomes.
+///
+/// `build` must produce a fresh, deterministic machine each call (the two
+/// runs may not share mutable state). Returns the oracle's outcome for
+/// callers that also want to assert against known-good values.
+fn differential(
+    build: &dyn Fn() -> Machine,
+    fuel: u64,
+    data_window: Option<(u32, usize)>,
+) -> Result<Result<lac_rv32::ExitState, Trap>, String> {
+    let mut slow = build();
+    slow.cpu_mut().set_predecode(false);
+    let mut fast = build();
+    fast.cpu_mut().set_predecode(true);
+
+    let slow_outcome = slow.cpu_mut().run(fuel);
+    let fast_outcome = fast.cpu_mut().run(fuel);
+    ensure_eq(slow_outcome.clone(), fast_outcome)?;
+    // On traps `run` returns no snapshot; compare the architectural state
+    // through the accessors so trap paths are held to the same standard.
+    ensure_eq(slow.cpu().pc(), fast.cpu().pc())?;
+    ensure_eq(slow.cpu().cycles(), fast.cpu().cycles())?;
+    ensure_eq(slow.cpu().instructions(), fast.cpu().instructions())?;
+    for i in 0..32 {
+        ensure_eq(slow.cpu().reg(i), fast.cpu().reg(i))?;
+    }
+    if let Some((addr, len)) = data_window {
+        ensure(
+            slow.cpu().read_bytes(addr, len) == fast.cpu().read_bytes(addr, len),
+            format!("data memory diverged in [{addr:#x}; {len})"),
+        )?;
+    }
+    Ok(slow_outcome)
+}
+
+/// A random register in x5..x15 (avoids x0..x4 so sp/ra conventions and
+/// the hardwired zero don't mask bugs, and keeps programs assemblable).
+fn reg(rng: &mut impl Rng) -> u32 {
+    5 + rng.gen_below_u32(11)
+}
+
+/// One random ALU instruction as assembly text.
+fn alu_line(rng: &mut impl Rng) -> String {
+    let rd = reg(rng);
+    let rs1 = reg(rng);
+    let rs2 = reg(rng);
+    let imm = rng.gen_range_i64(-2048, 2048);
+    let shamt = rng.gen_below_u32(32);
+    match rng.gen_below_u32(12) {
+        0 => format!("add x{rd}, x{rs1}, x{rs2}"),
+        1 => format!("sub x{rd}, x{rs1}, x{rs2}"),
+        2 => format!("xor x{rd}, x{rs1}, x{rs2}"),
+        3 => format!("or x{rd}, x{rs1}, x{rs2}"),
+        4 => format!("and x{rd}, x{rs1}, x{rs2}"),
+        5 => format!("addi x{rd}, x{rs1}, {imm}"),
+        6 => format!("xori x{rd}, x{rs1}, {imm}"),
+        7 => format!("sltiu x{rd}, x{rs1}, {imm}"),
+        8 => format!("slli x{rd}, x{rs1}, {shamt}"),
+        9 => format!("srli x{rd}, x{rs1}, {shamt}"),
+        10 => format!("sll x{rd}, x{rs1}, x{rs2}"),
+        _ => format!("mul x{rd}, x{rs1}, x{rs2}"),
+    }
+}
+
+/// Seed x5..x15 with random values so the ALU soup has entropy to mix.
+fn seed_regs(rng: &mut impl Rng) -> String {
+    (5..16)
+        .map(|r| format!("li x{r}, {}\n", rng.next_u32() as i32))
+        .collect()
+}
+
+#[test]
+fn straight_line_programs_agree() {
+    prop::check("predecode_straight_line", 40, |rng| {
+        let mut src = seed_regs(rng);
+        // Long enough to span several 256-byte predecode lines.
+        for _ in 0..rng.gen_range_usize(20..200) {
+            src.push_str(&alu_line(rng));
+            src.push('\n');
+        }
+        src.push_str("ecall\n");
+        let build = move || Machine::assemble(&src).expect("random ALU program assembles");
+        let outcome = differential(&build, 10_000, None)?;
+        ensure(outcome.is_ok(), "straight-line program must reach ecall")
+    });
+}
+
+#[test]
+fn branchy_programs_agree() {
+    prop::check("predecode_branchy", 40, |rng| {
+        let blocks = rng.gen_range_usize(3..10);
+        let mut src = seed_regs(rng);
+        // A bounded backward loop wrapping forward-branching blocks:
+        // termination is structural (the counter strictly decreases and
+        // every other branch goes strictly forward).
+        src.push_str(&format!("li x28, {}\n", rng.gen_range_usize(1..9)));
+        src.push_str("loop_head:\n");
+        for b in 0..blocks {
+            src.push_str(&format!("block{b}:\n"));
+            for _ in 0..rng.gen_range_usize(1..6) {
+                src.push_str(&alu_line(rng));
+                src.push('\n');
+            }
+            let target = b + 1 + rng.gen_below_usize(blocks - b);
+            let rs1 = reg(rng);
+            let rs2 = reg(rng);
+            let cond = match rng.gen_below_u32(4) {
+                0 => format!("beq x{rs1}, x{rs2}"),
+                1 => format!("bne x{rs1}, x{rs2}"),
+                2 => format!("bltu x{rs1}, x{rs2}"),
+                _ => format!("bge x{rs1}, x{rs2}"),
+            };
+            if target < blocks {
+                src.push_str(&format!("{cond}, block{target}\n"));
+            } else {
+                src.push_str(&format!("{cond}, loop_tail\n"));
+            }
+        }
+        src.push_str("loop_tail:\n");
+        src.push_str("addi x28, x28, -1\n");
+        src.push_str("bnez x28, loop_head\n");
+        src.push_str("ecall\n");
+        let build = move || Machine::assemble(&src).expect("random branchy program assembles");
+        let outcome = differential(&build, 100_000, None)?;
+        ensure(outcome.is_ok(), "branchy program must reach ecall")
+    });
+}
+
+/// RV32I `ADDI rd, rs1, imm` encoder for the self-modifying tests (the
+/// patch bytes bypass the assembler so their address is exact).
+fn encode_addi(rd: u32, rs1: u32, imm: i32) -> u32 {
+    ((imm as u32 & 0xFFF) << 20) | (rs1 << 15) | (rd << 7) | 0x13
+}
+
+/// `SW rs2, imm(rs1)` encoder.
+fn encode_sw(rs1: u32, rs2: u32, imm: i32) -> u32 {
+    let imm = imm as u32 & 0xFFF;
+    ((imm >> 5) << 25) | (rs2 << 20) | (rs1 << 15) | (0b010 << 12) | ((imm & 0x1F) << 7) | 0x23
+}
+
+/// `SB rs2, imm(rs1)` encoder.
+fn encode_sb(rs1: u32, rs2: u32, imm: i32) -> u32 {
+    let imm = imm as u32 & 0xFFF;
+    ((imm >> 5) << 25) | (rs2 << 20) | (rs1 << 15) | ((imm & 0x1F) << 7) | 0x23
+}
+
+/// `LUI rd, imm20` encoder.
+fn encode_lui(rd: u32, imm20: u32) -> u32 {
+    (imm20 << 12) | (rd << 7) | 0x37
+}
+
+const ECALL: u32 = 0x0000_0073;
+
+/// Build `li rd, value` as (lui, addi) with RISC-V's sign-carry split.
+fn encode_li(rd: u32, value: u32) -> [u32; 2] {
+    let lo = (value << 20) as i32 >> 20; // sign-extended low 12 bits
+    let hi = value.wrapping_sub(lo as u32) >> 12;
+    [encode_lui(rd, hi), encode_addi(rd, rd, lo)]
+}
+
+#[test]
+fn self_modifying_store_word_takes_effect_on_both_paths() {
+    prop::check("predecode_self_modifying_sw", 40, |rng| {
+        // The program patches the instruction at `patch` — initially
+        // `addi x10, x10, 1` — with a random fresh ADDI, *after* the
+        // whole line has been predecoded (everything lives in the first
+        // 256-byte line, so fetching instruction 0 predecodes the stale
+        // word at `patch`).
+        let imm = rng.gen_range_i64(-2048, 2048) as i32;
+        let rd = 10 + rng.gen_below_u32(4);
+        let patched = encode_addi(rd, rd, imm);
+        let mut words = Vec::new();
+        words.extend(encode_li(5, patched)); // x5 = new instruction word
+        let patch_index = words.len() + 1 + 1 + rng.gen_below_usize(4);
+        words.push(encode_sw(0, 5, (patch_index * 4) as i32));
+        while words.len() < patch_index {
+            words.push(encode_addi(9, 9, 1)); // filler (x9 never collides with rd)
+        }
+        words.push(encode_addi(8, 8, 1)); // the stale instruction (bumps x8)
+        words.push(ECALL);
+        let build = move || {
+            let mut machine = Machine::assemble("ecall").expect("stub");
+            machine.cpu_mut().load_words(0, &words);
+            machine.cpu_mut().set_pc(0);
+            machine
+        };
+        let outcome = differential(&build, 1_000, Some((0x100, 64)))?;
+        let exit = outcome.map_err(|t| format!("trapped: {t}"))?;
+        // The patch must actually have executed: rd carries the new
+        // immediate and the stale instruction's x8 bump never happened.
+        ensure_eq(exit.reg(rd as usize), imm as u32)?;
+        ensure_eq(exit.reg(8), 0)
+    });
+}
+
+#[test]
+fn self_modifying_byte_store_into_instruction_middle_agrees() {
+    prop::check("predecode_self_modifying_sb", 40, |rng| {
+        // Patch a single random byte *inside* an upcoming 32-bit ADDI —
+        // the store address is up to 3 bytes past the instruction start,
+        // exercising the invalidation back-window.
+        let byte = rng.next_byte();
+        let offset = rng.gen_below_u32(4); // which byte of the instruction
+        let mut words = Vec::new();
+        words.extend(encode_li(5, u32::from(byte)));
+        let patch_index = words.len() + 1;
+        words.push(encode_sb(0, 5, (patch_index * 4 + offset as usize) as i32));
+        words.push(encode_addi(10, 10, 0x7F)); // the victim instruction
+        words.push(ECALL);
+        let build = move || {
+            let mut machine = Machine::assemble("ecall").expect("stub");
+            machine.cpu_mut().load_words(0, &words);
+            machine.cpu_mut().set_pc(0);
+            machine
+        };
+        // The mutated word may no longer decode (or may now trap); all
+        // outcomes are acceptable as long as both engines agree bit-for-bit.
+        let _ = differential(&build, 1_000, None)?;
+        Ok(())
+    });
+}
+
+#[test]
+fn compressed_and_misaligned_word_instructions_agree() {
+    prop::check("predecode_compressed_mix", 40, |rng| {
+        // A halfword stream mixing c.addi / c.nop with full-width ADDIs,
+        // so 32-bit instructions land on odd halfword (pc % 4 == 2)
+        // boundaries and predecode slots straddle them.
+        let mut halves: Vec<u16> = Vec::new();
+        for _ in 0..rng.gen_range_usize(4..40) {
+            if rng.gen_below_u32(2) == 0 {
+                // c.addi x10, imm (imm in -32..32, nonzero keeps it canonical)
+                let imm = (rng.gen_range_i64(-32, 32) | 1) as i32;
+                let imm = imm as u32;
+                let half = 0x0001u16
+                    | (((imm >> 5) & 1) as u16) << 12
+                    | (10u16 << 7)
+                    | ((imm & 0x1F) as u16) << 2;
+                halves.push(half);
+            } else {
+                let word = encode_addi(11, 11, rng.gen_range_i64(-2048, 2048) as i32);
+                halves.push(word as u16);
+                halves.push((word >> 16) as u16);
+            }
+        }
+        halves.push(ECALL as u16);
+        halves.push((ECALL >> 16) as u16);
+        let bytes: Vec<u8> = halves.iter().flat_map(|h| h.to_le_bytes()).collect();
+        let build = move || {
+            let mut machine = Machine::assemble("ecall").expect("stub");
+            machine.cpu_mut().write_bytes(0, &bytes);
+            machine.cpu_mut().set_pc(0);
+            machine
+        };
+        let outcome = differential(&build, 10_000, None)?;
+        ensure(outcome.is_ok(), "compressed mix must reach ecall")
+    });
+}
+
+#[test]
+fn fuel_exhaustion_accounting_is_identical() {
+    // Satellite regression: a fuel-limited run must report the same
+    // modelled cycles and retired instructions on both paths — the fast
+    // loop keeps its counters in locals and must sync them on the
+    // OutOfFuel exit, not just on clean exits.
+    let src = r#"
+            li   t0, 0
+            li   t1, 1000000
+        loop:
+            addi t0, t0, 1
+            lw   t2, 0(zero)
+            add  t3, t2, t0
+            bne  t0, t1, loop
+            ecall
+    "#;
+    for fuel in [0u64, 1, 2, 3, 5, 37, 100, 1001] {
+        let mut slow = Machine::assemble(src).expect("assembles");
+        slow.cpu_mut().set_predecode(false);
+        let mut fast = Machine::assemble(src).expect("assembles");
+        fast.cpu_mut().set_predecode(true);
+        assert_eq!(
+            slow.cpu_mut().run(fuel),
+            Err(Trap::OutOfFuel),
+            "fuel {fuel}"
+        );
+        assert_eq!(
+            fast.cpu_mut().run(fuel),
+            Err(Trap::OutOfFuel),
+            "fuel {fuel}"
+        );
+        assert_eq!(
+            slow.cpu().instructions(),
+            fast.cpu().instructions(),
+            "retired instructions diverged at fuel {fuel}"
+        );
+        assert_eq!(slow.cpu().instructions(), fuel, "fuel == retired");
+        assert_eq!(
+            slow.cpu().cycles(),
+            fast.cpu().cycles(),
+            "modelled cycles diverged at fuel {fuel}"
+        );
+        assert_eq!(
+            slow.cpu().pc(),
+            fast.cpu().pc(),
+            "pc diverged at fuel {fuel}"
+        );
+        // Resuming after refueling must also agree and still reach ecall.
+        let slow_exit = slow.cpu_mut().run(10_000_000);
+        let fast_exit = fast.cpu_mut().run(10_000_000);
+        assert_eq!(slow_exit, fast_exit, "post-refuel outcome at fuel {fuel}");
+    }
+}
+
+#[test]
+fn zeroed_ram_and_out_of_range_fetch_trap_identically() {
+    // Walking zeroed RAM hits an illegal compressed instruction (0x0000);
+    // a PC at/after the end of RAM hits the cache's out-of-range fill.
+    // Both engines must produce the same trap with the same accounting.
+    for start_pc in [0u32, 4094, 4096, 8192] {
+        let mut outcomes = Vec::new();
+        for predecode in [false, true] {
+            let mut cpu = Cpu::new(4096);
+            cpu.set_predecode(predecode);
+            cpu.set_pc(start_pc);
+            let outcome = cpu.run(1_000_000);
+            assert!(outcome.is_err(), "pc {start_pc} must trap");
+            outcomes.push((outcome, cpu.cycles(), cpu.instructions(), cpu.pc()));
+        }
+        assert_eq!(outcomes[0], outcomes[1], "divergence from pc {start_pc}");
+    }
+}
+
+#[test]
+fn raw_cpu_odd_pc_entry_delegates_identically() {
+    // An odd entry PC is the one case the fast loop delegates wholesale
+    // to the oracle; both engines must still agree (here: on the trap).
+    for predecode in [false, true] {
+        let mut cpu = Cpu::new(4096);
+        cpu.set_predecode(predecode);
+        cpu.set_pc(1);
+        let outcome = cpu.run(10);
+        assert!(outcome.is_err(), "odd pc must trap (predecode={predecode})");
+    }
+}
