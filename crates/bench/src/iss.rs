@@ -5,19 +5,22 @@
 //! count; this module is the one place that measures the simulator itself
 //! (retired instructions per wall-second, "MIPS"). It drives a
 //! `tests/riscv_decrypt.rs`-style workload — the LAC decryption recover
-//! loop with `pq.modq`, byte loads/stores and a backward branch — on both
-//! execution engines of `lac-rv32`:
+//! loop with `pq.modq`, byte loads/stores and a backward branch — on the
+//! three execution engines of `lac-rv32`:
 //!
-//! * the **predecoded fast path** (decode once per code line, dispatch
-//!   from the cache), and
-//! * the **decode-every-step slow path** (the differential oracle).
+//! * the **superblock engine** (trace-cached macro-op fusion, the
+//!   default),
+//! * the **predecoded engine** (decode once per code line, dispatch
+//!   single instructions from the cache), and
+//! * the **classic decode-every-step engine** (the differential oracle).
 //!
-//! Both runs must produce bit-identical architectural results — the
+//! All runs must produce bit-identical architectural results — the
 //! digest covers the register file, PC, modelled cycles, retired
 //! instructions and the program's output buffer — and `scripts/verify.sh`
-//! gates on the fast path being at least 2× faster in wall-clock.
+//! gates on the superblock engine being at least 3× faster than the
+//! classic engine in wall-clock.
 
-use lac_rv32::Machine;
+use lac_rv32::{Engine, Machine};
 use lac_sha256::Sha256;
 use std::time::Instant;
 
@@ -29,6 +32,28 @@ const US_BASE: u32 = 0xA000;
 const OUT_BASE: u32 = 0xC000;
 /// Coefficients per recover pass (the paper's l_v for LAC-128).
 const COEFFS: u32 = 400;
+
+/// The engines under measurement, slowest first.
+pub const ENGINES: [Engine; 3] = [Engine::Classic, Engine::Predecode, Engine::Superblock];
+
+/// The stable lowercase name of an engine (CLI flag values, JSON fields).
+pub fn engine_name(engine: Engine) -> &'static str {
+    match engine {
+        Engine::Classic => "classic",
+        Engine::Predecode => "predecode",
+        Engine::Superblock => "superblock",
+    }
+}
+
+/// Parse an engine name as printed by [`engine_name`].
+pub fn parse_engine(name: &str) -> Option<Engine> {
+    match name {
+        "classic" => Some(Engine::Classic),
+        "predecode" => Some(Engine::Predecode),
+        "superblock" => Some(Engine::Superblock),
+        _ => None,
+    }
+}
 
 /// One measured simulator run.
 #[derive(Debug, Clone)]
@@ -45,16 +70,21 @@ pub struct IssRun {
     pub digest: String,
 }
 
-/// A fast-vs-slow comparison on the same workload.
+/// A three-way engine comparison on the same workload.
 #[derive(Debug, Clone)]
 pub struct IssReport {
-    /// The predecoded fast path.
-    pub fast: IssRun,
     /// The decode-every-step oracle.
-    pub slow: IssRun,
-    /// `slow.wall / fast.wall` (>1 means the fast path is faster).
-    pub speedup: f64,
-    /// Whether both paths produced bit-identical architectural results.
+    pub classic: IssRun,
+    /// The predecoded single-instruction engine.
+    pub predecode: IssRun,
+    /// The trace-cached superblock engine.
+    pub superblock: IssRun,
+    /// `classic.wall / predecode.wall` (>1 means predecode is faster).
+    pub speedup_predecode: f64,
+    /// `classic.wall / superblock.wall` — the verify.sh gate figure.
+    pub speedup_superblock: f64,
+    /// Whether all three engines produced bit-identical architectural
+    /// results.
     pub digests_match: bool,
 }
 
@@ -109,9 +139,9 @@ pub fn workload(iters: u32) -> Machine {
 /// # Panics
 ///
 /// Panics if the workload traps (a build-time bug).
-pub fn run_path(iters: u32, predecode: bool) -> IssRun {
+pub fn run_path(iters: u32, engine: Engine) -> IssRun {
     let mut machine = workload(iters);
-    machine.cpu_mut().set_predecode(predecode);
+    machine.cpu_mut().set_engine(engine);
     let budget = 40 * u64::from(iters) * u64::from(COEFFS) + 1_000_000;
     let started = Instant::now();
     let exit = machine.run(budget).expect("ISS workload runs to ecall");
@@ -144,35 +174,44 @@ pub fn run_path(iters: u32, predecode: bool) -> IssRun {
 /// a deterministic kernel on a noisy shared host.
 const COMPARE_REPS: u32 = 5;
 
-/// Measure both engines on the same `iters`-sized workload, best of
+/// Measure one engine, best of [`COMPARE_REPS`] runs.
+pub fn measure(iters: u32, engine: Engine) -> IssRun {
+    (0..COMPARE_REPS)
+        .map(|_| run_path(iters, engine))
+        .min_by_key(|run| run.wall_micros)
+        .expect("COMPARE_REPS > 0")
+}
+
+/// Measure all three engines on the same `iters`-sized workload, best of
 /// [`COMPARE_REPS`] runs each.
 pub fn compare(iters: u32) -> IssReport {
-    let best = |predecode: bool| {
-        (0..COMPARE_REPS)
-            .map(|_| run_path(iters, predecode))
-            .min_by_key(|run| run.wall_micros)
-            .expect("COMPARE_REPS > 0")
+    let classic = measure(iters, Engine::Classic);
+    let predecode = measure(iters, Engine::Predecode);
+    let superblock = measure(iters, Engine::Superblock);
+    let ratio = |slow: &IssRun, fast: &IssRun| {
+        slow.wall_micros.max(1) as f64 / fast.wall_micros.max(1) as f64
     };
-    let slow = best(false);
-    let fast = best(true);
-    let speedup = slow.wall_micros.max(1) as f64 / fast.wall_micros.max(1) as f64;
-    let digests_match = slow.digest == fast.digest;
+    let speedup_predecode = ratio(&classic, &predecode);
+    let speedup_superblock = ratio(&classic, &superblock);
+    let digests_match = classic.digest == predecode.digest && classic.digest == superblock.digest;
     IssReport {
-        fast,
-        slow,
-        speedup,
+        classic,
+        predecode,
+        superblock,
+        speedup_predecode,
+        speedup_superblock,
         digests_match,
     }
 }
 
 /// The volatile `"iss_*"` JSON fields the table binaries append to their
-/// `--json` output (fast path only; wall-clock figures, so
-/// `scripts/bench_compare.sh` and the sharding-determinism check both
-/// filter keys with this prefix).
+/// `--json` output (superblock engine, the sweep default; wall-clock
+/// figures, so `scripts/bench_compare.sh` and the sharding-determinism
+/// check both filter keys with this prefix).
 pub fn json_fields(iters: u32) -> String {
-    let run = run_path(iters, true);
+    let run = run_path(iters, Engine::Superblock);
     format!(
-        "\"iss_instructions\": {}, \"iss_wall_us\": {}, \"iss_mips\": {:.2}",
+        "\"iss_engine\": \"superblock\", \"iss_instructions\": {}, \"iss_wall_us\": {}, \"iss_mips\": {:.2}",
         run.instructions, run.wall_micros, run.mips
     )
 }
@@ -182,21 +221,43 @@ mod tests {
     use super::*;
 
     #[test]
-    fn both_paths_agree_architecturally() {
+    fn all_engines_agree_architecturally() {
         let report = compare(2);
-        assert!(report.digests_match, "fast and slow paths diverged");
-        assert_eq!(report.fast.instructions, report.slow.instructions);
-        assert_eq!(report.fast.cycles, report.slow.cycles);
-        assert!(report.fast.instructions > 2 * u64::from(COEFFS));
+        assert!(report.digests_match, "engines diverged");
+        assert_eq!(report.classic.instructions, report.predecode.instructions);
+        assert_eq!(report.classic.instructions, report.superblock.instructions);
+        assert_eq!(report.classic.cycles, report.superblock.cycles);
+        assert!(report.classic.instructions > 2 * u64::from(COEFFS));
+    }
+
+    #[test]
+    fn superblock_engine_actually_dispatches_blocks() {
+        let mut machine = workload(16);
+        let exit = machine.run(10_000_000).expect("runs to ecall");
+        assert!(exit.instructions > 0);
+        let stats = machine.cpu().superblock_stats();
+        assert!(stats.compiles > 0, "hot loop should compile");
+        assert!(
+            stats.dispatches > 10,
+            "hot loop should run from the trace cache: {stats:?}"
+        );
     }
 
     #[test]
     fn workload_scales_with_iters() {
-        let one = run_path(1, true);
-        let three = run_path(3, true);
+        let one = run_path(1, Engine::Superblock);
+        let three = run_path(3, Engine::Superblock);
         assert!(three.instructions > 2 * one.instructions);
         assert_ne!(one.digest, three.digest);
         // Same shape twice → identical digest (pure function of iters).
-        assert_eq!(run_path(3, true).digest, three.digest);
+        assert_eq!(run_path(3, Engine::Superblock).digest, three.digest);
+    }
+
+    #[test]
+    fn engine_names_round_trip() {
+        for engine in ENGINES {
+            assert_eq!(parse_engine(engine_name(engine)), Some(engine));
+        }
+        assert_eq!(parse_engine("warp-drive"), None);
     }
 }

@@ -230,9 +230,9 @@ pub fn run(emit_json_output: bool, threads: Option<usize>) {
             paper_factor
         );
     }
-    let probe = iss::run_path(ISS_ITERS, true);
+    let probe = iss::run_path(ISS_ITERS, lac_rv32::Engine::Superblock);
     println!(
-        "\nISS throughput: {:.2} MIPS ({} instructions in {} us, predecoded fast path)",
+        "\nISS throughput: {:.2} MIPS ({} instructions in {} us, superblock engine)",
         probe.mips,
         thousands(probe.instructions),
         probe.wall_micros

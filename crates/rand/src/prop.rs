@@ -1,16 +1,25 @@
 //! A small seeded randomized-property harness (the workspace's `proptest`
-//! replacement).
+//! replacement), with tape-based shrinking.
 //!
 //! [`check`] runs a property closure for `cases` iterations, each with its
-//! own deterministically derived [`Sha256CtrRng`]. A failing case — a
-//! returned `Err` or a panic inside the closure — aborts the run with a
-//! message naming the failing case index, which can be replayed alone by
-//! setting `LAC_PROP_SEED=<index>`. `LAC_PROP_CASES=<n>` overrides the
-//! case count globally (e.g. to soak-test in CI).
+//! own deterministically derived [`PropRng`]. A failing case — a returned
+//! `Err` or a panic inside the closure — is first **shrunk**: every byte
+//! the case drew from its RNG was recorded on a tape, and the harness
+//! binary-searches that tape toward a minimal reproducer (shortest failing
+//! prefix, then zeroed chunks, coarse to fine). The final panic message
+//! names both the failing case index and the minimized tape, each of which
+//! replays the failure alone:
 //!
-//! Unlike `proptest` there is no shrinking: cases are cheap and fully
-//! reproducible, so replaying the failing index under a debugger has
-//! proven sufficient for this codebase's fixed-size algebraic properties.
+//! * `LAC_PROP_SEED=<index>` — re-run the original failing case;
+//! * `LAC_PROP_SEED=hex:<tape>` — re-run the minimized byte tape.
+//!
+//! `LAC_PROP_CASES=<n>` overrides the case count globally (e.g. to
+//! soak-test in CI), and `LAC_PROP_SHRINK=0` disables shrinking (useful
+//! when the property closure is too stateful to re-run).
+//!
+//! Shrinking re-invokes the property closure, so closures that mutate
+//! captured state observe extra calls on the failure path — the passing
+//! path runs each case exactly once, as before.
 //!
 //! # Example
 //!
@@ -29,6 +38,88 @@
 use crate::{Rng, Sha256CtrRng};
 use lac_sha256::Sha256;
 
+/// The RNG handed to property closures.
+///
+/// In recording mode (fresh cases) it draws from a per-case
+/// [`Sha256CtrRng`] and records every byte served on a tape, so a failure
+/// can be shrunk and replayed byte-exactly. In replay mode
+/// (`LAC_PROP_SEED=hex:...` or a shrink candidate) it serves the tape and,
+/// once the tape is exhausted, continues with a DRBG derived from the tape
+/// — deterministic per tape, and entropy-bearing so rejection-sampling
+/// loops in generators still terminate on truncated tapes.
+pub struct PropRng {
+    mode: Mode,
+}
+
+enum Mode {
+    Record {
+        inner: Sha256CtrRng,
+        tape: Vec<u8>,
+    },
+    Replay {
+        tape: Vec<u8>,
+        pos: usize,
+        pad: Option<Sha256CtrRng>,
+    },
+}
+
+impl PropRng {
+    fn record(inner: Sha256CtrRng) -> Self {
+        Self {
+            mode: Mode::Record {
+                inner,
+                tape: Vec::new(),
+            },
+        }
+    }
+
+    /// Replay a recorded byte tape (pads deterministically once the tape
+    /// is exhausted).
+    pub fn replay(tape: Vec<u8>) -> Self {
+        Self {
+            mode: Mode::Replay {
+                tape,
+                pos: 0,
+                pad: None,
+            },
+        }
+    }
+
+    fn into_tape(self) -> Vec<u8> {
+        match self.mode {
+            Mode::Record { tape, .. } | Mode::Replay { tape, .. } => tape,
+        }
+    }
+}
+
+/// The deterministic continuation stream for an exhausted replay tape.
+fn pad_rng(tape: &[u8]) -> Sha256CtrRng {
+    let mut h = Sha256::new();
+    h.update(b"lac-rand:prop-pad:v1");
+    h.update(tape);
+    Sha256CtrRng::from_seed(h.finalize())
+}
+
+impl Rng for PropRng {
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        match &mut self.mode {
+            Mode::Record { inner, tape } => {
+                inner.fill_bytes(dest);
+                tape.extend_from_slice(dest);
+            }
+            Mode::Replay { tape, pos, pad } => {
+                let have = tape.len().saturating_sub(*pos).min(dest.len());
+                dest[..have].copy_from_slice(&tape[*pos..*pos + have]);
+                *pos += have;
+                if have < dest.len() {
+                    let pad = pad.get_or_insert_with(|| pad_rng(tape));
+                    pad.fill_bytes(&mut dest[have..]);
+                }
+            }
+        }
+    }
+}
+
 /// Derive the per-case RNG for (`name`, `case`).
 fn case_rng(name: &str, case: u64) -> Sha256CtrRng {
     let mut h = Sha256::new();
@@ -42,23 +133,34 @@ fn case_rng(name: &str, case: u64) -> Sha256CtrRng {
 ///
 /// Each case gets a fresh RNG derived from `name` and the case index, so
 /// renaming a test re-randomizes it but re-running never does. On failure
-/// (an `Err` return or a panic) the harness panics with the case index and
-/// replay instructions.
+/// (an `Err` return or a panic) the harness shrinks the case's recorded
+/// byte tape toward a minimal reproducer and panics with the case index,
+/// the minimized tape, and replay instructions for both.
 ///
 /// Environment overrides:
 /// * `LAC_PROP_SEED=<index>` — run only that case (replay a failure);
-/// * `LAC_PROP_CASES=<n>` — run `n` cases instead of `cases`.
+/// * `LAC_PROP_SEED=hex:<tape>` — replay a minimized byte tape;
+/// * `LAC_PROP_CASES=<n>` — run `n` cases instead of `cases`;
+/// * `LAC_PROP_SHRINK=0` — report failures without shrinking.
 ///
 /// # Panics
 ///
-/// Panics if any case fails; that is the test-failure path.
+/// Panics if any case fails (that is the test-failure path), or if a
+/// `hex:` override is not valid hex.
 pub fn check<F>(name: &str, cases: u32, mut property: F)
 where
-    F: FnMut(&mut Sha256CtrRng) -> Result<(), String>,
+    F: FnMut(&mut PropRng) -> Result<(), String>,
 {
-    if let Some(index) = env_u64("LAC_PROP_SEED") {
-        run_case(name, index, &mut property);
-        return;
+    match seed_override() {
+        Some(SeedOverride::Case(index)) => {
+            run_case(name, index, &mut property);
+            return;
+        }
+        Some(SeedOverride::Tape(tape)) => {
+            run_replay(name, tape, &mut property);
+            return;
+        }
+        None => {}
     }
     let cases = env_u64("LAC_PROP_CASES").unwrap_or(u64::from(cases));
     for case in 0..cases {
@@ -66,29 +168,173 @@ where
     }
 }
 
+enum SeedOverride {
+    /// A case index, as printed by the original failure message.
+    Case(u64),
+    /// A raw byte tape, as printed by the shrinker (`hex:` form).
+    Tape(Vec<u8>),
+}
+
+fn seed_override() -> Option<SeedOverride> {
+    let value = std::env::var("LAC_PROP_SEED").ok()?;
+    if let Some(hex) = value.strip_prefix("hex:") {
+        let tape =
+            parse_hex(hex).unwrap_or_else(|| panic!("LAC_PROP_SEED: invalid hex tape {hex:?}"));
+        return Some(SeedOverride::Tape(tape));
+    }
+    value.parse().ok().map(SeedOverride::Case)
+}
+
 fn env_u64(var: &str) -> Option<u64> {
     std::env::var(var).ok()?.parse().ok()
 }
 
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn parse_hex(s: &str) -> Option<Vec<u8>> {
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    (0..s.len() / 2)
+        .map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).ok())
+        .collect()
+}
+
+/// Run the property once, catching panics; `Some(message)` on failure.
+fn run_once<F>(property: &mut F, rng: &mut PropRng) -> Option<String>
+where
+    F: FnMut(&mut PropRng) -> Result<(), String>,
+{
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| property(rng)));
+    match outcome {
+        Ok(Ok(())) => None,
+        Ok(Err(message)) => Some(message),
+        Err(payload) => Some(
+            payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_else(|| "panicked with a non-string payload".to_string()),
+        ),
+    }
+}
+
+/// Cap on property re-runs during shrinking (keeps the failure path fast
+/// even for properties with large tapes).
+const MAX_SHRINK_RUNS: u32 = 300;
+
+/// Shrink a failing tape toward a minimal reproducer.
+///
+/// Two passes, both preserving "still fails": a binary search for the
+/// shortest failing prefix (truncated tapes pad deterministically, so
+/// every prefix is a complete candidate), then chunk zeroing from
+/// half-tape windows down to single bytes. Returns the minimized tape and
+/// the number of property re-runs spent.
+fn shrink<F>(property: &mut F, original: Vec<u8>) -> (Vec<u8>, u32)
+where
+    F: FnMut(&mut PropRng) -> Result<(), String>,
+{
+    // Candidate runs re-panic on purpose; silence the global hook so the
+    // test log shows only the final minimized failure. (Global state —
+    // fine here, since this test is failing anyway.)
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let mut evals = 0u32;
+    let mut fails = |tape: &[u8], property: &mut F| -> bool {
+        if evals >= MAX_SHRINK_RUNS {
+            return false; // out of budget: conservatively keep the candidate out
+        }
+        evals += 1;
+        run_once(property, &mut PropRng::replay(tape.to_vec())).is_some()
+    };
+
+    let mut best = original;
+
+    // Pass 1: shortest failing prefix. Invariant: best[..hi] fails (the
+    // full tape does); lo only advances past prefixes that pass.
+    let (mut lo, mut hi) = (0usize, best.len());
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if fails(&best[..mid], property) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    best.truncate(hi);
+
+    // Pass 2: zero out chunks, coarse to fine (zero bytes are the
+    // "simplest" values for every generator built on the byte stream).
+    let mut size = (best.len() / 2).max(1);
+    loop {
+        let mut start = 0;
+        while start < best.len() {
+            let end = (start + size).min(best.len());
+            if best[start..end].iter().any(|&b| b != 0) {
+                let mut candidate = best.clone();
+                candidate[start..end].fill(0);
+                if fails(&candidate, property) {
+                    best = candidate;
+                }
+            }
+            start = end;
+        }
+        if size == 1 {
+            break;
+        }
+        size /= 2;
+    }
+
+    drop(std::panic::take_hook());
+    std::panic::set_hook(prev_hook);
+    (best, evals)
+}
+
 fn run_case<F>(name: &str, case: u64, property: &mut F)
 where
-    F: FnMut(&mut Sha256CtrRng) -> Result<(), String>,
+    F: FnMut(&mut PropRng) -> Result<(), String>,
 {
-    let mut rng = case_rng(name, case);
-    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| property(&mut rng)));
-    let failure = match outcome {
-        Ok(Ok(())) => return,
-        Ok(Err(message)) => message,
-        Err(payload) => payload
-            .downcast_ref::<String>()
-            .cloned()
-            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
-            .unwrap_or_else(|| "panicked with a non-string payload".to_string()),
+    let mut rng = PropRng::record(case_rng(name, case));
+    let Some(failure) = run_once(property, &mut rng) else {
+        return;
     };
+    let tape = rng.into_tape();
+    if std::env::var("LAC_PROP_SHRINK").as_deref() == Ok("0") {
+        panic!(
+            "property '{name}' failed at case {case}: {failure}\n\
+             replay just this case with: LAC_PROP_SEED={case} cargo test {name}"
+        );
+    }
+    let full_len = tape.len();
+    let (minimized, evals) = shrink(property, tape);
+    // One authoritative re-run of the winner for its failure message (the
+    // budget may have been exhausted mid-pass).
+    let min_failure = run_once(property, &mut PropRng::replay(minimized.clone()))
+        .unwrap_or_else(|| "(minimized tape no longer fails — stateful property?)".to_string());
     panic!(
         "property '{name}' failed at case {case}: {failure}\n\
-         replay just this case with: LAC_PROP_SEED={case} cargo test {name}"
+         minimized from {full_len} to {} tape bytes in {evals} shrink runs: {min_failure}\n\
+         replay the minimized case with: LAC_PROP_SEED=hex:{} cargo test {name}\n\
+         replay the full case with: LAC_PROP_SEED={case} cargo test {name}",
+        minimized.len(),
+        hex(&minimized),
     );
+}
+
+fn run_replay<F>(name: &str, tape: Vec<u8>, property: &mut F)
+where
+    F: FnMut(&mut PropRng) -> Result<(), String>,
+{
+    let mut rng = PropRng::replay(tape.clone());
+    if let Some(failure) = run_once(property, &mut rng) {
+        panic!(
+            "property '{name}' failed replaying LAC_PROP_SEED=hex:{}: {failure}",
+            hex(&tape)
+        );
+    }
 }
 
 /// Fail the property with a formatted message unless `condition` holds.
@@ -262,5 +508,107 @@ mod tests {
             let pos = distinct_positions(&mut rng, 3, 10);
             assert!(pos.len() <= 3);
         }
+    }
+
+    #[test]
+    fn recording_matches_the_underlying_stream_and_replays_exactly() {
+        let mut plain = case_rng("tape_probe", 0);
+        let mut recorded = PropRng::record(case_rng("tape_probe", 0));
+        let want: Vec<u64> = (0..8).map(|_| plain.next_u64()).collect();
+        let got: Vec<u64> = (0..8).map(|_| recorded.next_u64()).collect();
+        assert_eq!(want, got, "recording must not perturb the stream");
+
+        let tape = recorded.into_tape();
+        assert_eq!(tape.len(), 64, "8 × u64 drawn");
+        let mut replayed = PropRng::replay(tape);
+        let again: Vec<u64> = (0..8).map(|_| replayed.next_u64()).collect();
+        assert_eq!(want, again, "replay must serve the recorded bytes");
+    }
+
+    #[test]
+    fn exhausted_replay_pads_deterministically_per_tape() {
+        let drain = |tape: Vec<u8>| {
+            let mut rng = PropRng::replay(tape);
+            (0..4).map(|_| rng.next_u64()).collect::<Vec<_>>()
+        };
+        // Same truncated tape twice → same continuation; different tape →
+        // different continuation (the pad stream is derived from the tape).
+        assert_eq!(drain(vec![1, 2, 3]), drain(vec![1, 2, 3]));
+        assert_ne!(drain(vec![1, 2, 3]), drain(vec![1, 2, 4]));
+        // Padding has entropy: rejection-sampling generators terminate.
+        let mut rng = PropRng::replay(vec![0; 2]);
+        let pos = distinct_positions(&mut rng, 400, 16);
+        assert!(pos.iter().all(|&p| p < 400));
+    }
+
+    #[test]
+    fn failure_is_shrunk_and_reports_a_hex_replay_tape() {
+        let result = std::panic::catch_unwind(|| {
+            check("shrinks_everything", 3, |rng| {
+                let _ = bytes(rng, 256);
+                ensure(false, "unconditional failure")
+            })
+        });
+        let message = match result {
+            Err(payload) => payload.downcast_ref::<String>().cloned().unwrap(),
+            Ok(()) => panic!("property must fail"),
+        };
+        // The property fails for *every* tape, so the shrinker must reach
+        // the empty tape and print the hex replay form.
+        assert!(
+            message.contains("minimized from 256 to 0 tape bytes"),
+            "{message}"
+        );
+        assert!(
+            message.contains("LAC_PROP_SEED=hex: cargo test"),
+            "{message}"
+        );
+        assert!(message.contains("LAC_PROP_SEED=0"), "{message}");
+    }
+
+    #[test]
+    fn shrinking_truncates_to_the_relevant_prefix_and_replays() {
+        // Fails iff the 9th byte is ≥ 8 — drawing 64 bytes of noise around
+        // it. A minimal reproducer needs at most the 9 bytes up to and
+        // including the failing one (truncated tapes pad deterministically,
+        // so it may legally be even shorter), and must replay to the same
+        // failure.
+        let result = std::panic::catch_unwind(|| {
+            check("shrinks_to_one_byte", 50, |rng| {
+                let v = bytes(rng, 64);
+                ensure(v[8] < 8, format!("byte 8 is {}", v[8]))
+            })
+        });
+        let message = match result {
+            Err(payload) => payload.downcast_ref::<String>().cloned().unwrap(),
+            Ok(()) => panic!("a byte ≥ 8 must appear at index 8 within 50 cases"),
+        };
+        let tape_hex: String = message
+            .split("LAC_PROP_SEED=hex:")
+            .nth(1)
+            .expect("message names a hex tape")
+            .chars()
+            .take_while(char::is_ascii_hexdigit)
+            .collect();
+        let tape = parse_hex(&tape_hex).expect("printed tape is valid hex");
+        assert!(
+            message.contains("minimized from 64 to"),
+            "the full case drew exactly 64 bytes: {message}"
+        );
+        assert!(tape.len() <= 9, "tape {tape:?} not minimized");
+        let mut rng = PropRng::replay(tape);
+        let v = bytes(&mut rng, 64);
+        assert!(v[8] >= 8, "minimized tape must still fail");
+    }
+
+    #[test]
+    fn hex_round_trips_and_rejects_malformed_input() {
+        assert_eq!(
+            parse_hex(&hex(&[0x00, 0xff, 0x1a])),
+            Some(vec![0x00, 0xff, 0x1a])
+        );
+        assert_eq!(parse_hex(""), Some(Vec::new()));
+        assert_eq!(parse_hex("abc"), None, "odd length");
+        assert_eq!(parse_hex("zz"), None, "not hex");
     }
 }

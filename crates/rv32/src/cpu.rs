@@ -9,22 +9,45 @@
 //! * +34 cycles for divisions (iterative divider),
 //! * PQ instructions stall for however long the PQ-ALU device reports.
 //!
-//! Two execution engines share one `execute` core, so they are
+//! Three execution engines share one `execute` core, so they are
 //! architecturally indistinguishable (same registers, memory, traps,
 //! modelled cycles and retired-instruction counts):
 //!
-//! * the **predecoded fast path** (default; see [`crate::predecode`])
-//!   decodes each 16-bit code slot once into a direct-mapped cache and
-//!   dispatches from it — stores into cached code invalidate the affected
-//!   lines, so self-modifying code still works;
-//! * the **decode-every-step slow path** ([`Cpu::step`], enabled with
-//!   [`Cpu::set_predecode`]`(false)`) re-decodes on every instruction and
-//!   serves as the differential oracle for the fast path.
+//! * the **superblock engine** (default; see [`crate::superblock`])
+//!   compiles hot straight-line regions into trace-cached blocks of fused
+//!   macro-ops and retires them whole;
+//! * the **predecoded engine** ([`Engine::Predecode`]; see
+//!   [`crate::predecode`]) decodes each 16-bit code slot once into a
+//!   direct-mapped cache and dispatches single instructions from it —
+//!   stores into cached code invalidate the affected lines, so
+//!   self-modifying code still works;
+//! * the **decode-every-step classic engine** ([`Cpu::step`], enabled
+//!   with [`Cpu::set_predecode`]`(false)` or [`Engine::Classic`])
+//!   re-decodes on every instruction and serves as the differential
+//!   oracle for both fast engines.
 
 use crate::inst::{decode, decompress, AluOp, BranchOp, CsrOp, Inst, LoadOp, PqUnit, StoreOp};
 use crate::pq::PqAlu;
 use crate::predecode::{PredecodeCache, Slot};
+use crate::superblock::{
+    self, Block, BlockSlot, OpKind, Src2, SuperblockCache, SuperblockStats, Terminator,
+    HOT_THRESHOLD, MAX_OPS,
+};
 use std::fmt;
+
+/// Which execution engine [`Cpu::run`] dispatches through. All three are
+/// bit-identical architecturally; they differ only in host speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Decode every instruction from RAM on every step — the slowest
+    /// engine and the differential oracle the fast ones are tested
+    /// against.
+    Classic,
+    /// Dispatch single instructions from the predecode cache.
+    Predecode,
+    /// Trace-cached superblock execution with macro-op fusion (default).
+    Superblock,
+}
 
 /// Reasons execution stopped abnormally.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,7 +140,16 @@ pub struct Cpu {
     mscratch: u32,
     pq: PqAlu,
     cache: PredecodeCache,
-    predecode: bool,
+    sb: SuperblockCache,
+    engine: Engine,
+}
+
+/// How a superblock execution handed control back to the dispatch loop.
+enum BlockExit {
+    /// Keep dispatching (normal completion or a store-invalidation bail).
+    Continue,
+    /// The terminator was a clean `ecall`.
+    Ecall,
 }
 
 impl Cpu {
@@ -132,25 +164,47 @@ impl Cpu {
             mscratch: 0,
             pq: PqAlu::new(),
             cache: PredecodeCache::new(ram_bytes),
-            predecode: true,
+            sb: SuperblockCache::new(),
+            engine: Engine::Superblock,
         }
     }
 
-    /// Enable or disable the predecoded fast path (enabled by default).
-    /// With it disabled, [`Cpu::run`] decodes every instruction from RAM —
-    /// the differential oracle the fast path is tested against.
-    pub fn set_predecode(&mut self, enabled: bool) {
-        self.predecode = enabled;
+    /// Select the execution engine (default: [`Engine::Superblock`]).
+    pub fn set_engine(&mut self, engine: Engine) {
+        self.engine = engine;
     }
 
-    /// Whether the predecoded fast path is enabled.
+    /// The currently selected execution engine.
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// Compatibility selector predating [`Engine`]: `true` picks the
+    /// predecoded single-instruction engine, `false` the classic
+    /// decode-every-step oracle. (The superblock engine is the default;
+    /// use [`Cpu::set_engine`] to return to it.)
+    pub fn set_predecode(&mut self, enabled: bool) {
+        self.engine = if enabled {
+            Engine::Predecode
+        } else {
+            Engine::Classic
+        };
+    }
+
+    /// Whether a predecode-backed fast engine (predecoded or superblock)
+    /// is selected.
     pub fn predecode_enabled(&self) -> bool {
-        self.predecode
+        self.engine != Engine::Classic
     }
 
     /// Predecode-cache lifetime counters: `(lines_filled, lines_invalidated)`.
     pub fn predecode_stats(&self) -> (u64, u64) {
         self.cache.stats()
+    }
+
+    /// Superblock-engine lifetime counters.
+    pub fn superblock_stats(&self) -> SuperblockStats {
+        self.sb.stats
     }
 
     /// Current program counter.
@@ -263,6 +317,29 @@ impl Cpu {
         // code (self-modifying programs are legal on the slow path too).
         self.cache.invalidate(addr, size);
         Ok(())
+    }
+
+    /// Width/extension dispatch for loads, shared by all engines so every
+    /// path produces identical values and trap PCs.
+    #[inline(always)]
+    fn load_value(&self, pc: u32, op: LoadOp, addr: u32) -> Result<u32, Trap> {
+        Ok(match op {
+            LoadOp::Byte => self.load(pc, addr, 1)? as i8 as i32 as u32,
+            LoadOp::Half => self.load(pc, addr, 2)? as i16 as i32 as u32,
+            LoadOp::Word => self.load(pc, addr, 4)?,
+            LoadOp::ByteU => self.load(pc, addr, 1)?,
+            LoadOp::HalfU => self.load(pc, addr, 2)?,
+        })
+    }
+
+    /// Width dispatch for stores (see [`Cpu::load_value`]).
+    #[inline(always)]
+    fn store_value(&mut self, pc: u32, op: StoreOp, addr: u32, value: u32) -> Result<(), Trap> {
+        match op {
+            StoreOp::Byte => self.store(pc, addr, 1, value),
+            StoreOp::Half => self.store(pc, addr, 2, value),
+            StoreOp::Word => self.store(pc, addr, 4, value),
+        }
     }
 
     /// Execute one instruction on the decode-every-step slow path.
@@ -386,15 +463,7 @@ impl Cpu {
             } => {
                 let a = self.rreg(rs1);
                 let b = self.rreg(rs2);
-                let taken = match op {
-                    BranchOp::Eq => a == b,
-                    BranchOp::Ne => a != b,
-                    BranchOp::Lt => (a as i32) < (b as i32),
-                    BranchOp::Ge => (a as i32) >= (b as i32),
-                    BranchOp::Ltu => a < b,
-                    BranchOp::Geu => a >= b,
-                };
-                if taken {
+                if branch_taken(op, a, b) {
                     next_pc = pc.wrapping_add(offset as u32);
                     flight.cycles += 2;
                 }
@@ -406,13 +475,7 @@ impl Cpu {
                 offset,
             } => {
                 let addr = self.rreg(rs1).wrapping_add(offset as u32);
-                let value = match op {
-                    LoadOp::Byte => self.load(pc, addr, 1)? as i8 as i32 as u32,
-                    LoadOp::Half => self.load(pc, addr, 2)? as i16 as i32 as u32,
-                    LoadOp::Word => self.load(pc, addr, 4)?,
-                    LoadOp::ByteU => self.load(pc, addr, 1)?,
-                    LoadOp::HalfU => self.load(pc, addr, 2)?,
-                };
+                let value = self.load_value(pc, op, addr)?;
                 self.wreg(rd, value);
                 flight.cycles += 1; // load-use stall
             }
@@ -424,11 +487,7 @@ impl Cpu {
             } => {
                 let addr = self.rreg(rs1).wrapping_add(offset as u32);
                 let value = self.rreg(rs2);
-                match op {
-                    StoreOp::Byte => self.store(pc, addr, 1, value)?,
-                    StoreOp::Half => self.store(pc, addr, 2, value)?,
-                    StoreOp::Word => self.store(pc, addr, 4, value)?,
-                }
+                self.store_value(pc, op, addr, value)?;
             }
             Inst::OpImm { op, rd, rs1, imm } => {
                 let a = self.rreg(rs1);
@@ -495,20 +554,20 @@ impl Cpu {
 
     /// Run until `ecall`, a trap, or `max_instructions` retired.
     ///
-    /// Uses the predecoded fast path unless [`Cpu::set_predecode`]`(false)`
-    /// selected the decode-every-step oracle; both report identical
+    /// Dispatches through the selected [`Engine`] (default:
+    /// [`Engine::Superblock`]); all engines report identical
     /// [`ExitState`]s and [`Trap`]s, including the fuel accounting of
     /// [`Trap::OutOfFuel`] (the instruction budget is checked before every
-    /// retired instruction on both paths).
+    /// retired instruction on every path).
     ///
     /// # Errors
     ///
     /// Returns the stopping [`Trap`] (including [`Trap::OutOfFuel`]).
     pub fn run(&mut self, max_instructions: u64) -> Result<ExitState, Trap> {
-        if self.predecode {
-            self.run_predecoded(max_instructions)
-        } else {
-            self.run_slow(max_instructions)
+        match self.engine {
+            Engine::Classic => self.run_slow(max_instructions),
+            Engine::Predecode => self.run_predecoded(max_instructions),
+            Engine::Superblock => self.run_superblock(max_instructions),
         }
     }
 
@@ -595,6 +654,377 @@ impl Cpu {
         }
     }
 
+    /// The trace-cached dispatch loop behind [`Cpu::run`] for
+    /// [`Engine::Superblock`]. Hot block heads execute as compiled
+    /// superblocks (one fuel/counter update per block); cold or
+    /// fuel-starved stretches interpret single instructions from the
+    /// predecode cache exactly like [`Cpu::run_predecoded`], stopping at
+    /// block boundaries so heads accumulate heat.
+    fn run_superblock(&mut self, max_instructions: u64) -> Result<ExitState, Trap> {
+        if self.pc & 1 != 0 {
+            // Same argument as `run_predecoded`: an odd entry PC runs the
+            // whole budget on the oracle; inside the loop PCs stay even.
+            return self.run_slow(max_instructions);
+        }
+        let mut fuel = max_instructions;
+        let mut pc = self.pc;
+        let mut flight = Flight {
+            cycles: self.cycles,
+            instructions: self.instructions,
+        };
+        macro_rules! sync {
+            () => {
+                self.pc = pc;
+                self.cycles = flight.cycles;
+                self.instructions = flight.instructions;
+            };
+        }
+        'dispatch: loop {
+            if fuel == 0 {
+                sync!();
+                return Err(Trap::OutOfFuel);
+            }
+            // Probe the trace cache at this head.
+            let idx = SuperblockCache::index(pc);
+            let mut block = {
+                let slot = self.sb.slot_mut(idx);
+                if slot.tag == pc {
+                    match slot.block.take() {
+                        Some(block) => Some(block),
+                        None => {
+                            slot.heat = slot.heat.saturating_add(1);
+                            None
+                        }
+                    }
+                } else {
+                    // A new head claims the slot (direct-mapped: the
+                    // previous tenant's heat and block are dropped).
+                    *slot = BlockSlot {
+                        tag: pc,
+                        heat: 1,
+                        block: None,
+                    };
+                    None
+                }
+            };
+            if let Some(b) = &block {
+                if !b.lines_current(&self.cache) {
+                    // Code under the block changed since compilation;
+                    // recompile right away (the head is already hot).
+                    block = None;
+                    self.sb.stats.stale_drops += 1;
+                    self.sb.slot_mut(idx).heat = HOT_THRESHOLD;
+                }
+            }
+            if block.is_none() && self.sb.slot_mut(idx).heat >= HOT_THRESHOLD {
+                match superblock::compile(&mut self.cache, &self.ram, pc) {
+                    Some(b) => {
+                        self.sb.stats.compiles += 1;
+                        block = Some(Box::new(b));
+                    }
+                    // The head slot holds no decodable instruction: let
+                    // the interpreted stretch raise the exact trap, and
+                    // stop re-probing a head that cannot compile.
+                    None => self.sb.slot_mut(idx).heat = 0,
+                }
+            }
+            if let Some(b) = block {
+                if fuel >= b.total_instrs {
+                    self.sb.stats.dispatches += 1;
+                    let retired_before = flight.instructions;
+                    let outcome = self.exec_block(&b, &mut pc, &mut flight);
+                    self.sb.slot_mut(idx).block = Some(b);
+                    match outcome {
+                        Ok(BlockExit::Continue) => {
+                            fuel -= flight.instructions - retired_before;
+                            continue 'dispatch;
+                        }
+                        Ok(BlockExit::Ecall) => {
+                            sync!();
+                            return Ok(self.exit_state());
+                        }
+                        Err(trap) => {
+                            sync!();
+                            return Err(trap);
+                        }
+                    }
+                }
+                // Not enough fuel for a whole block: put it back and
+                // interpret below, where fuel is checked per instruction.
+                self.sb.slot_mut(idx).block = Some(b);
+            }
+            // Cold (or fuel-starved) stretch: interpret from the predecode
+            // cache until a block boundary retires, then re-probe.
+            let mut steps = 0usize;
+            loop {
+                if fuel == 0 {
+                    sync!();
+                    return Err(Trap::OutOfFuel);
+                }
+                fuel -= 1;
+                let mut slot = self.cache.slot_at(pc);
+                if let Slot::Empty = slot {
+                    slot = match self.cache.fill(&self.ram, pc) {
+                        Some(slot) => slot,
+                        // Beyond RAM entirely: the slow path's 2-byte
+                        // fetch faults.
+                        None => {
+                            sync!();
+                            return Err(Trap::MemoryFault { pc, addr: pc });
+                        }
+                    };
+                }
+                match slot {
+                    Slot::Inst { inst, word, len } => {
+                        let boundary = superblock::ends_block(&inst);
+                        flight.cycles += 1;
+                        flight.instructions += 1;
+                        match self.execute(pc, word, inst, u32::from(len), &mut flight) {
+                            Ok(Some(next_pc)) => {
+                                pc = next_pc;
+                                if boundary {
+                                    continue 'dispatch;
+                                }
+                            }
+                            Ok(None) => {
+                                sync!();
+                                return Ok(self.exit_state());
+                            }
+                            Err(trap) => {
+                                sync!();
+                                return Err(trap);
+                            }
+                        }
+                        steps += 1;
+                        if steps >= MAX_OPS {
+                            continue 'dispatch;
+                        }
+                    }
+                    Slot::Trap(trap) => {
+                        sync!();
+                        return Err(trap);
+                    }
+                    Slot::Empty => unreachable!("fill never returns Empty"),
+                }
+            }
+        }
+    }
+
+    /// Execute one compiled superblock. On entry `flight` holds the
+    /// counters as of the block head; on any exit they hold exactly what
+    /// the oracle would report, and `*pc_io` the PC it would sit at:
+    ///
+    /// * happy path — the block's static totals (plus dynamic PQ stalls)
+    ///   are charged once, the terminator executes on the shared core;
+    /// * trap at op `k` — counters rebuilt from the op's prefix sums plus
+    ///   the faulting instruction's base cost, PC at the faulting
+    ///   instruction (fused pairs charge their completed first half);
+    /// * store-invalidation bail — the store retires normally, then the
+    ///   block stops *before* the next op and dispatch resumes there, so
+    ///   a store into the running block is architecturally invisible.
+    fn exec_block(
+        &mut self,
+        block: &Block,
+        pc_io: &mut u32,
+        flight: &mut Flight,
+    ) -> Result<BlockExit, Trap> {
+        let entry_cycles = flight.cycles;
+        let entry_instrs = flight.instructions;
+        // PQ stalls are device-reported at execution time; trap paths
+        // fold the accumulator into the static prefix sums.
+        let mut dyn_cycles: u64 = 0;
+        macro_rules! partial {
+            ($op:expr, $extra_cycles:expr, $extra_instrs:expr, $at:expr) => {
+                flight.cycles =
+                    entry_cycles + u64::from($op.cycles_before) + dyn_cycles + $extra_cycles;
+                flight.instructions = entry_instrs + u64::from($op.instrs_before) + $extra_instrs;
+                *pc_io = $at;
+            };
+        }
+        for (k, op) in block.ops.iter().enumerate() {
+            match op.kind {
+                OpKind::LoadImm { rd, value } => self.wreg(rd, value),
+                OpKind::Auipc { rd, value } => self.wreg(rd, value),
+                OpKind::OpImm { op, rd, rs1, imm } => {
+                    // Divider cycles are already in the static prefix
+                    // sums; the ALU's dynamic charge goes to a scratch.
+                    let mut scratch = 0u64;
+                    let v = alu(op, self.rreg(rs1), imm, &mut scratch);
+                    self.wreg(rd, v);
+                }
+                OpKind::Op { op, rd, rs1, rs2 } => {
+                    let mut scratch = 0u64;
+                    let v = alu(op, self.rreg(rs1), self.rreg(rs2), &mut scratch);
+                    self.wreg(rd, v);
+                }
+                OpKind::Load {
+                    op: lop,
+                    rd,
+                    rs1,
+                    offset,
+                } => {
+                    let addr = self.rreg(rs1).wrapping_add(offset);
+                    match self.load_value(op.pc, lop, addr) {
+                        Ok(v) => self.wreg(rd, v),
+                        Err(trap) => {
+                            // The oracle charges the faulting load its
+                            // base cycle but no load-use stall.
+                            partial!(op, 1, 1, op.pc);
+                            return Err(trap);
+                        }
+                    }
+                }
+                OpKind::AuipcLoad {
+                    op: lop,
+                    rd,
+                    lrd,
+                    addr,
+                    value,
+                    pc2,
+                } => {
+                    // The auipc half always retires, even when the load
+                    // (the second instruction of the pair) faults.
+                    self.wreg(rd, value);
+                    match self.load_value(pc2, lop, addr) {
+                        Ok(v) => self.wreg(lrd, v),
+                        Err(trap) => {
+                            partial!(op, 2, 2, pc2);
+                            return Err(trap);
+                        }
+                    }
+                }
+                OpKind::LoadUse {
+                    lop,
+                    lrd,
+                    lrs1,
+                    loffset,
+                    aop,
+                    ard,
+                    ars1,
+                    asrc,
+                } => {
+                    let addr = self.rreg(lrs1).wrapping_add(loffset);
+                    match self.load_value(op.pc, lop, addr) {
+                        Ok(v) => {
+                            self.wreg(lrd, v);
+                            let a = self.rreg(ars1);
+                            let b = match asrc {
+                                Src2::Imm(imm) => imm,
+                                Src2::Reg(r) => self.rreg(r),
+                            };
+                            let mut scratch = 0u64;
+                            self.wreg(ard, alu(aop, a, b, &mut scratch));
+                        }
+                        Err(trap) => {
+                            partial!(op, 1, 1, op.pc);
+                            return Err(trap);
+                        }
+                    }
+                }
+                OpKind::Store {
+                    op: sop,
+                    rs1,
+                    rs2,
+                    offset,
+                } => {
+                    let addr = self.rreg(rs1).wrapping_add(offset);
+                    let value = self.rreg(rs2);
+                    match self.store_value(op.pc, sop, addr, value) {
+                        Ok(()) => {
+                            // The store may have rewritten code this very
+                            // block was compiled from — bail before the
+                            // next (possibly stale) op if so.
+                            if !block.lines_current(&self.cache) {
+                                self.sb.stats.store_bails += 1;
+                                let resume =
+                                    block.ops.get(k + 1).map_or(block.term_pc, |next| next.pc);
+                                partial!(op, 1, 1, resume);
+                                return Ok(BlockExit::Continue);
+                            }
+                        }
+                        Err(trap) => {
+                            partial!(op, 1, 1, op.pc);
+                            return Err(trap);
+                        }
+                    }
+                }
+                OpKind::Fence => {}
+                OpKind::Pq { unit, rd, rs1, rs2 } => {
+                    let a = self.rreg(rs1);
+                    let b = self.rreg(rs2);
+                    let (value, stall) = match unit {
+                        PqUnit::MulTer => self.pq.mul_ter(a, b),
+                        PqUnit::MulChien => self.pq.mul_chien(a, b),
+                        PqUnit::Sha256 => self.pq.sha256(a, b),
+                        PqUnit::ModQ => self.pq.modq(a, b),
+                    };
+                    self.wreg(rd, value);
+                    dyn_cycles += stall;
+                }
+            }
+        }
+        // Whole body retired: charge its totals once, then terminate.
+        flight.cycles = entry_cycles + u64::from(block.body_cycles) + dyn_cycles;
+        flight.instructions = entry_instrs + u64::from(block.body_instrs);
+        match block.term {
+            Terminator::FallThrough => {
+                *pc_io = block.term_pc;
+                Ok(BlockExit::Continue)
+            }
+            Terminator::Plain { inst, word, len } => {
+                flight.cycles += 1;
+                flight.instructions += 1;
+                match self.execute(block.term_pc, word, inst, u32::from(len), flight) {
+                    Ok(Some(next_pc)) => {
+                        *pc_io = next_pc;
+                        Ok(BlockExit::Continue)
+                    }
+                    Ok(None) => {
+                        *pc_io = block.term_pc;
+                        Ok(BlockExit::Ecall)
+                    }
+                    Err(trap) => {
+                        *pc_io = block.term_pc;
+                        Err(trap)
+                    }
+                }
+            }
+            Terminator::CmpBranch {
+                aop,
+                ard,
+                ars1,
+                asrc,
+                bop,
+                brs1,
+                brs2,
+                taken_pc,
+                fall_pc,
+            } => {
+                flight.cycles += 2;
+                flight.instructions += 2;
+                let a = self.rreg(ars1);
+                let b = match asrc {
+                    Src2::Imm(imm) => imm,
+                    Src2::Reg(r) => self.rreg(r),
+                };
+                // A fused divider still charges its 34 cycles here (the
+                // terminator has no static prefix), so pass the live
+                // counter.
+                let v = alu(aop, a, b, &mut flight.cycles);
+                self.wreg(ard, v);
+                let x = self.rreg(brs1);
+                let y = self.rreg(brs2);
+                *pc_io = if branch_taken(bop, x, y) {
+                    flight.cycles += 2;
+                    taken_pc
+                } else {
+                    fall_pc
+                };
+                Ok(BlockExit::Continue)
+            }
+        }
+    }
+
     fn exit_state(&self) -> ExitState {
         ExitState {
             regs: self.regs,
@@ -602,6 +1032,20 @@ impl Cpu {
             cycles: self.cycles,
             instructions: self.instructions,
         }
+    }
+}
+
+/// The branch comparison, shared by the execute core and the fused
+/// compare-and-branch terminator.
+#[inline(always)]
+fn branch_taken(op: BranchOp, a: u32, b: u32) -> bool {
+    match op {
+        BranchOp::Eq => a == b,
+        BranchOp::Ne => a != b,
+        BranchOp::Lt => (a as i32) < (b as i32),
+        BranchOp::Ge => (a as i32) >= (b as i32),
+        BranchOp::Ltu => a < b,
+        BranchOp::Geu => a >= b,
     }
 }
 

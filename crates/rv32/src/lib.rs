@@ -16,11 +16,14 @@
 //! * [`inst`] — instruction decoding for RV32I, the M extension, the C
 //!   (compressed) extension via decompression, and the PQ instructions;
 //! * [`cpu`] — a RISCY-like interpreter with a documented cycle model and
-//!   two engines: a predecoded fast dispatch path (default) and the
-//!   decode-every-step oracle it is differentially tested against;
+//!   three engines: a trace-cached superblock engine with macro-op fusion
+//!   (default), a predecoded single-instruction dispatch path, and the
+//!   decode-every-step oracle both are differentially tested against;
 //! * [`predecode`] — the direct-mapped decode-once instruction cache
-//!   behind the fast path, with store invalidation for self-modifying
+//!   behind the fast engines, with store invalidation for self-modifying
 //!   code;
+//! * [`superblock`] — straight-line block discovery, macro-op fusion and
+//!   the PC-indexed trace cache behind the superblock engine;
 //! * [`pq`] — the PQ-ALU device state machines (input buffers, busy
 //!   cycles, result read-out) wired to the same datapath math as the
 //!   `lac-hw` models;
@@ -53,9 +56,10 @@ pub mod disasm;
 pub mod inst;
 pub mod pq;
 pub mod predecode;
+pub mod superblock;
 
 pub use asm::{assemble, AsmError};
-pub use cpu::{Cpu, ExitState, Trap};
+pub use cpu::{Cpu, Engine, ExitState, Trap};
 pub use disasm::disassemble;
 pub use inst::{decode, decompress, Inst};
 

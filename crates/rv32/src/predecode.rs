@@ -76,6 +76,13 @@ pub struct PredecodeCache {
     slots: Vec<Slot>,
     /// One bit per line: set iff the line's slots are decoded and current.
     filled: Vec<u64>,
+    /// Per-line generation counter, bumped every time a *filled* line is
+    /// dropped. Consumers that cache derived artifacts keyed on predecoded
+    /// code (the superblock engine) record `(line, gen)` pairs at build
+    /// time and treat any mismatch as "the code under me may have
+    /// changed". Refills do not bump the counter, so a generation value
+    /// never aliases back to a pair recorded before the invalidation.
+    gens: Vec<u64>,
     /// Number of lines covered.
     line_count: usize,
     /// Conservative inclusive bounds of the filled-line range (`lo > hi`
@@ -97,6 +104,7 @@ impl PredecodeCache {
         Self {
             slots: vec![Slot::Empty; line_count * SLOTS_PER_LINE],
             filled: vec![0u64; line_count.div_ceil(64)],
+            gens: vec![0u64; line_count],
             line_count,
             filled_lo: usize::MAX,
             filled_hi: 0,
@@ -171,6 +179,7 @@ impl PredecodeCache {
             if (self.filled[line >> 6] >> (line & 63)) & 1 == 1 {
                 self.filled[line >> 6] &= !(1 << (line & 63));
                 self.slots[line * SLOTS_PER_LINE..(line + 1) * SLOTS_PER_LINE].fill(Slot::Empty);
+                self.gens[line] += 1;
                 self.invalidations += 1;
             }
         }
@@ -182,11 +191,21 @@ impl PredecodeCache {
             if (self.filled[line >> 6] >> (line & 63)) & 1 == 1 {
                 self.filled[line >> 6] &= !(1 << (line & 63));
                 self.slots[line * SLOTS_PER_LINE..(line + 1) * SLOTS_PER_LINE].fill(Slot::Empty);
+                self.gens[line] += 1;
                 self.invalidations += 1;
             }
         }
         self.filled_lo = usize::MAX;
         self.filled_hi = 0;
+    }
+
+    /// The invalidation generation of `line` (see the `gens` field). Lines
+    /// beyond coverage report generation 0, which is also what a block
+    /// compiled over them would have recorded — out-of-range code never
+    /// goes stale, it simply faults when reached.
+    #[inline]
+    pub fn line_gen(&self, line: usize) -> u64 {
+        self.gens.get(line).copied().unwrap_or(0)
     }
 
     /// Number of lines currently predecoded.

@@ -100,6 +100,14 @@ fn handle_connection(
             // is no safe way to reply and continue.)
             Ok(None) | Err(_) => return,
         };
+        // BATCH writes its own frames (one per item, streamed as each job
+        // resolves); everything else is one request, one response.
+        if frame.opcode == Opcode::Batch {
+            if stream_batch(&frame, pool, &mut writer).is_err() {
+                return;
+            }
+            continue;
+        }
         let response = dispatch(&frame, pool, shutdown);
         // dispatch always acknowledges a shutdown frame with Ok.
         let stop = frame.opcode == Opcode::Shutdown;
@@ -129,37 +137,52 @@ fn dispatch(frame: &RequestFrame, pool: &ServePool, shutdown: &AtomicBool) -> Re
             Ok(job) => reply_to_response(pool.submit(job).wait()),
             Err(message) => ResponseFrame::error(message),
         },
-        Opcode::Batch => dispatch_batch(frame, pool),
+        // Handled by stream_batch before dispatch is reached; an envelope
+        // error is the only sensible single-frame answer if it ever is.
+        Opcode::Batch => ResponseFrame::error("batch frames are streamed"),
     }
 }
 
-/// Execute a `BATCH` frame: parse every item, fan the well-formed ones
-/// out across the pool in one `submit_batch`, and zip the replies back
-/// into item order. Malformed items become per-item error entries; only
-/// an unparseable envelope fails the whole frame.
-fn dispatch_batch(frame: &RequestFrame, pool: &ServePool) -> ResponseFrame {
+/// Execute a `BATCH` frame with streamed replies: parse every item, fan
+/// the well-formed ones out across the pool at once, then write the
+/// header frame followed by one response frame per item **in item
+/// order**, each flushed as soon as that item's job resolves — early
+/// items reach the client while later items are still executing.
+/// Malformed items become per-item error frames without consuming a pool
+/// slot; only an unparseable envelope fails the whole frame (a single
+/// `Error`-status header, no item frames).
+fn stream_batch<W: std::io::Write>(
+    frame: &RequestFrame,
+    pool: &ServePool,
+    writer: &mut W,
+) -> std::io::Result<()> {
     let items = match wire::decode_batch(&frame.payload) {
         Ok(items) => items,
-        Err(message) => return ResponseFrame::error(message),
+        Err(message) => return wire::write_response(writer, &ResponseFrame::error(message)),
     };
-    let mut responses: Vec<ResponseFrame> = Vec::with_capacity(items.len());
+    // Submit everything up front so all workers are fed while the early
+    // items' frames are being written.
+    let mut parsed = Vec::with_capacity(items.len());
     let mut jobs = Vec::with_capacity(items.len());
-    let mut job_slots = Vec::with_capacity(items.len());
-    for (index, item) in items.iter().enumerate() {
+    for item in &items {
         match frame_to_job(item) {
             Ok(job) => {
                 jobs.push(job);
-                job_slots.push(index);
-                // Placeholder, overwritten once the pool replies.
-                responses.push(ResponseFrame::error("batch item not executed"));
+                parsed.push(None);
             }
-            Err(message) => responses.push(ResponseFrame::error(message)),
+            Err(message) => parsed.push(Some(ResponseFrame::error(message))),
         }
     }
-    for (slot, reply) in job_slots.into_iter().zip(pool.submit_batch(jobs)) {
-        responses[slot] = reply_to_response(reply);
+    let mut tickets = pool.submit_batch_tickets(jobs).into_iter();
+    wire::write_response(writer, &wire::batch_header(items.len()))?;
+    for slot in parsed {
+        let response = match slot {
+            Some(error) => error,
+            None => reply_to_response(tickets.next().expect("one ticket per parsed job").wait()),
+        };
+        wire::write_response(writer, &response)?;
     }
-    ResponseFrame::ok(wire::encode_batch_response(&responses))
+    Ok(())
 }
 
 /// Map a pool reply onto the wire.
@@ -348,6 +371,70 @@ mod tests {
         // 1 keygen + 2 encaps jobs reached the pool; the bad item did not.
         assert_eq!(snap.requests[0], 1);
         assert_eq!(snap.requests[1], 2);
+    }
+
+    #[test]
+    fn batch_replies_stream_one_frame_per_item() {
+        let (addr, handle) = spawn_server(2);
+        let params = Params::lac128();
+        let make_keygen = |seq| RequestFrame {
+            opcode: Opcode::Keygen,
+            params_code: params_code(&params),
+            backend_code: BackendKind::Ct.code(),
+            seq,
+            payload: Vec::new(),
+        };
+        let bad = RequestFrame {
+            opcode: Opcode::Keygen,
+            params_code: 99,
+            backend_code: BackendKind::Ct.code(),
+            seq: 2,
+            payload: Vec::new(),
+        };
+        let items = [make_keygen(1), bad, make_keygen(3)];
+
+        // Raw wire-level check of the version-2 streamed reply shape: one
+        // `Ok` header frame carrying the item count, then one standard
+        // response frame per item, in item order — not a single packed
+        // frame as in protocol version 1.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        wire::write_request(
+            &mut stream,
+            &RequestFrame {
+                opcode: Opcode::Batch,
+                params_code: 0,
+                backend_code: 0,
+                seq: 0,
+                payload: wire::encode_batch(&items),
+            },
+        )
+        .expect("send batch");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let header = wire::read_response(&mut reader).expect("header frame");
+        assert_eq!(wire::parse_batch_header(&header).expect("count"), 3);
+        for (index, item_ok) in [true, false, true].into_iter().enumerate() {
+            let frame = wire::read_response(&mut reader).expect("item frame");
+            assert_eq!(frame.error_message().is_none(), item_ok, "item {index}");
+        }
+        drop(reader);
+        drop(stream);
+
+        // The client-side streaming helper delivers the same items, in
+        // order, through the callback, with per-item error isolation.
+        let mut client = Client::connect(&addr.to_string()).expect("connect");
+        let mut seen = Vec::new();
+        client
+            .batch_streamed(&items, |index, response| {
+                seen.push((index, response.error_message().is_none()));
+            })
+            .expect("streamed batch");
+        assert_eq!(seen, vec![(0, true), (1, false), (2, true)]);
+
+        client.shutdown().expect("shutdown");
+        let snap = handle.join().expect("server");
+        // 2 good keygens per batch reached the pool; the bad items never
+        // consumed a pool slot.
+        assert_eq!(snap.requests[0], 4);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! ```text
 //! request  (18-byte header):
 //!   0..2   magic "LS"
-//!   2      protocol version (1)
+//!   2      protocol version (2)
 //!   3      opcode   (1 keygen, 2 encaps, 3 decaps, 4 stats, 5 shutdown,
 //!                    6 ping, 7 batch)
 //!   4      params   (1 lac128, 2 lac192, 3 lac256; 0 for stats/shutdown/ping)
@@ -17,7 +17,7 @@
 //!
 //! response (8-byte header):
 //!   0..2   magic "ls"
-//!   2      protocol version (1)
+//!   2      protocol version (2)
 //!   3      status (0 ok, 1 error)
 //!   4..8   payload length (u32)
 //!   8..    payload
@@ -36,22 +36,27 @@
 //! constituent KEM requests (only keygen/encaps/decaps may nest):
 //!
 //! ```text
-//! batch request payload:              batch response payload:
-//!   0..4   item count (u32)             0..4   item count (u32)
-//!   then per item:                      then per item:
-//!     0      opcode                       0      status (0 ok, 1 error)
-//!     1      params code                  1..5   payload length (u32)
-//!     2      backend code                 5..    payload
+//! batch request payload:
+//!   0..4   item count (u32)
+//!   then per item:
+//!     0      opcode
+//!     1      params code
+//!     2      backend code
 //!     3..11  seq (u64)
 //!     11..15 payload length (u32)
 //!     15..   payload
 //! ```
 //!
-//! Items execute across the whole worker pool (see
-//! `ServePool::submit_batch`) and responses come back **in item order**,
-//! one status per item — a malformed item yields an error entry without
-//! failing its siblings. The outer response is `Error` only when the
-//! batch envelope itself cannot be parsed.
+//! A `BATCH` reply is **streamed** (protocol version 2): the server first
+//! writes an `Ok` *header frame* whose 4-byte payload is the item count,
+//! then one standard response frame per item, **in item order**, each
+//! flushed as soon as that item's job completes — a client can consume
+//! early results while later items are still executing. Items execute
+//! across the whole worker pool (see `ServePool::submit_batch_tickets`);
+//! a malformed item yields an `Error`-status item frame without failing
+//! its siblings. An `Error`-status header frame (in place of the count)
+//! means the batch envelope itself could not be parsed, and no item
+//! frames follow.
 
 use crate::pool::{Job, JobKind};
 use crate::{params_from_code, BackendKind};
@@ -61,8 +66,9 @@ use std::io::{self, Read, Write};
 pub const REQUEST_MAGIC: [u8; 2] = *b"LS";
 /// Response-frame magic.
 pub const RESPONSE_MAGIC: [u8; 2] = *b"ls";
-/// Protocol version this build speaks.
-pub const VERSION: u8 = 1;
+/// Protocol version this build speaks. Version 2 streams `BATCH` replies
+/// as one frame per item (version 1 packed them into a single frame).
+pub const VERSION: u8 = 2;
 /// Upper bound on payload size (both directions). Generously above the
 /// largest legitimate payload (a LAC-256 decaps request is ~3.5 KiB).
 pub const MAX_PAYLOAD: u32 = 1 << 20;
@@ -400,70 +406,29 @@ pub fn decode_batch(payload: &[u8]) -> Result<Vec<RequestFrame>, String> {
     Ok(items)
 }
 
-/// Pack per-item responses into a `BATCH` response payload.
-pub fn encode_batch_response(items: &[ResponseFrame]) -> Vec<u8> {
-    let body: usize = items.iter().map(|i| 5 + i.payload.len()).sum();
-    let mut out = Vec::with_capacity(4 + body);
-    out.extend_from_slice(&(items.len() as u32).to_le_bytes());
-    for item in items {
-        out.push(match item.status {
-            Status::Ok => 0,
-            Status::Error => 1,
-        });
-        out.extend_from_slice(&(item.payload.len() as u32).to_le_bytes());
-        out.extend_from_slice(&item.payload);
-    }
-    out
+/// The header frame opening a streamed `BATCH` reply: an `Ok` frame whose
+/// payload is the little-endian item count. One response frame per item
+/// follows, in item order.
+pub fn batch_header(count: usize) -> ResponseFrame {
+    ResponseFrame::ok((count as u32).to_le_bytes().to_vec())
 }
 
-/// Unpack a `BATCH` response payload into per-item responses.
+/// Parse a streamed-batch header frame into its item count.
 ///
 /// # Errors
 ///
-/// A truncated envelope, a bad status byte, or an inconsistent count.
-pub fn decode_batch_response(payload: &[u8]) -> Result<Vec<ResponseFrame>, String> {
-    let count_bytes: [u8; 4] = payload
-        .get(..4)
-        .and_then(|b| b.try_into().ok())
-        .ok_or("batch response shorter than its count field")?;
-    let count = u32::from_le_bytes(count_bytes) as usize;
-    if count.saturating_mul(5) > payload.len() {
-        return Err(format!(
-            "batch response count {count} impossible for a {}-byte payload",
-            payload.len()
-        ));
+/// An `Error`-status frame (the server's envelope error, passed through)
+/// or a malformed count payload.
+pub fn parse_batch_header(frame: &ResponseFrame) -> Result<usize, String> {
+    if let Some(message) = frame.error_message() {
+        return Err(message);
     }
-    let mut items = Vec::with_capacity(count);
-    let mut at = 4usize;
-    for index in 0..count {
-        let header = payload
-            .get(at..at + 5)
-            .ok_or_else(|| format!("batch response item {index} header truncated"))?;
-        let status = match header[0] {
-            0 => Status::Ok,
-            1 => Status::Error,
-            other => return Err(format!("batch response item {index} status byte {other}")),
-        };
-        let len = u32::from_le_bytes(header[1..5].try_into().expect("4 bytes"));
-        let len =
-            check_payload_len(len).map_err(|e| format!("batch response item {index}: {e}"))?;
-        at += 5;
-        let body = payload
-            .get(at..at + len)
-            .ok_or_else(|| format!("batch response item {index} payload truncated"))?;
-        at += len;
-        items.push(ResponseFrame {
-            status,
-            payload: body.to_vec(),
-        });
-    }
-    if at != payload.len() {
-        return Err(format!(
-            "batch response has {} trailing bytes after {count} items",
-            payload.len() - at
-        ));
-    }
-    Ok(items)
+    let count: [u8; 4] = frame
+        .payload
+        .as_slice()
+        .try_into()
+        .map_err(|_| format!("batch header payload is {} B, want 4", frame.payload.len()))?;
+    Ok(u32::from_le_bytes(count) as usize)
 }
 
 /// Turn an operation request frame into a pool [`Job`].
@@ -644,21 +609,24 @@ mod tests {
         let back = decode_batch(&encode_batch(&items)).unwrap();
         assert_eq!(back, items);
         assert_eq!(decode_batch(&encode_batch(&[])).unwrap(), Vec::new());
+    }
 
-        let responses = vec![
-            ResponseFrame::ok(vec![1, 2, 3]),
-            ResponseFrame::error("bad item"),
-            ResponseFrame::ok(Vec::new()),
-        ];
-        let back = decode_batch_response(&encode_batch_response(&responses)).unwrap();
-        assert_eq!(back, responses);
+    #[test]
+    fn batch_header_frames_roundtrip_and_pass_errors_through() {
+        assert_eq!(parse_batch_header(&batch_header(0)).unwrap(), 0);
+        assert_eq!(parse_batch_header(&batch_header(7)).unwrap(), 7);
+        assert!(parse_batch_header(&ResponseFrame::error("bad count"))
+            .unwrap_err()
+            .contains("bad count"));
+        assert!(parse_batch_header(&ResponseFrame::ok(vec![1, 2]))
+            .unwrap_err()
+            .contains("want 4"));
     }
 
     #[test]
     fn malformed_batch_payloads_rejected() {
         // Truncated count field.
         assert!(decode_batch(&[1, 0]).is_err());
-        assert!(decode_batch_response(&[1]).is_err());
 
         // Count impossible for the payload size (no allocation attempted).
         let mut huge = (u32::MAX).to_le_bytes().to_vec();
@@ -692,13 +660,6 @@ mod tests {
         }]);
         short.truncate(short.len() - 5);
         assert!(decode_batch(&short).unwrap_err().contains("truncated"));
-
-        // Bad response status byte.
-        let mut resp = encode_batch_response(&[ResponseFrame::ok(vec![])]);
-        resp[4] = 9;
-        assert!(decode_batch_response(&resp)
-            .unwrap_err()
-            .contains("status byte"));
     }
 
     #[test]

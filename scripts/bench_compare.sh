@@ -24,12 +24,41 @@ STATUS=0
 # Flatten machine-generated JSON to "key value" lines, one per numeric
 # field, in document order. Booleans and strings are skipped (they are
 # compared implicitly: a changed key sequence is a structure mismatch).
-# iss_* fields are host wall-clock throughput, not modelled cycles, so
-# they are excluded here and gated separately against baselines/iss.json.
+# All iss_* fields — numeric wall-clock throughput *and* string engine
+# tags like "iss_engine": "superblock" — are volatile host-side metadata,
+# not modelled cycles, so they are stripped before the key sequence is
+# built and gated separately against baselines/iss.json.
 flatten() {
     tr ',{}[]' '\n' <"$1" \
-        | sed -n 's/^[[:space:]]*"\([a-z_0-9]*\)": \(-\{0,1\}[0-9][0-9.]*\)$/\1 \2/p' \
-        | sed '/^iss_/d'
+        | sed '/^[[:space:]]*"iss_/d' \
+        | sed -n 's/^[[:space:]]*"\([a-z_0-9]*\)": \(-\{0,1\}[0-9][0-9.]*\)$/\1 \2/p'
+}
+
+# Fail loudly on a missing, empty, or malformed JSON file instead of
+# silently flattening it to zero fields (which would then report a
+# confusing "field count changed" or, worse, compare nothing).
+check_json() {
+    file="$1"
+    if [ ! -f "$file" ]; then
+        echo "bench-compare: missing $file — regenerate it (see the header of this script)" >&2
+        return 1
+    fi
+    if [ ! -s "$file" ]; then
+        echo "bench-compare: $file is empty — regenerate it (see the header of this script)" >&2
+        return 1
+    fi
+    case "$(head -c1 "$file")" in
+        "{") ;;
+        *)
+            echo "bench-compare: $file is not a JSON object (malformed baseline?)" >&2
+            return 1
+            ;;
+    esac
+    if [ "$(flatten "$file" | wc -l)" -eq 0 ]; then
+        echo "bench-compare: $file contains no numeric fields (malformed baseline?)" >&2
+        return 1
+    fi
+    return 0
 }
 
 compare() {
@@ -37,8 +66,7 @@ compare() {
     tol="$2"
     table_ok=1
     baseline="baselines/$bin.json"
-    if [ ! -f "$baseline" ]; then
-        echo "bench-compare: missing $baseline" >&2
+    if ! check_json "$baseline"; then
         STATUS=1
         return 0
     fi
@@ -91,12 +119,15 @@ compare table3 0
 # the cycle tables), so the floor is set well below the reference host's
 # steady-state and only catches gross regressions — e.g. the fast path
 # silently falling back to decode-every-step.
-if [ -f baselines/iss.json ]; then
+if [ -f baselines/iss.json ] && [ -s baselines/iss.json ]; then
     ISS_FLOOR=$(sed -n 's/.*"mips_floor": \([0-9.]*\).*/\1/p' baselines/iss.json)
     ISS_MIPS=$(./target/release/iss_bench --json --iters 500 \
         | sed -n 's/.*"mips_fast": \([0-9.]*\).*/\1/p')
-    if [ -z "$ISS_FLOOR" ] || [ -z "$ISS_MIPS" ]; then
-        echo "bench-compare: could not read ISS floor or measurement" >&2
+    if [ -z "$ISS_FLOOR" ]; then
+        echo "bench-compare: baselines/iss.json has no \"mips_floor\" field (malformed baseline?)" >&2
+        STATUS=1
+    elif [ -z "$ISS_MIPS" ]; then
+        echo "bench-compare: iss_bench --json printed no \"mips_fast\" field" >&2
         STATUS=1
     elif awk -v m="$ISS_MIPS" -v f="$ISS_FLOOR" 'BEGIN { exit !(m + 0 >= f + 0) }'; then
         echo "bench-compare: iss OK ($ISS_MIPS MIPS >= floor $ISS_FLOOR)"
@@ -105,7 +136,7 @@ if [ -f baselines/iss.json ]; then
         STATUS=1
     fi
 else
-    echo "bench-compare: missing baselines/iss.json" >&2
+    echo "bench-compare: missing or empty baselines/iss.json — regenerate it (see the header of this script)" >&2
     STATUS=1
 fi
 

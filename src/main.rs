@@ -230,6 +230,33 @@ fn cmd_serve_ctl(action: &str, opts: &Options) -> Result<String, String> {
 /// harness prints directly (same code path as the `lac-bench` binaries);
 /// `--threads N` caps the shard worker count (default: all cores, or
 /// `LAC_BENCH_THREADS`).
+fn cmd_iss(opts: &Options) -> Result<String, String> {
+    let iters = match opts.flags.get("iters") {
+        Some(value) => value
+            .parse()
+            .map_err(|_| format!("bad --iters '{value}'"))?,
+        None => 500,
+    };
+    let engine = match opts.flags.get("engine") {
+        Some(name) => lac_bench::iss::parse_engine(name)
+            .ok_or_else(|| format!("unknown engine '{name}' (classic|predecode|superblock)"))?,
+        None => lac_rv32::Engine::Superblock,
+    };
+    let run = lac_bench::iss::measure(iters, engine);
+    let name = lac_bench::iss::engine_name(engine);
+    if opts.json {
+        Ok(format!(
+            "{{\"bench\": \"iss\", \"engine\": \"{name}\", \"iters\": {iters}, \"instructions\": {}, \"cycles\": {}, \"wall_us\": {}, \"mips\": {:.2}, \"digest\": \"{}\"}}\n",
+            run.instructions, run.cycles, run.wall_micros, run.mips, run.digest
+        ))
+    } else {
+        Ok(format!(
+            "ISS throughput ({name} engine): {:.2} MIPS ({} instructions in {} us)\n",
+            run.mips, run.instructions, run.wall_micros
+        ))
+    }
+}
+
 fn cmd_table(which: &str, opts: &Options) -> Result<String, String> {
     let threads = match opts.flags.get("threads") {
         Some(value) => Some(
@@ -253,6 +280,7 @@ fn run(command: &str, opts: &Options) -> Result<String, String> {
         "serve" => return cmd_serve(opts),
         "bench-serve" => return cmd_bench_serve(opts),
         "table1" | "table2" => return cmd_table(command, opts),
+        "iss" => return cmd_iss(opts),
         _ => {
             if let Some(action) = command.strip_prefix("serve-ctl") {
                 return cmd_serve_ctl(action.trim_start(), opts);
@@ -379,7 +407,9 @@ const USAGE: &str = "usage: lac-suite <command> [flags]
       [--batch N] [--queue N] [--sweep N,N,...] [--addr HOST:PORT] [--json]
   serve-ctl <stats|ping|shutdown> --addr HOST:PORT
   table1|table2                  regenerate a paper table (sharded sweep)
-      [--threads N] [--json]";
+      [--threads N] [--json]
+  iss                            interpreter wall-clock throughput probe
+      [--engine classic|predecode|superblock] [--iters N] [--json]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
