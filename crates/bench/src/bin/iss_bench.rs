@@ -9,28 +9,39 @@
 //! `scripts/bench_compare.sh`.
 //!
 //! Run: `cargo run --release -p lac-bench --bin iss_bench
-//!       [--json] [--iters N] [--engine classic|predecode|superblock]`
+//!       [--json] [--iters N] [--engine classic|predecode|superblock]
+//!       [--sweep [--cells N] [--threads N]]`
 //!
 //! With `--engine`, only that engine is measured (no differential check);
-//! the default is the full three-way comparison.
+//! the default is the full three-way comparison. With `--sweep`, a fleet
+//! of `--cells` independent sweep cells runs on `--threads` workers twice
+//! — per-cell cold starts vs the warm-start layer (shared trace cache +
+//! snapshot/restore) — and reports the `"warm_speedup"` ratio plus a
+//! `"digests_match"` bit-identity check; this is the binary behind
+//! `scripts/verify.sh`'s warm-start gate (warm ≥ 1.5× cold).
 
-use lac_bench::{iss, json, thousands};
+use lac_bench::{iss, json, shard, thousands, threads_arg};
 use lac_rv32::Engine;
 use std::process::ExitCode;
 
-fn iters_arg() -> u32 {
+fn u32_flag(name: &str, default: u32) -> u32 {
+    let eq = format!("--{name}=");
     let mut args = std::env::args();
     while let Some(arg) = args.next() {
-        if arg == "--iters" {
+        if arg == format!("--{name}") {
             if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
                 return v;
             }
         }
-        if let Some(v) = arg.strip_prefix("--iters=").and_then(|v| v.parse().ok()) {
+        if let Some(v) = arg.strip_prefix(&eq).and_then(|v| v.parse().ok()) {
             return v;
         }
     }
-    2_000
+    default
+}
+
+fn iters_arg() -> u32 {
+    u32_flag("iters", 2_000)
 }
 
 fn engine_arg() -> Result<Option<Engine>, String> {
@@ -66,7 +77,65 @@ fn print_run(label: &str, r: &iss::IssRun) {
     );
 }
 
+fn run_sweep() -> ExitCode {
+    // Sweep cells are small by default: the point is fleet setup cost,
+    // not per-cell run length.
+    let cells = u32_flag("cells", 48) as usize;
+    let iters = u32_flag("iters", 40);
+    let threads = shard::thread_count(threads_arg());
+    let report = iss::sweep(cells, iters, threads);
+
+    if json::requested() {
+        println!("{{");
+        println!("  \"bench\": \"iss_sweep\",");
+        println!("  \"cells\": {},", report.cells);
+        println!("  \"iters\": {},", report.iters);
+        println!("  \"threads\": {},", report.threads);
+        println!("  \"cold_wall_us\": {},", report.cold_wall_micros);
+        println!("  \"warm_wall_us\": {},", report.warm_wall_micros);
+        println!("  \"warm_speedup\": {:.2},", report.speedup);
+        println!("  \"shared_publishes\": {},", report.shared.publishes);
+        println!("  \"shared_installs\": {},", report.shared.installs);
+        println!("  \"shared_blocks\": {},", report.shared.blocks);
+        println!("  \"digest\": \"{}\",", report.digest);
+        println!("  \"digests_match\": {}", report.digests_match);
+        println!("}}");
+    } else {
+        println!(
+            "ISS warm-start sweep — {} cells x {} iters on {} threads",
+            report.cells, report.iters, report.threads
+        );
+        println!(
+            "  cold (per-cell setup):      {:>9} us",
+            report.cold_wall_micros
+        );
+        println!(
+            "  warm (image + shared cache):{:>9} us",
+            report.warm_wall_micros
+        );
+        println!("  speedup: {:.2}x", report.speedup);
+        println!(
+            "  shared cache: {} blocks published, {} installs across workers",
+            report.shared.publishes, report.shared.installs
+        );
+        println!(
+            "  digests match: {} ({})",
+            report.digests_match,
+            &report.digest[..16.min(report.digest.len())]
+        );
+    }
+
+    if !report.digests_match {
+        eprintln!("error: cold and warm fleets produced different architectural digests");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
+    if std::env::args().any(|a| a == "--sweep") {
+        return run_sweep();
+    }
     let iters = iters_arg();
     let only = match engine_arg() {
         Ok(only) => only,

@@ -20,8 +20,10 @@
 //! gates on the superblock engine being at least 3× faster than the
 //! classic engine in wall-clock.
 
-use lac_rv32::{Engine, Machine};
+use crate::shard;
+use lac_rv32::{Cpu, Engine, Machine, SharedTraceCache, SharedTraceStats};
 use lac_sha256::Sha256;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Base address of the v̂-style input bytes.
@@ -68,6 +70,14 @@ pub struct IssRun {
     pub mips: f64,
     /// Hex SHA-256 over the architectural exit state and output buffer.
     pub digest: String,
+    /// Superblocks compiled locally by the CPU.
+    pub sb_compiles: u64,
+    /// Whole-block trace-cache dispatches.
+    pub sb_dispatches: u64,
+    /// Blocks adopted from a shared trace cache instead of compiled.
+    pub sb_shared_installs: u64,
+    /// Predecode lines filled.
+    pub pre_fills: u64,
 }
 
 /// A three-way engine comparison on the same workload.
@@ -134,17 +144,22 @@ pub fn workload(iters: u32) -> Machine {
     machine
 }
 
-/// Run the workload on one engine and measure it.
+/// The instruction budget for an `iters`-sized workload.
+fn budget(iters: u32) -> u64 {
+    40 * u64::from(iters) * u64::from(COEFFS) + 1_000_000
+}
+
+/// Run an already-configured CPU to `ecall` and measure it. The digest
+/// covers the register file, PC, modelled cycles, retired instructions
+/// and the output buffer — wall-clock and cache counters are excluded, so
+/// cold, warm and shared-cache runs must all hash identically.
 ///
 /// # Panics
 ///
 /// Panics if the workload traps (a build-time bug).
-pub fn run_path(iters: u32, engine: Engine) -> IssRun {
-    let mut machine = workload(iters);
-    machine.cpu_mut().set_engine(engine);
-    let budget = 40 * u64::from(iters) * u64::from(COEFFS) + 1_000_000;
+fn measure_cpu(cpu: &mut Cpu, iters: u32) -> IssRun {
     let started = Instant::now();
-    let exit = machine.run(budget).expect("ISS workload runs to ecall");
+    let exit = cpu.run(budget(iters)).expect("ISS workload runs to ecall");
     let wall_micros = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
 
     let mut hash = Sha256::new();
@@ -155,9 +170,10 @@ pub fn run_path(iters: u32, engine: Engine) -> IssRun {
     hash.update(&exit.pc.to_le_bytes());
     hash.update(&exit.cycles.to_le_bytes());
     hash.update(&exit.instructions.to_le_bytes());
-    hash.update(machine.cpu().read_bytes(OUT_BASE, COEFFS as usize));
+    hash.update(cpu.read_bytes(OUT_BASE, COEFFS as usize));
     let digest: String = hash.finalize().iter().map(|b| format!("{b:02x}")).collect();
 
+    let sb = cpu.superblock_stats();
     let wall_secs = (wall_micros.max(1)) as f64 / 1e6;
     IssRun {
         instructions: exit.instructions,
@@ -165,7 +181,47 @@ pub fn run_path(iters: u32, engine: Engine) -> IssRun {
         wall_micros,
         mips: exit.instructions as f64 / wall_secs / 1e6,
         digest,
+        sb_compiles: sb.compiles,
+        sb_dispatches: sb.dispatches,
+        sb_shared_installs: sb.shared_installs,
+        pre_fills: cpu.predecode_stats().0,
     }
+}
+
+/// Run the workload on one engine and measure it (cold start: assemble,
+/// load and compile from scratch).
+///
+/// # Panics
+///
+/// Panics if the workload traps (a build-time bug).
+pub fn run_path(iters: u32, engine: Engine) -> IssRun {
+    let mut machine = workload(iters);
+    machine.cpu_mut().set_engine(engine);
+    measure_cpu(machine.cpu_mut(), iters)
+}
+
+/// Run the workload through the warm-start layer: snapshot the pristine
+/// machine, prime a [`SharedTraceCache`] with one run, then measure a CPU
+/// restored from the image with the shared cache attached. The digest
+/// must equal [`run_path`]'s for the same `iters` — warm start is a
+/// host-speed optimisation only.
+///
+/// # Panics
+///
+/// Panics if the workload traps (a build-time bug).
+pub fn run_path_warm(iters: u32, engine: Engine) -> IssRun {
+    let mut machine = workload(iters);
+    machine.cpu_mut().set_engine(engine);
+    let image = machine.snapshot();
+    let shared = Arc::new(SharedTraceCache::new());
+
+    let mut primer = Cpu::from_image(&image);
+    primer.attach_shared_cache(Arc::clone(&shared));
+    measure_cpu(&mut primer, iters);
+
+    let mut cpu = Cpu::from_image(&image);
+    cpu.attach_shared_cache(shared);
+    measure_cpu(&mut cpu, iters)
 }
 
 /// Wall-clock repetitions per engine in [`compare`]. The workload is a
@@ -206,14 +262,116 @@ pub fn compare(iters: u32) -> IssReport {
 
 /// The volatile `"iss_*"` JSON fields the table binaries append to their
 /// `--json` output (superblock engine, the sweep default; wall-clock
-/// figures, so `scripts/bench_compare.sh` and the sharding-determinism
-/// check both filter keys with this prefix).
+/// figures and cache counters, so `scripts/bench_compare.sh` and the
+/// sharding-determinism check both filter keys with this prefix).
 pub fn json_fields(iters: u32) -> String {
-    let run = run_path(iters, Engine::Superblock);
+    format_iss_fields(&run_path(iters, Engine::Superblock), false)
+}
+
+/// Warm-start variant of [`json_fields`] (the table binaries' `--iss-warm`
+/// flag): the probe runs through snapshot/restore plus a shared trace
+/// cache. Everything outside the stripped `iss_*` prefix is unchanged, so
+/// a warm `--json` run diffs clean against a cold one.
+pub fn json_fields_warm(iters: u32) -> String {
+    format_iss_fields(&run_path_warm(iters, Engine::Superblock), true)
+}
+
+fn format_iss_fields(run: &IssRun, warm: bool) -> String {
     format!(
-        "\"iss_engine\": \"superblock\", \"iss_instructions\": {}, \"iss_wall_us\": {}, \"iss_mips\": {:.2}",
-        run.instructions, run.wall_micros, run.mips
+        "\"iss_engine\": \"superblock\", \"iss_warm\": {}, \"iss_instructions\": {}, \"iss_wall_us\": {}, \"iss_mips\": {:.2}, \"iss_sb_compiles\": {}, \"iss_sb_dispatches\": {}, \"iss_sb_shared_installs\": {}, \"iss_pre_fills\": {}",
+        warm,
+        run.instructions,
+        run.wall_micros,
+        run.mips,
+        run.sb_compiles,
+        run.sb_dispatches,
+        run.sb_shared_installs,
+        run.pre_fills
     )
+}
+
+/// A cold-vs-warm fleet comparison: `cells` independent sweep cells run
+/// on `threads` workers, once with per-cell cold starts (assemble, load,
+/// compile from scratch — today's table-sweep behaviour) and once through
+/// the warm-start layer (one pristine [`lac_rv32::WarmImage`] plus one
+/// priming run populating a [`SharedTraceCache`], then per-cell
+/// [`Cpu::restore`]). The image build and priming run are *inside* the
+/// warm timing, so the speedup is end-to-end honest.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Sweep cells per pass.
+    pub cells: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Workload size per cell.
+    pub iters: u32,
+    /// Wall-clock of the cold pass, microseconds.
+    pub cold_wall_micros: u64,
+    /// Wall-clock of the warm pass (including image + priming run).
+    pub warm_wall_micros: u64,
+    /// `cold_wall / warm_wall` — the verify.sh warm-start gate figure.
+    pub speedup: f64,
+    /// Whether every cold cell, every warm cell and the priming run all
+    /// produced one identical architectural digest.
+    pub digests_match: bool,
+    /// That common digest (from the first cold cell).
+    pub digest: String,
+    /// Shared trace-cache counters after the warm pass.
+    pub shared: SharedTraceStats,
+}
+
+/// Run the cold-vs-warm sweep comparison (see [`SweepReport`]).
+///
+/// # Panics
+///
+/// Panics if the workload traps (a build-time bug).
+pub fn sweep(cells: usize, iters: u32, threads: usize) -> SweepReport {
+    // Cold pass: every cell pays full setup, as table sweeps do today.
+    let cold_started = Instant::now();
+    let cold: Vec<String> = shard::run_indexed(cells, threads, |_| {
+        run_path(iters, Engine::Superblock).digest
+    });
+    let cold_wall_micros = cold_started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+
+    // Warm pass: one image + one priming run, then restore per cell with
+    // a per-worker CPU reused across cells.
+    let warm_started = Instant::now();
+    let image = workload(iters).snapshot();
+    let shared = Arc::new(SharedTraceCache::new());
+    let mut primer = Cpu::from_image(&image);
+    primer.attach_shared_cache(Arc::clone(&shared));
+    let prime_digest = measure_cpu(&mut primer, iters).digest;
+    let warm: Vec<String> = shard::run_indexed_with(
+        cells,
+        threads,
+        || {
+            let mut cpu = Cpu::from_image(&image);
+            cpu.attach_shared_cache(Arc::clone(&shared));
+            cpu
+        },
+        |cpu, _| {
+            cpu.restore(&image);
+            measure_cpu(cpu, iters).digest
+        },
+    );
+    let warm_wall_micros = warm_started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+
+    let digest = cold.first().cloned().unwrap_or_default();
+    let digests_match = !digest.is_empty()
+        && prime_digest == digest
+        && cold.iter().all(|d| *d == digest)
+        && warm.iter().all(|d| *d == digest);
+    SweepReport {
+        cells,
+        threads,
+        iters,
+        cold_wall_micros,
+        warm_wall_micros,
+        speedup: cold_wall_micros.max(1) as f64 / warm_wall_micros.max(1) as f64,
+        digests_match,
+        digest,
+        shared: shared.stats(),
+    }
 }
 
 #[cfg(test)]
@@ -251,6 +409,29 @@ mod tests {
         assert_ne!(one.digest, three.digest);
         // Same shape twice → identical digest (pure function of iters).
         assert_eq!(run_path(3, Engine::Superblock).digest, three.digest);
+    }
+
+    #[test]
+    fn warm_path_is_bit_identical_and_installs_shared_blocks() {
+        let cold = run_path(3, Engine::Superblock);
+        let warm = run_path_warm(3, Engine::Superblock);
+        assert_eq!(warm.digest, cold.digest, "warm start changed results");
+        assert_eq!(warm.instructions, cold.instructions);
+        assert_eq!(warm.cycles, cold.cycles);
+        assert!(
+            warm.sb_shared_installs > 0,
+            "the measured CPU should adopt the primer's blocks: {warm:?}"
+        );
+        assert_eq!(warm.sb_compiles, 0, "nothing left to compile locally");
+    }
+
+    #[test]
+    fn sweep_digests_match_across_cold_and_warm_fleets() {
+        let report = sweep(3, 2, 2);
+        assert!(report.digests_match, "{report:?}");
+        assert_eq!(report.digest, run_path(2, Engine::Superblock).digest);
+        assert!(report.shared.publishes > 0, "primer published nothing");
+        assert!(report.shared.installs > 0, "workers installed nothing");
     }
 
     #[test]

@@ -61,6 +61,15 @@ pub mod json {
     }
 }
 
+/// Whether `--iss-warm` was passed on the command line: the table
+/// binaries route their trailing ISS-throughput probe through the
+/// warm-start layer ([`iss::run_path_warm`]). Everything outside the
+/// stripped `iss_*` JSON fields is unchanged, so `scripts/verify.sh`
+/// diffs warm output against cold output to check digest invariance.
+pub fn iss_warm_arg() -> bool {
+    std::env::args().any(|a| a == "--iss-warm")
+}
+
 /// Parse `--threads N` / `--threads=N` from the command line (the table
 /// binaries' worker-count override; see [`shard::thread_count`]).
 pub fn threads_arg() -> Option<usize> {

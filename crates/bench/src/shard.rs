@@ -50,20 +50,44 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_indexed_with(jobs, threads, || (), move |(), i| f(i))
+}
+
+/// Like [`run_indexed`], but each worker first builds private mutable
+/// state with `init` and threads it through every job it pulls. This is
+/// the warm-sweep hot path: a worker constructs one warmed `Cpu` (or any
+/// other expensive scratch object) and reuses it across cells instead of
+/// paying the setup cost per job. Determinism is unchanged — results are
+/// still merged by job index, and each `f(state, i)` must be a pure
+/// function of `i` for the sharding-invariance guarantee to hold.
+///
+/// # Panics
+///
+/// Propagates a panic from any job (via [`std::thread::scope`]).
+pub fn run_indexed_with<S, T, I, F>(jobs: usize, threads: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     if threads <= 1 || jobs <= 1 {
-        return (0..jobs).map(f).collect();
+        let mut state = init();
+        return (0..jobs).map(|i| f(&mut state, i)).collect();
     }
     let next = AtomicUsize::new(0);
     let cells: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads.min(jobs) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs {
-                    break;
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs {
+                        break;
+                    }
+                    let result = f(&mut state, i);
+                    *cells[i].lock().expect("result cell poisoned") = Some(result);
                 }
-                let result = f(i);
-                *cells[i].lock().expect("result cell poisoned") = Some(result);
             });
         }
     });
@@ -104,5 +128,27 @@ mod tests {
     #[test]
     fn default_thread_count_is_positive() {
         assert!(thread_count(None) >= 1);
+    }
+
+    #[test]
+    fn per_worker_state_is_reused_not_shared() {
+        // Each worker counts the jobs it ran in its private state; the
+        // result stays a pure function of the index regardless.
+        for threads in [1, 2, 4] {
+            let results = run_indexed_with(
+                9,
+                threads,
+                || 0usize,
+                |seen, i| {
+                    *seen += 1;
+                    (i * 3, *seen >= 1)
+                },
+            );
+            assert_eq!(
+                results,
+                (0..9).map(|i| (i * 3, true)).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+        }
     }
 }

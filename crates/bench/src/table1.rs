@@ -66,7 +66,7 @@ pub fn measure_cells(threads: usize) -> Vec<Measured> {
     })
 }
 
-fn emit_json(cells: &[Measured]) {
+fn emit_json(cells: &[Measured], iss_warm: bool) {
     let mut rows = Vec::new();
     for ((label, fails, paper), m) in PAPER_TABLE1.iter().zip(cells) {
         let col = |name: &str, measured: u64, paper: u64| {
@@ -99,19 +99,27 @@ fn emit_json(cells: &[Measured]) {
         ct0.decode as f64 / vt0.decode as f64
     );
     println!("  }},");
-    println!("  {}", iss::json_fields(ISS_ITERS));
+    let fields = if iss_warm {
+        iss::json_fields_warm(ISS_ITERS)
+    } else {
+        iss::json_fields(ISS_ITERS)
+    };
+    println!("  {fields}");
     println!("}}");
 }
 
 /// Render Table I to stdout.
 ///
 /// `threads = None` resolves via [`shard::thread_count`] (flag, env,
-/// available parallelism). Measurement values are independent of the
-/// thread count; only the trailing ISS-throughput report is wall-clock.
-pub fn run(emit_json_output: bool, threads: Option<usize>) {
+/// available parallelism). `iss_warm` routes the trailing ISS-throughput
+/// probe through the warm-start layer (`--iss-warm`); its stripped
+/// `--json` output is identical either way. Measurement values are
+/// independent of the thread count; only the trailing ISS-throughput
+/// report is wall-clock.
+pub fn run(emit_json_output: bool, threads: Option<usize>, iss_warm: bool) {
     let cells = measure_cells(shard::thread_count(threads));
     if emit_json_output {
-        emit_json(&cells);
+        emit_json(&cells, iss_warm);
         return;
     }
     println!("Table I — cycle count BCH(511, 367, 16) on RISC-V");
@@ -160,12 +168,17 @@ pub fn run(emit_json_output: bool, threads: Option<usize>) {
         ct0.decode as f64 / vt0.decode as f64,
         514_169.0 / 171_522.0
     );
-    let probe = iss::run_path(ISS_ITERS, lac_rv32::Engine::Superblock);
+    let probe = if iss_warm {
+        iss::run_path_warm(ISS_ITERS, lac_rv32::Engine::Superblock)
+    } else {
+        iss::run_path(ISS_ITERS, lac_rv32::Engine::Superblock)
+    };
     println!(
-        "\nISS throughput: {:.2} MIPS ({} instructions in {} us, superblock engine)",
+        "\nISS throughput: {:.2} MIPS ({} instructions in {} us, superblock engine{})",
         probe.mips,
         thousands(probe.instructions),
-        probe.wall_micros
+        probe.wall_micros,
+        if iss_warm { ", warm start" } else { "" }
     );
 }
 

@@ -63,7 +63,7 @@ fn print_row(row: &KemRow, paper: Option<&[u64; 7]>) {
     }
 }
 
-fn emit_json(rows: &[KemRow]) {
+fn emit_json(rows: &[KemRow], iss_warm: bool) {
     let mut out = Vec::new();
     for row in rows {
         let paper = PAPER_TABLE2
@@ -109,19 +109,27 @@ fn emit_json(rows: &[KemRow]) {
     println!("  \"table\": \"II\",");
     println!("  \"rows\": [\n{}\n  ],", out.join(",\n"));
     println!("  \"speedups\": [\n{}\n  ],", speedups.join(",\n"));
-    println!("  {}", iss::json_fields(ISS_ITERS));
+    let fields = if iss_warm {
+        iss::json_fields_warm(ISS_ITERS)
+    } else {
+        iss::json_fields(ISS_ITERS)
+    };
+    println!("  {fields}");
     println!("}}");
 }
 
 /// Render Table II to stdout.
 ///
 /// `threads = None` resolves via [`shard::thread_count`] (flag, env,
-/// available parallelism). Measurement values are independent of the
-/// thread count; only the trailing ISS-throughput report is wall-clock.
-pub fn run(emit_json_output: bool, threads: Option<usize>) {
+/// available parallelism). `iss_warm` routes the trailing ISS-throughput
+/// probe through the warm-start layer (`--iss-warm`); its stripped
+/// `--json` output is identical either way. Measurement values are
+/// independent of the thread count; only the trailing ISS-throughput
+/// report is wall-clock.
+pub fn run(emit_json_output: bool, threads: Option<usize>, iss_warm: bool) {
     let rows = measure_rows(shard::thread_count(threads));
     if emit_json_output {
-        emit_json(&rows);
+        emit_json(&rows, iss_warm);
         return;
     }
     println!("Table II — cycle count for the key encapsulation and performance bottlenecks");
@@ -230,12 +238,17 @@ pub fn run(emit_json_output: bool, threads: Option<usize>) {
             paper_factor
         );
     }
-    let probe = iss::run_path(ISS_ITERS, lac_rv32::Engine::Superblock);
+    let probe = if iss_warm {
+        iss::run_path_warm(ISS_ITERS, lac_rv32::Engine::Superblock)
+    } else {
+        iss::run_path(ISS_ITERS, lac_rv32::Engine::Superblock)
+    };
     println!(
-        "\nISS throughput: {:.2} MIPS ({} instructions in {} us, superblock engine)",
+        "\nISS throughput: {:.2} MIPS ({} instructions in {} us, superblock engine{})",
         probe.mips,
         thousands(probe.instructions),
-        probe.wall_micros
+        probe.wall_micros,
+        if iss_warm { ", warm start" } else { "" }
     );
 }
 

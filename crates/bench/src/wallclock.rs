@@ -10,16 +10,24 @@
 //! measurements and never depend on this module; wall-clock numbers are a
 //! sanity cross-check on the host, so the harness favours zero dependencies
 //! and readable output over criterion's statistical machinery: per bench it
-//! calibrates a batch size, takes a fixed number of timed samples, and
-//! reports the median/min/mean nanoseconds per iteration.
+//! calibrates a batch size, runs [`ROUNDS`] independent sampling rounds,
+//! and reports the best (lowest-median) round's median/min/mean
+//! nanoseconds per iteration. Best-of-N keeps a single noisy round — a
+//! scheduler hiccup, a frequency transition — from polluting warm-vs-cold
+//! comparisons: a deterministic kernel's true cost is its least-interfered
+//! measurement.
 
 use std::time::{Duration, Instant};
 
 /// Target wall-clock duration of one timed sample.
 const SAMPLE_TARGET: Duration = Duration::from_millis(10);
 
-/// Timed samples taken per benchmark.
+/// Timed samples taken per sampling round.
 const SAMPLES: usize = 30;
+
+/// Independent sampling rounds per benchmark; the round with the lowest
+/// median wins.
+const ROUNDS: usize = 5;
 
 /// Warm-up budget used to calibrate the batch size.
 const WARMUP: Duration = Duration::from_millis(20);
@@ -60,21 +68,29 @@ impl Group {
         let per_iter = start.elapsed().as_nanos().max(1) / u128::from(warm_iters);
         let batch = (SAMPLE_TARGET.as_nanos() / per_iter.max(1)).clamp(1, 1 << 24) as u64;
 
-        let mut samples_ns: Vec<u128> = Vec::with_capacity(SAMPLES);
-        for _ in 0..SAMPLES {
-            let t = Instant::now();
-            for _ in 0..batch {
-                std::hint::black_box(f());
+        // Best of ROUNDS independent sampling rounds (lowest median).
+        let mut best: Option<(u128, u128, u128)> = None;
+        for _ in 0..ROUNDS {
+            let mut samples_ns: Vec<u128> = Vec::with_capacity(SAMPLES);
+            for _ in 0..SAMPLES {
+                let t = Instant::now();
+                for _ in 0..batch {
+                    std::hint::black_box(f());
+                }
+                samples_ns.push(t.elapsed().as_nanos() / u128::from(batch));
             }
-            samples_ns.push(t.elapsed().as_nanos() / u128::from(batch));
+            samples_ns.sort_unstable();
+            let median = samples_ns[samples_ns.len() / 2];
+            let min = samples_ns[0];
+            let mean = samples_ns.iter().sum::<u128>() / samples_ns.len() as u128;
+            if best.is_none_or(|(m, _, _)| median < m) {
+                best = Some((median, min, mean));
+            }
         }
-        samples_ns.sort_unstable();
-        let median = samples_ns[samples_ns.len() / 2];
-        let min = samples_ns[0];
-        let mean = samples_ns.iter().sum::<u128>() / samples_ns.len() as u128;
+        let (median, min, mean) = best.expect("ROUNDS > 0");
 
         let mut line = format!(
-            "{}/{label}: median {median} ns/iter (min {min}, mean {mean}, {SAMPLES} samples x {batch} iters)",
+            "{}/{label}: median {median} ns/iter (min {min}, mean {mean}, best of {ROUNDS} rounds x {SAMPLES} samples x {batch} iters)",
             self.name
         );
         if let Some(bytes) = bytes {

@@ -30,10 +30,12 @@ use crate::inst::{decode, decompress, AluOp, BranchOp, CsrOp, Inst, LoadOp, PqUn
 use crate::pq::PqAlu;
 use crate::predecode::{PredecodeCache, Slot};
 use crate::superblock::{
-    self, Block, BlockSlot, OpKind, Src2, SuperblockCache, SuperblockStats, Terminator,
-    HOT_THRESHOLD, MAX_OPS,
+    self, BlockSlot, CachedBlock, OpKind, SharedTraceCache, Src2, SuperblockCache, SuperblockStats,
+    Terminator, HOT_THRESHOLD, LINE_SHIFT, MAX_LINES, MAX_OPS,
 };
+use crate::warm::{WarmImage, WarmState};
 use std::fmt;
+use std::sync::Arc;
 
 /// Which execution engine [`Cpu::run`] dispatches through. All three are
 /// bit-identical architecturally; they differ only in host speed.
@@ -142,6 +144,9 @@ pub struct Cpu {
     cache: PredecodeCache,
     sb: SuperblockCache,
     engine: Engine,
+    /// Process-wide compiled-block pool this CPU publishes to and installs
+    /// from (see [`SharedTraceCache`]); not part of snapshots.
+    shared: Option<Arc<SharedTraceCache>>,
 }
 
 /// How a superblock execution handed control back to the dispatch loop.
@@ -166,7 +171,82 @@ impl Cpu {
             cache: PredecodeCache::new(ram_bytes),
             sb: SuperblockCache::new(),
             engine: Engine::Superblock,
+            shared: None,
         }
+    }
+
+    /// Attach a process-wide [`SharedTraceCache`]: superblocks this CPU
+    /// compiles are published to it, and hot heads probe it before
+    /// compiling locally. Purely a host-speed optimisation — shared
+    /// entries are byte-validated on install and generation-validated on
+    /// dispatch, so architectural results are unchanged.
+    pub fn attach_shared_cache(&mut self, shared: Arc<SharedTraceCache>) {
+        self.shared = Some(shared);
+    }
+
+    /// Detach the shared trace cache (locally-installed blocks remain).
+    pub fn detach_shared_cache(&mut self) {
+        self.shared = None;
+    }
+
+    /// The attached shared trace cache, if any.
+    pub fn shared_cache(&self) -> Option<&Arc<SharedTraceCache>> {
+        self.shared.as_ref()
+    }
+
+    /// Capture the whole machine — architectural state, RAM, predecoded
+    /// lines with their generation counters, and the compiled superblock
+    /// cache — into a cheaply-cloneable [`WarmImage`]. The shared-cache
+    /// attachment is not captured (see [`crate::warm`]).
+    pub fn snapshot(&self) -> WarmImage {
+        WarmImage {
+            state: Arc::new(WarmState {
+                regs: self.regs,
+                pc: self.pc,
+                cycles: self.cycles,
+                instructions: self.instructions,
+                mscratch: self.mscratch,
+                pq: self.pq.clone(),
+                ram: self.ram.clone(),
+                engine: self.engine,
+                pre: self.cache.snapshot(),
+                sb_slot_count: self.sb.slot_count(),
+                sb_slots: self.sb.snapshot_slots(),
+                sb_stats: self.sb.stats,
+            }),
+        }
+    }
+
+    /// Reset this CPU to the exact state captured in `image`, reusing its
+    /// allocations where shapes match (the warm-sweep hot path: a RAM
+    /// `memcpy` plus sparse cache copies instead of a full rebuild). RAM,
+    /// the predecode table (including generation counters) and every
+    /// superblock slot are replaced together, so no stale derived state
+    /// survives. The shared-cache attachment is left as-is.
+    pub fn restore(&mut self, image: &WarmImage) {
+        let state = &*image.state;
+        self.regs = state.regs;
+        self.pc = state.pc;
+        self.cycles = state.cycles;
+        self.instructions = state.instructions;
+        self.mscratch = state.mscratch;
+        self.pq = state.pq.clone();
+        if self.ram.len() == state.ram.len() {
+            self.ram.copy_from_slice(&state.ram);
+        } else {
+            self.ram = state.ram.clone();
+        }
+        self.engine = state.engine;
+        self.cache.restore(&state.pre);
+        self.sb
+            .restore_slots(state.sb_slot_count, &state.sb_slots, state.sb_stats);
+    }
+
+    /// Build a fresh CPU from a [`WarmImage`] (see [`Cpu::restore`]).
+    pub fn from_image(image: &WarmImage) -> Self {
+        let mut cpu = Self::new(image.state.ram.len());
+        cpu.restore(image);
+        cpu
     }
 
     /// Select the execution engine (default: [`Engine::Superblock`]).
@@ -685,7 +765,7 @@ impl Cpu {
                 return Err(Trap::OutOfFuel);
             }
             // Probe the trace cache at this head.
-            let idx = SuperblockCache::index(pc);
+            let idx = self.sb.index(pc);
             let mut block = {
                 let slot = self.sb.slot_mut(idx);
                 if slot.tag == pc {
@@ -716,10 +796,22 @@ impl Cpu {
                     self.sb.slot_mut(idx).heat = HOT_THRESHOLD;
                 }
             }
+            if block.is_none() && self.shared.is_some() {
+                // Probe the process-wide pool when the head is fresh (a
+                // warmed sibling likely compiled it already) or locally
+                // hot (incl. stale drops: the byte compare below rejects
+                // versions the store outdated). Lukewarm misses skip the
+                // map lock entirely.
+                let heat = self.sb.slot_mut(idx).heat;
+                if heat == 1 || heat >= HOT_THRESHOLD {
+                    block = self.install_shared(pc).map(Box::new);
+                }
+            }
             if block.is_none() && self.sb.slot_mut(idx).heat >= HOT_THRESHOLD {
                 match superblock::compile(&mut self.cache, &self.ram, pc) {
                     Some(b) => {
                         self.sb.stats.compiles += 1;
+                        self.publish_shared(pc, &b);
                         block = Some(Box::new(b));
                     }
                     // The head slot holds no decodable instruction: let
@@ -729,7 +821,7 @@ impl Cpu {
                 }
             }
             if let Some(b) = block {
-                if fuel >= b.total_instrs {
+                if fuel >= b.block.total_instrs {
                     self.sb.stats.dispatches += 1;
                     let retired_before = flight.instructions;
                     let outcome = self.exec_block(&b, &mut pc, &mut flight);
@@ -810,6 +902,46 @@ impl Cpu {
         }
     }
 
+    /// Try to adopt a block for head `pc` from the attached shared cache.
+    /// On a byte-validated hit, every predecode line covering the block's
+    /// code span is filled (fill-before-recording: stores only bump the
+    /// generations of *filled* lines, so recording an unfilled line's
+    /// generation would miss a later invalidation) and the entry is
+    /// wrapped with this CPU's own `(line, generation)` pairs.
+    #[cold]
+    fn install_shared(&mut self, pc: u32) -> Option<CachedBlock> {
+        let shared = self.shared.as_ref()?;
+        let block = shared.lookup(pc, &self.ram)?;
+        let mut lines = [(0u32, 0u64); MAX_LINES];
+        let mut count = 0usize;
+        let first = pc >> LINE_SHIFT;
+        let last = block.end_pc.wrapping_sub(1) >> LINE_SHIFT;
+        for line in first..=last {
+            if !self.cache.line_is_filled(line as usize) {
+                // Any PC inside the line fills the whole line; the span
+                // is in RAM (the byte compare just read it).
+                self.cache.fill(&self.ram, line << LINE_SHIFT);
+            }
+            debug_assert!(count < MAX_LINES, "shared block spans too many lines");
+            lines[count] = (line, self.cache.line_gen(line as usize));
+            count += 1;
+        }
+        self.sb.stats.shared_installs += 1;
+        Some(CachedBlock::from_lines(block, &lines[..count]))
+    }
+
+    /// Publish a locally-compiled block to the attached shared cache,
+    /// together with the code bytes it was compiled from.
+    fn publish_shared(&mut self, pc: u32, cached: &CachedBlock) {
+        let Some(shared) = &self.shared else { return };
+        let (start, end) = (pc as usize, cached.block.end_pc as usize);
+        if start < end && end <= self.ram.len() {
+            if shared.publish(pc, &self.ram[start..end], &cached.block) {
+                self.sb.stats.shared_publishes += 1;
+            }
+        }
+    }
+
     /// Execute one compiled superblock. On entry `flight` holds the
     /// counters as of the block head; on any exit they hold exactly what
     /// the oracle would report, and `*pc_io` the PC it would sit at:
@@ -824,10 +956,11 @@ impl Cpu {
     ///   a store into the running block is architecturally invisible.
     fn exec_block(
         &mut self,
-        block: &Block,
+        cached: &CachedBlock,
         pc_io: &mut u32,
         flight: &mut Flight,
     ) -> Result<BlockExit, Trap> {
+        let block = &*cached.block;
         let entry_cycles = flight.cycles;
         let entry_instrs = flight.instructions;
         // PQ stalls are device-reported at execution time; trap paths
@@ -934,7 +1067,7 @@ impl Cpu {
                             // The store may have rewritten code this very
                             // block was compiled from — bail before the
                             // next (possibly stale) op if so.
-                            if !block.lines_current(&self.cache) {
+                            if !cached.lines_current(&self.cache) {
                                 self.sb.stats.store_bails += 1;
                                 let resume =
                                     block.ops.get(k + 1).map_or(block.term_pc, |next| next.pc);

@@ -63,8 +63,9 @@ fn crumb_to_ternary(c: u32) -> i8 {
     }
 }
 
-/// The PQ-ALU device state (one instance per CPU).
-#[derive(Debug)]
+/// The PQ-ALU device state (one instance per CPU). `Clone` so a
+/// [`crate::warm::WarmImage`] can capture the device mid-operation.
+#[derive(Debug, Clone)]
 pub struct PqAlu {
     // MUL TER
     ter_a: Vec<i8>,

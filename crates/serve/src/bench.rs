@@ -170,6 +170,7 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchReport, String> {
                     workers: cfg.workers,
                     queue_capacity: cfg.queue_capacity,
                     seed: pool_seed(cfg.seed),
+                    warm_iss: true,
                 },
             )
             .map_err(|e| format!("bind: {e}"))?;

@@ -43,6 +43,7 @@
 //!     workers: 2,
 //!     queue_capacity: 8,
 //!     seed: [7u8; 32],
+//!     warm_iss: true,
 //! });
 //! let jobs = vec![
 //!     Job::new(0, Params::lac128(), BackendKind::Ct, JobKind::Keygen),

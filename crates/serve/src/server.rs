@@ -215,6 +215,7 @@ mod tests {
                 workers,
                 queue_capacity: 8,
                 seed: [3u8; 32],
+                warm_iss: true,
             },
         )
         .expect("bind");

@@ -24,10 +24,14 @@ STATUS=0
 # Flatten machine-generated JSON to "key value" lines, one per numeric
 # field, in document order. Booleans and strings are skipped (they are
 # compared implicitly: a changed key sequence is a structure mismatch).
-# All iss_* fields — numeric wall-clock throughput *and* string engine
-# tags like "iss_engine": "superblock" — are volatile host-side metadata,
-# not modelled cycles, so they are stripped before the key sequence is
-# built and gated separately against baselines/iss.json.
+# All iss_* fields — numeric wall-clock throughput, string engine tags
+# like "iss_engine": "superblock", and the warm-start/trace-cache
+# counters ("iss_warm", "iss_sb_compiles"/"iss_sb_dispatches",
+# "iss_sb_shared_installs", "iss_pre_fills") — are
+# volatile host-side metadata, not modelled cycles, so they are stripped
+# from BOTH the baseline and the current run before the key sequence is
+# built, and gated separately against baselines/iss.json. New iss_*
+# fields therefore never force a baseline refresh.
 flatten() {
     tr ',{}[]' '\n' <"$1" \
         | sed '/^[[:space:]]*"iss_/d' \

@@ -42,6 +42,14 @@ if [ "$QUICK" = 1 ]; then
     cargo run -q --release --offline -p lac-bench --bin table2 -- --json > /dev/null
     echo "  table2 OK"
     echo
+    echo "== smoke: warm-start sweep digest parity (quick mode) =="
+    # Small cold-vs-warm fleet; iss_bench exits non-zero on digest skew.
+    # No speedup floor here — tiny sweeps are wall-clock noise; the 1.5x
+    # gate lives in full mode.
+    cargo run -q --release --offline -p lac-bench --bin iss_bench -- \
+        --json --sweep --cells 4 --iters 8 --threads 2 | grep -q '"digests_match": true'
+    echo "  warm sweep digests match"
+    echo
     echo "verify: quick checks passed (full mode remains the tier-1 gate)"
     exit 0
 fi
@@ -57,10 +65,13 @@ done
 echo
 echo "== smoke: sharded table sweeps are thread-count invariant =="
 # The modelled-cycle output must be byte-identical for any worker count;
-# only the volatile iss_* wall-clock fields may differ between runs.
+# only the volatile iss_* wall-clock/counter fields may differ between
+# runs. The multi-threaded run also enables the warm-start layer
+# (--iss-warm), so one diff checks thread-count invariance AND
+# warm-vs-cold architectural invariance at once.
 for bin in table1 table2; do
     ONE=$(./target/release/"$bin" --json --threads 1 | grep -v '"iss_')
-    MANY=$(./target/release/"$bin" --json --threads 4 | grep -v '"iss_')
+    MANY=$(./target/release/"$bin" --json --threads 4 --iss-warm | grep -v '"iss_')
     if [ "$ONE" != "$MANY" ]; then
         echo "sharding smoke: $bin --json differs between --threads 1 and 4" >&2
         exit 1
@@ -95,6 +106,36 @@ iss_gate() {
     '
 }
 iss_gate || { echo "  (wall-clock noise suspected; retrying once)"; iss_gate; }
+
+echo
+echo "== acceptance: ISS warm-start sweep (shared cache + snapshot/restore) =="
+# The same fleet of sweep cells runs twice — per-cell cold starts vs the
+# warm-start layer. iss_bench exits non-zero if the two fleets' combined
+# architectural digests differ; the speedup floor is wall-clock, so allow
+# one retry before declaring a regression.
+warm_gate() {
+    WARM_JSON=$(./target/release/iss_bench --json --sweep --cells 48 --iters 40 --threads 4) || {
+        echo "warm sweep: cold and warm fleet digests diverged" >&2
+        echo "$WARM_JSON" >&2
+        return 1
+    }
+    echo "$WARM_JSON" | grep -q '"digests_match": true' || {
+        echo "warm sweep: digests_match missing or false" >&2
+        echo "$WARM_JSON" >&2
+        return 1
+    }
+    echo "$WARM_JSON" | awk '
+        /"warm_speedup":/ {
+            gsub(/[",]/, "")
+            for (i = 1; i <= NF; i++) if ($i == "warm_speedup:") v = $(i + 1)
+        }
+        END {
+            if (v + 0 < 1.5) { print "warm sweep: warm speedup " v " < 1.5x"; exit 1 }
+            print "  warm fleet: " v "x over cold starts, digests match"
+        }
+    '
+}
+warm_gate || { echo "  (wall-clock noise suspected; retrying once)"; warm_gate; }
 
 echo
 echo "== bench regression gate (baselines/) =="

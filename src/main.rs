@@ -75,6 +75,8 @@ impl Options {
                 cycles = true;
             } else if arg == "--json" {
                 json = true;
+            } else if arg == "--iss-warm" {
+                flags.insert("iss-warm".to_string(), "true".to_string());
             } else if let Some(name) = arg.strip_prefix("--") {
                 let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
                 flags.insert(name.to_string(), value.clone());
@@ -143,6 +145,7 @@ fn cmd_serve(opts: &Options) -> Result<String, String> {
             workers,
             queue_capacity,
             seed,
+            warm_iss: true,
         },
     )
     .map_err(|e| format!("cannot bind {addr}: {e}"))?;
@@ -266,9 +269,10 @@ fn cmd_table(which: &str, opts: &Options) -> Result<String, String> {
         ),
         None => None,
     };
+    let iss_warm = opts.flags.contains_key("iss-warm");
     match which {
-        "table1" => lac_bench::table1::run(opts.json, threads),
-        _ => lac_bench::table2::run(opts.json, threads),
+        "table1" => lac_bench::table1::run(opts.json, threads, iss_warm),
+        _ => lac_bench::table2::run(opts.json, threads, iss_warm),
     }
     Ok(String::new())
 }
