@@ -300,9 +300,10 @@ mod tests {
         let mut cw = code.encode(&msg, &mut NullMeter);
         flip(&mut cw, &[1, 31, 61, 91, 121, 151, 181, 211, 241, 271]);
         let out = code.decode_variable_time(&cw, &mut NullMeter);
-        assert!(!out.likely_ok() || out.message != msg || out.message == msg);
         // The strong assertion: with ≤ t errors it never fails, checked in
-        // other tests; here we only require no panic and a defined result.
+        // other tests; here we only require no panic and a defined result
+        // of the right shape.
+        assert_eq!(out.message.len(), msg.len());
     }
 
     #[test]

@@ -14,8 +14,11 @@ use lac::{AcceleratedBackend, Backend, Params, SoftwareBackend};
 /// Iterations of the ISS throughput probe appended to table output.
 const ISS_ITERS: u32 = 200;
 
+/// Constructor for one backend configuration column.
+type BackendCtor = fn() -> Box<dyn Backend>;
+
 /// Backend configurations in table order (suffix, constructor).
-const CONFIGS: [(&str, fn() -> Box<dyn Backend>); 3] = [
+const CONFIGS: [(&str, BackendCtor); 3] = [
     ("ref.", || Box::new(SoftwareBackend::reference())),
     ("const. BCH", || Box::new(SoftwareBackend::constant_time())),
     ("opt.", || Box::new(AcceleratedBackend::new())),

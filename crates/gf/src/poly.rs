@@ -167,7 +167,7 @@ impl BinPoly {
     pub fn get(&self, i: usize) -> bool {
         self.words
             .get(i / 64)
-            .map_or(false, |w| (w >> (i % 64)) & 1 == 1)
+            .is_some_and(|w| (w >> (i % 64)) & 1 == 1)
     }
 
     /// Set the coefficient of xⁱ.

@@ -218,9 +218,9 @@ mod tests {
         let n = a.len();
         let q = NEWHOPE_Q as i64;
         let mut acc = vec![0i64; n];
-        for i in 0..n {
-            for j in 0..n {
-                let prod = i64::from(a[i]) * i64::from(b[j]);
+        for (i, &ai) in a.iter().enumerate() {
+            for (j, &bj) in b.iter().enumerate() {
+                let prod = i64::from(ai) * i64::from(bj);
                 let k = i + j;
                 if k < n {
                     acc[k] += prod;

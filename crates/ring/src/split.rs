@@ -148,9 +148,7 @@ pub fn split_mul_low(
     // 32-bit word (halved per-element counts).
     let w = (u as u64).div_ceil(2);
     let mut c = vec![0u8; 2 * u];
-    for i in 0..u {
-        c[i] = cll.coeffs()[i];
-    }
+    c[..u].copy_from_slice(&cll.coeffs()[..u]);
     meter.charge(Op::Load, w);
     meter.charge(Op::Store, w);
     meter.charge(Op::LoopIter, w);
@@ -216,8 +214,8 @@ pub fn split_mul_high(
     let wn = (n as u64).div_ceil(2);
     let wu = (u as u64).div_ceil(2);
     let mut c = vec![0u8; n];
-    for i in 0..n {
-        c[i] = fold(cll.coeffs()[i], chh.coeffs()[i]);
+    for ((ci, &lo), &hi) in c.iter_mut().zip(cll.coeffs()).zip(chh.coeffs()) {
+        *ci = fold(lo, hi);
     }
     meter.charge(Op::Load, 2 * wn);
     meter.charge(Op::Alu, 2 * wn);

@@ -339,9 +339,7 @@ pub fn assemble(source: &str) -> Result<Vec<u32>, AsmError> {
                 continue;
             }
             ".space" => {
-                for _ in 0..item.size / 4 {
-                    words.push(0);
-                }
+                words.resize(words.len() + (item.size / 4) as usize, 0);
                 continue;
             }
             _ => {}

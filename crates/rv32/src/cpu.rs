@@ -935,10 +935,11 @@ impl Cpu {
     fn publish_shared(&mut self, pc: u32, cached: &CachedBlock) {
         let Some(shared) = &self.shared else { return };
         let (start, end) = (pc as usize, cached.block.end_pc as usize);
-        if start < end && end <= self.ram.len() {
-            if shared.publish(pc, &self.ram[start..end], &cached.block) {
-                self.sb.stats.shared_publishes += 1;
-            }
+        if start < end
+            && end <= self.ram.len()
+            && shared.publish(pc, &self.ram[start..end], &cached.block)
+        {
+            self.sb.stats.shared_publishes += 1;
         }
     }
 
@@ -1211,11 +1212,7 @@ fn alu(op: AluOp, a: u32, b: u32, cycles: &mut u64) -> u32 {
         }
         AluOp::Divu => {
             *cycles += 34;
-            if b == 0 {
-                u32::MAX
-            } else {
-                a / b
-            }
+            a.checked_div(b).unwrap_or(u32::MAX)
         }
         AluOp::Rem => {
             *cycles += 34;

@@ -230,11 +230,10 @@ fn imm_s(w: u32) -> i32 {
 }
 #[inline]
 fn imm_b(w: u32) -> i32 {
-    let imm = (((w as i32) >> 31) << 12)
+    (((w as i32) >> 31) << 12)
         | ((((w >> 7) & 1) as i32) << 11)
         | ((((w >> 25) & 0x3f) as i32) << 5)
-        | ((((w >> 8) & 0xf) as i32) << 1);
-    imm
+        | ((((w >> 8) & 0xf) as i32) << 1)
 }
 #[inline]
 fn imm_u(w: u32) -> i32 {
@@ -634,6 +633,9 @@ fn cj_to_jal(h: u32, rd: u32) -> u32 {
 }
 
 #[cfg(test)]
+// Binary literals in these tests are grouped by RV32C instruction *fields*
+// (funct3 / imm / register slices), not by nibbles.
+#[allow(clippy::unusual_byte_groupings)]
 mod tests {
     use super::*;
 
@@ -667,7 +669,7 @@ mod tests {
             Inst::Op { op: AluOp::Mul, .. }
         ));
         // sub x4, x5, x6
-        let sub = (0x20 << 25) | (6 << 20) | (5 << 15) | (0 << 12) | (4 << 7) | 0x33;
+        let sub = (0x20 << 25) | (6 << 20) | (5 << 15) | (4 << 7) | 0x33;
         assert!(matches!(
             decode(sub).unwrap(),
             Inst::Op { op: AluOp::Sub, .. }

@@ -22,12 +22,26 @@
 //! client order. Request `r` is always issued by client `r % clients`
 //! with DRBG lane `r + 1`, so the partition — and hence the digest — is
 //! independent of timing.
+//!
+//! # Open loop
+//!
+//! [`run_open_loop`] is the tail-latency companion: instead of closed-loop
+//! clients (whose arrival rate collapses to the service rate under load,
+//! hiding queueing delay), it fires requests on a fixed schedule — request
+//! `r` is *due* at `start + r/target_qps` on connection `r % conns`,
+//! whether or not earlier replies have arrived. Each connection runs a
+//! writer thread (sends on schedule, pipelining) and a reader thread
+//! (consumes replies in request order, which the server guarantees per
+//! connection). Latency is measured from the request's *scheduled* time,
+//! not its actual send time, so coordinated omission cannot flatter the
+//! tail; `BUSY` sheds are counted separately from errors. The report
+//! carries interpolated p50/p99/p999.
 
 use crate::client::Client;
 use crate::metrics::{Histogram, HistogramSnapshot};
 use crate::pool::ServeConfig;
 use crate::server::Server;
-use crate::wire::{Opcode, RequestFrame};
+use crate::wire::{self, Opcode, RequestFrame};
 use crate::{params_code, BackendKind, Op};
 use lac::{Kem, Params};
 use lac_meter::NullMeter;
@@ -171,6 +185,7 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchReport, String> {
                     queue_capacity: cfg.queue_capacity,
                     seed: pool_seed(cfg.seed),
                     warm_iss: true,
+                    ..ServeConfig::default()
                 },
             )
             .map_err(|e| format!("bind: {e}"))?;
@@ -334,6 +349,335 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchReport, String> {
         latency: latency.snapshot(),
         digest: digest_hex,
         server_stats_json,
+    })
+}
+
+/// Open-loop (target-QPS) load configuration; see the module docs.
+#[derive(Debug, Clone)]
+pub struct OpenLoopConfig {
+    /// Worker threads for the in-process server (ignored with `addr`).
+    pub workers: usize,
+    /// Connections the schedule is striped across (request `r` rides
+    /// connection `r % conns`).
+    pub conns: usize,
+    /// Offered load in requests/second. Arrivals follow the schedule even
+    /// when the server falls behind — that is the point.
+    pub target_qps: f64,
+    /// How long to keep offering load, in milliseconds.
+    pub duration_ms: u64,
+    /// Operation to drive.
+    pub op: Op,
+    /// Parameter set.
+    pub params: Params,
+    /// Execution backend.
+    pub backend: BackendKind,
+    /// Root seed (`u64` convenience form, like the CLI's `--seed`).
+    pub seed: u64,
+    /// Queue capacity for the in-process server.
+    pub queue_capacity: usize,
+    /// Target an already-running server instead of spawning one.
+    pub addr: Option<String>,
+    /// Connect/read/write deadline per connection in ms (0 = none).
+    pub timeout_ms: u64,
+}
+
+impl Default for OpenLoopConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            conns: 2,
+            target_qps: 200.0,
+            duration_ms: 500,
+            op: Op::Encaps,
+            params: Params::lac128(),
+            backend: BackendKind::Ct,
+            seed: 1,
+            queue_capacity: 64,
+            addr: None,
+            timeout_ms: 10_000,
+        }
+    }
+}
+
+/// Results of one open-loop run.
+#[derive(Debug, Clone)]
+pub struct OpenLoopReport {
+    /// Echo of the run's shape.
+    pub workers: usize,
+    /// Connection count.
+    pub conns: usize,
+    /// Offered load the schedule aimed for.
+    pub target_qps: f64,
+    /// Configured load duration in ms.
+    pub duration_ms: u64,
+    /// Requests actually put on the wire.
+    pub offered: u64,
+    /// Successful replies.
+    pub completions: u64,
+    /// Requests the server shed with `BUSY` (overload, not failure).
+    pub busy: u64,
+    /// Error replies plus transport failures.
+    pub errors: u64,
+    /// Replies per second of wall time (completions + busy + errors —
+    /// the server answered them all).
+    pub achieved_qps: f64,
+    /// Wall-clock time from first scheduled arrival to last reply, µs.
+    pub wall_micros: u64,
+    /// Scheduled-arrival→reply latency (coordinated-omission safe).
+    pub latency: HistogramSnapshot,
+    /// The server's final/polled metrics snapshot as JSON.
+    pub server_stats_json: String,
+    /// Operation driven.
+    pub op: Op,
+    /// Parameter set driven.
+    pub params: Params,
+    /// Backend driven.
+    pub backend: BackendKind,
+}
+
+impl OpenLoopReport {
+    /// Flat JSON object for `--json` output.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"bench\": \"serve-open-loop\", \"op\": \"{}\", \"params\": \"{}\", \
+             \"backend\": \"{}\", \"workers\": {}, \"conns\": {}, \
+             \"target_qps\": {:.1}, \"duration_ms\": {}, \"offered\": {}, \
+             \"completions\": {}, \"busy\": {}, \"errors\": {}, \
+             \"achieved_qps\": {:.1}, \"wall_us\": {}, \"latency\": {}, \"server\": {}}}",
+            self.op.label(),
+            self.params.name(),
+            self.backend.name(),
+            self.workers,
+            self.conns,
+            self.target_qps,
+            self.duration_ms,
+            self.offered,
+            self.completions,
+            self.busy,
+            self.errors,
+            self.achieved_qps,
+            self.wall_micros,
+            self.latency.to_json(),
+            if self.server_stats_json.is_empty() {
+                "null"
+            } else {
+                &self.server_stats_json
+            },
+        )
+    }
+
+    /// Human-readable summary with the interpolated tail.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "bench-serve open-loop: target {:.0} req/s for {} ms — {} on {} / {}, {} workers, {} conns\n",
+            self.target_qps,
+            self.duration_ms,
+            self.op.label(),
+            self.params.name(),
+            self.backend.name(),
+            self.workers,
+            self.conns,
+        ));
+        out.push_str(&format!(
+            "  offered {} requests, completed {}, busy {}, errors {}\n",
+            self.offered, self.completions, self.busy, self.errors
+        ));
+        out.push_str(&format!(
+            "  achieved: {:.1} replies/s over {:.1} ms\n",
+            self.achieved_qps,
+            self.wall_micros as f64 / 1e3
+        ));
+        out.push_str(&format!(
+            "  latency: p50 {:.1} us, p99 {:.1} us, p999 {:.1} us, max {} us\n",
+            self.latency.quantile_micros_interp(0.50),
+            self.latency.quantile_micros_interp(0.99),
+            self.latency.quantile_micros_interp(0.999),
+            self.latency.max_micros,
+        ));
+        out
+    }
+}
+
+/// Run the open-loop generator (see the module docs).
+///
+/// # Errors
+///
+/// Connection failures, fixture/transport errors, a non-positive
+/// `target_qps`, or a worker-thread failure. `BUSY` sheds and per-request
+/// protocol errors are *counted*, not fatal.
+pub fn run_open_loop(cfg: &OpenLoopConfig) -> Result<OpenLoopReport, String> {
+    if cfg.target_qps.is_nan() || cfg.target_qps <= 0.0 {
+        return Err("open loop needs --target-qps > 0".into());
+    }
+    let conns = cfg.conns.max(1);
+    let (pk, sk, ct) = fixtures(&BenchConfig {
+        op: cfg.op,
+        params: cfg.params,
+        backend: cfg.backend,
+        seed: cfg.seed,
+        ..BenchConfig::default()
+    });
+
+    let (addr, server_thread) = match &cfg.addr {
+        Some(addr) => (addr.clone(), None),
+        None => {
+            let server = Server::bind(
+                "127.0.0.1:0",
+                ServeConfig {
+                    workers: cfg.workers,
+                    queue_capacity: cfg.queue_capacity,
+                    seed: pool_seed(cfg.seed),
+                    warm_iss: true,
+                    ..ServeConfig::default()
+                },
+            )
+            .map_err(|e| format!("bind: {e}"))?;
+            let addr = server
+                .local_addr()
+                .map_err(|e| format!("local_addr: {e}"))?
+                .to_string();
+            (addr, Some(std::thread::spawn(move || server.run())))
+        }
+    };
+
+    let latency = Arc::new(Histogram::new());
+    let started = Instant::now();
+    let mut pairs = Vec::new();
+    for conn_index in 0..conns {
+        // One socket per connection, split into a scheduling writer and a
+        // reply reader: replies come back in request order per connection
+        // (a server guarantee), so the reader pairs each reply with the
+        // next scheduled timestamp from the writer.
+        let stream = if cfg.timeout_ms > 0 {
+            let deadline = std::time::Duration::from_millis(cfg.timeout_ms);
+            let target: std::net::SocketAddr =
+                addr.parse().map_err(|e| format!("bad addr {addr}: {e}"))?;
+            let s = std::net::TcpStream::connect_timeout(&target, deadline)
+                .map_err(|e| format!("connect: {e}"))?;
+            s.set_read_timeout(Some(deadline)).ok();
+            s.set_write_timeout(Some(deadline)).ok();
+            s
+        } else {
+            std::net::TcpStream::connect(&addr).map_err(|e| format!("connect: {e}"))?
+        };
+        stream.set_nodelay(true).ok();
+        let mut writer = stream.try_clone().map_err(|e| format!("clone: {e}"))?;
+        let mut reader = std::io::BufReader::new(stream);
+        let (sched_tx, sched_rx) = std::sync::mpsc::channel::<Instant>();
+
+        let make_frame = {
+            let (pk, sk, ct) = (pk.clone(), sk.clone(), ct.clone());
+            let (op, params, backend) = (cfg.op, cfg.params, cfg.backend);
+            move |seq: u64| RequestFrame {
+                opcode: match op {
+                    Op::Keygen => Opcode::Keygen,
+                    Op::Encaps => Opcode::Encaps,
+                    Op::Decaps => Opcode::Decaps,
+                },
+                params_code: params_code(&params),
+                backend_code: backend.code(),
+                seq,
+                payload: match op {
+                    Op::Keygen => Vec::new(),
+                    Op::Encaps => pk.clone(),
+                    Op::Decaps => [sk.as_slice(), &ct].concat(),
+                },
+            }
+        };
+        let (qps, duration_ms) = (cfg.target_qps, cfg.duration_ms);
+        let write_handle = std::thread::spawn(move || -> Result<u64, String> {
+            let horizon = std::time::Duration::from_millis(duration_ms);
+            let mut sent = 0u64;
+            let mut r = conn_index as u64;
+            loop {
+                let due = std::time::Duration::from_secs_f64(r as f64 / qps);
+                if due >= horizon {
+                    break;
+                }
+                let sched = started + due;
+                let now = Instant::now();
+                if sched > now {
+                    std::thread::sleep(sched - now);
+                }
+                // Lane r+1: lane 0 is reserved, u64::MAX is the fixtures.
+                wire::write_request(&mut writer, &make_frame(r + 1))
+                    .map_err(|e| format!("send: {e}"))?;
+                // The reader pairs replies with scheduled times in order.
+                let _ = sched_tx.send(sched);
+                sent += 1;
+                r += conns as u64;
+            }
+            Ok(sent)
+        });
+        let latency = Arc::clone(&latency);
+        let read_handle = std::thread::spawn(move || -> Result<(u64, u64, u64), String> {
+            let (mut ok, mut busy, mut errors) = (0u64, 0u64, 0u64);
+            while let Ok(sched) = sched_rx.recv() {
+                let response =
+                    wire::read_response(&mut reader).map_err(|e| format!("recv: {e}"))?;
+                latency.record(sched.elapsed());
+                if response.is_busy() {
+                    busy += 1;
+                } else if response.error_message().is_some() {
+                    errors += 1;
+                } else {
+                    ok += 1;
+                }
+            }
+            Ok((ok, busy, errors))
+        });
+        pairs.push((write_handle, read_handle));
+    }
+
+    let (mut offered, mut completions, mut busy, mut errors) = (0u64, 0u64, 0u64, 0u64);
+    for (write_handle, read_handle) in pairs {
+        offered += write_handle
+            .join()
+            .map_err(|_| "writer thread panicked".to_string())??;
+        let (ok, b, e) = read_handle
+            .join()
+            .map_err(|_| "reader thread panicked".to_string())??;
+        completions += ok;
+        busy += b;
+        errors += e;
+    }
+    let wall_micros = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+
+    let mut control = Client::connect(&addr).map_err(|e| format!("control connect: {e}"))?;
+    let server_stats_json = control.stats().unwrap_or_default();
+    let workers = if let Some(thread) = server_thread {
+        control.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+        thread
+            .join()
+            .map_err(|_| "server thread panicked".to_string())?;
+        cfg.workers
+    } else {
+        extract_u64(&server_stats_json, "workers").unwrap_or(0) as usize
+    };
+
+    let wall_secs = wall_micros as f64 / 1e6;
+    let answered = completions + busy + errors;
+    Ok(OpenLoopReport {
+        workers,
+        conns,
+        target_qps: cfg.target_qps,
+        duration_ms: cfg.duration_ms,
+        offered,
+        completions,
+        busy,
+        errors,
+        achieved_qps: if wall_secs > 0.0 {
+            answered as f64 / wall_secs
+        } else {
+            0.0
+        },
+        wall_micros,
+        latency: latency.snapshot(),
+        server_stats_json,
+        op: cfg.op,
+        params: cfg.params,
+        backend: cfg.backend,
     })
 }
 
@@ -595,6 +939,36 @@ mod tests {
             },
             &[1]
         )
+        .is_err());
+    }
+
+    #[test]
+    fn open_loop_reports_tail_latency() {
+        let report = run_open_loop(&OpenLoopConfig {
+            workers: 2,
+            conns: 2,
+            target_qps: 400.0,
+            duration_ms: 150,
+            queue_capacity: 64,
+            ..OpenLoopConfig::default()
+        })
+        .expect("open loop runs");
+        assert!(report.offered > 0, "{report:?}");
+        assert_eq!(
+            report.offered,
+            report.completions + report.busy + report.errors
+        );
+        assert!(report.completions > 0, "{report:?}");
+        assert_eq!(report.latency.count, report.offered);
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"serve-open-loop\""), "{json}");
+        assert!(json.contains("\"p999_us\""), "{json}");
+        let text = report.to_text();
+        assert!(text.contains("p999"), "{text}");
+        assert!(run_open_loop(&OpenLoopConfig {
+            target_qps: 0.0,
+            ..OpenLoopConfig::default()
+        })
         .is_err());
     }
 

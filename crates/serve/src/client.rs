@@ -9,7 +9,13 @@ use crate::wire::{self, Opcode, RequestFrame, ResponseFrame};
 use crate::{params_code, BackendKind};
 use lac::Params;
 use std::io::BufReader;
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// The error string the typed helpers return when the server sheds the
+/// request with a `BUSY` status (queue full). Callers that want to retry
+/// can match on it; the connection itself stays healthy.
+pub const BUSY_MSG: &str = "server busy (request shed)";
 
 /// A connected protocol client.
 pub struct Client {
@@ -18,13 +24,55 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connect to `addr` (`"host:port"`).
+    /// Connect to `addr` (`"host:port"`) with no deadlines: connect and
+    /// reads block indefinitely.
     ///
     /// # Errors
     ///
     /// Propagates socket errors.
     pub fn connect(addr: &str) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
+        Self::from_stream(stream)
+    }
+
+    /// Connect with a deadline: `timeout_ms` bounds the TCP connect and
+    /// every subsequent read/write (0 means no deadline, as
+    /// [`Client::connect`]). A deadline that expires mid-exchange surfaces
+    /// as a transport error from the helper in flight.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors, including the connect timeout.
+    pub fn connect_with_timeout(addr: &str, timeout_ms: u64) -> std::io::Result<Self> {
+        if timeout_ms == 0 {
+            return Self::connect(addr);
+        }
+        let timeout = Duration::from_millis(timeout_ms);
+        let mut last_err = None;
+        let mut stream = None;
+        for candidate in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&candidate, timeout) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let stream = stream.ok_or_else(|| {
+            last_err.unwrap_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "address resolved to nothing",
+                )
+            })
+        })?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Self::from_stream(stream)
+    }
+
+    fn from_stream(stream: TcpStream) -> std::io::Result<Self> {
         stream.set_nodelay(true).ok();
         let writer = stream.try_clone()?;
         Ok(Self {
@@ -45,9 +93,14 @@ impl Client {
         wire::read_response(&mut self.reader).map_err(|e| format!("recv: {e}"))
     }
 
-    /// Send a frame and flatten both failure levels into `Err`.
+    /// Send a frame and flatten both failure levels into `Err`. A `BUSY`
+    /// shed becomes [`BUSY_MSG`] so callers can distinguish overload from
+    /// hard failures.
     fn request_ok(&mut self, frame: &RequestFrame) -> Result<Vec<u8>, String> {
         let response = self.request(frame)?;
+        if response.is_busy() {
+            return Err(BUSY_MSG.to_string());
+        }
         match response.error_message() {
             Some(message) => Err(message),
             None => Ok(response.payload),

@@ -19,10 +19,18 @@
 //!   backends and per-parameter-set [`lac::Kem`] instances, with per-job
 //!   DRBG lanes forked from a root seed ([`lac_rand::Sha256CtrRng::fork`])
 //!   so results are byte-identical regardless of worker count;
-//! * [`wire`] — the framed request/response protocol;
-//! * [`server`] / [`client`] — `std::net` endpoints speaking [`wire`];
-//! * [`bench`] — a closed-loop load generator reporting wall-clock *and*
-//!   modelled multi-core throughput (each worker is a modelled RISCY core).
+//! * [`wire`] — the framed request/response protocol, with an incremental
+//!   [`wire::FrameDecoder`] for nonblocking reads;
+//! * [`reactor`] — a std-only readiness layer (nonblocking I/O
+//!   classification, park/unpark wakeups, accept-rate token bucket);
+//! * [`server`] — a single-threaded event loop owning every socket:
+//!   per-connection state machines, ordered reply slots, overload shedding
+//!   (`BUSY`), connection caps, timeouts and graceful drain;
+//! * [`client`] — blocking `std::net` endpoint speaking [`wire`], with
+//!   optional connect/read/write deadlines;
+//! * [`bench`] — closed-loop *and* open-loop (target-QPS) load generators
+//!   reporting wall-clock, modelled multi-core throughput, and
+//!   interpolated tail latency (p50/p99/p999).
 //!
 //! # Determinism
 //!
@@ -44,6 +52,7 @@
 //!     queue_capacity: 8,
 //!     seed: [7u8; 32],
 //!     warm_iss: true,
+//!     ..ServeConfig::default()
 //! });
 //! let jobs = vec![
 //!     Job::new(0, Params::lac128(), BackendKind::Ct, JobKind::Keygen),
@@ -61,6 +70,7 @@ pub mod client;
 pub mod metrics;
 pub mod pool;
 pub mod queue;
+pub mod reactor;
 pub mod server;
 pub mod wire;
 
@@ -239,10 +249,7 @@ mod tests {
             assert!(code != 0, "{}", p.name());
             let back = params_from_code(code).unwrap();
             assert_eq!(back.name(), p.name());
-            assert_eq!(
-                params_parse(&p.name().to_lowercase().replace('-', "")).is_ok(),
-                true
-            );
+            assert!(params_parse(&p.name().to_lowercase().replace('-', "")).is_ok());
         }
         assert!(params_from_code(0).is_none());
         assert!(params_from_code(9).is_none());

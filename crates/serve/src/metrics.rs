@@ -5,8 +5,15 @@
 //! hot path); a [`MetricsSnapshot`] is taken on demand — for the `STATS`
 //! protocol request, on server shutdown, and by the load generator — and
 //! renders as text or JSON. Latencies use power-of-two microsecond
-//! buckets, so p50/p99 are bucket upper bounds, not exact order
-//! statistics; that is the usual trade for a lock-free histogram.
+//! buckets: [`HistogramSnapshot::quantile_micros`] gives the conservative
+//! bucket upper bound, [`HistogramSnapshot::quantile_micros_interp`]
+//! linearly interpolates the rank within its bucket — tighter for tail
+//! quantiles (p99/p999) where a power-of-two bound can overshoot by 2×.
+//! That is the usual trade for a lock-free histogram.
+//!
+//! The event-driven front-end adds [`FrontendStats`]: connection gauges
+//! (open), counters (accepted / rejected at the cap / accept-throttle
+//! events), overload sheds (`BUSY` replies) and per-kind timeout kills.
 
 use crate::Op;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -131,6 +138,38 @@ impl HistogramSnapshot {
         self.max_micros
     }
 
+    /// Interpolated estimate (µs) of the `p`-quantile: the rank's
+    /// position *within* its bucket is resolved linearly between the
+    /// bucket's bounds (clamped to the observed max), instead of
+    /// reporting the power-of-two upper bound. Returns 0 for an empty
+    /// histogram.
+    pub fn quantile_micros_interp(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (p * self.count as f64).clamp(1.0, self.count as f64);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let before = seen as f64;
+            seen += c;
+            if seen as f64 >= rank {
+                let lower = if i == 0 {
+                    0.0
+                } else {
+                    bucket_upper_micros(i - 1) as f64
+                };
+                let upper = (bucket_upper_micros(i) as f64)
+                    .min(self.max_micros as f64)
+                    .max(lower);
+                return lower + (rank - before) / c as f64 * (upper - lower);
+            }
+        }
+        self.max_micros as f64
+    }
+
     /// Mean latency in microseconds (0 when empty).
     pub fn mean_micros(&self) -> f64 {
         if self.count == 0 {
@@ -151,17 +190,135 @@ impl HistogramSnapshot {
         out
     }
 
-    /// JSON object with count/mean/p50/p99/max plus the raw buckets.
+    /// JSON object with count/mean/p50/p99/p999/max plus the raw buckets.
+    /// Quantiles are interpolated (see
+    /// [`HistogramSnapshot::quantile_micros_interp`]).
     pub fn to_json(&self) -> String {
         let buckets: Vec<String> = self.buckets.iter().map(u64::to_string).collect();
         format!(
-            "{{\"count\": {}, \"mean_us\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {}, \"buckets_pow2_us\": [{}]}}",
+            "{{\"count\": {}, \"mean_us\": {:.1}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"p999_us\": {:.1}, \"max_us\": {}, \"buckets_pow2_us\": [{}]}}",
             self.count,
             self.mean_micros(),
-            self.quantile_micros(0.50),
-            self.quantile_micros(0.99),
+            self.quantile_micros_interp(0.50),
+            self.quantile_micros_interp(0.99),
+            self.quantile_micros_interp(0.999),
             self.max_micros,
             buckets.join(", ")
+        )
+    }
+}
+
+/// Live counters for the event-driven connection front-end.
+///
+/// The reactor thread is the only writer, but the `STATS` snapshot is
+/// taken through the same `Arc`, so these stay atomics like everything
+/// else here. `conns_open` is a gauge (incremented on accept, decremented
+/// on close); the rest are monotonic counters.
+#[derive(Default)]
+pub struct FrontendStats {
+    conns_open: AtomicU64,
+    conns_accepted: AtomicU64,
+    conns_rejected: AtomicU64,
+    accept_throttled: AtomicU64,
+    shed_busy: AtomicU64,
+    timeouts_idle: AtomicU64,
+    timeouts_read: AtomicU64,
+    timeouts_write: AtomicU64,
+}
+
+impl FrontendStats {
+    /// Record an accepted connection (gauge up, counter up).
+    pub fn conn_opened(&self) {
+        self.conns_open.fetch_add(1, Ordering::Relaxed);
+        self.conns_accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a closed connection (gauge down).
+    pub fn conn_closed(&self) {
+        self.conns_open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Record a connection refused at the `max_conns` cap.
+    pub fn conn_rejected(&self) {
+        self.conns_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an accept pass deferred by the accept-rate limiter.
+    pub fn accept_throttle(&self) {
+        self.accept_throttled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one request shed with a `BUSY` reply.
+    pub fn shed(&self) {
+        self.shed_busy.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a connection killed by the idle timeout.
+    pub fn timeout_idle(&self) {
+        self.timeouts_idle.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a connection killed by the mid-frame read timeout.
+    pub fn timeout_read(&self) {
+        self.timeouts_read.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a connection killed by the write-progress timeout.
+    pub fn timeout_write(&self) {
+        self.timeouts_write.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy.
+    pub fn snapshot(&self) -> FrontendSnapshot {
+        FrontendSnapshot {
+            conns_open: self.conns_open.load(Ordering::Relaxed),
+            conns_accepted: self.conns_accepted.load(Ordering::Relaxed),
+            conns_rejected: self.conns_rejected.load(Ordering::Relaxed),
+            accept_throttled: self.accept_throttled.load(Ordering::Relaxed),
+            shed_busy: self.shed_busy.load(Ordering::Relaxed),
+            timeouts_idle: self.timeouts_idle.load(Ordering::Relaxed),
+            timeouts_read: self.timeouts_read.load(Ordering::Relaxed),
+            timeouts_write: self.timeouts_write.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of [`FrontendStats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FrontendSnapshot {
+    /// Connections currently open (gauge).
+    pub conns_open: u64,
+    /// Connections accepted over the server's lifetime.
+    pub conns_accepted: u64,
+    /// Connections refused at the `max_conns` cap.
+    pub conns_rejected: u64,
+    /// Accept passes deferred by the accept-rate limiter.
+    pub accept_throttled: u64,
+    /// Requests shed with a `BUSY` reply (queue full).
+    pub shed_busy: u64,
+    /// Connections killed by the idle timeout.
+    pub timeouts_idle: u64,
+    /// Connections killed by the mid-frame read timeout.
+    pub timeouts_read: u64,
+    /// Connections killed by the write-progress timeout.
+    pub timeouts_write: u64,
+}
+
+impl FrontendSnapshot {
+    /// JSON object (nested under `"frontend"` in the stats reply).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"conns_open\": {}, \"conns_accepted\": {}, \"conns_rejected\": {}, \
+             \"accept_throttled\": {}, \"shed_busy\": {}, \
+             \"timeouts\": {{\"idle\": {}, \"read\": {}, \"write\": {}}}}}",
+            self.conns_open,
+            self.conns_accepted,
+            self.conns_rejected,
+            self.accept_throttled,
+            self.shed_busy,
+            self.timeouts_idle,
+            self.timeouts_read,
+            self.timeouts_write,
         )
     }
 }
@@ -172,6 +329,8 @@ pub struct Metrics {
     errors: AtomicU64,
     /// Service latency: enqueue → reply ready (includes queue wait).
     latency: Histogram,
+    /// Connection-level counters, written by the reactor.
+    frontend: FrontendStats,
 }
 
 impl Default for Metrics {
@@ -187,7 +346,13 @@ impl Metrics {
             requests: std::array::from_fn(|_| AtomicU64::new(0)),
             errors: AtomicU64::new(0),
             latency: Histogram::new(),
+            frontend: FrontendStats::default(),
         }
+    }
+
+    /// The connection-level counters (reactor-owned).
+    pub fn frontend(&self) -> &FrontendStats {
+        &self.frontend
     }
 
     /// Record one completed job.
@@ -232,6 +397,8 @@ pub struct MetricsSnapshot {
     pub latency: HistogramSnapshot,
     /// Modelled RISCY cycles executed by each worker.
     pub worker_cycles: Vec<u64>,
+    /// Connection front-end counters (zero for a bare pool).
+    pub frontend: FrontendSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -279,10 +446,22 @@ impl MetricsSnapshot {
         }
         out.push_str(&format!("  errors  {}\n", self.errors));
         out.push_str(&format!(
-            "latency: mean {:.0} us, p50 <= {} us, p99 <= {} us, max {} us\n",
+            "conns: open {} / accepted {} / rejected {}, shed(BUSY) {}, \
+             timeouts idle {} read {} write {}\n",
+            self.frontend.conns_open,
+            self.frontend.conns_accepted,
+            self.frontend.conns_rejected,
+            self.frontend.shed_busy,
+            self.frontend.timeouts_idle,
+            self.frontend.timeouts_read,
+            self.frontend.timeouts_write,
+        ));
+        out.push_str(&format!(
+            "latency: mean {:.0} us, p50 ~ {:.0} us, p99 ~ {:.0} us, p999 ~ {:.0} us, max {} us\n",
             self.latency.mean_micros(),
-            self.latency.quantile_micros(0.50),
-            self.latency.quantile_micros(0.99),
+            self.latency.quantile_micros_interp(0.50),
+            self.latency.quantile_micros_interp(0.99),
+            self.latency.quantile_micros_interp(0.999),
             self.latency.max_micros
         ));
         out.push_str(&format!(
@@ -300,7 +479,7 @@ impl MetricsSnapshot {
         format!(
             "{{\"workers\": {}, \"queue_capacity\": {}, \"queue_high_water\": {}, \
              \"requests\": {{\"keygen\": {}, \"encaps\": {}, \"decaps\": {}}}, \
-             \"errors\": {}, \"latency\": {}, \
+             \"errors\": {}, \"frontend\": {}, \"latency\": {}, \
              \"worker_cycles\": [{}], \"makespan_cycles\": {}, \"total_cycles\": {}, \
              \"requests_per_mcycle\": {:.4}}}",
             self.workers,
@@ -310,6 +489,7 @@ impl MetricsSnapshot {
             self.requests[1],
             self.requests[2],
             self.errors,
+            self.frontend.to_json(),
             self.latency.to_json(),
             cycles.join(", "),
             self.makespan_cycles(),
@@ -402,6 +582,16 @@ mod tests {
             errors: 0,
             latency: HistogramSnapshot::empty(),
             worker_cycles: vec![100, 400, 250, 0],
+            frontend: FrontendSnapshot {
+                conns_open: 2,
+                conns_accepted: 9,
+                conns_rejected: 1,
+                accept_throttled: 0,
+                shed_busy: 5,
+                timeouts_idle: 1,
+                timeouts_read: 0,
+                timeouts_write: 0,
+            },
         };
         assert_eq!(snap.total_requests(), 6);
         assert_eq!(snap.makespan_cycles(), 400);
@@ -413,9 +603,69 @@ mod tests {
             "\"queue_high_water\": 17",
             "\"encaps\": 2",
             "\"makespan_cycles\": 400",
+            "\"shed_busy\": 5",
+            "\"conns_accepted\": 9",
+            "\"p999_us\": 0.0",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
         assert!(snap.to_text().contains("high-water 17"));
+        assert!(snap.to_text().contains("shed(BUSY) 5"));
+    }
+
+    #[test]
+    fn interpolated_quantiles_are_tighter_than_bucket_bounds() {
+        let h = Histogram::new();
+        // 1000 samples in the (512, 1024] bucket; p50's bucket bound is
+        // 1024 but the interpolated estimate sits mid-bucket.
+        for _ in 0..1000 {
+            h.record(Duration::from_micros(700));
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile_micros_interp(0.50);
+        assert!(p50 > 512.0 && p50 < 1024.0, "p50 {p50}");
+        assert!(p50 <= s.quantile_micros(0.50) as f64);
+        // The p999 never exceeds the observed maximum.
+        assert!(s.quantile_micros_interp(0.999) <= s.max_micros as f64);
+        assert_eq!(HistogramSnapshot::empty().quantile_micros_interp(0.99), 0.0);
+
+        // A clean bimodal split: 900 fast, 100 slow — p999 lands in the
+        // slow mode, p50 in the fast one.
+        let h = Histogram::new();
+        for _ in 0..900 {
+            h.record(Duration::from_micros(100));
+        }
+        for _ in 0..100 {
+            h.record(Duration::from_micros(50_000));
+        }
+        let s = h.snapshot();
+        assert!(s.quantile_micros_interp(0.50) <= 128.0);
+        let p999 = s.quantile_micros_interp(0.999);
+        assert!(p999 > 32_768.0 && p999 <= 50_000.0, "p999 {p999}");
+    }
+
+    #[test]
+    fn frontend_stats_count_and_gauge() {
+        let f = FrontendStats::default();
+        f.conn_opened();
+        f.conn_opened();
+        f.conn_closed();
+        f.conn_rejected();
+        f.accept_throttle();
+        f.shed();
+        f.shed();
+        f.timeout_idle();
+        f.timeout_read();
+        f.timeout_write();
+        let s = f.snapshot();
+        assert_eq!(s.conns_open, 1);
+        assert_eq!(s.conns_accepted, 2);
+        assert_eq!(s.conns_rejected, 1);
+        assert_eq!(s.accept_throttled, 1);
+        assert_eq!(s.shed_busy, 2);
+        assert_eq!(s.timeouts_idle, 1);
+        assert_eq!(s.timeouts_read, 1);
+        assert_eq!(s.timeouts_write, 1);
+        assert!(s.to_json().contains("\"shed_busy\": 2"));
     }
 }

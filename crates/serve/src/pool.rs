@@ -133,12 +133,16 @@ impl Reply {
     }
 }
 
-/// Pool sizing and seeding.
+/// Pool sizing and seeding, plus the event-driven front-end's operational
+/// envelope (connection caps, timeouts, backpressure bounds). Every limit
+/// here is also a CLI flag on `lac-suite serve` and a counter/gauge in the
+/// `STATS` reply.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Worker-thread count (≥ 1).
     pub workers: usize,
     /// Bounded-queue capacity: producers block once this many jobs wait.
+    /// The event-driven server never blocks — it sheds with `BUSY` instead.
     pub queue_capacity: usize,
     /// Root seed all per-job DRBG lanes fork from.
     pub seed: [u8; 32],
@@ -147,6 +151,26 @@ pub struct ServeConfig {
     /// (see the module docs). Purely a startup optimisation — job results
     /// are identical either way.
     pub warm_iss: bool,
+    /// Maximum simultaneously open connections; excess accepts are closed
+    /// immediately and counted (`conns_rejected`).
+    pub max_conns: usize,
+    /// Accept-rate limit in connections/second (token bucket); 0 disables.
+    pub accept_rps: u64,
+    /// Close a connection with no traffic, no in-flight jobs and nothing
+    /// buffered after this many milliseconds; 0 disables.
+    pub idle_timeout_ms: u64,
+    /// Close a connection that leaves a request frame half-sent for this
+    /// many milliseconds (slow-loris guard); 0 disables.
+    pub read_timeout_ms: u64,
+    /// Close a connection whose write buffer makes no progress for this
+    /// many milliseconds (dead-peer guard); 0 disables.
+    pub write_timeout_ms: u64,
+    /// Per-connection write-buffer bound in bytes: above it the server
+    /// stops reading that connection until the peer drains (backpressure).
+    pub max_write_buffer: usize,
+    /// Graceful-drain deadline after `SHUTDOWN`, in milliseconds: in-flight
+    /// jobs get this long to complete and flush before the server exits.
+    pub drain_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -156,6 +180,13 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             seed: [0u8; 32],
             warm_iss: true,
+            max_conns: 1024,
+            accept_rps: 0,
+            idle_timeout_ms: 60_000,
+            read_timeout_ms: 10_000,
+            write_timeout_ms: 10_000,
+            max_write_buffer: 1 << 20,
+            drain_ms: 5_000,
         }
     }
 }
@@ -292,11 +323,73 @@ impl WarmReport {
     }
 }
 
-/// A queued job plus its reply channel and enqueue timestamp.
+/// A worker-completed job routed back to the event loop: which
+/// connection, which reply slot on it, and the result.
+#[derive(Debug)]
+pub struct Completion {
+    /// Reactor-assigned connection id.
+    pub conn: u64,
+    /// Absolute reply-slot sequence on that connection (responses must go
+    /// out in request order; the slot pins this reply's position).
+    pub slot: u64,
+    /// The job's result.
+    pub reply: Reply,
+}
+
+/// Where a finished job's reply goes.
+pub enum ReplySink {
+    /// A plain channel — the blocking [`Ticket`] path.
+    Channel(mpsc::Sender<Reply>),
+    /// Event-loop routing: a [`Completion`] record plus an unpark of the
+    /// reactor thread, which is parked between readiness passes (the
+    /// fiber-parking idiom — `unpark` on a running thread just makes its
+    /// next park return immediately, so the wakeup can never be lost).
+    Routed {
+        /// Reactor-assigned connection id.
+        conn: u64,
+        /// Reply-slot sequence on that connection.
+        slot: u64,
+        /// The reactor's completion channel.
+        tx: mpsc::Sender<Completion>,
+        /// Waker for the reactor thread, rung after sending.
+        wake: crate::reactor::Waker,
+    },
+}
+
+impl ReplySink {
+    fn deliver(self, reply: Reply) {
+        match self {
+            // A dropped receiver (caller gave up) is fine — ignore errors.
+            ReplySink::Channel(tx) => {
+                let _ = tx.send(reply);
+            }
+            ReplySink::Routed {
+                conn,
+                slot,
+                tx,
+                wake,
+            } => {
+                let _ = tx.send(Completion { conn, slot, reply });
+                wake.wake();
+            }
+        }
+    }
+}
+
+/// Why [`ServePool::try_submit`] refused a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity — shed the request (`BUSY`).
+    Full,
+    /// The pool is shutting down — answer with a terminal error.
+    Closed,
+}
+
+/// A queued job plus its reply sink and enqueue timestamp.
 struct Task {
     job: Job,
     enqueued: Instant,
-    reply_to: mpsc::Sender<Reply>,
+    reply_to: ReplySink,
 }
 
 /// A ticket for a submitted job; redeem with [`Ticket::wait`].
@@ -391,13 +484,36 @@ impl ServePool {
         let task = Task {
             job,
             enqueued: Instant::now(),
-            reply_to: tx,
+            reply_to: ReplySink::Channel(tx),
         };
         if let Err(task) = self.queue.push(task) {
             // Pool already shut down: reply inline so the ticket resolves.
-            let _ = task.reply_to.send(Reply::Error("pool is shut down".into()));
+            task.reply_to
+                .deliver(Reply::Error("pool is shut down".into()));
         }
         Ticket { rx }
+    }
+
+    /// Enqueue one job without blocking, delivering its reply through
+    /// `sink` when a worker finishes it. This is the event loop's
+    /// submission path: a full queue is an immediate [`SubmitError::Full`]
+    /// (the caller sheds with `BUSY`) instead of a stalled reactor.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Full`] when the queue is at capacity,
+    /// [`SubmitError::Closed`] when the pool is shutting down. The job and
+    /// sink are dropped — the caller answers the peer itself.
+    pub fn try_submit(&self, job: Job, sink: ReplySink) -> Result<(), SubmitError> {
+        let task = Task {
+            job,
+            enqueued: Instant::now(),
+            reply_to: sink,
+        };
+        self.queue.try_push(task).map_err(|e| match e {
+            crate::queue::TryPushError::Full(_) => SubmitError::Full,
+            crate::queue::TryPushError::Closed(_) => SubmitError::Closed,
+        })
     }
 
     /// Enqueue a whole batch and return one [`Ticket`] per job, in
@@ -458,6 +574,7 @@ impl ServePool {
             errors: self.metrics.errors(),
             latency: self.metrics.latency_snapshot(),
             worker_cycles: self.worker_cycle_totals(),
+            frontend: self.metrics.frontend().snapshot(),
         }
     }
 
@@ -550,8 +667,7 @@ fn worker_main(
         let reply = execute(&mut state, root, &task.job, &mut ledger);
         cycles[index].fetch_add(ledger.total(), Ordering::Relaxed);
         metrics.record(op, task.enqueued.elapsed(), reply.is_error());
-        // A dropped ticket (caller gave up) is fine — ignore send errors.
-        let _ = task.reply_to.send(reply);
+        task.reply_to.deliver(reply);
     }
 }
 
@@ -612,6 +728,7 @@ mod tests {
             queue_capacity: 4,
             seed: [seed; 32],
             warm_iss: true,
+            ..ServeConfig::default()
         })
     }
 
@@ -810,6 +927,7 @@ mod tests {
             queue_capacity: 4,
             seed: [5; 32],
             warm_iss: false,
+            ..ServeConfig::default()
         });
         assert!(cold.warm_report().is_none());
         let jobs = |pool: &ServePool| {
@@ -823,6 +941,59 @@ mod tests {
         // Warm start is a host-speed optimisation only: same seed, same
         // jobs, same replies with or without it.
         assert_eq!(jobs(&cold), jobs(&pool(2, 5)));
+    }
+
+    #[test]
+    fn try_submit_routes_completions_and_reports_overload() {
+        let pool = ServePool::new(ServeConfig {
+            workers: 1,
+            queue_capacity: 1,
+            seed: [8; 32],
+            warm_iss: false,
+            ..ServeConfig::default()
+        });
+        let (tx, rx) = mpsc::channel();
+        let waker = crate::reactor::Parker::new().waker();
+        let job = |seq| Job::new(seq, Params::lac128(), BackendKind::Ct, JobKind::Keygen);
+        let sink = |slot| ReplySink::Routed {
+            conn: 7,
+            slot,
+            tx: tx.clone(),
+            wake: waker.clone(),
+        };
+        pool.try_submit(job(0), sink(0)).unwrap();
+        // Saturate: capacity 1 with one worker — pushing fast enough must
+        // eventually hit Full (the worker may drain the first job, so try
+        // until we do).
+        let mut accepted = 1u64;
+        let mut saw_full = false;
+        for slot in 1..100 {
+            match pool.try_submit(job(slot), sink(slot)) {
+                Ok(()) => accepted += 1,
+                Err(SubmitError::Full) => {
+                    saw_full = true;
+                    break;
+                }
+                Err(SubmitError::Closed) => panic!("pool is not closed"),
+            }
+        }
+        assert!(saw_full, "a 1-deep queue must overflow under a tight loop");
+        // Every accepted job's completion comes back with its routing keys.
+        let mut slots = Vec::new();
+        for _ in 0..accepted {
+            let c = rx
+                .recv_timeout(std::time::Duration::from_secs(30))
+                .expect("every accepted job completes");
+            assert_eq!(c.conn, 7);
+            assert!(!c.reply.is_error(), "{:?}", c.reply);
+            slots.push(c.slot);
+        }
+        assert!(slots.contains(&0));
+        pool.shutdown();
+        assert_eq!(
+            pool.try_submit(job(500), sink(500)),
+            Err(SubmitError::Closed)
+        );
     }
 
     #[test]

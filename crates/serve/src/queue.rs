@@ -6,9 +6,43 @@
 //! starts a drain — pending items are still delivered, then every `pop`
 //! returns `None` and every `push` fails. The queue also tracks its depth
 //! high-water mark under the same lock, so the metric is exact.
+//!
+//! **Close-wake audit** (the SHUTDOWN drain-hang class of bug): `close()`
+//! must use `notify_all` on *both* condvars — `notify_one` would wake a
+//! single blocked producer (or consumer) and leave its siblings parked
+//! forever, hanging the drain whenever more than one connection was
+//! blocked in `submit` at shutdown. Both broadcasts happen after the
+//! `closed` flag is published under the lock, so a waiter either observes
+//! `closed` before sleeping or is guaranteed to receive the broadcast;
+//! there is no window for a lost wakeup. Per-item wakeups (`push`/`pop`)
+//! stay `notify_one` deliberately: each delivers exactly one item or one
+//! free slot, so waking one waiter is sufficient and avoids a thundering
+//! herd. `close_wakes_every_blocked_producer_and_consumer` is the
+//! regression test for all of this.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+
+/// Why a [`BoundedQueue::try_push`] was refused. The two cases demand
+/// different serving-layer answers: `Full` is transient overload (shed the
+/// request with a `BUSY` reply), `Closed` is terminal (the pool is
+/// draining for shutdown).
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryPushError<T> {
+    /// The queue is at capacity; the item is handed back.
+    Full(T),
+    /// The queue has been closed; the item is handed back.
+    Closed(T),
+}
+
+impl<T> TryPushError<T> {
+    /// Recover the rejected item.
+    pub fn into_item(self) -> T {
+        match self {
+            TryPushError::Full(item) | TryPushError::Closed(item) => item,
+        }
+    }
+}
 
 struct Inner<T> {
     items: VecDeque<T>,
@@ -89,11 +123,18 @@ impl<T> BoundedQueue<T> {
     ///
     /// # Errors
     ///
-    /// Returns the item back if the queue is full or closed.
-    pub fn try_push(&self, item: T) -> Result<(), T> {
+    /// Returns [`TryPushError::Closed`] if the queue has been closed and
+    /// [`TryPushError::Full`] if it is at capacity, handing the item back
+    /// in both cases. The distinction is load-bearing: the event-driven
+    /// server sheds `Full` with a `BUSY` reply but answers `Closed` with a
+    /// shutdown error.
+    pub fn try_push(&self, item: T) -> Result<(), TryPushError<T>> {
         let mut inner = self.inner.lock().expect("queue lock poisoned");
-        if inner.closed || inner.items.len() >= self.capacity {
-            return Err(item);
+        if inner.closed {
+            return Err(TryPushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(TryPushError::Full(item));
         }
         inner.items.push_back(item);
         let depth = inner.items.len();
@@ -177,12 +218,15 @@ mod tests {
     }
 
     #[test]
-    fn try_push_reports_full() {
+    fn try_push_distinguishes_full_from_closed() {
         let q = BoundedQueue::new(1);
         q.try_push(1).unwrap();
-        assert_eq!(q.try_push(2), Err(2));
+        assert_eq!(q.try_push(2), Err(TryPushError::Full(2)));
         assert_eq!(q.pop(), Some(1));
         q.try_push(3).unwrap();
+        q.close();
+        assert_eq!(q.try_push(4), Err(TryPushError::Closed(4)));
+        assert_eq!(TryPushError::Full(7u32).into_item(), 7);
     }
 
     #[test]
@@ -291,5 +335,51 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = BoundedQueue::<u8>::new(0);
+    }
+
+    /// Regression test for the SHUTDOWN drain hang: when `close()` runs
+    /// while *many* producers are blocked in `push` and many consumers are
+    /// blocked in `pop`, every single one must wake — producers with an
+    /// error, consumers with the drained items then `None`. A `notify_one`
+    /// in `close()` would strand all but one of each and this test would
+    /// hang (the harness timeout turns that into a failure).
+    #[test]
+    fn close_wakes_every_blocked_producer_and_consumer() {
+        for _round in 0..8 {
+            let q = Arc::new(BoundedQueue::new(1));
+            q.push(0u32).unwrap();
+            let producers: Vec<_> = (1..=6u32)
+                .map(|i| {
+                    let q = Arc::clone(&q);
+                    std::thread::spawn(move || q.push(i))
+                })
+                .collect();
+            std::thread::sleep(Duration::from_millis(10));
+            q.close();
+            let mut rejected = 0;
+            for p in producers {
+                if p.join().unwrap().is_err() {
+                    rejected += 1;
+                }
+            }
+            // Every producer was blocked on a full queue when it closed.
+            assert_eq!(rejected, 6, "all blocked producers must error out");
+            assert_eq!(q.pop(), Some(0));
+            assert_eq!(q.pop(), None);
+
+            // Same broadcast requirement on the consumer side.
+            let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(4));
+            let consumers: Vec<_> = (0..6)
+                .map(|_| {
+                    let q = Arc::clone(&q);
+                    std::thread::spawn(move || q.pop())
+                })
+                .collect();
+            std::thread::sleep(Duration::from_millis(10));
+            q.close();
+            for c in consumers {
+                assert_eq!(c.join().unwrap(), None);
+            }
+        }
     }
 }

@@ -1,0 +1,244 @@
+//! A minimal std-only readiness layer for the event-driven server.
+//!
+//! There is no `epoll`/`poll` binding in a zero-dependency workspace, so
+//! readiness is *level-triggered by attempt*: the reactor simply tries the
+//! nonblocking operation and treats `WouldBlock` as "not ready". What this
+//! module adds on top of raw `std::net` is the glue that makes an event
+//! loop out of that:
+//!
+//! - [`try_read`] / [`try_write`] / [`try_accept`] classify nonblocking
+//!   socket results into an [`IoStatus`] the connection state machine can
+//!   match on (`Ready` / `NotReady` / `Closed` / `Failed`), folding away
+//!   `EINTR` and the `WouldBlock` dance.
+//! - [`Parker`] / [`Waker`] implement the wakeup channel with the
+//!   fiber-parking idiom (the shape r2vm uses to schedule its fibers):
+//!   the reactor thread parks between passes; any thread holding a
+//!   [`Waker`] — here, pool workers finishing a routed job — unparks it.
+//!   `unpark` on a thread that is not parked makes its *next* park return
+//!   immediately, so a wakeup raced against the reactor's own pass is
+//!   never lost; the park timeout bounds timer latency.
+//! - [`TokenBucket`] meters the accept rate.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Outcome of one nonblocking socket attempt.
+#[derive(Debug)]
+pub enum IoStatus {
+    /// The operation moved `n > 0` bytes (or accepted a connection).
+    Ready(usize),
+    /// The socket is not ready (`WouldBlock`/`EINTR`); try again on a
+    /// later pass.
+    NotReady,
+    /// The peer closed the stream (EOF on read).
+    Closed,
+    /// A terminal socket error; the connection is unusable.
+    Failed,
+}
+
+fn classify(err: &io::Error) -> IoStatus {
+    match err.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted => IoStatus::NotReady,
+        _ => IoStatus::Failed,
+    }
+}
+
+/// Attempt a nonblocking read into `buf`.
+pub fn try_read(stream: &mut TcpStream, buf: &mut [u8]) -> IoStatus {
+    match stream.read(buf) {
+        Ok(0) => IoStatus::Closed,
+        Ok(n) => IoStatus::Ready(n),
+        Err(e) => classify(&e),
+    }
+}
+
+/// Attempt a nonblocking write of (a prefix of) `buf`.
+pub fn try_write(stream: &mut TcpStream, buf: &[u8]) -> IoStatus {
+    match stream.write(buf) {
+        // A 0-byte write on a non-empty buffer means the peer is gone.
+        Ok(0) => IoStatus::Closed,
+        Ok(n) => IoStatus::Ready(n),
+        Err(e) => classify(&e),
+    }
+}
+
+/// Attempt a nonblocking accept. `Ready` carries the new stream.
+pub fn try_accept(listener: &TcpListener) -> Result<TcpStream, IoStatus> {
+    match listener.accept() {
+        Ok((stream, _peer)) => Ok(stream),
+        Err(e) => Err(classify(&e)),
+    }
+}
+
+/// A handle that wakes a parked [`Parker`] thread. Cheap to clone; safe
+/// to call from any thread.
+#[derive(Clone)]
+pub struct Waker(std::thread::Thread);
+
+impl Waker {
+    /// Wake the parker (idempotent; a wake with nobody parked arms the
+    /// next park to return immediately).
+    pub fn wake(&self) {
+        self.0.unpark();
+    }
+}
+
+/// The reactor thread's side of the wakeup channel. Construct on the
+/// thread that will park.
+pub struct Parker {
+    thread: std::thread::Thread,
+}
+
+impl Parker {
+    /// A parker for the current thread.
+    pub fn new() -> Self {
+        Self {
+            thread: std::thread::current(),
+        }
+    }
+
+    /// A waker for this parker, to hand to other threads.
+    pub fn waker(&self) -> Waker {
+        Waker(self.thread.clone())
+    }
+
+    /// Park the current thread for at most `timeout`, returning early on
+    /// any [`Waker::wake`] (including ones issued before the call).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called from a thread other than the one that constructed
+    /// this parker — parking someone else's thread is always a bug.
+    pub fn park(&self, timeout: Duration) {
+        assert_eq!(
+            std::thread::current().id(),
+            self.thread.id(),
+            "Parker::park must run on its own thread"
+        );
+        std::thread::park_timeout(timeout);
+    }
+}
+
+impl Default for Parker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A token bucket metering events per second, refilled by elapsed wall
+/// time; burst capacity is one second's worth of tokens. A rate of 0
+/// means unlimited.
+pub struct TokenBucket {
+    rate: u64,
+    tokens: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    /// A bucket allowing `rate` events/second (0 = unlimited), starting
+    /// full.
+    pub fn new(rate: u64) -> Self {
+        Self {
+            rate,
+            tokens: rate as f64,
+            last: Instant::now(),
+        }
+    }
+
+    /// Take one token if available. Always true for an unlimited bucket.
+    pub fn try_take(&mut self) -> bool {
+        if self.rate == 0 {
+            return true;
+        }
+        let now = Instant::now();
+        let dt = now.duration_since(self.last).as_secs_f64();
+        self.last = now;
+        self.tokens = (self.tokens + dt * self.rate as f64).min(self.rate as f64);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn waker_cuts_a_park_short_even_when_sent_first() {
+        let parker = Parker::new();
+        // Wake *before* parking: the token is banked, the park returns
+        // immediately instead of sleeping out the timeout.
+        parker.waker().wake();
+        let start = Instant::now();
+        parker.park(Duration::from_secs(5));
+        assert!(start.elapsed() < Duration::from_secs(1));
+
+        // Wake from another thread while parked.
+        let waker = parker.waker();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            waker.wake();
+        });
+        let start = Instant::now();
+        parker.park(Duration::from_secs(5));
+        assert!(start.elapsed() < Duration::from_secs(1));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn nonblocking_accept_and_read_classify_not_ready() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        assert!(matches!(
+            try_accept(&listener),
+            Err(IoStatus::NotReady) | Err(IoStatus::Failed)
+        ));
+
+        let peer = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let mut accepted = loop {
+            match try_accept(&listener) {
+                Ok(s) => break s,
+                Err(IoStatus::NotReady) => std::thread::sleep(Duration::from_millis(1)),
+                Err(other) => panic!("accept failed: {other:?}"),
+            }
+        };
+        accepted.set_nonblocking(true).unwrap();
+        let mut buf = [0u8; 16];
+        assert!(matches!(
+            try_read(&mut accepted, &mut buf),
+            IoStatus::NotReady
+        ));
+        drop(peer);
+        // Peer gone: read eventually reports Closed.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            match try_read(&mut accepted, &mut buf) {
+                IoStatus::Closed => break,
+                IoStatus::NotReady if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                other => panic!("expected Closed, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn token_bucket_meters_and_unlimited_never_blocks() {
+        let mut unlimited = TokenBucket::new(0);
+        for _ in 0..10_000 {
+            assert!(unlimited.try_take());
+        }
+
+        // A 5/s bucket starts with a 5-token burst, then runs dry within
+        // this tight loop (refill over a few microseconds is ≪ 1 token).
+        let mut bucket = TokenBucket::new(5);
+        let granted = (0..1000).filter(|_| bucket.try_take()).count();
+        assert!((5..=20).contains(&granted), "granted {granted}");
+    }
+}

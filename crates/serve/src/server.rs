@@ -1,44 +1,73 @@
-//! The TCP front-end: accept loop, per-connection framing threads, and
-//! graceful shutdown.
+//! The TCP front-end: a single-threaded, readiness-driven event loop.
 //!
-//! Each connection gets its own thread that reads request frames in a
-//! loop, submits KEM jobs to the shared [`ServePool`], and writes back
-//! response frames. Control frames are handled inline: `STATS` returns a
-//! [`MetricsSnapshot`] as JSON, `PING` returns an ack, and `SHUTDOWN`
-//! acknowledges, then stops the accept loop and drains the pool.
+//! One reactor thread owns the listener and every connection socket, all
+//! nonblocking. Each connection is a state machine: an incremental
+//! [`FrameDecoder`] turns whatever bytes the kernel has into request
+//! frames, KEM jobs go to the [`ServePool`] through the nonblocking
+//! [`ServePool::try_submit`], and finished jobs come back over a
+//! completion channel that unparks the reactor (see [`crate::reactor`]).
+//! Replies queue in per-connection *slots* in request order — a slot is
+//! reserved when the request is read and filled when its job completes —
+//! so pipelined responses always leave in the order the requests arrived,
+//! no matter which worker finished first. That per-connection ordering is
+//! what keeps bench digests byte-identical across worker counts and
+//! connection interleavings.
 //!
-//! Closed-loop clients get natural backpressure end-to-end: a full job
-//! queue blocks the connection thread in `submit`, which stops it reading
-//! from its socket, which fills the peer's TCP window.
+//! **Overload shedding.** The reactor never blocks on the pool: when the
+//! job queue is full, the request is answered immediately with a `BUSY`
+//! status (counted in `shed_busy`) instead of stalling the accept loop —
+//! closed-loop clients with at most `queue_capacity` outstanding requests
+//! never see it. The rest of the operational envelope is enforced here
+//! too, every limit a [`ServeConfig`] knob and a metrics counter:
+//! connection cap (`max_conns`, excess accepts closed), accept-rate
+//! limiting (token bucket), idle / mid-frame-read / write-progress
+//! timeouts, and per-connection write backpressure (reading pauses while
+//! the write buffer is over `max_write_buffer`).
+//!
+//! **Graceful drain.** A `SHUTDOWN` frame is acknowledged with `bye`, the
+//! listener stops accepting, connections stop reading, and the loop keeps
+//! routing completions and flushing until every connection has emptied
+//! its slots (or `drain_ms` expires). Only then is the pool shut down and
+//! the final snapshot taken.
 
 use crate::metrics::MetricsSnapshot;
-use crate::pool::{Reply, ServeConfig, ServePool};
-use crate::wire::{self, frame_to_job, Opcode, RequestFrame, ResponseFrame};
-use std::io::BufReader;
+use crate::pool::{Completion, Reply, ReplySink, ServeConfig, ServePool, SubmitError};
+use crate::reactor::{self, IoStatus, Parker, TokenBucket};
+use crate::wire::{self, frame_to_job, FrameDecoder, Opcode, RequestFrame, ResponseFrame};
+use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Read-chunk size per socket attempt.
+const READ_CHUNK: usize = 16 * 1024;
+/// Max read chunks per connection per pass (fairness bound).
+const READ_ROUNDS: usize = 4;
+/// Reactor park bound between passes: the timer granularity for
+/// timeouts and accept-token refill when no wakeups arrive.
+const PARK: Duration = Duration::from_millis(1);
+/// Throttled accepts held for later admission before excess is refused.
+const MAX_PENDING_ACCEPTS: usize = 64;
 
 /// A bound-but-not-yet-running KEM server.
 pub struct Server {
     listener: TcpListener,
     pool: Arc<ServePool>,
-    shutdown: Arc<AtomicBool>,
 }
 
 impl Server {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and spawn
-    /// the worker pool.
+    /// the worker pool. The listener is nonblocking from the start.
     ///
     /// # Errors
     ///
     /// Propagates socket errors from the bind.
     pub fn bind(addr: &str, config: ServeConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         Ok(Self {
             listener,
             pool: Arc::new(ServePool::new(config)),
-            shutdown: Arc::new(AtomicBool::new(false)),
         })
     }
 
@@ -51,138 +80,19 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Serve until a `SHUTDOWN` frame arrives, then drain the pool and
-    /// return the final metrics snapshot.
-    ///
-    /// Connection threads are detached; in-flight requests on other
-    /// connections after shutdown resolve to error replies (the pool
-    /// rejects new jobs once closed) rather than hanging.
+    /// Run the event loop until a `SHUTDOWN` frame arrives and the drain
+    /// completes, then shut the pool down and return the final snapshot
+    /// (taken after the drain, so it includes every executed job).
     pub fn run(self) -> MetricsSnapshot {
-        let addr = self.listener.local_addr().ok();
-        for stream in self.listener.incoming() {
-            if self.shutdown.load(Ordering::SeqCst) {
-                break;
-            }
-            let Ok(stream) = stream else { continue };
-            // Request/response framing means Nagle + delayed ACK would add
-            // ~40 ms to every closed-loop round trip.
-            stream.set_nodelay(true).ok();
-            let pool = Arc::clone(&self.pool);
-            let shutdown = Arc::clone(&self.shutdown);
-            let wake_addr = addr;
-            std::thread::spawn(move || {
-                handle_connection(stream, &pool, &shutdown, wake_addr);
-            });
-        }
-        let snapshot = self.pool.snapshot();
-        self.pool.shutdown();
-        snapshot
+        EventLoop::new(self.listener, self.pool).run()
     }
 }
 
-/// Serve one connection until EOF, protocol error, or shutdown.
-fn handle_connection(
-    stream: TcpStream,
-    pool: &ServePool,
-    shutdown: &AtomicBool,
-    wake_addr: Option<SocketAddr>,
-) {
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(stream);
-    let mut writer = write_half;
-    loop {
-        let frame = match wire::read_request(&mut reader) {
-            Ok(Some(frame)) => frame,
-            // Clean EOF or any read/framing error: drop the connection.
-            // (A framing error leaves the stream unsynchronized, so there
-            // is no safe way to reply and continue.)
-            Ok(None) | Err(_) => return,
-        };
-        // BATCH writes its own frames (one per item, streamed as each job
-        // resolves); everything else is one request, one response.
-        if frame.opcode == Opcode::Batch {
-            if stream_batch(&frame, pool, &mut writer).is_err() {
-                return;
-            }
-            continue;
-        }
-        let response = dispatch(&frame, pool, shutdown);
-        // dispatch always acknowledges a shutdown frame with Ok.
-        let stop = frame.opcode == Opcode::Shutdown;
-        if wire::write_response(&mut writer, &response).is_err() {
-            return;
-        }
-        if stop {
-            // Unblock the accept loop so `run` can observe the flag.
-            if let Some(addr) = wake_addr {
-                let _ = TcpStream::connect(addr);
-            }
-            return;
-        }
-    }
-}
-
-/// Execute one request frame against the pool.
-fn dispatch(frame: &RequestFrame, pool: &ServePool, shutdown: &AtomicBool) -> ResponseFrame {
-    match frame.opcode {
-        Opcode::Ping => ResponseFrame::ok(b"pong".to_vec()),
-        Opcode::Stats => ResponseFrame::ok(pool.snapshot().to_json().into_bytes()),
-        Opcode::Shutdown => {
-            shutdown.store(true, Ordering::SeqCst);
-            ResponseFrame::ok(b"bye".to_vec())
-        }
-        Opcode::Keygen | Opcode::Encaps | Opcode::Decaps => match frame_to_job(frame) {
-            Ok(job) => reply_to_response(pool.submit(job).wait()),
-            Err(message) => ResponseFrame::error(message),
-        },
-        // Handled by stream_batch before dispatch is reached; an envelope
-        // error is the only sensible single-frame answer if it ever is.
-        Opcode::Batch => ResponseFrame::error("batch frames are streamed"),
-    }
-}
-
-/// Execute a `BATCH` frame with streamed replies: parse every item, fan
-/// the well-formed ones out across the pool at once, then write the
-/// header frame followed by one response frame per item **in item
-/// order**, each flushed as soon as that item's job resolves — early
-/// items reach the client while later items are still executing.
-/// Malformed items become per-item error frames without consuming a pool
-/// slot; only an unparseable envelope fails the whole frame (a single
-/// `Error`-status header, no item frames).
-fn stream_batch<W: std::io::Write>(
-    frame: &RequestFrame,
-    pool: &ServePool,
-    writer: &mut W,
-) -> std::io::Result<()> {
-    let items = match wire::decode_batch(&frame.payload) {
-        Ok(items) => items,
-        Err(message) => return wire::write_response(writer, &ResponseFrame::error(message)),
-    };
-    // Submit everything up front so all workers are fed while the early
-    // items' frames are being written.
-    let mut parsed = Vec::with_capacity(items.len());
-    let mut jobs = Vec::with_capacity(items.len());
-    for item in &items {
-        match frame_to_job(item) {
-            Ok(job) => {
-                jobs.push(job);
-                parsed.push(None);
-            }
-            Err(message) => parsed.push(Some(ResponseFrame::error(message))),
-        }
-    }
-    let mut tickets = pool.submit_batch_tickets(jobs).into_iter();
-    wire::write_response(writer, &wire::batch_header(items.len()))?;
-    for slot in parsed {
-        let response = match slot {
-            Some(error) => error,
-            None => reply_to_response(tickets.next().expect("one ticket per parsed job").wait()),
-        };
-        wire::write_response(writer, &response)?;
-    }
-    Ok(())
+/// Serialize a response frame to bytes for the write buffer.
+fn encode(frame: &ResponseFrame) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(8 + frame.payload.len());
+    wire::write_response(&mut bytes, frame).expect("writing to a Vec cannot fail");
+    bytes
 }
 
 /// Map a pool reply onto the wire.
@@ -201,26 +111,485 @@ fn reply_to_response(reply: Reply) -> ResponseFrame {
     }
 }
 
+/// One connection's state machine.
+struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    /// Bytes ready to write, drained by nonblocking writes.
+    wbuf: VecDeque<u8>,
+    /// Reply slots in request order: `Some(bytes)` is an encoded response
+    /// ready to promote into `wbuf`; `None` awaits its job's completion.
+    slots: VecDeque<Option<Vec<u8>>>,
+    /// Absolute sequence of `slots.front()`; completions address slots by
+    /// `head_slot + index`, so routing is O(1) arithmetic.
+    head_slot: u64,
+    /// Pending pool jobs (the number of `None` slots).
+    inflight: usize,
+    last_activity: Instant,
+    /// When the currently half-received frame started (read timeout).
+    partial_since: Option<Instant>,
+    /// When the write buffer last failed to make progress.
+    write_stalled_since: Option<Instant>,
+    /// Reading paused by write backpressure.
+    paused: bool,
+    /// Stop reading; close once slots and write buffer drain (peer EOF,
+    /// shutdown ack, server drain).
+    closing: bool,
+    /// Remove this connection at the next opportunity.
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            decoder: FrameDecoder::new(),
+            wbuf: VecDeque::new(),
+            slots: VecDeque::new(),
+            head_slot: 0,
+            inflight: 0,
+            last_activity: Instant::now(),
+            partial_since: None,
+            write_stalled_since: None,
+            paused: false,
+            closing: false,
+            dead: false,
+        }
+    }
+
+    /// Append a ready response in the next slot.
+    fn push_ready(&mut self, frame: &ResponseFrame) {
+        self.slots.push_back(Some(encode(frame)));
+    }
+
+    /// Reserve the next slot for an in-flight job; returns its absolute
+    /// sequence for completion routing.
+    fn push_pending(&mut self) -> u64 {
+        let slot = self.head_slot + self.slots.len() as u64;
+        self.slots.push_back(None);
+        self.inflight += 1;
+        slot
+    }
+
+    /// Fill the just-reserved trailing slot inline (shed / closed-pool
+    /// answers that never reached a worker).
+    fn fill_last(&mut self, frame: &ResponseFrame) {
+        *self.slots.back_mut().expect("slot was just reserved") = Some(encode(frame));
+        self.inflight -= 1;
+    }
+}
+
+/// Timeout knob in ms → optional duration (0 disables).
+fn timeout(ms: u64) -> Option<Duration> {
+    (ms > 0).then(|| Duration::from_millis(ms))
+}
+
+/// The reactor: owns every socket, parks between passes, and is unparked
+/// by pool workers delivering completions.
+struct EventLoop {
+    listener: TcpListener,
+    pool: Arc<ServePool>,
+    conns: HashMap<u64, Conn>,
+    next_id: u64,
+    pending_accepts: VecDeque<TcpStream>,
+    accept_bucket: TokenBucket,
+    draining: bool,
+    drain_deadline: Option<Instant>,
+    tx: mpsc::Sender<Completion>,
+    rx: mpsc::Receiver<Completion>,
+    parker: Parker,
+    // Knobs copied out of ServeConfig.
+    max_conns: usize,
+    idle_timeout: Option<Duration>,
+    read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
+    max_write_buffer: usize,
+    drain_ms: u64,
+}
+
+impl EventLoop {
+    fn new(listener: TcpListener, pool: Arc<ServePool>) -> Self {
+        let cfg = pool.config().clone();
+        let (tx, rx) = mpsc::channel();
+        Self {
+            listener,
+            pool,
+            conns: HashMap::new(),
+            next_id: 0,
+            pending_accepts: VecDeque::new(),
+            accept_bucket: TokenBucket::new(cfg.accept_rps),
+            draining: false,
+            drain_deadline: None,
+            tx,
+            rx,
+            parker: Parker::new(),
+            max_conns: cfg.max_conns.max(1),
+            idle_timeout: timeout(cfg.idle_timeout_ms),
+            read_timeout: timeout(cfg.read_timeout_ms),
+            write_timeout: timeout(cfg.write_timeout_ms),
+            max_write_buffer: cfg.max_write_buffer.max(1),
+            drain_ms: cfg.drain_ms,
+        }
+    }
+
+    fn run(mut self) -> MetricsSnapshot {
+        loop {
+            let mut progress = self.route_completions();
+            progress |= self.accept_pass();
+            progress |= self.conn_pass();
+            self.timeout_pass();
+            if self.draining {
+                let expired = self.drain_deadline.is_some_and(|d| Instant::now() >= d);
+                if self.conns.is_empty() || expired {
+                    break;
+                }
+            }
+            if !progress {
+                self.parker.park(PARK);
+            }
+        }
+        for _ in self.conns.drain() {
+            self.pool.metrics().frontend().conn_closed();
+        }
+        // Drain the queue and join every worker *before* the snapshot, so
+        // the final report covers all executed work.
+        self.pool.shutdown();
+        self.pool.snapshot()
+    }
+
+    /// Deliver worker completions into their reserved slots.
+    fn route_completions(&mut self) -> bool {
+        let mut any = false;
+        while let Ok(Completion { conn, slot, reply }) = self.rx.try_recv() {
+            any = true;
+            // A completion for a connection that died in the meantime is
+            // dropped; the job itself was already executed and counted.
+            let Some(c) = self.conns.get_mut(&conn) else {
+                continue;
+            };
+            let Some(index) = slot.checked_sub(c.head_slot) else {
+                continue;
+            };
+            let index = index as usize;
+            if index < c.slots.len() && c.slots[index].is_none() {
+                c.slots[index] = Some(encode(&reply_to_response(reply)));
+                c.inflight -= 1;
+                c.last_activity = Instant::now();
+            }
+        }
+        any
+    }
+
+    /// Accept whatever the backlog holds, subject to the rate limiter and
+    /// the connection cap.
+    fn accept_pass(&mut self) -> bool {
+        if self.draining {
+            return false;
+        }
+        let mut progress = false;
+        // Admit previously throttled accepts first (FIFO), as tokens refill.
+        while !self.pending_accepts.is_empty() && self.accept_bucket.try_take() {
+            let stream = self.pending_accepts.pop_front().expect("non-empty");
+            self.admit(stream);
+            progress = true;
+        }
+        while let Ok(stream) = reactor::try_accept(&self.listener) {
+            progress = true;
+            if !self.pending_accepts.is_empty() || !self.accept_bucket.try_take() {
+                self.pool.metrics().frontend().accept_throttle();
+                if self.pending_accepts.len() < MAX_PENDING_ACCEPTS {
+                    self.pending_accepts.push_back(stream);
+                } else {
+                    // Past the holding cap the connection is
+                    // refused outright (dropped = closed).
+                    self.pool.metrics().frontend().conn_rejected();
+                }
+                continue;
+            }
+            self.admit(stream);
+        }
+        progress
+    }
+
+    fn admit(&mut self, stream: TcpStream) {
+        if self.conns.len() >= self.max_conns {
+            // Accept-then-close keeps the backlog moving and makes the
+            // rejection observable (and countable) instead of leaving the
+            // peer queued behind a full cap.
+            self.pool.metrics().frontend().conn_rejected();
+            return;
+        }
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        // Request/response framing means Nagle + delayed ACK would add
+        // ~40 ms to every closed-loop round trip.
+        stream.set_nodelay(true).ok();
+        let id = self.next_id;
+        self.next_id += 1;
+        self.pool.metrics().frontend().conn_opened();
+        self.conns.insert(id, Conn::new(stream));
+    }
+
+    /// One read + flush round over every connection.
+    fn conn_pass(&mut self) -> bool {
+        let mut progress = false;
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for id in ids {
+            // Take the connection out of the map so frame handling can
+            // borrow the loop (pool, completion channel) mutably.
+            let Some(mut conn) = self.conns.remove(&id) else {
+                continue;
+            };
+            progress |= self.read_conn(id, &mut conn);
+            progress |= flush_conn(&mut conn, self.max_write_buffer);
+            if conn.dead {
+                self.pool.metrics().frontend().conn_closed();
+            } else {
+                self.conns.insert(id, conn);
+            }
+        }
+        progress
+    }
+
+    /// Read and process frames from one connection until the socket runs
+    /// dry, the fairness bound hits, or backpressure pauses it.
+    fn read_conn(&mut self, id: u64, conn: &mut Conn) -> bool {
+        if conn.dead || conn.closing || conn.paused || self.draining {
+            return false;
+        }
+        let mut progress = false;
+        let mut buf = [0u8; READ_CHUNK];
+        for _ in 0..READ_ROUNDS {
+            match reactor::try_read(&mut conn.stream, &mut buf) {
+                IoStatus::Ready(n) => {
+                    progress = true;
+                    let now = Instant::now();
+                    conn.last_activity = now;
+                    conn.decoder.feed(&buf[..n]);
+                    loop {
+                        match conn.decoder.next_frame() {
+                            Ok(Some(frame)) => self.handle_frame(id, conn, frame),
+                            Ok(None) => break,
+                            Err(_) => {
+                                // Framing is lost; there is no safe way to
+                                // reply on an unsynchronized stream.
+                                conn.dead = true;
+                                return true;
+                            }
+                        }
+                    }
+                    if conn.decoder.has_partial() {
+                        conn.partial_since.get_or_insert(now);
+                    } else {
+                        conn.partial_since = None;
+                    }
+                    if conn.closing || conn.dead {
+                        return true;
+                    }
+                    if n < buf.len() {
+                        break;
+                    }
+                }
+                IoStatus::NotReady => break,
+                IoStatus::Closed => {
+                    // Peer EOF: flush what we owe, then close.
+                    conn.closing = true;
+                    return true;
+                }
+                IoStatus::Failed => {
+                    conn.dead = true;
+                    return true;
+                }
+            }
+        }
+        progress
+    }
+
+    /// Dispatch one decoded request frame.
+    fn handle_frame(&mut self, id: u64, conn: &mut Conn, frame: RequestFrame) {
+        match frame.opcode {
+            Opcode::Ping => conn.push_ready(&ResponseFrame::ok(b"pong".to_vec())),
+            Opcode::Stats => {
+                conn.push_ready(&ResponseFrame::ok(
+                    self.pool.snapshot().to_json().into_bytes(),
+                ));
+            }
+            Opcode::Shutdown => {
+                conn.push_ready(&ResponseFrame::ok(b"bye".to_vec()));
+                conn.closing = true;
+                self.begin_drain();
+            }
+            // BATCH: an Ok header frame with the item count, then one
+            // frame per item in item order. Malformed items get per-item
+            // error frames; a full queue sheds per item with BUSY.
+            Opcode::Batch => match wire::decode_batch(&frame.payload) {
+                Err(message) => conn.push_ready(&ResponseFrame::error(message)),
+                Ok(items) => {
+                    conn.push_ready(&wire::batch_header(items.len()));
+                    for item in &items {
+                        self.submit_frame(id, conn, item);
+                    }
+                }
+            },
+            Opcode::Keygen | Opcode::Encaps | Opcode::Decaps => {
+                self.submit_frame(id, conn, &frame);
+            }
+        }
+    }
+
+    /// Reserve a reply slot and hand a KEM frame to the pool; shed with
+    /// `BUSY` when the queue is full instead of blocking the reactor.
+    fn submit_frame(&mut self, id: u64, conn: &mut Conn, frame: &RequestFrame) {
+        let job = match frame_to_job(frame) {
+            Ok(job) => job,
+            Err(message) => {
+                conn.push_ready(&ResponseFrame::error(message));
+                return;
+            }
+        };
+        let slot = conn.push_pending();
+        let sink = ReplySink::Routed {
+            conn: id,
+            slot,
+            tx: self.tx.clone(),
+            wake: self.parker.waker(),
+        };
+        match self.pool.try_submit(job, sink) {
+            Ok(()) => {}
+            Err(SubmitError::Full) => {
+                self.pool.metrics().frontend().shed();
+                conn.fill_last(&ResponseFrame::busy());
+            }
+            Err(SubmitError::Closed) => {
+                conn.fill_last(&ResponseFrame::error("server is shutting down"));
+            }
+        }
+    }
+
+    /// Enforce idle / read / write timeouts and reap the losers.
+    fn timeout_pass(&mut self) {
+        let now = Instant::now();
+        let mut reap = Vec::new();
+        for (&id, conn) in self.conns.iter_mut() {
+            if conn.dead {
+                reap.push(id);
+                continue;
+            }
+            let frontend = self.pool.metrics().frontend();
+            if self
+                .read_timeout
+                .is_some_and(|t| conn.partial_since.is_some_and(|s| now - s > t))
+            {
+                frontend.timeout_read();
+                reap.push(id);
+            } else if self
+                .write_timeout
+                .is_some_and(|t| conn.write_stalled_since.is_some_and(|s| now - s > t))
+            {
+                frontend.timeout_write();
+                reap.push(id);
+            } else if self.idle_timeout.is_some_and(|t| {
+                conn.slots.is_empty()
+                    && conn.wbuf.is_empty()
+                    && !conn.closing
+                    && now - conn.last_activity > t
+            }) {
+                frontend.timeout_idle();
+                reap.push(id);
+            }
+        }
+        for id in reap {
+            self.conns.remove(&id);
+            self.pool.metrics().frontend().conn_closed();
+        }
+    }
+
+    /// Enter graceful drain: ack'd already by the caller; stop accepting,
+    /// stop reading, let in-flight work complete and flush.
+    fn begin_drain(&mut self) {
+        if self.draining {
+            return;
+        }
+        self.draining = true;
+        self.drain_deadline = Some(Instant::now() + Duration::from_millis(self.drain_ms));
+        self.pending_accepts.clear();
+        for conn in self.conns.values_mut() {
+            conn.closing = true;
+        }
+    }
+}
+
+/// Promote completed reply slots into the write buffer (strictly in
+/// request order) and push bytes to the socket; manage backpressure and
+/// close-after-flush.
+fn flush_conn(conn: &mut Conn, max_write_buffer: usize) -> bool {
+    if conn.dead {
+        return false;
+    }
+    while matches!(conn.slots.front(), Some(Some(_))) {
+        let bytes = conn.slots.pop_front().flatten().expect("front is ready");
+        conn.head_slot += 1;
+        conn.wbuf.extend(bytes);
+    }
+    let mut progress = false;
+    while !conn.wbuf.is_empty() {
+        let (head, _) = conn.wbuf.as_slices();
+        match reactor::try_write(&mut conn.stream, head) {
+            IoStatus::Ready(n) => {
+                progress = true;
+                conn.wbuf.drain(..n);
+                conn.write_stalled_since = None;
+                conn.last_activity = Instant::now();
+            }
+            IoStatus::NotReady => {
+                conn.write_stalled_since.get_or_insert_with(Instant::now);
+                break;
+            }
+            IoStatus::Closed | IoStatus::Failed => {
+                conn.dead = true;
+                return progress;
+            }
+        }
+    }
+    if conn.wbuf.is_empty() {
+        conn.write_stalled_since = None;
+    }
+    if conn.paused {
+        if conn.wbuf.len() <= max_write_buffer / 2 {
+            conn.paused = false;
+        }
+    } else if conn.wbuf.len() > max_write_buffer {
+        conn.paused = true;
+    }
+    if conn.closing && conn.wbuf.is_empty() && conn.slots.is_empty() {
+        conn.dead = true;
+    }
+    progress
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::client::Client;
     use crate::{params_code, BackendKind};
     use lac::Params;
+    use std::io::BufReader;
 
-    fn spawn_server(workers: usize) -> (SocketAddr, std::thread::JoinHandle<MetricsSnapshot>) {
-        let server = Server::bind(
-            "127.0.0.1:0",
-            ServeConfig {
-                workers,
-                queue_capacity: 8,
-                seed: [3u8; 32],
-                warm_iss: true,
-            },
-        )
-        .expect("bind");
+    fn spawn_with(config: ServeConfig) -> (SocketAddr, std::thread::JoinHandle<MetricsSnapshot>) {
+        let server = Server::bind("127.0.0.1:0", config).expect("bind");
         let addr = server.local_addr().expect("addr");
         (addr, std::thread::spawn(move || server.run()))
+    }
+
+    fn spawn_server(workers: usize) -> (SocketAddr, std::thread::JoinHandle<MetricsSnapshot>) {
+        spawn_with(ServeConfig {
+            workers,
+            queue_capacity: 8,
+            seed: [3u8; 32],
+            warm_iss: true,
+            ..ServeConfig::default()
+        })
     }
 
     #[test]
@@ -254,11 +623,14 @@ mod tests {
         let stats = client.stats().expect("stats");
         assert!(stats.contains("\"decaps\": 2"), "{stats}");
         assert!(stats.contains("\"errors\": 0"), "{stats}");
+        assert!(stats.contains("\"conns_open\": 1"), "{stats}");
 
         client.shutdown().expect("shutdown");
         let final_snapshot = handle.join().expect("server thread");
         assert_eq!(final_snapshot.requests[0], 1);
         assert_eq!(final_snapshot.errors, 0);
+        assert_eq!(final_snapshot.frontend.conns_accepted, 1);
+        assert_eq!(final_snapshot.frontend.conns_open, 0);
     }
 
     #[test]
@@ -464,5 +836,92 @@ mod tests {
         let snap = handle.join().expect("server");
         assert_eq!(snap.requests[0], 3);
         assert_eq!(snap.requests[1], 3);
+    }
+
+    #[test]
+    fn pipelined_requests_reply_in_request_order() {
+        let (addr, handle) = spawn_server(4);
+        let params = Params::lac128();
+        // Fire 6 keygen frames without reading a single response: the
+        // reply slots must serialize them back in request order even
+        // though 4 workers race on the jobs.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        for seq in 1..=6u64 {
+            wire::write_request(
+                &mut stream,
+                &RequestFrame {
+                    opcode: Opcode::Keygen,
+                    params_code: params_code(&params),
+                    backend_code: BackendKind::Ct.code(),
+                    seq,
+                    payload: Vec::new(),
+                },
+            )
+            .expect("send");
+        }
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut keys = Vec::new();
+        for _ in 0..6 {
+            let frame = wire::read_response(&mut reader).expect("reply");
+            assert!(frame.error_message().is_none());
+            keys.push(frame.payload);
+        }
+        // Same lanes through a fresh connection → identical bytes in the
+        // same order (per-connection reply order is request order).
+        drop(reader);
+        let mut client = Client::connect(&addr.to_string()).expect("connect");
+        for (i, seq) in (1..=6u64).enumerate() {
+            let (pk, sk) = client
+                .keygen(&params, BackendKind::Ct, seq)
+                .expect("keygen");
+            let mut joined = pk;
+            joined.extend_from_slice(&sk);
+            assert_eq!(joined, keys[i], "slot {i} out of order");
+        }
+        client.shutdown().expect("shutdown");
+        handle.join().expect("server");
+    }
+
+    #[test]
+    fn idle_timeout_reaps_quiet_connections() {
+        let (addr, handle) = spawn_with(ServeConfig {
+            workers: 1,
+            queue_capacity: 8,
+            seed: [3u8; 32],
+            warm_iss: false,
+            idle_timeout_ms: 50,
+            ..ServeConfig::default()
+        });
+        let mut idle = Client::connect(&addr.to_string()).expect("connect");
+        assert!(idle.ping().is_ok());
+        // Go quiet past the timeout: the server closes us.
+        std::thread::sleep(Duration::from_millis(400));
+        assert!(idle.ping().is_err(), "idle connection must be reaped");
+        let mut ctl = Client::connect(&addr.to_string()).expect("connect");
+        ctl.shutdown().expect("shutdown");
+        let snap = handle.join().expect("server");
+        assert!(snap.frontend.timeouts_idle >= 1, "{:?}", snap.frontend);
+    }
+
+    #[test]
+    fn max_conns_cap_rejects_excess_connections() {
+        let (addr, handle) = spawn_with(ServeConfig {
+            workers: 1,
+            queue_capacity: 8,
+            seed: [3u8; 32],
+            warm_iss: false,
+            max_conns: 1,
+            ..ServeConfig::default()
+        });
+        let mut first = Client::connect(&addr.to_string()).expect("connect");
+        assert!(first.ping().is_ok());
+        // Over the cap: accepted then immediately closed — the ping round
+        // trip fails instead of hanging.
+        let mut second = Client::connect(&addr.to_string()).expect("tcp connect");
+        assert!(second.ping().is_err(), "cap must reject the second conn");
+        first.shutdown().expect("shutdown");
+        let snap = handle.join().expect("server");
+        assert!(snap.frontend.conns_rejected >= 1, "{:?}", snap.frontend);
+        assert_eq!(snap.frontend.conns_open, 0);
     }
 }

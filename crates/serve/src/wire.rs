@@ -18,10 +18,16 @@
 //! response (8-byte header):
 //!   0..2   magic "ls"
 //!   2      protocol version (2)
-//!   3      status (0 ok, 1 error)
+//!   3      status (0 ok, 1 error, 2 busy)
 //!   4..8   payload length (u32)
 //!   8..    payload
 //! ```
+//!
+//! Status `2` (`BUSY`) is the overload-shedding answer: the server's job
+//! queue was full when the request arrived, the request was **not**
+//! executed, and the client may retry later. It is additive within
+//! version 2 — a client only ever sees it when it has overrun the
+//! server, never on a closed-loop exchange within the queue bound.
 //!
 //! Request payloads: keygen/stats/shutdown/ping — empty; encaps — the
 //! serialized public key; decaps — serialized secret key ‖ serialized
@@ -156,6 +162,9 @@ pub enum Status {
     Ok,
     /// Failure; payload is a UTF-8 message.
     Error,
+    /// Overload shed: the job queue was full, the request was not
+    /// executed, and the client may retry. Payload is empty.
+    Busy,
 }
 
 /// A parsed response frame.
@@ -184,10 +193,23 @@ impl ResponseFrame {
         }
     }
 
+    /// The shed answer: a `BUSY` status with no payload.
+    pub fn busy() -> Self {
+        Self {
+            status: Status::Busy,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Whether this is an overload-shed (`BUSY`) response.
+    pub fn is_busy(&self) -> bool {
+        self.status == Status::Busy
+    }
+
     /// The error message, if this is an error response.
     pub fn error_message(&self) -> Option<String> {
         match self.status {
-            Status::Ok => None,
+            Status::Ok | Status::Busy => None,
             Status::Error => Some(String::from_utf8_lossy(&self.payload).into_owned()),
         }
     }
@@ -266,6 +288,120 @@ pub fn read_request<R: Read>(r: &mut R) -> io::Result<Option<RequestFrame>> {
     }))
 }
 
+/// Request-frame header size on the wire.
+pub const REQUEST_HEADER: usize = 18;
+
+/// Incremental request-frame decoder for nonblocking sockets.
+///
+/// The event-driven server reads whatever bytes the kernel has and feeds
+/// them in with [`FrameDecoder::feed`]; [`FrameDecoder::next_frame`]
+/// yields complete frames as they materialize, independent of how the
+/// byte stream was split across reads. Header validation (magic, version,
+/// opcode, payload bound) happens as soon as the 18 header bytes are
+/// present, so an oversized length claim is rejected before any payload
+/// is buffered.
+///
+/// # Example
+///
+/// ```
+/// use lac_serve::wire::{self, FrameDecoder, Opcode, RequestFrame};
+///
+/// let mut bytes = Vec::new();
+/// wire::write_request(&mut bytes, &RequestFrame::control(Opcode::Ping)).unwrap();
+/// let mut dec = FrameDecoder::new();
+/// let (a, b) = bytes.split_at(5); // arbitrary split mid-header
+/// dec.feed(a);
+/// assert!(dec.next_frame().unwrap().is_none());
+/// dec.feed(b);
+/// assert_eq!(dec.next_frame().unwrap().unwrap().opcode, Opcode::Ping);
+/// ```
+#[derive(Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    at: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append raw bytes from the socket.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Compact lazily: only when the consumed prefix dominates the
+        // buffer, so steady-state feeds are a plain append.
+        if self.at > 0 && self.at * 2 >= self.buf.len() {
+            self.buf.drain(..self.at);
+            self.at = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Number of buffered, not-yet-consumed bytes.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
+    /// Whether a frame is sitting half-received in the buffer — the
+    /// read-timeout trigger: a peer that starts a frame must finish it.
+    pub fn has_partial(&self) -> bool {
+        self.buffered() > 0
+    }
+
+    /// Decode the next complete frame, if the buffer holds one.
+    ///
+    /// # Errors
+    ///
+    /// A protocol violation (bad magic/version/opcode, oversized payload
+    /// claim). The connection is beyond recovery at that point — framing
+    /// is lost — so the caller should close it.
+    pub fn next_frame(&mut self) -> Result<Option<RequestFrame>, String> {
+        let pending = &self.buf[self.at..];
+        if pending.len() < REQUEST_HEADER {
+            return Ok(None);
+        }
+        let header = &pending[..REQUEST_HEADER];
+        if header[0..2] != REQUEST_MAGIC {
+            return Err(format!(
+                "bad request magic {:02x}{:02x}",
+                header[0], header[1]
+            ));
+        }
+        if header[2] != VERSION {
+            return Err(format!(
+                "unsupported protocol version {} (this build speaks {VERSION})",
+                header[2]
+            ));
+        }
+        let opcode =
+            Opcode::from_code(header[3]).ok_or_else(|| format!("unknown opcode {}", header[3]))?;
+        let len = u32::from_le_bytes(header[14..18].try_into().expect("4 bytes"));
+        if len > MAX_PAYLOAD {
+            return Err(format!(
+                "payload length {len} exceeds the {MAX_PAYLOAD}-byte limit"
+            ));
+        }
+        let len = len as usize;
+        if pending.len() < REQUEST_HEADER + len {
+            return Ok(None);
+        }
+        let frame = RequestFrame {
+            opcode,
+            params_code: header[4],
+            backend_code: header[5],
+            seq: u64::from_le_bytes(header[6..14].try_into().expect("8 bytes")),
+            payload: pending[REQUEST_HEADER..REQUEST_HEADER + len].to_vec(),
+        };
+        self.at += REQUEST_HEADER + len;
+        if self.at == self.buf.len() {
+            self.buf.clear();
+            self.at = 0;
+        }
+        Ok(Some(frame))
+    }
+}
+
 /// Serialize a response frame.
 ///
 /// # Errors
@@ -278,6 +414,7 @@ pub fn write_response<W: Write>(w: &mut W, frame: &ResponseFrame) -> io::Result<
     header[3] = match frame.status {
         Status::Ok => 0,
         Status::Error => 1,
+        Status::Busy => 2,
     };
     header[4..8].copy_from_slice(&(frame.payload.len() as u32).to_le_bytes());
     w.write_all(&header)?;
@@ -309,6 +446,7 @@ pub fn read_response<R: Read>(r: &mut R) -> io::Result<ResponseFrame> {
     let status = match header[3] {
         0 => Status::Ok,
         1 => Status::Error,
+        2 => Status::Busy,
         other => return Err(bad_data(format!("unknown status byte {other}"))),
     };
     let len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
@@ -520,6 +658,72 @@ mod tests {
             Some("nope")
         );
         assert_eq!(ResponseFrame::ok(vec![]).error_message(), None);
+    }
+
+    #[test]
+    fn busy_frames_roundtrip() {
+        let frame = ResponseFrame::busy();
+        assert!(frame.is_busy());
+        assert_eq!(frame.error_message(), None);
+        let mut buf = Vec::new();
+        write_response(&mut buf, &frame).unwrap();
+        assert_eq!(buf[3], 2);
+        assert_eq!(read_response(&mut Cursor::new(buf)).unwrap(), frame);
+    }
+
+    #[test]
+    fn decoder_yields_frames_across_arbitrary_splits() {
+        let frames = [
+            RequestFrame {
+                opcode: Opcode::Encaps,
+                params_code: 1,
+                backend_code: 3,
+                seq: 42,
+                payload: vec![5u8; 99],
+            },
+            RequestFrame::control(Opcode::Ping),
+        ];
+        let mut bytes = Vec::new();
+        for f in &frames {
+            write_request(&mut bytes, f).unwrap();
+        }
+        // Feed one byte at a time — the most hostile split.
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in &bytes {
+            dec.feed(std::slice::from_ref(b));
+            while let Some(frame) = dec.next_frame().unwrap() {
+                got.push(frame);
+            }
+        }
+        assert_eq!(got, frames);
+        assert!(!dec.has_partial());
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn decoder_rejects_protocol_violations_without_buffering_payloads() {
+        // Oversized length claim: rejected as soon as the header lands.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&REQUEST_MAGIC);
+        buf.push(VERSION);
+        buf.push(Opcode::Keygen.code());
+        buf.extend_from_slice(&[1, 2]);
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        let mut dec = FrameDecoder::new();
+        dec.feed(&buf);
+        assert!(dec.next_frame().unwrap_err().contains("exceeds"));
+
+        // Bad magic / version / opcode.
+        for (at, val, what) in [(0, b'X', "magic"), (2, 9, "version"), (3, 200, "opcode")] {
+            let mut good = Vec::new();
+            write_request(&mut good, &RequestFrame::control(Opcode::Ping)).unwrap();
+            good[at] = val;
+            let mut dec = FrameDecoder::new();
+            dec.feed(&good);
+            assert!(dec.next_frame().unwrap_err().contains(what), "{what}");
+        }
     }
 
     #[test]

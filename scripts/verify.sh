@@ -29,12 +29,14 @@ echo "== cargo fmt --check =="
 cargo fmt --check
 
 echo
-echo "== cargo build --release --offline =="
-cargo build --release --offline
+echo "== cargo build --release --offline --workspace =="
+# --workspace: the acceptance gates below run member binaries
+# (iss_bench, table*) straight from target/release.
+cargo build --release --offline --workspace
 
 echo
-echo "== cargo test -q --offline =="
-cargo test -q --offline
+echo "== cargo test -q --offline --workspace =="
+cargo test -q --offline --workspace
 
 if [ "$QUICK" = 1 ]; then
     echo
@@ -53,6 +55,11 @@ if [ "$QUICK" = 1 ]; then
     echo "verify: quick checks passed (full mode remains the tier-1 gate)"
     exit 0
 fi
+
+echo
+echo "== cargo clippy --offline --workspace --all-targets -- -D warnings =="
+cargo clippy -q --offline --workspace --all-targets -- -D warnings
+echo "  clippy clean"
 
 echo
 echo "== smoke: table1/table2/table3 (text + --json) =="
@@ -201,6 +208,68 @@ echo "$SWEEP" | awk '
         print "  scaling 1 -> 4 workers: " v "x, deterministic: yes"
     }
 '
+
+json_field() {
+    # json_field JSON KEY -> first top-level integer value for "KEY": N.
+    printf '%s' "$1" | grep -o "\"$2\": [0-9]*" | head -1 | awk '{print $2}'
+}
+
+echo
+echo "== smoke: open-loop tail-latency bench (bench-serve --target-qps) =="
+# Gentle fixed-rate run against an in-process server: the report must be
+# well-formed (interpolated p50/p99/p999) with no transport errors.
+OPEN=$(./target/release/lac-suite bench-serve --target-qps 300 --duration-ms 300 \
+    --conns 2 --workers 2 --op encaps --params lac128 --seed 1 --json)
+printf '%s' "$OPEN" | grep -q '"bench": "serve-open-loop"' || {
+    echo "open-loop smoke: missing report header" >&2
+    echo "$OPEN" >&2
+    exit 1
+}
+printf '%s' "$OPEN" | grep -q '"p999_us"' || {
+    echo "open-loop smoke: report lacks p999 tail quantile" >&2
+    echo "$OPEN" >&2
+    exit 1
+}
+OPEN_COMP=$(json_field "$OPEN" completions)
+OPEN_ERRS=$(json_field "$OPEN" errors)
+if [ "${OPEN_COMP:-0}" -eq 0 ] || [ "${OPEN_ERRS:-1}" -ne 0 ]; then
+    echo "open-loop smoke: completions=$OPEN_COMP errors=$OPEN_ERRS" >&2
+    echo "$OPEN" >&2
+    exit 1
+fi
+echo "  open-loop report OK ($OPEN_COMP completions, p50/p99/p999 present)"
+
+echo
+echo "== acceptance: overload shedding at ~2x saturation =="
+# A deliberately tiny server (1 worker, queue 2) is first hammered far past
+# its service rate to measure its completion throughput (the saturation
+# point), then driven open-loop at ~2x that rate: it must shed BUSY (not
+# stall, not error) while still completing work, and drain cleanly on
+# shutdown (run exits zero only after a graceful SHUTDOWN round-trip).
+overload_gate() {
+    CAL=$(./target/release/lac-suite bench-serve --target-qps 50000 --duration-ms 300 \
+        --conns 4 --workers 1 --queue 2 --op keygen --params lac128 --seed 1 --json)
+    CAL_COMP=$(json_field "$CAL" completions)
+    CAL_WALL=$(json_field "$CAL" wall_us)
+    if [ "${CAL_COMP:-0}" -eq 0 ] || [ "${CAL_WALL:-0}" -eq 0 ]; then
+        echo "overload gate: calibration run produced no completions" >&2
+        echo "$CAL" >&2
+        return 1
+    fi
+    RATE=$(awk "BEGIN { r = int(2 * $CAL_COMP * 1000000 / $CAL_WALL); if (r < 200) r = 200; print r }")
+    OVER=$(./target/release/lac-suite bench-serve --target-qps "$RATE" --duration-ms 400 \
+        --conns 4 --workers 1 --queue 2 --op keygen --params lac128 --seed 1 --json)
+    OVER_COMP=$(json_field "$OVER" completions)
+    OVER_BUSY=$(json_field "$OVER" busy)
+    OVER_ERRS=$(json_field "$OVER" errors)
+    if [ "${OVER_BUSY:-0}" -eq 0 ] || [ "${OVER_COMP:-0}" -eq 0 ] || [ "${OVER_ERRS:-1}" -ne 0 ]; then
+        echo "overload gate: at ${RATE}/s completions=$OVER_COMP busy=$OVER_BUSY errors=$OVER_ERRS" >&2
+        echo "$OVER" >&2
+        return 1
+    fi
+    echo "  at ${RATE}/s (~2x saturation): $OVER_COMP completed, $OVER_BUSY shed BUSY, 0 errors"
+}
+overload_gate || { echo "  (wall-clock noise suspected; retrying once)"; overload_gate; }
 
 echo
 echo "verify: all checks passed"

@@ -14,6 +14,7 @@
 //! ```text
 //! lac-suite serve       --addr 127.0.0.1:0 --workers 4 --seed 1
 //! lac-suite bench-serve --workers 4 --clients 4 --requests 64 [--json]
+//! lac-suite bench-serve --target-qps 500 --duration-ms 1000 --conns 4
 //! lac-suite serve-ctl   stats    --addr 127.0.0.1:PORT
 //! lac-suite serve-ctl   shutdown --addr 127.0.0.1:PORT
 //! ```
@@ -122,6 +123,14 @@ fn parse_usize(opts: &Options, name: &str, default: usize) -> Result<usize, Stri
     }
 }
 
+/// Parse an optional `u64` flag with a default.
+fn parse_u64(opts: &Options, name: &str, default: u64) -> Result<u64, String> {
+    match opts.flags.get(name) {
+        Some(value) => value.parse().map_err(|_| format!("bad --{name} '{value}'")),
+        None => Ok(default),
+    }
+}
+
 /// `lac-suite serve`: bind, print the bound address (scripts parse it),
 /// then block until a SHUTDOWN frame arrives.
 fn cmd_serve(opts: &Options) -> Result<String, String> {
@@ -139,6 +148,7 @@ fn cmd_serve(opts: &Options) -> Result<String, String> {
             seed
         }
     };
+    let defaults = ServeConfig::default();
     let server = Server::bind(
         &addr,
         ServeConfig {
@@ -146,6 +156,13 @@ fn cmd_serve(opts: &Options) -> Result<String, String> {
             queue_capacity,
             seed,
             warm_iss: true,
+            max_conns: parse_usize(opts, "max-conns", defaults.max_conns)?,
+            accept_rps: parse_u64(opts, "accept-rps", defaults.accept_rps)?,
+            idle_timeout_ms: parse_u64(opts, "idle-timeout-ms", defaults.idle_timeout_ms)?,
+            read_timeout_ms: parse_u64(opts, "read-timeout-ms", defaults.read_timeout_ms)?,
+            write_timeout_ms: parse_u64(opts, "write-timeout-ms", defaults.write_timeout_ms)?,
+            max_write_buffer: parse_usize(opts, "max-write-buffer", defaults.max_write_buffer)?,
+            drain_ms: parse_u64(opts, "drain-ms", defaults.drain_ms)?,
         },
     )
     .map_err(|e| format!("cannot bind {addr}: {e}"))?;
@@ -158,9 +175,42 @@ fn cmd_serve(opts: &Options) -> Result<String, String> {
     Ok(format!("server shut down\n{}", snapshot.to_text()))
 }
 
-/// `lac-suite bench-serve`: closed-loop load generator (optionally a
-/// worker-count sweep) against an in-process or external server.
+/// `lac-suite bench-serve`: load generator against an in-process or
+/// external server. With `--target-qps` it runs an *open loop* (fixed
+/// arrival schedule, tail-latency report); otherwise closed loop,
+/// optionally a worker-count sweep.
 fn cmd_bench_serve(opts: &Options) -> Result<String, String> {
+    if opts.flags.contains_key("target-qps") {
+        let value = opts.get("target-qps")?;
+        let target_qps: f64 = value
+            .parse()
+            .map_err(|_| format!("bad --target-qps '{value}'"))?;
+        if opts.flags.contains_key("sweep") {
+            return Err("--target-qps (open loop) and --sweep are mutually exclusive".into());
+        }
+        let cfg = lac_serve::bench::OpenLoopConfig {
+            workers: parse_usize(opts, "workers", 4)?,
+            conns: parse_usize(opts, "conns", 2)?,
+            target_qps,
+            duration_ms: parse_u64(opts, "duration-ms", 500)?,
+            op: lac_serve::Op::parse(&opts.get_or("op", "encaps"))?,
+            params: lac_serve::params_parse(&opts.get_or("params", "lac128"))?,
+            backend: lac_serve::BackendKind::parse(&opts.get_or("backend", "ct"))?,
+            seed: {
+                let value = opts.get_or("seed", "1");
+                value.parse().map_err(|_| format!("bad --seed '{value}'"))?
+            },
+            queue_capacity: parse_usize(opts, "queue", 64)?,
+            addr: opts.flags.get("addr").cloned(),
+            timeout_ms: parse_u64(opts, "timeout-ms", 10_000)?,
+        };
+        let report = bench::run_open_loop(&cfg)?;
+        return Ok(if opts.json {
+            format!("{}\n", report.to_json())
+        } else {
+            report.to_text()
+        });
+    }
     let cfg = BenchConfig {
         workers: parse_usize(opts, "workers", 4)?,
         clients: parse_usize(opts, "clients", 4)?,
@@ -212,7 +262,9 @@ fn cmd_serve_ctl(action: &str, opts: &Options) -> Result<String, String> {
         ));
     }
     let addr = opts.get("addr")?;
-    let mut client = Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let timeout_ms = parse_u64(opts, "timeout-ms", 0)?;
+    let mut client = Client::connect_with_timeout(addr, timeout_ms)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
     match action {
         "stats" => Ok(format!("{}\n", client.stats()?)),
         "ping" => {
@@ -405,11 +457,16 @@ const USAGE: &str = "usage: lac-suite <command> [flags]
       [--pk FILE] [--sk FILE] [--ct FILE] [--key FILE]
   serve                          run the TCP KEM server until shutdown
       [--addr HOST:PORT] [--workers N] [--queue N] [--seed N]
-  bench-serve                    closed-loop load generator
+      [--max-conns N] [--accept-rps N] [--idle-timeout-ms N]
+      [--read-timeout-ms N] [--write-timeout-ms N]
+      [--max-write-buffer BYTES] [--drain-ms N]
+  bench-serve                    load generator (closed loop by default)
       [--workers N] [--clients N] [--requests N]
       [--op keygen|encaps|decaps] [--params P] [--backend B] [--seed N]
       [--batch N] [--queue N] [--sweep N,N,...] [--addr HOST:PORT] [--json]
-  serve-ctl <stats|ping|shutdown> --addr HOST:PORT
+      open loop: --target-qps QPS [--duration-ms N] [--conns N]
+      [--timeout-ms N] (reports interpolated p50/p99/p999)
+  serve-ctl <stats|ping|shutdown> --addr HOST:PORT [--timeout-ms N]
   table1|table2                  regenerate a paper table (sharded sweep)
       [--threads N] [--json]
   iss                            interpreter wall-clock throughput probe
@@ -445,10 +502,9 @@ fn main() {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::path::PathBuf;
 
     fn temp(name: &str) -> String {
-        let mut p = PathBuf::from(std::env::temp_dir());
+        let mut p = std::env::temp_dir();
         p.push(format!("lac_suite_cli_{}_{name}", std::process::id()));
         p.to_string_lossy().into_owned()
     }
@@ -598,6 +654,33 @@ mod tests {
         assert!(out.contains("\"op\": \"decaps\""), "{out}");
         assert!(out.contains("\"makespan_cycles\""), "{out}");
         assert!(out.contains("\"digest\""), "{out}");
+    }
+
+    #[test]
+    fn bench_serve_open_loop_reports_tail() {
+        let out = run(
+            "bench-serve",
+            &opts(
+                &[
+                    ("workers", "2"),
+                    ("conns", "2"),
+                    ("target-qps", "300"),
+                    ("duration-ms", "120"),
+                    ("seed", "5"),
+                ],
+                false,
+            ),
+        )
+        .expect("open loop");
+        assert!(out.contains("open-loop"), "{out}");
+        assert!(out.contains("p999"), "{out}");
+        // Open loop and sweep are mutually exclusive.
+        let err = run(
+            "bench-serve",
+            &opts(&[("target-qps", "300"), ("sweep", "1,2")], false),
+        )
+        .unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
     }
 
     #[test]

@@ -384,7 +384,7 @@ fn trap_on_last_instruction_of_fused_pair() {
     words.extend(encode_li(24, b_base)); // &B
     let a_loop = words.len();
     words.push(encode_addi(20, 20, 1));
-    words.push(encode_addi(21, 20, -(patch_at as i32)));
+    words.push(encode_addi(21, 20, -patch_at));
     words.push(encode_sltiu(21, 21, 1));
     words.push(encode_mul(25, 21, 22));
     words.push(encode_add(23, 23, 25));

@@ -1,0 +1,243 @@
+//! Wire-protocol robustness: seeded property fuzzing of the incremental
+//! frame decoder (arbitrary splits, truncation, oversize claims, header
+//! corruption — for both plain KEM frames and v2 streamed-`BATCH`
+//! envelopes), plus a live overload test: a server with a tiny queue must
+//! shed batch items with `BUSY` while `PING` still answers and new
+//! connections are still accepted.
+//!
+//! Replay a failing prop case with `LAC_PROP_SEED=<index>` (or the
+//! printed `hex:` tape) as documented in `lac_rand::prop`.
+
+use lac::Params;
+use lac_rand::prop::{self, ensure, ensure_eq};
+use lac_rand::Rng;
+use lac_serve::client::Client;
+use lac_serve::pool::ServeConfig;
+use lac_serve::server::Server;
+use lac_serve::wire::{self, FrameDecoder, Opcode, RequestFrame, MAX_PAYLOAD, REQUEST_HEADER};
+use lac_serve::{params_code, BackendKind};
+use std::io::BufReader;
+use std::net::TcpStream;
+
+/// Draw one random-but-valid request frame. KEM opcodes get arbitrary
+/// payload bytes (content is validated by workers, not the decoder);
+/// `Batch` gets a properly encoded envelope of random inner KEM frames,
+/// covering the v2 streamed-batch shape.
+fn arbitrary_frame(rng: &mut impl Rng) -> RequestFrame {
+    let opcode = [
+        Opcode::Keygen,
+        Opcode::Encaps,
+        Opcode::Decaps,
+        Opcode::Stats,
+        Opcode::Shutdown,
+        Opcode::Ping,
+        Opcode::Batch,
+    ][rng.gen_below_usize(7)];
+    if opcode == Opcode::Batch {
+        let items: Vec<RequestFrame> = (0..rng.gen_range_usize(0..4))
+            .map(|_| RequestFrame {
+                opcode: [Opcode::Keygen, Opcode::Encaps, Opcode::Decaps][rng.gen_below_usize(3)],
+                params_code: rng.next_u32() as u8,
+                backend_code: rng.next_u32() as u8,
+                seq: rng.next_u64(),
+                payload: {
+                    let len = rng.gen_below_usize(64);
+                    prop::bytes(rng, len)
+                },
+            })
+            .collect();
+        return RequestFrame {
+            opcode,
+            params_code: 0,
+            backend_code: 0,
+            seq: 0,
+            payload: wire::encode_batch(&items),
+        };
+    }
+    RequestFrame {
+        opcode,
+        params_code: rng.next_u32() as u8,
+        backend_code: rng.next_u32() as u8,
+        seq: rng.next_u64(),
+        payload: {
+            let len = rng.gen_below_usize(300);
+            prop::bytes(rng, len)
+        },
+    }
+}
+
+fn serialize(frames: &[RequestFrame]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for frame in frames {
+        wire::write_request(&mut bytes, frame).expect("vec write");
+    }
+    bytes
+}
+
+#[test]
+fn decoder_yields_identical_frames_for_any_split() {
+    prop::check("serve_wire_decoder_splits", 48, |rng| {
+        let frames: Vec<RequestFrame> = (0..rng.gen_range_usize(1..6))
+            .map(|_| arbitrary_frame(rng))
+            .collect();
+        let bytes = serialize(&frames);
+
+        // Feed the stream in random-sized chunks (including empty ones)
+        // and decode incrementally.
+        let mut decoder = FrameDecoder::new();
+        let mut decoded = Vec::new();
+        let mut at = 0;
+        while at < bytes.len() {
+            let take = rng.gen_below_usize(bytes.len() - at + 1);
+            decoder.feed(&bytes[at..at + take]);
+            at += take;
+            while let Some(frame) = decoder
+                .next_frame()
+                .map_err(|e| format!("valid stream rejected: {e}"))?
+            {
+                decoded.push(frame);
+            }
+        }
+        ensure_eq(decoded.len(), frames.len())?;
+        for (got, want) in decoded.iter().zip(&frames) {
+            ensure_eq(got, want)?;
+        }
+        ensure(
+            !decoder.has_partial(),
+            "no leftover bytes after a whole stream",
+        )
+    });
+}
+
+#[test]
+fn decoder_flags_truncation_as_partial_not_error() {
+    prop::check("serve_wire_decoder_truncation", 48, |rng| {
+        let frame = arbitrary_frame(rng);
+        let bytes = serialize(std::slice::from_ref(&frame));
+        // Cut strictly inside the frame (header or payload).
+        let cut = 1 + rng.gen_below_usize(bytes.len() - 1);
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&bytes[..cut]);
+        let first = decoder
+            .next_frame()
+            .map_err(|e| format!("truncation must not be a protocol error: {e}"))?;
+        ensure(first.is_none(), "half a frame must not decode")?;
+        ensure(decoder.has_partial(), "truncated bytes count as partial")?;
+        // The remainder completes the frame.
+        decoder.feed(&bytes[cut..]);
+        let frame2 = decoder
+            .next_frame()
+            .map_err(|e| format!("completed stream rejected: {e}"))?;
+        ensure_eq(frame2.as_ref(), Some(&frame))
+    });
+}
+
+#[test]
+fn decoder_rejects_corrupt_headers_and_oversize_claims() {
+    prop::check("serve_wire_decoder_corruption", 48, |rng| {
+        let frame = arbitrary_frame(rng);
+        let mut bytes = serialize(std::slice::from_ref(&frame));
+
+        match rng.gen_below_usize(4) {
+            // Oversize length claim: rejected from the header alone,
+            // before any payload is buffered.
+            0 => {
+                let oversize = MAX_PAYLOAD + 1 + rng.next_u32() % 1024;
+                bytes[14..18].copy_from_slice(&oversize.to_le_bytes());
+                bytes.truncate(REQUEST_HEADER);
+            }
+            // Corrupt magic.
+            1 => bytes[rng.gen_below_usize(2)] ^= 0xff,
+            // Wrong version.
+            2 => bytes[2] = bytes[2].wrapping_add(1 + (rng.next_u32() % 254) as u8),
+            // Unknown opcode.
+            _ => bytes[3] = 8 + (rng.next_u32() % 240) as u8,
+        }
+
+        let mut decoder = FrameDecoder::new();
+        decoder.feed(&bytes);
+        ensure(
+            decoder.next_frame().is_err(),
+            "corrupted header must be rejected",
+        )
+    });
+}
+
+#[test]
+fn overloaded_server_sheds_busy_but_stays_responsive() {
+    // One slow worker behind a 2-deep queue: a 32-item batch submitted in
+    // one read pass must overflow the queue, so the server sheds items
+    // with BUSY instead of stalling the reactor.
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 2,
+            seed: [9u8; 32],
+            warm_iss: false,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || server.run());
+
+    let params = Params::lac128();
+    let items: Vec<RequestFrame> = (0..32)
+        .map(|i| RequestFrame {
+            opcode: Opcode::Keygen,
+            params_code: params_code(&params),
+            backend_code: BackendKind::Ct.code(),
+            seq: i + 1,
+            payload: Vec::new(),
+        })
+        .collect();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    wire::write_request(
+        &mut stream,
+        &RequestFrame {
+            opcode: Opcode::Batch,
+            params_code: 0,
+            backend_code: 0,
+            seq: 0,
+            payload: wire::encode_batch(&items),
+        },
+    )
+    .expect("send batch");
+
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let header = wire::read_response(&mut reader).expect("batch header");
+    assert_eq!(wire::parse_batch_header(&header).expect("count"), 32);
+    let (mut ok, mut busy) = (0u32, 0u32);
+    for _ in 0..32 {
+        let item = wire::read_response(&mut reader).expect("item");
+        if item.is_busy() {
+            busy += 1;
+        } else {
+            assert!(item.error_message().is_none(), "only OK or BUSY expected");
+            ok += 1;
+        }
+    }
+    assert!(busy > 0, "a 2-deep queue must shed most of a 32-item burst");
+    assert!(ok > 0, "accepted items must still complete");
+
+    // The shedding connection is still in protocol: PING answers.
+    wire::write_request(&mut stream, &RequestFrame::control(Opcode::Ping)).expect("ping");
+    let pong = wire::read_response(&mut reader).expect("pong");
+    assert_eq!(pong.payload, b"pong");
+
+    // The server still accepts *new* connections after shedding...
+    let mut fresh = Client::connect(&addr.to_string()).expect("fresh connect");
+    assert!(fresh.ping().is_ok());
+    // ...and drains gracefully on SHUTDOWN.
+    fresh.shutdown().expect("shutdown");
+    let snapshot = handle.join().expect("server thread");
+    assert!(snapshot.frontend.shed_busy > 0, "{:?}", snapshot.frontend);
+    assert_eq!(
+        u64::from(ok),
+        snapshot.requests[0],
+        "every non-shed item reached the pool exactly once"
+    );
+    assert_eq!(snapshot.frontend.conns_open, 0);
+}
