@@ -681,6 +681,442 @@ pub fn run_open_loop(cfg: &OpenLoopConfig) -> Result<OpenLoopReport, String> {
     })
 }
 
+/// Stateful session-workload configuration (`bench-serve --sessions`).
+///
+/// Drives the full session lifecycle through the reactor: each of
+/// `conns` lanes opens its share of `sessions`, chats
+/// `chats_per_session` sealed messages on each, rekeys whenever
+/// `rekey_every` messages have been sent in the current epoch, and
+/// (unless `hold`) closes the session. Lanes are closed-loop at the
+/// transport level (one outstanding op each) but arrivals are paced on a
+/// fixed schedule when `target_qps > 0`, and latency is measured from
+/// the *scheduled* time — running the schedule past saturation shows up
+/// as growing latency, never as coordinated omission.
+///
+/// `hold` keeps every session open until the run ends — the occupancy
+/// mode used to demonstrate the bounded table at 10⁵+ concurrent
+/// sessions with LRU eviction beyond `session_capacity`.
+#[derive(Debug, Clone)]
+pub struct SessionLoadConfig {
+    /// Worker threads for the in-process server.
+    pub workers: usize,
+    /// Lanes (connections); each lane drives `sessions / conns` sessions
+    /// sequentially. Clamped to `sessions` and to `queue_capacity` (one
+    /// outstanding handshake per lane never sheds).
+    pub conns: usize,
+    /// Total sessions to open across all lanes.
+    pub sessions: usize,
+    /// Sealed chat messages per session.
+    pub chats_per_session: usize,
+    /// Client-driven rekey cadence: rekey before a chat once this many
+    /// messages were sent in the epoch; 0 never rekeys.
+    pub rekey_every: u64,
+    /// Keep sessions open instead of closing them (occupancy mode).
+    pub hold: bool,
+    /// Target op arrival rate across all lanes; 0 = unpaced.
+    pub target_qps: f64,
+    /// Parameter set for the handshakes.
+    pub params: Params,
+    /// Execution backend for the handshakes.
+    pub backend: BackendKind,
+    /// Root seed (`u64` convenience form, like the CLI's `--seed`).
+    pub seed: u64,
+    /// Queue capacity for the in-process server.
+    pub queue_capacity: usize,
+    /// Session-table bound for the in-process server.
+    pub session_capacity: usize,
+    /// Server-enforced rekey-after-N policy (0 disables; the bench's own
+    /// `rekey_every` drives rekeys client-side).
+    pub session_rekey_after: u64,
+}
+
+impl Default for SessionLoadConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            conns: 4,
+            sessions: 16,
+            chats_per_session: 4,
+            rekey_every: 0,
+            hold: false,
+            target_qps: 0.0,
+            params: Params::lac128(),
+            backend: BackendKind::Ct,
+            seed: 1,
+            queue_capacity: 64,
+            session_capacity: 1 << 17,
+            session_rekey_after: 0,
+        }
+    }
+}
+
+/// Results of one session-workload run.
+#[derive(Debug, Clone)]
+pub struct SessionLoadReport {
+    /// Echo of the run's shape.
+    pub workers: usize,
+    /// Lanes actually used.
+    pub conns: usize,
+    /// Sessions opened (as configured).
+    pub sessions: usize,
+    /// Chats per session (as configured).
+    pub chats_per_session: usize,
+    /// Client rekey cadence (as configured).
+    pub rekey_every: u64,
+    /// Whether sessions were held open.
+    pub hold: bool,
+    /// Successful opens.
+    pub opened: u64,
+    /// Successful chat echoes.
+    pub chats: u64,
+    /// Successful rekeys.
+    pub rekeys: u64,
+    /// Successful closes.
+    pub closes: u64,
+    /// Ops shed with `BUSY` (zero by construction when lanes fit the
+    /// queue).
+    pub busy: u64,
+    /// Failed ops (protocol errors; transport failures abort the run).
+    pub errors: u64,
+    /// Wall-clock duration of the load phase, µs.
+    pub wall_micros: u64,
+    /// Completed ops per second of wall time.
+    pub achieved_qps: f64,
+    /// Handshake (open + rekey) latency, scheduled-arrival → reply.
+    pub handshake_latency: HistogramSnapshot,
+    /// Message (chat + close) latency, scheduled-arrival → reply.
+    pub message_latency: HistogramSnapshot,
+    /// Hex SHA-256 over every lane's client-visible crypto transcript
+    /// (shared-secret-derived epoch secrets, epochs, echoed plaintexts) —
+    /// worker-count independent by the per-job DRBG fork discipline.
+    /// Server-assigned session ids are excluded: they are arrival-order
+    /// dependent.
+    pub digest: String,
+    /// Server stats JSON polled *before* shutdown: in `hold` mode its
+    /// `sessions.open` gauge is the end-of-run table occupancy.
+    pub server_stats_json: String,
+}
+
+impl SessionLoadReport {
+    /// Flat JSON object for `--json` output.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"bench\": \"serve-sessions\", \"workers\": {}, \"conns\": {}, \
+             \"sessions\": {}, \"chats_per_session\": {}, \"rekey_every\": {}, \
+             \"hold\": {}, \"opened\": {}, \"chats\": {}, \"rekeys\": {}, \
+             \"closes\": {}, \"busy\": {}, \"errors\": {}, \"wall_us\": {}, \
+             \"achieved_qps\": {:.1}, \"handshake_latency\": {}, \
+             \"message_latency\": {}, \"digest\": \"{}\", \"server\": {}}}",
+            self.workers,
+            self.conns,
+            self.sessions,
+            self.chats_per_session,
+            self.rekey_every,
+            self.hold,
+            self.opened,
+            self.chats,
+            self.rekeys,
+            self.closes,
+            self.busy,
+            self.errors,
+            self.wall_micros,
+            self.achieved_qps,
+            self.handshake_latency.to_json(),
+            self.message_latency.to_json(),
+            self.digest,
+            if self.server_stats_json.is_empty() {
+                "null"
+            } else {
+                &self.server_stats_json
+            },
+        )
+    }
+
+    /// Human-readable summary: handshake and message tails separately.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "bench-serve sessions: {} sessions × {} chats (rekey every {}{}) — {} workers, {} conns\n",
+            self.sessions,
+            self.chats_per_session,
+            self.rekey_every,
+            if self.hold { ", hold" } else { "" },
+            self.workers,
+            self.conns,
+        ));
+        out.push_str(&format!(
+            "  ops: opened {}, chats {}, rekeys {}, closes {}, busy {}, errors {}\n",
+            self.opened, self.chats, self.rekeys, self.closes, self.busy, self.errors
+        ));
+        out.push_str(&format!(
+            "  achieved: {:.1} ops/s over {:.1} ms\n",
+            self.achieved_qps,
+            self.wall_micros as f64 / 1e3
+        ));
+        out.push_str(&format!(
+            "  handshake latency: p50 {:.1} us, p99 {:.1} us, p999 {:.1} us, max {} us\n",
+            self.handshake_latency.quantile_micros_interp(0.50),
+            self.handshake_latency.quantile_micros_interp(0.99),
+            self.handshake_latency.quantile_micros_interp(0.999),
+            self.handshake_latency.max_micros,
+        ));
+        out.push_str(&format!(
+            "  message   latency: p50 {:.1} us, p99 {:.1} us, p999 {:.1} us, max {} us\n",
+            self.message_latency.quantile_micros_interp(0.50),
+            self.message_latency.quantile_micros_interp(0.99),
+            self.message_latency.quantile_micros_interp(0.999),
+            self.message_latency.max_micros,
+        ));
+        for key in ["open", "evicted", "replay_drops", "tag_failures"] {
+            if let Some(v) = extract_u64(&self.server_stats_json, key) {
+                out.push_str(&format!("  table {key}: {v}\n"));
+            }
+        }
+        out.push_str(&format!("  session digest: {}\n", self.digest));
+        out
+    }
+}
+
+/// Derive the client-side keygen root seed for session handshakes (the
+/// server side forks from [`pool_seed`]; keeping the two domains apart
+/// means client keypairs never collide with server DRBG lanes).
+fn session_client_seed(seed: u64) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(b"lac-serve:session-client-seed:v1");
+    h.update(&seed.to_le_bytes());
+    h.finalize()
+}
+
+/// Run the stateful session workload (see [`SessionLoadConfig`]).
+///
+/// # Errors
+///
+/// Connection/transport failures or a worker-thread failure. Per-op
+/// protocol errors are *counted*, not fatal (the session's remaining
+/// script is skipped).
+pub fn run_sessions(cfg: &SessionLoadConfig) -> Result<SessionLoadReport, String> {
+    if cfg.sessions == 0 {
+        return Err("--sessions needs at least one session".into());
+    }
+    // One outstanding handshake per lane: lanes ≤ queue_capacity means
+    // the pool can never shed a handshake with BUSY, so a clean run has
+    // zero busy and zero errors by construction.
+    let lanes = cfg.conns.max(1).min(cfg.sessions).min(cfg.queue_capacity);
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: cfg.workers,
+            queue_capacity: cfg.queue_capacity,
+            seed: pool_seed(cfg.seed),
+            warm_iss: true,
+            session_capacity: cfg.session_capacity,
+            session_rekey_after: cfg.session_rekey_after,
+            ..ServeConfig::default()
+        },
+    )
+    .map_err(|e| format!("bind: {e}"))?;
+    let addr = server
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?
+        .to_string();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let handshake_latency = Arc::new(Histogram::new());
+    let message_latency = Arc::new(Histogram::new());
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for lane in 0..lanes {
+        let addr = addr.clone();
+        let cfg = cfg.clone();
+        let handshake_latency = Arc::clone(&handshake_latency);
+        let message_latency = Arc::clone(&message_latency);
+        handles.push(std::thread::spawn(
+            move || -> Result<([u8; 32], [u64; 6]), String> {
+                let mut client = Client::connect(&addr).map_err(|e| format!("connect: {e}"))?;
+                let kem = Kem::new(cfg.params);
+                let mut backend = cfg.backend.build();
+                let mut rng =
+                    Sha256CtrRng::from_seed(session_client_seed(cfg.seed)).fork(lane as u64);
+                let mut digest = Sha256::new();
+                // opened, chats, rekeys, closes, busy, errors
+                let mut counts = [0u64; 6];
+                // Lane-local op index → global schedule slot `lane + k*lanes`.
+                let mut op_index = 0u64;
+                // Handshake DRBG lanes: unique per lane and handshake,
+                // disjoint from the request lanes (r+1) and the fixture
+                // lane (u64::MAX) used by the other bench modes.
+                let mut handshake_seq = (lane as u64 + 1) << 32;
+                let schedule = |op_index: u64| -> Instant {
+                    if cfg.target_qps > 0.0 {
+                        let due = started
+                            + std::time::Duration::from_secs_f64(
+                                (lane as u64 + op_index * lanes as u64) as f64 / cfg.target_qps,
+                            );
+                        let now = Instant::now();
+                        if due > now {
+                            std::thread::sleep(due - now);
+                        }
+                        due
+                    } else {
+                        Instant::now()
+                    }
+                };
+                let mut s = lane;
+                while s < cfg.sessions {
+                    // Open.
+                    let sched = schedule(op_index);
+                    op_index += 1;
+                    handshake_seq += 1;
+                    let opened = client.session_open(
+                        &kem,
+                        backend.as_mut(),
+                        cfg.backend,
+                        handshake_seq,
+                        &mut rng,
+                    );
+                    handshake_latency.record(sched.elapsed());
+                    let mut session = match opened {
+                        Ok(session) => {
+                            counts[0] += 1;
+                            digest.update(&session.epoch_secret);
+                            session
+                        }
+                        Err(message) => {
+                            counts[if message == crate::client::BUSY_MSG {
+                                4
+                            } else {
+                                5
+                            }] += 1;
+                            digest.update(message.as_bytes());
+                            s += lanes;
+                            continue;
+                        }
+                    };
+                    let mut failed = false;
+                    for chat in 0..cfg.chats_per_session {
+                        if session.rekey_due(cfg.rekey_every) {
+                            let sched = schedule(op_index);
+                            op_index += 1;
+                            handshake_seq += 1;
+                            let rekeyed = client.session_rekey(
+                                &kem,
+                                backend.as_mut(),
+                                cfg.backend,
+                                &mut session,
+                                handshake_seq,
+                                &mut rng,
+                            );
+                            handshake_latency.record(sched.elapsed());
+                            match rekeyed {
+                                Ok(()) => {
+                                    counts[2] += 1;
+                                    digest.update(&session.epoch_secret);
+                                    digest.update(&session.epoch.to_le_bytes());
+                                }
+                                Err(message) => {
+                                    counts[5] += 1;
+                                    digest.update(message.as_bytes());
+                                    failed = true;
+                                    break;
+                                }
+                            }
+                        }
+                        let plaintext = format!("lane {lane} session {s} chat {chat}");
+                        let sched = schedule(op_index);
+                        op_index += 1;
+                        let echoed = client.session_send(&mut session, plaintext.as_bytes());
+                        message_latency.record(sched.elapsed());
+                        match echoed {
+                            Ok(echo) => {
+                                counts[1] += 1;
+                                digest.update(&echo);
+                            }
+                            Err(message) => {
+                                counts[5] += 1;
+                                digest.update(message.as_bytes());
+                                failed = true;
+                                break;
+                            }
+                        }
+                    }
+                    if !cfg.hold && !failed {
+                        let sched = schedule(op_index);
+                        op_index += 1;
+                        let closed = client.session_close(session);
+                        message_latency.record(sched.elapsed());
+                        match closed {
+                            Ok(()) => counts[3] += 1,
+                            Err(message) => {
+                                counts[5] += 1;
+                                digest.update(message.as_bytes());
+                            }
+                        }
+                    }
+                    s += lanes;
+                }
+                Ok((digest.finalize(), counts))
+            },
+        ));
+    }
+
+    let mut run_digest = Sha256::new();
+    run_digest.update(b"lac-serve:session-digest:v1");
+    let mut totals = [0u64; 6];
+    for handle in handles {
+        let (lane_digest, counts) = handle
+            .join()
+            .map_err(|_| "lane thread panicked".to_string())??;
+        run_digest.update(&lane_digest);
+        for (total, count) in totals.iter_mut().zip(counts) {
+            *total += count;
+        }
+    }
+    let wall_micros = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+
+    // Poll stats *before* shutdown: in hold mode this snapshots the
+    // end-of-run table occupancy; then drain the server.
+    let mut control = Client::connect(&addr).map_err(|e| format!("control connect: {e}"))?;
+    let server_stats_json = control.stats().unwrap_or_default();
+    control.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+    server_thread
+        .join()
+        .map_err(|_| "server thread panicked".to_string())?;
+
+    let digest_hex: String = run_digest
+        .finalize()
+        .iter()
+        .map(|b| format!("{b:02x}"))
+        .collect();
+    let [opened, chats, rekeys, closes, busy, errors] = totals;
+    let completed = opened + chats + rekeys + closes;
+    let wall_secs = wall_micros as f64 / 1e6;
+    Ok(SessionLoadReport {
+        workers: cfg.workers,
+        conns: lanes,
+        sessions: cfg.sessions,
+        chats_per_session: cfg.chats_per_session,
+        rekey_every: cfg.rekey_every,
+        hold: cfg.hold,
+        opened,
+        chats,
+        rekeys,
+        closes,
+        busy,
+        errors,
+        wall_micros,
+        achieved_qps: if wall_secs > 0.0 {
+            completed as f64 / wall_secs
+        } else {
+            0.0
+        },
+        handshake_latency: handshake_latency.snapshot(),
+        message_latency: message_latency.snapshot(),
+        digest: digest_hex,
+        server_stats_json,
+    })
+}
+
 /// One sweep over several worker counts with everything else fixed.
 #[derive(Debug, Clone)]
 pub struct SweepReport {
@@ -978,5 +1414,92 @@ mod tests {
         assert_eq!(extract_u64(json, "makespan_cycles"), Some(3456));
         assert_eq!(extract_u64(json, "a"), Some(12));
         assert_eq!(extract_u64(json, "missing"), None);
+    }
+
+    fn tiny_session_cfg() -> SessionLoadConfig {
+        SessionLoadConfig {
+            workers: 2,
+            conns: 2,
+            sessions: 4,
+            chats_per_session: 3,
+            rekey_every: 2,
+            seed: 42,
+            queue_capacity: 8,
+            session_capacity: 16,
+            ..SessionLoadConfig::default()
+        }
+    }
+
+    #[test]
+    fn session_bench_runs_full_lifecycle() {
+        let report = run_sessions(&tiny_session_cfg()).expect("session bench runs");
+        assert_eq!(report.opened, 4);
+        assert_eq!(report.chats, 4 * 3);
+        // 3 chats with rekey_every 2 → exactly one rekey per session.
+        assert_eq!(report.rekeys, 4);
+        assert_eq!(report.closes, 4);
+        assert_eq!(report.busy, 0);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.handshake_latency.count, 4 + 4);
+        assert_eq!(report.message_latency.count, 4 * 3 + 4);
+        assert_eq!(report.digest.len(), 64);
+        // The pre-shutdown stats snapshot saw every session reaped.
+        assert_eq!(extract_u64(&report.server_stats_json, "open"), Some(0));
+        assert_eq!(extract_u64(&report.server_stats_json, "opened"), Some(4));
+        assert_eq!(extract_u64(&report.server_stats_json, "rekeys"), Some(4));
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"serve-sessions\""), "{json}");
+        assert!(json.contains("\"handshake_latency\""), "{json}");
+        let text = report.to_text();
+        assert!(text.contains("handshake latency"), "{text}");
+        assert!(text.contains("session digest"), "{text}");
+    }
+
+    #[test]
+    fn session_digest_is_worker_count_independent_and_seed_sensitive() {
+        let one = run_sessions(&SessionLoadConfig {
+            workers: 1,
+            ..tiny_session_cfg()
+        })
+        .expect("1 worker");
+        let three = run_sessions(&SessionLoadConfig {
+            workers: 3,
+            ..tiny_session_cfg()
+        })
+        .expect("3 workers");
+        assert_eq!(one.digest, three.digest);
+        assert_eq!(one.errors, 0);
+
+        let other_seed = run_sessions(&SessionLoadConfig {
+            seed: 43,
+            ..tiny_session_cfg()
+        })
+        .expect("other seed");
+        assert_ne!(one.digest, other_seed.digest);
+    }
+
+    #[test]
+    fn session_hold_mode_fills_the_table_and_evicts_beyond_capacity() {
+        let report = run_sessions(&SessionLoadConfig {
+            sessions: 6,
+            chats_per_session: 0,
+            rekey_every: 0,
+            hold: true,
+            session_capacity: 4,
+            ..tiny_session_cfg()
+        })
+        .expect("hold run");
+        assert_eq!(report.opened, 6);
+        assert_eq!(report.closes, 0);
+        assert_eq!(report.errors, 0);
+        // Table bounded at 4: the 2 oldest sessions were LRU-evicted and
+        // the rest were still open when the pre-shutdown snapshot ran.
+        assert_eq!(extract_u64(&report.server_stats_json, "open"), Some(4));
+        assert_eq!(extract_u64(&report.server_stats_json, "evicted"), Some(2));
+        assert!(run_sessions(&SessionLoadConfig {
+            sessions: 0,
+            ..tiny_session_cfg()
+        })
+        .is_err());
     }
 }

@@ -5,9 +5,12 @@
 //! `decaps`) split the fixed-size response payloads using the parameter
 //! set, so callers get keys and secrets, not byte blobs to slice.
 
+use crate::session::{self, ClientSession};
 use crate::wire::{self, Opcode, RequestFrame, ResponseFrame};
 use crate::{params_code, BackendKind};
-use lac::Params;
+use lac::{Backend, Ciphertext, Kem, Params};
+use lac_meter::NullMeter;
+use lac_rand::Rng;
 use std::io::BufReader;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -299,6 +302,139 @@ impl Client {
             Ok(())
         } else {
             Err("unexpected shutdown ack".into())
+        }
+    }
+
+    /// Open an authenticated session: generate a key pair locally with
+    /// `rng`, send a `SessionOpen` handshake (`seq` drives the server's
+    /// DRBG fork, exactly like a KEM job), decapsulate the server's
+    /// ciphertext, and derive the epoch-0 directional keys.
+    ///
+    /// The caller supplies a cached `kem`/`backend` pair so hot loops
+    /// (bench lanes) don't rebuild them per handshake.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, server-side errors (including `BUSY`), or a
+    /// malformed handshake response.
+    pub fn session_open<R: Rng>(
+        &mut self,
+        kem: &Kem,
+        backend: &mut dyn Backend,
+        backend_kind: BackendKind,
+        seq: u64,
+        rng: &mut R,
+    ) -> Result<ClientSession, String> {
+        let params = *kem.params();
+        let (pk, sk) = kem.keygen(rng, backend, &mut NullMeter);
+        let payload = self.request_ok(&RequestFrame {
+            opcode: Opcode::SessionOpen,
+            params_code: params_code(&params),
+            backend_code: backend_kind.code(),
+            seq,
+            payload: session::encode_open_request(0, &pk.to_bytes(), None),
+        })?;
+        let (id, epoch, ct) = session::decode_open_response(&payload, params.ciphertext_bytes())?;
+        if epoch != 0 {
+            return Err(format!("fresh session opened at epoch {epoch}, expected 0"));
+        }
+        if id == 0 {
+            return Err("server assigned the reserved session id 0".into());
+        }
+        let ct = Ciphertext::from_bytes(&params, ct).map_err(|e| format!("bad ciphertext: {e}"))?;
+        let shared = kem.decapsulate(&sk, &ct, backend, &mut NullMeter);
+        Ok(ClientSession::new(id, shared.as_bytes()))
+    }
+
+    /// Send one sealed message on `session` and return the plaintext the
+    /// server echoed back (verified and decrypted).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, server-side errors, or a reply that fails the
+    /// session's tag/epoch/sequence checks.
+    pub fn session_send(
+        &mut self,
+        session: &mut ClientSession,
+        plaintext: &[u8],
+    ) -> Result<Vec<u8>, String> {
+        let payload = session.seal_next(plaintext);
+        let reply = self.request_ok(&RequestFrame {
+            opcode: Opcode::SessionMsg,
+            params_code: 0,
+            backend_code: 0,
+            seq: 0,
+            payload,
+        })?;
+        session.open_reply(&reply)
+    }
+
+    /// Rekey `session`: fresh local key pair, an authenticated
+    /// `SessionOpen` targeting the session, decapsulation with the *new*
+    /// secret key, then advance the epoch on success.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, server-side errors, or a response naming the
+    /// wrong session/epoch.
+    pub fn session_rekey<R: Rng>(
+        &mut self,
+        kem: &Kem,
+        backend: &mut dyn Backend,
+        backend_kind: BackendKind,
+        session: &mut ClientSession,
+        seq: u64,
+        rng: &mut R,
+    ) -> Result<(), String> {
+        let params = *kem.params();
+        let (pk, sk) = kem.keygen(rng, backend, &mut NullMeter);
+        let pk_bytes = pk.to_bytes();
+        let tag = session.rekey_tag(&pk_bytes);
+        let payload = self.request_ok(&RequestFrame {
+            opcode: Opcode::SessionOpen,
+            params_code: params_code(&params),
+            backend_code: backend_kind.code(),
+            seq,
+            payload: session::encode_open_request(session.id, &pk_bytes, Some(tag)),
+        })?;
+        let (id, epoch, ct) = session::decode_open_response(&payload, params.ciphertext_bytes())?;
+        if id != session.id {
+            return Err(format!(
+                "rekey response names session {id}, not {}",
+                session.id
+            ));
+        }
+        if epoch != session.epoch.wrapping_add(1) {
+            return Err(format!(
+                "rekey moved to epoch {epoch}, expected {}",
+                session.epoch.wrapping_add(1)
+            ));
+        }
+        let ct = Ciphertext::from_bytes(&params, ct).map_err(|e| format!("bad ciphertext: {e}"))?;
+        let shared = kem.decapsulate(&sk, &ct, backend, &mut NullMeter);
+        session.apply_rekey(shared.as_bytes());
+        Ok(())
+    }
+
+    /// Close `session` with an authenticated empty frame; the server
+    /// reaps its table entry.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, server-side errors, or a non-empty ack.
+    pub fn session_close(&mut self, mut session: ClientSession) -> Result<(), String> {
+        let payload = session.seal_close();
+        let reply = self.request_ok(&RequestFrame {
+            opcode: Opcode::SessionClose,
+            params_code: 0,
+            backend_code: 0,
+            seq: 0,
+            payload,
+        })?;
+        if reply.is_empty() {
+            Ok(())
+        } else {
+            Err("unexpected session close ack".into())
         }
     }
 }

@@ -26,6 +26,11 @@
 //! * [`server`] — a single-threaded event loop owning every socket:
 //!   per-connection state machines, ordered reply slots, overload shedding
 //!   (`BUSY`), connection caps, timeouts and graceful drain;
+//! * [`session`] — authenticated long-lived channels over the KEM
+//!   (`lac-session`): KEM-negotiated directional keys, AEAD-style frame
+//!   sealing, epoch-tagged rekeying, and a bounded sharded LRU session
+//!   table — the reactor binds it to opcodes `SessionOpen`/`SessionMsg`/
+//!   `SessionClose`;
 //! * [`client`] — blocking `std::net` endpoint speaking [`wire`], with
 //!   optional connect/read/write deadlines;
 //! * [`bench`] — closed-loop *and* open-loop (target-QPS) load generators
@@ -72,6 +77,7 @@ pub mod pool;
 pub mod queue;
 pub mod reactor;
 pub mod server;
+pub mod session;
 pub mod wire;
 
 use lac::{AcceleratedBackend, Backend, KeccakAcceleratedBackend, Params, SoftwareBackend};

@@ -323,6 +323,126 @@ impl FrontendSnapshot {
     }
 }
 
+/// Live counters for the session layer (`crate::session`).
+///
+/// Written by the reactor thread (the sole owner of the session table);
+/// read through the shared `Arc` by the `STATS` snapshot. `open` is a
+/// gauge; the rest are monotonic. The gauge obeys
+/// `open = opened − closed − evicted − tag_failures`: every opened
+/// session leaves exactly one way (client close, LRU eviction, or a
+/// tag-mismatch force-close).
+#[derive(Default)]
+pub struct SessionStats {
+    open: AtomicU64,
+    opened: AtomicU64,
+    closed: AtomicU64,
+    evicted: AtomicU64,
+    rekeys: AtomicU64,
+    replay_drops: AtomicU64,
+    tag_failures: AtomicU64,
+    messages: AtomicU64,
+}
+
+impl SessionStats {
+    /// Record a completed session handshake (gauge up, counter up).
+    pub fn opened(&self) {
+        self.open.fetch_add(1, Ordering::Relaxed);
+        self.opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an authenticated client close (gauge down).
+    pub fn closed(&self) {
+        self.open.fetch_sub(1, Ordering::Relaxed);
+        self.closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an LRU eviction at table capacity (gauge down).
+    pub fn evicted(&self) {
+        self.open.fetch_sub(1, Ordering::Relaxed);
+        self.evicted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a session force-closed by a frame tag mismatch (gauge down).
+    pub fn tag_failure_closed(&self) {
+        self.open.fetch_sub(1, Ordering::Relaxed);
+        self.tag_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a rekey-authenticator failure that left the session open.
+    pub fn tag_failure_kept(&self) {
+        self.tag_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a frame dropped by the replay/ordering or epoch check.
+    pub fn replay_drop(&self) {
+        self.replay_drops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a completed rekey (epoch advance).
+    pub fn rekeyed(&self) {
+        self.rekeys.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an accepted (verified, in-order) session message.
+    pub fn message(&self) {
+        self.messages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy.
+    pub fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            open: self.open.load(Ordering::Relaxed),
+            opened: self.opened.load(Ordering::Relaxed),
+            closed: self.closed.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            rekeys: self.rekeys.load(Ordering::Relaxed),
+            replay_drops: self.replay_drops.load(Ordering::Relaxed),
+            tag_failures: self.tag_failures.load(Ordering::Relaxed),
+            messages: self.messages.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of [`SessionStats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SessionSnapshot {
+    /// Sessions currently open (gauge).
+    pub open: u64,
+    /// Sessions ever opened.
+    pub opened: u64,
+    /// Sessions closed by an authenticated client close.
+    pub closed: u64,
+    /// Sessions evicted by the LRU bound.
+    pub evicted: u64,
+    /// Completed rekeys (epoch advances).
+    pub rekeys: u64,
+    /// Frames dropped by replay/ordering/epoch checks.
+    pub replay_drops: u64,
+    /// Frame or rekey tag verification failures.
+    pub tag_failures: u64,
+    /// Accepted session messages.
+    pub messages: u64,
+}
+
+impl SessionSnapshot {
+    /// JSON object (nested under `"sessions"` in the stats reply).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"open\": {}, \"opened\": {}, \"closed\": {}, \"evicted\": {}, \
+             \"rekeys\": {}, \"replay_drops\": {}, \"tag_failures\": {}, \
+             \"messages\": {}}}",
+            self.open,
+            self.opened,
+            self.closed,
+            self.evicted,
+            self.rekeys,
+            self.replay_drops,
+            self.tag_failures,
+            self.messages,
+        )
+    }
+}
+
 /// Shared live counters for a [`crate::pool::ServePool`].
 pub struct Metrics {
     requests: [AtomicU64; 3],
@@ -331,6 +451,8 @@ pub struct Metrics {
     latency: Histogram,
     /// Connection-level counters, written by the reactor.
     frontend: FrontendStats,
+    /// Session-layer counters, written by the reactor.
+    sessions: SessionStats,
 }
 
 impl Default for Metrics {
@@ -347,12 +469,18 @@ impl Metrics {
             errors: AtomicU64::new(0),
             latency: Histogram::new(),
             frontend: FrontendStats::default(),
+            sessions: SessionStats::default(),
         }
     }
 
     /// The connection-level counters (reactor-owned).
     pub fn frontend(&self) -> &FrontendStats {
         &self.frontend
+    }
+
+    /// The session-layer counters (reactor-owned).
+    pub fn sessions(&self) -> &SessionStats {
+        &self.sessions
     }
 
     /// Record one completed job.
@@ -399,6 +527,8 @@ pub struct MetricsSnapshot {
     pub worker_cycles: Vec<u64>,
     /// Connection front-end counters (zero for a bare pool).
     pub frontend: FrontendSnapshot,
+    /// Session-layer counters (zero for a bare pool).
+    pub sessions: SessionSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -457,6 +587,18 @@ impl MetricsSnapshot {
             self.frontend.timeouts_write,
         ));
         out.push_str(&format!(
+            "sessions: open {} / opened {} / closed {} / evicted {}, rekeys {}, \
+             replay-drops {}, tag-failures {}, messages {}\n",
+            self.sessions.open,
+            self.sessions.opened,
+            self.sessions.closed,
+            self.sessions.evicted,
+            self.sessions.rekeys,
+            self.sessions.replay_drops,
+            self.sessions.tag_failures,
+            self.sessions.messages,
+        ));
+        out.push_str(&format!(
             "latency: mean {:.0} us, p50 ~ {:.0} us, p99 ~ {:.0} us, p999 ~ {:.0} us, max {} us\n",
             self.latency.mean_micros(),
             self.latency.quantile_micros_interp(0.50),
@@ -479,7 +621,7 @@ impl MetricsSnapshot {
         format!(
             "{{\"workers\": {}, \"queue_capacity\": {}, \"queue_high_water\": {}, \
              \"requests\": {{\"keygen\": {}, \"encaps\": {}, \"decaps\": {}}}, \
-             \"errors\": {}, \"frontend\": {}, \"latency\": {}, \
+             \"errors\": {}, \"frontend\": {}, \"sessions\": {}, \"latency\": {}, \
              \"worker_cycles\": [{}], \"makespan_cycles\": {}, \"total_cycles\": {}, \
              \"requests_per_mcycle\": {:.4}}}",
             self.workers,
@@ -490,6 +632,7 @@ impl MetricsSnapshot {
             self.requests[2],
             self.errors,
             self.frontend.to_json(),
+            self.sessions.to_json(),
             self.latency.to_json(),
             cycles.join(", "),
             self.makespan_cycles(),
@@ -592,6 +735,16 @@ mod tests {
                 timeouts_read: 0,
                 timeouts_write: 0,
             },
+            sessions: SessionSnapshot {
+                open: 3,
+                opened: 10,
+                closed: 5,
+                evicted: 2,
+                rekeys: 4,
+                replay_drops: 1,
+                tag_failures: 0,
+                messages: 42,
+            },
         };
         assert_eq!(snap.total_requests(), 6);
         assert_eq!(snap.makespan_cycles(), 400);
@@ -606,11 +759,41 @@ mod tests {
             "\"shed_busy\": 5",
             "\"conns_accepted\": 9",
             "\"p999_us\": 0.0",
+            "\"rekeys\": 4",
+            "\"replay_drops\": 1",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
         assert!(snap.to_text().contains("high-water 17"));
         assert!(snap.to_text().contains("shed(BUSY) 5"));
+        assert!(snap.to_text().contains("rekeys 4"));
+    }
+
+    #[test]
+    fn session_stats_gauge_balances() {
+        let s = SessionStats::default();
+        for _ in 0..4 {
+            s.opened();
+        }
+        s.closed();
+        s.evicted();
+        s.tag_failure_closed();
+        s.tag_failure_kept();
+        s.rekeyed();
+        s.replay_drop();
+        s.message();
+        s.message();
+        let snap = s.snapshot();
+        assert_eq!(snap.opened, 4);
+        assert_eq!(
+            snap.open,
+            snap.opened - snap.closed - snap.evicted - 1,
+            "gauge balances against the three exits"
+        );
+        assert_eq!(snap.tag_failures, 2);
+        assert_eq!(snap.rekeys, 1);
+        assert_eq!(snap.messages, 2);
+        assert!(snap.to_json().contains("\"open\": 1"));
     }
 
     #[test]

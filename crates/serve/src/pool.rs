@@ -171,6 +171,13 @@ pub struct ServeConfig {
     /// Graceful-drain deadline after `SHUTDOWN`, in milliseconds: in-flight
     /// jobs get this long to complete and flush before the server exits.
     pub drain_ms: u64,
+    /// Bound on the session table (see `crate::session::SessionTable`):
+    /// opening a session beyond it evicts the least-recently-used one.
+    pub session_capacity: usize,
+    /// Force a session rekey after this many accepted messages in an
+    /// epoch (the server rejects further traffic until the client
+    /// rekeys); 0 disables the policy.
+    pub session_rekey_after: u64,
 }
 
 impl Default for ServeConfig {
@@ -187,6 +194,8 @@ impl Default for ServeConfig {
             write_timeout_ms: 10_000,
             max_write_buffer: 1 << 20,
             drain_ms: 5_000,
+            session_capacity: 1 << 17,
+            session_rekey_after: 1 << 16,
         }
     }
 }
@@ -575,6 +584,7 @@ impl ServePool {
             latency: self.metrics.latency_snapshot(),
             worker_cycles: self.worker_cycle_totals(),
             frontend: self.metrics.frontend().snapshot(),
+            sessions: self.metrics.sessions().snapshot(),
         }
     }
 

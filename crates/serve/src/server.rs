@@ -31,9 +31,13 @@
 //! the final snapshot taken.
 
 use crate::metrics::MetricsSnapshot;
-use crate::pool::{Completion, Reply, ReplySink, ServeConfig, ServePool, SubmitError};
+use crate::pool::{
+    Completion, Job, JobKind, Reply, ReplySink, ServeConfig, ServePool, SubmitError,
+};
 use crate::reactor::{self, IoStatus, Parker, TokenBucket};
+use crate::session::{self, Direction, SessionFrame, SessionState, SessionTable};
 use crate::wire::{self, frame_to_job, FrameDecoder, Opcode, RequestFrame, ResponseFrame};
+use crate::{params_from_code, BackendKind};
 use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::{mpsc, Arc};
@@ -184,6 +188,12 @@ fn timeout(ms: u64) -> Option<Duration> {
     (ms > 0).then(|| Duration::from_millis(ms))
 }
 
+/// A session handshake whose encaps job is on the pool: `rekey` is the
+/// target session for a rekey, `None` for a fresh open.
+struct PendingOpen {
+    rekey: Option<u64>,
+}
+
 /// The reactor: owns every socket, parks between passes, and is unparked
 /// by pool workers delivering completions.
 struct EventLoop {
@@ -198,7 +208,18 @@ struct EventLoop {
     tx: mpsc::Sender<Completion>,
     rx: mpsc::Receiver<Completion>,
     parker: Parker,
+    /// Open sessions, bounded with LRU eviction. Reactor-owned: session
+    /// crypto is symmetric-only and runs inline; only handshake encaps
+    /// goes to the pool.
+    sessions: SessionTable,
+    /// Handshake jobs in flight, keyed by `(conn id, reply slot)`; the
+    /// completion installs (or rekeys) the session before replying.
+    pending_opens: HashMap<(u64, u64), PendingOpen>,
+    /// Next session id to assign (0 is reserved as the "new session"
+    /// marker in open requests).
+    next_session_id: u64,
     // Knobs copied out of ServeConfig.
+    session_rekey_after: u64,
     max_conns: usize,
     idle_timeout: Option<Duration>,
     read_timeout: Option<Duration>,
@@ -223,6 +244,15 @@ impl EventLoop {
             tx,
             rx,
             parker: Parker::new(),
+            // Few shards so tiny capacities still evict in near-global
+            // LRU order; sequential ids round-robin across shards.
+            sessions: SessionTable::new(
+                cfg.session_capacity.max(1),
+                cfg.session_capacity.clamp(1, 16),
+            ),
+            pending_opens: HashMap::new(),
+            next_session_id: 1,
+            session_rekey_after: cfg.session_rekey_after,
             max_conns: cfg.max_conns.max(1),
             idle_timeout: timeout(cfg.idle_timeout_ms),
             read_timeout: timeout(cfg.read_timeout_ms),
@@ -257,27 +287,78 @@ impl EventLoop {
         self.pool.snapshot()
     }
 
-    /// Deliver worker completions into their reserved slots.
+    /// Deliver worker completions into their reserved slots. Session
+    /// handshake completions pass through [`EventLoop::finish_open`],
+    /// which installs or rekeys the session before the reply is encoded.
     fn route_completions(&mut self) -> bool {
         let mut any = false;
         while let Ok(Completion { conn, slot, reply }) = self.rx.try_recv() {
             any = true;
+            // Always reclaim the pending-open entry, even when the
+            // connection died in the meantime — a dead peer must not
+            // leak handshake bookkeeping (and its session is never
+            // installed: the client could not have learned the id).
+            let pending = self.pending_opens.remove(&(conn, slot));
             // A completion for a connection that died in the meantime is
             // dropped; the job itself was already executed and counted.
-            let Some(c) = self.conns.get_mut(&conn) else {
+            let Some(index) = self.conns.get(&conn).and_then(|c| {
+                slot.checked_sub(c.head_slot)
+                    .map(|i| i as usize)
+                    .filter(|&i| i < c.slots.len() && c.slots[i].is_none())
+            }) else {
                 continue;
             };
-            let Some(index) = slot.checked_sub(c.head_slot) else {
-                continue;
+            let response = match pending {
+                Some(p) => self.finish_open(p, reply),
+                None => reply_to_response(reply),
             };
-            let index = index as usize;
-            if index < c.slots.len() && c.slots[index].is_none() {
-                c.slots[index] = Some(encode(&reply_to_response(reply)));
-                c.inflight -= 1;
-                c.last_activity = Instant::now();
-            }
+            let c = self.conns.get_mut(&conn).expect("checked above");
+            c.slots[index] = Some(encode(&response));
+            c.inflight -= 1;
+            c.last_activity = Instant::now();
         }
         any
+    }
+
+    /// Turn a completed handshake encaps into a `SessionOpen` reply,
+    /// installing a fresh session or advancing the target's epoch.
+    fn finish_open(&mut self, pending: PendingOpen, reply: Reply) -> ResponseFrame {
+        let (ct, shared) = match reply {
+            Reply::Encaps { ct, shared } => (ct, shared),
+            Reply::Error(message) => return ResponseFrame::error(message),
+            other => {
+                return ResponseFrame::error(format!(
+                    "internal: unexpected handshake reply {other:?}"
+                ))
+            }
+        };
+        let stats = self.pool.metrics().sessions();
+        match pending.rekey {
+            None => {
+                let id = self.next_session_id;
+                self.next_session_id += 1;
+                if self
+                    .sessions
+                    .insert(id, SessionState::new(&shared))
+                    .is_some()
+                {
+                    stats.evicted();
+                }
+                stats.opened();
+                ResponseFrame::ok(session::encode_open_response(id, 0, &ct))
+            }
+            Some(id) => match self.sessions.get_mut(id) {
+                None => ResponseFrame::error(format!(
+                    "unknown session {id} (evicted before the rekey completed)"
+                )),
+                Some(state) => {
+                    state.rekey(&shared);
+                    let epoch = state.epoch;
+                    stats.rekeyed();
+                    ResponseFrame::ok(session::encode_open_response(id, epoch, &ct))
+                }
+            },
+        }
     }
 
     /// Accept whatever the backlog holds, subject to the rate limiter and
@@ -435,7 +516,162 @@ impl EventLoop {
             Opcode::Keygen | Opcode::Encaps | Opcode::Decaps => {
                 self.submit_frame(id, conn, &frame);
             }
+            Opcode::SessionOpen => self.session_open(id, conn, &frame),
+            Opcode::SessionMsg => self.session_msg(conn, &frame, false),
+            Opcode::SessionClose => self.session_msg(conn, &frame, true),
         }
+    }
+
+    /// Start a session handshake (fresh open or rekey): validate the
+    /// request inline, then put the encaps on the pool under the frame's
+    /// seq so the handshake result is worker-count-independent.
+    fn session_open(&mut self, id: u64, conn: &mut Conn, frame: &RequestFrame) {
+        let Some(params) = params_from_code(frame.params_code) else {
+            conn.push_ready(&ResponseFrame::error(format!(
+                "unknown params code {}",
+                frame.params_code
+            )));
+            return;
+        };
+        let Some(backend) = BackendKind::from_code(frame.backend_code) else {
+            conn.push_ready(&ResponseFrame::error(format!(
+                "unknown backend code {}",
+                frame.backend_code
+            )));
+            return;
+        };
+        let decoded = session::decode_open_request(&frame.payload, params.public_key_bytes());
+        let (target, pk, tag) = match decoded {
+            Ok(parts) => parts,
+            Err(message) => {
+                conn.push_ready(&ResponseFrame::error(message));
+                return;
+            }
+        };
+        let rekey = if target == 0 {
+            None
+        } else {
+            // Authenticate the rekey against the session's *current*
+            // epoch before spending pool work on it. A failure leaves
+            // the session open: the frame never carried valid traffic.
+            let Some(state) = self.sessions.get_mut(target) else {
+                conn.push_ready(&ResponseFrame::error(format!("unknown session {target}")));
+                return;
+            };
+            let want = session::rekey_tag(&state.keys.to_server, target, state.epoch, pk);
+            let tag = tag.expect("decode_open_request guarantees a tag for non-zero targets");
+            if !session::ct_eq(&want, &tag) {
+                self.pool.metrics().sessions().tag_failure_kept();
+                conn.push_ready(&ResponseFrame::error(format!(
+                    "rekey authenticator mismatch for session {target}"
+                )));
+                return;
+            }
+            Some(target)
+        };
+        let job = Job::new(
+            frame.seq,
+            params,
+            backend,
+            JobKind::Encaps { pk: pk.to_vec() },
+        );
+        let slot = conn.push_pending();
+        let sink = ReplySink::Routed {
+            conn: id,
+            slot,
+            tx: self.tx.clone(),
+            wake: self.parker.waker(),
+        };
+        match self.pool.try_submit(job, sink) {
+            Ok(()) => {
+                self.pending_opens.insert((id, slot), PendingOpen { rekey });
+            }
+            Err(SubmitError::Full) => {
+                self.pool.metrics().frontend().shed();
+                conn.fill_last(&ResponseFrame::busy());
+            }
+            Err(SubmitError::Closed) => {
+                conn.fill_last(&ResponseFrame::error("server is shutting down"));
+            }
+        }
+    }
+
+    /// Handle a sealed session frame inline (symmetric crypto only, no
+    /// pool round trip). `close` distinguishes `SessionClose` (tears the
+    /// session down on success) from `SessionMsg` (echoes the plaintext
+    /// sealed server→client).
+    ///
+    /// Policy on failure: a **tag mismatch closes the session** (its key
+    /// material cannot be trusted any further) but never the connection;
+    /// replay/ordering and epoch violations drop the frame and keep the
+    /// session, since the frame may simply be stale.
+    fn session_msg(&mut self, conn: &mut Conn, frame: &RequestFrame, close: bool) {
+        let parsed = match SessionFrame::decode(&frame.payload) {
+            Ok(parsed) => parsed,
+            Err(message) => {
+                conn.push_ready(&ResponseFrame::error(message));
+                return;
+            }
+        };
+        let stats = self.pool.metrics().sessions();
+        let id = parsed.session_id;
+        let Some(state) = self.sessions.get_mut(id) else {
+            conn.push_ready(&ResponseFrame::error(format!("unknown session {id}")));
+            return;
+        };
+        let Some(keys) = state.accept_keys(parsed.epoch) else {
+            stats.replay_drop();
+            conn.push_ready(&ResponseFrame::error(format!(
+                "session {id}: epoch {} is outside the accept window (current {})",
+                parsed.epoch, state.epoch
+            )));
+            return;
+        };
+        let Some(plain) = session::open(&keys.to_server, Direction::ToServer, &parsed) else {
+            self.sessions.remove(id);
+            self.pool.metrics().sessions().tag_failure_closed();
+            conn.push_ready(&ResponseFrame::error(format!(
+                "session {id}: tag mismatch (session closed)"
+            )));
+            return;
+        };
+        if parsed.seq != state.recv_seq {
+            stats.replay_drop();
+            conn.push_ready(&ResponseFrame::error(format!(
+                "session {id}: seq {} replayed or reordered (expected {})",
+                parsed.seq, state.recv_seq
+            )));
+            return;
+        }
+        if close {
+            self.sessions.remove(id);
+            self.pool.metrics().sessions().closed();
+            conn.push_ready(&ResponseFrame::ok(Vec::new()));
+            return;
+        }
+        if self.session_rekey_after > 0 && state.msgs_in_epoch >= self.session_rekey_after {
+            conn.push_ready(&ResponseFrame::error(format!(
+                "session {id}: rekey required after {} messages in epoch {}",
+                state.msgs_in_epoch, state.epoch
+            )));
+            return;
+        }
+        state.recv_seq += 1;
+        state.msgs_in_epoch += 1;
+        // Echo under the *current* epoch regardless of which epoch the
+        // request used: replies leave in request order, so the client has
+        // already applied any rekey by the time it reads this.
+        let echo = session::seal(
+            &state.keys.to_client,
+            Direction::ToClient,
+            id,
+            state.epoch,
+            state.send_seq,
+            &plain,
+        );
+        state.send_seq += 1;
+        stats.message();
+        conn.push_ready(&ResponseFrame::ok(echo));
     }
 
     /// Reserve a reply slot and hand a KEM frame to the pool; shed with

@@ -8,7 +8,8 @@
 //!   0..2   magic "LS"
 //!   2      protocol version (2)
 //!   3      opcode   (1 keygen, 2 encaps, 3 decaps, 4 stats, 5 shutdown,
-//!                    6 ping, 7 batch)
+//!                    6 ping, 7 batch, 8 session-open, 9 session-msg,
+//!                    10 session-close)
 //!   4      params   (1 lac128, 2 lac192, 3 lac256; 0 for stats/shutdown/ping)
 //!   5      backend  (1 ref, 2 ct, 3 hw, 4 hw-keccak; 0 likewise)
 //!   6..14  seq (u64) — the job's DRBG lane (see lac_rand::Sha256CtrRng::fork)
@@ -36,6 +37,16 @@
 //! ct ‖ 32-byte shared secret; decaps — shared secret; stats — the
 //! metrics snapshot as JSON text; shutdown/ping — short ASCII acks; error
 //! status — a UTF-8 message.
+//!
+//! **Session framing.** Opcodes 8–10 carry the authenticated-session
+//! payloads defined in [`crate::session`]: `SESSION_OPEN` sends
+//! `target_id ‖ pk [‖ rekey tag]` (target 0 opens a new session, non-zero
+//! rekeys an existing one; seq drives the server-side DRBG fork exactly
+//! like a KEM job) and is answered with `id ‖ epoch ‖ ct`;
+//! `SESSION_MSG`/`SESSION_CLOSE` carry a sealed
+//! [`crate::session::SessionFrame`] and are answered with the echoed
+//! plaintext sealed server→client (resp. an empty OK). Session opcodes
+//! are not [`batchable`].
 //!
 //! **Batch framing.** A `BATCH` request amortizes round trips: its outer
 //! header carries zeros for params/backend/seq, and its payload packs the
@@ -96,6 +107,15 @@ pub enum Opcode {
     Ping,
     /// Execute a packed batch of KEM requests across the worker pool.
     Batch,
+    /// Open (or rekey) an authenticated session: the payload carries the
+    /// client's KEM public key, the server answers with a fresh
+    /// encapsulation (see `crate::session` for the payload codecs).
+    SessionOpen,
+    /// An AEAD-framed message on an open session; the server echoes the
+    /// plaintext sealed under its own directional key.
+    SessionMsg,
+    /// Authenticated close of an open session (empty-body session frame).
+    SessionClose,
 }
 
 impl Opcode {
@@ -109,6 +129,9 @@ impl Opcode {
             Opcode::Shutdown => 5,
             Opcode::Ping => 6,
             Opcode::Batch => 7,
+            Opcode::SessionOpen => 8,
+            Opcode::SessionMsg => 9,
+            Opcode::SessionClose => 10,
         }
     }
 
@@ -122,8 +145,21 @@ impl Opcode {
             5 => Some(Opcode::Shutdown),
             6 => Some(Opcode::Ping),
             7 => Some(Opcode::Batch),
+            8 => Some(Opcode::SessionOpen),
+            9 => Some(Opcode::SessionMsg),
+            10 => Some(Opcode::SessionClose),
             _ => None,
         }
+    }
+
+    /// Alias for [`Opcode::code`]: the opcode's byte on the wire.
+    pub fn to_u8(self) -> u8 {
+        self.code()
+    }
+
+    /// Alias for [`Opcode::from_code`]: decode an opcode byte.
+    pub fn from_u8(code: u8) -> Option<Self> {
+        Self::from_code(code)
     }
 }
 

@@ -1,84 +1,134 @@
 //! Secure channel: the scenario the paper's introduction motivates —
-//! post-quantum key establishment for embedded communication.
+//! post-quantum key establishment for embedded communication — running on
+//! the repo's real session subsystem (`lac-session`).
 //!
-//! Alice (a constrained device with the PQ-ALU) and Bob (a software-only
-//! peer) establish a shared secret with the LAC-256 KEM, then protect a
-//! message with a SHA-256-based stream cipher and tag derived from it. The
-//! two backends interoperate bit-exactly: acceleration changes cycle
-//! counts, never values.
+//! An in-process `lac-serve` server plays the constrained embedded node.
+//! The client opens an authenticated session over the wire protocol
+//! (`SESSION_OPEN`: the client sends a LAC public key, the server
+//! encapsulates, both sides derive directional SHA-256-CTR keys), chats
+//! sealed frames, rotates the keys with an authenticated rekey (epoch
+//! 0 → 1), and closes. A final forged frame demonstrates the failure
+//! mode: the server drops the session, the connection survives.
 //!
 //! Run: `cargo run --release --example secure_channel`
 
-use lac::{AcceleratedBackend, Kem, Params, SharedSecret, SoftwareBackend};
-use lac_meter::{CycleLedger, NullMeter};
+use lac::{Kem, Params};
 use lac_rand::Sha256CtrRng;
-use lac_sha256::{Expander, Sha256};
-
-/// Derive a keystream from the shared secret and XOR it over `data`
-/// (encrypt == decrypt).
-fn stream_cipher(secret: &SharedSecret, nonce: u8, data: &mut [u8]) {
-    let mut ks = Expander::new(secret.as_bytes(), nonce);
-    for byte in data.iter_mut() {
-        *byte ^= ks.next_byte();
-    }
-}
-
-/// A simple authentication tag: SHA-256 over secret ‖ ciphertext.
-fn tag(secret: &SharedSecret, ct: &[u8]) -> [u8; 32] {
-    let mut h = Sha256::new();
-    h.update(secret.as_bytes());
-    h.update(ct);
-    h.finalize()
-}
+use lac_serve::client::Client;
+use lac_serve::pool::ServeConfig;
+use lac_serve::server::Server;
+use lac_serve::wire::{Opcode, RequestFrame};
+use lac_serve::{params_code, BackendKind};
+use std::time::Instant;
 
 fn main() {
-    let kem = Kem::new(Params::lac256());
+    // The embedded node: a serving reactor over the PQ-ALU backend model.
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 16,
+            seed: [7u8; 32],
+            warm_iss: true,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr().expect("addr").to_string();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let params = Params::lac256();
+    let kem = Kem::new(params);
+    let mut backend = BackendKind::Hw.build();
     let mut rng = Sha256CtrRng::seed_from_u64(7);
 
-    // Bob (software) generates a key pair and publishes pk.
-    let mut bob = SoftwareBackend::constant_time();
-    let (pk, sk) = kem.keygen(&mut rng, &mut bob, &mut NullMeter);
-    let pk_wire = pk.to_bytes();
-    println!("Bob publishes a {}-byte public key", pk_wire.len());
-
-    // Alice (hardware-accelerated embedded device) encapsulates.
-    let mut alice = AcceleratedBackend::new();
-    let pk_alice = lac::KemPublicKey::from_bytes(kem.params(), &pk_wire).expect("valid pk");
-    let mut alice_cycles = CycleLedger::new();
-    let (kem_ct, alice_secret) =
-        kem.encapsulate(&mut rng, &pk_alice, &mut alice, &mut alice_cycles);
+    // Handshake: keygen locally, SESSION_OPEN on the wire, decapsulate
+    // the server's ciphertext, derive epoch-0 directional keys.
+    let started = Instant::now();
+    let mut session = client
+        .session_open(&kem, backend.as_mut(), BackendKind::Hw, 1, &mut rng)
+        .expect("session open");
     println!(
-        "Alice encapsulates in {} modelled cycles (PQ-ALU)",
-        lac_meter::report::thousands(alice_cycles.total())
+        "session {} open at epoch {} ({} B pk / {} B ct handshake, {:.1} ms)",
+        session.id,
+        session.epoch,
+        params.public_key_bytes(),
+        params.ciphertext_bytes(),
+        started.elapsed().as_secs_f64() * 1e3
     );
 
-    // Alice encrypts her message under the shared secret.
-    let mut message = b"attack at dawn - via post-quantum channel".to_vec();
-    let plaintext = message.clone();
-    stream_cipher(&alice_secret, 1, &mut message);
-    let mac = tag(&alice_secret, &message);
+    // Sealed chat: stream-cipher + SHA-256 tag per frame, strict ordering.
+    for text in ["attack at dawn", "via post-quantum channel"] {
+        let started = Instant::now();
+        let echo = client
+            .session_send(&mut session, text.as_bytes())
+            .expect("sealed chat");
+        assert_eq!(echo, text.as_bytes());
+        println!(
+            "sealed round trip ({} B body, epoch {}, {:.2} ms): {:?}",
+            text.len(),
+            session.epoch,
+            started.elapsed().as_secs_f64() * 1e3,
+            String::from_utf8_lossy(&echo)
+        );
+    }
+
+    // Rekey: a fresh KEM handshake authenticated under the current MAC
+    // key rotates both directions' keys; the epoch tag keeps any frames
+    // still in flight under the old keys decryptable.
+    let old_secret = session.epoch_secret;
+    client
+        .session_rekey(
+            &kem,
+            backend.as_mut(),
+            BackendKind::Hw,
+            &mut session,
+            2,
+            &mut rng,
+        )
+        .expect("rekey");
+    assert_ne!(old_secret, session.epoch_secret);
+    println!("rekeyed to epoch {} (key material rotated)", session.epoch);
+    let echo = client
+        .session_send(&mut session, b"fresh keys, same session")
+        .expect("chat after rekey");
     println!(
-        "Alice sends: {} B KEM ciphertext + {} B payload + 32 B tag",
-        kem_ct.to_bytes().len(),
-        message.len()
+        "sealed round trip under epoch {}: {:?}",
+        session.epoch,
+        String::from_utf8_lossy(&echo)
     );
 
-    // Bob decapsulates (software) and opens the payload.
-    let mut bob_cycles = CycleLedger::new();
-    let bob_secret = kem.decapsulate(&sk, &kem_ct, &mut bob, &mut bob_cycles);
-    assert_eq!(tag(&bob_secret, &message), mac, "authentication failed");
-    stream_cipher(&bob_secret, 1, &mut message);
-    assert_eq!(message, plaintext);
+    // Tampering: flip one ciphertext bit — the constant-time tag check
+    // fails, the server reaps the session, the connection lives on.
+    let mut forged = session.seal_next(b"to be corrupted");
+    let last = forged.len() - 1;
+    forged[last] ^= 0x80;
+    let reply = client
+        .request(&RequestFrame {
+            opcode: Opcode::SessionMsg,
+            params_code: params_code(&params),
+            backend_code: BackendKind::Hw.code(),
+            seq: 0,
+            payload: forged,
+        })
+        .expect("transport");
     println!(
-        "Bob decapsulates in {} modelled cycles (software, constant-time BCH)",
-        lac_meter::report::thousands(bob_cycles.total())
+        "tampered frame rejected ✔ ({})",
+        reply.error_message().expect("forgery must fail")
     );
-    println!("Bob reads: {:?}", String::from_utf8_lossy(&message));
+    client.ping().expect("connection survives the forgery");
 
-    // A tampered payload must fail authentication.
-    let mut tampered = message.clone();
-    stream_cipher(&bob_secret, 1, &mut tampered);
-    tampered[0] ^= 0x80;
-    assert_ne!(tag(&bob_secret, &tampered), mac);
-    println!("tampered payload rejected ✔");
+    // The table reaped the session; the stats show the whole story.
+    let mut control = Client::connect(&addr).expect("control connect");
+    control.shutdown().expect("shutdown");
+    let snapshot = server_thread.join().expect("server thread");
+    println!(
+        "server session stats: opened {}, rekeys {}, messages {}, tag failures {}, open at exit {}",
+        snapshot.sessions.opened,
+        snapshot.sessions.rekeys,
+        snapshot.sessions.messages,
+        snapshot.sessions.tag_failures,
+        snapshot.sessions.open
+    );
 }

@@ -52,6 +52,23 @@ if [ "$QUICK" = 1 ]; then
         --json --sweep --cells 4 --iters 8 --threads 2 | grep -q '"digests_match": true'
     echo "  warm sweep digests match"
     echo
+    echo "== smoke: session handshake round trip (quick mode) =="
+    # One session through the full lifecycle: SESSION_OPEN handshake, one
+    # sealed chat, close — zero errors, all sessions reaped.
+    SESS=$(./target/release/lac-suite bench-serve --sessions 1 --session-chats 1 \
+        --workers 2 --seed 1 --json)
+    printf '%s' "$SESS" | grep -q '"opened": 1' || {
+        echo "session smoke: handshake did not complete" >&2
+        echo "$SESS" >&2
+        exit 1
+    }
+    printf '%s' "$SESS" | grep -q '"errors": 0' || {
+        echo "session smoke: errors reported" >&2
+        echo "$SESS" >&2
+        exit 1
+    }
+    echo "  session handshake OK"
+    echo
     echo "verify: quick checks passed (full mode remains the tier-1 gate)"
     exit 0
 fi
@@ -270,6 +287,79 @@ overload_gate() {
     echo "  at ${RATE}/s (~2x saturation): $OVER_COMP completed, $OVER_BUSY shed BUSY, 0 errors"
 }
 overload_gate || { echo "  (wall-clock noise suspected; retrying once)"; overload_gate; }
+
+echo
+echo "== acceptance: session soak (open/chat/rekey/close, digest parity) =="
+# The full session lifecycle mix on 1 and 4 workers with the same seed:
+# per-job DRBG forks must make the client-visible crypto transcript
+# identical, every session must be opened, rekeyed once and reaped, and
+# a clean run has zero transport errors and zero sheds.
+session_mix() {
+    ./target/release/lac-suite bench-serve --sessions 24 --session-chats 4 \
+        --session-rekey-every 3 --conns 8 --workers "$1" --session-capacity 64 \
+        --params lac128 --backend ct --seed 1 --json
+}
+SESS_ONE=$(session_mix 1)
+SESS_FOUR=$(session_mix 4)
+DIG_ONE=$(printf '%s' "$SESS_ONE" | sed -n 's/.*"digest": "\([0-9a-f]*\)".*/\1/p')
+DIG_FOUR=$(printf '%s' "$SESS_FOUR" | sed -n 's/.*"digest": "\([0-9a-f]*\)".*/\1/p')
+if [ -z "$DIG_ONE" ] || [ "$DIG_ONE" != "$DIG_FOUR" ]; then
+    echo "session soak: digest '$DIG_FOUR' (4 workers) != '$DIG_ONE' (1 worker)" >&2
+    exit 1
+fi
+for RUN in "$SESS_ONE" "$SESS_FOUR"; do
+    S_OPENED=$(json_field "$RUN" opened)
+    S_REKEYS=$(json_field "$RUN" rekeys)
+    S_CLOSES=$(json_field "$RUN" closes)
+    S_BUSY=$(json_field "$RUN" busy)
+    S_ERRS=$(json_field "$RUN" errors)
+    S_LEFT=$(json_field "$RUN" open)
+    if [ "${S_OPENED:-0}" -ne 24 ] || [ "${S_REKEYS:-0}" -ne 24 ] || \
+       [ "${S_CLOSES:-0}" -ne 24 ] || [ "${S_BUSY:-1}" -ne 0 ] || \
+       [ "${S_ERRS:-1}" -ne 0 ] || [ "${S_LEFT:-1}" -ne 0 ]; then
+        echo "session soak: opened=$S_OPENED rekeys=$S_REKEYS closes=$S_CLOSES" \
+             "busy=$S_BUSY errors=$S_ERRS open_at_end=$S_LEFT" >&2
+        echo "$RUN" >&2
+        exit 1
+    fi
+done
+echo "  24 sessions x (open + 4 chats + rekey + close): digests match 1 vs 4 workers, all reaped"
+
+# The same mix paced at ~2x its unpaced completion rate: saturation shows
+# up as scheduled-time latency, never as transport errors or leaked
+# sessions.
+SESS_RATE=$(json_field "$SESS_FOUR" achieved_qps)
+SOAK_RATE=$(awk "BEGIN { r = int(2 * ${SESS_RATE:-100}); if (r < 50) r = 50; print r }")
+SOAK=$(./target/release/lac-suite bench-serve --sessions 24 --session-chats 4 \
+    --session-rekey-every 3 --conns 8 --workers 2 --session-capacity 64 \
+    --target-qps "$SOAK_RATE" --params lac128 --backend ct --seed 1 --json)
+SOAK_ERRS=$(json_field "$SOAK" errors)
+SOAK_BUSY=$(json_field "$SOAK" busy)
+SOAK_LEFT=$(json_field "$SOAK" open)
+if [ "${SOAK_ERRS:-1}" -ne 0 ] || [ "${SOAK_BUSY:-1}" -ne 0 ] || [ "${SOAK_LEFT:-1}" -ne 0 ]; then
+    echo "session soak: at ${SOAK_RATE}/s errors=$SOAK_ERRS busy=$SOAK_BUSY open_at_end=$SOAK_LEFT" >&2
+    echo "$SOAK" >&2
+    exit 1
+fi
+echo "  at ${SOAK_RATE}/s (~2x saturation): 0 errors, 0 sheds, clean drain"
+
+echo
+echo "== acceptance: bounded session table (LRU eviction under hold) =="
+# 48 held-open sessions against a 32-slot table: the oldest 16 must be
+# LRU-evicted, the table must sit exactly at capacity, and nothing may
+# error.
+HOLD=$(./target/release/lac-suite bench-serve --sessions 48 --session-chats 0 \
+    --session-hold --session-capacity 32 --conns 8 --workers 2 \
+    --params lac128 --backend ct --seed 1 --json)
+HOLD_OPEN=$(json_field "$HOLD" open)
+HOLD_EVICTED=$(json_field "$HOLD" evicted)
+HOLD_ERRS=$(json_field "$HOLD" errors)
+if [ "${HOLD_OPEN:-0}" -ne 32 ] || [ "${HOLD_EVICTED:-0}" -ne 16 ] || [ "${HOLD_ERRS:-1}" -ne 0 ]; then
+    echo "session hold: open=$HOLD_OPEN evicted=$HOLD_EVICTED errors=$HOLD_ERRS" >&2
+    echo "$HOLD" >&2
+    exit 1
+fi
+echo "  48 sessions into 32 slots: 32 open, 16 evicted, 0 errors"
 
 echo
 echo "verify: all checks passed"

@@ -15,7 +15,9 @@
 //! lac-suite serve       --addr 127.0.0.1:0 --workers 4 --seed 1
 //! lac-suite bench-serve --workers 4 --clients 4 --requests 64 [--json]
 //! lac-suite bench-serve --target-qps 500 --duration-ms 1000 --conns 4
+//! lac-suite bench-serve --sessions 64 --session-chats 4 --session-rekey-every 3
 //! lac-suite serve-ctl   stats    --addr 127.0.0.1:PORT
+//! lac-suite serve-ctl   sessions --addr 127.0.0.1:PORT
 //! lac-suite serve-ctl   shutdown --addr 127.0.0.1:PORT
 //! ```
 //!
@@ -78,6 +80,8 @@ impl Options {
                 json = true;
             } else if arg == "--iss-warm" {
                 flags.insert("iss-warm".to_string(), "true".to_string());
+            } else if arg == "--session-hold" {
+                flags.insert("session-hold".to_string(), "true".to_string());
             } else if let Some(name) = arg.strip_prefix("--") {
                 let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
                 flags.insert(name.to_string(), value.clone());
@@ -163,6 +167,12 @@ fn cmd_serve(opts: &Options) -> Result<String, String> {
             write_timeout_ms: parse_u64(opts, "write-timeout-ms", defaults.write_timeout_ms)?,
             max_write_buffer: parse_usize(opts, "max-write-buffer", defaults.max_write_buffer)?,
             drain_ms: parse_u64(opts, "drain-ms", defaults.drain_ms)?,
+            session_capacity: parse_usize(opts, "session-capacity", defaults.session_capacity)?,
+            session_rekey_after: parse_u64(
+                opts,
+                "session-rekey-after",
+                defaults.session_rekey_after,
+            )?,
         },
     )
     .map_err(|e| format!("cannot bind {addr}: {e}"))?;
@@ -180,6 +190,45 @@ fn cmd_serve(opts: &Options) -> Result<String, String> {
 /// arrival schedule, tail-latency report); otherwise closed loop,
 /// optionally a worker-count sweep.
 fn cmd_bench_serve(opts: &Options) -> Result<String, String> {
+    if opts.flags.contains_key("sessions") {
+        if opts.flags.contains_key("sweep") {
+            return Err("--sessions and --sweep are mutually exclusive".into());
+        }
+        let defaults = ServeConfig::default();
+        let cfg = lac_serve::bench::SessionLoadConfig {
+            workers: parse_usize(opts, "workers", 4)?,
+            conns: parse_usize(opts, "conns", 4)?,
+            sessions: parse_usize(opts, "sessions", 16)?,
+            chats_per_session: parse_usize(opts, "session-chats", 4)?,
+            rekey_every: parse_u64(opts, "session-rekey-every", 0)?,
+            hold: opts.flags.contains_key("session-hold"),
+            target_qps: match opts.flags.get("target-qps") {
+                Some(value) => value
+                    .parse()
+                    .map_err(|_| format!("bad --target-qps '{value}'"))?,
+                None => 0.0,
+            },
+            params: lac_serve::params_parse(&opts.get_or("params", "lac128"))?,
+            backend: lac_serve::BackendKind::parse(&opts.get_or("backend", "ct"))?,
+            seed: {
+                let value = opts.get_or("seed", "1");
+                value.parse().map_err(|_| format!("bad --seed '{value}'"))?
+            },
+            queue_capacity: parse_usize(opts, "queue", 64)?,
+            session_capacity: parse_usize(opts, "session-capacity", defaults.session_capacity)?,
+            session_rekey_after: parse_u64(
+                opts,
+                "session-rekey-after",
+                defaults.session_rekey_after,
+            )?,
+        };
+        let report = bench::run_sessions(&cfg)?;
+        return Ok(if opts.json {
+            format!("{}\n", report.to_json())
+        } else {
+            report.to_text()
+        });
+    }
     if opts.flags.contains_key("target-qps") {
         let value = opts.get("target-qps")?;
         let target_qps: f64 = value
@@ -251,14 +300,26 @@ fn cmd_bench_serve(opts: &Options) -> Result<String, String> {
     }
 }
 
-/// `lac-suite serve-ctl <stats|ping|shutdown> --addr HOST:PORT`.
+/// Scan a JSON object for `"key": <u64>` (the stats snapshot keeps its
+/// integer keys unique across nesting, so a flat scan is enough).
+fn json_u64(json: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\": ");
+    let start = json.find(&needle)? + needle.len();
+    let digits: String = json[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// `lac-suite serve-ctl <stats|ping|sessions|shutdown> --addr HOST:PORT`.
 fn cmd_serve_ctl(action: &str, opts: &Options) -> Result<String, String> {
     if action.is_empty() {
-        return Err("serve-ctl needs an action (expected stats|ping|shutdown)".into());
+        return Err("serve-ctl needs an action (expected stats|ping|sessions|shutdown)".into());
     }
-    if !matches!(action, "stats" | "ping" | "shutdown") {
+    if !matches!(action, "stats" | "ping" | "sessions" | "shutdown") {
         return Err(format!(
-            "unknown serve-ctl action '{action}' (expected stats|ping|shutdown)"
+            "unknown serve-ctl action '{action}' (expected stats|ping|sessions|shutdown)"
         ));
     }
     let addr = opts.get("addr")?;
@@ -271,12 +332,31 @@ fn cmd_serve_ctl(action: &str, opts: &Options) -> Result<String, String> {
             client.ping()?;
             Ok("pong\n".to_string())
         }
+        "sessions" => {
+            // Same wire request as `stats`, rendered as a session-table
+            // summary (the snapshot nests them under `"sessions"`).
+            let stats = client.stats()?;
+            let field = |key: &str| json_u64(&stats, key).unwrap_or(0);
+            Ok(format!(
+                "session table at {addr}:\n  \
+                 open {} (opened {}, closed {}, evicted {})\n  \
+                 rekeys {}, replay drops {}, tag failures {}, messages {}\n",
+                field("open"),
+                field("opened"),
+                field("closed"),
+                field("evicted"),
+                field("rekeys"),
+                field("replay_drops"),
+                field("tag_failures"),
+                field("messages"),
+            ))
+        }
         "shutdown" => {
             client.shutdown()?;
             Ok(format!("server at {addr} acknowledged shutdown\n"))
         }
         other => Err(format!(
-            "unknown serve-ctl action '{other}' (expected stats|ping|shutdown)"
+            "unknown serve-ctl action '{other}' (expected stats|ping|sessions|shutdown)"
         )),
     }
 }
@@ -460,13 +540,17 @@ const USAGE: &str = "usage: lac-suite <command> [flags]
       [--max-conns N] [--accept-rps N] [--idle-timeout-ms N]
       [--read-timeout-ms N] [--write-timeout-ms N]
       [--max-write-buffer BYTES] [--drain-ms N]
+      [--session-capacity N] [--session-rekey-after N]
   bench-serve                    load generator (closed loop by default)
       [--workers N] [--clients N] [--requests N]
       [--op keygen|encaps|decaps] [--params P] [--backend B] [--seed N]
       [--batch N] [--queue N] [--sweep N,N,...] [--addr HOST:PORT] [--json]
       open loop: --target-qps QPS [--duration-ms N] [--conns N]
       [--timeout-ms N] (reports interpolated p50/p99/p999)
-  serve-ctl <stats|ping|shutdown> --addr HOST:PORT [--timeout-ms N]
+      sessions: --sessions N [--session-chats N] [--session-rekey-every N]
+      [--session-hold] [--session-capacity N] [--session-rekey-after N]
+      [--conns N] [--target-qps QPS] (handshake vs message latency)
+  serve-ctl <stats|ping|sessions|shutdown> --addr HOST:PORT [--timeout-ms N]
   table1|table2                  regenerate a paper table (sharded sweep)
       [--threads N] [--json]
   iss                            interpreter wall-clock throughput probe
@@ -705,6 +789,36 @@ mod tests {
     }
 
     #[test]
+    fn bench_serve_sessions_reports_both_latency_axes() {
+        let mut options = opts(
+            &[
+                ("workers", "2"),
+                ("conns", "2"),
+                ("sessions", "3"),
+                ("session-chats", "2"),
+                ("session-rekey-every", "1"),
+                ("seed", "5"),
+            ],
+            false,
+        );
+        let out = run("bench-serve", &options).expect("sessions text");
+        assert!(out.contains("handshake latency"), "{out}");
+        assert!(out.contains("message   latency"), "{out}");
+        assert!(out.contains("errors 0"), "{out}");
+        options.json = true;
+        let out = run("bench-serve", &options).expect("sessions json");
+        assert!(out.contains("\"bench\": \"serve-sessions\""), "{out}");
+        assert!(out.contains("\"rekeys\": 3"), "{out}");
+        // Sessions and sweep are mutually exclusive.
+        let err = run(
+            "bench-serve",
+            &opts(&[("sessions", "2"), ("sweep", "1,2")], false),
+        )
+        .unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
     fn serve_ctl_needs_action_and_addr() {
         let err = run("serve-ctl", &opts(&[], false)).unwrap_err();
         assert!(err.contains("needs an action"), "{err}");
@@ -712,6 +826,16 @@ mod tests {
         assert!(err.contains("--addr"), "{err}");
         let err = run("serve-ctl reboot", &opts(&[("addr", "127.0.0.1:1")], false)).unwrap_err();
         assert!(err.contains("reboot"), "{err}");
+        let err = run("serve-ctl sessions", &opts(&[], false)).unwrap_err();
+        assert!(err.contains("--addr"), "{err}");
+    }
+
+    #[test]
+    fn json_u64_matches_exact_keys_only() {
+        let json = "{\"conns_open\": 9, \"sessions\": {\"open\": 3, \"opened\": 10}}";
+        assert_eq!(json_u64(json, "open"), Some(3));
+        assert_eq!(json_u64(json, "opened"), Some(10));
+        assert_eq!(json_u64(json, "missing"), None);
     }
 
     #[test]
