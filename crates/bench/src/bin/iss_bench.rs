@@ -9,11 +9,16 @@
 //! `scripts/bench_compare.sh`.
 //!
 //! Run: `cargo run --release -p lac-bench --bin iss_bench
-//!       [--json] [--iters N] [--engine classic|predecode|superblock]
+//!       [--json] [--iters N] [--engine classic|predecode|superblock|jit]
 //!       [--sweep [--cells N] [--threads N]]`
 //!
 //! With `--engine`, only that engine is measured (no differential check);
-//! the default is the full three-way comparison. With `--sweep`, a fleet
+//! the default is the full four-way comparison, which also prints the
+//! `"jit_over_superblock"` ratio and `"jit_supported"` flag behind
+//! `scripts/verify.sh`'s JIT gate (jit ≥ 1.5× superblock on hosts with a
+//! JIT backend; on others `Engine::Jit` silently degrades to the
+//! superblock interpreter and a one-line note is printed instead). With
+//! `--sweep`, a fleet
 //! of `--cells` independent sweep cells runs on `--threads` workers twice
 //! — per-cell cold starts vs the warm-start layer (shared trace cache +
 //! snapshot/restore) — and reports the `"warm_speedup"` ratio plus a
@@ -54,7 +59,7 @@ fn engine_arg() -> Result<Option<Engine>, String> {
         };
         if let Some(name) = name {
             return iss::parse_engine(&name).map(Some).ok_or(format!(
-                "unknown engine {name:?} (classic|predecode|superblock)"
+                "unknown engine {name:?} (classic|predecode|superblock|jit)"
             ));
         }
     }
@@ -63,9 +68,29 @@ fn engine_arg() -> Result<Option<Engine>, String> {
 
 fn json_run(r: &iss::IssRun) -> String {
     format!(
-        "{{\"instructions\": {}, \"cycles\": {}, \"wall_us\": {}, \"mips\": {:.2}, \"digest\": \"{}\"}}",
-        r.instructions, r.cycles, r.wall_micros, r.mips, r.digest
+        "{{\"instructions\": {}, \"cycles\": {}, \"wall_us\": {}, \"mips\": {:.2}, \"digest\": \"{}\", \"jit_compiles\": {}, \"jit_dispatches\": {}, \"jit_shared_installs\": {}, \"jit_fallbacks\": {}}}",
+        r.instructions,
+        r.cycles,
+        r.wall_micros,
+        r.mips,
+        r.digest,
+        r.jit_compiles,
+        r.jit_dispatches,
+        r.jit_shared_installs,
+        r.jit_fallbacks
     )
+}
+
+/// The one-line unsupported-host note: printed whenever a requested JIT
+/// run degraded to the superblock interpreter instead of panicking.
+fn note_fallback(run: &iss::IssRun) {
+    if run.jit_fallbacks > 0 {
+        println!(
+            "  note: jit backend unavailable on this host ({} fallback{}); Engine::Jit ran on the superblock interpreter",
+            run.jit_fallbacks,
+            if run.jit_fallbacks == 1 { "" } else { "s" }
+        );
+    }
 }
 
 fn print_run(label: &str, r: &iss::IssRun) {
@@ -153,11 +178,15 @@ fn main() -> ExitCode {
             println!("  \"bench\": \"iss\",");
             println!("  \"iters\": {iters},");
             println!("  \"engine\": \"{name}\",");
+            println!("  \"jit_supported\": {},", lac_rv32::jit::host_supported());
             println!("  \"run\": {}", json_run(&run));
             println!("}}");
         } else {
             println!("ISS throughput — LAC decrypt recover loop, {iters} iterations");
             print_run(&format!("{name}:"), &run);
+            if engine == Engine::Jit {
+                note_fallback(&run);
+            }
         }
         return ExitCode::SUCCESS;
     }
@@ -168,13 +197,21 @@ fn main() -> ExitCode {
         println!("{{");
         println!("  \"bench\": \"iss\",");
         println!("  \"iters\": {iters},");
+        println!("  \"jit_supported\": {},", lac_rv32::jit::host_supported());
         println!("  \"classic\": {},", json_run(&report.classic));
         println!("  \"predecode\": {},", json_run(&report.predecode));
         println!("  \"superblock\": {},", json_run(&report.superblock));
+        println!("  \"jit\": {},", json_run(&report.jit));
         println!("  \"speedup_predecode\": {:.2},", report.speedup_predecode);
+        println!("  \"speedup_jit\": {:.2},", report.speedup_jit);
+        println!(
+            "  \"jit_over_superblock\": {:.2},",
+            report.jit_over_superblock
+        );
         // "speedup" and "mips_fast" are the compatibility keys gated by
         // scripts/verify.sh and scripts/bench_compare.sh: the fastest
-        // engine (superblock) against the classic oracle.
+        // *interpreter* (superblock) against the classic oracle — stable
+        // across hosts with and without a JIT backend.
         println!("  \"speedup\": {:.2},", report.speedup_superblock);
         println!("  \"mips_fast\": {:.2},", report.superblock.mips);
         println!("  \"digests_match\": {}", report.digests_match);
@@ -184,10 +221,13 @@ fn main() -> ExitCode {
         print_run("classic (decode each step):", &report.classic);
         print_run("predecode (slot dispatch):", &report.predecode);
         print_run("superblock (trace cache):", &report.superblock);
+        print_run("jit (host code):", &report.jit);
         println!(
-            "  speedup vs classic: predecode {:.2}x, superblock {:.2}x",
-            report.speedup_predecode, report.speedup_superblock
+            "  speedup vs classic: predecode {:.2}x, superblock {:.2}x, jit {:.2}x",
+            report.speedup_predecode, report.speedup_superblock, report.speedup_jit
         );
+        println!("  jit over superblock: {:.2}x", report.jit_over_superblock);
+        note_fallback(&report.jit);
         println!(
             "  digests match: {} ({})",
             report.digests_match,

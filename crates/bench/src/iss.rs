@@ -6,8 +6,10 @@
 //! (retired instructions per wall-second, "MIPS"). It drives a
 //! `tests/riscv_decrypt.rs`-style workload — the LAC decryption recover
 //! loop with `pq.modq`, byte loads/stores and a backward branch — on the
-//! three execution engines of `lac-rv32`:
+//! four execution engines of `lac-rv32`:
 //!
+//! * the **JIT engine** (superblocks lowered to host machine code; falls
+//!   back to the superblock interpreter on unsupported hosts),
 //! * the **superblock engine** (trace-cached macro-op fusion, the
 //!   default),
 //! * the **predecoded engine** (decode once per code line, dispatch
@@ -18,7 +20,8 @@
 //! digest covers the register file, PC, modelled cycles, retired
 //! instructions and the program's output buffer — and `scripts/verify.sh`
 //! gates on the superblock engine being at least 3× faster than the
-//! classic engine in wall-clock.
+//! classic engine in wall-clock (plus, on hosts with a JIT backend, the
+//! JIT being at least 1.5× faster than the superblock engine).
 
 use crate::shard;
 use lac_rv32::{Cpu, Engine, Machine, SharedTraceCache, SharedTraceStats};
@@ -36,7 +39,12 @@ const OUT_BASE: u32 = 0xC000;
 const COEFFS: u32 = 400;
 
 /// The engines under measurement, slowest first.
-pub const ENGINES: [Engine; 3] = [Engine::Classic, Engine::Predecode, Engine::Superblock];
+pub const ENGINES: [Engine; 4] = [
+    Engine::Classic,
+    Engine::Predecode,
+    Engine::Superblock,
+    Engine::Jit,
+];
 
 /// The stable lowercase name of an engine (CLI flag values, JSON fields).
 pub fn engine_name(engine: Engine) -> &'static str {
@@ -44,6 +52,7 @@ pub fn engine_name(engine: Engine) -> &'static str {
         Engine::Classic => "classic",
         Engine::Predecode => "predecode",
         Engine::Superblock => "superblock",
+        Engine::Jit => "jit",
     }
 }
 
@@ -53,6 +62,7 @@ pub fn parse_engine(name: &str) -> Option<Engine> {
         "classic" => Some(Engine::Classic),
         "predecode" => Some(Engine::Predecode),
         "superblock" => Some(Engine::Superblock),
+        "jit" => Some(Engine::Jit),
         _ => None,
     }
 }
@@ -78,9 +88,18 @@ pub struct IssRun {
     pub sb_shared_installs: u64,
     /// Predecode lines filled.
     pub pre_fills: u64,
+    /// Superblocks translated to host code locally.
+    pub jit_compiles: u64,
+    /// Emitted host-code block entries.
+    pub jit_dispatches: u64,
+    /// Translations adopted from a shared trace cache instead of compiled.
+    pub jit_shared_installs: u64,
+    /// Times `Engine::Jit` degraded to the superblock interpreter
+    /// (unsupported host, exec-mmap denial, or a forced fallback).
+    pub jit_fallbacks: u64,
 }
 
-/// A three-way engine comparison on the same workload.
+/// A four-way engine comparison on the same workload.
 #[derive(Debug, Clone)]
 pub struct IssReport {
     /// The decode-every-step oracle.
@@ -89,11 +108,18 @@ pub struct IssReport {
     pub predecode: IssRun,
     /// The trace-cached superblock engine.
     pub superblock: IssRun,
+    /// The host-code JIT tier (superblock fallback where unsupported).
+    pub jit: IssRun,
     /// `classic.wall / predecode.wall` (>1 means predecode is faster).
     pub speedup_predecode: f64,
     /// `classic.wall / superblock.wall` — the verify.sh gate figure.
     pub speedup_superblock: f64,
-    /// Whether all three engines produced bit-identical architectural
+    /// `classic.wall / jit.wall`.
+    pub speedup_jit: f64,
+    /// `superblock.wall / jit.wall` — the verify.sh JIT gate figure on
+    /// supported hosts.
+    pub jit_over_superblock: f64,
+    /// Whether all four engines produced bit-identical architectural
     /// results.
     pub digests_match: bool,
 }
@@ -174,6 +200,7 @@ fn measure_cpu(cpu: &mut Cpu, iters: u32) -> IssRun {
     let digest: String = hash.finalize().iter().map(|b| format!("{b:02x}")).collect();
 
     let sb = cpu.superblock_stats();
+    let jit = cpu.jit_stats();
     let wall_secs = (wall_micros.max(1)) as f64 / 1e6;
     IssRun {
         instructions: exit.instructions,
@@ -185,6 +212,10 @@ fn measure_cpu(cpu: &mut Cpu, iters: u32) -> IssRun {
         sb_dispatches: sb.dispatches,
         sb_shared_installs: sb.shared_installs,
         pre_fills: cpu.predecode_stats().0,
+        jit_compiles: jit.compiles,
+        jit_dispatches: jit.dispatches,
+        jit_shared_installs: jit.shared_installs,
+        jit_fallbacks: jit.fallbacks,
     }
 }
 
@@ -238,55 +269,72 @@ pub fn measure(iters: u32, engine: Engine) -> IssRun {
         .expect("COMPARE_REPS > 0")
 }
 
-/// Measure all three engines on the same `iters`-sized workload, best of
+/// Measure all four engines on the same `iters`-sized workload, best of
 /// [`COMPARE_REPS`] runs each.
 pub fn compare(iters: u32) -> IssReport {
     let classic = measure(iters, Engine::Classic);
     let predecode = measure(iters, Engine::Predecode);
     let superblock = measure(iters, Engine::Superblock);
+    let jit = measure(iters, Engine::Jit);
     let ratio = |slow: &IssRun, fast: &IssRun| {
         slow.wall_micros.max(1) as f64 / fast.wall_micros.max(1) as f64
     };
     let speedup_predecode = ratio(&classic, &predecode);
     let speedup_superblock = ratio(&classic, &superblock);
-    let digests_match = classic.digest == predecode.digest && classic.digest == superblock.digest;
+    let speedup_jit = ratio(&classic, &jit);
+    let jit_over_superblock = ratio(&superblock, &jit);
+    let digests_match = classic.digest == predecode.digest
+        && classic.digest == superblock.digest
+        && classic.digest == jit.digest;
     IssReport {
         classic,
         predecode,
         superblock,
+        jit,
         speedup_predecode,
         speedup_superblock,
+        speedup_jit,
+        jit_over_superblock,
         digests_match,
     }
 }
 
 /// The volatile `"iss_*"` JSON fields the table binaries append to their
-/// `--json` output (superblock engine, the sweep default; wall-clock
-/// figures and cache counters, so `scripts/bench_compare.sh` and the
-/// sharding-determinism check both filter keys with this prefix).
-pub fn json_fields(iters: u32) -> String {
-    format_iss_fields(&run_path(iters, Engine::Superblock), false)
+/// `--json` output (wall-clock figures and cache counters, so
+/// `scripts/bench_compare.sh` and the sharding-determinism check both
+/// filter keys with this prefix). `engine` is the table binaries'
+/// `--iss-engine` flag (default superblock); the `"iss_digest"` field is
+/// engine-independent, which is how `scripts/verify.sh` checks jit vs
+/// classic digest parity on a table1 smoke.
+pub fn json_fields(iters: u32, engine: Engine) -> String {
+    format_iss_fields(&run_path(iters, engine), engine, false)
 }
 
 /// Warm-start variant of [`json_fields`] (the table binaries' `--iss-warm`
 /// flag): the probe runs through snapshot/restore plus a shared trace
 /// cache. Everything outside the stripped `iss_*` prefix is unchanged, so
 /// a warm `--json` run diffs clean against a cold one.
-pub fn json_fields_warm(iters: u32) -> String {
-    format_iss_fields(&run_path_warm(iters, Engine::Superblock), true)
+pub fn json_fields_warm(iters: u32, engine: Engine) -> String {
+    format_iss_fields(&run_path_warm(iters, engine), engine, true)
 }
 
-fn format_iss_fields(run: &IssRun, warm: bool) -> String {
+fn format_iss_fields(run: &IssRun, engine: Engine, warm: bool) -> String {
     format!(
-        "\"iss_engine\": \"superblock\", \"iss_warm\": {}, \"iss_instructions\": {}, \"iss_wall_us\": {}, \"iss_mips\": {:.2}, \"iss_sb_compiles\": {}, \"iss_sb_dispatches\": {}, \"iss_sb_shared_installs\": {}, \"iss_pre_fills\": {}",
+        "\"iss_engine\": \"{}\", \"iss_warm\": {}, \"iss_instructions\": {}, \"iss_wall_us\": {}, \"iss_mips\": {:.2}, \"iss_digest\": \"{}\", \"iss_sb_compiles\": {}, \"iss_sb_dispatches\": {}, \"iss_sb_shared_installs\": {}, \"iss_pre_fills\": {}, \"iss_jit_compiles\": {}, \"iss_jit_dispatches\": {}, \"iss_jit_shared_installs\": {}, \"iss_jit_fallbacks\": {}",
+        engine_name(engine),
         warm,
         run.instructions,
         run.wall_micros,
         run.mips,
+        run.digest,
         run.sb_compiles,
         run.sb_dispatches,
         run.sb_shared_installs,
-        run.pre_fills
+        run.pre_fills,
+        run.jit_compiles,
+        run.jit_dispatches,
+        run.jit_shared_installs,
+        run.jit_fallbacks
     )
 }
 
@@ -384,8 +432,29 @@ mod tests {
         assert!(report.digests_match, "engines diverged");
         assert_eq!(report.classic.instructions, report.predecode.instructions);
         assert_eq!(report.classic.instructions, report.superblock.instructions);
+        assert_eq!(report.classic.instructions, report.jit.instructions);
         assert_eq!(report.classic.cycles, report.superblock.cycles);
+        assert_eq!(report.classic.cycles, report.jit.cycles);
         assert!(report.classic.instructions > 2 * u64::from(COEFFS));
+    }
+
+    #[test]
+    fn jit_engine_matches_oracle_and_reports_its_mode() {
+        let classic = run_path(2, Engine::Classic);
+        let jit = run_path(2, Engine::Jit);
+        assert_eq!(jit.digest, classic.digest, "jit diverged from oracle");
+        assert_eq!(jit.instructions, classic.instructions);
+        assert_eq!(jit.cycles, classic.cycles);
+        if lac_rv32::jit::host_supported() {
+            assert!(jit.jit_compiles > 0, "{jit:?}");
+            assert!(jit.jit_dispatches > 0, "{jit:?}");
+            assert_eq!(jit.jit_fallbacks, 0, "{jit:?}");
+        } else {
+            // The graceful degradation path: superblock results, one
+            // counted fallback, no emitted code.
+            assert_eq!(jit.jit_dispatches, 0, "{jit:?}");
+            assert!(jit.jit_fallbacks > 0, "{jit:?}");
+        }
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub fn measure_cells(threads: usize) -> Vec<Measured> {
     })
 }
 
-fn emit_json(cells: &[Measured], iss_warm: bool) {
+fn emit_json(cells: &[Measured], iss_warm: bool, iss_engine: lac_rv32::Engine) {
     let mut rows = Vec::new();
     for ((label, fails, paper), m) in PAPER_TABLE1.iter().zip(cells) {
         let col = |name: &str, measured: u64, paper: u64| {
@@ -100,9 +100,9 @@ fn emit_json(cells: &[Measured], iss_warm: bool) {
     );
     println!("  }},");
     let fields = if iss_warm {
-        iss::json_fields_warm(ISS_ITERS)
+        iss::json_fields_warm(ISS_ITERS, iss_engine)
     } else {
-        iss::json_fields(ISS_ITERS)
+        iss::json_fields(ISS_ITERS, iss_engine)
     };
     println!("  {fields}");
     println!("}}");
@@ -112,14 +112,20 @@ fn emit_json(cells: &[Measured], iss_warm: bool) {
 ///
 /// `threads = None` resolves via [`shard::thread_count`] (flag, env,
 /// available parallelism). `iss_warm` routes the trailing ISS-throughput
-/// probe through the warm-start layer (`--iss-warm`); its stripped
-/// `--json` output is identical either way. Measurement values are
-/// independent of the thread count; only the trailing ISS-throughput
-/// report is wall-clock.
-pub fn run(emit_json_output: bool, threads: Option<usize>, iss_warm: bool) {
+/// probe through the warm-start layer (`--iss-warm`); `iss_engine`
+/// selects the probe's execution engine (`--iss-engine`, default
+/// superblock). The stripped `--json` output is identical either way.
+/// Measurement values are independent of the thread count; only the
+/// trailing ISS-throughput report is wall-clock.
+pub fn run(
+    emit_json_output: bool,
+    threads: Option<usize>,
+    iss_warm: bool,
+    iss_engine: lac_rv32::Engine,
+) {
     let cells = measure_cells(shard::thread_count(threads));
     if emit_json_output {
-        emit_json(&cells, iss_warm);
+        emit_json(&cells, iss_warm, iss_engine);
         return;
     }
     println!("Table I — cycle count BCH(511, 367, 16) on RISC-V");
@@ -169,15 +175,16 @@ pub fn run(emit_json_output: bool, threads: Option<usize>, iss_warm: bool) {
         514_169.0 / 171_522.0
     );
     let probe = if iss_warm {
-        iss::run_path_warm(ISS_ITERS, lac_rv32::Engine::Superblock)
+        iss::run_path_warm(ISS_ITERS, iss_engine)
     } else {
-        iss::run_path(ISS_ITERS, lac_rv32::Engine::Superblock)
+        iss::run_path(ISS_ITERS, iss_engine)
     };
     println!(
-        "\nISS throughput: {:.2} MIPS ({} instructions in {} us, superblock engine{})",
+        "\nISS throughput: {:.2} MIPS ({} instructions in {} us, {} engine{})",
         probe.mips,
         thousands(probe.instructions),
         probe.wall_micros,
+        iss::engine_name(iss_engine),
         if iss_warm { ", warm start" } else { "" }
     );
 }

@@ -66,7 +66,7 @@ fn print_row(row: &KemRow, paper: Option<&[u64; 7]>) {
     }
 }
 
-fn emit_json(rows: &[KemRow], iss_warm: bool) {
+fn emit_json(rows: &[KemRow], iss_warm: bool, iss_engine: lac_rv32::Engine) {
     let mut out = Vec::new();
     for row in rows {
         let paper = PAPER_TABLE2
@@ -113,9 +113,9 @@ fn emit_json(rows: &[KemRow], iss_warm: bool) {
     println!("  \"rows\": [\n{}\n  ],", out.join(",\n"));
     println!("  \"speedups\": [\n{}\n  ],", speedups.join(",\n"));
     let fields = if iss_warm {
-        iss::json_fields_warm(ISS_ITERS)
+        iss::json_fields_warm(ISS_ITERS, iss_engine)
     } else {
-        iss::json_fields(ISS_ITERS)
+        iss::json_fields(ISS_ITERS, iss_engine)
     };
     println!("  {fields}");
     println!("}}");
@@ -125,14 +125,20 @@ fn emit_json(rows: &[KemRow], iss_warm: bool) {
 ///
 /// `threads = None` resolves via [`shard::thread_count`] (flag, env,
 /// available parallelism). `iss_warm` routes the trailing ISS-throughput
-/// probe through the warm-start layer (`--iss-warm`); its stripped
-/// `--json` output is identical either way. Measurement values are
-/// independent of the thread count; only the trailing ISS-throughput
-/// report is wall-clock.
-pub fn run(emit_json_output: bool, threads: Option<usize>, iss_warm: bool) {
+/// probe through the warm-start layer (`--iss-warm`); `iss_engine`
+/// selects the probe's execution engine (`--iss-engine`, default
+/// superblock). The stripped `--json` output is identical either way.
+/// Measurement values are independent of the thread count; only the
+/// trailing ISS-throughput report is wall-clock.
+pub fn run(
+    emit_json_output: bool,
+    threads: Option<usize>,
+    iss_warm: bool,
+    iss_engine: lac_rv32::Engine,
+) {
     let rows = measure_rows(shard::thread_count(threads));
     if emit_json_output {
-        emit_json(&rows, iss_warm);
+        emit_json(&rows, iss_warm, iss_engine);
         return;
     }
     println!("Table II — cycle count for the key encapsulation and performance bottlenecks");
@@ -242,15 +248,16 @@ pub fn run(emit_json_output: bool, threads: Option<usize>, iss_warm: bool) {
         );
     }
     let probe = if iss_warm {
-        iss::run_path_warm(ISS_ITERS, lac_rv32::Engine::Superblock)
+        iss::run_path_warm(ISS_ITERS, iss_engine)
     } else {
-        iss::run_path(ISS_ITERS, lac_rv32::Engine::Superblock)
+        iss::run_path(ISS_ITERS, iss_engine)
     };
     println!(
-        "\nISS throughput: {:.2} MIPS ({} instructions in {} us, superblock engine{})",
+        "\nISS throughput: {:.2} MIPS ({} instructions in {} us, {} engine{})",
         probe.mips,
         thousands(probe.instructions),
         probe.wall_micros,
+        iss::engine_name(iss_engine),
         if iss_warm { ", warm start" } else { "" }
     );
 }

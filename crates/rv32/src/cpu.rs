@@ -9,10 +9,14 @@
 //! * +34 cycles for divisions (iterative divider),
 //! * PQ instructions stall for however long the PQ-ALU device reports.
 //!
-//! Three execution engines share one `execute` core, so they are
+//! Four execution engines share one `execute` core, so they are
 //! architecturally indistinguishable (same registers, memory, traps,
 //! modelled cycles and retired-instruction counts):
 //!
+//! * the **JIT engine** ([`Engine::Jit`]; see [`crate::jit`]) lowers
+//!   compiled superblocks to host machine code in W^X exec buffers and
+//!   retires them natively, degrading to the superblock interpreter on
+//!   unsupported hosts;
 //! * the **superblock engine** (default; see [`crate::superblock`])
 //!   compiles hot straight-line regions into trace-cached blocks of fused
 //!   macro-ops and retires them whole;
@@ -24,9 +28,10 @@
 //! * the **decode-every-step classic engine** ([`Cpu::step`], enabled
 //!   with [`Cpu::set_predecode`]`(false)` or [`Engine::Classic`])
 //!   re-decodes on every instruction and serves as the differential
-//!   oracle for both fast engines.
+//!   oracle for the fast engines.
 
 use crate::inst::{decode, decompress, AluOp, BranchOp, CsrOp, Inst, LoadOp, PqUnit, StoreOp};
+use crate::jit::{self, JitCtx, JitState, JitStats};
 use crate::pq::PqAlu;
 use crate::predecode::{PredecodeCache, Slot};
 use crate::superblock::{
@@ -37,7 +42,7 @@ use crate::warm::{WarmImage, WarmState};
 use std::fmt;
 use std::sync::Arc;
 
-/// Which execution engine [`Cpu::run`] dispatches through. All three are
+/// Which execution engine [`Cpu::run`] dispatches through. All four are
 /// bit-identical architecturally; they differ only in host speed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Engine {
@@ -49,6 +54,11 @@ pub enum Engine {
     Predecode,
     /// Trace-cached superblock execution with macro-op fusion (default).
     Superblock,
+    /// Superblocks lowered to host machine code (see [`crate::jit`]).
+    /// Falls back to [`Engine::Superblock`] behaviour — silently, with a
+    /// counter — on hosts without an emitter or when the exec buffer
+    /// cannot be mapped.
+    Jit,
 }
 
 /// Reasons execution stopped abnormally.
@@ -143,6 +153,7 @@ pub struct Cpu {
     pq: PqAlu,
     cache: PredecodeCache,
     sb: SuperblockCache,
+    jit: JitState,
     engine: Engine,
     /// Process-wide compiled-block pool this CPU publishes to and installs
     /// from (see [`SharedTraceCache`]); not part of snapshots.
@@ -170,6 +181,7 @@ impl Cpu {
             pq: PqAlu::new(),
             cache: PredecodeCache::new(ram_bytes),
             sb: SuperblockCache::new(),
+            jit: JitState::default(),
             engine: Engine::Superblock,
             shared: None,
         }
@@ -285,6 +297,18 @@ impl Cpu {
     /// Superblock-engine lifetime counters.
     pub fn superblock_stats(&self) -> SuperblockStats {
         self.sb.stats
+    }
+
+    /// JIT-tier lifetime counters (all zero unless [`Engine::Jit`] ran).
+    pub fn jit_stats(&self) -> JitStats {
+        self.jit.stats
+    }
+
+    /// Force [`Engine::Jit`] to behave exactly like an unsupported host:
+    /// every run degrades to the superblock interpreter (counted in
+    /// [`JitStats::fallbacks`]). For tests and operational kill-switches.
+    pub fn force_jit_fallback(&mut self, forced: bool) {
+        self.jit.forced_off = forced;
     }
 
     /// Current program counter.
@@ -647,7 +671,17 @@ impl Cpu {
         match self.engine {
             Engine::Classic => self.run_slow(max_instructions),
             Engine::Predecode => self.run_predecoded(max_instructions),
-            Engine::Superblock => self.run_superblock(max_instructions),
+            Engine::Superblock => self.run_blocks(max_instructions, false),
+            Engine::Jit => {
+                if self.jit.usable() {
+                    self.run_blocks(max_instructions, true)
+                } else {
+                    // Unsupported host, broken exec mapping, or a forced
+                    // fallback: degrade to the superblock interpreter.
+                    self.jit.stats.fallbacks += 1;
+                    self.run_blocks(max_instructions, false)
+                }
+            }
         }
     }
 
@@ -735,12 +769,16 @@ impl Cpu {
     }
 
     /// The trace-cached dispatch loop behind [`Cpu::run`] for
-    /// [`Engine::Superblock`]. Hot block heads execute as compiled
-    /// superblocks (one fuel/counter update per block); cold or
+    /// [`Engine::Superblock`] and [`Engine::Jit`]. Hot block heads execute
+    /// as compiled superblocks (one fuel/counter update per block); cold or
     /// fuel-starved stretches interpret single instructions from the
     /// predecode cache exactly like [`Cpu::run_predecoded`], stopping at
-    /// block boundaries so heads accumulate heat.
-    fn run_superblock(&mut self, max_instructions: u64) -> Result<ExitState, Trap> {
+    /// block boundaries so heads accumulate heat. With `use_jit` set,
+    /// dispatched blocks additionally carry emitted host code and retire
+    /// through [`Cpu::exec_jit_block`]; everything else — hotness,
+    /// generation validation, fuel, trap accounting — is byte-for-byte the
+    /// same loop, which is what makes the tiers bit-identical.
+    fn run_blocks(&mut self, max_instructions: u64, use_jit: bool) -> Result<ExitState, Trap> {
         if self.pc & 1 != 0 {
             // Same argument as `run_predecoded`: an odd entry PC runs the
             // whole budget on the oracle; inside the loop PCs stay even.
@@ -820,11 +858,22 @@ impl Cpu {
                     None => self.sb.slot_mut(idx).heat = 0,
                 }
             }
-            if let Some(b) = block {
+            if let Some(mut b) = block {
                 if fuel >= b.block.total_instrs {
                     self.sb.stats.dispatches += 1;
+                    let jit_ready = use_jit && !self.jit.broken && {
+                        if b.jit_code().is_none() {
+                            self.ensure_jit(&mut b);
+                        }
+                        b.jit_code().is_some()
+                    };
                     let retired_before = flight.instructions;
-                    let outcome = self.exec_block(&b, &mut pc, &mut flight);
+                    let outcome = if jit_ready {
+                        self.jit.stats.dispatches += 1;
+                        self.exec_jit_block(&b, &mut pc, &mut flight)
+                    } else {
+                        self.exec_block(&b, &mut pc, &mut flight)
+                    };
                     self.sb.slot_mut(idx).block = Some(b);
                     match outcome {
                         Ok(BlockExit::Continue) => {
@@ -940,6 +989,146 @@ impl Cpu {
             && shared.publish(pc, &self.ram[start..end], &cached.block)
         {
             self.sb.stats.shared_publishes += 1;
+        }
+    }
+
+    /// Attach emitted host code to `cached`, adopting a shared translation
+    /// when the attached [`SharedTraceCache`] holds one for the same
+    /// `Arc<Block>` (zero-compile warm starts), otherwise emitting locally
+    /// and publishing. A failed exec-buffer mapping latches the JIT broken
+    /// for this CPU — every later dispatch interprets, counted once as a
+    /// fallback.
+    #[cold]
+    fn ensure_jit(&mut self, cached: &mut CachedBlock) {
+        if let Some(shared) = &self.shared {
+            if let Some(code) = shared.jit_lookup(&cached.block) {
+                self.jit.stats.shared_installs += 1;
+                cached.set_jit(code);
+                return;
+            }
+        }
+        match jit::translate(&cached.block) {
+            Some(code) => {
+                self.jit.stats.compiles += 1;
+                let code = Arc::new(code);
+                if let Some(shared) = &self.shared {
+                    if shared.jit_publish(&cached.block, &code) {
+                        self.jit.stats.shared_publishes += 1;
+                    }
+                }
+                cached.set_jit(code);
+            }
+            None => {
+                self.jit.stats.fallbacks += 1;
+                self.jit.broken = true;
+            }
+        }
+    }
+
+    /// Execute one compiled superblock through its emitted host code.
+    /// Architecturally identical to [`Cpu::exec_block`]: the same entry
+    /// preconditions, and on every exit the counters and `*pc_io` hold
+    /// exactly what the oracle would report. The emitted code mutates the
+    /// register file, RAM, predecode generations and PQ device in place;
+    /// this wrapper only settles accounting from the exit protocol (see
+    /// [`crate::jit`]).
+    fn exec_jit_block(
+        &mut self,
+        cached: &CachedBlock,
+        pc_io: &mut u32,
+        flight: &mut Flight,
+    ) -> Result<BlockExit, Trap> {
+        let block = &*cached.block;
+        let entry_cycles = flight.cycles;
+        let entry_instrs = flight.instructions;
+        let lines = cached.lines();
+        let mut ctx = JitCtx {
+            regs: self.regs.as_mut_ptr(),
+            ram: self.ram.as_mut_ptr(),
+            ram_len: self.ram.len() as u64,
+            dyn_cycles: 0,
+            pq: &mut self.pq,
+            cache: &mut self.cache,
+            lines: lines.as_ptr(),
+            lines_len: lines.len() as u64,
+            next_pc: 0,
+            term_extra: 0,
+            exit_op: 0,
+            fault_addr: 0,
+        };
+        let code = cached.jit_code().expect("dispatched without emitted code");
+        // SAFETY: every ctx pointer borrows from `self` (or `cached`'s
+        // line pairs) and outlives the call; the code was emitted from
+        // exactly this block, and the mapping is immutable RX.
+        let exit = unsafe { code.enter(&mut ctx) };
+        match exit {
+            jit::EXIT_NEXT => {
+                // Body and terminator fully retired natively.
+                flight.cycles = entry_cycles
+                    + u64::from(block.body_cycles)
+                    + ctx.dyn_cycles
+                    + u64::from(ctx.term_extra);
+                flight.instructions = entry_instrs + block.total_instrs;
+                *pc_io = ctx.next_pc;
+                Ok(BlockExit::Continue)
+            }
+            jit::EXIT_TERM => {
+                // Body retired; the terminator (CSR/ecall/ebreak) needs
+                // the interpreter core — same as `exec_block`'s tail.
+                flight.cycles = entry_cycles + u64::from(block.body_cycles) + ctx.dyn_cycles;
+                flight.instructions = entry_instrs + u64::from(block.body_instrs);
+                let Terminator::Plain { inst, word, len } = block.term else {
+                    unreachable!("EXIT_TERM only emitted for plain terminators");
+                };
+                flight.cycles += 1;
+                flight.instructions += 1;
+                match self.execute(block.term_pc, word, inst, u32::from(len), flight) {
+                    Ok(Some(next_pc)) => {
+                        *pc_io = next_pc;
+                        Ok(BlockExit::Continue)
+                    }
+                    Ok(None) => {
+                        *pc_io = block.term_pc;
+                        Ok(BlockExit::Ecall)
+                    }
+                    Err(trap) => {
+                        *pc_io = block.term_pc;
+                        Err(trap)
+                    }
+                }
+            }
+            jit::EXIT_TRAP_MEM => {
+                // Rebuild the oracle's counters from the faulting op's
+                // prefix sums, mirroring `exec_block`'s `partial!` paths.
+                let op = &block.ops[ctx.exit_op as usize];
+                let (extra_cycles, extra_instrs, at) = match op.kind {
+                    // The auipc half retired; the load (second of the
+                    // pair) faulted at its own PC.
+                    OpKind::AuipcLoad { pc2, .. } => (2, 2, pc2),
+                    _ => (1, 1, op.pc),
+                };
+                flight.cycles =
+                    entry_cycles + u64::from(op.cycles_before) + ctx.dyn_cycles + extra_cycles;
+                flight.instructions = entry_instrs + u64::from(op.instrs_before) + extra_instrs;
+                *pc_io = at;
+                Err(Trap::MemoryFault {
+                    pc: at,
+                    addr: ctx.fault_addr,
+                })
+            }
+            jit::EXIT_STORE_STALE => {
+                // The store retired but invalidated the running block:
+                // stop before the next op, exactly like the interpreter.
+                self.sb.stats.store_bails += 1;
+                let k = ctx.exit_op as usize;
+                let op = &block.ops[k];
+                let resume = block.ops.get(k + 1).map_or(block.term_pc, |next| next.pc);
+                flight.cycles = entry_cycles + u64::from(op.cycles_before) + ctx.dyn_cycles + 1;
+                flight.instructions = entry_instrs + u64::from(op.instrs_before) + 1;
+                *pc_io = resume;
+                Ok(BlockExit::Continue)
+            }
+            other => unreachable!("unknown jit exit code {other}"),
         }
     }
 

@@ -1,0 +1,575 @@
+//! Dynamic binary translation of superblocks to host machine code.
+//!
+//! The fourth engine tier ([`crate::cpu::Engine::Jit`]): already-compiled
+//! [`crate::superblock::Block`]s — pre-resolved register indices, pre-folded
+//! immediates, pre-summed cycle/instruction prefixes — are lowered once to
+//! host x86-64 machine code in an mmap'd W^X exec buffer and entered through
+//! a compact [`JitCtx`] context struct. Everything architectural stays in
+//! Rust: the dispatch loop (hotness, fuel, generation validation at block
+//! entry), trap reconstruction from the block's prefix sums, and the
+//! terminator fallback for CSR/`ecall`/`ebreak` all reuse the superblock
+//! engine's machinery, so the JIT is bit-identical to the three interpreter
+//! tiers by construction.
+//!
+//! # Entry/exit protocol
+//!
+//! Emitted code is one function per block, `extern "C" fn(*mut JitCtx) ->
+//! u32`. The context holds raw pointers into the owning
+//! [`crate::cpu::Cpu`] (register file, RAM, PQ-ALU device, predecode
+//! cache) plus the dispatched block's `(line, generation)` validity pairs;
+//! guest registers are mutated in place, exactly as the interpreter would.
+//! The return value selects how the Rust side settles accounting:
+//!
+//! * [`EXIT_NEXT`] — body and terminator fully retired in host code;
+//!   `next_pc` and the terminator's extra cycles are in the context, the
+//!   static body totals are charged once in Rust.
+//! * [`EXIT_TERM`] — body retired; the terminator (CSR reads observing
+//!   live counters, `ecall`, `ebreak`) executes on the shared interpreter
+//!   core.
+//! * [`EXIT_TRAP_MEM`] — a load/store at op `exit_op` faulted at
+//!   `fault_addr`; Rust rebuilds the oracle's counters from the op's
+//!   prefix sums and raises the exact trap.
+//! * [`EXIT_STORE_STALE`] — the store at op `exit_op` retired but
+//!   invalidated one of the block's own predecode lines (self-modifying
+//!   code); the block stops before the next op, exactly like the
+//!   interpreter's store bail.
+//!
+//! # W^X discipline
+//!
+//! The exec buffer is mapped `PROT_READ|PROT_WRITE` (raw `mmap` syscall —
+//! the workspace is hermetic, so no libc), filled, then flipped to
+//! `PROT_READ|PROT_EXEC` with `mprotect`; it is never writable and
+//! executable at the same time. Any mapping or protection failure marks
+//! the JIT broken for that CPU and execution degrades to the superblock
+//! interpreter — a counted fallback, never a panic.
+//!
+//! # Fallback
+//!
+//! [`host_supported`] gates the whole tier: on targets without an emitter
+//! (anything but x86-64 Linux) `Engine::Jit` silently runs the superblock
+//! engine and counts a fallback in [`JitStats`]. Tests can force the same
+//! path on supported hosts with [`crate::cpu::Cpu::force_jit_fallback`].
+
+use crate::pq::PqAlu;
+use crate::predecode::PredecodeCache;
+use crate::superblock::Block;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+mod emit_x86_64;
+
+/// Block exit code: body + terminator retired natively (see module docs).
+pub(crate) const EXIT_NEXT: u32 = 0;
+/// Block exit code: body retired, terminator needs the interpreter core.
+pub(crate) const EXIT_TERM: u32 = 1;
+/// Block exit code: memory fault at op `exit_op`.
+pub(crate) const EXIT_TRAP_MEM: u32 = 2;
+/// Block exit code: store at op `exit_op` invalidated the running block.
+pub(crate) const EXIT_STORE_STALE: u32 = 3;
+
+/// Whether this build has a JIT emitter for the host. When `false`,
+/// [`crate::cpu::Engine::Jit`] degrades to the superblock interpreter at
+/// run time (counted in [`JitStats::fallbacks`], never a panic).
+pub fn host_supported() -> bool {
+    cfg!(all(target_arch = "x86_64", target_os = "linux"))
+}
+
+/// Lifetime counters of the JIT tier (see [`crate::cpu::Cpu::jit_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JitStats {
+    /// Superblocks lowered to host code by this CPU.
+    pub compiles: u64,
+    /// Whole-block executions entered through emitted host code.
+    pub dispatches: u64,
+    /// Translations adopted from a shared pool instead of emitted locally.
+    pub shared_installs: u64,
+    /// Locally-emitted translations published to a shared pool.
+    pub shared_publishes: u64,
+    /// Times `Engine::Jit` degraded to the superblock interpreter
+    /// (unsupported host, exec-buffer failure, or a forced fallback).
+    pub fallbacks: u64,
+}
+
+/// Per-CPU JIT engine state: counters plus the degraded-mode latches.
+#[derive(Debug, Default)]
+pub(crate) struct JitState {
+    pub(crate) stats: JitStats,
+    /// Set when an exec-buffer allocation failed; the engine stays on the
+    /// interpreter from then on (retrying mmap every block would thrash).
+    pub(crate) broken: bool,
+    /// Test/ops override: behave exactly like an unsupported host.
+    pub(crate) forced_off: bool,
+}
+
+impl JitState {
+    /// Whether emitted code may be used right now.
+    pub(crate) fn usable(&self) -> bool {
+        host_supported() && !self.broken && !self.forced_off
+    }
+}
+
+/// The context struct emitted code executes against. `repr(C)` with a
+/// layout the emitter hard-codes (asserted by a unit test): eight 8-byte
+/// slots of pointers/counters, then four `u32` exit parameters. All
+/// pointers are borrowed from the owning `Cpu` for the duration of one
+/// block execution.
+#[repr(C)]
+pub(crate) struct JitCtx {
+    /// Guest register file (`[u32; 32]`), mutated in place.
+    pub(crate) regs: *mut u32,
+    /// Guest RAM base.
+    pub(crate) ram: *mut u8,
+    /// Guest RAM length in bytes (bounds checks compare against this).
+    pub(crate) ram_len: u64,
+    /// Dynamic PQ-ALU stall cycles accumulated by helper calls.
+    pub(crate) dyn_cycles: u64,
+    /// The PQ-ALU device (helper calls mutate its state machine).
+    pub(crate) pq: *mut PqAlu,
+    /// The predecode cache (store helper runs the invalidation).
+    pub(crate) cache: *mut PredecodeCache,
+    /// The dispatched block's `(line, generation)` pairs.
+    pub(crate) lines: *const (u32, u64),
+    /// Number of valid pairs behind `lines`.
+    pub(crate) lines_len: u64,
+    /// Out: resume PC for [`EXIT_NEXT`].
+    pub(crate) next_pc: u32,
+    /// Out: terminator cycles beyond the static body total ([`EXIT_NEXT`]).
+    pub(crate) term_extra: u32,
+    /// Out: index of the op that faulted or bailed.
+    pub(crate) exit_op: u32,
+    /// Out: faulting data address for [`EXIT_TRAP_MEM`].
+    pub(crate) fault_addr: u32,
+}
+
+/// Field offsets the emitter bakes into addressing modes (one byte each —
+/// everything fits a disp8). Checked against the real layout by a test.
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+pub(crate) mod ctx_off {
+    pub(crate) const REGS: u8 = 0x00;
+    pub(crate) const RAM: u8 = 0x08;
+    pub(crate) const RAM_LEN: u8 = 0x10;
+    pub(crate) const NEXT_PC: u8 = 0x40;
+    pub(crate) const TERM_EXTRA: u8 = 0x44;
+    pub(crate) const EXIT_OP: u8 = 0x48;
+    pub(crate) const FAULT_ADDR: u8 = 0x4c;
+}
+
+/// RISC-V division semantics for emitted code (edge cases — divide by
+/// zero, overflow — match [`crate::cpu`]'s ALU exactly). `sel` is
+/// 0=div, 1=divu, 2=rem, 3=remu; divider cycles are charged statically
+/// by the block's prefix sums, never here.
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+extern "C" fn jit_div(sel: u32, a: u32, b: u32) -> u32 {
+    match sel {
+        0 => {
+            if b == 0 {
+                u32::MAX
+            } else if a == 0x8000_0000 && b == u32::MAX {
+                a
+            } else {
+                ((a as i32) / (b as i32)) as u32
+            }
+        }
+        1 => a.checked_div(b).unwrap_or(u32::MAX),
+        2 => {
+            if b == 0 {
+                a
+            } else if a == 0x8000_0000 && b == u32::MAX {
+                0
+            } else {
+                ((a as i32) % (b as i32)) as u32
+            }
+        }
+        _ => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+    }
+}
+
+/// PQ-ALU dispatch for emitted code: runs the device (state machine and
+/// all), folds the stall into `dyn_cycles`, returns the result value.
+/// `unit` is the instruction's funct3 (see [`crate::inst::PqUnit`]).
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+unsafe extern "C" fn jit_pq(ctx: *mut JitCtx, unit: u32, a: u32, b: u32) -> u32 {
+    let ctx = &mut *ctx;
+    let pq = &mut *ctx.pq;
+    let (value, stall) = match unit {
+        0 => pq.mul_ter(a, b),
+        1 => pq.mul_chien(a, b),
+        2 => pq.sha256(a, b),
+        _ => pq.modq(a, b),
+    };
+    ctx.dyn_cycles += stall;
+    value
+}
+
+/// Post-store coherency for emitted code: run the predecode invalidation
+/// (exactly as `Cpu::store` would), then re-validate the running block's
+/// line generations. Returns 0 if the block is still current, 1 if the
+/// store hit its own code and the block must bail before the next op.
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+unsafe extern "C" fn jit_store_inval(ctx: *mut JitCtx, addr: u32, size: u32) -> u32 {
+    let ctx = &mut *ctx;
+    let cache = &mut *ctx.cache;
+    cache.invalidate(addr, size as usize);
+    let lines = std::slice::from_raw_parts(ctx.lines, ctx.lines_len as usize);
+    let current = lines
+        .iter()
+        .all(|&(line, gen)| cache.line_gen(line as usize) == gen);
+    u32::from(!current)
+}
+
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+mod backend {
+    use super::emit_x86_64;
+    use super::{jit_div, jit_pq, jit_store_inval, JitCtx};
+    use crate::superblock::Block;
+    use std::fmt;
+
+    const PROT_READ: usize = 1;
+    const PROT_WRITE: usize = 2;
+    const PROT_EXEC: usize = 4;
+    const MAP_PRIVATE_ANON: usize = 0x22; // MAP_PRIVATE | MAP_ANONYMOUS
+    const PAGE: usize = 4096;
+
+    /// Raw `mmap(NULL, len, prot, MAP_PRIVATE|MAP_ANONYMOUS, -1, 0)`.
+    /// The workspace carries no libc crate, so the three calls the exec
+    /// buffer needs go straight to the kernel.
+    unsafe fn sys_mmap(len: usize, prot: usize) -> Option<*mut u8> {
+        let ret: usize;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") 9usize => ret,
+            in("rdi") 0usize,
+            in("rsi") len,
+            in("rdx") prot,
+            in("r10") MAP_PRIVATE_ANON,
+            in("r8") usize::MAX, // fd = -1
+            in("r9") 0usize,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        // Raw syscalls report errors as -errno in [-4095, -1].
+        if ret >= -4095isize as usize {
+            None
+        } else {
+            Some(ret as *mut u8)
+        }
+    }
+
+    unsafe fn sys_mprotect(ptr: *mut u8, len: usize, prot: usize) -> isize {
+        let ret: isize;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") 10isize => ret,
+            in("rdi") ptr,
+            in("rsi") len,
+            in("rdx") prot,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    unsafe fn sys_munmap(ptr: *mut u8, len: usize) {
+        let ret: isize;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") 11isize => ret,
+            in("rdi") ptr,
+            in("rsi") len,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        let _ = ret;
+    }
+
+    /// A page-rounded executable mapping holding one block's emitted code.
+    /// Written while `RW`, then flipped to `RX` — never both (W^X).
+    struct ExecMap {
+        ptr: *mut u8,
+        len: usize,
+    }
+
+    impl ExecMap {
+        fn new(code: &[u8]) -> Option<Self> {
+            let len = code.len().max(1).next_multiple_of(PAGE);
+            unsafe {
+                let ptr = sys_mmap(len, PROT_READ | PROT_WRITE)?;
+                std::ptr::copy_nonoverlapping(code.as_ptr(), ptr, code.len());
+                if sys_mprotect(ptr, len, PROT_READ | PROT_EXEC) != 0 {
+                    sys_munmap(ptr, len);
+                    return None;
+                }
+                Some(Self { ptr, len })
+            }
+        }
+    }
+
+    impl Drop for ExecMap {
+        fn drop(&mut self) {
+            unsafe { sys_munmap(self.ptr, self.len) };
+        }
+    }
+
+    /// One block's emitted host code. Immutable (and `RX`) after
+    /// construction, so sharing across threads is sound.
+    pub(crate) struct JitCode {
+        map: ExecMap,
+        code_len: usize,
+    }
+
+    // SAFETY: the mapping is read/execute-only after construction and the
+    // helper addresses baked into it are process-wide constants.
+    unsafe impl Send for JitCode {}
+    unsafe impl Sync for JitCode {}
+
+    impl fmt::Debug for JitCode {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("JitCode")
+                .field("code_len", &self.code_len)
+                .finish()
+        }
+    }
+
+    impl JitCode {
+        /// Enter the block.
+        ///
+        /// # Safety
+        ///
+        /// `ctx` must point to a fully-initialised [`JitCtx`] whose
+        /// pointers are valid for the duration of the call and whose
+        /// `lines` pairs belong to the block this code was emitted from.
+        pub(crate) unsafe fn enter(&self, ctx: *mut JitCtx) -> u32 {
+            let entry: unsafe extern "C" fn(*mut JitCtx) -> u32 = std::mem::transmute(self.map.ptr);
+            entry(ctx)
+        }
+    }
+
+    /// Lower `block` to host code. `None` only when the exec buffer
+    /// cannot be mapped (the caller then latches the interpreter).
+    pub(crate) fn translate(block: &Block) -> Option<JitCode> {
+        let div: extern "C" fn(u32, u32, u32) -> u32 = jit_div;
+        let pq: unsafe extern "C" fn(*mut JitCtx, u32, u32, u32) -> u32 = jit_pq;
+        let store: unsafe extern "C" fn(*mut JitCtx, u32, u32) -> u32 = jit_store_inval;
+        let helpers = emit_x86_64::Helpers {
+            div: div as usize,
+            pq: pq as usize,
+            store_inval: store as usize,
+        };
+        let code = emit_x86_64::emit(block, &helpers);
+        let code_len = code.len();
+        ExecMap::new(&code).map(|map| JitCode { map, code_len })
+    }
+}
+
+#[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+mod backend {
+    use super::JitCtx;
+    use crate::superblock::Block;
+
+    /// Stub on hosts without an emitter: never constructed, so
+    /// `Engine::Jit` always falls back to the superblock interpreter.
+    #[derive(Debug)]
+    pub(crate) struct JitCode {
+        _never: core::convert::Infallible,
+    }
+
+    impl JitCode {
+        /// Unreachable by construction (no `JitCode` value can exist).
+        ///
+        /// # Safety
+        ///
+        /// Never called; see [`translate`].
+        pub(crate) unsafe fn enter(&self, _ctx: *mut JitCtx) -> u32 {
+            match self._never {}
+        }
+    }
+
+    pub(crate) fn translate(_block: &Block) -> Option<JitCode> {
+        None
+    }
+}
+
+pub(crate) use backend::{translate, JitCode};
+
+/// Entries a [`SharedJitPool`] retains at most (a runaway self-modifying
+/// workload would otherwise grow it without bound; 64Ki blocks is far
+/// beyond any real working set).
+const JIT_POOL_CAP: usize = 1 << 16;
+
+/// Point-in-time counters of the shared JIT pool.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharedJitStats {
+    /// Lookups that adopted an existing translation.
+    pub installs: u64,
+    /// Translations published.
+    pub publishes: u64,
+    /// Translations currently held.
+    pub blocks: u64,
+}
+
+#[derive(Debug)]
+struct PoolEntry {
+    /// Keeps the keying `Arc<Block>` pointer unique for the entry's whole
+    /// lifetime (no ABA through allocator reuse).
+    _keepalive: Arc<Block>,
+    code: Arc<JitCode>,
+}
+
+/// A process-wide pool of emitted host code, embedded in
+/// [`crate::superblock::SharedTraceCache`] so warm fleet workers adopt the
+/// primer's translations with zero local JIT compiles.
+///
+/// Entries are keyed by the `Arc<Block>` pointer identity: emitted code is
+/// a pure function of the (immutable) block, and workers that install a
+/// shared superblock hold the *same* `Arc`, so pointer equality is exact.
+/// The stored keepalive `Arc` pins the allocation, making key reuse
+/// impossible while the entry lives. Host-code pointers never cross
+/// process boundaries — the pool lives inside in-process `Arc`s only.
+#[derive(Debug, Default)]
+pub(crate) struct SharedJitPool {
+    map: Mutex<HashMap<usize, PoolEntry>>,
+    installs: AtomicU64,
+    publishes: AtomicU64,
+}
+
+impl SharedJitPool {
+    /// Adopt the pooled translation for `block`, if any.
+    pub(crate) fn lookup(&self, block: &Arc<Block>) -> Option<Arc<JitCode>> {
+        let key = Arc::as_ptr(block) as usize;
+        let map = self.map.lock().expect("shared jit pool poisoned");
+        let entry = map.get(&key)?;
+        self.installs.fetch_add(1, Ordering::Relaxed);
+        Some(Arc::clone(&entry.code))
+    }
+
+    /// Publish a translation for `block`. Returns `true` if stored.
+    pub(crate) fn publish(&self, block: &Arc<Block>, code: &Arc<JitCode>) -> bool {
+        let key = Arc::as_ptr(block) as usize;
+        let mut map = self.map.lock().expect("shared jit pool poisoned");
+        if map.len() >= JIT_POOL_CAP || map.contains_key(&key) {
+            return false;
+        }
+        map.insert(
+            key,
+            PoolEntry {
+                _keepalive: Arc::clone(block),
+                code: Arc::clone(code),
+            },
+        );
+        self.publishes.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Point-in-time counters.
+    pub(crate) fn stats(&self) -> SharedJitStats {
+        let blocks = self.map.lock().expect("shared jit pool poisoned").len() as u64;
+        SharedJitStats {
+            installs: self.installs.load(Ordering::Relaxed),
+            publishes: self.publishes.load(Ordering::Relaxed),
+            blocks,
+        }
+    }
+}
+
+impl fmt::Display for JitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "compiles {} dispatches {} shared_installs {} shared_publishes {} fallbacks {}",
+            self.compiles,
+            self.dispatches,
+            self.shared_installs,
+            self.shared_publishes,
+            self.fallbacks
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    #[test]
+    fn ctx_offsets_match_the_emitter() {
+        let mut regs = [0u32; 32];
+        let mut ram = [0u8; 4];
+        let ctx = JitCtx {
+            regs: regs.as_mut_ptr(),
+            ram: ram.as_mut_ptr(),
+            ram_len: 4,
+            dyn_cycles: 0,
+            pq: std::ptr::null_mut(),
+            cache: std::ptr::null_mut(),
+            lines: std::ptr::null(),
+            lines_len: 0,
+            next_pc: 0,
+            term_extra: 0,
+            exit_op: 0,
+            fault_addr: 0,
+        };
+        let base = std::ptr::addr_of!(ctx) as usize;
+        let off = |p: usize| (p - base) as u8;
+        assert_eq!(off(std::ptr::addr_of!(ctx.regs) as usize), ctx_off::REGS);
+        assert_eq!(off(std::ptr::addr_of!(ctx.ram) as usize), ctx_off::RAM);
+        assert_eq!(
+            off(std::ptr::addr_of!(ctx.ram_len) as usize),
+            ctx_off::RAM_LEN
+        );
+        assert_eq!(
+            off(std::ptr::addr_of!(ctx.next_pc) as usize),
+            ctx_off::NEXT_PC
+        );
+        assert_eq!(
+            off(std::ptr::addr_of!(ctx.term_extra) as usize),
+            ctx_off::TERM_EXTRA
+        );
+        assert_eq!(
+            off(std::ptr::addr_of!(ctx.exit_op) as usize),
+            ctx_off::EXIT_OP
+        );
+        assert_eq!(
+            off(std::ptr::addr_of!(ctx.fault_addr) as usize),
+            ctx_off::FAULT_ADDR
+        );
+    }
+
+    #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+    #[test]
+    fn div_helper_matches_riscv_edge_cases() {
+        // div: by zero => all ones; overflow => dividend.
+        assert_eq!(jit_div(0, 7, 0), u32::MAX);
+        assert_eq!(jit_div(0, 0x8000_0000, u32::MAX), 0x8000_0000);
+        assert_eq!(jit_div(0, (-7i32) as u32, 3), (-2i32) as u32);
+        // divu: by zero => all ones.
+        assert_eq!(jit_div(1, 7, 0), u32::MAX);
+        assert_eq!(jit_div(1, 7, 2), 3);
+        // rem: by zero => dividend; overflow => 0.
+        assert_eq!(jit_div(2, 7, 0), 7);
+        assert_eq!(jit_div(2, 0x8000_0000, u32::MAX), 0);
+        assert_eq!(jit_div(2, (-7i32) as u32, 3), (-1i32) as u32);
+        // remu: by zero => dividend.
+        assert_eq!(jit_div(3, 7, 0), 7);
+        assert_eq!(jit_div(3, 7, 2), 1);
+    }
+
+    #[test]
+    fn host_support_matches_target() {
+        assert_eq!(
+            host_supported(),
+            cfg!(all(target_arch = "x86_64", target_os = "linux"))
+        );
+    }
+}

@@ -1,0 +1,544 @@
+//! The x86-64 (SysV, Linux) emitter behind [`crate::jit`].
+//!
+//! One superblock becomes one `extern "C" fn(*mut JitCtx) -> u32`. The
+//! calling convention inside a block:
+//!
+//! * `rbx` — the [`crate::jit::JitCtx`] pointer,
+//! * `r14` — the guest register file base (`ctx.regs`),
+//! * `r12` — guest RAM base (`ctx.ram`),
+//! * `r13` — guest RAM length (`ctx.ram_len`),
+//! * `eax`/`ecx`/`edx` — scratch; guest registers stay memory-resident at
+//!   `[r14 + 4*idx]` (disp8-addressable for all 32), so nothing is live
+//!   across the helper calls (PQ-ALU, division, store invalidation) and
+//!   the callee-saved bases survive them by the SysV ABI.
+//!
+//! Writes to guest `x0` are elided at emit time; reads rely on the
+//! `regs[0] == 0` invariant the interpreter maintains. Loads and stores
+//! bounds-check `zext(addr) + width` against `r13` (exactly the
+//! interpreter's `addr as usize + size > ram.len()`), jumping to a
+//! per-op fault stub that reports [`crate::jit::EXIT_TRAP_MEM`]. Stores
+//! additionally call the invalidation helper and bail through a stale
+//! stub ([`crate::jit::EXIT_STORE_STALE`]) when they rewrote the running
+//! block's own code lines. The prologue's `sub rsp, 8` keeps `rsp`
+//! 16-byte aligned at every helper call site.
+
+use super::{ctx_off, EXIT_NEXT, EXIT_STORE_STALE, EXIT_TERM, EXIT_TRAP_MEM};
+use crate::inst::{AluOp, BranchOp, Inst, LoadOp, StoreOp};
+use crate::superblock::{Block, OpKind, Src2, Terminator};
+
+/// Process-constant helper entry points baked into emitted code as
+/// absolute `imm64` call targets.
+pub(super) struct Helpers {
+    pub(super) div: usize,
+    pub(super) pq: usize,
+    pub(super) store_inval: usize,
+}
+
+const EAX: u8 = 0;
+const ECX: u8 = 1;
+const EDX: u8 = 2;
+
+/// Condition-code byte (`0F cc` long jump) that branches when the RISC-V
+/// comparison holds.
+fn branch_cc(op: BranchOp) -> u8 {
+    match op {
+        BranchOp::Eq => 0x84,  // je
+        BranchOp::Ne => 0x85,  // jne
+        BranchOp::Lt => 0x8c,  // jl
+        BranchOp::Ge => 0x8d,  // jge
+        BranchOp::Ltu => 0x82, // jb
+        BranchOp::Geu => 0x83, // jae
+    }
+}
+
+fn load_width(op: LoadOp) -> u8 {
+    match op {
+        LoadOp::Byte | LoadOp::ByteU => 1,
+        LoadOp::Half | LoadOp::HalfU => 2,
+        LoadOp::Word => 4,
+    }
+}
+
+fn store_width(op: StoreOp) -> u8 {
+    match op {
+        StoreOp::Byte => 1,
+        StoreOp::Half => 2,
+        StoreOp::Word => 4,
+    }
+}
+
+/// Static divider cycles of a fused compare-branch ALU op (mirrors the
+/// block compiler's costing; charged through `term_extra`).
+fn div_cycles(op: AluOp) -> u32 {
+    match op {
+        AluOp::Div | AluOp::Divu | AluOp::Rem | AluOp::Remu => 34,
+        _ => 0,
+    }
+}
+
+/// Exit stubs shared per faulting/bailing op, emitted after the body.
+enum Stub {
+    /// Memory fault at op `k`; the faulting address is live in `eax`.
+    Fault(u32),
+    /// Store at op `k` invalidated the running block.
+    Stale(u32),
+}
+
+/// A tiny one-pass assembler: bytes plus label/rel32 fixups.
+struct Asm {
+    code: Vec<u8>,
+    labels: Vec<Option<usize>>,
+    fixups: Vec<(usize, usize)>,
+}
+
+impl Asm {
+    fn new() -> Self {
+        Self {
+            code: Vec::with_capacity(1024),
+            labels: Vec::new(),
+            fixups: Vec::new(),
+        }
+    }
+
+    fn label(&mut self) -> usize {
+        self.labels.push(None);
+        self.labels.len() - 1
+    }
+
+    fn bind(&mut self, label: usize) {
+        self.labels[label] = Some(self.code.len());
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        self.code.extend_from_slice(bytes);
+    }
+
+    fn d32(&mut self, v: u32) {
+        self.code.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn rel32(&mut self, label: usize) {
+        self.fixups.push((self.code.len(), label));
+        self.d32(0);
+    }
+
+    /// `jmp rel32`.
+    fn jmp(&mut self, label: usize) {
+        self.bytes(&[0xe9]);
+        self.rel32(label);
+    }
+
+    /// `jcc rel32` (long form).
+    fn jcc(&mut self, cc: u8, label: usize) {
+        self.bytes(&[0x0f, cc]);
+        self.rel32(label);
+    }
+
+    /// `mov <host32>, [r14 + 4*guest]` — read a guest register.
+    fn load_guest(&mut self, host: u8, guest: u8) {
+        self.bytes(&[0x41, 0x8b, 0x40 | (host << 3) | 6, 4 * (guest & 31)]);
+    }
+
+    /// `mov [r14 + 4*guest], <host32>` — write a guest register. The
+    /// caller guards `guest != 0`.
+    fn store_guest(&mut self, guest: u8, host: u8) {
+        self.bytes(&[0x41, 0x89, 0x40 | (host << 3) | 6, 4 * (guest & 31)]);
+    }
+
+    /// `mov dword [r14 + 4*guest], imm32`.
+    fn store_guest_imm(&mut self, guest: u8, imm: u32) {
+        self.bytes(&[0x41, 0xc7, 0x46, 4 * (guest & 31)]);
+        self.d32(imm);
+    }
+
+    /// `mov <host32>, imm32`.
+    fn mov_imm(&mut self, host: u8, imm: u32) {
+        self.bytes(&[0xb8 + host]);
+        self.d32(imm);
+    }
+
+    /// `mov dword [rbx + off], imm32` — write a `u32` context field.
+    fn ctx_store_imm(&mut self, off: u8, imm: u32) {
+        self.bytes(&[0xc7, 0x43, off]);
+        self.d32(imm);
+    }
+
+    /// `mov [rbx + off], eax`.
+    fn ctx_store_eax(&mut self, off: u8) {
+        self.bytes(&[0x89, 0x43, off]);
+    }
+
+    /// `mov rax, imm64; call rax` — call a helper at a process-constant
+    /// address. `rsp` is 16-byte aligned here by the prologue.
+    fn call(&mut self, addr: usize) {
+        self.bytes(&[0x48, 0xb8]);
+        self.code.extend_from_slice(&(addr as u64).to_le_bytes());
+        self.bytes(&[0xff, 0xd0]);
+    }
+
+    /// `add eax, imm32` (elided when zero).
+    fn add_eax(&mut self, imm: u32) {
+        if imm != 0 {
+            self.bytes(&[0x05]);
+            self.d32(imm);
+        }
+    }
+
+    /// Bounds check: `lea rcx, [rax + width]; cmp rcx, r13; ja fault`.
+    /// `eax` holds the (zero-extended) guest address.
+    fn bounds_check(&mut self, width: u8, fault: usize) {
+        self.bytes(&[0x48, 0x8d, 0x48, width]);
+        self.bytes(&[0x4c, 0x39, 0xe9]);
+        self.jcc(0x87, fault); // ja: zext(addr) + width > ram_len
+    }
+
+    /// RISC-V ALU op with `a` in `eax`, `b` in `ecx`; result in `eax`.
+    /// Divisions call the edge-case helper (cycles are statically
+    /// accounted elsewhere).
+    fn alu(&mut self, op: AluOp, helpers: &Helpers) {
+        match op {
+            AluOp::Add => self.bytes(&[0x01, 0xc8]),
+            AluOp::Sub => self.bytes(&[0x29, 0xc8]),
+            AluOp::Xor => self.bytes(&[0x31, 0xc8]),
+            AluOp::Or => self.bytes(&[0x09, 0xc8]),
+            AluOp::And => self.bytes(&[0x21, 0xc8]),
+            // x86 masks 32-bit shift counts to 5 bits, same as `b & 31`.
+            AluOp::Sll => self.bytes(&[0xd3, 0xe0]),
+            AluOp::Srl => self.bytes(&[0xd3, 0xe8]),
+            AluOp::Sra => self.bytes(&[0xd3, 0xf8]),
+            AluOp::Slt => self.bytes(&[0x39, 0xc8, 0x0f, 0x9c, 0xc0, 0x0f, 0xb6, 0xc0]),
+            AluOp::Sltu => self.bytes(&[0x39, 0xc8, 0x0f, 0x92, 0xc0, 0x0f, 0xb6, 0xc0]),
+            AluOp::Mul => self.bytes(&[0x0f, 0xaf, 0xc1]),
+            AluOp::Mulh => {
+                // movsxd rax,eax; movsxd rcx,ecx; imul rax,rcx; shr rax,32
+                self.bytes(&[0x48, 0x63, 0xc0, 0x48, 0x63, 0xc9]);
+                self.bytes(&[0x48, 0x0f, 0xaf, 0xc1, 0x48, 0xc1, 0xe8, 0x20]);
+            }
+            AluOp::Mulhsu => {
+                // movsxd rax,eax; mov ecx,ecx (zext); imul; shr 32
+                self.bytes(&[0x48, 0x63, 0xc0, 0x89, 0xc9]);
+                self.bytes(&[0x48, 0x0f, 0xaf, 0xc1, 0x48, 0xc1, 0xe8, 0x20]);
+            }
+            AluOp::Mulhu => {
+                // mov eax,eax; mov ecx,ecx (both zext); imul; shr 32
+                self.bytes(&[0x89, 0xc0, 0x89, 0xc9]);
+                self.bytes(&[0x48, 0x0f, 0xaf, 0xc1, 0x48, 0xc1, 0xe8, 0x20]);
+            }
+            AluOp::Div | AluOp::Divu | AluOp::Rem | AluOp::Remu => {
+                let sel = match op {
+                    AluOp::Div => 0,
+                    AluOp::Divu => 1,
+                    AluOp::Rem => 2,
+                    _ => 3,
+                };
+                self.bytes(&[0x89, 0xc6]); // mov esi, eax (a)
+                self.bytes(&[0x89, 0xca]); // mov edx, ecx (b)
+                self.mov_imm(7, sel); // mov edi, sel
+                self.call(helpers.div);
+            }
+        }
+    }
+
+    /// Load `b` into `ecx` from a [`Src2`].
+    fn load_src2(&mut self, src: Src2) {
+        match src {
+            Src2::Imm(imm) => self.mov_imm(ECX, imm),
+            Src2::Reg(r) => self.load_guest(ECX, r),
+        }
+    }
+
+    /// Memory read at the guest address in `eax` into `edx`, with the
+    /// RISC-V width/extension.
+    fn read_ram(&mut self, op: LoadOp) {
+        // [r12 + rax] — modrm 0x14 (edx, SIB), SIB 0x04 (base r12, index rax).
+        match op {
+            LoadOp::Byte => self.bytes(&[0x41, 0x0f, 0xbe, 0x14, 0x04]),
+            LoadOp::Half => self.bytes(&[0x41, 0x0f, 0xbf, 0x14, 0x04]),
+            LoadOp::Word => self.bytes(&[0x41, 0x8b, 0x14, 0x04]),
+            LoadOp::ByteU => self.bytes(&[0x41, 0x0f, 0xb6, 0x14, 0x04]),
+            LoadOp::HalfU => self.bytes(&[0x41, 0x0f, 0xb7, 0x14, 0x04]),
+        }
+    }
+
+    /// Memory write of `edx` at the guest address in `eax`.
+    fn write_ram(&mut self, op: StoreOp) {
+        match op {
+            StoreOp::Byte => self.bytes(&[0x41, 0x88, 0x14, 0x04]),
+            StoreOp::Half => self.bytes(&[0x66, 0x41, 0x89, 0x14, 0x04]),
+            StoreOp::Word => self.bytes(&[0x41, 0x89, 0x14, 0x04]),
+        }
+    }
+
+    /// Terminate with [`EXIT_NEXT`]: constant resume PC and extra cycles.
+    fn exit_next_imm(&mut self, next_pc: u32, extra: u32, epi: usize) {
+        self.ctx_store_imm(ctx_off::NEXT_PC, next_pc);
+        self.ctx_store_imm(ctx_off::TERM_EXTRA, extra);
+        self.mov_imm(EAX, EXIT_NEXT);
+        self.jmp(epi);
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        for (pos, label) in self.fixups {
+            let target = self.labels[label].expect("unbound jit label");
+            let rel = (target as i64 - (pos as i64 + 4)) as i32;
+            self.code[pos..pos + 4].copy_from_slice(&rel.to_le_bytes());
+        }
+        self.code
+    }
+}
+
+/// Lower one block to host code (see the module docs for the register
+/// conventions and the [`crate::jit`] docs for the exit protocol).
+pub(super) fn emit(block: &Block, helpers: &Helpers) -> Vec<u8> {
+    let mut a = Asm::new();
+    let epi = a.label();
+    let mut stubs: Vec<(usize, Stub)> = Vec::new();
+
+    // Prologue: save callee-saved bases, align rsp for helper calls, load
+    // ctx (rbx), regs (r14), ram (r12), ram_len (r13).
+    a.bytes(&[0x53, 0x41, 0x54, 0x41, 0x55, 0x41, 0x56]); // push rbx/r12/r13/r14
+    a.bytes(&[0x48, 0x83, 0xec, 0x08]); // sub rsp, 8
+    a.bytes(&[0x48, 0x89, 0xfb]); // mov rbx, rdi
+    a.bytes(&[0x4c, 0x8b, 0x73, ctx_off::REGS]); // mov r14, [rbx+REGS]
+    a.bytes(&[0x4c, 0x8b, 0x63, ctx_off::RAM]); // mov r12, [rbx+RAM]
+    a.bytes(&[0x4c, 0x8b, 0x6b, ctx_off::RAM_LEN]); // mov r13, [rbx+RAM_LEN]
+
+    for (k, op) in block.ops.iter().enumerate() {
+        emit_op(&mut a, &mut stubs, helpers, k as u32, &op.kind);
+    }
+    emit_terminator(&mut a, helpers, block, epi);
+
+    // Per-op exit stubs.
+    for (label, stub) in stubs {
+        a.bind(label);
+        match stub {
+            Stub::Fault(k) => {
+                a.ctx_store_eax(ctx_off::FAULT_ADDR);
+                a.ctx_store_imm(ctx_off::EXIT_OP, k);
+                a.mov_imm(EAX, EXIT_TRAP_MEM);
+                a.jmp(epi);
+            }
+            Stub::Stale(k) => {
+                a.ctx_store_imm(ctx_off::EXIT_OP, k);
+                a.mov_imm(EAX, EXIT_STORE_STALE);
+                a.jmp(epi);
+            }
+        }
+    }
+
+    // Epilogue: undo the alignment pad, restore, return (eax = exit code).
+    a.bind(epi);
+    a.bytes(&[0x48, 0x83, 0xc4, 0x08]); // add rsp, 8
+    a.bytes(&[0x41, 0x5e, 0x41, 0x5d, 0x41, 0x5c, 0x5b, 0xc3]); // pops + ret
+    a.finish()
+}
+
+fn emit_op(a: &mut Asm, stubs: &mut Vec<(usize, Stub)>, helpers: &Helpers, k: u32, kind: &OpKind) {
+    let fault = |a: &mut Asm, stubs: &mut Vec<(usize, Stub)>| {
+        let label = a.label();
+        stubs.push((label, Stub::Fault(k)));
+        label
+    };
+    match *kind {
+        OpKind::LoadImm { rd, value } | OpKind::Auipc { rd, value } => {
+            if rd != 0 {
+                a.store_guest_imm(rd, value);
+            }
+        }
+        OpKind::OpImm { op, rd, rs1, imm } => {
+            if rd != 0 {
+                a.load_guest(EAX, rs1);
+                a.mov_imm(ECX, imm);
+                a.alu(op, helpers);
+                a.store_guest(rd, EAX);
+            }
+        }
+        OpKind::Op { op, rd, rs1, rs2 } => {
+            if rd != 0 {
+                a.load_guest(EAX, rs1);
+                a.load_guest(ECX, rs2);
+                a.alu(op, helpers);
+                a.store_guest(rd, EAX);
+            }
+        }
+        OpKind::Load {
+            op,
+            rd,
+            rs1,
+            offset,
+        } => {
+            let f = fault(a, stubs);
+            a.load_guest(EAX, rs1);
+            a.add_eax(offset);
+            a.bounds_check(load_width(op), f);
+            a.read_ram(op);
+            if rd != 0 {
+                a.store_guest(rd, EDX);
+            }
+        }
+        OpKind::AuipcLoad {
+            op,
+            rd,
+            lrd,
+            addr,
+            value,
+            ..
+        } => {
+            // The auipc half retires (writes rd) even if the load faults.
+            if rd != 0 {
+                a.store_guest_imm(rd, value);
+            }
+            let f = fault(a, stubs);
+            a.mov_imm(EAX, addr);
+            a.bounds_check(load_width(op), f);
+            a.read_ram(op);
+            if lrd != 0 {
+                a.store_guest(lrd, EDX);
+            }
+        }
+        OpKind::LoadUse {
+            lop,
+            lrd,
+            lrs1,
+            loffset,
+            aop,
+            ard,
+            ars1,
+            asrc,
+        } => {
+            let f = fault(a, stubs);
+            a.load_guest(EAX, lrs1);
+            a.add_eax(loffset);
+            a.bounds_check(load_width(lop), f);
+            a.read_ram(lop);
+            if lrd != 0 {
+                a.store_guest(lrd, EDX);
+            }
+            // The ALU half reads the register file after the load wrote
+            // it (ars1/asrc may name lrd).
+            if ard != 0 {
+                a.load_guest(EAX, ars1);
+                a.load_src2(asrc);
+                a.alu(aop, helpers);
+                a.store_guest(ard, EAX);
+            }
+        }
+        OpKind::Store {
+            op,
+            rs1,
+            rs2,
+            offset,
+        } => {
+            let f = fault(a, stubs);
+            a.load_guest(EAX, rs1);
+            a.add_eax(offset);
+            a.bounds_check(store_width(op), f);
+            a.load_guest(EDX, rs2);
+            a.write_ram(op);
+            // Predecode coherency + self-modification check, in Rust.
+            a.bytes(&[0x48, 0x89, 0xdf]); // mov rdi, rbx (ctx)
+            a.bytes(&[0x89, 0xc6]); // mov esi, eax (addr)
+            a.mov_imm(EDX, u32::from(store_width(op)));
+            a.call(helpers.store_inval);
+            a.bytes(&[0x85, 0xc0]); // test eax, eax
+            let stale = a.label();
+            stubs.push((stale, Stub::Stale(k)));
+            a.jcc(0x85, stale); // jnz: the store hit our own code
+        }
+        OpKind::Fence => {}
+        OpKind::Pq { unit, rd, rs1, rs2 } => {
+            // The device always runs (state machine + stall), even when
+            // the destination is x0.
+            a.bytes(&[0x48, 0x89, 0xdf]); // mov rdi, rbx (ctx)
+            a.mov_imm(6, unit.funct3()); // mov esi, funct3
+            a.load_guest(EDX, rs1);
+            a.load_guest(ECX, rs2);
+            a.call(helpers.pq);
+            if rd != 0 {
+                a.store_guest(rd, EAX);
+            }
+        }
+    }
+}
+
+fn emit_terminator(a: &mut Asm, helpers: &Helpers, block: &Block, epi: usize) {
+    match block.term {
+        Terminator::FallThrough => a.exit_next_imm(block.term_pc, 0, epi),
+        Terminator::Plain { inst, len, .. } => {
+            let fall_pc = block.term_pc.wrapping_add(u32::from(len));
+            match inst {
+                Inst::Jal { rd, offset } => {
+                    if rd != 0 {
+                        a.store_guest_imm(rd, fall_pc);
+                    }
+                    a.exit_next_imm(block.term_pc.wrapping_add(offset as u32), 3, epi);
+                }
+                Inst::Jalr { rd, rs1, offset } => {
+                    // Target first: rs1 may alias rd.
+                    a.load_guest(EAX, rs1);
+                    a.add_eax(offset as u32);
+                    a.bytes(&[0x83, 0xe0, 0xfe]); // and eax, -2
+                    if rd != 0 {
+                        a.store_guest_imm(rd, fall_pc);
+                    }
+                    a.ctx_store_eax(ctx_off::NEXT_PC);
+                    a.ctx_store_imm(ctx_off::TERM_EXTRA, 3);
+                    a.mov_imm(EAX, EXIT_NEXT);
+                    a.jmp(epi);
+                }
+                Inst::Branch {
+                    op,
+                    rs1,
+                    rs2,
+                    offset,
+                } => {
+                    a.load_guest(EAX, rs1);
+                    a.load_guest(ECX, rs2);
+                    a.bytes(&[0x39, 0xc8]); // cmp eax, ecx
+                    let taken = a.label();
+                    a.jcc(branch_cc(op), taken);
+                    a.exit_next_imm(fall_pc, 1, epi);
+                    a.bind(taken);
+                    a.exit_next_imm(block.term_pc.wrapping_add(offset as u32), 3, epi);
+                }
+                // CSR reads must observe live counters, ecall/ebreak need
+                // the interpreter's exit/trap plumbing: hand back to Rust
+                // (which runs the shared execute core — correct for any
+                // terminator, so this is also the safe default).
+                _ => {
+                    a.mov_imm(EAX, EXIT_TERM);
+                    a.jmp(epi);
+                }
+            }
+        }
+        Terminator::CmpBranch {
+            aop,
+            ard,
+            ars1,
+            asrc,
+            bop,
+            brs1,
+            brs2,
+            taken_pc,
+            fall_pc,
+        } => {
+            if ard != 0 {
+                a.load_guest(EAX, ars1);
+                a.load_src2(asrc);
+                a.alu(aop, helpers);
+                a.store_guest(ard, EAX);
+            }
+            // The compare reads the register file after the ALU write
+            // (brs1/brs2 name ard in the fused idiom).
+            a.load_guest(EAX, brs1);
+            a.load_guest(ECX, brs2);
+            a.bytes(&[0x39, 0xc8]); // cmp eax, ecx
+            let taken = a.label();
+            a.jcc(branch_cc(bop), taken);
+            let extra = 2 + div_cycles(aop);
+            a.exit_next_imm(fall_pc, extra, epi);
+            a.bind(taken);
+            a.exit_next_imm(taken_pc, extra + 2, epi);
+        }
+    }
+}

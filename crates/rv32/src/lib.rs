@@ -16,9 +16,14 @@
 //! * [`inst`] — instruction decoding for RV32I, the M extension, the C
 //!   (compressed) extension via decompression, and the PQ instructions;
 //! * [`cpu`] — a RISCY-like interpreter with a documented cycle model and
-//!   three engines: a trace-cached superblock engine with macro-op fusion
-//!   (default), a predecoded single-instruction dispatch path, and the
-//!   decode-every-step oracle both are differentially tested against;
+//!   four engines: a JIT tier lowering superblocks to host machine code,
+//!   a trace-cached superblock engine with macro-op fusion (default), a
+//!   predecoded single-instruction dispatch path, and the
+//!   decode-every-step oracle the faster tiers are differentially tested
+//!   against;
+//! * [`jit`] — dynamic binary translation of compiled superblocks to
+//!   x86-64 host code in W^X exec buffers, with exact fallback to the
+//!   superblock interpreter on unsupported hosts;
 //! * [`predecode`] — the direct-mapped decode-once instruction cache
 //!   behind the fast engines, with store invalidation for self-modifying
 //!   code;
@@ -54,6 +59,7 @@ pub mod asm;
 pub mod cpu;
 pub mod disasm;
 pub mod inst;
+pub mod jit;
 pub mod pq;
 pub mod predecode;
 pub mod superblock;
@@ -63,6 +69,7 @@ pub use asm::{assemble, AsmError};
 pub use cpu::{Cpu, Engine, ExitState, Trap};
 pub use disasm::disassemble;
 pub use inst::{decode, decompress, Inst};
+pub use jit::{JitStats, SharedJitStats};
 pub use superblock::{SharedTraceCache, SharedTraceStats};
 pub use warm::WarmImage;
 

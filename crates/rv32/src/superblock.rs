@@ -317,6 +317,10 @@ pub struct CachedBlock {
     /// span, recorded against the installing CPU's predecode cache.
     lines: [(u32, u64); MAX_LINES],
     line_count: u8,
+    /// Host code emitted for `block` by the JIT tier, if any. Rides along
+    /// through clones (so warm snapshots keep their translations) but is
+    /// only consulted when the CPU runs [`crate::cpu::Engine::Jit`].
+    jit: Option<Arc<crate::jit::JitCode>>,
 }
 
 impl CachedBlock {
@@ -333,6 +337,7 @@ impl CachedBlock {
             block,
             lines: arr,
             line_count: lines.len() as u8,
+            jit: None,
         }
     }
 
@@ -343,6 +348,25 @@ impl CachedBlock {
         self.lines[..usize::from(self.line_count)]
             .iter()
             .all(|&(line, gen)| cache.line_gen(line as usize) == gen)
+    }
+
+    /// The entry's `(line, generation)` validity pairs (handed to emitted
+    /// code so post-store re-validation sees exactly what dispatch saw).
+    #[inline]
+    pub(crate) fn lines(&self) -> &[(u32, u64)] {
+        &self.lines[..usize::from(self.line_count)]
+    }
+
+    /// The host code emitted for this block, if any.
+    #[inline]
+    pub(crate) fn jit_code(&self) -> Option<&Arc<crate::jit::JitCode>> {
+        self.jit.as_ref()
+    }
+
+    /// Attach emitted host code to this entry.
+    #[inline]
+    pub(crate) fn set_jit(&mut self, code: Arc<crate::jit::JitCode>) {
+        self.jit = Some(code);
     }
 }
 
@@ -531,6 +555,10 @@ pub struct SharedTraceCache {
     installs: AtomicU64,
     misses: AtomicU64,
     publishes: AtomicU64,
+    /// Emitted host code keyed by `Arc<Block>` identity, so fleet workers
+    /// adopting a shared block also adopt its translation (zero local JIT
+    /// compiles on warm workers).
+    jit: crate::jit::SharedJitPool,
 }
 
 impl SharedTraceCache {
@@ -592,6 +620,21 @@ impl SharedTraceCache {
         });
         self.publishes.fetch_add(1, Ordering::Relaxed);
         true
+    }
+
+    /// Adopt the pooled JIT translation for `block`, if one was published.
+    pub(crate) fn jit_lookup(&self, block: &Arc<Block>) -> Option<Arc<crate::jit::JitCode>> {
+        self.jit.lookup(block)
+    }
+
+    /// Publish emitted host code for `block` (keyed by `Arc` identity).
+    pub(crate) fn jit_publish(&self, block: &Arc<Block>, code: &Arc<crate::jit::JitCode>) -> bool {
+        self.jit.publish(block, code)
+    }
+
+    /// Point-in-time counters of the embedded JIT code pool.
+    pub fn jit_stats(&self) -> crate::jit::SharedJitStats {
+        self.jit.stats()
     }
 }
 

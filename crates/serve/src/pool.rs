@@ -24,11 +24,15 @@
 //! on the pool thread, and every worker executes the probe from the image
 //! with the shared cache attached before entering its job loop. The first
 //! thread to compile a hot superblock pays for it once; siblings adopt it
-//! from the cache instead of re-compiling. [`ServePool::new`] returns only
-//! after every worker has reported its probe — all digests must equal the
-//! pool thread's reference (see [`WarmReport`]), which is how the
-//! cross-worker sharing path stays differentially checked at every pool
-//! startup.
+//! from the cache instead of re-compiling. The probe runs on
+//! [`lac_rv32::Engine::Jit`] — the fastest tier, degrading silently to
+//! the superblock interpreter on hosts without a JIT backend — so the
+//! priming run also publishes its emitted host code through the shared
+//! cache and warm workers start with zero local JIT compiles.
+//! [`ServePool::new`] returns only after every worker has reported its
+//! probe — all digests must equal the pool thread's reference (see
+//! [`WarmReport`]), which is how the cross-worker sharing path stays
+//! differentially checked at every pool startup.
 
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::queue::BoundedQueue;
@@ -36,7 +40,7 @@ use crate::{BackendKind, Op};
 use lac::{Backend, Ciphertext, Kem, KemPublicKey, KemSecretKey, Params};
 use lac_meter::CycleLedger;
 use lac_rand::Sha256CtrRng;
-use lac_rv32::{Cpu, Machine, SharedTraceCache, SharedTraceStats, WarmImage};
+use lac_rv32::{Cpu, Engine, Machine, SharedTraceCache, SharedTraceStats, WarmImage};
 use lac_sha256::Sha256;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -284,6 +288,7 @@ impl WarmStart {
         let image = machine.snapshot();
         let shared = Arc::new(SharedTraceCache::new());
         let mut primer = Cpu::from_image(&image);
+        primer.set_engine(Engine::Jit);
         primer.attach_shared_cache(Arc::clone(&shared));
         let reference_digest = run_probe(&mut primer);
         Self {
@@ -306,6 +311,12 @@ pub struct WarmProbe {
     /// Superblocks the worker compiled locally (zero when the priming run
     /// already published every hot block).
     pub compiles: u64,
+    /// JIT translations the worker adopted from the shared trace cache.
+    pub jit_shared_installs: u64,
+    /// JIT translations the worker compiled locally (zero when the
+    /// priming run already published host code for every hot block; also
+    /// zero on hosts without a JIT backend).
+    pub jit_compiles: u64,
 }
 
 /// Pool-wide warm-start report: the priming run's reference digest, every
@@ -658,9 +669,11 @@ fn worker_main(
         // image with the process-wide trace cache attached, adopting the
         // priming run's compiled superblocks instead of re-compiling.
         let mut cpu = Cpu::from_image(&image);
+        cpu.set_engine(Engine::Jit);
         cpu.attach_shared_cache(shared);
         let digest = run_probe(&mut cpu);
         let stats = cpu.superblock_stats();
+        let jit = cpu.jit_stats();
         // The pool constructor waits for this; a dropped receiver only
         // happens if `new` panicked, in which case the send result is moot.
         let _ = report.send(WarmProbe {
@@ -668,6 +681,8 @@ fn worker_main(
             digest,
             shared_installs: stats.shared_installs,
             compiles: stats.compiles,
+            jit_shared_installs: jit.shared_installs,
+            jit_compiles: jit.compiles,
         });
     }
     let mut state = WorkerState::new();
@@ -914,9 +929,14 @@ mod tests {
         assert!(report.digests_agree(), "{report:?}");
         for probe in &report.probes {
             // The priming run published every hot block before any worker
-            // started, so workers adopt instead of compiling.
+            // started, so workers adopt instead of compiling — including
+            // the emitted host code on hosts with a JIT backend.
             assert!(probe.shared_installs > 0, "{probe:?}");
             assert_eq!(probe.compiles, 0, "{probe:?}");
+            assert_eq!(probe.jit_compiles, 0, "{probe:?}");
+            if lac_rv32::jit::host_supported() {
+                assert!(probe.jit_shared_installs > 0, "{probe:?}");
+            }
         }
         assert!(report.shared.publishes > 0);
         assert!(report.shared.installs >= 4, "{report:?}");

@@ -24,14 +24,13 @@ STATUS=0
 # Flatten machine-generated JSON to "key value" lines, one per numeric
 # field, in document order. Booleans and strings are skipped (they are
 # compared implicitly: a changed key sequence is a structure mismatch).
-# All iss_* fields — numeric wall-clock throughput, string engine tags
-# like "iss_engine": "superblock", and the warm-start/trace-cache
-# counters ("iss_warm", "iss_sb_compiles"/"iss_sb_dispatches",
-# "iss_sb_shared_installs", "iss_pre_fills") — are
-# volatile host-side metadata, not modelled cycles, so they are stripped
-# from BOTH the baseline and the current run before the key sequence is
-# built, and gated separately against baselines/iss.json. New iss_*
-# fields therefore never force a baseline refresh.
+# Every field whose key starts with "iss_" is volatile host-side metadata
+# (wall-clock throughput, engine tags, trace-cache and JIT counters), not
+# modelled cycles, so the whole prefix is stripped from BOTH the baseline
+# and the current run before the key sequence is built, and gated
+# separately against baselines/iss.json. Adding a new iss_*-prefixed
+# field therefore never forces a baseline refresh — no per-field list to
+# maintain here.
 flatten() {
     tr ',{}[]' '\n' <"$1" \
         | sed '/^[[:space:]]*"iss_/d' \

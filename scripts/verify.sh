@@ -44,6 +44,15 @@ if [ "$QUICK" = 1 ]; then
     cargo run -q --release --offline -p lac-bench --bin table2 -- --json > /dev/null
     echo "  table2 OK"
     echo
+    echo "== smoke: jit digest parity (quick mode) =="
+    # One tiny program through the full four-way engine compare: exits
+    # non-zero (and digests_match goes false) if the JIT — or its
+    # superblock fallback on unsupported hosts — diverges from the
+    # classic oracle. No speedup floor here; that gate lives in full mode.
+    cargo run -q --release --offline -p lac-bench --bin iss_bench -- \
+        --json --iters 8 | grep -q '"digests_match": true'
+    echo "  jit digest parity OK (four-way compare)"
+    echo
     echo "== smoke: warm-start sweep digest parity (quick mode) =="
     # Small cold-vs-warm fleet; iss_bench exits non-zero on digest skew.
     # No speedup floor here — tiny sweeps are wall-clock noise; the 1.5x
@@ -130,6 +139,52 @@ iss_gate() {
     '
 }
 iss_gate || { echo "  (wall-clock noise suspected; retrying once)"; iss_gate; }
+
+echo
+echo "== acceptance: JIT engine digest parity and speedup over superblock =="
+# The four-way iss_bench compare already exits non-zero on any digest
+# divergence; on hosts with a JIT backend the emitted code must also beat
+# the superblock interpreter by >= 1.5x wall-clock. Elsewhere the speedup
+# floor is skipped explicitly — the graceful-fallback path is covered by
+# unit tests (tests/riscv_jit.rs).
+jit_gate() {
+    JIT_JSON=$(./target/release/iss_bench --json --iters 1000) || {
+        echo "jit gate: engine digests diverged" >&2
+        echo "$JIT_JSON" >&2
+        return 1
+    }
+    if printf '%s' "$JIT_JSON" | grep -q '"jit_supported": false'; then
+        echo "  [skip: arch] no JIT backend on this host; fallback covered by unit tests"
+        return 0
+    fi
+    echo "$JIT_JSON" | awk '
+        /"jit_over_superblock":/ {
+            gsub(/[",]/, "")
+            for (i = 1; i <= NF; i++) if ($i == "jit_over_superblock:") v = $(i + 1)
+        }
+        END {
+            if (v + 0 < 1.5) { print "jit gate: jit " v "x < 1.5x over superblock"; exit 1 }
+            print "  jit engine: " v "x over superblock, digests match"
+        }
+    '
+}
+jit_gate || { echo "  (wall-clock noise suspected; retrying once)"; jit_gate; }
+
+echo
+echo "== smoke: table1 ISS probe digest parity (jit vs classic) =="
+# The table binaries' --iss-engine flag reruns only the trailing ISS
+# probe; its iss_digest must be engine-independent (identical on the JIT
+# and the decode-every-step oracle), on every host — where the JIT is
+# unsupported, Engine::Jit silently runs the superblock interpreter.
+JIT_DIG=$(./target/release/table1 --json --iss-engine jit \
+    | sed -n 's/.*"iss_digest": "\([0-9a-f]*\)".*/\1/p')
+CLASSIC_DIG=$(./target/release/table1 --json --iss-engine classic \
+    | sed -n 's/.*"iss_digest": "\([0-9a-f]*\)".*/\1/p')
+if [ -z "$JIT_DIG" ] || [ "$JIT_DIG" != "$CLASSIC_DIG" ]; then
+    echo "table1 iss probe: jit digest '$JIT_DIG' != classic '$CLASSIC_DIG'" >&2
+    exit 1
+fi
+echo "  table1 ISS digest identical: jit == classic"
 
 echo
 echo "== acceptance: ISS warm-start sweep (shared cache + snapshot/restore) =="

@@ -374,7 +374,7 @@ fn cmd_iss(opts: &Options) -> Result<String, String> {
     };
     let engine = match opts.flags.get("engine") {
         Some(name) => lac_bench::iss::parse_engine(name)
-            .ok_or_else(|| format!("unknown engine '{name}' (classic|predecode|superblock)"))?,
+            .ok_or_else(|| format!("unknown engine '{name}' (classic|predecode|superblock|jit)"))?,
         None => lac_rv32::Engine::Superblock,
     };
     let run = lac_bench::iss::measure(iters, engine);
@@ -402,9 +402,15 @@ fn cmd_table(which: &str, opts: &Options) -> Result<String, String> {
         None => None,
     };
     let iss_warm = opts.flags.contains_key("iss-warm");
+    let iss_engine = match opts.flags.get("iss-engine") {
+        Some(name) => lac_bench::iss::parse_engine(name).ok_or_else(|| {
+            format!("unknown ISS engine '{name}' (classic|predecode|superblock|jit)")
+        })?,
+        None => lac_rv32::Engine::Superblock,
+    };
     match which {
-        "table1" => lac_bench::table1::run(opts.json, threads, iss_warm),
-        _ => lac_bench::table2::run(opts.json, threads, iss_warm),
+        "table1" => lac_bench::table1::run(opts.json, threads, iss_warm, iss_engine),
+        _ => lac_bench::table2::run(opts.json, threads, iss_warm, iss_engine),
     }
     Ok(String::new())
 }
