@@ -10,15 +10,18 @@
 //!
 //! Run: `cargo run --release -p lac-bench --bin iss_bench
 //!       [--json] [--iters N] [--engine classic|predecode|superblock|jit]
-//!       [--sweep [--cells N] [--threads N]]`
+//!       [--sweep [--cells N] [--threads N]] [--smc]`
 //!
 //! With `--engine`, only that engine is measured (no differential check);
 //! the default is the full four-way comparison, which also prints the
-//! `"jit_over_superblock"` ratio and `"jit_supported"` flag behind
-//! `scripts/verify.sh`'s JIT gate (jit ≥ 1.5× superblock on hosts with a
-//! JIT backend; on others `Engine::Jit` silently degrades to the
-//! superblock interpreter and a one-line note is printed instead). With
-//! `--sweep`, a fleet
+//! `"jit_over_superblock"` and `"jit_chain_over_jit"` ratios and the
+//! `"jit_supported"` flag behind `scripts/verify.sh`'s JIT gates (chained
+//! jit ≥ 3× superblock and ≥ 1.3× the unchained jit on hosts with a JIT
+//! backend; on others `Engine::Jit` silently degrades to the superblock
+//! interpreter and a one-line note is printed instead). With `--smc`, a
+//! self-modifying workload patches an already-chained block mid-run and
+//! the four engines' digests are compared — the unlink-exactness smoke
+//! behind `scripts/verify.sh --quick`. With `--sweep`, a fleet
 //! of `--cells` independent sweep cells runs on `--threads` workers twice
 //! — per-cell cold starts vs the warm-start layer (shared trace cache +
 //! snapshot/restore) — and reports the `"warm_speedup"` ratio plus a
@@ -68,7 +71,7 @@ fn engine_arg() -> Result<Option<Engine>, String> {
 
 fn json_run(r: &iss::IssRun) -> String {
     format!(
-        "{{\"instructions\": {}, \"cycles\": {}, \"wall_us\": {}, \"mips\": {:.2}, \"digest\": \"{}\", \"jit_compiles\": {}, \"jit_dispatches\": {}, \"jit_shared_installs\": {}, \"jit_fallbacks\": {}}}",
+        "{{\"instructions\": {}, \"cycles\": {}, \"wall_us\": {}, \"mips\": {:.2}, \"digest\": \"{}\", \"jit_compiles\": {}, \"jit_dispatches\": {}, \"jit_shared_installs\": {}, \"jit_fallbacks\": {}, \"iss_jit_links_installed\": {}, \"iss_jit_chained_dispatches\": {}, \"iss_jit_unlinks\": {}}}",
         r.instructions,
         r.cycles,
         r.wall_micros,
@@ -77,7 +80,10 @@ fn json_run(r: &iss::IssRun) -> String {
         r.jit_compiles,
         r.jit_dispatches,
         r.jit_shared_installs,
-        r.jit_fallbacks
+        r.jit_fallbacks,
+        r.jit_links_installed,
+        r.jit_chained_dispatches,
+        r.jit_unlinks
     )
 }
 
@@ -157,7 +163,53 @@ fn run_sweep() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn run_smc() -> ExitCode {
+    let supported = lac_rv32::jit::host_supported();
+    let report = iss::smc_check();
+    if json::requested() {
+        println!("{{");
+        println!("  \"bench\": \"iss_smc\",");
+        println!("  \"jit_supported\": {supported},");
+        println!("  \"classic_digest\": \"{}\",", report.classic_digest);
+        println!("  \"jit_digest\": \"{}\",", report.jit_digest);
+        println!(
+            "  \"iss_jit_links_installed\": {},",
+            report.jit_links_installed
+        );
+        println!(
+            "  \"iss_jit_chained_dispatches\": {},",
+            report.jit_chained_dispatches
+        );
+        println!("  \"iss_jit_unlinks\": {},", report.jit_unlinks);
+        println!("  \"digests_match\": {}", report.digests_match);
+        println!("}}");
+    } else {
+        println!("ISS self-modifying-code smoke — patch a chained block mid-run");
+        println!(
+            "  chain: {} links installed, {} chained dispatches, {} unlinks",
+            report.jit_links_installed, report.jit_chained_dispatches, report.jit_unlinks
+        );
+        println!(
+            "  digests match: {} ({})",
+            report.digests_match,
+            &report.classic_digest[..16]
+        );
+    }
+    if !report.digests_match {
+        eprintln!("error: self-modifying workload diverged across engines");
+        return ExitCode::FAILURE;
+    }
+    if supported && report.jit_unlinks == 0 {
+        eprintln!("error: smc smoke never severed a chain link — unlink path untested");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
+    if std::env::args().any(|a| a == "--smc") {
+        return run_smc();
+    }
     if std::env::args().any(|a| a == "--sweep") {
         return run_sweep();
     }
@@ -202,11 +254,16 @@ fn main() -> ExitCode {
         println!("  \"predecode\": {},", json_run(&report.predecode));
         println!("  \"superblock\": {},", json_run(&report.superblock));
         println!("  \"jit\": {},", json_run(&report.jit));
+        println!("  \"jit_nochain\": {},", json_run(&report.jit_nochain));
         println!("  \"speedup_predecode\": {:.2},", report.speedup_predecode);
         println!("  \"speedup_jit\": {:.2},", report.speedup_jit);
         println!(
             "  \"jit_over_superblock\": {:.2},",
             report.jit_over_superblock
+        );
+        println!(
+            "  \"jit_chain_over_jit\": {:.2},",
+            report.jit_chain_over_jit
         );
         // "speedup" and "mips_fast" are the compatibility keys gated by
         // scripts/verify.sh and scripts/bench_compare.sh: the fastest
@@ -221,12 +278,22 @@ fn main() -> ExitCode {
         print_run("classic (decode each step):", &report.classic);
         print_run("predecode (slot dispatch):", &report.predecode);
         print_run("superblock (trace cache):", &report.superblock);
-        print_run("jit (host code):", &report.jit);
+        print_run("jit unchained (host code):", &report.jit_nochain);
+        print_run("jit chained (host code):", &report.jit);
         println!(
             "  speedup vs classic: predecode {:.2}x, superblock {:.2}x, jit {:.2}x",
             report.speedup_predecode, report.speedup_superblock, report.speedup_jit
         );
-        println!("  jit over superblock: {:.2}x", report.jit_over_superblock);
+        println!(
+            "  jit over superblock: {:.2}x, chained over unchained: {:.2}x",
+            report.jit_over_superblock, report.jit_chain_over_jit
+        );
+        println!(
+            "  chain: {} links installed, {} chained dispatches, {} unlinks",
+            thousands(report.jit.jit_links_installed),
+            thousands(report.jit.jit_chained_dispatches),
+            thousands(report.jit.jit_unlinks)
+        );
         note_fallback(&report.jit);
         println!(
             "  digests match: {} ({})",

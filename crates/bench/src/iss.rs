@@ -21,7 +21,8 @@
 //! instructions and the program's output buffer — and `scripts/verify.sh`
 //! gates on the superblock engine being at least 3× faster than the
 //! classic engine in wall-clock (plus, on hosts with a JIT backend, the
-//! JIT being at least 1.5× faster than the superblock engine).
+//! chained JIT being at least 3× faster than the superblock engine and
+//! at least 1.3× faster than the same JIT with block chaining off).
 
 use crate::shard;
 use lac_rv32::{Cpu, Engine, Machine, SharedTraceCache, SharedTraceStats};
@@ -97,6 +98,13 @@ pub struct IssRun {
     /// Times `Engine::Jit` degraded to the superblock interpreter
     /// (unsupported host, exec-mmap denial, or a forced fallback).
     pub jit_fallbacks: u64,
+    /// Chain links installed between translated blocks.
+    pub jit_links_installed: u64,
+    /// Block entries taken through a chain link without returning to the
+    /// Rust dispatch loop.
+    pub jit_chained_dispatches: u64,
+    /// Link slots severed by invalidation, eviction or restore.
+    pub jit_unlinks: u64,
 }
 
 /// A four-way engine comparison on the same workload.
@@ -110,6 +118,10 @@ pub struct IssReport {
     pub superblock: IssRun,
     /// The host-code JIT tier (superblock fallback where unsupported).
     pub jit: IssRun,
+    /// The JIT tier with block chaining disabled ([`Cpu::set_jit_chaining`]):
+    /// same translations, but every block returns to the Rust dispatch
+    /// loop. Isolates the chaining win.
+    pub jit_nochain: IssRun,
     /// `classic.wall / predecode.wall` (>1 means predecode is faster).
     pub speedup_predecode: f64,
     /// `classic.wall / superblock.wall` — the verify.sh gate figure.
@@ -119,6 +131,9 @@ pub struct IssReport {
     /// `superblock.wall / jit.wall` — the verify.sh JIT gate figure on
     /// supported hosts.
     pub jit_over_superblock: f64,
+    /// `jit_nochain.wall / jit.wall` — the verify.sh chaining gate figure
+    /// on supported hosts.
+    pub jit_chain_over_jit: f64,
     /// Whether all four engines produced bit-identical architectural
     /// results.
     pub digests_match: bool,
@@ -216,6 +231,9 @@ fn measure_cpu(cpu: &mut Cpu, iters: u32) -> IssRun {
         jit_dispatches: jit.dispatches,
         jit_shared_installs: jit.shared_installs,
         jit_fallbacks: jit.fallbacks,
+        jit_links_installed: jit.links_installed,
+        jit_chained_dispatches: jit.chained_dispatches,
+        jit_unlinks: jit.unlinks,
     }
 }
 
@@ -228,6 +246,16 @@ fn measure_cpu(cpu: &mut Cpu, iters: u32) -> IssRun {
 pub fn run_path(iters: u32, engine: Engine) -> IssRun {
     let mut machine = workload(iters);
     machine.cpu_mut().set_engine(engine);
+    measure_cpu(machine.cpu_mut(), iters)
+}
+
+/// [`run_path`] with JIT block chaining disabled — the unchained-JIT
+/// baseline the `jit_chain_over_jit` figure divides by. Identical digest
+/// by construction; only relevant for [`Engine::Jit`].
+pub fn run_path_nochain(iters: u32, engine: Engine) -> IssRun {
+    let mut machine = workload(iters);
+    machine.cpu_mut().set_engine(engine);
+    machine.cpu_mut().set_jit_chaining(false);
     measure_cpu(machine.cpu_mut(), iters)
 }
 
@@ -276,6 +304,10 @@ pub fn compare(iters: u32) -> IssReport {
     let predecode = measure(iters, Engine::Predecode);
     let superblock = measure(iters, Engine::Superblock);
     let jit = measure(iters, Engine::Jit);
+    let jit_nochain = (0..COMPARE_REPS)
+        .map(|_| run_path_nochain(iters, Engine::Jit))
+        .min_by_key(|run| run.wall_micros)
+        .expect("COMPARE_REPS > 0");
     let ratio = |slow: &IssRun, fast: &IssRun| {
         slow.wall_micros.max(1) as f64 / fast.wall_micros.max(1) as f64
     };
@@ -283,19 +315,104 @@ pub fn compare(iters: u32) -> IssReport {
     let speedup_superblock = ratio(&classic, &superblock);
     let speedup_jit = ratio(&classic, &jit);
     let jit_over_superblock = ratio(&superblock, &jit);
+    let jit_chain_over_jit = ratio(&jit_nochain, &jit);
     let digests_match = classic.digest == predecode.digest
         && classic.digest == superblock.digest
-        && classic.digest == jit.digest;
+        && classic.digest == jit.digest
+        && classic.digest == jit_nochain.digest;
     IssReport {
         classic,
         predecode,
         superblock,
         jit,
+        jit_nochain,
         speedup_predecode,
         speedup_superblock,
         speedup_jit,
         jit_over_superblock,
+        jit_chain_over_jit,
         digests_match,
+    }
+}
+
+/// Result of the self-modifying-code digest smoke (see [`smc_check`]).
+#[derive(Debug, Clone)]
+pub struct SmcReport {
+    /// Digest from the decode-every-step oracle.
+    pub classic_digest: String,
+    /// Digest from the chained JIT tier (superblock fallback elsewhere).
+    pub jit_digest: String,
+    /// Whether all four engines produced bit-identical results.
+    pub digests_match: bool,
+    /// Chain links the JIT run installed before the patch landed.
+    pub jit_links_installed: u64,
+    /// Chained block entries the JIT run took.
+    pub jit_chained_dispatches: u64,
+    /// Links the patch severed — must be nonzero on hosts with a JIT
+    /// backend, or the smoke never exercised the unlink path.
+    pub jit_unlinks: u64,
+}
+
+/// Assemble the self-modifying smoke: a hot loop that, half-way through,
+/// stores a new instruction word over its own already-chained body
+/// (`addi s2, s2, 1` becomes `addi s2, s2, 7`). Under the chained JIT the
+/// store executes in emitted host code while a link into the victim block
+/// is live, so the run is only exact if `jit_store_inval` severs the link
+/// and bails the running block at the precise store boundary.
+fn smc_workload() -> Machine {
+    const ITERS: u32 = 300;
+    const PATCH_AT: u32 = 150;
+    let src = format!(
+        r#"
+            li   t0, 0
+            li   t1, {ITERS}
+            li   t2, {PATCH_AT}
+            la   t3, victim
+            la   t4, newword
+            li   s2, 0
+        loop:
+            addi t0, t0, 1
+            bne  t0, t2, skip
+            lw   t5, 0(t4)
+            sw   t5, 0(t3)
+        skip:
+        victim:
+            addi s2, s2, 1
+            bne  t0, t1, loop
+            ecall
+        newword:
+            .word 0x00790913
+        "#
+    );
+    Machine::assemble(&src).expect("SMC workload assembles")
+}
+
+/// Run the self-modifying workload on all four engines and compare
+/// digests — the `--smc` mode behind `scripts/verify.sh --quick`'s
+/// unlink smoke.
+///
+/// # Panics
+///
+/// Panics if the workload traps (a build-time bug).
+pub fn smc_check() -> SmcReport {
+    let run = |engine: Engine| {
+        let mut machine = smc_workload();
+        machine.cpu_mut().set_engine(engine);
+        measure_cpu(machine.cpu_mut(), 1)
+    };
+    let classic = run(Engine::Classic);
+    let predecode = run(Engine::Predecode);
+    let superblock = run(Engine::Superblock);
+    let jit = run(Engine::Jit);
+    SmcReport {
+        digests_match: classic.digest == predecode.digest
+            && classic.digest == superblock.digest
+            && classic.digest == jit.digest,
+        classic_digest: classic.digest,
+        jit_digest: jit.digest,
+        jit_links_installed: jit.jit_links_installed,
+        jit_chained_dispatches: jit.jit_chained_dispatches,
+        jit_unlinks: jit.jit_unlinks,
     }
 }
 
@@ -320,7 +437,7 @@ pub fn json_fields_warm(iters: u32, engine: Engine) -> String {
 
 fn format_iss_fields(run: &IssRun, engine: Engine, warm: bool) -> String {
     format!(
-        "\"iss_engine\": \"{}\", \"iss_warm\": {}, \"iss_instructions\": {}, \"iss_wall_us\": {}, \"iss_mips\": {:.2}, \"iss_digest\": \"{}\", \"iss_sb_compiles\": {}, \"iss_sb_dispatches\": {}, \"iss_sb_shared_installs\": {}, \"iss_pre_fills\": {}, \"iss_jit_compiles\": {}, \"iss_jit_dispatches\": {}, \"iss_jit_shared_installs\": {}, \"iss_jit_fallbacks\": {}",
+        "\"iss_engine\": \"{}\", \"iss_warm\": {}, \"iss_instructions\": {}, \"iss_wall_us\": {}, \"iss_mips\": {:.2}, \"iss_digest\": \"{}\", \"iss_sb_compiles\": {}, \"iss_sb_dispatches\": {}, \"iss_sb_shared_installs\": {}, \"iss_pre_fills\": {}, \"iss_jit_compiles\": {}, \"iss_jit_dispatches\": {}, \"iss_jit_shared_installs\": {}, \"iss_jit_fallbacks\": {}, \"iss_jit_links_installed\": {}, \"iss_jit_chained_dispatches\": {}, \"iss_jit_unlinks\": {}",
         engine_name(engine),
         warm,
         run.instructions,
@@ -334,7 +451,10 @@ fn format_iss_fields(run: &IssRun, engine: Engine, warm: bool) -> String {
         run.jit_compiles,
         run.jit_dispatches,
         run.jit_shared_installs,
-        run.jit_fallbacks
+        run.jit_fallbacks,
+        run.jit_links_installed,
+        run.jit_chained_dispatches,
+        run.jit_unlinks
     )
 }
 
@@ -501,6 +621,17 @@ mod tests {
         assert_eq!(report.digest, run_path(2, Engine::Superblock).digest);
         assert!(report.shared.publishes > 0, "primer published nothing");
         assert!(report.shared.installs > 0, "workers installed nothing");
+    }
+
+    #[test]
+    fn smc_workload_unlinks_and_stays_exact() {
+        let report = smc_check();
+        assert!(report.digests_match, "{report:?}");
+        if lac_rv32::jit::host_supported() {
+            assert!(report.jit_links_installed > 0, "{report:?}");
+            assert!(report.jit_chained_dispatches > 0, "{report:?}");
+            assert!(report.jit_unlinks > 0, "{report:?}");
+        }
     }
 
     #[test]

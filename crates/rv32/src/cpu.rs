@@ -252,6 +252,11 @@ impl Cpu {
         self.cache.restore(&state.pre);
         self.sb
             .restore_slots(state.sb_slot_count, &state.sb_slots, state.sb_stats);
+        // Chain links are process-local and reference blocks the restore
+        // just replaced: sever and drop them all. Restored blocks re-link
+        // lazily on their next dispatch.
+        self.jit.chain.clear();
+        self.jit.pending = None;
     }
 
     /// Build a fresh CPU from a [`WarmImage`] (see [`Cpu::restore`]).
@@ -301,7 +306,22 @@ impl Cpu {
 
     /// JIT-tier lifetime counters (all zero unless [`Engine::Jit`] ran).
     pub fn jit_stats(&self) -> JitStats {
-        self.jit.stats
+        self.jit.snapshot()
+    }
+
+    /// Enable or disable JIT block chaining (default: enabled).
+    ///
+    /// Disabling severs every installed link and stops installing new
+    /// ones; translations and every other JIT mechanism are untouched, so
+    /// this isolates exactly the chaining win — `iss_bench` uses it to
+    /// measure the unchained baseline, and it doubles as an operational
+    /// kill-switch alongside [`Cpu::force_jit_fallback`].
+    pub fn set_jit_chaining(&mut self, enabled: bool) {
+        self.jit.chain_enabled = enabled;
+        if !enabled {
+            self.jit.pending = None;
+            self.jit.chain.unlink_all();
+        }
     }
 
     /// Force [`Engine::Jit`] to behave exactly like an unsupported host:
@@ -374,7 +394,9 @@ impl Cpu {
             let a = addr as usize + 4 * i;
             self.ram[a..a + 4].copy_from_slice(&w.to_le_bytes());
         }
-        self.cache.invalidate(addr, 4 * words.len());
+        if self.cache.invalidate(addr, 4 * words.len()) {
+            self.jit.chain.sweep_stale(&self.cache);
+        }
     }
 
     /// Write bytes into RAM.
@@ -385,7 +407,9 @@ impl Cpu {
     pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
         let a = addr as usize;
         self.ram[a..a + bytes.len()].copy_from_slice(bytes);
-        self.cache.invalidate(addr, bytes.len());
+        if self.cache.invalidate(addr, bytes.len()) {
+            self.jit.chain.sweep_stale(&self.cache);
+        }
     }
 
     /// Read bytes from RAM.
@@ -419,7 +443,11 @@ impl Cpu {
         }
         // Keep the predecode cache coherent: the store may have rewritten
         // code (self-modifying programs are legal on the slow path too).
-        self.cache.invalidate(addr, size);
+        // A generation bump also severs any chain links into now-stale
+        // translated blocks (see `crate::jit`'s unlink protocol).
+        if self.cache.invalidate(addr, size) {
+            self.jit.chain.sweep_stale(&self.cache);
+        }
         Ok(())
     }
 
@@ -802,8 +830,15 @@ impl Cpu {
                 sync!();
                 return Err(Trap::OutOfFuel);
             }
+            // A link request rides only from one `EXIT_NEXT` to the very
+            // next dispatch-loop iteration: nothing executes in that
+            // window, so the requesting block's slot is provably
+            // unchanged and the edge still means what the emitted code
+            // thinks it means. Anything older is discarded.
+            let pending_link = self.jit.pending.take();
             // Probe the trace cache at this head.
             let idx = self.sb.index(pc);
+            let mut evicted: Option<Box<CachedBlock>> = None;
             let mut block = {
                 let slot = self.sb.slot_mut(idx);
                 if slot.tag == pc {
@@ -817,21 +852,39 @@ impl Cpu {
                 } else {
                     // A new head claims the slot (direct-mapped: the
                     // previous tenant's heat and block are dropped).
-                    *slot = BlockSlot {
-                        tag: pc,
-                        heat: 1,
-                        block: None,
-                    };
+                    evicted = std::mem::replace(
+                        slot,
+                        BlockSlot {
+                            tag: pc,
+                            heat: 1,
+                            block: None,
+                        },
+                    )
+                    .block;
                     None
                 }
             };
+            if let Some(old) = evicted {
+                // Eviction is a dispatch-loop safe point: drop the
+                // tenant, then sever and reclaim its chain node so no
+                // link can reach the dead translation.
+                let had_node = old.chain_node().is_some();
+                drop(old);
+                if had_node {
+                    self.jit.chain.gc();
+                }
+            }
             if let Some(b) = &block {
                 if !b.lines_current(&self.cache) {
                     // Code under the block changed since compilation;
                     // recompile right away (the head is already hot).
+                    let had_node = b.chain_node().is_some();
                     block = None;
                     self.sb.stats.stale_drops += 1;
                     self.sb.slot_mut(idx).heat = HOT_THRESHOLD;
+                    if had_node {
+                        self.jit.chain.gc();
+                    }
                 }
             }
             if block.is_none() && self.shared.is_some() {
@@ -867,10 +920,48 @@ impl Cpu {
                         }
                         b.jit_code().is_some()
                     };
+                    if jit_ready && b.chain_node().is_none() {
+                        // Emitted code reads `ctx.node` on every static
+                        // exit, so each JIT-dispatched block carries a
+                        // chain node. Clones adopted from warm images or
+                        // the shared pool arrive without one — links are
+                        // process-local, only translations are shared.
+                        let code = Arc::clone(b.jit_code().expect("jit_ready checked"));
+                        let node = jit::ChainNode::new(pc, &b.block, &code, b.lines());
+                        self.jit.chain.register(Arc::clone(&node));
+                        b.set_chain(node);
+                    }
+                    if let Some(link) = pending_link {
+                        if jit_ready && self.jit.chain_enabled && link.to_pc == pc {
+                            // This dispatch *is* the requested target, so
+                            // the target node is translated and
+                            // line-current; install the edge so the next
+                            // trip through the source block chains here
+                            // without leaving host code.
+                            let to = Arc::clone(b.chain_node().expect("node created above"));
+                            let from = if link.from_pc == pc {
+                                // Self-loop: the source block is the one
+                                // in hand (its slot is empty right now).
+                                Some(Arc::clone(&to))
+                            } else {
+                                let fidx = self.sb.index(link.from_pc);
+                                let fslot = self.sb.slot_mut(fidx);
+                                if fslot.tag == link.from_pc {
+                                    fslot.block.as_ref().and_then(|fb| fb.chain_node()).cloned()
+                                } else {
+                                    None
+                                }
+                            };
+                            if let Some(from) = from {
+                                debug_assert_eq!(from.head_pc(), link.from_pc);
+                                self.jit.chain.install(&from, link.edge, &to);
+                            }
+                        }
+                    }
                     let retired_before = flight.instructions;
                     let outcome = if jit_ready {
                         self.jit.stats.dispatches += 1;
-                        self.exec_jit_block(&b, &mut pc, &mut flight)
+                        self.exec_jit_block(&b, &mut pc, &mut flight, fuel)
                     } else {
                         self.exec_block(&b, &mut pc, &mut flight)
                     };
@@ -1025,58 +1116,91 @@ impl Cpu {
         }
     }
 
-    /// Execute one compiled superblock through its emitted host code.
-    /// Architecturally identical to [`Cpu::exec_block`]: the same entry
-    /// preconditions, and on every exit the counters and `*pc_io` hold
-    /// exactly what the oracle would report. The emitted code mutates the
-    /// register file, RAM, predecode generations and PQ device in place;
-    /// this wrapper only settles accounting from the exit protocol (see
-    /// [`crate::jit`]).
+    /// Execute one compiled superblock — and any chain of statically
+    /// linked successors — through emitted host code. Architecturally
+    /// identical to running the same blocks through [`Cpu::exec_block`]
+    /// back to back: the same entry preconditions (fuel for a whole block
+    /// is re-checked in host code at every chain edge), and on every exit
+    /// the counters and `*pc_io` hold exactly what the oracle would
+    /// report. The emitted code mutates the register file, RAM, predecode
+    /// generations, PQ device and the live cycle/instruction counters in
+    /// place; this wrapper only settles partial-exit accounting from the
+    /// exit protocol (see [`crate::jit`]). Partial exits resolve prefix
+    /// sums against `ctx.node` — the block that was actually executing,
+    /// which after chaining need not be `cached`.
     fn exec_jit_block(
         &mut self,
         cached: &CachedBlock,
         pc_io: &mut u32,
         flight: &mut Flight,
+        fuel: u64,
     ) -> Result<BlockExit, Trap> {
-        let block = &*cached.block;
-        let entry_cycles = flight.cycles;
-        let entry_instrs = flight.instructions;
-        let lines = cached.lines();
+        let node = Arc::clone(cached.chain_node().expect("jit dispatch registers a node"));
         let mut ctx = JitCtx {
             regs: self.regs.as_mut_ptr(),
             ram: self.ram.as_mut_ptr(),
             ram_len: self.ram.len() as u64,
             dyn_cycles: 0,
-            pq: &mut self.pq,
-            cache: &mut self.cache,
-            lines: lines.as_ptr(),
-            lines_len: lines.len() as u64,
+            lines: node.lines_ptr(),
+            lines_len: node.lines_len(),
+            cycles: flight.cycles,
+            instructions: flight.instructions,
+            // The dispatch precondition already paid for this block;
+            // chain edges re-check and charge each successor in host
+            // code, mirroring `fuel >= total_instrs` above.
+            fuel: fuel - cached.block.total_instrs,
+            node: Arc::as_ptr(&node),
+            chained: 0,
             next_pc: 0,
-            term_extra: 0,
             exit_op: 0,
             fault_addr: 0,
+            link_edge: jit::LINK_NONE,
+            link_from: 0,
+            pq: &mut self.pq,
+            cache: &mut self.cache,
+            chain: &mut self.jit.chain,
         };
         let code = cached.jit_code().expect("dispatched without emitted code");
-        // SAFETY: every ctx pointer borrows from `self` (or `cached`'s
+        // SAFETY: every ctx pointer borrows from `self` (or `node`'s
         // line pairs) and outlives the call; the code was emitted from
-        // exactly this block, and the mapping is immutable RX.
+        // exactly this block, and the mapping is immutable RX. Chain
+        // edges only enter nodes the registry keeps alive (reclaim
+        // happens at dispatch-loop safe points, never inside a store
+        // helper), and the unlink protocol guarantees they are
+        // line-current on entry.
         let exit = unsafe { code.enter(&mut ctx) };
+        // Each chained successor is a block dispatch that never returned
+        // to Rust; fold it into the same counters the slow tier bumps.
+        self.jit.stats.chained_dispatches += ctx.chained;
+        self.sb.stats.dispatches += ctx.chained;
+        // The block executing at exit time. SAFETY: `ctx.node` is either
+        // the entry node (kept alive by the local `node` Arc) or a chain
+        // successor the registry still holds.
+        let cur = unsafe { &*ctx.node };
+        let block = cur.block();
         match exit {
             jit::EXIT_NEXT => {
-                // Body and terminator fully retired natively.
-                flight.cycles = entry_cycles
-                    + u64::from(block.body_cycles)
-                    + ctx.dyn_cycles
-                    + u64::from(ctx.term_extra);
-                flight.instructions = entry_instrs + block.total_instrs;
+                // Body and terminator fully retired natively; the live
+                // counters were committed in host code at the exit.
+                flight.cycles = ctx.cycles;
+                flight.instructions = ctx.instructions;
                 *pc_io = ctx.next_pc;
+                // A static edge missed its link (or failed the fuel
+                // check): remember it so the very next dispatch can
+                // install the link if it lands on the target.
+                self.jit.pending = (self.jit.chain_enabled && ctx.link_edge != jit::LINK_NONE)
+                    .then_some(jit::PendingLink {
+                        from_pc: ctx.link_from,
+                        edge: ctx.link_edge as u8,
+                        to_pc: ctx.next_pc,
+                    });
                 Ok(BlockExit::Continue)
             }
             jit::EXIT_TERM => {
                 // Body retired; the terminator (CSR/ecall/ebreak) needs
                 // the interpreter core — same as `exec_block`'s tail.
-                flight.cycles = entry_cycles + u64::from(block.body_cycles) + ctx.dyn_cycles;
-                flight.instructions = entry_instrs + u64::from(block.body_instrs);
+                flight.cycles = ctx.cycles + u64::from(block.body_cycles) + ctx.dyn_cycles;
+                flight.instructions = ctx.instructions + u64::from(block.body_instrs);
                 let Terminator::Plain { inst, word, len } = block.term else {
                     unreachable!("EXIT_TERM only emitted for plain terminators");
                 };
@@ -1108,8 +1232,8 @@ impl Cpu {
                     _ => (1, 1, op.pc),
                 };
                 flight.cycles =
-                    entry_cycles + u64::from(op.cycles_before) + ctx.dyn_cycles + extra_cycles;
-                flight.instructions = entry_instrs + u64::from(op.instrs_before) + extra_instrs;
+                    ctx.cycles + u64::from(op.cycles_before) + ctx.dyn_cycles + extra_cycles;
+                flight.instructions = ctx.instructions + u64::from(op.instrs_before) + extra_instrs;
                 *pc_io = at;
                 Err(Trap::MemoryFault {
                     pc: at,
@@ -1123,8 +1247,8 @@ impl Cpu {
                 let k = ctx.exit_op as usize;
                 let op = &block.ops[k];
                 let resume = block.ops.get(k + 1).map_or(block.term_pc, |next| next.pc);
-                flight.cycles = entry_cycles + u64::from(op.cycles_before) + ctx.dyn_cycles + 1;
-                flight.instructions = entry_instrs + u64::from(op.instrs_before) + 1;
+                flight.cycles = ctx.cycles + u64::from(op.cycles_before) + ctx.dyn_cycles + 1;
+                flight.instructions = ctx.instructions + u64::from(op.instrs_before) + 1;
                 *pc_io = resume;
                 Ok(BlockExit::Continue)
             }

@@ -1,28 +1,41 @@
 //! The x86-64 (SysV, Linux) emitter behind [`crate::jit`].
 //!
-//! One superblock becomes one `extern "C" fn(*mut JitCtx) -> u32`. The
-//! calling convention inside a block:
+//! One superblock becomes one `extern "C" fn(*mut JitCtx) -> u32` with a
+//! second, chain entry point just past the prologue (see the
+//! [`crate::jit`] module docs). The calling convention inside a block:
 //!
 //! * `rbx` — the [`crate::jit::JitCtx`] pointer,
 //! * `r14` — the guest register file base (`ctx.regs`),
 //! * `r12` — guest RAM base (`ctx.ram`),
-//! * `r13` — guest RAM length (`ctx.ram_len`),
-//! * `eax`/`ecx`/`edx` — scratch; guest registers stay memory-resident at
-//!   `[r14 + 4*idx]` (disp8-addressable for all 32), so nothing is live
-//!   across the helper calls (PQ-ALU, division, store invalidation) and
-//!   the callee-saved bases survive them by the SysV ABI.
+//! * `rbp`/`r13`/`r15` — the block's pinned guest registers (the three
+//!   hottest pre-resolved register indices, loaded at the chain entry and
+//!   spilled on every exit path),
+//! * `eax`/`ecx`/`edx` — scratch; unpinned guest registers stay
+//!   memory-resident at `[r14 + 4*idx]` (disp8-addressable for all 32).
+//!
+//! All block-lived registers are callee-saved, so nothing is live across
+//! the helper calls (PQ-ALU, division, store invalidation) by the SysV
+//! ABI, and the helpers never touch the guest register file — pins
+//! survive them without spilling.
 //!
 //! Writes to guest `x0` are elided at emit time; reads rely on the
 //! `regs[0] == 0` invariant the interpreter maintains. Loads and stores
-//! bounds-check `zext(addr) + width` against `r13` (exactly the
+//! bounds-check `zext(addr) + width` against `ctx.ram_len` (exactly the
 //! interpreter's `addr as usize + size > ram.len()`), jumping to a
 //! per-op fault stub that reports [`crate::jit::EXIT_TRAP_MEM`]. Stores
 //! additionally call the invalidation helper and bail through a stale
 //! stub ([`crate::jit::EXIT_STORE_STALE`]) when they rewrote the running
 //! block's own code lines. The prologue's `sub rsp, 8` keeps `rsp`
 //! 16-byte aligned at every helper call site.
+//!
+//! Every fully-retiring exit commits the block's cycle/instruction
+//! totals into the context in host code; a static-successor exit then
+//! consults its [`crate::jit::ChainNode`] out-slot and either jumps
+//! straight into the successor's chain entry (fuel permitting) or takes
+//! the `EXIT_NEXT` path with `link_edge`/`link_from` filled in so the
+//! dispatch loop can install the link.
 
-use super::{ctx_off, EXIT_NEXT, EXIT_STORE_STALE, EXIT_TERM, EXIT_TRAP_MEM};
+use super::{ctx_off, node_off, EXIT_NEXT, EXIT_STORE_STALE, EXIT_TERM, EXIT_TRAP_MEM, LINK_NONE};
 use crate::inst::{AluOp, BranchOp, Inst, LoadOp, StoreOp};
 use crate::superblock::{Block, OpKind, Src2, Terminator};
 
@@ -37,6 +50,10 @@ pub(super) struct Helpers {
 const EAX: u8 = 0;
 const ECX: u8 = 1;
 const EDX: u8 = 2;
+
+/// Callee-saved hosts available for guest-register pinning, in
+/// assignment order. `rbx`/`r12`/`r14` are the block bases.
+const PIN_HOSTS: [u8; 3] = [5, 13, 15]; // rbp, r13, r15
 
 /// Condition-code byte (`0F cc` long jump) that branches when the RISC-V
 /// comparison holds.
@@ -68,7 +85,7 @@ fn store_width(op: StoreOp) -> u8 {
 }
 
 /// Static divider cycles of a fused compare-branch ALU op (mirrors the
-/// block compiler's costing; charged through `term_extra`).
+/// block compiler's costing; folded into the committed terminator extra).
 fn div_cycles(op: AluOp) -> u32 {
     match op {
         AluOp::Div | AluOp::Divu | AluOp::Rem | AluOp::Remu => 34,
@@ -84,20 +101,32 @@ enum Stub {
     Stale(u32),
 }
 
-/// A tiny one-pass assembler: bytes plus label/rel32 fixups.
+/// A tiny one-pass assembler: bytes plus label/rel32 fixups, plus the
+/// block's guest-register pin assignment (consulted by every guest
+/// register accessor).
 struct Asm {
     code: Vec<u8>,
     labels: Vec<Option<usize>>,
     fixups: Vec<(usize, usize)>,
+    /// `(guest, host)` pin pairs (≤ [`PIN_HOSTS`] entries).
+    pins: Vec<(u8, u8)>,
 }
 
 impl Asm {
-    fn new() -> Self {
+    fn new(pins: Vec<(u8, u8)>) -> Self {
         Self {
             code: Vec::with_capacity(1024),
             labels: Vec::new(),
             fixups: Vec::new(),
+            pins,
         }
+    }
+
+    fn pin_of(&self, guest: u8) -> Option<u8> {
+        self.pins
+            .iter()
+            .find(|&&(g, _)| g == guest)
+            .map(|&(_, h)| h)
     }
 
     fn label(&mut self) -> usize {
@@ -134,26 +163,80 @@ impl Asm {
         self.rel32(label);
     }
 
-    /// `mov <host32>, [r14 + 4*guest]` — read a guest register.
-    fn load_guest(&mut self, host: u8, guest: u8) {
-        self.bytes(&[0x41, 0x8b, 0x40 | (host << 3) | 6, 4 * (guest & 31)]);
+    /// `mov <dst32>, <src32>` for any host registers.
+    fn mov_rr(&mut self, dst: u8, src: u8) {
+        let rex = 0x40 | (u8::from(dst >= 8) << 2) | u8::from(src >= 8);
+        if rex != 0x40 {
+            self.bytes(&[rex]);
+        }
+        self.bytes(&[0x8b, 0xc0 | ((dst & 7) << 3) | (src & 7)]);
     }
 
-    /// `mov [r14 + 4*guest], <host32>` — write a guest register. The
+    /// `mov <host32>, [r14 + 4*guest]` — read a guest register from the
+    /// register file, bypassing the pin map (pin fills only).
+    fn load_guest_mem(&mut self, host: u8, guest: u8) {
+        let rex = 0x41 | (u8::from(host >= 8) << 2);
+        self.bytes(&[rex, 0x8b, 0x40 | ((host & 7) << 3) | 6, 4 * (guest & 31)]);
+    }
+
+    /// `mov [r14 + 4*guest], <host32>` — write a guest register to the
+    /// register file, bypassing the pin map (spills only).
+    fn store_guest_mem(&mut self, guest: u8, host: u8) {
+        let rex = 0x41 | (u8::from(host >= 8) << 2);
+        self.bytes(&[rex, 0x89, 0x40 | ((host & 7) << 3) | 6, 4 * (guest & 31)]);
+    }
+
+    /// Read a guest register into `<host32>` (from its pin if pinned).
+    fn load_guest(&mut self, host: u8, guest: u8) {
+        match self.pin_of(guest) {
+            Some(pin) => self.mov_rr(host, pin),
+            None => self.load_guest_mem(host, guest),
+        }
+    }
+
+    /// Write `<host32>` to a guest register (to its pin if pinned). The
     /// caller guards `guest != 0`.
     fn store_guest(&mut self, guest: u8, host: u8) {
-        self.bytes(&[0x41, 0x89, 0x40 | (host << 3) | 6, 4 * (guest & 31)]);
+        match self.pin_of(guest) {
+            Some(pin) => self.mov_rr(pin, host),
+            None => self.store_guest_mem(guest, host),
+        }
     }
 
-    /// `mov dword [r14 + 4*guest], imm32`.
+    /// Write `imm32` to a guest register (to its pin if pinned).
     fn store_guest_imm(&mut self, guest: u8, imm: u32) {
-        self.bytes(&[0x41, 0xc7, 0x46, 4 * (guest & 31)]);
-        self.d32(imm);
+        match self.pin_of(guest) {
+            Some(pin) => self.mov_imm(pin, imm),
+            None => {
+                self.bytes(&[0x41, 0xc7, 0x46, 4 * (guest & 31)]);
+                self.d32(imm);
+            }
+        }
     }
 
-    /// `mov <host32>, imm32`.
+    /// Load every pin from the register file (chain entry).
+    fn load_pins(&mut self) {
+        for i in 0..self.pins.len() {
+            let (guest, host) = self.pins[i];
+            self.load_guest_mem(host, guest);
+        }
+    }
+
+    /// Spill every pin back to the register file. Clobbers no scratch
+    /// register (safe on fault paths where `eax` is live).
+    fn spill_pins(&mut self) {
+        for i in 0..self.pins.len() {
+            let (guest, host) = self.pins[i];
+            self.store_guest_mem(guest, host);
+        }
+    }
+
+    /// `mov <host32>, imm32` for any host register.
     fn mov_imm(&mut self, host: u8, imm: u32) {
-        self.bytes(&[0xb8 + host]);
+        if host >= 8 {
+            self.bytes(&[0x41]);
+        }
+        self.bytes(&[0xb8 + (host & 7)]);
         self.d32(imm);
     }
 
@@ -166,6 +249,14 @@ impl Asm {
     /// `mov [rbx + off], eax`.
     fn ctx_store_eax(&mut self, off: u8) {
         self.bytes(&[0x89, 0x43, off]);
+    }
+
+    /// `add qword [rbx + off], imm32` (elided when zero).
+    fn ctx_add_imm(&mut self, off: u8, imm: u32) {
+        if imm != 0 {
+            self.bytes(&[0x48, 0x81, 0x40 | 3, off]);
+            self.d32(imm);
+        }
     }
 
     /// `mov rax, imm64; call rax` — call a helper at a process-constant
@@ -184,11 +275,11 @@ impl Asm {
         }
     }
 
-    /// Bounds check: `lea rcx, [rax + width]; cmp rcx, r13; ja fault`.
-    /// `eax` holds the (zero-extended) guest address.
+    /// Bounds check: `lea rcx, [rax + width]; cmp rcx, [rbx + RAM_LEN];
+    /// ja fault`. `eax` holds the (zero-extended) guest address.
     fn bounds_check(&mut self, width: u8, fault: usize) {
         self.bytes(&[0x48, 0x8d, 0x48, width]);
-        self.bytes(&[0x4c, 0x39, 0xe9]);
+        self.bytes(&[0x48, 0x3b, 0x4b, ctx_off::RAM_LEN]);
         self.jcc(0x87, fault); // ja: zext(addr) + width > ram_len
     }
 
@@ -269,48 +360,175 @@ impl Asm {
         }
     }
 
-    /// Terminate with [`EXIT_NEXT`]: constant resume PC and extra cycles.
-    fn exit_next_imm(&mut self, next_pc: u32, extra: u32, epi: usize) {
-        self.ctx_store_imm(ctx_off::NEXT_PC, next_pc);
-        self.ctx_store_imm(ctx_off::TERM_EXTRA, extra);
-        self.mov_imm(EAX, EXIT_NEXT);
-        self.jmp(epi);
+    /// Commit the fully-retired block's totals into the context:
+    /// `ctx.cycles += body + extra (+ dyn, zeroing it)` and
+    /// `ctx.instructions += total`. Clobbers `rax` when the block has
+    /// dynamic (PQ) cycles.
+    fn commit_accounting(&mut self, block: &Block, extra: u32, has_dyn: bool) {
+        let static_cycles = block.body_cycles.wrapping_add(extra);
+        if has_dyn {
+            self.bytes(&[0x48, 0x8b, 0x43, ctx_off::DYN_CYCLES]); // mov rax, [rbx+DYN]
+            self.bytes(&[0x48, 0xc7, 0x43, ctx_off::DYN_CYCLES]); // mov qword [rbx+DYN], 0
+            self.d32(0);
+            if static_cycles != 0 {
+                self.bytes(&[0x48, 0x05]); // add rax, imm32
+                self.d32(static_cycles);
+            }
+            self.bytes(&[0x48, 0x01, 0x43, ctx_off::CYCLES]); // add [rbx+CYCLES], rax
+        } else {
+            self.ctx_add_imm(ctx_off::CYCLES, static_cycles);
+        }
+        self.ctx_add_imm(ctx_off::INSTRUCTIONS, block.total_instrs as u32);
     }
 
-    fn finish(mut self) -> Vec<u8> {
-        for (pos, label) in self.fixups {
-            let target = self.labels[label].expect("unbound jit label");
-            let rel = (target as i64 - (pos as i64 + 4)) as i32;
-            self.code[pos..pos + 4].copy_from_slice(&rel.to_le_bytes());
-        }
-        self.code
+    fn finish(self) -> Assembled {
+        (self.code, self.fixups, self.labels)
     }
+}
+
+/// What [`Asm::finish`] hands back: the code bytes, the pending
+/// label fixups as `(patch_site, label)` pairs, and the label targets.
+type Assembled = (Vec<u8>, Vec<(usize, usize)>, Vec<Option<usize>>);
+
+fn tally(count: &mut [u32; 32], r: u8) {
+    if r & 31 != 0 {
+        count[(r & 31) as usize] += 1;
+    }
+}
+
+fn tally_src2(count: &mut [u32; 32], src: Src2) {
+    if let Src2::Reg(r) = src {
+        tally(count, r);
+    }
+}
+
+/// Count guest-register accesses and pick the pin assignment: the up-to-3
+/// hottest registers touched at least twice (a single touch never pays
+/// for its entry load plus per-exit spill). `x0` is never pinned.
+fn pick_pins(block: &Block) -> Vec<(u8, u8)> {
+    let mut count = [0u32; 32];
+    let c = &mut count;
+    for op in block.ops.iter() {
+        match op.kind {
+            OpKind::LoadImm { rd, .. } | OpKind::Auipc { rd, .. } => tally(c, rd),
+            OpKind::OpImm { rd, rs1, .. } => {
+                tally(c, rd);
+                tally(c, rs1);
+            }
+            OpKind::Op { rd, rs1, rs2, .. } => {
+                tally(c, rd);
+                tally(c, rs1);
+                tally(c, rs2);
+            }
+            OpKind::Load { rd, rs1, .. } => {
+                tally(c, rd);
+                tally(c, rs1);
+            }
+            OpKind::AuipcLoad { rd, lrd, .. } => {
+                tally(c, rd);
+                tally(c, lrd);
+            }
+            OpKind::LoadUse {
+                lrd,
+                lrs1,
+                ard,
+                ars1,
+                asrc,
+                ..
+            } => {
+                tally(c, lrd);
+                tally(c, lrs1);
+                tally(c, ard);
+                tally(c, ars1);
+                tally_src2(c, asrc);
+            }
+            OpKind::Store { rs1, rs2, .. } => {
+                tally(c, rs1);
+                tally(c, rs2);
+            }
+            OpKind::Fence => {}
+            OpKind::Pq { rd, rs1, rs2, .. } => {
+                tally(c, rd);
+                tally(c, rs1);
+                tally(c, rs2);
+            }
+        }
+    }
+    match block.term {
+        Terminator::Plain { inst, .. } => match inst {
+            Inst::Jal { rd, .. } => tally(c, rd),
+            Inst::Jalr { rd, rs1, .. } => {
+                tally(c, rd);
+                tally(c, rs1);
+            }
+            Inst::Branch { rs1, rs2, .. } => {
+                tally(c, rs1);
+                tally(c, rs2);
+            }
+            _ => {}
+        },
+        Terminator::CmpBranch {
+            ard,
+            ars1,
+            asrc,
+            brs1,
+            brs2,
+            ..
+        } => {
+            tally(c, ard);
+            tally(c, ars1);
+            tally(c, brs1);
+            tally(c, brs2);
+            tally_src2(c, asrc);
+        }
+        Terminator::FallThrough => {}
+    }
+    let mut hot: Vec<u8> = (1u8..32).filter(|&r| count[r as usize] >= 2).collect();
+    hot.sort_by_key(|&r| (std::cmp::Reverse(count[r as usize]), r));
+    hot.truncate(PIN_HOSTS.len());
+    hot.iter()
+        .zip(PIN_HOSTS)
+        .map(|(&guest, host)| (guest, host))
+        .collect()
 }
 
 /// Lower one block to host code (see the module docs for the register
 /// conventions and the [`crate::jit`] docs for the exit protocol).
-pub(super) fn emit(block: &Block, helpers: &Helpers) -> Vec<u8> {
-    let mut a = Asm::new();
+/// Returns the code bytes and the byte offset of the chain entry.
+pub(super) fn emit(block: &Block, helpers: &Helpers) -> (Vec<u8>, usize) {
+    let mut a = Asm::new(pick_pins(block));
     let epi = a.label();
     let mut stubs: Vec<(usize, Stub)> = Vec::new();
+    let has_dyn = block
+        .ops
+        .iter()
+        .any(|op| matches!(op.kind, OpKind::Pq { .. }));
+    let head_pc = block.head_pc;
 
-    // Prologue: save callee-saved bases, align rsp for helper calls, load
-    // ctx (rbx), regs (r14), ram (r12), ram_len (r13).
-    a.bytes(&[0x53, 0x41, 0x54, 0x41, 0x55, 0x41, 0x56]); // push rbx/r12/r13/r14
+    // Prologue: save callee-saved registers, align rsp for helper calls,
+    // load ctx (rbx), regs (r14), ram (r12).
+    a.bytes(&[0x53, 0x41, 0x54, 0x41, 0x55, 0x41, 0x56, 0x41, 0x57, 0x55]);
     a.bytes(&[0x48, 0x83, 0xec, 0x08]); // sub rsp, 8
     a.bytes(&[0x48, 0x89, 0xfb]); // mov rbx, rdi
     a.bytes(&[0x4c, 0x8b, 0x73, ctx_off::REGS]); // mov r14, [rbx+REGS]
     a.bytes(&[0x4c, 0x8b, 0x63, ctx_off::RAM]); // mov r12, [rbx+RAM]
-    a.bytes(&[0x4c, 0x8b, 0x6b, ctx_off::RAM_LEN]); // mov r13, [rbx+RAM_LEN]
+
+    // Chain entry: a predecessor's link jump lands here — rbx/r14/r12
+    // are already live (same CPU, same context), only the pins differ
+    // per block.
+    let chain_entry = a.code.len();
+    a.load_pins();
 
     for (k, op) in block.ops.iter().enumerate() {
         emit_op(&mut a, &mut stubs, helpers, k as u32, &op.kind);
     }
-    emit_terminator(&mut a, helpers, block, epi);
+    emit_terminator(&mut a, helpers, block, head_pc, has_dyn, epi);
 
-    // Per-op exit stubs.
+    // Per-op exit stubs. Pins spill first (the spill clobbers nothing,
+    // so the faulting address stays live in eax).
     for (label, stub) in stubs {
         a.bind(label);
+        a.spill_pins();
         match stub {
             Stub::Fault(k) => {
                 a.ctx_store_eax(ctx_off::FAULT_ADDR);
@@ -329,8 +547,16 @@ pub(super) fn emit(block: &Block, helpers: &Helpers) -> Vec<u8> {
     // Epilogue: undo the alignment pad, restore, return (eax = exit code).
     a.bind(epi);
     a.bytes(&[0x48, 0x83, 0xc4, 0x08]); // add rsp, 8
-    a.bytes(&[0x41, 0x5e, 0x41, 0x5d, 0x41, 0x5c, 0x5b, 0xc3]); // pops + ret
-    a.finish()
+    a.bytes(&[
+        0x5d, 0x41, 0x5f, 0x41, 0x5e, 0x41, 0x5d, 0x41, 0x5c, 0x5b, 0xc3,
+    ]);
+    let (mut code, fixups, labels) = a.finish();
+    for (pos, label) in fixups {
+        let target = labels[label].expect("unbound jit label");
+        let rel = (target as i64 - (pos as i64 + 4)) as i32;
+        code[pos..pos + 4].copy_from_slice(&rel.to_le_bytes());
+    }
+    (code, chain_entry)
 }
 
 fn emit_op(a: &mut Asm, stubs: &mut Vec<(usize, Stub)>, helpers: &Helpers, k: u32, kind: &OpKind) {
@@ -461,9 +687,75 @@ fn emit_op(a: &mut Asm, stubs: &mut Vec<(usize, Stub)>, helpers: &Helpers, k: u3
     }
 }
 
-fn emit_terminator(a: &mut Asm, helpers: &Helpers, block: &Block, epi: usize) {
+/// Per-block facts every static exit shares: the block, its dispatch
+/// anchor PC, whether it accumulates dynamic PQ stalls, and the
+/// epilogue label.
+struct ExitEnv<'a> {
+    block: &'a Block,
+    head_pc: u32,
+    has_dyn: bool,
+    epi: usize,
+}
+
+/// A fully-retiring exit to a *static* successor: spill, commit, then
+/// try the chain link for `edge` (0 = fall/static next, 1 = taken). A
+/// null slot — or too little fuel for the successor's whole block — takes
+/// the `EXIT_NEXT` path with the link request filled in.
+fn exit_static(a: &mut Asm, env: &ExitEnv, next_pc: u32, extra: u32, edge: u8) {
+    let &ExitEnv {
+        block,
+        head_pc,
+        has_dyn,
+        epi,
+    } = env;
+    a.spill_pins();
+    a.commit_accounting(block, extra, has_dyn);
+    let miss = a.label();
+    // rax = ctx.node->out[edge]; null means unlinked.
+    a.bytes(&[0x48, 0x8b, 0x43, ctx_off::NODE]);
+    a.bytes(&[0x48, 0x8b, 0x40, node_off::OUT + 8 * edge]);
+    a.bytes(&[0x48, 0x85, 0xc0]); // test rax, rax
+    a.jcc(0x84, miss); // jz
+                       // Fuel gate: the dispatch loop's `fuel >= total_instrs` precondition,
+                       // applied to the successor in host code.
+    a.bytes(&[0x48, 0x8b, 0x48, node_off::TOTAL_INSTRS]); // mov rcx, [rax+TOTAL]
+    a.bytes(&[0x48, 0x39, 0x4b, ctx_off::FUEL]); // cmp [rbx+FUEL], rcx
+    a.jcc(0x82, miss); // jb: not enough fuel to chain
+    a.bytes(&[0x48, 0x29, 0x4b, ctx_off::FUEL]); // sub [rbx+FUEL], rcx
+    a.bytes(&[0x48, 0xff, 0x43, ctx_off::CHAINED]); // inc qword [rbx+CHAINED]
+                                                    // Switch the context to the successor: node and validity pairs.
+    a.bytes(&[0x48, 0x89, 0x43, ctx_off::NODE]); // mov [rbx+NODE], rax
+    a.bytes(&[0x48, 0x8d, 0x48, node_off::LINES]); // lea rcx, [rax+LINES]
+    a.bytes(&[0x48, 0x89, 0x4b, ctx_off::LINES]); // mov [rbx+LINES], rcx
+    a.bytes(&[0x48, 0x8b, 0x48, node_off::LINES_LEN]); // mov rcx, [rax+LINES_LEN]
+    a.bytes(&[0x48, 0x89, 0x4b, ctx_off::LINES_LEN]); // mov [rbx+LINES_LEN], rcx
+                                                      // jmp qword [rax]: the zero displacement IS node_off::ENTRY.
+    const _: () = assert!(node_off::ENTRY == 0);
+    a.bytes(&[0xff, 0x20]);
+    a.bind(miss);
+    a.ctx_store_imm(ctx_off::NEXT_PC, next_pc);
+    a.ctx_store_imm(ctx_off::LINK_EDGE, u32::from(edge));
+    a.ctx_store_imm(ctx_off::LINK_FROM, head_pc);
+    a.mov_imm(EAX, EXIT_NEXT);
+    a.jmp(epi);
+}
+
+fn emit_terminator(
+    a: &mut Asm,
+    helpers: &Helpers,
+    block: &Block,
+    head_pc: u32,
+    has_dyn: bool,
+    epi: usize,
+) {
+    let env = &ExitEnv {
+        block,
+        head_pc,
+        has_dyn,
+        epi,
+    };
     match block.term {
-        Terminator::FallThrough => a.exit_next_imm(block.term_pc, 0, epi),
+        Terminator::FallThrough => exit_static(a, env, block.term_pc, 0, 0),
         Terminator::Plain { inst, len, .. } => {
             let fall_pc = block.term_pc.wrapping_add(u32::from(len));
             match inst {
@@ -471,7 +763,8 @@ fn emit_terminator(a: &mut Asm, helpers: &Helpers, block: &Block, epi: usize) {
                     if rd != 0 {
                         a.store_guest_imm(rd, fall_pc);
                     }
-                    a.exit_next_imm(block.term_pc.wrapping_add(offset as u32), 3, epi);
+                    let target = block.term_pc.wrapping_add(offset as u32);
+                    exit_static(a, env, target, 3, 0);
                 }
                 Inst::Jalr { rd, rs1, offset } => {
                     // Target first: rs1 may alias rd.
@@ -481,8 +774,12 @@ fn emit_terminator(a: &mut Asm, helpers: &Helpers, block: &Block, epi: usize) {
                     if rd != 0 {
                         a.store_guest_imm(rd, fall_pc);
                     }
+                    a.spill_pins();
                     a.ctx_store_eax(ctx_off::NEXT_PC);
-                    a.ctx_store_imm(ctx_off::TERM_EXTRA, 3);
+                    // Dynamic target: never linkable (commit clobbers rax
+                    // only after next_pc is stored).
+                    a.commit_accounting(block, 3, has_dyn);
+                    a.ctx_store_imm(ctx_off::LINK_EDGE, LINK_NONE);
                     a.mov_imm(EAX, EXIT_NEXT);
                     a.jmp(epi);
                 }
@@ -497,15 +794,17 @@ fn emit_terminator(a: &mut Asm, helpers: &Helpers, block: &Block, epi: usize) {
                     a.bytes(&[0x39, 0xc8]); // cmp eax, ecx
                     let taken = a.label();
                     a.jcc(branch_cc(op), taken);
-                    a.exit_next_imm(fall_pc, 1, epi);
+                    exit_static(a, env, fall_pc, 1, 0);
                     a.bind(taken);
-                    a.exit_next_imm(block.term_pc.wrapping_add(offset as u32), 3, epi);
+                    let target = block.term_pc.wrapping_add(offset as u32);
+                    exit_static(a, env, target, 3, 1);
                 }
                 // CSR reads must observe live counters, ecall/ebreak need
                 // the interpreter's exit/trap plumbing: hand back to Rust
                 // (which runs the shared execute core — correct for any
                 // terminator, so this is also the safe default).
                 _ => {
+                    a.spill_pins();
                     a.mov_imm(EAX, EXIT_TERM);
                     a.jmp(epi);
                 }
@@ -536,9 +835,9 @@ fn emit_terminator(a: &mut Asm, helpers: &Helpers, block: &Block, epi: usize) {
             let taken = a.label();
             a.jcc(branch_cc(bop), taken);
             let extra = 2 + div_cycles(aop);
-            a.exit_next_imm(fall_pc, extra, epi);
+            exit_static(a, env, fall_pc, extra, 0);
             a.bind(taken);
-            a.exit_next_imm(taken_pc, extra + 2, epi);
+            exit_static(a, env, taken_pc, extra + 2, 1);
         }
     }
 }

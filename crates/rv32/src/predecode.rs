@@ -164,39 +164,52 @@ impl PredecodeCache {
     /// to 3 bytes before `addr` also overlaps, and it is cached in the
     /// line of its first byte, so the window extends 3 bytes back.
     /// Invalidation rewrites the line's slots to [`Slot::Empty`].
+    ///
+    /// Returns `true` when at least one generation counter moved — the
+    /// signal the JIT chain registry uses to sever links into now-stale
+    /// blocks. A window that misses every filled line cannot have staled
+    /// anything, so `false` means "nothing to sweep".
     #[inline]
-    pub fn invalidate(&mut self, addr: u32, size: usize) {
+    pub fn invalidate(&mut self, addr: u32, size: usize) -> bool {
         let first = (addr.saturating_sub(3) >> LINE_SHIFT) as usize;
         let last = ((addr as u64 + size.max(1) as u64 - 1) >> LINE_SHIFT) as usize;
         // Data stores rarely overlap predecoded code; skip the scan when
         // the store window misses the filled range entirely.
         if first > self.filled_hi || last < self.filled_lo {
-            return;
+            return false;
         }
         let first = first.max(self.filled_lo);
         let end = self.line_count.min(last + 1).min(self.filled_hi + 1);
+        let mut bumped = false;
         for line in first..end {
             if (self.filled[line >> 6] >> (line & 63)) & 1 == 1 {
                 self.filled[line >> 6] &= !(1 << (line & 63));
                 self.slots[line * SLOTS_PER_LINE..(line + 1) * SLOTS_PER_LINE].fill(Slot::Empty);
                 self.gens[line] += 1;
                 self.invalidations += 1;
+                bumped = true;
             }
         }
+        bumped
     }
 
     /// Drop everything (used when the host rewrites large RAM regions).
-    pub fn invalidate_all(&mut self) {
+    /// Returns `true` when any generation counter moved, exactly as
+    /// [`Self::invalidate`] does.
+    pub fn invalidate_all(&mut self) -> bool {
+        let mut bumped = false;
         for line in 0..self.line_count {
             if (self.filled[line >> 6] >> (line & 63)) & 1 == 1 {
                 self.filled[line >> 6] &= !(1 << (line & 63));
                 self.slots[line * SLOTS_PER_LINE..(line + 1) * SLOTS_PER_LINE].fill(Slot::Empty);
                 self.gens[line] += 1;
                 self.invalidations += 1;
+                bumped = true;
             }
         }
         self.filled_lo = usize::MAX;
         self.filled_hi = 0;
+        bumped
     }
 
     /// The invalidation generation of `line` (see the `gens` field). Lines

@@ -282,6 +282,12 @@ pub enum Terminator {
 /// per-`Cpu` [`CachedBlock`] wrapper.
 #[derive(Debug)]
 pub struct Block {
+    /// Anchor PC the block was compiled at — its dispatch head. Kept
+    /// explicitly because fusion can absorb every body op into the
+    /// terminator (e.g. a two-instruction `addi`+`bne` loop), leaving no
+    /// op to recover the head from; the JIT bakes it into chain-link
+    /// requests.
+    pub head_pc: u32,
     /// Straight-line body.
     pub ops: Box<[BlockOp]>,
     /// Ending operation.
@@ -309,7 +315,7 @@ pub struct Block {
 /// Any store that could rewrite the block's code bytes bumps one of the
 /// generations, marking the entry stale; the engine checks at dispatch
 /// and immediately after every store the block executes.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct CachedBlock {
     /// The compiled code (shareable across CPUs).
     pub block: Arc<Block>,
@@ -321,6 +327,23 @@ pub struct CachedBlock {
     /// through clones (so warm snapshots keep their translations) but is
     /// only consulted when the CPU runs [`crate::cpu::Engine::Jit`].
     jit: Option<Arc<crate::jit::JitCode>>,
+    /// This CPU's chain node for the block (successor link slots). Never
+    /// cloned: link targets are process-local host addresses registered
+    /// with one CPU's [`crate::jit::ChainRegistry`], so a snapshot or
+    /// warm-image clone starts unlinked and re-links on its own CPU.
+    chain: Option<Arc<crate::jit::ChainNode>>,
+}
+
+impl Clone for CachedBlock {
+    fn clone(&self) -> Self {
+        Self {
+            block: Arc::clone(&self.block),
+            lines: self.lines,
+            line_count: self.line_count,
+            jit: self.jit.clone(),
+            chain: None,
+        }
+    }
 }
 
 impl CachedBlock {
@@ -338,6 +361,7 @@ impl CachedBlock {
             lines: arr,
             line_count: lines.len() as u8,
             jit: None,
+            chain: None,
         }
     }
 
@@ -367,6 +391,18 @@ impl CachedBlock {
     #[inline]
     pub(crate) fn set_jit(&mut self, code: Arc<crate::jit::JitCode>) {
         self.jit = Some(code);
+    }
+
+    /// This CPU's chain node for the block, if one was created.
+    #[inline]
+    pub(crate) fn chain_node(&self) -> Option<&Arc<crate::jit::ChainNode>> {
+        self.chain.as_ref()
+    }
+
+    /// Attach this CPU's chain node.
+    #[inline]
+    pub(crate) fn set_chain(&mut self, node: Arc<crate::jit::ChainNode>) {
+        self.chain = Some(node);
     }
 }
 
@@ -802,6 +838,7 @@ pub fn compile(cache: &mut PredecodeCache, ram: &[u8], anchor: u32) -> Option<Ca
     };
 
     let block = Arc::new(Block {
+        head_pc: anchor,
         ops: ops.into_boxed_slice(),
         term: terminator,
         term_pc,

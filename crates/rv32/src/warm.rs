@@ -22,6 +22,14 @@
 //! The per-`Cpu` [`crate::SharedTraceCache`] attachment is deliberately
 //! *not* part of the image: which process-wide cache a CPU publishes to
 //! is a harness decision, orthogonal to the machine state.
+//!
+//! JIT **chain links** are likewise never captured: link slots hold raw
+//! host-code addresses inside one process's executable mappings, so an
+//! image carrying them could chain a restored CPU into unmapped (or
+//! wrong) memory. [`crate::Cpu::restore`] clears the chain registry and
+//! any pending link instead; restored blocks re-link lazily on their
+//! first hot dispatches, which costs one dispatch-loop round trip per
+//! edge and nothing architectural.
 
 use crate::cpu::Engine;
 use crate::pq::PqAlu;

@@ -317,6 +317,14 @@ pub struct WarmProbe {
     /// priming run already published host code for every hot block; also
     /// zero on hosts without a JIT backend).
     pub jit_compiles: u64,
+    /// Chain links the worker's probe installed between translated
+    /// blocks (links are process-local per CPU, never shared).
+    pub jit_links_installed: u64,
+    /// Probe block entries taken through a chain link without returning
+    /// to the dispatch loop — the fleet-wide link-adoption signal.
+    pub jit_chained_dispatches: u64,
+    /// Probe chain links severed by invalidation, eviction or restore.
+    pub jit_unlinks: u64,
 }
 
 /// Pool-wide warm-start report: the priming run's reference digest, every
@@ -340,6 +348,20 @@ impl WarmReport {
         self.probes
             .iter()
             .all(|p| p.digest == self.reference_digest)
+    }
+
+    /// Fleet-wide chain-link adoption summed across every worker probe:
+    /// `(links_installed, chained_dispatches, unlinks)`. Links are
+    /// process-local per CPU, so the sum is the honest fleet total — no
+    /// double counting through the shared trace cache.
+    pub fn chain_totals(&self) -> (u64, u64, u64) {
+        self.probes.iter().fold((0, 0, 0), |(l, c, u), p| {
+            (
+                l + p.jit_links_installed,
+                c + p.jit_chained_dispatches,
+                u + p.jit_unlinks,
+            )
+        })
     }
 }
 
@@ -683,6 +705,9 @@ fn worker_main(
             compiles: stats.compiles,
             jit_shared_installs: jit.shared_installs,
             jit_compiles: jit.compiles,
+            jit_links_installed: jit.links_installed,
+            jit_chained_dispatches: jit.chained_dispatches,
+            jit_unlinks: jit.unlinks,
         });
     }
     let mut state = WorkerState::new();

@@ -32,7 +32,7 @@
 
 use crate::metrics::MetricsSnapshot;
 use crate::pool::{
-    Completion, Job, JobKind, Reply, ReplySink, ServeConfig, ServePool, SubmitError,
+    Completion, Job, JobKind, Reply, ReplySink, ServeConfig, ServePool, SubmitError, WarmReport,
 };
 use crate::reactor::{self, IoStatus, Parker, TokenBucket};
 use crate::session::{self, Direction, SessionFrame, SessionState, SessionTable};
@@ -82,6 +82,14 @@ impl Server {
     /// Propagates `local_addr` socket errors.
     pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
         self.listener.local_addr()
+    }
+
+    /// The pool's warm-start report, when [`ServeConfig::warm_iss`] is
+    /// on: per-worker probe digests plus shared-cache and chain-link
+    /// adoption counters. Front-ends log this at startup so operators
+    /// can see fleet-wide JIT link adoption before traffic arrives.
+    pub fn warm_report(&self) -> Option<&WarmReport> {
+        self.pool.warm_report()
     }
 
     /// Run the event loop until a `SHUTDOWN` frame arrives and the drain

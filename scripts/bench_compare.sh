@@ -14,7 +14,8 @@
 #   for t in table1 table2 table3; do \
 #     ./target/release/$t --json > baselines/$t.json; done
 #
-# Requires: ./target/release/{table1,table2,table3} (cargo build --release).
+# Requires: ./target/release/{table1,table2,table3,iss_bench}
+# (cargo build --release --workspace; iss_bench feeds the MIPS-floor gate).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -117,11 +118,12 @@ compare table1 "$TOL"
 compare table2 "$TOL"
 compare table3 0
 
-# ISS throughput floor: the predecoded interpreter's wall-clock MIPS must
-# stay above the recorded floor. This is a host-dependent figure (unlike
-# the cycle tables), so the floor is set well below the reference host's
-# steady-state and only catches gross regressions — e.g. the fast path
-# silently falling back to decode-every-step.
+# ISS throughput floor: the superblock interpreter's wall-clock MIPS
+# (iss_bench's "mips_fast") must stay above the recorded floor. This is a
+# host-dependent figure (unlike the cycle tables), so the floor is set
+# well below the reference host's steady-state and only catches gross
+# regressions — e.g. the fast path silently degenerating to
+# single-instruction dispatch.
 if [ -f baselines/iss.json ] && [ -s baselines/iss.json ]; then
     ISS_FLOOR=$(sed -n 's/.*"mips_floor": \([0-9.]*\).*/\1/p' baselines/iss.json)
     ISS_MIPS=$(./target/release/iss_bench --json --iters 500 \

@@ -53,6 +53,19 @@ if [ "$QUICK" = 1 ]; then
         --json --iters 8 | grep -q '"digests_match": true'
     echo "  jit digest parity OK (four-way compare)"
     echo
+    echo "== smoke: self-modifying unlink digest parity (quick mode) =="
+    # A hot loop patches an already-chained block mid-run: iss_bench exits
+    # non-zero if any engine's digest diverges, or if a JIT-capable host
+    # never severed a chain link (the unlink path went untested). Captured
+    # (not piped to grep -q) so iss_bench's exit code is honoured.
+    SMC=$(cargo run -q --release --offline -p lac-bench --bin iss_bench -- --smc --json)
+    printf '%s' "$SMC" | grep -q '"digests_match": true' || {
+        echo "smc smoke: digests_match missing or false" >&2
+        echo "$SMC" >&2
+        exit 1
+    }
+    echo "  self-modifying unlink parity OK"
+    echo
     echo "== smoke: warm-start sweep digest parity (quick mode) =="
     # Small cold-vs-warm fleet; iss_bench exits non-zero on digest skew.
     # No speedup floor here — tiny sweeps are wall-clock noise; the 1.5x
@@ -141,12 +154,14 @@ iss_gate() {
 iss_gate || { echo "  (wall-clock noise suspected; retrying once)"; iss_gate; }
 
 echo
-echo "== acceptance: JIT engine digest parity and speedup over superblock =="
-# The four-way iss_bench compare already exits non-zero on any digest
-# divergence; on hosts with a JIT backend the emitted code must also beat
-# the superblock interpreter by >= 1.5x wall-clock. Elsewhere the speedup
-# floor is skipped explicitly — the graceful-fallback path is covered by
-# unit tests (tests/riscv_jit.rs).
+echo "== acceptance: JIT engine digest parity, superblock and chaining speedups =="
+# The four-way iss_bench compare (which includes a chaining-disabled JIT
+# run) already exits non-zero on any digest divergence; on hosts with a
+# JIT backend the chained code must also beat the superblock interpreter
+# by >= 3x wall-clock AND beat its own unchained self by >= 1.3x — the
+# block-chaining win measured in isolation. Elsewhere both floors are
+# skipped explicitly — the graceful-fallback path is covered by unit
+# tests (tests/riscv_jit.rs).
 jit_gate() {
     JIT_JSON=$(./target/release/iss_bench --json --iters 1000) || {
         echo "jit gate: engine digests diverged" >&2
@@ -160,11 +175,16 @@ jit_gate() {
     echo "$JIT_JSON" | awk '
         /"jit_over_superblock":/ {
             gsub(/[",]/, "")
-            for (i = 1; i <= NF; i++) if ($i == "jit_over_superblock:") v = $(i + 1)
+            for (i = 1; i <= NF; i++) if ($i == "jit_over_superblock:") sb = $(i + 1)
+        }
+        /"jit_chain_over_jit":/ {
+            gsub(/[",]/, "")
+            for (i = 1; i <= NF; i++) if ($i == "jit_chain_over_jit:") ch = $(i + 1)
         }
         END {
-            if (v + 0 < 1.5) { print "jit gate: jit " v "x < 1.5x over superblock"; exit 1 }
-            print "  jit engine: " v "x over superblock, digests match"
+            if (sb + 0 < 3.0) { print "jit gate: jit " sb "x < 3.0x over superblock"; exit 1 }
+            if (ch + 0 < 1.3) { print "jit gate: chained jit " ch "x < 1.3x over unchained"; exit 1 }
+            print "  jit engine: " sb "x over superblock, chaining " ch "x over unchained, digests match"
         }
     '
 }

@@ -180,6 +180,14 @@ fn cmd_serve(opts: &Options) -> Result<String, String> {
         .local_addr()
         .map_err(|e| format!("local_addr: {e}"))?;
     println!("lac-serve listening on {local} ({workers} workers, queue {queue_capacity})");
+    if let Some(warm) = server.warm_report() {
+        let (links, chained, unlinks) = warm.chain_totals();
+        println!(
+            "lac-serve warm: {} worker probes, digests agree: {}, jit chain links {links}, chained dispatches {chained}, unlinks {unlinks}",
+            warm.probes.len(),
+            warm.digests_agree()
+        );
+    }
     std::io::stdout().flush().ok();
     let snapshot = server.run();
     Ok(format!("server shut down\n{}", snapshot.to_text()))

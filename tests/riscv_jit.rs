@@ -626,3 +626,226 @@ fn jit_engine_handles_csr_terminators_and_traps() {
     let outcome2 = differential(&build2, 100_000, None).expect("engines agree");
     assert!(matches!(outcome2, Err(Trap::Breakpoint { .. })));
 }
+
+/// `JAL x0, offset` encoder (offset relative to this instruction).
+fn encode_jal_x0(offset: i32) -> u32 {
+    let o = offset as u32;
+    ((o >> 20 & 1) << 31)
+        | ((o >> 1 & 0x3FF) << 21)
+        | ((o >> 11 & 1) << 20)
+        | ((o >> 12 & 0xFF) << 12)
+        | 0x6F
+}
+
+#[test]
+fn hot_loop_links_once_and_stays_linked() {
+    // The canonical chaining shape: a two-instruction counted loop whose
+    // taken edge points back at its own head. After one trip through the
+    // EXIT_NEXT miss path the dispatch loop installs the self-link, and
+    // every remaining iteration must retire without returning to Rust.
+    let src = r#"
+            li   t0, 0
+            li   t1, 2000
+        loop:
+            addi t0, t0, 1
+            bne  t0, t1, loop
+            ecall
+    "#;
+    let build = move || Machine::assemble(src).expect("assembles");
+    let outcome = differential(&build, 100_000, None).expect("engines agree");
+    assert!(outcome.is_ok());
+
+    if jit::host_supported() {
+        let mut machine = build();
+        machine.cpu_mut().set_engine(Engine::Jit);
+        machine.cpu_mut().run(100_000).expect("runs to ecall");
+        let stats = machine.cpu().jit_stats();
+        assert_eq!(stats.links_installed, 1, "one self-link: {stats:?}");
+        assert_eq!(stats.unlinks, 0, "nothing invalidates it: {stats:?}");
+        assert!(
+            stats.chained_dispatches > 1000,
+            "the loop must stay in host code: {stats:?}"
+        );
+        // Chained entries count as block dispatches in the superblock
+        // stats too, so the tiers stay comparable.
+        let sb = machine.cpu().superblock_stats();
+        assert!(sb.dispatches > stats.chained_dispatches, "{sb:?}");
+    }
+}
+
+/// `SLLI rd, rs1, shamt` encoder.
+fn encode_slli(rd: u32, rs1: u32, shamt: u32) -> u32 {
+    (shamt << 20) | (rs1 << 15) | (0b001 << 12) | (rd << 7) | 0x13
+}
+
+/// Two mutually-chained blocks where block A patches an instruction in
+/// block B on iteration `patch_at`: A keeps a counter, computes the patch
+/// delta and target address (off-iterations store the unchanged value to
+/// a plain data address instead, so the A→B link survives until the real
+/// patch), stores, and jumps to B; B runs the victim instruction — 512
+/// bytes away, so a *different* predecode line than A's own — and
+/// branches back to A.
+fn chained_successor_patch_words(patch_at: u32, iterations: u32, old: u32, new: u32) -> Vec<u32> {
+    let delta = new.wrapping_sub(old);
+    let b_base = 512u32;
+    let mut words = Vec::new();
+    words.extend(encode_li(20, 0));
+    words.extend(encode_li(23, old));
+    words.extend(encode_li(22, delta));
+    words.extend(encode_li(28, iterations));
+    let a_loop = words.len(); // word 8
+    words.push(encode_addi(20, 20, 1));
+    words.push(encode_addi(21, 20, -(patch_at as i32)));
+    words.push(encode_sltiu(21, 21, 1)); // x21 = (iteration == patch_at)
+    words.push(encode_mul(25, 21, 22));
+    words.push(encode_add(23, 23, 25)); // x23 = old, or new at the patch
+    words.push(encode_sltiu(24, 21, 1)); // x24 = !x21
+    words.push(encode_slli(24, 24, 12));
+    words.push(encode_addi(24, 24, b_base as i32)); // 512, or 0x1200 off-patch
+    words.push(encode_sw(24, 23, 0));
+    let jal_index = words.len();
+    words.push(encode_jal_x0(b_base as i32 - (jal_index as i32) * 4));
+    while words.len() < (b_base / 4) as usize {
+        words.push(0);
+    }
+    words.push(old); // the victim, at byte 512
+    let bne_index = words.len();
+    words.push(encode_bne(20, 28, (a_loop as i32 - bne_index as i32) * 4));
+    words.push(ECALL);
+    words
+}
+
+#[test]
+fn store_into_chained_successor_unlinks_and_bails_exactly() {
+    let old = encode_addi(26, 26, 1);
+    let new = encode_addi(26, 26, 7);
+    let (patch_at, iterations) = (8u32, 14u32);
+    let words = chained_successor_patch_words(patch_at, iterations, old, new);
+    let build = move || machine_from_words(&words);
+    let outcome = differential(&build, 100_000, None).expect("engines agree");
+    let exit = outcome.expect("loop reaches ecall");
+    // The patch lands mid-iteration `patch_at`: B is re-fetched after the
+    // store, so the new instruction takes effect that same trip.
+    assert_eq!(
+        exit.reg(26),
+        (patch_at - 1) + 7 * (iterations - patch_at + 1)
+    );
+
+    if jit::host_supported() {
+        let mut machine = build();
+        machine.cpu_mut().set_engine(Engine::Jit);
+        machine.cpu_mut().run(100_000).expect("runs to ecall");
+        let stats = machine.cpu().jit_stats();
+        let sb = machine.cpu().superblock_stats();
+        // A→B and B→A both linked before the patch...
+        assert!(stats.links_installed >= 2, "{stats:?}");
+        assert!(stats.chained_dispatches > 0, "{stats:?}");
+        // ...and the store severed the A→B edge (B's line went stale)
+        // rather than letting emitted code chain into dead translation.
+        assert!(stats.unlinks >= 1, "{stats:?}");
+        assert!(sb.stale_drops >= 1, "{sb:?}");
+    }
+}
+
+#[test]
+fn fuel_exhaustion_lands_exactly_on_chain_edges() {
+    // By fuel ~20 the two-instruction loop below is hot, translated and
+    // self-linked, so budgets in 24..40 exhaust *inside* a chained run:
+    // the emitted fuel check at the edge must refuse the next block at
+    // exactly the same boundary the oracle stops at, and a refuel must
+    // resume bit-identically.
+    let src = r#"
+            li   t0, 0
+            li   t1, 1000000
+        loop:
+            addi t0, t0, 1
+            bne  t0, t1, loop
+            ecall
+    "#;
+    for fuel in 24u64..40 {
+        let mut oracle = Machine::assemble(src).expect("assembles");
+        oracle.cpu_mut().set_engine(Engine::Classic);
+        assert_eq!(oracle.cpu_mut().run(fuel), Err(Trap::OutOfFuel));
+        assert_eq!(oracle.cpu().instructions(), fuel);
+
+        let mut machine = Machine::assemble(src).expect("assembles");
+        machine.cpu_mut().set_engine(Engine::Jit);
+        assert_eq!(machine.cpu_mut().run(fuel), Err(Trap::OutOfFuel));
+        assert_eq!(machine.cpu().instructions(), fuel, "fuel {fuel}");
+        assert_eq!(machine.cpu().cycles(), oracle.cpu().cycles(), "fuel {fuel}");
+        assert_eq!(machine.cpu().pc(), oracle.cpu().pc(), "fuel {fuel}");
+        if jit::host_supported() {
+            assert!(
+                machine.cpu().jit_stats().chained_dispatches > 0,
+                "budget must run out while chained (fuel {fuel})"
+            );
+        }
+
+        // Refuel both and run to completion: still bit-identical.
+        let oracle_exit = oracle.cpu_mut().run(10_000_000);
+        assert_eq!(
+            oracle_exit,
+            machine.cpu_mut().run(10_000_000),
+            "fuel {fuel}"
+        );
+    }
+}
+
+#[test]
+fn direct_mapped_eviction_severs_links() {
+    // Two self-linking hot loops whose heads collide in the default
+    // 4096-slot direct-mapped trace cache (index = (pc >> 1) & 4095, so
+    // 0x100 and 0x2100 share slot 0x80 — their follow-on blocks at 0x108
+    // and 0x2108 collide too). Each outer round evicts the other loop's
+    // block, which must reclaim its chain node and sever the self-link
+    // instead of leaving a dangling pointer for emitted code to follow.
+    let inner = 12u32;
+    let outer = 5u32;
+    let a_base = 0x100u32;
+    let b_base = 0x2100u32;
+    let mut words = Vec::new();
+    words.extend(encode_li(27, inner));
+    words.extend(encode_li(20, 0));
+    words.extend(encode_li(28, outer));
+    let outer_head = words.len(); // word 6, byte 0x18
+    words.push(encode_addi(21, 0, 0));
+    let jump_a = words.len();
+    words.push(encode_jal_x0(a_base as i32 - (jump_a as i32) * 4));
+    while words.len() < (a_base / 4) as usize {
+        words.push(0);
+    }
+    words.push(encode_addi(21, 21, 1)); // A loop head
+    words.push(encode_bne(21, 27, -4));
+    words.push(encode_addi(22, 0, 0));
+    let jump_b = words.len();
+    words.push(encode_jal_x0(b_base as i32 - (jump_b as i32) * 4));
+    while words.len() < (b_base / 4) as usize {
+        words.push(0);
+    }
+    words.push(encode_addi(22, 22, 1)); // B loop head
+    words.push(encode_bne(22, 27, -4));
+    words.push(encode_addi(20, 20, 1));
+    words.push(encode_bne(20, 28, 8)); // another round → trampoline
+    words.push(ECALL);
+    let tramp = words.len();
+    words.push(encode_jal_x0((outer_head as i32 - tramp as i32) * 4));
+
+    let build = move || machine_from_words(&words);
+    let outcome = differential(&build, 100_000, None).expect("engines agree");
+    let exit = outcome.expect("reaches ecall");
+    assert_eq!(exit.reg(20), outer);
+    assert_eq!(exit.reg(21), inner);
+
+    if jit::host_supported() {
+        let mut machine = build();
+        machine.cpu_mut().set_engine(Engine::Jit);
+        machine.cpu_mut().run(100_000).expect("runs to ecall");
+        let stats = machine.cpu().jit_stats();
+        assert!(
+            stats.links_installed >= 4,
+            "re-linked each round: {stats:?}"
+        );
+        assert!(stats.unlinks >= 2, "evictions must sever links: {stats:?}");
+        assert!(stats.chained_dispatches > 0, "{stats:?}");
+    }
+}
