@@ -55,6 +55,8 @@ use std::time::Instant;
 pub struct BenchConfig {
     /// Worker threads for the in-process server (ignored with `addr`).
     pub workers: usize,
+    /// Reactor shards for the in-process server (ignored with `addr`).
+    pub reactors: usize,
     /// Closed-loop client connections.
     pub clients: usize,
     /// Total requests across all clients.
@@ -81,6 +83,7 @@ impl Default for BenchConfig {
     fn default() -> Self {
         Self {
             workers: 4,
+            reactors: 1,
             clients: 4,
             requests: 64,
             op: Op::Encaps,
@@ -99,6 +102,8 @@ impl Default for BenchConfig {
 pub struct BenchReport {
     /// Echo of the run's shape.
     pub workers: usize,
+    /// Reactor shards the server ran.
+    pub reactors: usize,
     /// Client connection count.
     pub clients: usize,
     /// Requests completed (success or error reply).
@@ -126,8 +131,61 @@ pub struct BenchReport {
     pub latency: HistogramSnapshot,
     /// Hex SHA-256 over all response payloads (scheduling-independent).
     pub digest: String,
+    /// Vectored flushes the front-end issued.
+    pub writev_calls: u64,
+    /// Reply frames retired through those flushes.
+    pub frames_flushed: u64,
+    /// Mean frames retired per vectored flush (the coalescing ratio).
+    pub frames_per_flush: f64,
+    /// Front-end throughput normalized to the busiest shard's CPU time:
+    /// flushed frames per busy second. Scheduler-independent, so it
+    /// measures reactor scaling even when shards timeshare one core.
+    pub frames_per_busy_sec: f64,
     /// The server's own final/polled metrics snapshot as JSON.
     pub server_stats_json: String,
+}
+
+/// Write-coalescing + shard-busy stats shared by every report shape.
+#[derive(Debug, Clone, Copy, Default)]
+struct FrontendIo {
+    writev_calls: u64,
+    frames_flushed: u64,
+    frames_per_flush: f64,
+    frames_per_busy_sec: f64,
+}
+
+impl FrontendIo {
+    /// From the in-process server's final (post-drain) snapshot.
+    fn from_snapshot(snap: &crate::metrics::MetricsSnapshot) -> Self {
+        Self {
+            writev_calls: snap.frontend.writev_calls,
+            frames_flushed: snap.frontend.frames_flushed,
+            frames_per_flush: snap.frontend.frames_per_flush(),
+            frames_per_busy_sec: snap.frontend_frames_per_busy_sec(),
+        }
+    }
+
+    /// From an external server's stats JSON (aggregate keys precede the
+    /// `shard_`-prefixed per-shard rows, so a flat scan finds them).
+    fn from_stats_json(json: &str) -> Self {
+        let writev_calls = extract_u64(json, "writev_calls").unwrap_or(0);
+        let frames_flushed = extract_u64(json, "frames_flushed").unwrap_or(0);
+        let busy = extract_u64(json, "frontend_busy_ns_max").unwrap_or(0);
+        Self {
+            writev_calls,
+            frames_flushed,
+            frames_per_flush: if writev_calls > 0 {
+                frames_flushed as f64 / writev_calls as f64
+            } else {
+                0.0
+            },
+            frames_per_busy_sec: if busy > 0 {
+                frames_flushed as f64 * 1e9 / busy as f64
+            } else {
+                0.0
+            },
+        }
+    }
 }
 
 /// Derive the 32-byte pool seed from the CLI-style `u64` seed.
@@ -182,6 +240,7 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchReport, String> {
                 "127.0.0.1:0",
                 ServeConfig {
                     workers: cfg.workers,
+                    reactors: cfg.reactors.max(1),
                     queue_capacity: cfg.queue_capacity,
                     seed: pool_seed(cfg.seed),
                     warm_iss: true,
@@ -305,17 +364,24 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchReport, String> {
     // Fetch stats, then shut the in-process server down.
     let mut control = Client::connect(&addr).map_err(|e| format!("control connect: {e}"))?;
     let server_stats_json = control.stats().unwrap_or_default();
-    let (workers, makespan_cycles) = if let Some(thread) = server_thread {
+    let (workers, reactors, makespan_cycles, io) = if let Some(thread) = server_thread {
         control.shutdown().map_err(|e| format!("shutdown: {e}"))?;
         let final_snapshot = thread
             .join()
             .map_err(|_| "server thread panicked".to_string())?;
-        (cfg.workers, final_snapshot.makespan_cycles())
+        (
+            cfg.workers,
+            cfg.reactors.max(1),
+            final_snapshot.makespan_cycles(),
+            FrontendIo::from_snapshot(&final_snapshot),
+        )
     } else {
         // An external server's shape comes from its own stats, not cfg.
         (
             extract_u64(&server_stats_json, "workers").unwrap_or(0) as usize,
+            extract_u64(&server_stats_json, "reactors").unwrap_or(1) as usize,
             extract_u64(&server_stats_json, "makespan_cycles").unwrap_or(0),
+            FrontendIo::from_stats_json(&server_stats_json),
         )
     };
 
@@ -327,6 +393,7 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchReport, String> {
     let wall_secs = wall_micros as f64 / 1e6;
     Ok(BenchReport {
         workers,
+        reactors,
         clients: cfg.clients.max(1),
         requests: cfg.requests,
         errors,
@@ -348,6 +415,10 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchReport, String> {
         },
         latency: latency.snapshot(),
         digest: digest_hex,
+        writev_calls: io.writev_calls,
+        frames_flushed: io.frames_flushed,
+        frames_per_flush: io.frames_per_flush,
+        frames_per_busy_sec: io.frames_per_busy_sec,
         server_stats_json,
     })
 }
@@ -357,6 +428,8 @@ pub fn run(cfg: &BenchConfig) -> Result<BenchReport, String> {
 pub struct OpenLoopConfig {
     /// Worker threads for the in-process server (ignored with `addr`).
     pub workers: usize,
+    /// Reactor shards for the in-process server (ignored with `addr`).
+    pub reactors: usize,
     /// Connections the schedule is striped across (request `r` rides
     /// connection `r % conns`).
     pub conns: usize,
@@ -385,6 +458,7 @@ impl Default for OpenLoopConfig {
     fn default() -> Self {
         Self {
             workers: 4,
+            reactors: 1,
             conns: 2,
             target_qps: 200.0,
             duration_ms: 500,
@@ -404,6 +478,8 @@ impl Default for OpenLoopConfig {
 pub struct OpenLoopReport {
     /// Echo of the run's shape.
     pub workers: usize,
+    /// Reactor shards the server ran.
+    pub reactors: usize,
     /// Connection count.
     pub conns: usize,
     /// Offered load the schedule aimed for.
@@ -425,6 +501,14 @@ pub struct OpenLoopReport {
     pub wall_micros: u64,
     /// Scheduled-arrival→reply latency (coordinated-omission safe).
     pub latency: HistogramSnapshot,
+    /// Vectored flushes the front-end issued.
+    pub writev_calls: u64,
+    /// Reply frames retired through those flushes.
+    pub frames_flushed: u64,
+    /// Mean frames retired per vectored flush.
+    pub frames_per_flush: f64,
+    /// Flushed frames per busiest-shard CPU second.
+    pub frames_per_busy_sec: f64,
     /// The server's final/polled metrics snapshot as JSON.
     pub server_stats_json: String,
     /// Operation driven.
@@ -440,14 +524,18 @@ impl OpenLoopReport {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"bench\": \"serve-open-loop\", \"op\": \"{}\", \"params\": \"{}\", \
-             \"backend\": \"{}\", \"workers\": {}, \"conns\": {}, \
+             \"backend\": \"{}\", \"workers\": {}, \"reactors\": {}, \"conns\": {}, \
              \"target_qps\": {:.1}, \"duration_ms\": {}, \"offered\": {}, \
              \"completions\": {}, \"busy\": {}, \"errors\": {}, \
-             \"achieved_qps\": {:.1}, \"wall_us\": {}, \"latency\": {}, \"server\": {}}}",
+             \"achieved_qps\": {:.1}, \"wall_us\": {}, \
+             \"writev_calls\": {}, \"frames_flushed\": {}, \
+             \"frames_per_flush\": {:.2}, \"frames_per_busy_sec\": {:.1}, \
+             \"latency\": {}, \"server\": {}}}",
             self.op.label(),
             self.params.name(),
             self.backend.name(),
             self.workers,
+            self.reactors,
             self.conns,
             self.target_qps,
             self.duration_ms,
@@ -457,6 +545,10 @@ impl OpenLoopReport {
             self.errors,
             self.achieved_qps,
             self.wall_micros,
+            self.writev_calls,
+            self.frames_flushed,
+            self.frames_per_flush,
+            self.frames_per_busy_sec,
             self.latency.to_json(),
             if self.server_stats_json.is_empty() {
                 "null"
@@ -470,13 +562,14 @@ impl OpenLoopReport {
     pub fn to_text(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "bench-serve open-loop: target {:.0} req/s for {} ms — {} on {} / {}, {} workers, {} conns\n",
+            "bench-serve open-loop: target {:.0} req/s for {} ms — {} on {} / {}, {} workers, {} reactors, {} conns\n",
             self.target_qps,
             self.duration_ms,
             self.op.label(),
             self.params.name(),
             self.backend.name(),
             self.workers,
+            self.reactors,
             self.conns,
         ));
         out.push_str(&format!(
@@ -526,6 +619,7 @@ pub fn run_open_loop(cfg: &OpenLoopConfig) -> Result<OpenLoopReport, String> {
                 "127.0.0.1:0",
                 ServeConfig {
                     workers: cfg.workers,
+                    reactors: cfg.reactors.max(1),
                     queue_capacity: cfg.queue_capacity,
                     seed: pool_seed(cfg.seed),
                     warm_iss: true,
@@ -646,20 +740,29 @@ pub fn run_open_loop(cfg: &OpenLoopConfig) -> Result<OpenLoopReport, String> {
 
     let mut control = Client::connect(&addr).map_err(|e| format!("control connect: {e}"))?;
     let server_stats_json = control.stats().unwrap_or_default();
-    let workers = if let Some(thread) = server_thread {
+    let (workers, reactors, io) = if let Some(thread) = server_thread {
         control.shutdown().map_err(|e| format!("shutdown: {e}"))?;
-        thread
+        let final_snapshot = thread
             .join()
             .map_err(|_| "server thread panicked".to_string())?;
-        cfg.workers
+        (
+            cfg.workers,
+            cfg.reactors.max(1),
+            FrontendIo::from_snapshot(&final_snapshot),
+        )
     } else {
-        extract_u64(&server_stats_json, "workers").unwrap_or(0) as usize
+        (
+            extract_u64(&server_stats_json, "workers").unwrap_or(0) as usize,
+            extract_u64(&server_stats_json, "reactors").unwrap_or(1) as usize,
+            FrontendIo::from_stats_json(&server_stats_json),
+        )
     };
 
     let wall_secs = wall_micros as f64 / 1e6;
     let answered = completions + busy + errors;
     Ok(OpenLoopReport {
         workers,
+        reactors,
         conns,
         target_qps: cfg.target_qps,
         duration_ms: cfg.duration_ms,
@@ -674,6 +777,10 @@ pub fn run_open_loop(cfg: &OpenLoopConfig) -> Result<OpenLoopReport, String> {
         },
         wall_micros,
         latency: latency.snapshot(),
+        writev_calls: io.writev_calls,
+        frames_flushed: io.frames_flushed,
+        frames_per_flush: io.frames_per_flush,
+        frames_per_busy_sec: io.frames_per_busy_sec,
         server_stats_json,
         op: cfg.op,
         params: cfg.params,
@@ -700,6 +807,10 @@ pub fn run_open_loop(cfg: &OpenLoopConfig) -> Result<OpenLoopReport, String> {
 pub struct SessionLoadConfig {
     /// Worker threads for the in-process server.
     pub workers: usize,
+    /// Reactor shards for the in-process server. Session crypto runs
+    /// inline on the owning shard, so this workload is the one that
+    /// actually measures front-end scaling.
+    pub reactors: usize,
     /// Lanes (connections); each lane drives `sessions / conns` sessions
     /// sequentially. Clamped to `sessions` and to `queue_capacity` (one
     /// outstanding handshake per lane never sheds).
@@ -734,6 +845,7 @@ impl Default for SessionLoadConfig {
     fn default() -> Self {
         Self {
             workers: 4,
+            reactors: 1,
             conns: 4,
             sessions: 16,
             chats_per_session: 4,
@@ -755,6 +867,8 @@ impl Default for SessionLoadConfig {
 pub struct SessionLoadReport {
     /// Echo of the run's shape.
     pub workers: usize,
+    /// Reactor shards the server ran.
+    pub reactors: usize,
     /// Lanes actually used.
     pub conns: usize,
     /// Sessions opened (as configured).
@@ -790,8 +904,17 @@ pub struct SessionLoadReport {
     /// (shared-secret-derived epoch secrets, epochs, echoed plaintexts) —
     /// worker-count independent by the per-job DRBG fork discipline.
     /// Server-assigned session ids are excluded: they are arrival-order
-    /// dependent.
+    /// dependent (and shard-striped, so also reactor-count dependent).
     pub digest: String,
+    /// Vectored flushes the front-end issued.
+    pub writev_calls: u64,
+    /// Reply frames retired through those flushes.
+    pub frames_flushed: u64,
+    /// Mean frames retired per vectored flush.
+    pub frames_per_flush: f64,
+    /// Flushed frames per busiest-shard CPU second — the reactor-scaling
+    /// headline for this workload.
+    pub frames_per_busy_sec: f64,
     /// Server stats JSON polled *before* shutdown: in `hold` mode its
     /// `sessions.open` gauge is the end-of-run table occupancy.
     pub server_stats_json: String,
@@ -801,13 +924,18 @@ impl SessionLoadReport {
     /// Flat JSON object for `--json` output.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"bench\": \"serve-sessions\", \"workers\": {}, \"conns\": {}, \
+            "{{\"bench\": \"serve-sessions\", \"workers\": {}, \"reactors\": {}, \
+             \"conns\": {}, \
              \"sessions\": {}, \"chats_per_session\": {}, \"rekey_every\": {}, \
              \"hold\": {}, \"opened\": {}, \"chats\": {}, \"rekeys\": {}, \
              \"closes\": {}, \"busy\": {}, \"errors\": {}, \"wall_us\": {}, \
-             \"achieved_qps\": {:.1}, \"handshake_latency\": {}, \
+             \"achieved_qps\": {:.1}, \
+             \"writev_calls\": {}, \"frames_flushed\": {}, \
+             \"frames_per_flush\": {:.2}, \"frames_per_busy_sec\": {:.1}, \
+             \"handshake_latency\": {}, \
              \"message_latency\": {}, \"digest\": \"{}\", \"server\": {}}}",
             self.workers,
+            self.reactors,
             self.conns,
             self.sessions,
             self.chats_per_session,
@@ -821,6 +949,10 @@ impl SessionLoadReport {
             self.errors,
             self.wall_micros,
             self.achieved_qps,
+            self.writev_calls,
+            self.frames_flushed,
+            self.frames_per_flush,
+            self.frames_per_busy_sec,
             self.handshake_latency.to_json(),
             self.message_latency.to_json(),
             self.digest,
@@ -836,12 +968,13 @@ impl SessionLoadReport {
     pub fn to_text(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "bench-serve sessions: {} sessions × {} chats (rekey every {}{}) — {} workers, {} conns\n",
+            "bench-serve sessions: {} sessions × {} chats (rekey every {}{}) — {} workers, {} reactors, {} conns\n",
             self.sessions,
             self.chats_per_session,
             self.rekey_every,
             if self.hold { ", hold" } else { "" },
             self.workers,
+            self.reactors,
             self.conns,
         ));
         out.push_str(&format!(
@@ -866,6 +999,10 @@ impl SessionLoadReport {
             self.message_latency.quantile_micros_interp(0.99),
             self.message_latency.quantile_micros_interp(0.999),
             self.message_latency.max_micros,
+        ));
+        out.push_str(&format!(
+            "  writes: {} frames in {} writev calls ({:.2} frames/flush), {:.0} frames/busy-s\n",
+            self.frames_flushed, self.writev_calls, self.frames_per_flush, self.frames_per_busy_sec
         ));
         for key in ["open", "evicted", "replay_drops", "tag_failures"] {
             if let Some(v) = extract_u64(&self.server_stats_json, key) {
@@ -907,6 +1044,7 @@ pub fn run_sessions(cfg: &SessionLoadConfig) -> Result<SessionLoadReport, String
         "127.0.0.1:0",
         ServeConfig {
             workers: cfg.workers,
+            reactors: cfg.reactors.max(1),
             queue_capacity: cfg.queue_capacity,
             seed: pool_seed(cfg.seed),
             warm_iss: true,
@@ -1079,9 +1217,10 @@ pub fn run_sessions(cfg: &SessionLoadConfig) -> Result<SessionLoadReport, String
     let mut control = Client::connect(&addr).map_err(|e| format!("control connect: {e}"))?;
     let server_stats_json = control.stats().unwrap_or_default();
     control.shutdown().map_err(|e| format!("shutdown: {e}"))?;
-    server_thread
+    let final_snapshot = server_thread
         .join()
         .map_err(|_| "server thread panicked".to_string())?;
+    let io = FrontendIo::from_snapshot(&final_snapshot);
 
     let digest_hex: String = run_digest
         .finalize()
@@ -1093,6 +1232,7 @@ pub fn run_sessions(cfg: &SessionLoadConfig) -> Result<SessionLoadReport, String
     let wall_secs = wall_micros as f64 / 1e6;
     Ok(SessionLoadReport {
         workers: cfg.workers,
+        reactors: cfg.reactors.max(1),
         conns: lanes,
         sessions: cfg.sessions,
         chats_per_session: cfg.chats_per_session,
@@ -1113,6 +1253,10 @@ pub fn run_sessions(cfg: &SessionLoadConfig) -> Result<SessionLoadReport, String
         handshake_latency: handshake_latency.snapshot(),
         message_latency: message_latency.snapshot(),
         digest: digest_hex,
+        writev_calls: io.writev_calls,
+        frames_flushed: io.frames_flushed,
+        frames_per_flush: io.frames_per_flush,
+        frames_per_busy_sec: io.frames_per_busy_sec,
         server_stats_json,
     })
 }
@@ -1167,15 +1311,18 @@ impl BenchReport {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"op\": \"{}\", \"params\": \"{}\", \"backend\": \"{}\", \
-             \"workers\": {}, \"clients\": {}, \"requests\": {}, \"batch\": {}, \
-             \"errors\": {}, \
+             \"workers\": {}, \"reactors\": {}, \"clients\": {}, \"requests\": {}, \
+             \"batch\": {}, \"errors\": {}, \
              \"wall_us\": {}, \"wall_req_per_sec\": {:.2}, \
              \"makespan_cycles\": {}, \"req_per_mcycle\": {:.4}, \
+             \"writev_calls\": {}, \"frames_flushed\": {}, \
+             \"frames_per_flush\": {:.2}, \"frames_per_busy_sec\": {:.1}, \
              \"latency\": {}, \"digest\": \"{}\", \"server\": {}}}",
             self.op.label(),
             self.params.name(),
             self.backend.name(),
             self.workers,
+            self.reactors,
             self.clients,
             self.requests,
             self.batch,
@@ -1184,6 +1331,10 @@ impl BenchReport {
             self.wall_req_per_sec,
             self.makespan_cycles,
             self.req_per_mcycle,
+            self.writev_calls,
+            self.frames_flushed,
+            self.frames_per_flush,
+            self.frames_per_busy_sec,
             self.latency.to_json(),
             self.digest,
             if self.server_stats_json.is_empty() {
@@ -1198,12 +1349,13 @@ impl BenchReport {
     pub fn to_text(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "bench-serve: {} × {} on {} / {} — {} workers, {} clients{}\n",
+            "bench-serve: {} × {} on {} / {} — {} workers, {} reactors, {} clients{}\n",
             self.requests,
             self.op.label(),
             self.params.name(),
             self.backend.name(),
             self.workers,
+            self.reactors,
             self.clients,
             if self.batch > 1 {
                 format!(", batch {}", self.batch)
@@ -1226,6 +1378,10 @@ impl BenchReport {
             self.latency.quantile_micros(0.99),
             self.latency.max_micros,
             self.errors
+        ));
+        out.push_str(&format!(
+            "  writes: {} frames in {} writev calls ({:.2} frames/flush), {:.0} frames/busy-s\n",
+            self.frames_flushed, self.writev_calls, self.frames_per_flush, self.frames_per_busy_sec
         ));
         out.push_str(&format!("  response digest: {}\n", self.digest));
         out
@@ -1293,6 +1449,7 @@ mod tests {
     fn tiny_cfg() -> BenchConfig {
         BenchConfig {
             workers: 2,
+            reactors: 1,
             clients: 2,
             requests: 6,
             op: Op::Encaps,

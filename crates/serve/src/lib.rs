@@ -22,10 +22,14 @@
 //! * [`wire`] — the framed request/response protocol, with an incremental
 //!   [`wire::FrameDecoder`] for nonblocking reads;
 //! * [`reactor`] — a std-only readiness layer (nonblocking I/O
-//!   classification, park/unpark wakeups, accept-rate token bucket);
-//! * [`server`] — a single-threaded event loop owning every socket:
-//!   per-connection state machines, ordered reply slots, overload shedding
-//!   (`BUSY`), connection caps, timeouts and graceful drain;
+//!   classification, vectored writes, park/unpark wakeups, accept-rate
+//!   token bucket, per-thread CPU clocks);
+//! * [`server`] — a sharded multi-reactor event loop (`reactors` shards,
+//!   each owning a disjoint set of connections dealt round-robin at
+//!   accept, plus a disjoint stride of the session-id space): per-shard
+//!   state machines, ordered reply slots flushed with vectored writes,
+//!   overload shedding (`BUSY`), connection caps, per-shard timeouts and
+//!   graceful drain;
 //! * [`session`] — authenticated long-lived channels over the KEM
 //!   (`lac-session`): KEM-negotiated directional keys, AEAD-style frame
 //!   sealing, epoch-tagged rekeying, and a bounded sharded LRU session

@@ -13,7 +13,17 @@
 //!
 //! The event-driven front-end adds [`FrontendStats`]: connection gauges
 //! (open), counters (accepted / rejected at the cap / accept-throttle
-//! events), overload sheds (`BUSY` replies) and per-kind timeout kills.
+//! events), overload sheds (`BUSY` replies), per-kind timeout kills and
+//! write-coalescing totals (`writev` syscalls vs frames flushed).
+//!
+//! With a sharded front-end (`--reactors N`) each reactor shard also owns
+//! a [`ShardStats`] row: its accepted/open connections, routed pool
+//! completions, flushed reply frames, `writev` calls, open sessions and
+//! accumulated busy CPU time. The aggregate counters above stay the
+//! single source of truth for totals (every shard writes both), so
+//! existing consumers see one view; the per-shard rows are the raw
+//! breakdown behind `serve-ctl stats --per-shard` and the front-end
+//! scaling metric (frames per busiest-shard CPU-second).
 
 use crate::Op;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -210,10 +220,11 @@ impl HistogramSnapshot {
 
 /// Live counters for the event-driven connection front-end.
 ///
-/// The reactor thread is the only writer, but the `STATS` snapshot is
+/// Reactor shards are the only writers, but the `STATS` snapshot is
 /// taken through the same `Arc`, so these stay atomics like everything
 /// else here. `conns_open` is a gauge (incremented on accept, decremented
-/// on close); the rest are monotonic counters.
+/// on close); the rest are monotonic counters. These are the *aggregate*
+/// totals across shards — per-shard breakdowns live in [`ShardStats`].
 #[derive(Default)]
 pub struct FrontendStats {
     conns_open: AtomicU64,
@@ -224,6 +235,8 @@ pub struct FrontendStats {
     timeouts_idle: AtomicU64,
     timeouts_read: AtomicU64,
     timeouts_write: AtomicU64,
+    writev_calls: AtomicU64,
+    frames_flushed: AtomicU64,
 }
 
 impl FrontendStats {
@@ -236,6 +249,19 @@ impl FrontendStats {
     /// Record a closed connection (gauge down).
     pub fn conn_closed(&self) {
         self.conns_open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Connections open right now (the live gauge value). The sharded
+    /// acceptor reads this to enforce `max_conns` globally: connections
+    /// close on their owning shard, so the acceptor cannot count its own.
+    pub fn open_now(&self) -> u64 {
+        self.conns_open.load(Ordering::Relaxed)
+    }
+
+    /// Record one vectored flush that fully drained `frames` reply frames.
+    pub fn writev(&self, frames: u64) {
+        self.writev_calls.fetch_add(1, Ordering::Relaxed);
+        self.frames_flushed.fetch_add(frames, Ordering::Relaxed);
     }
 
     /// Record a connection refused at the `max_conns` cap.
@@ -279,6 +305,8 @@ impl FrontendStats {
             timeouts_idle: self.timeouts_idle.load(Ordering::Relaxed),
             timeouts_read: self.timeouts_read.load(Ordering::Relaxed),
             timeouts_write: self.timeouts_write.load(Ordering::Relaxed),
+            writev_calls: self.writev_calls.load(Ordering::Relaxed),
+            frames_flushed: self.frames_flushed.load(Ordering::Relaxed),
         }
     }
 }
@@ -302,23 +330,152 @@ pub struct FrontendSnapshot {
     pub timeouts_read: u64,
     /// Connections killed by the write-progress timeout.
     pub timeouts_write: u64,
+    /// Vectored flush syscalls issued across all shards.
+    pub writev_calls: u64,
+    /// Reply frames fully drained to sockets across all shards.
+    pub frames_flushed: u64,
 }
 
 impl FrontendSnapshot {
+    /// Mean reply frames retired per vectored flush (the write-coalescing
+    /// ratio; 0 when no flush has happened).
+    pub fn frames_per_flush(&self) -> f64 {
+        if self.writev_calls == 0 {
+            0.0
+        } else {
+            self.frames_flushed as f64 / self.writev_calls as f64
+        }
+    }
+
     /// JSON object (nested under `"frontend"` in the stats reply).
     pub fn to_json(&self) -> String {
         format!(
             "{{\"conns_open\": {}, \"conns_accepted\": {}, \"conns_rejected\": {}, \
              \"accept_throttled\": {}, \"shed_busy\": {}, \
+             \"writev_calls\": {}, \"frames_flushed\": {}, \"frames_per_flush\": {:.2}, \
              \"timeouts\": {{\"idle\": {}, \"read\": {}, \"write\": {}}}}}",
             self.conns_open,
             self.conns_accepted,
             self.conns_rejected,
             self.accept_throttled,
             self.shed_busy,
+            self.writev_calls,
+            self.frames_flushed,
+            self.frames_per_flush(),
             self.timeouts_idle,
             self.timeouts_read,
             self.timeouts_write,
+        )
+    }
+}
+
+/// Live counters for one reactor shard. Each shard writes its own row
+/// (plus the aggregate [`FrontendStats`]); snapshots feed the
+/// `--per-shard` breakdown and the front-end scaling metric.
+#[derive(Default)]
+pub struct ShardStats {
+    conns_accepted: AtomicU64,
+    conns_open: AtomicU64,
+    completions: AtomicU64,
+    writev_calls: AtomicU64,
+    frames_flushed: AtomicU64,
+    sessions_open: AtomicU64,
+    busy_ns: AtomicU64,
+}
+
+impl ShardStats {
+    /// Record a connection routed to this shard (gauge up, counter up).
+    pub fn conn_opened(&self) {
+        self.conns_open.fetch_add(1, Ordering::Relaxed);
+        self.conns_accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a connection closed on this shard (gauge down).
+    pub fn conn_closed(&self) {
+        self.conns_open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` pool completions routed into this shard's reply slots.
+    pub fn completions(&self, n: u64) {
+        self.completions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record one vectored flush that fully drained `frames` reply frames.
+    pub fn writev(&self, frames: u64) {
+        self.writev_calls.fetch_add(1, Ordering::Relaxed);
+        self.frames_flushed.fetch_add(frames, Ordering::Relaxed);
+    }
+
+    /// Record a session installed in this shard's table slice (gauge up).
+    pub fn session_opened(&self) {
+        self.sessions_open.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a session leaving this shard's table slice — close,
+    /// eviction or tag-mismatch force-close (gauge down).
+    pub fn session_closed(&self) {
+        self.sessions_open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Publish the shard's accumulated busy CPU time (total, not delta);
+    /// the shard loop refreshes this once per productive pass.
+    pub fn set_busy_ns(&self, total: u64) {
+        self.busy_ns.store(total, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy, tagged with the shard index.
+    pub fn snapshot(&self, shard: usize) -> ShardSnapshot {
+        ShardSnapshot {
+            shard,
+            conns_accepted: self.conns_accepted.load(Ordering::Relaxed),
+            conns_open: self.conns_open.load(Ordering::Relaxed),
+            completions: self.completions.load(Ordering::Relaxed),
+            writev_calls: self.writev_calls.load(Ordering::Relaxed),
+            frames_flushed: self.frames_flushed.load(Ordering::Relaxed),
+            sessions_open: self.sessions_open.load(Ordering::Relaxed),
+            busy_ns: self.busy_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of one shard's [`ShardStats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    /// The shard's index (0 owns the listener).
+    pub shard: usize,
+    /// Connections routed to this shard over the server's lifetime.
+    pub conns_accepted: u64,
+    /// Connections currently owned by this shard (gauge).
+    pub conns_open: u64,
+    /// Pool completions routed into this shard's reply slots.
+    pub completions: u64,
+    /// Vectored flush syscalls issued by this shard.
+    pub writev_calls: u64,
+    /// Reply frames this shard fully drained to sockets.
+    pub frames_flushed: u64,
+    /// Sessions currently held in this shard's table slice (gauge).
+    pub sessions_open: u64,
+    /// CPU time the shard has spent in productive passes, in ns
+    /// (0 when the host has no per-thread CPU clock).
+    pub busy_ns: u64,
+}
+
+impl ShardSnapshot {
+    /// JSON object (one element of the `"shards"` array).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"shard\": {}, \"shard_conns_accepted\": {}, \"shard_conns_open\": {}, \
+             \"shard_completions\": {}, \"shard_writev_calls\": {}, \
+             \"shard_frames_flushed\": {}, \"shard_sessions_open\": {}, \
+             \"shard_busy_ns\": {}}}",
+            self.shard,
+            self.conns_accepted,
+            self.conns_open,
+            self.completions,
+            self.writev_calls,
+            self.frames_flushed,
+            self.sessions_open,
+            self.busy_ns,
         )
     }
 }
@@ -449,10 +606,12 @@ pub struct Metrics {
     errors: AtomicU64,
     /// Service latency: enqueue → reply ready (includes queue wait).
     latency: Histogram,
-    /// Connection-level counters, written by the reactor.
+    /// Connection-level aggregate counters, written by reactor shards.
     frontend: FrontendStats,
-    /// Session-layer counters, written by the reactor.
+    /// Session-layer aggregate counters, written by reactor shards.
     sessions: SessionStats,
+    /// Per-shard rows, one per reactor (always at least one).
+    shards: Vec<ShardStats>,
 }
 
 impl Default for Metrics {
@@ -462,25 +621,52 @@ impl Default for Metrics {
 }
 
 impl Metrics {
-    /// Fresh all-zero metrics.
+    /// Fresh all-zero metrics for a single-reactor front-end.
     pub fn new() -> Self {
+        Self::with_reactors(1)
+    }
+
+    /// Fresh all-zero metrics with one [`ShardStats`] row per reactor.
+    pub fn with_reactors(reactors: usize) -> Self {
         Self {
             requests: std::array::from_fn(|_| AtomicU64::new(0)),
             errors: AtomicU64::new(0),
             latency: Histogram::new(),
             frontend: FrontendStats::default(),
             sessions: SessionStats::default(),
+            shards: (0..reactors.max(1))
+                .map(|_| ShardStats::default())
+                .collect(),
         }
     }
 
-    /// The connection-level counters (reactor-owned).
+    /// The connection-level aggregate counters (reactor-owned).
     pub fn frontend(&self) -> &FrontendStats {
         &self.frontend
     }
 
-    /// The session-layer counters (reactor-owned).
+    /// The session-layer aggregate counters (reactor-owned).
     pub fn sessions(&self) -> &SessionStats {
         &self.sessions
+    }
+
+    /// Counters for reactor shard `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range (a wiring bug: shards are fixed
+    /// at pool construction).
+    pub fn shard(&self, index: usize) -> &ShardStats {
+        &self.shards[index]
+    }
+
+    /// Snapshot every shard row, tagged with its index.
+    pub fn shard_snapshots(&self) -> Vec<ShardSnapshot> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| s.snapshot(i))
+            .collect()
     }
 
     /// Record one completed job.
@@ -513,6 +699,8 @@ impl Metrics {
 pub struct MetricsSnapshot {
     /// Worker-thread count.
     pub workers: usize,
+    /// Reactor-shard count of the front-end (1 for a bare pool).
+    pub reactors: usize,
     /// Queue capacity (backpressure bound).
     pub queue_capacity: usize,
     /// Deepest the queue has ever been.
@@ -525,10 +713,12 @@ pub struct MetricsSnapshot {
     pub latency: HistogramSnapshot,
     /// Modelled RISCY cycles executed by each worker.
     pub worker_cycles: Vec<u64>,
-    /// Connection front-end counters (zero for a bare pool).
+    /// Connection front-end aggregate counters (zero for a bare pool).
     pub frontend: FrontendSnapshot,
-    /// Session-layer counters (zero for a bare pool).
+    /// Session-layer aggregate counters (zero for a bare pool).
     pub sessions: SessionSnapshot,
+    /// Per-reactor-shard breakdown (one row even for a bare pool).
+    pub shards: Vec<ShardSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -560,12 +750,32 @@ impl MetricsSnapshot {
         }
     }
 
+    /// The front-end makespan: the busiest shard's accumulated busy CPU
+    /// time in ns. The front-end analogue of [`Self::makespan_cycles`] —
+    /// with one core per shard, the I/O plane finishes when the busiest
+    /// shard does. 0 when the host has no per-thread CPU clock.
+    pub fn frontend_busy_ns_max(&self) -> u64 {
+        self.shards.iter().map(|s| s.busy_ns).max().unwrap_or(0)
+    }
+
+    /// Reply frames flushed per second of busiest-shard CPU time: the
+    /// completions/s headline the reactor-scaling gate compares across
+    /// `--reactors` counts. 0 when busy-time accounting is unavailable.
+    pub fn frontend_frames_per_busy_sec(&self) -> f64 {
+        let busy = self.frontend_busy_ns_max();
+        if busy == 0 {
+            0.0
+        } else {
+            self.frontend.frames_flushed as f64 * 1e9 / busy as f64
+        }
+    }
+
     /// Human-readable multi-line report.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "workers: {}  queue: capacity {} / high-water {}\n",
-            self.workers, self.queue_capacity, self.queue_high_water
+            "workers: {}  reactors: {}  queue: capacity {} / high-water {}\n",
+            self.workers, self.reactors, self.queue_capacity, self.queue_high_water
         ));
         for op in Op::ALL {
             out.push_str(&format!(
@@ -607,6 +817,26 @@ impl MetricsSnapshot {
             self.latency.max_micros
         ));
         out.push_str(&format!(
+            "writes: {} writev calls, {} frames flushed ({:.2} frames/flush)\n",
+            self.frontend.writev_calls,
+            self.frontend.frames_flushed,
+            self.frontend.frames_per_flush(),
+        ));
+        for s in &self.shards {
+            out.push_str(&format!(
+                "  shard {}: conns open {} / accepted {}, completions {}, \
+                 frames {} in {} writev, sessions {}, busy {:.1} ms\n",
+                s.shard,
+                s.conns_open,
+                s.conns_accepted,
+                s.completions,
+                s.frames_flushed,
+                s.writev_calls,
+                s.sessions_open,
+                s.busy_ns as f64 / 1e6,
+            ));
+        }
+        out.push_str(&format!(
             "modelled cycles: makespan {} (busiest worker), total {}, {:.2} req/Mcycle\n",
             self.makespan_cycles(),
             self.total_cycles(),
@@ -616,15 +846,23 @@ impl MetricsSnapshot {
     }
 
     /// JSON object (the `STATS` reply payload and `--json` building block).
+    ///
+    /// Aggregate objects (`frontend`, `sessions`) render *before* the
+    /// per-shard array, and shard keys carry a `shard_` prefix, so
+    /// first-match key scanners keep finding the aggregate values.
     pub fn to_json(&self) -> String {
         let cycles: Vec<String> = self.worker_cycles.iter().map(u64::to_string).collect();
+        let shards: Vec<String> = self.shards.iter().map(ShardSnapshot::to_json).collect();
         format!(
-            "{{\"workers\": {}, \"queue_capacity\": {}, \"queue_high_water\": {}, \
+            "{{\"workers\": {}, \"reactors\": {}, \"queue_capacity\": {}, \
+             \"queue_high_water\": {}, \
              \"requests\": {{\"keygen\": {}, \"encaps\": {}, \"decaps\": {}}}, \
              \"errors\": {}, \"frontend\": {}, \"sessions\": {}, \"latency\": {}, \
              \"worker_cycles\": [{}], \"makespan_cycles\": {}, \"total_cycles\": {}, \
-             \"requests_per_mcycle\": {:.4}}}",
+             \"requests_per_mcycle\": {:.4}, \"frontend_busy_ns_max\": {}, \
+             \"frontend_frames_per_busy_sec\": {:.1}, \"shards\": [{}]}}",
             self.workers,
+            self.reactors,
             self.queue_capacity,
             self.queue_high_water,
             self.requests[0],
@@ -638,6 +876,9 @@ impl MetricsSnapshot {
             self.makespan_cycles(),
             self.total_cycles(),
             self.requests_per_mcycle(),
+            self.frontend_busy_ns_max(),
+            self.frontend_frames_per_busy_sec(),
+            shards.join(", "),
         )
     }
 }
@@ -719,6 +960,7 @@ mod tests {
     fn snapshot_json_and_text_render() {
         let snap = MetricsSnapshot {
             workers: 4,
+            reactors: 2,
             queue_capacity: 64,
             queue_high_water: 17,
             requests: [1, 2, 3],
@@ -734,6 +976,8 @@ mod tests {
                 timeouts_idle: 1,
                 timeouts_read: 0,
                 timeouts_write: 0,
+                writev_calls: 6,
+                frames_flushed: 18,
             },
             sessions: SessionSnapshot {
                 open: 3,
@@ -745,28 +989,89 @@ mod tests {
                 tag_failures: 0,
                 messages: 42,
             },
+            shards: vec![
+                ShardSnapshot {
+                    shard: 0,
+                    conns_accepted: 5,
+                    conns_open: 1,
+                    completions: 3,
+                    writev_calls: 4,
+                    frames_flushed: 12,
+                    sessions_open: 2,
+                    busy_ns: 2_000_000,
+                },
+                ShardSnapshot {
+                    shard: 1,
+                    conns_accepted: 4,
+                    conns_open: 1,
+                    completions: 3,
+                    writev_calls: 2,
+                    frames_flushed: 6,
+                    sessions_open: 1,
+                    busy_ns: 3_000_000,
+                },
+            ],
         };
         assert_eq!(snap.total_requests(), 6);
         assert_eq!(snap.makespan_cycles(), 400);
         assert_eq!(snap.total_cycles(), 750);
         assert!((snap.requests_per_mcycle() - 6.0 * 1e6 / 400.0).abs() < 1e-9);
+        assert_eq!(snap.frontend_busy_ns_max(), 3_000_000);
+        assert!((snap.frontend_frames_per_busy_sec() - 18.0 * 1e9 / 3e6).abs() < 1e-6);
+        assert!((snap.frontend.frames_per_flush() - 3.0).abs() < 1e-9);
         let json = snap.to_json();
         for needle in [
             "\"workers\": 4",
+            "\"reactors\": 2",
             "\"queue_high_water\": 17",
             "\"encaps\": 2",
             "\"makespan_cycles\": 400",
             "\"shed_busy\": 5",
             "\"conns_accepted\": 9",
+            "\"writev_calls\": 6",
+            "\"frames_per_flush\": 3.00",
             "\"p999_us\": 0.0",
             "\"rekeys\": 4",
             "\"replay_drops\": 1",
+            "\"shard\": 1",
+            "\"shard_busy_ns\": 3000000",
+            "\"frontend_busy_ns_max\": 3000000",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
+        // First-match scanners must hit the aggregate before any shard row.
+        assert!(json.find("\"conns_accepted\": 9").unwrap() < json.find("\"shard\": 0").unwrap());
         assert!(snap.to_text().contains("high-water 17"));
+        assert!(snap.to_text().contains("reactors: 2"));
         assert!(snap.to_text().contains("shed(BUSY) 5"));
         assert!(snap.to_text().contains("rekeys 4"));
+        assert!(snap.to_text().contains("shard 1:"));
+    }
+
+    #[test]
+    fn shard_stats_gauges_and_counters() {
+        let m = Metrics::with_reactors(2);
+        m.shard(0).conn_opened();
+        m.shard(0).conn_opened();
+        m.shard(0).conn_closed();
+        m.shard(1).completions(5);
+        m.shard(1).writev(3);
+        m.shard(1).writev(1);
+        m.shard(0).session_opened();
+        m.shard(0).session_closed();
+        m.shard(1).set_busy_ns(42);
+        m.shard(1).set_busy_ns(99);
+        let rows = m.shard_snapshots();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].shard, 0);
+        assert_eq!(rows[0].conns_accepted, 2);
+        assert_eq!(rows[0].conns_open, 1);
+        assert_eq!(rows[0].sessions_open, 0);
+        assert_eq!(rows[1].completions, 5);
+        assert_eq!(rows[1].writev_calls, 2);
+        assert_eq!(rows[1].frames_flushed, 4);
+        assert_eq!(rows[1].busy_ns, 99, "set_busy_ns stores totals");
+        assert!(rows[1].to_json().contains("\"shard_frames_flushed\": 4"));
     }
 
     #[test]
@@ -840,8 +1145,14 @@ mod tests {
         f.timeout_idle();
         f.timeout_read();
         f.timeout_write();
+        f.writev(3);
+        f.writev(2);
         let s = f.snapshot();
         assert_eq!(s.conns_open, 1);
+        assert_eq!(f.open_now(), 1);
+        assert_eq!(s.writev_calls, 2);
+        assert_eq!(s.frames_flushed, 5);
+        assert!((s.frames_per_flush() - 2.5).abs() < 1e-9);
         assert_eq!(s.conns_accepted, 2);
         assert_eq!(s.conns_rejected, 1);
         assert_eq!(s.accept_throttled, 1);

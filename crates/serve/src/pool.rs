@@ -145,6 +145,12 @@ impl Reply {
 pub struct ServeConfig {
     /// Worker-thread count (≥ 1).
     pub workers: usize,
+    /// Reactor-shard count for the front-end (≥ 1): each shard is its own
+    /// event-loop thread owning a disjoint set of connections, its own
+    /// parker/waker, its own completion channel and its own slice of the
+    /// session table. Connections are dealt round-robin at accept time
+    /// and never migrate.
+    pub reactors: usize,
     /// Bounded-queue capacity: producers block once this many jobs wait.
     /// The event-driven server never blocks — it sheds with `BUSY` instead.
     pub queue_capacity: usize,
@@ -188,6 +194,7 @@ impl Default for ServeConfig {
     fn default() -> Self {
         Self {
             workers: 4,
+            reactors: 1,
             queue_capacity: 64,
             seed: [0u8; 32],
             warm_iss: true,
@@ -472,7 +479,7 @@ impl ServePool {
     pub fn new(config: ServeConfig) -> Self {
         assert!(config.workers > 0, "pool needs at least one worker");
         let queue = Arc::new(BoundedQueue::new(config.queue_capacity));
-        let metrics = Arc::new(Metrics::new());
+        let metrics = Arc::new(Metrics::with_reactors(config.reactors.max(1)));
         let worker_cycles: Arc<Vec<AtomicU64>> =
             Arc::new((0..config.workers).map(|_| AtomicU64::new(0)).collect());
         let root = Sha256CtrRng::from_seed(config.seed);
@@ -606,6 +613,7 @@ impl ServePool {
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             workers: self.config.workers,
+            reactors: self.config.reactors.max(1),
             queue_capacity: self.queue.capacity(),
             queue_high_water: self.queue.high_water_mark(),
             requests: [
@@ -618,6 +626,7 @@ impl ServePool {
             worker_cycles: self.worker_cycle_totals(),
             frontend: self.metrics.frontend().snapshot(),
             sessions: self.metrics.sessions().snapshot(),
+            shards: self.metrics.shard_snapshots(),
         }
     }
 

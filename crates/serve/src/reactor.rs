@@ -6,18 +6,24 @@
 //! module adds on top of raw `std::net` is the glue that makes an event
 //! loop out of that:
 //!
-//! - [`try_read`] / [`try_write`] / [`try_accept`] classify nonblocking
-//!   socket results into an [`IoStatus`] the connection state machine can
-//!   match on (`Ready` / `NotReady` / `Closed` / `Failed`), folding away
-//!   `EINTR` and the `WouldBlock` dance.
+//! - [`try_read`] / [`try_write`] / [`try_write_vectored`] /
+//!   [`try_accept`] classify nonblocking socket results into an
+//!   [`IoStatus`] the connection state machine can match on (`Ready` /
+//!   `NotReady` / `Closed` / `Failed`), folding away `EINTR` and the
+//!   `WouldBlock` dance; the vectored form lets a shard flush many queued
+//!   reply frames in one syscall.
 //! - [`Parker`] / [`Waker`] implement the wakeup channel with the
 //!   fiber-parking idiom (the shape r2vm uses to schedule its fibers):
 //!   the reactor thread parks between passes; any thread holding a
 //!   [`Waker`] — here, pool workers finishing a routed job — unparks it.
 //!   `unpark` on a thread that is not parked makes its *next* park return
 //!   immediately, so a wakeup raced against the reactor's own pass is
-//!   never lost; the park timeout bounds timer latency.
+//!   never lost; the park timeout bounds timer latency. With sharded
+//!   reactors every shard has its *own* parker, and workers wake only the
+//!   shard that owns the completed job's connection.
 //! - [`TokenBucket`] meters the accept rate.
+//! - [`thread_cpu_ns`] reads the calling thread's CPU clock, the basis of
+//!   per-shard busy-time accounting (front-end scaling numbers).
 
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -63,12 +69,67 @@ pub fn try_write(stream: &mut TcpStream, buf: &[u8]) -> IoStatus {
     }
 }
 
+/// Attempt a nonblocking vectored write: one syscall pushing as much of
+/// the slice sequence as the socket will take. The caller guarantees the
+/// slices hold at least one byte in total, so a 0-byte result means the
+/// peer is gone (same contract as [`try_write`]).
+pub fn try_write_vectored(stream: &mut TcpStream, bufs: &[io::IoSlice<'_>]) -> IoStatus {
+    match stream.write_vectored(bufs) {
+        Ok(0) => IoStatus::Closed,
+        Ok(n) => IoStatus::Ready(n),
+        Err(e) => classify(&e),
+    }
+}
+
 /// Attempt a nonblocking accept. `Ready` carries the new stream.
 pub fn try_accept(listener: &TcpListener) -> Result<TcpStream, IoStatus> {
     match listener.accept() {
         Ok((stream, _peer)) => Ok(stream),
         Err(e) => Err(classify(&e)),
     }
+}
+
+/// CPU time consumed by the *calling thread*, in nanoseconds.
+///
+/// This is what shard-scaling numbers are built from: on a host with
+/// fewer cores than reactor shards the shards timeshare, so wall-clock
+/// throughput cannot show the parallelism — but per-thread CPU time
+/// attributes each shard's work to that shard regardless of scheduling,
+/// and `completions / busiest-shard CPU` is the front-end analogue of the
+/// pool's modelled `requests / busiest-worker cycles` makespan metric.
+///
+/// Implemented as a raw `clock_gettime(CLOCK_THREAD_CPUTIME_ID)` syscall
+/// on x86-64 Linux (the workspace carries no libc crate; same approach as
+/// the JIT's `mmap`). Unsupported hosts return 0 and the scaling metric
+/// degrades to "unavailable" rather than lying with wall time.
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+pub fn thread_cpu_ns() -> u64 {
+    const SYS_CLOCK_GETTIME: isize = 228;
+    const CLOCK_THREAD_CPUTIME_ID: usize = 3;
+    let mut ts = [0i64; 2]; // { tv_sec, tv_nsec }
+    let ret: isize;
+    unsafe {
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") SYS_CLOCK_GETTIME => ret,
+            in("rdi") CLOCK_THREAD_CPUTIME_ID,
+            in("rsi") ts.as_mut_ptr(),
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    if ret != 0 {
+        return 0;
+    }
+    (ts[0] as u64).saturating_mul(1_000_000_000) + ts[1] as u64
+}
+
+/// Fallback for hosts without the raw-syscall path: no per-thread CPU
+/// clock, so shard busy-time accounting reports 0 ("unavailable").
+#[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
+pub fn thread_cpu_ns() -> u64 {
+    0
 }
 
 /// A handle that wakes a parked [`Parker`] thread. Cheap to clone; safe
@@ -225,6 +286,41 @@ mod tests {
                 }
                 other => panic!("expected Closed, got {other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn vectored_write_moves_multiple_slices() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut peer = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (mut accepted, _) = listener.accept().unwrap();
+        accepted.set_nonblocking(true).unwrap();
+        let parts: [&[u8]; 3] = [b"one", b"two2", b"three33"];
+        let slices: Vec<io::IoSlice> = parts.iter().map(|p| io::IoSlice::new(p)).collect();
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        match try_write_vectored(&mut accepted, &slices) {
+            IoStatus::Ready(n) => assert!(n > 0 && n <= total, "wrote {n}"),
+            other => panic!("expected Ready, got {other:?}"),
+        }
+        let mut buf = vec![0u8; total];
+        peer.read_exact(&mut buf).unwrap();
+        assert_eq!(buf, b"onetwo2three33");
+    }
+
+    #[test]
+    fn thread_cpu_clock_monotonic_and_charges_work() {
+        let t0 = thread_cpu_ns();
+        // Burn a little CPU; the clock must advance (x86-64 Linux) or stay
+        // pinned at the 0 fallback (other hosts) — never go backwards.
+        let mut acc = 0u64;
+        for i in 0..200_000u64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        std::hint::black_box(acc);
+        let t1 = thread_cpu_ns();
+        assert!(t1 >= t0, "thread CPU clock went backwards: {t0} -> {t1}");
+        if cfg!(all(target_arch = "x86_64", target_os = "linux")) {
+            assert!(t1 > 0, "CPU clock should be available on this host");
         }
     }
 

@@ -1,57 +1,86 @@
-//! The TCP front-end: a single-threaded, readiness-driven event loop.
+//! The TCP front-end: sharded, readiness-driven event loops.
 //!
-//! One reactor thread owns the listener and every connection socket, all
-//! nonblocking. Each connection is a state machine: an incremental
-//! [`FrameDecoder`] turns whatever bytes the kernel has into request
-//! frames, KEM jobs go to the [`ServePool`] through the nonblocking
-//! [`ServePool::try_submit`], and finished jobs come back over a
-//! completion channel that unparks the reactor (see [`crate::reactor`]).
-//! Replies queue in per-connection *slots* in request order — a slot is
-//! reserved when the request is read and filled when its job completes —
-//! so pipelined responses always leave in the order the requests arrived,
-//! no matter which worker finished first. That per-connection ordering is
-//! what keeps bench digests byte-identical across worker counts and
-//! connection interleavings.
+//! The server runs `ServeConfig::reactors` **shards**. Each shard is its
+//! own event-loop thread owning a *disjoint* set of connections, with its
+//! own [`Parker`]/completion channel, its own timeout scan and its own
+//! slice of the session table — the hot path never takes a cross-shard
+//! lock. Shard 0 additionally owns the listener: accepted sockets are
+//! dealt round-robin into per-shard registration queues (followed by a
+//! wake of the target shard) and never migrate afterwards. Each
+//! connection is a state machine: an incremental [`FrameDecoder`] turns
+//! whatever bytes the kernel has into request frames, KEM jobs go to the
+//! [`ServePool`] through the nonblocking [`ServePool::try_submit`], and
+//! finished jobs come back over the *owning shard's* completion channel,
+//! which unparks just that shard (see [`crate::reactor`]). Replies queue
+//! in per-connection *slots* in request order — a slot is reserved when
+//! the request is read and filled when its job completes — so pipelined
+//! responses always leave in the order the requests arrived, no matter
+//! which worker finished first. That per-connection ordering is what
+//! keeps bench digests byte-identical across worker counts, reactor
+//! counts and connection interleavings.
 //!
-//! **Overload shedding.** The reactor never blocks on the pool: when the
-//! job queue is full, the request is answered immediately with a `BUSY`
-//! status (counted in `shed_busy`) instead of stalling the accept loop —
+//! **Vectored flushes.** Completed reply slots are promoted whole (the
+//! encoded frame `Vec` moves, no copy) into a per-connection frame queue,
+//! and the queue's ready prefix drains through a single
+//! [`reactor::try_write_vectored`] call — one syscall retiring many
+//! pipelined replies. `writev_calls` / `frames_flushed` counters (global
+//! and per shard) make the coalescing ratio observable.
+//!
+//! **Session sharding.** Sessions live on the shard that owns the
+//! connection that opened them, in a per-shard [`SessionTable`] slice of
+//! `session_capacity / reactors` entries. Assigned ids stride by the
+//! shard count (`shard + 1`, `shard + 1 + N`, …) so id spaces are
+//! disjoint and a session id presented on another shard's connection is
+//! simply "unknown" — session state never migrates and never needs a
+//! cross-shard lookup.
+//!
+//! **Overload shedding.** A shard never blocks on the pool: when the job
+//! queue is full, the request is answered immediately with a `BUSY`
+//! status (counted in `shed_busy`) instead of stalling the loop —
 //! closed-loop clients with at most `queue_capacity` outstanding requests
 //! never see it. The rest of the operational envelope is enforced here
 //! too, every limit a [`ServeConfig`] knob and a metrics counter:
-//! connection cap (`max_conns`, excess accepts closed), accept-rate
-//! limiting (token bucket), idle / mid-frame-read / write-progress
-//! timeouts, and per-connection write backpressure (reading pauses while
-//! the write buffer is over `max_write_buffer`).
+//! connection cap (`max_conns`, global across shards, excess accepts
+//! closed), accept-rate limiting (token bucket on the accepting shard),
+//! idle / mid-frame-read / write-progress timeouts (scanned per shard),
+//! and per-connection write backpressure (reading pauses while the write
+//! queue is over `max_write_buffer`).
 //!
-//! **Graceful drain.** A `SHUTDOWN` frame is acknowledged with `bye`, the
-//! listener stops accepting, connections stop reading, and the loop keeps
-//! routing completions and flushing until every connection has emptied
-//! its slots (or `drain_ms` expires). Only then is the pool shut down and
-//! the final snapshot taken.
+//! **Graceful drain.** A `SHUTDOWN` frame can arrive on *any* shard: it
+//! is acknowledged with `bye` there, and a shared drain flag (plus a
+//! broadcast wake) tells every other shard to stop reading, flush what it
+//! owes and exit once its own connections have emptied their slots (or
+//! `drain_ms` expires). Only after every shard has exited is the pool
+//! shut down and the final snapshot taken.
 
-use crate::metrics::MetricsSnapshot;
+use crate::metrics::{FrontendStats, MetricsSnapshot, ShardStats};
 use crate::pool::{
     Completion, Job, JobKind, Reply, ReplySink, ServeConfig, ServePool, SubmitError, WarmReport,
 };
-use crate::reactor::{self, IoStatus, Parker, TokenBucket};
+use crate::reactor::{self, IoStatus, Parker, TokenBucket, Waker};
 use crate::session::{self, Direction, SessionFrame, SessionState, SessionTable};
 use crate::wire::{self, frame_to_job, FrameDecoder, Opcode, RequestFrame, ResponseFrame};
 use crate::{params_from_code, BackendKind};
 use std::collections::{HashMap, VecDeque};
+use std::io::IoSlice;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::{mpsc, Arc};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Read-chunk size per socket attempt.
 const READ_CHUNK: usize = 16 * 1024;
 /// Max read chunks per connection per pass (fairness bound).
 const READ_ROUNDS: usize = 4;
-/// Reactor park bound between passes: the timer granularity for
+/// Shard park bound between passes: the timer granularity for
 /// timeouts and accept-token refill when no wakeups arrive.
 const PARK: Duration = Duration::from_millis(1);
 /// Throttled accepts held for later admission before excess is refused.
 const MAX_PENDING_ACCEPTS: usize = 64;
+/// Max frames gathered into one vectored flush (IOV_MAX is 1024 on
+/// Linux; 64 keeps the slice array cheap while still coalescing deep
+/// pipelines).
+const MAX_WRITE_IOV: usize = 64;
 
 /// A bound-but-not-yet-running KEM server.
 pub struct Server {
@@ -92,15 +121,100 @@ impl Server {
         self.pool.warm_report()
     }
 
-    /// Run the event loop until a `SHUTDOWN` frame arrives and the drain
-    /// completes, then shut the pool down and return the final snapshot
-    /// (taken after the drain, so it includes every executed job).
+    /// Run the sharded event loops until a `SHUTDOWN` frame arrives (on
+    /// any shard) and every shard's drain completes, then shut the pool
+    /// down and return the final snapshot (taken after the drain, so it
+    /// includes every executed job). Shard 0 runs on the calling thread;
+    /// shards 1..N on their own threads.
     pub fn run(self) -> MetricsSnapshot {
-        EventLoop::new(self.listener, self.pool).run()
+        let reactors = self.pool.config().reactors.max(1);
+        let control = Arc::new(ShardControl::new(reactors));
+        let mut reg_txs = Vec::with_capacity(reactors);
+        let mut reg_rxs = Vec::with_capacity(reactors);
+        for _ in 0..reactors {
+            let (tx, rx) = mpsc::channel::<TcpStream>();
+            reg_txs.push(tx);
+            reg_rxs.push(Some(rx));
+        }
+        let mut handles = Vec::new();
+        for (shard, slot) in reg_rxs.iter_mut().enumerate().skip(1) {
+            let reg_rx = slot.take().expect("each shard taken once");
+            let pool = Arc::clone(&self.pool);
+            let control = Arc::clone(&control);
+            let handle = std::thread::Builder::new()
+                .name(format!("lac-serve-shard-{shard}"))
+                .spawn(move || {
+                    // Constructed on its own thread so the parker parks
+                    // the right thread.
+                    EventLoop::new(shard, None, reg_rx, Vec::new(), pool, control).run();
+                })
+                .expect("spawn reactor shard");
+            handles.push(handle);
+        }
+        let reg_rx = reg_rxs[0].take().expect("shard 0 taken once");
+        let pool = Arc::clone(&self.pool);
+        EventLoop::new(0, Some(self.listener), reg_rx, reg_txs, pool, control).run();
+        for handle in handles {
+            let _ = handle.join();
+        }
+        // Every shard has exited: drain the queue and join every worker
+        // *before* the snapshot, so the final report covers all executed
+        // work.
+        self.pool.shutdown();
+        self.pool.snapshot()
     }
 }
 
-/// Serialize a response frame to bytes for the write buffer.
+/// Cross-shard coordination: the drain flag and a waker registry. The
+/// only shared front-end state outside the (atomic) metrics — touched on
+/// accept routing and shutdown, never on the per-frame hot path.
+struct ShardControl {
+    draining: AtomicBool,
+    wakers: Mutex<Vec<Option<Waker>>>,
+}
+
+impl ShardControl {
+    fn new(reactors: usize) -> Self {
+        Self {
+            draining: AtomicBool::new(false),
+            wakers: Mutex::new(vec![None; reactors]),
+        }
+    }
+
+    /// Register a shard's waker (each shard does this as its loop starts).
+    fn register(&self, shard: usize, waker: Waker) {
+        self.wakers.lock().expect("waker registry poisoned")[shard] = Some(waker);
+    }
+
+    /// Wake one shard (accept routing). A shard that has not registered
+    /// yet simply finds its queue on the next park timeout.
+    fn wake(&self, shard: usize) {
+        if let Some(waker) = &self.wakers.lock().expect("waker registry poisoned")[shard] {
+            waker.wake();
+        }
+    }
+
+    /// Raise the drain flag and wake every shard so each begins its own
+    /// local drain immediately instead of on the next park timeout.
+    fn request_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        for waker in self
+            .wakers
+            .lock()
+            .expect("waker registry poisoned")
+            .iter()
+            .flatten()
+        {
+            waker.wake();
+        }
+    }
+
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+}
+
+/// Serialize a response frame to bytes for the write queue.
 fn encode(frame: &ResponseFrame) -> Vec<u8> {
     let mut bytes = Vec::with_capacity(8 + frame.payload.len());
     wire::write_response(&mut bytes, frame).expect("writing to a Vec cannot fail");
@@ -127,10 +241,15 @@ fn reply_to_response(reply: Reply) -> ResponseFrame {
 struct Conn {
     stream: TcpStream,
     decoder: FrameDecoder,
-    /// Bytes ready to write, drained by nonblocking writes.
-    wbuf: VecDeque<u8>,
+    /// Encoded reply frames ready to write, drained front-first by
+    /// vectored flushes. Frames move in whole from their reply slots.
+    wqueue: VecDeque<Vec<u8>>,
+    /// Bytes of `wqueue.front()` already written (partial-write cursor).
+    woff: usize,
+    /// Total unwritten bytes across `wqueue` (backpressure gauge).
+    wbuf_len: usize,
     /// Reply slots in request order: `Some(bytes)` is an encoded response
-    /// ready to promote into `wbuf`; `None` awaits its job's completion.
+    /// ready to promote into `wqueue`; `None` awaits its job's completion.
     slots: VecDeque<Option<Vec<u8>>>,
     /// Absolute sequence of `slots.front()`; completions address slots by
     /// `head_slot + index`, so routing is O(1) arithmetic.
@@ -144,7 +263,7 @@ struct Conn {
     write_stalled_since: Option<Instant>,
     /// Reading paused by write backpressure.
     paused: bool,
-    /// Stop reading; close once slots and write buffer drain (peer EOF,
+    /// Stop reading; close once slots and write queue drain (peer EOF,
     /// shutdown ack, server drain).
     closing: bool,
     /// Remove this connection at the next opportunity.
@@ -156,7 +275,9 @@ impl Conn {
         Self {
             stream,
             decoder: FrameDecoder::new(),
-            wbuf: VecDeque::new(),
+            wqueue: VecDeque::new(),
+            woff: 0,
+            wbuf_len: 0,
             slots: VecDeque::new(),
             head_slot: 0,
             inflight: 0,
@@ -202,11 +323,26 @@ struct PendingOpen {
     rekey: Option<u64>,
 }
 
-/// The reactor: owns every socket, parks between passes, and is unparked
-/// by pool workers delivering completions.
+/// One reactor shard: owns a disjoint set of sockets, parks between
+/// passes, and is unparked by pool workers delivering completions for
+/// *its* connections, by the accepting shard routing it a new connection,
+/// or by the drain broadcast.
 struct EventLoop {
-    listener: TcpListener,
+    /// This shard's index; shard 0 owns the listener.
+    shard: usize,
+    /// Total shard count (the session-id stride).
+    reactors: usize,
+    /// The accept socket (shard 0 only).
+    listener: Option<TcpListener>,
+    /// Connections routed here by the accepting shard.
+    reg_rx: mpsc::Receiver<TcpStream>,
+    /// Registration queues to every shard (accepting shard only; empty
+    /// elsewhere).
+    reg_txs: Vec<mpsc::Sender<TcpStream>>,
+    /// Round-robin cursor over shards for accept routing.
+    next_rr: usize,
     pool: Arc<ServePool>,
+    control: Arc<ShardControl>,
     conns: HashMap<u64, Conn>,
     next_id: u64,
     pending_accepts: VecDeque<TcpStream>,
@@ -216,19 +352,24 @@ struct EventLoop {
     tx: mpsc::Sender<Completion>,
     rx: mpsc::Receiver<Completion>,
     parker: Parker,
-    /// Open sessions, bounded with LRU eviction. Reactor-owned: session
-    /// crypto is symmetric-only and runs inline; only handshake encaps
-    /// goes to the pool.
+    /// This shard's slice of the session table, bounded with LRU
+    /// eviction. Shard-owned: session crypto is symmetric-only and runs
+    /// inline; only handshake encaps goes to the pool.
     sessions: SessionTable,
     /// Handshake jobs in flight, keyed by `(conn id, reply slot)`; the
     /// completion installs (or rekeys) the session before replying.
     pending_opens: HashMap<(u64, u64), PendingOpen>,
-    /// Next session id to assign (0 is reserved as the "new session"
-    /// marker in open requests).
+    /// Next session id to assign: starts at `shard + 1` and strides by
+    /// the shard count, so id spaces are disjoint across shards (and 0
+    /// stays reserved as the "new session" marker in open requests).
     next_session_id: u64,
+    /// Accumulated CPU time of productive passes (ns).
+    busy_ns: u64,
+    /// Last timeout scan (throttled to the park granularity).
+    last_timeout_scan: Instant,
     // Knobs copied out of ServeConfig.
     session_rekey_after: u64,
-    max_conns: usize,
+    max_conns: u64,
     idle_timeout: Option<Duration>,
     read_timeout: Option<Duration>,
     write_timeout: Option<Duration>,
@@ -237,14 +378,30 @@ struct EventLoop {
 }
 
 impl EventLoop {
-    fn new(listener: TcpListener, pool: Arc<ServePool>) -> Self {
+    fn new(
+        shard: usize,
+        listener: Option<TcpListener>,
+        reg_rx: mpsc::Receiver<TcpStream>,
+        reg_txs: Vec<mpsc::Sender<TcpStream>>,
+        pool: Arc<ServePool>,
+        control: Arc<ShardControl>,
+    ) -> Self {
         let cfg = pool.config().clone();
+        let reactors = cfg.reactors.max(1);
         let (tx, rx) = mpsc::channel();
         Self {
+            shard,
+            reactors,
             listener,
+            reg_rx,
+            reg_txs,
+            next_rr: 0,
             pool,
+            control,
             conns: HashMap::new(),
-            next_id: 0,
+            // Per-shard conn ids stride by the shard count so they stay
+            // globally unique (handy in logs; routing never needs it).
+            next_id: shard as u64,
             pending_accepts: VecDeque::new(),
             accept_bucket: TokenBucket::new(cfg.accept_rps),
             draining: false,
@@ -252,16 +409,19 @@ impl EventLoop {
             tx,
             rx,
             parker: Parker::new(),
-            // Few shards so tiny capacities still evict in near-global
-            // LRU order; sequential ids round-robin across shards.
+            // Each shard holds its share of the global bound. Few
+            // internal sub-shards so tiny capacities still evict in
+            // near-global LRU order within the slice.
             sessions: SessionTable::new(
-                cfg.session_capacity.max(1),
-                cfg.session_capacity.clamp(1, 16),
+                cfg.session_capacity.max(1).div_ceil(reactors),
+                cfg.session_capacity.max(1).div_ceil(reactors).clamp(1, 16),
             ),
             pending_opens: HashMap::new(),
-            next_session_id: 1,
+            next_session_id: shard as u64 + 1,
+            busy_ns: 0,
+            last_timeout_scan: Instant::now(),
             session_rekey_after: cfg.session_rekey_after,
-            max_conns: cfg.max_conns.max(1),
+            max_conns: cfg.max_conns.max(1) as u64,
             idle_timeout: timeout(cfg.idle_timeout_ms),
             read_timeout: timeout(cfg.read_timeout_ms),
             write_timeout: timeout(cfg.write_timeout_ms),
@@ -270,12 +430,34 @@ impl EventLoop {
         }
     }
 
-    fn run(mut self) -> MetricsSnapshot {
+    /// The aggregate front-end counters (shared across shards).
+    fn frontend(&self) -> &FrontendStats {
+        self.pool.metrics().frontend()
+    }
+
+    /// This shard's own counter row.
+    fn shard_stats(&self) -> &ShardStats {
+        self.pool.metrics().shard(self.shard)
+    }
+
+    fn run(mut self) {
+        self.control.register(self.shard, self.parker.waker());
         loop {
-            let mut progress = self.route_completions();
+            let pass_cpu = reactor::thread_cpu_ns();
+            let mut progress = self.register_pass();
+            progress |= self.route_completions();
             progress |= self.accept_pass();
             progress |= self.conn_pass();
             self.timeout_pass();
+            if progress {
+                // Busy-time accounting: only passes that did work count,
+                // so idle 1 ms ticks don't dilute the scaling metric.
+                self.busy_ns += reactor::thread_cpu_ns().saturating_sub(pass_cpu);
+                self.shard_stats().set_busy_ns(self.busy_ns);
+            }
+            if !self.draining && self.control.draining() {
+                self.local_drain();
+            }
             if self.draining {
                 let expired = self.drain_deadline.is_some_and(|d| Instant::now() >= d);
                 if self.conns.is_empty() || expired {
@@ -286,22 +468,53 @@ impl EventLoop {
                 self.parker.park(PARK);
             }
         }
-        for _ in self.conns.drain() {
-            self.pool.metrics().frontend().conn_closed();
+        // Account for connections still open at the deadline, plus any
+        // that were routed here but never installed.
+        while let Ok(_stream) = self.reg_rx.try_recv() {
+            self.frontend().conn_closed();
+            self.shard_stats().conn_closed();
         }
-        // Drain the queue and join every worker *before* the snapshot, so
-        // the final report covers all executed work.
-        self.pool.shutdown();
-        self.pool.snapshot()
+        let leftover = self.conns.len();
+        self.conns.clear();
+        for _ in 0..leftover {
+            self.frontend().conn_closed();
+            self.shard_stats().conn_closed();
+        }
+        self.shard_stats().set_busy_ns(self.busy_ns);
+    }
+
+    /// Install connections the accepting shard routed here. During a
+    /// drain late registrations are dropped (the peer sees a close, the
+    /// gauges stay balanced).
+    fn register_pass(&mut self) -> bool {
+        let mut any = false;
+        while let Ok(stream) = self.reg_rx.try_recv() {
+            any = true;
+            if self.draining {
+                self.frontend().conn_closed();
+                self.shard_stats().conn_closed();
+                continue;
+            }
+            self.install(stream);
+        }
+        any
+    }
+
+    fn install(&mut self, stream: TcpStream) {
+        let id = self.next_id;
+        self.next_id += self.reactors as u64;
+        self.conns.insert(id, Conn::new(stream));
     }
 
     /// Deliver worker completions into their reserved slots. Session
     /// handshake completions pass through [`EventLoop::finish_open`],
     /// which installs or rekeys the session before the reply is encoded.
+    /// Workers wake this shard once per delivery, but a single pass here
+    /// drains the whole batch.
     fn route_completions(&mut self) -> bool {
-        let mut any = false;
+        let mut routed = 0u64;
         while let Ok(Completion { conn, slot, reply }) = self.rx.try_recv() {
-            any = true;
+            routed += 1;
             // Always reclaim the pending-open entry, even when the
             // connection died in the meantime — a dead peer must not
             // leak handshake bookkeeping (and its session is never
@@ -325,7 +538,10 @@ impl EventLoop {
             c.inflight -= 1;
             c.last_activity = Instant::now();
         }
-        any
+        if routed > 0 {
+            self.shard_stats().completions(routed);
+        }
+        routed > 0
     }
 
     /// Turn a completed handshake encaps into a `SessionOpen` reply,
@@ -344,15 +560,17 @@ impl EventLoop {
         match pending.rekey {
             None => {
                 let id = self.next_session_id;
-                self.next_session_id += 1;
+                self.next_session_id += self.reactors as u64;
                 if self
                     .sessions
                     .insert(id, SessionState::new(&shared))
                     .is_some()
                 {
                     stats.evicted();
+                    self.shard_stats().session_closed();
                 }
                 stats.opened();
+                self.shard_stats().session_opened();
                 ResponseFrame::ok(session::encode_open_response(id, 0, &ct))
             }
             Some(id) => match self.sessions.get_mut(id) {
@@ -370,9 +588,10 @@ impl EventLoop {
     }
 
     /// Accept whatever the backlog holds, subject to the rate limiter and
-    /// the connection cap.
+    /// the (global) connection cap, and deal the accepted sockets
+    /// round-robin across shards. No-op on shards without the listener.
     fn accept_pass(&mut self) -> bool {
-        if self.draining {
+        if self.listener.is_none() || self.draining {
             return false;
         }
         let mut progress = false;
@@ -382,7 +601,11 @@ impl EventLoop {
             self.admit(stream);
             progress = true;
         }
-        while let Ok(stream) = reactor::try_accept(&self.listener) {
+        loop {
+            let listener = self.listener.as_ref().expect("checked above");
+            let Ok(stream) = reactor::try_accept(listener) else {
+                break;
+            };
             progress = true;
             if !self.pending_accepts.is_empty() || !self.accept_bucket.try_take() {
                 self.pool.metrics().frontend().accept_throttle();
@@ -400,12 +623,17 @@ impl EventLoop {
         progress
     }
 
+    /// Admit one accepted socket: enforce the global cap, set the socket
+    /// options, pick the owning shard round-robin and hand it over (or
+    /// install locally when this shard is the target).
     fn admit(&mut self, stream: TcpStream) {
-        if self.conns.len() >= self.max_conns {
+        // The gauge is global (shards close their own connections), so
+        // the cap reads it rather than this shard's map.
+        if self.frontend().open_now() >= self.max_conns {
             // Accept-then-close keeps the backlog moving and makes the
             // rejection observable (and countable) instead of leaving the
             // peer queued behind a full cap.
-            self.pool.metrics().frontend().conn_rejected();
+            self.frontend().conn_rejected();
             return;
         }
         if stream.set_nonblocking(true).is_err() {
@@ -414,13 +642,26 @@ impl EventLoop {
         // Request/response framing means Nagle + delayed ACK would add
         // ~40 ms to every closed-loop round trip.
         stream.set_nodelay(true).ok();
-        let id = self.next_id;
-        self.next_id += 1;
-        self.pool.metrics().frontend().conn_opened();
-        self.conns.insert(id, Conn::new(stream));
+        let target = self.next_rr % self.reactors;
+        self.next_rr += 1;
+        self.frontend().conn_opened();
+        self.pool.metrics().shard(target).conn_opened();
+        if target == self.shard {
+            self.install(stream);
+        } else {
+            match self.reg_txs[target].send(stream) {
+                Ok(()) => self.control.wake(target),
+                Err(_) => {
+                    // The shard exited (drain lost the race); balance the
+                    // gauges and drop the socket.
+                    self.frontend().conn_closed();
+                    self.pool.metrics().shard(target).conn_closed();
+                }
+            }
+        }
     }
 
-    /// One read + flush round over every connection.
+    /// One read + flush round over every connection this shard owns.
     fn conn_pass(&mut self) -> bool {
         let mut progress = false;
         let ids: Vec<u64> = self.conns.keys().copied().collect();
@@ -431,9 +672,15 @@ impl EventLoop {
                 continue;
             };
             progress |= self.read_conn(id, &mut conn);
-            progress |= flush_conn(&mut conn, self.max_write_buffer);
+            progress |= flush_conn(
+                &mut conn,
+                self.max_write_buffer,
+                self.pool.metrics().frontend(),
+                self.pool.metrics().shard(self.shard),
+            );
             if conn.dead {
-                self.pool.metrics().frontend().conn_closed();
+                self.frontend().conn_closed();
+                self.shard_stats().conn_closed();
             } else {
                 self.conns.insert(id, conn);
             }
@@ -507,7 +754,11 @@ impl EventLoop {
             Opcode::Shutdown => {
                 conn.push_ready(&ResponseFrame::ok(b"bye".to_vec()));
                 conn.closing = true;
-                self.begin_drain();
+                // Any shard can receive the shutdown: raise the shared
+                // flag (waking the others), then drain locally right away
+                // so the rest of this pass already observes it.
+                self.control.request_drain();
+                self.local_drain();
             }
             // BATCH: an Ok header frame with the item count, then one
             // frame per item in item order. Malformed items get per-item
@@ -562,6 +813,8 @@ impl EventLoop {
             // Authenticate the rekey against the session's *current*
             // epoch before spending pool work on it. A failure leaves
             // the session open: the frame never carried valid traffic.
+            // A session owned by another shard is simply unknown here —
+            // session state never migrates.
             let Some(state) = self.sessions.get_mut(target) else {
                 conn.push_ready(&ResponseFrame::error(format!("unknown session {target}")));
                 return;
@@ -638,6 +891,7 @@ impl EventLoop {
         let Some(plain) = session::open(&keys.to_server, Direction::ToServer, &parsed) else {
             self.sessions.remove(id);
             self.pool.metrics().sessions().tag_failure_closed();
+            self.shard_stats().session_closed();
             conn.push_ready(&ResponseFrame::error(format!(
                 "session {id}: tag mismatch (session closed)"
             )));
@@ -654,6 +908,7 @@ impl EventLoop {
         if close {
             self.sessions.remove(id);
             self.pool.metrics().sessions().closed();
+            self.shard_stats().session_closed();
             conn.push_ready(&ResponseFrame::ok(Vec::new()));
             return;
         }
@@ -683,7 +938,7 @@ impl EventLoop {
     }
 
     /// Reserve a reply slot and hand a KEM frame to the pool; shed with
-    /// `BUSY` when the queue is full instead of blocking the reactor.
+    /// `BUSY` when the queue is full instead of blocking the shard.
     fn submit_frame(&mut self, id: u64, conn: &mut Conn, frame: &RequestFrame) {
         let job = match frame_to_job(frame) {
             Ok(job) => job,
@@ -711,9 +966,16 @@ impl EventLoop {
         }
     }
 
-    /// Enforce idle / read / write timeouts and reap the losers.
+    /// Enforce idle / read / write timeouts over this shard's connections
+    /// and reap the losers. Scans are throttled to the park granularity —
+    /// the shard's cheap stand-in for a timer wheel, bounding scan work
+    /// to one pass per timer tick no matter how busy the loop is.
     fn timeout_pass(&mut self) {
         let now = Instant::now();
+        if now.duration_since(self.last_timeout_scan) < PARK {
+            return;
+        }
+        self.last_timeout_scan = now;
         let mut reap = Vec::new();
         for (&id, conn) in self.conns.iter_mut() {
             if conn.dead {
@@ -735,7 +997,7 @@ impl EventLoop {
                 reap.push(id);
             } else if self.idle_timeout.is_some_and(|t| {
                 conn.slots.is_empty()
-                    && conn.wbuf.is_empty()
+                    && conn.wbuf_len == 0
                     && !conn.closing
                     && now - conn.last_activity > t
             }) {
@@ -745,13 +1007,17 @@ impl EventLoop {
         }
         for id in reap {
             self.conns.remove(&id);
-            self.pool.metrics().frontend().conn_closed();
+            self.frontend().conn_closed();
+            self.shard_stats().conn_closed();
         }
     }
 
-    /// Enter graceful drain: ack'd already by the caller; stop accepting,
-    /// stop reading, let in-flight work complete and flush.
-    fn begin_drain(&mut self) {
+    /// Enter this shard's graceful drain: stop accepting (if it owns the
+    /// listener), stop reading, let in-flight work complete and flush.
+    /// Triggered by a local `SHUTDOWN` frame or by another shard's via
+    /// the shared flag — each shard runs its own deadline, so no shard
+    /// assumes it can observe the others' connections.
+    fn local_drain(&mut self) {
         if self.draining {
             return;
         }
@@ -764,25 +1030,52 @@ impl EventLoop {
     }
 }
 
-/// Promote completed reply slots into the write buffer (strictly in
-/// request order) and push bytes to the socket; manage backpressure and
-/// close-after-flush.
-fn flush_conn(conn: &mut Conn, max_write_buffer: usize) -> bool {
+/// Promote completed reply slots into the write queue (strictly in
+/// request order) and drain the queue's ready prefix through vectored
+/// writes — one syscall for up to [`MAX_WRITE_IOV`] frames; manage
+/// backpressure and close-after-flush.
+fn flush_conn(
+    conn: &mut Conn,
+    max_write_buffer: usize,
+    frontend: &FrontendStats,
+    shard: &ShardStats,
+) -> bool {
     if conn.dead {
         return false;
     }
     while matches!(conn.slots.front(), Some(Some(_))) {
         let bytes = conn.slots.pop_front().flatten().expect("front is ready");
         conn.head_slot += 1;
-        conn.wbuf.extend(bytes);
+        conn.wbuf_len += bytes.len();
+        conn.wqueue.push_back(bytes);
     }
     let mut progress = false;
-    while !conn.wbuf.is_empty() {
-        let (head, _) = conn.wbuf.as_slices();
-        match reactor::try_write(&mut conn.stream, head) {
-            IoStatus::Ready(n) => {
+    while conn.wbuf_len > 0 {
+        let mut slices: Vec<IoSlice> = Vec::with_capacity(conn.wqueue.len().min(MAX_WRITE_IOV));
+        for (i, frame) in conn.wqueue.iter().take(MAX_WRITE_IOV).enumerate() {
+            let start = if i == 0 { conn.woff } else { 0 };
+            slices.push(IoSlice::new(&frame[start..]));
+        }
+        match reactor::try_write_vectored(&mut conn.stream, &slices) {
+            IoStatus::Ready(mut n) => {
                 progress = true;
-                conn.wbuf.drain(..n);
+                conn.wbuf_len -= n;
+                let mut retired = 0u64;
+                while n > 0 {
+                    let remaining =
+                        conn.wqueue.front().expect("bytes imply a frame").len() - conn.woff;
+                    if n >= remaining {
+                        n -= remaining;
+                        conn.woff = 0;
+                        conn.wqueue.pop_front();
+                        retired += 1;
+                    } else {
+                        conn.woff += n;
+                        n = 0;
+                    }
+                }
+                frontend.writev(retired);
+                shard.writev(retired);
                 conn.write_stalled_since = None;
                 conn.last_activity = Instant::now();
             }
@@ -796,17 +1089,17 @@ fn flush_conn(conn: &mut Conn, max_write_buffer: usize) -> bool {
             }
         }
     }
-    if conn.wbuf.is_empty() {
+    if conn.wbuf_len == 0 {
         conn.write_stalled_since = None;
     }
     if conn.paused {
-        if conn.wbuf.len() <= max_write_buffer / 2 {
+        if conn.wbuf_len <= max_write_buffer / 2 {
             conn.paused = false;
         }
-    } else if conn.wbuf.len() > max_write_buffer {
+    } else if conn.wbuf_len > max_write_buffer {
         conn.paused = true;
     }
-    if conn.closing && conn.wbuf.is_empty() && conn.slots.is_empty() {
+    if conn.closing && conn.wbuf_len == 0 && conn.slots.is_empty() {
         conn.dead = true;
     }
     progress
@@ -868,6 +1161,7 @@ mod tests {
         assert!(stats.contains("\"decaps\": 2"), "{stats}");
         assert!(stats.contains("\"errors\": 0"), "{stats}");
         assert!(stats.contains("\"conns_open\": 1"), "{stats}");
+        assert!(stats.contains("\"reactors\": 1"), "{stats}");
 
         client.shutdown().expect("shutdown");
         let final_snapshot = handle.join().expect("server thread");
@@ -875,6 +1169,9 @@ mod tests {
         assert_eq!(final_snapshot.errors, 0);
         assert_eq!(final_snapshot.frontend.conns_accepted, 1);
         assert_eq!(final_snapshot.frontend.conns_open, 0);
+        // Every reply frame left through a vectored flush.
+        assert!(final_snapshot.frontend.writev_calls >= 1);
+        assert!(final_snapshot.frontend.frames_flushed >= 6);
     }
 
     #[test]
@@ -1167,5 +1464,135 @@ mod tests {
         let snap = handle.join().expect("server");
         assert!(snap.frontend.conns_rejected >= 1, "{:?}", snap.frontend);
         assert_eq!(snap.frontend.conns_open, 0);
+    }
+
+    #[test]
+    fn shards_deal_connections_round_robin() {
+        let (addr, handle) = spawn_with(ServeConfig {
+            workers: 1,
+            reactors: 2,
+            queue_capacity: 8,
+            seed: [3u8; 32],
+            warm_iss: false,
+            ..ServeConfig::default()
+        });
+        // Four sequential connections land two per shard.
+        let mut clients: Vec<Client> = (0..4)
+            .map(|_| {
+                let mut c = Client::connect(&addr.to_string()).expect("connect");
+                // Round-trip before the next connect so accept order (and
+                // thus the round-robin deal) is deterministic.
+                assert!(c.ping().is_ok());
+                c
+            })
+            .collect();
+        let stats = clients[0].stats().expect("stats");
+        assert!(stats.contains("\"reactors\": 2"), "{stats}");
+        clients[0].shutdown().expect("shutdown");
+        let snap = handle.join().expect("server");
+        assert_eq!(snap.reactors, 2);
+        assert_eq!(snap.shards.len(), 2);
+        assert_eq!(snap.shards[0].conns_accepted, 2, "{:?}", snap.shards);
+        assert_eq!(snap.shards[1].conns_accepted, 2, "{:?}", snap.shards);
+        assert_eq!(snap.frontend.conns_open, 0);
+        assert_eq!(snap.shards[0].conns_open, 0);
+        assert_eq!(snap.shards[1].conns_open, 0);
+    }
+
+    #[test]
+    fn shutdown_on_a_secondary_shard_drains_every_shard() {
+        let (addr, handle) = spawn_with(ServeConfig {
+            workers: 2,
+            reactors: 3,
+            queue_capacity: 8,
+            seed: [3u8; 32],
+            warm_iss: false,
+            ..ServeConfig::default()
+        });
+        // conn A → shard 0, conn B → shard 1: work runs on shard 0, the
+        // shutdown arrives on shard 1, and shard 0 must still drain.
+        let mut a = Client::connect(&addr.to_string()).expect("connect A");
+        let params = Params::lac128();
+        let (pk, _) = a.keygen(&params, BackendKind::Ct, 7).expect("keygen");
+        let mut b = Client::connect(&addr.to_string()).expect("connect B");
+        assert!(a.encaps(&params, BackendKind::Ct, 8, &pk).is_ok());
+        b.shutdown().expect("shutdown via shard 1");
+        let snap = handle.join().expect("server");
+        assert_eq!(snap.requests[0], 1);
+        assert_eq!(snap.requests[1], 1);
+        assert_eq!(snap.frontend.conns_open, 0, "all shards drained");
+        assert_eq!(snap.shards.len(), 3);
+        for shard in &snap.shards {
+            assert_eq!(shard.conns_open, 0, "{shard:?}");
+        }
+    }
+
+    #[test]
+    fn idle_timeout_reaps_on_every_shard() {
+        let (addr, handle) = spawn_with(ServeConfig {
+            workers: 1,
+            reactors: 2,
+            queue_capacity: 8,
+            seed: [3u8; 32],
+            warm_iss: false,
+            idle_timeout_ms: 50,
+            ..ServeConfig::default()
+        });
+        // One idle connection per shard; both must be reaped by their
+        // owning shard's timeout scan.
+        let mut first = Client::connect(&addr.to_string()).expect("connect");
+        assert!(first.ping().is_ok());
+        let mut second = Client::connect(&addr.to_string()).expect("connect");
+        assert!(second.ping().is_ok());
+        std::thread::sleep(Duration::from_millis(400));
+        assert!(first.ping().is_err(), "shard-0 conn must be reaped");
+        assert!(second.ping().is_err(), "shard-1 conn must be reaped");
+        let mut ctl = Client::connect(&addr.to_string()).expect("connect");
+        ctl.shutdown().expect("shutdown");
+        let snap = handle.join().expect("server");
+        assert!(snap.frontend.timeouts_idle >= 2, "{:?}", snap.frontend);
+        assert_eq!(snap.frontend.conns_open, 0);
+    }
+
+    #[test]
+    fn pipelined_replies_coalesce_into_vectored_flushes() {
+        let (addr, handle) = spawn_server(1);
+        // 8 pings fired without reading: the replies queue behind the
+        // slow first read and should retire in far fewer writev calls
+        // than frames.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        for seq in 0..8u64 {
+            wire::write_request(
+                &mut stream,
+                &RequestFrame {
+                    opcode: Opcode::Ping,
+                    params_code: 0,
+                    backend_code: 0,
+                    seq,
+                    payload: Vec::new(),
+                },
+            )
+            .expect("send");
+        }
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        for _ in 0..8 {
+            let frame = wire::read_response(&mut reader).expect("pong");
+            assert_eq!(frame.payload, b"pong");
+        }
+        drop(reader);
+        drop(stream);
+        let mut ctl = Client::connect(&addr.to_string()).expect("connect");
+        ctl.shutdown().expect("shutdown");
+        let snap = handle.join().expect("server");
+        // 8 pongs + the control connection's shutdown ack.
+        assert!(snap.frontend.frames_flushed >= 9, "{:?}", snap.frontend);
+        // Coalescing must beat one-syscall-per-frame: the 8 pipelined
+        // pongs arrive in the same pass and leave in one flush.
+        assert!(
+            snap.frontend.writev_calls < snap.frontend.frames_flushed,
+            "writev {} !< frames {}",
+            snap.frontend.writev_calls,
+            snap.frontend.frames_flushed,
+        );
     }
 }

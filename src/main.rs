@@ -82,6 +82,8 @@ impl Options {
                 flags.insert("iss-warm".to_string(), "true".to_string());
             } else if arg == "--session-hold" {
                 flags.insert("session-hold".to_string(), "true".to_string());
+            } else if arg == "--per-shard" {
+                flags.insert("per-shard".to_string(), "true".to_string());
             } else if let Some(name) = arg.strip_prefix("--") {
                 let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
                 flags.insert(name.to_string(), value.clone());
@@ -140,6 +142,7 @@ fn parse_u64(opts: &Options, name: &str, default: u64) -> Result<u64, String> {
 fn cmd_serve(opts: &Options) -> Result<String, String> {
     let addr = opts.get_or("addr", "127.0.0.1:0");
     let workers = parse_usize(opts, "workers", 4)?;
+    let reactors = parse_usize(opts, "reactors", 1)?.max(1);
     let queue_capacity = parse_usize(opts, "queue", 64)?;
     let seed = match opts.flags.get("seed") {
         Some(value) => {
@@ -157,6 +160,7 @@ fn cmd_serve(opts: &Options) -> Result<String, String> {
         &addr,
         ServeConfig {
             workers,
+            reactors,
             queue_capacity,
             seed,
             warm_iss: true,
@@ -179,7 +183,9 @@ fn cmd_serve(opts: &Options) -> Result<String, String> {
     let local = server
         .local_addr()
         .map_err(|e| format!("local_addr: {e}"))?;
-    println!("lac-serve listening on {local} ({workers} workers, queue {queue_capacity})");
+    println!(
+        "lac-serve listening on {local} ({workers} workers, {reactors} reactors, queue {queue_capacity})"
+    );
     if let Some(warm) = server.warm_report() {
         let (links, chained, unlinks) = warm.chain_totals();
         println!(
@@ -205,6 +211,7 @@ fn cmd_bench_serve(opts: &Options) -> Result<String, String> {
         let defaults = ServeConfig::default();
         let cfg = lac_serve::bench::SessionLoadConfig {
             workers: parse_usize(opts, "workers", 4)?,
+            reactors: parse_usize(opts, "reactors", 1)?,
             conns: parse_usize(opts, "conns", 4)?,
             sessions: parse_usize(opts, "sessions", 16)?,
             chats_per_session: parse_usize(opts, "session-chats", 4)?,
@@ -247,6 +254,7 @@ fn cmd_bench_serve(opts: &Options) -> Result<String, String> {
         }
         let cfg = lac_serve::bench::OpenLoopConfig {
             workers: parse_usize(opts, "workers", 4)?,
+            reactors: parse_usize(opts, "reactors", 1)?,
             conns: parse_usize(opts, "conns", 2)?,
             target_qps,
             duration_ms: parse_u64(opts, "duration-ms", 500)?,
@@ -270,6 +278,7 @@ fn cmd_bench_serve(opts: &Options) -> Result<String, String> {
     }
     let cfg = BenchConfig {
         workers: parse_usize(opts, "workers", 4)?,
+        reactors: parse_usize(opts, "reactors", 1)?,
         clients: parse_usize(opts, "clients", 4)?,
         requests: parse_usize(opts, "requests", 32)?,
         op: lac_serve::Op::parse(&opts.get_or("op", "encaps"))?,
@@ -320,7 +329,20 @@ fn json_u64(json: &str, key: &str) -> Option<u64> {
     digits.parse().ok()
 }
 
+/// Split the `"shards": [...]` array of a stats snapshot into one JSON
+/// chunk per shard row (each chunk starts with the shard's index digits).
+fn shard_chunks(json: &str) -> Vec<&str> {
+    match json.find("\"shards\": [") {
+        None => Vec::new(),
+        Some(start) => json[start..].split("{\"shard\": ").skip(1).collect(),
+    }
+}
+
 /// `lac-suite serve-ctl <stats|ping|sessions|shutdown> --addr HOST:PORT`.
+///
+/// `stats` and `sessions` render an aggregated view by default (text, or
+/// the raw snapshot with `--json`); `--per-shard` adds the per-reactor
+/// breakdown rows.
 fn cmd_serve_ctl(action: &str, opts: &Options) -> Result<String, String> {
     if action.is_empty() {
         return Err("serve-ctl needs an action (expected stats|ping|sessions|shutdown)".into());
@@ -334,8 +356,60 @@ fn cmd_serve_ctl(action: &str, opts: &Options) -> Result<String, String> {
     let timeout_ms = parse_u64(opts, "timeout-ms", 0)?;
     let mut client = Client::connect_with_timeout(addr, timeout_ms)
         .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let per_shard = opts.flags.contains_key("per-shard");
     match action {
-        "stats" => Ok(format!("{}\n", client.stats()?)),
+        "stats" => {
+            let stats = client.stats()?;
+            if opts.json {
+                // The raw snapshot: aggregates first, the per-shard rows
+                // in its trailing "shards" array.
+                return Ok(format!("{stats}\n"));
+            }
+            // Aggregated text view. A flat first-match scan reads the
+            // aggregate objects: shard keys carry a `shard_` prefix and
+            // the shards array renders last.
+            let field = |key: &str| json_u64(&stats, key).unwrap_or(0);
+            let mut out = format!(
+                "server at {addr}: {} workers, {} reactors\n  \
+                 requests: keygen {}, encaps {}, decaps {}, errors {}\n  \
+                 conns: open {} / accepted {} / rejected {}, shed(BUSY) {}\n  \
+                 writes: {} frames in {} writev calls\n  \
+                 sessions open {}, messages {}\n",
+                field("workers"),
+                field("reactors"),
+                field("keygen"),
+                field("encaps"),
+                field("decaps"),
+                field("errors"),
+                field("conns_open"),
+                field("conns_accepted"),
+                field("conns_rejected"),
+                field("shed_busy"),
+                field("frames_flushed"),
+                field("writev_calls"),
+                field("open"),
+                field("messages"),
+            );
+            if per_shard {
+                for chunk in shard_chunks(&stats) {
+                    let index: String = chunk.chars().take_while(char::is_ascii_digit).collect();
+                    let f = |key: &str| json_u64(chunk, key).unwrap_or(0);
+                    out.push_str(&format!(
+                        "  shard {index}: conns open {} / accepted {}, \
+                         completions {}, frames {} in {} writev, \
+                         sessions {}, busy {:.1} ms\n",
+                        f("shard_conns_open"),
+                        f("shard_conns_accepted"),
+                        f("shard_completions"),
+                        f("shard_frames_flushed"),
+                        f("shard_writev_calls"),
+                        f("shard_sessions_open"),
+                        f("shard_busy_ns") as f64 / 1e6,
+                    ));
+                }
+            }
+            Ok(out)
+        }
         "ping" => {
             client.ping()?;
             Ok("pong\n".to_string())
@@ -345,7 +419,38 @@ fn cmd_serve_ctl(action: &str, opts: &Options) -> Result<String, String> {
             // summary (the snapshot nests them under `"sessions"`).
             let stats = client.stats()?;
             let field = |key: &str| json_u64(&stats, key).unwrap_or(0);
-            Ok(format!(
+            if opts.json {
+                let mut out = format!(
+                    "{{\"open\": {}, \"opened\": {}, \"closed\": {}, \
+                     \"evicted\": {}, \"rekeys\": {}, \"replay_drops\": {}, \
+                     \"tag_failures\": {}, \"messages\": {}",
+                    field("open"),
+                    field("opened"),
+                    field("closed"),
+                    field("evicted"),
+                    field("rekeys"),
+                    field("replay_drops"),
+                    field("tag_failures"),
+                    field("messages"),
+                );
+                if per_shard {
+                    let rows: Vec<String> = shard_chunks(&stats)
+                        .iter()
+                        .map(|chunk| {
+                            let index: String =
+                                chunk.chars().take_while(char::is_ascii_digit).collect();
+                            format!(
+                                "{{\"shard\": {index}, \"sessions_open\": {}}}",
+                                json_u64(chunk, "shard_sessions_open").unwrap_or(0)
+                            )
+                        })
+                        .collect();
+                    out.push_str(&format!(", \"per_shard\": [{}]", rows.join(", ")));
+                }
+                out.push_str("}\n");
+                return Ok(out);
+            }
+            let mut out = format!(
                 "session table at {addr}:\n  \
                  open {} (opened {}, closed {}, evicted {})\n  \
                  rekeys {}, replay drops {}, tag failures {}, messages {}\n",
@@ -357,7 +462,17 @@ fn cmd_serve_ctl(action: &str, opts: &Options) -> Result<String, String> {
                 field("replay_drops"),
                 field("tag_failures"),
                 field("messages"),
-            ))
+            );
+            if per_shard {
+                for chunk in shard_chunks(&stats) {
+                    let index: String = chunk.chars().take_while(char::is_ascii_digit).collect();
+                    out.push_str(&format!(
+                        "  shard {index}: sessions open {}\n",
+                        json_u64(chunk, "shard_sessions_open").unwrap_or(0)
+                    ));
+                }
+            }
+            Ok(out)
         }
         "shutdown" => {
             client.shutdown()?;
@@ -550,13 +665,13 @@ const USAGE: &str = "usage: lac-suite <command> [flags]
       [--seed N] [--rng sha256|shake128] [--cycles]
       [--pk FILE] [--sk FILE] [--ct FILE] [--key FILE]
   serve                          run the TCP KEM server until shutdown
-      [--addr HOST:PORT] [--workers N] [--queue N] [--seed N]
+      [--addr HOST:PORT] [--workers N] [--reactors N] [--queue N] [--seed N]
       [--max-conns N] [--accept-rps N] [--idle-timeout-ms N]
       [--read-timeout-ms N] [--write-timeout-ms N]
       [--max-write-buffer BYTES] [--drain-ms N]
       [--session-capacity N] [--session-rekey-after N]
   bench-serve                    load generator (closed loop by default)
-      [--workers N] [--clients N] [--requests N]
+      [--workers N] [--reactors N] [--clients N] [--requests N]
       [--op keygen|encaps|decaps] [--params P] [--backend B] [--seed N]
       [--batch N] [--queue N] [--sweep N,N,...] [--addr HOST:PORT] [--json]
       open loop: --target-qps QPS [--duration-ms N] [--conns N]
@@ -565,6 +680,7 @@ const USAGE: &str = "usage: lac-suite <command> [flags]
       [--session-hold] [--session-capacity N] [--session-rekey-after N]
       [--conns N] [--target-qps QPS] (handshake vs message latency)
   serve-ctl <stats|ping|sessions|shutdown> --addr HOST:PORT [--timeout-ms N]
+      [--json] [--per-shard] (stats/sessions: aggregated view by default)
   table1|table2                  regenerate a paper table (sharded sweep)
       [--threads N] [--json]
   iss                            interpreter wall-clock throughput probe
